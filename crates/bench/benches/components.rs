@@ -1,0 +1,191 @@
+//! Micro-benchmarks for the individual subsystems: tokenizer, Porter
+//! stemmer, phrase search, unit extraction, Golomb coding, packed-store
+//! lookups, ranking-SVM training, and the evaluation metrics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ctxrank_features::RelevantTerms;
+use ctxrank_framework::{
+    golomb_decode, golomb_encode, optimal_rice_parameter, CompressedRelevanceStore,
+    GlobalTidTable, PackedRelevanceStore,
+};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
+use ctxrank_synth::{Lexicon, SynthWorld, WorldConfig};
+use std::hint::black_box;
+
+fn bench_text(c: &mut Criterion) {
+    let world = SynthWorld::generate(WorldConfig::small(0x7e57));
+    let doc = world.news[0].text.clone();
+
+    let mut group = c.benchmark_group("text");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("tokenize", |b| {
+        b.iter(|| black_box(ctxrank_text::tokenize(black_box(&doc))).len())
+    });
+    group.bench_function("stemmed_terms", |b| {
+        b.iter(|| black_box(ctxrank_text::stemmed_terms(black_box(&doc))).len())
+    });
+    group.bench_function("sentences", |b| {
+        b.iter(|| black_box(ctxrank_text::sentences(black_box(&doc))).len())
+    });
+    group.finish();
+
+    let words: Vec<&str> = ["running", "nationalization", "flies", "agreed", "hopefulness"]
+        .into_iter()
+        .collect();
+    c.bench_function("porter_stem_5_words", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(ctxrank_text::stem(black_box(w)));
+            }
+        })
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let world = SynthWorld::generate(WorldConfig::small(0x1d3));
+    let concept = world
+        .universe
+        .all()
+        .iter()
+        .find(|x| x.terms.len() == 2)
+        .expect("a 2-term concept");
+
+    let mut group = c.benchmark_group("index");
+    group.bench_function("phrase_count", |b| {
+        b.iter(|| black_box(world.corpus.phrase_count(black_box(&concept.terms))))
+    });
+    group.bench_function("search_top50", |b| {
+        b.iter(|| black_box(world.corpus.search(black_box(&concept.terms), 50)).len())
+    });
+    group.bench_function("phrase_snippets_100", |b| {
+        b.iter(|| black_box(world.corpus.phrase_snippets(black_box(&concept.terms), 100, 12)).len())
+    });
+    group.finish();
+}
+
+fn bench_querylog(c: &mut Criterion) {
+    // A mid-size log for unit extraction.
+    let lexicon = Lexicon::generate(3, 300, 4, 60);
+    let mut log = QueryLog::new();
+    let mut k = 0usize;
+    for t in 0..4 {
+        for w in lexicon.topic(t) {
+            k += 1;
+            log.add_terms(vec![w.clone()], 5 + (k as u64 % 40));
+            if k % 2 == 0 {
+                log.add_terms(
+                    vec![w.clone(), lexicon.topic(t)[(k * 7) % 60].clone()],
+                    3 + (k as u64 % 9),
+                );
+            }
+        }
+    }
+    c.bench_function("unit_extraction", |b| {
+        b.iter(|| black_box(extract_units(black_box(&log), &UnitConfig::default())).len())
+    });
+}
+
+fn bench_framework(c: &mut Criterion) {
+    let ids: Vec<u32> = (0..100u32).map(|i| i * 321 + (i % 7)).collect();
+    let k = optimal_rice_parameter(&ids);
+    let encoded = golomb_encode(&ids, k);
+
+    let mut group = c.benchmark_group("framework");
+    group.bench_function("golomb_encode_100", |b| {
+        b.iter(|| black_box(golomb_encode(black_box(&ids), k)).byte_len())
+    });
+    group.bench_function("golomb_decode_100", |b| {
+        b.iter(|| black_box(golomb_decode(black_box(&encoded))).len())
+    });
+
+    let mut tids = GlobalTidTable::new();
+    for i in 0..5000 {
+        tids.intern(&format!("term{i}"));
+    }
+    group.bench_function("tid_context_lookup_100", |b| {
+        let terms: Vec<String> = (0..100).map(|i| format!("term{}", i * 31 % 6000)).collect();
+        b.iter(|| {
+            black_box(tids.context_tids(terms.iter().map(String::as_str))).len()
+        })
+    });
+
+    // Packed vs Golomb-compressed relevance scoring: the memory/CPU
+    // trade the paper's §VI points at.
+    let sets: Vec<(String, RelevantTerms)> = (0..50)
+        .map(|i| {
+            (
+                format!("c{i}"),
+                RelevantTerms {
+                    terms: (0..100)
+                        .map(|j| (format!("kw{}", (i * 7 + j) % 400), 1.0 + j as f64))
+                        .collect(),
+                },
+            )
+        })
+        .collect();
+    let mut t1 = GlobalTidTable::new();
+    let packed = PackedRelevanceStore::build(sets.iter().map(|(s, r)| (s.as_str(), r)), &mut t1);
+    let mut t2 = GlobalTidTable::new();
+    let compressed =
+        CompressedRelevanceStore::build(sets.iter().map(|(s, r)| (s.as_str(), r)), &mut t2);
+    let ctx1 = t1.context_tids((0..60).map(|i| format!("kw{}", i * 5)).collect::<Vec<_>>().iter().map(String::as_str));
+    let ctx2 = t2.context_tids((0..60).map(|i| format!("kw{}", i * 5)).collect::<Vec<_>>().iter().map(String::as_str));
+    group.bench_function("relevance_score_packed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += packed.score(&format!("c{i}"), black_box(&ctx1));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("relevance_score_compressed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..50 {
+                acc += compressed.score(&format!("c{i}"), black_box(&ctx2));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ltr_and_eval(c: &mut Criterion) {
+    let groups: Vec<RankGroup> = (0..50)
+        .map(|g| {
+            RankGroup::from_pairs((0..6).map(|i| {
+                let f: Vec<f64> = (0..10).map(|d| ((g * 6 + i) * (d + 1)) as f64 % 17.0).collect();
+                (f, (i as f64) * 0.01)
+            }))
+        })
+        .collect();
+    c.bench_function("svm_train_50_groups", |b| {
+        b.iter_batched(
+            || groups.clone(),
+            |g| black_box(train(&g, &SvmConfig { epochs: 5, ..SvmConfig::default() })),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let scores: Vec<f64> = (0..50).map(|i| (i * 37 % 50) as f64).collect();
+    let ctrs: Vec<f64> = (0..50).map(|i| (i as f64) * 0.001).collect();
+    c.bench_function("weighted_error_rate_50", |b| {
+        b.iter(|| black_box(ctxrank_eval::weighted_pair_stats(black_box(&scores), black_box(&ctrs))).rate())
+    });
+    let gains: Vec<f64> = ctrs.iter().map(|c| c * 50.0).collect();
+    c.bench_function("ndcg_at_3_of_50", |b| {
+        b.iter(|| black_box(ctxrank_eval::ndcg_at_k(black_box(&scores), black_box(&gains), 3)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_text,
+    bench_index,
+    bench_querylog,
+    bench_framework,
+    bench_ltr_and_eval
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: linear vs RBF kernel for the ranking SVM.
+//!
+//! §V-A.3: "we test with both linear and the radial basis function
+//! kernels with the default parameters, and report the best result."
+//! This binary reports both, for the interestingness-only and the
+//! combined feature sets.
+
+use ctxrank_bench::rankers::{evaluate_learned, FeatureSet};
+use ctxrank_bench::report::{print_table, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::MiningResource;
+use ctxrank_ltr::{KernelKind, SvmConfig};
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let ds = &exp.dataset;
+    let kernels = [
+        ("linear", KernelKind::Linear),
+        ("rbf (gamma 0.5, 256 features)", KernelKind::Rbf { gamma: 0.5, dim: 256 }),
+        ("rbf (gamma 0.1, 256 features)", KernelKind::Rbf { gamma: 0.1, dim: 256 }),
+    ];
+    let mut rows = Vec::new();
+    for (fs_label, fs, tiebreak) in [
+        ("interestingness", FeatureSet::AllInterest, false),
+        (
+            "interestingness + relevance",
+            FeatureSet::InterestPlusRelevance(MiningResource::Snippets),
+            true,
+        ),
+    ] {
+        for (k_label, kernel) in kernels {
+            let svm = SvmConfig {
+                kernel,
+                seed: 7,
+                ..SvmConfig::default()
+            };
+            rows.push((
+                format!("{fs_label}, {k_label}"),
+                evaluate_learned(ds, fs, &svm, 5, 7, tiebreak),
+            ));
+        }
+    }
+    print_table("Ablation: ranking-SVM kernel", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/ablation_kernel.json", "ablation_kernel", &rows).expect("write report");
+}

@@ -1,0 +1,30 @@
+//! Ablation: m, the number of relevance keywords per concept.
+//!
+//! The paper fixes m = 100 ("100 used in practice"). This sweep shows
+//! the coverage/precision trade-off: snippet relevance-only WER as m
+//! varies.
+
+use ctxrank_bench::rankers::evaluate_fixed;
+use ctxrank_bench::report::{print_table, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::MiningResource;
+
+fn main() {
+    let mut rows = Vec::new();
+    for m in [10usize, 25, 50, 100, 200] {
+        let config = ExperimentConfig {
+            relevance_m: m,
+            ..ExperimentConfig::default()
+        };
+        let exp = Experiment::build(config);
+        rows.push((
+            format!("m = {m}"),
+            evaluate_fixed(&exp.dataset, |i| {
+                i.relevance_raw_for(MiningResource::Snippets)
+            }),
+        ));
+    }
+    print_table("Ablation: keywords per concept (snippet relevance only)", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/ablation_m.json", "ablation_m", &rows).expect("write report");
+}

@@ -1,0 +1,27 @@
+//! Ablation: the §II-B multi-term specificity bonus.
+//!
+//! DESIGN.md calls out the merge's step 4 ("more specific concepts
+//! eventually bubble up") as a design choice worth ablating: how much of
+//! the concept-vector baseline's quality comes from that bonus?
+
+use ctxrank_bench::rankers::evaluate_fixed;
+use ctxrank_bench::report::{print_table, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, bonus) in [("with multi-term bonus", true), ("without multi-term bonus", false)] {
+        let config = ExperimentConfig {
+            multiterm_bonus: bonus,
+            ..ExperimentConfig::default()
+        };
+        let exp = Experiment::build(config);
+        rows.push((
+            label.to_string(),
+            evaluate_fixed(&exp.dataset, |i| i.baseline_score),
+        ));
+    }
+    print_table("Ablation: §II-B multi-term bonus (concept-vector baseline)", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/ablation_merge.json", "ablation_merge", &rows).expect("write report");
+}

@@ -1,0 +1,44 @@
+//! Ablation: keyword weighting scheme for relevance mining.
+//!
+//! The paper says "compute its tf*idf score"; with a web-scale corpus
+//! the reading barely matters, but with a synthetic vocabulary the
+//! choice is visible. This sweep compares raw `tf·idf`, log-damped
+//! `(1+ln tf)·idf`, and presence (`idf`-only) keyword weights on the
+//! snippets relevance-only ranking.
+
+use ctxrank_bench::rankers::evaluate_fixed;
+use ctxrank_bench::report::{print_table, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::{KeywordWeighting, MiningResource};
+
+fn main() {
+    let mut rows = Vec::new();
+    for (label, w) in [
+        ("raw tf x idf", KeywordWeighting::RawTf),
+        ("(1 + ln tf) x idf", KeywordWeighting::LogTf),
+        ("presence (idf only)", KeywordWeighting::Presence),
+    ] {
+        let config = ExperimentConfig {
+            keyword_weighting: w,
+            ..ExperimentConfig::default()
+        };
+        let exp = Experiment::build(config);
+        rows.push((
+            label.to_string(),
+            evaluate_fixed(&exp.dataset, |i| {
+                i.relevance_raw_for(MiningResource::Snippets)
+            }),
+        ));
+    }
+    print_table(
+        "Ablation: keyword weighting (snippet relevance only)",
+        &rows,
+    );
+    println!(
+        "\nRaw tf concentrates score mass on a handful of peak keywords and lets\n\
+         popularity swamp the context signal; presence weighting measures keyword\n\
+         *coverage*, which is the §V-A.5 mechanism (see EXPERIMENTS.md)."
+    );
+    std::fs::create_dir_all("results").ok();
+    write_json("results/ablation_weighting.json", "ablation_weighting", &rows).expect("write report");
+}

@@ -1,0 +1,42 @@
+//! Ablation: the position-bias window (2500 chars / 500 overlap).
+//!
+//! §V-A.1 partitions documents into overlapping windows so "the first
+//! entities in a document may get an unfair share of user attention"
+//! does not contaminate the preference pairs. The sweep varies the
+//! window size (overlap fixed at 20%) and reports the combined model's
+//! WER.
+
+use ctxrank_bench::rankers::{evaluate_best_kernel, FeatureSet};
+use ctxrank_bench::report::{print_table, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::MiningResource;
+
+fn main() {
+    let mut rows = Vec::new();
+    for size in [1000usize, 2500, 5000, 20000] {
+        let config = ExperimentConfig {
+            window_size: size,
+            window_overlap: size / 5,
+            ..ExperimentConfig::default()
+        };
+        let exp = Experiment::build(config);
+        let label = if size >= 20000 {
+            format!("window {size} (no split in practice)")
+        } else {
+            format!("window {size} / overlap {}", size / 5)
+        };
+        rows.push((
+            label,
+            evaluate_best_kernel(
+                &exp.dataset,
+                FeatureSet::InterestPlusRelevance(MiningResource::Snippets),
+                5,
+                7,
+                true,
+            ),
+        ));
+    }
+    print_table("Ablation: window size (combined model)", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/ablation_window.json", "ablation_window", &rows).expect("write report");
+}

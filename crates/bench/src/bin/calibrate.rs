@@ -1,0 +1,349 @@
+//! Calibration probe: builds the full-scale experiment and prints the
+//! headline comparison (random / concept vector / interestingness /
+//! relevance / all features) plus dataset statistics. Used during
+//! development to verify the synthetic world reproduces the paper's
+//! shape before the per-table binaries report it.
+
+use ctxrank_bench::rankers::{evaluate_fixed, evaluate_learned, random_scorer, FeatureSet};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::MiningResource;
+use ctxrank_ltr::SvmConfig;
+use std::time::Instant;
+
+#[allow(clippy::needless_range_loop)]
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let t0 = Instant::now();
+    let mut config = if small {
+        ExperimentConfig::small(0x2009)
+    } else {
+        ExperimentConfig::default()
+    };
+    let knob = |name: &str, default: f64| -> f64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    config.world.queries.popularity_noise = knob("PN", config.world.queries.popularity_noise);
+    config.clicks.relevance_floor = knob("RF", config.clicks.relevance_floor);
+    config.clicks.view_mu = knob("VM", config.clicks.view_mu);
+    config.clicks.noise_sigma = knob("NS", config.clicks.noise_sigma);
+    config.world.queries.p_topical_refinement =
+        knob("PTR", config.world.queries.p_topical_refinement);
+    config.min_suggestion_freq = knob("MSF", config.min_suggestion_freq as f64) as u64;
+    config.clicks.position_bias = knob("PB", config.clicks.position_bias);
+    config.world.news.repetition = knob("REP", config.world.news.repetition);
+    config.keyword_weighting = match std::env::var("KW").as_deref() {
+        Ok("log") => ctxrank_features::KeywordWeighting::LogTf,
+        Ok("presence") => ctxrank_features::KeywordWeighting::Presence,
+        _ => ctxrank_features::KeywordWeighting::RawTf,
+    };
+    println!(
+        "knobs: PN {} RF {} VM {} NS {} PTR {}",
+        config.world.queries.popularity_noise,
+        config.clicks.relevance_floor,
+        config.clicks.view_mu,
+        config.clicks.noise_sigma,
+        config.world.queries.p_topical_refinement
+    );
+    let exp = Experiment::build(config);
+    println!("build: {:.1}s", t0.elapsed().as_secs_f64());
+    println!("stats: {:?}", exp.stats);
+    println!("groups: {}  items: {}", exp.dataset.groups.len(), exp.dataset.num_items());
+
+    let ds = &exp.dataset;
+    let t = Instant::now();
+    let random = evaluate_fixed(ds, random_scorer(1));
+    let baseline = evaluate_fixed(ds, |i| i.baseline_score);
+    println!("random    WER {:.2}%  ndcg {:?}", random.wer_pct(), random.ndcg);
+    println!("baseline  WER {:.2}%  ndcg {:?}", baseline.wer_pct(), baseline.ndcg);
+    for r in MiningResource::ALL {
+        let rel = evaluate_fixed(ds, |i| i.relevance_raw_for(r));
+        println!("rel {:?}  WER {:.2}%  ndcg {:?}", r, rel.wer_pct(), rel.ndcg);
+    }
+    // Baseline score coverage diagnostics.
+    {
+        let mut zero = 0usize;
+        let mut total = 0usize;
+        let mut in_units = 0usize;
+        for g in &ds.groups {
+            for i in &g.items {
+                total += 1;
+                if i.baseline_score == 0.0 {
+                    zero += 1;
+                }
+                let terms: Vec<String> = i.surface.split(' ').map(str::to_string).collect();
+                if exp.units.get(&terms).is_some() {
+                    in_units += 1;
+                }
+            }
+        }
+        println!("baseline zero {zero}/{total}, in unit dict {in_units}/{total}");
+        let pts: Vec<(f64, f64)> = ds
+            .groups
+            .iter()
+            .flat_map(|g| g.items.iter())
+            .map(|i| (i.baseline_score, exp.world.universe.get(i.concept).interestingness))
+            .collect();
+        println!("corr(baseline, interest) = {:.3}", pearson(&pts));
+        let pts2: Vec<(f64, f64)> = ds
+            .groups
+            .iter()
+            .flat_map(|g| g.items.iter())
+            .map(|i| (i.baseline_score, i.gt_relevance))
+            .collect();
+        println!("corr(baseline, gt_rel) = {:.3}", pearson(&pts2));
+    }
+
+    // Single-feature scorers: where does the baseline's signal live?
+    let by_freq = evaluate_fixed(ds, |i| i.interest[0]);
+    let by_unit = evaluate_fixed(ds, |i| i.interest[2]);
+    let by_wiki = evaluate_fixed(ds, |i| i.interest[8]);
+    println!("feat freq_exact WER {:.2}%", by_freq.wer_pct());
+    println!("feat unit_score WER {:.2}%", by_unit.wer_pct());
+    println!("feat wiki       WER {:.2}%", by_wiki.wer_pct());
+
+    // Oracle scorers: upper bounds for each information source.
+    let o_rel = evaluate_fixed(ds, |i| i.gt_relevance);
+    let o_int = evaluate_fixed(ds, |i| exp.world.universe.get(i.concept).interestingness);
+    let o_both = evaluate_fixed(ds, |i| {
+        exp.world.universe.get(i.concept).interestingness.powf(0.8)
+            * (0.07 + 0.93 * i.gt_relevance)
+            * (1.0 - 0.45 * i.position_frac)
+    });
+    println!("oracle rel  WER {:.2}%", o_rel.wer_pct());
+    println!("oracle int  WER {:.2}%", o_int.wer_pct());
+    println!("oracle both WER {:.2}%", o_both.wer_pct());
+
+    // Reference learner: ridge regression CTR ~ features, rank by
+    // prediction (diagnoses optimizer-vs-data issues).
+    if std::env::var("RIDGE").is_ok() {
+        let mut err = ctxrank_eval::ErrorRateAccumulator::new();
+        for (train_g, test_g) in ds.story_folds(5, 7) {
+            let rows: Vec<(&Vec<f64>, f64)> = train_g
+                .iter()
+                .flat_map(|&g| ds.groups[g].items.iter().map(|i| (&i.interest, i.ctr)))
+                .collect();
+            let d = 9;
+            let mut xtx = vec![vec![0.0f64; d + 1]; d + 1];
+            let mut xty = vec![0.0f64; d + 1];
+            for (x, y) in &rows {
+                let mut xe = x.to_vec();
+                xe.push(1.0);
+                for a in 0..=d {
+                    for b in 0..=d {
+                        xtx[a][b] += xe[a] * xe[b];
+                    }
+                    xty[a] += xe[a] * *y;
+                }
+            }
+            for a in 0..=d {
+                xtx[a][a] += 1e-3;
+            }
+            // Gaussian elimination.
+            let mut m = xtx.clone();
+            let mut b = xty.clone();
+            for col in 0..=d {
+                let piv = (col..=d).max_by(|&x, &y| m[x][col].abs().partial_cmp(&m[y][col].abs()).expect("finite")).expect("rows");
+                m.swap(col, piv);
+                b.swap(col, piv);
+                let pv = m[col][col];
+                for row in 0..=d {
+                    if row != col && m[row][col].abs() > 0.0 {
+                        let f = m[row][col] / pv;
+                        for k in col..=d {
+                            let v = m[col][k];
+                            m[row][k] -= f * v;
+                        }
+                        b[row] -= f * b[col];
+                    }
+                }
+            }
+            let w: Vec<f64> = (0..=d).map(|i| b[i] / m[i][i]).collect();
+            for &g in &test_g {
+                let group = &ds.groups[g];
+                let scores: Vec<f64> = group
+                    .items
+                    .iter()
+                    .map(|i| {
+                        i.interest.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>() + w[d]
+                    })
+                    .collect();
+                let ctrs: Vec<f64> = group.items.iter().map(|i| i.ctr).collect();
+                err.add(&scores, &ctrs);
+            }
+        }
+        println!("ridge interest WER {:.2}%", err.weighted_error_rate() * 100.0);
+    }
+
+    let svm = SvmConfig {
+        lambda: knob("LAMBDA", 1e-4),
+        epochs: knob("EPOCHS", 20.0) as usize,
+        ..SvmConfig::default()
+    };
+    let single = evaluate_learned(ds, FeatureSet::SingleInterest(0), &svm, 5, 7, false);
+    println!("learned freq_exact only WER {:.2}%", single.wer_pct());
+    if std::env::var("ABLATE").is_ok() {
+        for group in ["query_logs", "taxonomy", "search_results", "other", "text_based"] {
+            let r = evaluate_learned(ds, FeatureSet::InterestWithout(group), &svm, 5, 7, false);
+            println!("ablate -{group} WER {:.2}%", r.wer_pct());
+        }
+        for d in 0..9 {
+            let r = evaluate_learned(ds, FeatureSet::SingleInterest(d), &svm, 5, 7, false);
+            println!(
+                "single {} WER {:.2}%",
+                ctxrank_features::InterestFeatures::names()[d],
+                r.wer_pct()
+            );
+        }
+    }
+    let interest = evaluate_learned(ds, FeatureSet::AllInterest, &svm, 5, 7, false);
+    println!("interest  WER {:.2}%  ndcg {:?}", interest.wer_pct(), interest.ndcg);
+    let all = evaluate_learned(
+        ds,
+        FeatureSet::InterestPlusRelevance(MiningResource::Snippets),
+        &svm,
+        5,
+        7,
+        true,
+    );
+    println!("all       WER {:.2}%  ndcg {:?}", all.wer_pct(), all.ndcg);
+    println!("eval: {:.1}s", t.elapsed().as_secs_f64());
+
+    // Per-resource relevance separation diagnostics.
+    for r in MiningResource::ALL {
+        let mut on = (0.0, 0usize);
+        let mut off = (0.0, 0usize);
+        let mut zero_on = 0usize;
+        let mut zero_off = 0usize;
+        for g in &exp.dataset.groups {
+            for i in &g.items {
+                let v = i.relevance_raw_for(r);
+                if i.gt_relevance > 0.9 {
+                    on.0 += v;
+                    on.1 += 1;
+                    if v == 0.0 { zero_on += 1; }
+                } else if i.gt_relevance < 0.1 {
+                    off.0 += v;
+                    off.1 += 1;
+                    if v == 0.0 { zero_off += 1; }
+                }
+            }
+        }
+        println!(
+            "diag {:?}: on-topic mean {:.1} (zero {}/{})  off-topic mean {:.1} (zero {}/{})",
+            r, on.0 / on.1 as f64, zero_on, on.1, off.0 / off.1 as f64, zero_off, off.1
+        );
+        // Keyword set sizes for a sample of concepts.
+        let model = &exp.relevance_models[ctxrank_bench::dataset::resource_index(r)];
+        let sizes: Vec<usize> = exp.dataset.groups[..30]
+            .iter()
+            .flat_map(|g| g.items.iter())
+            .filter_map(|i| model.terms(&i.surface).map(|t| t.len()))
+            .collect();
+        let mean_size = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+        println!("diag {:?}: mean keyword-set size {:.1}", r, mean_size);
+
+        // Pearson correlation of relevance_raw with the latent
+        // interestingness among on-topic items (this is what drives the
+        // within-window ordering quality of relevance-only ranking).
+        let pts: Vec<(f64, f64)> = exp
+            .dataset
+            .groups
+            .iter()
+            .flat_map(|g| g.items.iter())
+            .filter(|i| i.gt_relevance > 0.9)
+            .map(|i| {
+                (
+                    i.relevance_raw_for(r).ln_1p(),
+                    exp.world.universe.get(i.concept).interestingness,
+                )
+            })
+            .collect();
+        println!("diag {:?}: corr(ln rel, interest) = {:.3}", r, pearson(&pts));
+    }
+
+    // Inspect one polluted off-topic snippet score in depth.
+    {
+        use ctxrank_features::{MiningResource, RelevanceModel};
+        let model = &exp.relevance_models[ctxrank_bench::dataset::resource_index(MiningResource::Snippets)];
+        'outer: for (g_idx, g) in exp.dataset.groups.iter().enumerate() {
+            for i in &g.items {
+                if i.gt_relevance < 0.1 && i.relevance_raw_for(MiningResource::Snippets) > 500.0 {
+                    let story = &exp.world.news[g.story];
+                    let windows = ctxrank_text::window::paper_windows(&story.text);
+                    let w = &windows[g.window.min(windows.len() - 1)];
+                    let ctx = RelevanceModel::context_of(w.of(&story.text));
+                    let spec = exp.world.universe.get(i.concept);
+                    let spec_topic = spec.topic;
+                    println!(
+                        "POLLUTED: {} (topic {:?} center {:.3}, story topic {} center {:.3} sec {:?}) gt {:.3} raw {:.0}",
+                        i.surface, spec_topic, spec.center, story.topic, story.center,
+                        story.secondary_topic, i.gt_relevance,
+                        i.relevance_raw_for(MiningResource::Snippets)
+                    );
+                    if let Some(rt) = model.terms(&i.surface) {
+                        let mut matched: Vec<(&str, f64)> = rt
+                            .terms
+                            .iter()
+                            .filter(|(t, _)| ctx.contains(t))
+                            .map(|(t, s)| (t.as_str(), *s))
+                            .collect();
+                        matched.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                        for (t, s) in matched.iter().take(12) {
+                            // Which pool does this stem's originating word belong to?
+                            let pool = (0..exp.world.lexicon.num_topics())
+                                .find_map(|k| {
+                                    exp.world
+                                        .lexicon
+                                        .topic(k)
+                                        .iter()
+                                        .position(|w| ctxrank_text::stem(w) == *t)
+                                        .map(|idx| {
+                                            format!(
+                                                "topic{k}@{:.3}",
+                                                idx as f64 / exp.world.lexicon.topic(k).len() as f64
+                                            )
+                                        })
+                                })
+                                .unwrap_or_else(|| "general/other".into());
+                            println!("   kw {t} score {s:.0} [{pool}]");
+                        }
+                    }
+                    println!("   group {g_idx} window {} story {}", g.window, g.story);
+                    break 'outer;
+                }
+            }
+        }
+    }
+
+    // Ground-truth diagnostics: correlation of CTR with latents.
+    let mut on_topic = 0usize;
+    let mut off_topic = 0usize;
+    for g in &ds.groups {
+        for i in &g.items {
+            if i.gt_relevance > 0.9 {
+                on_topic += 1;
+            } else if i.gt_relevance < 0.1 {
+                off_topic += 1;
+            }
+        }
+    }
+    println!("items on-topic {} off-topic {}", on_topic, off_topic);
+}
+
+fn pearson(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in pts {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    sxy / (sxx.sqrt() * syy.sqrt()).max(1e-12)
+}

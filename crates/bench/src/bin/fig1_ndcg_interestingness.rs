@@ -1,0 +1,28 @@
+//! Figure 1 — NDCG@{1,2,3} when all interestingness features are used.
+//!
+//! Series: Random, Concept Vector Score, and the learned interestingness
+//! model. The paper's figure shows the learned model clearly on top at
+//! every cut-off, the concept vector in the middle, random lowest.
+
+use ctxrank_bench::rankers::{evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet};
+use ctxrank_bench::report::{print_ndcg_figure, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let ds = &exp.dataset;
+    let rows = vec![
+        ("Random".to_string(), evaluate_fixed(ds, random_scorer(1))),
+        (
+            "Concept Vector Score".to_string(),
+            evaluate_fixed(ds, |i| i.baseline_score),
+        ),
+        (
+            "Interestingness Model".to_string(),
+            evaluate_best_kernel(ds, FeatureSet::AllInterest, 5, 7, false),
+        ),
+    ];
+    print_ndcg_figure("Figure 1: NDCG@k with interestingness features", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/fig1_ndcg_interestingness.json", "fig1", &rows).expect("write report");
+}

@@ -1,0 +1,27 @@
+//! Figure 2 — NDCG@{1,2,3} when ranking by relevance score alone.
+
+use ctxrank_bench::rankers::{evaluate_fixed, random_scorer};
+use ctxrank_bench::report::{print_ndcg_figure, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::MiningResource;
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let ds = &exp.dataset;
+    let mut rows = vec![
+        ("Random".to_string(), evaluate_fixed(ds, random_scorer(1))),
+        (
+            "Concept Vector Score".to_string(),
+            evaluate_fixed(ds, |i| i.baseline_score),
+        ),
+    ];
+    for r in MiningResource::ALL {
+        rows.push((
+            format!("{r:?}"),
+            evaluate_fixed(ds, |i| i.relevance_raw_for(r)),
+        ));
+    }
+    print_ndcg_figure("Figure 2: NDCG@k, relevance score only", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/fig2_ndcg_relevance.json", "fig2", &rows).expect("write report");
+}

@@ -1,0 +1,33 @@
+//! Figure 3 — NDCG@{1,2,3} for the combined model.
+
+use ctxrank_bench::rankers::{
+    evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet,
+};
+use ctxrank_bench::report::{print_ndcg_figure, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+use ctxrank_features::MiningResource;
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let ds = &exp.dataset;
+    let rows = vec![
+        ("Random".to_string(), evaluate_fixed(ds, random_scorer(1))),
+        (
+            "Concept Vector Score".to_string(),
+            evaluate_fixed(ds, |i| i.baseline_score),
+        ),
+        (
+            "Interestingness + Relevance".to_string(),
+            evaluate_best_kernel(
+                ds,
+                FeatureSet::InterestPlusRelevance(MiningResource::Snippets),
+                5,
+                7,
+                true,
+            ),
+        ),
+    ];
+    print_ndcg_figure("Figure 3: NDCG@k with all features", &rows);
+    std::fs::create_dir_all("results").ok();
+    write_json("results/fig3_ndcg_all.json", "fig3", &rows).expect("write report");
+}

@@ -1,0 +1,171 @@
+//! §VIII future work — online reaction to world events.
+//!
+//! Scenario: a low-interestingness concept (statically ranked near the
+//! bottom) is suddenly at the centre of a breaking story: its true CTR
+//! jumps ~10x for a few feedback batches, then reverts. The static model
+//! cannot react (its features are offline); the online adjuster
+//! (fast/slow CTR averages, `ctxrank_framework::online`) boosts it
+//! within a batch or two of feedback and decays the boost afterwards.
+//!
+//! Reported: the event concept's mean rank position per batch under the
+//! static ranker vs the online ranker.
+
+use ctxrank_bench::{build_runtime_ranker, Experiment, ExperimentConfig};
+use ctxrank_framework::{OnlineConfig, OnlineCtrAdjuster};
+use ctxrank_synth::rng::binomial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCHES: usize = 14;
+const EVENT_START: usize = 4;
+const EVENT_END: usize = 8;
+const STORIES_PER_BATCH: usize = 40;
+const VIEWS_PER_STORY: u64 = 400;
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let ranker = build_runtime_ranker(&exp);
+    let mut adjuster = OnlineCtrAdjuster::new(OnlineConfig {
+        // Model scores span several units after standardization; let the
+        // boost be strong enough to carry a bottom-ranked concept to the
+        // top during a genuine event.
+        gain: 2.5,
+        max_adjust: 6.0,
+        ..OnlineConfig::default()
+    });
+    let mut r = StdRng::seed_from_u64(0x0e1);
+
+    // Pick a cold specific concept that the dataset knows about and a
+    // fixed candidate slate from its topic (hot competitors included).
+    let mut known: Vec<&str> = exp.interest_raw.keys().map(String::as_str).collect();
+    known.sort();
+    let event_surface = known
+        .iter()
+        .filter_map(|s| {
+            exp.world
+                .universe
+                .all()
+                .iter()
+                .find(|c| c.surface() == **s && !c.is_junk())
+        })
+        .min_by(|a, b| a.interestingness.partial_cmp(&b.interestingness).expect("finite"))
+        .expect("a cold concept")
+        .surface();
+    let event_topic = exp
+        .world
+        .universe
+        .all()
+        .iter()
+        .find(|c| c.surface() == event_surface)
+        .and_then(|c| c.topic)
+        .expect("event concept has a topic");
+    let mut slate: Vec<String> = exp
+        .world
+        .universe
+        .of_topic(event_topic)
+        .filter(|c| exp.interest_raw.contains_key(&c.surface()))
+        .map(|c| c.surface())
+        .take(8)
+        .collect();
+    if !slate.contains(&event_surface) {
+        slate.push(event_surface.clone());
+    }
+
+    println!("=== §VIII online adaptation: breaking-news simulation ===");
+    println!(
+        "event concept: {:?} (slate of {} same-topic candidates)\n",
+        event_surface,
+        slate.len()
+    );
+    println!(
+        "{:>5} {:>8} {:>14} {:>14} {:>12}",
+        "batch", "phase", "static rank", "online rank", "adjustment"
+    );
+
+    let stories: Vec<&ctxrank_synth::NewsStory> = exp
+        .world
+        .news
+        .iter()
+        .filter(|s| s.topic == event_topic)
+        .collect();
+
+    let mut results = Vec::new();
+    for batch in 0..BATCHES {
+        let event_active = (EVENT_START..EVENT_END).contains(&batch);
+
+        // Measure the event concept's rank under both policies.
+        let mut static_rank_sum = 0.0;
+        let mut online_rank_sum = 0.0;
+        let mut n = 0.0;
+        for story in stories.iter().take(STORIES_PER_BATCH.min(stories.len())) {
+            let static_ranked = ranker.rank(&story.text, &slate);
+            let online_ranked = ranker.rank_online(&story.text, &slate, &adjuster);
+            let pos = |ranked: &[ctxrank_framework::ranker::RankedConcept]| {
+                ranked
+                    .iter()
+                    .position(|x| x.surface == event_surface)
+                    .expect("event concept in slate") as f64
+                    + 1.0
+            };
+            static_rank_sum += pos(&static_ranked);
+            online_rank_sum += pos(&online_ranked);
+            n += 1.0;
+        }
+
+        // Simulate the batch's click feedback: every slate concept gets
+        // its usual CTR; the event concept's CTR spikes during the event.
+        for surface in &slate {
+            let spec = exp
+                .world
+                .universe
+                .all()
+                .iter()
+                .find(|c| c.surface() == *surface)
+                .expect("slate concept");
+            let base_ctr = 0.06 * spec.interestingness.powf(0.8) + 0.002;
+            let ctr = if *surface == event_surface && event_active {
+                0.08 // the world event: everyone clicks
+            } else {
+                base_ctr
+            };
+            let views = VIEWS_PER_STORY * STORIES_PER_BATCH as u64;
+            let clicks = binomial(&mut r, views, ctr);
+            adjuster.record(surface, views, clicks);
+        }
+
+        let phase = if event_active { "EVENT" } else { "quiet" };
+        println!(
+            "{:>5} {:>8} {:>14.2} {:>14.2} {:>12.3}",
+            batch,
+            phase,
+            static_rank_sum / n,
+            online_rank_sum / n,
+            adjuster.adjustment(&event_surface)
+        );
+        results.push(serde_json::json!({
+            "batch": batch,
+            "event_active": event_active,
+            "static_rank": static_rank_sum / n,
+            "online_rank": online_rank_sum / n,
+            "adjustment": adjuster.adjustment(&event_surface),
+        }));
+    }
+
+    println!(
+        "\nExpected shape: the online rank rises toward the top within 1-2 \
+         batches of the event and decays after it ends; the static rank \
+         never moves."
+    );
+
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(
+        "results/online_adaptation.json",
+        serde_json::to_string_pretty(&serde_json::json!({
+            "experiment": "online_adaptation",
+            "event_concept": event_surface,
+            "batches": results,
+        }))
+        .expect("serialize"),
+    )
+    .ok();
+}

@@ -1,0 +1,86 @@
+//! Table II — relevance-keyword summations.
+//!
+//! The paper sums the tf·idf scores of each concept's top hundred mined
+//! relevance keywords and shows that specific concepts
+//! ("methicillin resistant staphylococcus aureus", 9544.3) tower over
+//! general/low-quality phrases ("my favorite", 2142.9): junk "get much
+//! lower chance of getting identified as relevant in any context since
+//! their relevant terms end up having small scores" (§IV-C).
+//!
+//! The diagnostic is computed exactly as the paper describes — literal
+//! tf·idf keyword scores from snippet mining — over every concept in the
+//! universe. (The production *ranking* path uses presence weights, which
+//! measure coverage rather than mass; the mass statistic is what Table II
+//! reports.)
+
+use ctxrank_features::{KeywordWeighting, MiningResource, RelevanceModelBuilder};
+use ctxrank_synth::{SynthWorld, WorldConfig};
+
+fn main() {
+    let world = SynthWorld::generate(WorldConfig::default());
+    let mut builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
+    builder.min_idf = 3.2;
+    builder.weighting = KeywordWeighting::RawTf;
+
+    let mut rows: Vec<(String, f64, bool)> = Vec::new();
+    for c in world.universe.all() {
+        let mined = builder.mine(&c.terms, MiningResource::Snippets);
+        rows.push((c.surface(), mined.summation(), c.is_junk()));
+    }
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    println!("=== Table II: concepts and their summation values ===");
+    println!("{:<42} {:>12} {:>9}", "Concept", "Summation", "class");
+    for (s, sum, junk) in rows.iter().take(3) {
+        println!("{:<42} {:>12.1} {:>9}", s, sum, if *junk { "junk" } else { "specific" });
+    }
+    println!("{:^65}", "...");
+    let junk_rows: Vec<&(String, f64, bool)> = rows.iter().filter(|r| r.2).collect();
+    for (s, sum, _) in junk_rows.iter().take(3) {
+        println!("{:<42} {:>12.1} {:>9}", s, sum, "junk");
+    }
+
+    let (mut spec_sum, mut spec_n, mut junk_sum, mut junk_n) = (0.0, 0usize, 0.0, 0usize);
+    for (_, sum, junk) in &rows {
+        if *junk {
+            junk_sum += sum;
+            junk_n += 1;
+        } else {
+            spec_sum += sum;
+            spec_n += 1;
+        }
+    }
+    let spec_mean = spec_sum / spec_n.max(1) as f64;
+    let junk_mean = junk_sum / junk_n.max(1) as f64;
+    println!(
+        "\nspecific concepts: n={spec_n}, mean summation {spec_mean:.1}\n\
+         junk concepts:     n={junk_n}, mean summation {junk_mean:.1}\n\
+         ratio specific/junk = {:.1}x (paper: ~9000 vs ~1800, ~5x)",
+        spec_mean / junk_mean.max(1e-9)
+    );
+    let median = |mut v: Vec<f64>| -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if v.is_empty() { 0.0 } else { v[v.len() / 2] }
+    };
+    let spec_med = median(rows.iter().filter(|r| !r.2).map(|r| r.1).collect());
+    let junk_med = median(rows.iter().filter(|r| r.2).map(|r| r.1).collect());
+    println!(
+        "median summation: specific {spec_med:.1}, junk {junk_med:.1}          (popular specifics reach {:.0}; junk is capped at {:.0})",
+        rows.first().map(|r| r.1).unwrap_or(0.0),
+        rows.iter().filter(|r| r.2).map(|r| r.1).fold(0.0, f64::max)
+    );
+    let half = rows.len() / 2;
+    let junk_in_top = rows[..half].iter().filter(|r| r.2).count();
+    println!("junk concepts in the top half of the ranking: {junk_in_top}/{junk_n}");
+
+    std::fs::create_dir_all("results").ok();
+    let json = serde_json::json!({
+        "experiment": "table2_summation",
+        "specific_mean": spec_mean,
+        "junk_mean": junk_mean,
+        "ratio": spec_mean / junk_mean.max(1e-9),
+        "junk_in_top_half": junk_in_top,
+        "top3": rows.iter().take(3).map(|(s, v, _)| serde_json::json!({"concept": s, "summation": v})).collect::<Vec<_>>(),
+    });
+    std::fs::write("results/table2_summation.json", serde_json::to_string_pretty(&json).expect("serialize")).ok();
+}

@@ -1,0 +1,57 @@
+//! Table III — weighted error rates with interestingness features.
+//!
+//! Paper rows: Random 50.01 %, Concept Vector Score 30.22 %, All
+//! Features 23.69 %, then leave-one-group-out ablations showing that the
+//! query-log and taxonomy groups matter most.
+
+use ctxrank_bench::rankers::{
+    evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet,
+};
+use ctxrank_bench::report::{print_table, write_json};
+use ctxrank_bench::{Experiment, ExperimentConfig};
+
+fn main() {
+    let exp = Experiment::build(ExperimentConfig::default());
+    let ds = &exp.dataset;
+    println!(
+        "dataset: {} stories kept, {} windows, {} concept instances, {} clicks",
+        exp.stats.stories_kept, exp.stats.windows, exp.stats.concept_instances,
+        exp.stats.total_clicks
+    );
+
+    let mut rows = vec![
+        ("Random".to_string(), evaluate_fixed(ds, random_scorer(1))),
+        (
+            "Concept Vector Score".to_string(),
+            evaluate_fixed(ds, |i| i.baseline_score),
+        ),
+        (
+            "All Features".to_string(),
+            evaluate_best_kernel(ds, FeatureSet::AllInterest, 5, 7, false),
+        ),
+    ];
+    for (label, group) in [
+        ("- Query Logs", "query_logs"),
+        ("- Taxonomy Based", "taxonomy"),
+        ("- Search Results", "search_results"),
+        ("- Other", "other"),
+        ("- Text Based", "text_based"),
+    ] {
+        rows.push((
+            label.to_string(),
+            evaluate_best_kernel(ds, FeatureSet::InterestWithout(group), 5, 7, false),
+        ));
+    }
+
+    print_table(
+        "Table III: weighted error rates with interestingness features",
+        &rows,
+    );
+    println!(
+        "\npaper: Random 50.01 / Concept Vector 30.22 / All 23.69;\n\
+         ablations: 24.50 (-QL), 24.47 (-Tax), 23.80 (-SR), 23.78 (-Other), 23.73 (-Text)"
+    );
+
+    std::fs::create_dir_all("results").ok();
+    write_json("results/table3_interestingness.json", "table3", &rows).expect("write report");
+}

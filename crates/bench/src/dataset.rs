@@ -1,0 +1,194 @@
+//! The evaluation dataset: windowed ranking groups with CTR labels.
+
+use ctxrank_eval::CtrBuckets;
+use ctxrank_features::MiningResource;
+use ctxrank_ltr::KFold;
+use ctxrank_synth::ConceptId;
+
+/// Index of a mining resource in the per-item relevance arrays.
+pub fn resource_index(r: MiningResource) -> usize {
+    match r {
+        MiningResource::Snippets => 0,
+        MiningResource::Prisma => 1,
+        MiningResource::Suggestions => 2,
+    }
+}
+
+/// One concept instance inside a window group.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub surface: String,
+    pub concept: ConceptId,
+    /// Observed CTR (clicks / story views) — the learning label.
+    pub ctr: f64,
+    /// The §II-B concept-vector score (production baseline).
+    pub baseline_score: f64,
+    /// The nine dense interestingness features.
+    pub interest: Vec<f64>,
+    /// Log-scaled relevance feature per resource
+    /// (indexed by [`resource_index`]).
+    pub relevance: [f64; 3],
+    /// Raw (un-compressed) relevance scores, for tie-breaking.
+    pub relevance_raw: [f64; 3],
+    /// Fractional position of the annotation in the story.
+    pub position_frac: f64,
+    /// Ground-truth relevance of the concept to the story (diagnostics
+    /// only; never fed to a learner).
+    pub gt_relevance: f64,
+}
+
+impl Item {
+    /// The relevance feature for one resource.
+    pub fn relevance_for(&self, r: MiningResource) -> f64 {
+        self.relevance[resource_index(r)]
+    }
+
+    /// The raw relevance score for one resource.
+    pub fn relevance_raw_for(&self, r: MiningResource) -> f64 {
+        self.relevance_raw[resource_index(r)]
+    }
+}
+
+/// One ranking group: the concepts sharing a 2500-character window.
+#[derive(Debug, Clone)]
+pub struct WindowGroup {
+    pub story: usize,
+    pub window: usize,
+    pub items: Vec<Item>,
+}
+
+impl WindowGroup {
+    /// Does the group contain at least one preference pair?
+    pub fn has_pairs(&self) -> bool {
+        self.items
+            .iter()
+            .any(|a| self.items.iter().any(|b| a.ctr > b.ctr))
+    }
+}
+
+/// The assembled dataset.
+#[derive(Debug)]
+pub struct Dataset {
+    pub groups: Vec<WindowGroup>,
+    /// Distinct story ids present (after filtering), sorted.
+    pub stories: Vec<usize>,
+    /// CTR bucket table over every item (Eq. 6 gains).
+    pub buckets: CtrBuckets,
+}
+
+impl Dataset {
+    /// Build from groups (computes the bucket table).
+    pub fn new(groups: Vec<WindowGroup>) -> Self {
+        let mut stories: Vec<usize> = groups.iter().map(|g| g.story).collect();
+        stories.sort_unstable();
+        stories.dedup();
+        let buckets = CtrBuckets::new(
+            groups
+                .iter()
+                .flat_map(|g| g.items.iter().map(|i| i.ctr))
+                .collect(),
+        );
+        Self {
+            groups,
+            stories,
+            buckets,
+        }
+    }
+
+    /// Total items across groups.
+    pub fn num_items(&self) -> usize {
+        self.groups.iter().map(|g| g.items.len()).sum()
+    }
+
+    /// Split group indices into `k` folds *by story* (all windows of a
+    /// story stay on the same side, as the paper partitions documents).
+    pub fn story_folds(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        let kf = KFold::new(self.stories.len(), k, seed);
+        (0..k)
+            .map(|f| {
+                let test_stories: std::collections::HashSet<usize> = kf
+                    .test_indices(f)
+                    .iter()
+                    .map(|&i| self.stories[i])
+                    .collect();
+                let mut train = Vec::new();
+                let mut test = Vec::new();
+                for (g, group) in self.groups.iter().enumerate() {
+                    if test_stories.contains(&group.story) {
+                        test.push(g);
+                    } else {
+                        train.push(g);
+                    }
+                }
+                (train, test)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(ctr: f64) -> Item {
+        Item {
+            surface: "x".into(),
+            concept: ConceptId(0),
+            ctr,
+            baseline_score: 0.0,
+            interest: vec![0.0; 9],
+            relevance: [0.0; 3],
+            relevance_raw: [0.0; 3],
+            position_frac: 0.0,
+            gt_relevance: 0.0,
+        }
+    }
+
+    fn group(story: usize, ctrs: &[f64]) -> WindowGroup {
+        WindowGroup {
+            story,
+            window: 0,
+            items: ctrs.iter().map(|&c| item(c)).collect(),
+        }
+    }
+
+    #[test]
+    fn buckets_span_items() {
+        let ds = Dataset::new(vec![group(0, &[0.1, 0.2]), group(1, &[0.0, 0.3])]);
+        assert_eq!(ds.num_items(), 4);
+        assert_eq!(ds.buckets.len(), 4);
+        assert_eq!(ds.stories, vec![0, 1]);
+    }
+
+    #[test]
+    fn has_pairs_detects_ties() {
+        assert!(group(0, &[0.1, 0.2]).has_pairs());
+        assert!(!group(0, &[0.1, 0.1]).has_pairs());
+    }
+
+    #[test]
+    fn story_folds_keep_stories_together() {
+        let groups: Vec<WindowGroup> = (0..10)
+            .flat_map(|s| vec![group(s, &[0.1, 0.2]), group(s, &[0.0, 0.3])])
+            .collect();
+        let ds = Dataset::new(groups);
+        for (train, test) in ds.story_folds(5, 7) {
+            let train_stories: std::collections::HashSet<usize> =
+                train.iter().map(|&g| ds.groups[g].story).collect();
+            let test_stories: std::collections::HashSet<usize> =
+                test.iter().map(|&g| ds.groups[g].story).collect();
+            assert!(train_stories.is_disjoint(&test_stories));
+            assert_eq!(train.len() + test.len(), ds.groups.len());
+        }
+    }
+
+    #[test]
+    fn resource_indices_distinct() {
+        use std::collections::HashSet;
+        let idx: HashSet<usize> = MiningResource::ALL
+            .iter()
+            .map(|&r| resource_index(r))
+            .collect();
+        assert_eq!(idx.len(), 3);
+    }
+}

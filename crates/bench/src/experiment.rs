@@ -1,0 +1,403 @@
+//! Experiment assembly: world → pipeline → clicks → features → dataset.
+
+use crate::dataset::{resource_index, Dataset, Item, WindowGroup};
+use ctxrank_features::{
+    FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder,
+};
+use ctxrank_querylog::{extract_units, UnitConfig, UnitDictionary};
+use ctxrank_shortcuts::{
+    DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig,
+};
+use ctxrank_synth::news::ground_truth_relevance;
+use ctxrank_synth::{
+    clicks::simulate_story, ClickConfig, ConceptId, SynthWorld, WorldConfig,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Experiment-level configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    pub world: WorldConfig,
+    pub units: UnitConfig,
+    pub clicks: ClickConfig,
+    /// Seed for click simulation and fold splitting.
+    pub seed: u64,
+    /// Keyword weighting for the relevance miner.
+    pub keyword_weighting: ctxrank_features::KeywordWeighting,
+    /// Minimum support for related-query suggestions.
+    pub min_suggestion_freq: u64,
+    /// Character-window size for position-bias control (§V-A.1).
+    pub window_size: usize,
+    /// Overlap between consecutive windows.
+    pub window_overlap: usize,
+    /// Keywords mined per concept (the paper's m = 100).
+    pub relevance_m: usize,
+    /// §II-B multi-term bonus in the baseline concept vector.
+    pub multiterm_bonus: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            world: WorldConfig::default(),
+            units: UnitConfig::default(),
+            clicks: ClickConfig::default(),
+            seed: 0x2009,
+            keyword_weighting: ctxrank_features::KeywordWeighting::RawTf,
+            min_suggestion_freq: 25,
+            window_size: ctxrank_text::window::PAPER_WINDOW_SIZE,
+            window_overlap: ctxrank_text::window::PAPER_OVERLAP,
+            relevance_m: ctxrank_features::relevance::PAPER_M,
+            multiterm_bonus: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for tests and examples.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            world: WorldConfig::small(seed),
+            units: UnitConfig::default(),
+            clicks: ClickConfig::default(),
+            seed,
+            keyword_weighting: ctxrank_features::KeywordWeighting::RawTf,
+            min_suggestion_freq: 25,
+            window_size: ctxrank_text::window::PAPER_WINDOW_SIZE,
+            window_overlap: ctxrank_text::window::PAPER_OVERLAP,
+            relevance_m: ctxrank_features::relevance::PAPER_M,
+            multiterm_bonus: true,
+        }
+    }
+}
+
+/// Headline corpus statistics (the paper reports 870 stories, 6420
+/// concepts, 16549 clicks, 947 windows).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DatasetStats {
+    pub stories_generated: usize,
+    pub stories_kept: usize,
+    pub windows: usize,
+    pub concept_instances: usize,
+    pub total_clicks: u64,
+}
+
+/// The fully assembled experiment.
+pub struct Experiment {
+    pub world: SynthWorld,
+    pub units: UnitDictionary,
+    pub dictionary: EntityDictionary,
+    /// Relevance models indexed by [`resource_index`].
+    pub relevance_models: [RelevanceModel; 3],
+    /// Raw (unscaled) Table I features per dataset surface.
+    pub interest_raw: HashMap<String, ctxrank_features::InterestFeatures>,
+    pub dataset: Dataset,
+    pub stats: DatasetStats,
+    pub config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Run the full offline pipeline.
+    pub fn build(config: ExperimentConfig) -> Self {
+        let world = SynthWorld::generate(config.world.clone());
+        let units = extract_units(&world.query_log, &config.units);
+        let dictionary = build_dictionary(&world);
+
+        // Surface -> candidate concept ids (ambiguous surfaces have > 1).
+        let mut by_surface: HashMap<String, Vec<ConceptId>> = HashMap::new();
+        for c in world.universe.all() {
+            by_surface.entry(c.surface()).or_default().push(c.id);
+        }
+
+        struct StoryData {
+            story: usize,
+            text: String,
+            /// (surface, concept, gt relevance, first byte offset,
+            /// position fraction, baseline score)
+            entities: Vec<(String, ConceptId, f64, usize, f64, f64)>,
+        }
+        // Annotate every story with the Shortcuts pipeline (scoped so the
+        // pipeline's borrows end before the stores are moved out).
+        let mut pipe_config = PipelineConfig::default();
+        pipe_config.vector.multiterm_bonus = config.multiterm_bonus;
+        let pipeline = Pipeline::new(
+            &dictionary,
+            &units,
+            |t| world.corpus.idf(t),
+            pipe_config,
+        );
+        let mut annotated_stories: Vec<StoryData> = Vec::new();
+        for story in &world.news {
+            let doc = pipeline.process(&story.text);
+            let mut seen: HashSet<&str> = HashSet::new();
+            let mut entities = Vec::new();
+            for a in doc.rankable() {
+                if !seen.insert(a.surface.as_str()) {
+                    continue; // first occurrence only, as the click report aggregates
+                }
+                let Some(cands) = by_surface.get(&a.surface) else {
+                    continue; // outside the supported concept set
+                };
+                // Ambiguity: prefer the sense matching the story topic.
+                let cid = *cands
+                    .iter()
+                    .find(|&&c| world.universe.get(c).topic == Some(story.topic))
+                    .or_else(|| {
+                        cands.iter().find(|&&c| {
+                            story
+                                .secondary_topic
+                                .is_some_and(|(st, _)| world.universe.get(c).topic == Some(st))
+                        })
+                    })
+                    .unwrap_or(&cands[0]);
+                let gt = ground_truth_relevance(
+                    world.universe.get(cid),
+                    story.topic,
+                    story.center,
+                    story.secondary_topic,
+                );
+                entities.push((
+                    a.surface.clone(),
+                    cid,
+                    gt,
+                    a.span.start,
+                    a.position_frac,
+                    a.score,
+                ));
+            }
+            annotated_stories.push(StoryData {
+                story: story.id,
+                text: doc.text,
+                entities,
+            });
+        }
+        drop(pipeline);
+
+        // Click simulation + the §V-A.1 cleaning rules.
+        let mut kept: Vec<(StoryData, ctxrank_synth::StoryClicks)> = Vec::new();
+        for sd in annotated_stories {
+            if sd.entities.len() < 2 {
+                continue;
+            }
+            let annotated: Vec<(ConceptId, f64, f64)> = sd
+                .entities
+                .iter()
+                .map(|&(_, cid, gt, _, pos, _)| (cid, gt, pos))
+                .collect();
+            let clicks = simulate_story(
+                config.seed,
+                sd.story,
+                &world.universe,
+                &annotated,
+                &config.clicks,
+            );
+            if clicks.passes_paper_filter() {
+                kept.push((sd, clicks));
+            }
+        }
+
+        // Interestingness features, one per distinct surface.
+        let surfaces: HashSet<String> = kept
+            .iter()
+            .flat_map(|(sd, _)| sd.entities.iter().map(|e| e.0.clone()))
+            .collect();
+        let extractor = FeatureExtractor::new(
+            &world.query_log,
+            &units,
+            &world.corpus,
+            |terms: &[String]| {
+                by_surface
+                    .get(&terms.join(" "))
+                    .and_then(|ids| ids.first())
+                    .map_or(0, |&id| world.encyclopedia.word_count(id))
+            },
+            |terms: &[String]| {
+                by_surface
+                    .get(&terms.join(" "))
+                    .and_then(|ids| ids.first())
+                    .and_then(|&id| world.universe.get(id).entity_type)
+                    .map_or(0, |(hlt, _)| hlt.code())
+            },
+        );
+        let mut interest_cache: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut interest_raw: HashMap<String, ctxrank_features::InterestFeatures> = HashMap::new();
+        for s in &surfaces {
+            let terms: Vec<String> = s.split(' ').map(str::to_string).collect();
+            let feats = extractor.interestingness(&terms);
+            interest_cache.insert(s.clone(), feats.to_dense());
+            interest_raw.insert(s.clone(), feats);
+        }
+        drop(extractor);
+
+        // Relevance models for the three resources over the dataset's
+        // concepts.
+        let mut builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
+        builder.m = config.relevance_m;
+        builder.min_idf = 3.2;
+        builder.min_suggestion_freq = config.min_suggestion_freq;
+        builder.weighting = config.keyword_weighting;
+        let concept_term_lists: Vec<Vec<String>> = surfaces
+            .iter()
+            .map(|s| s.split(' ').map(str::to_string).collect())
+            .collect();
+        let mut models: Vec<RelevanceModel> = vec![
+            builder.build(concept_term_lists.clone(), MiningResource::Snippets),
+            builder.build(concept_term_lists.clone(), MiningResource::Prisma),
+            builder.build(concept_term_lists, MiningResource::Suggestions),
+        ];
+        // Order the array by resource_index.
+        models.sort_by_key(|m| resource_index(m.resource));
+        let relevance_models: [RelevanceModel; 3] = models
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("three models built"));
+        drop(builder);
+
+        // Windowing and item assembly.
+        let mut groups: Vec<WindowGroup> = Vec::new();
+        let mut stats = DatasetStats {
+            stories_generated: world.news.len(),
+            stories_kept: kept.len(),
+            ..DatasetStats::default()
+        };
+        for (sd, clicks) in &kept {
+            stats.total_clicks += clicks.total_clicks();
+            let ctr_of: HashMap<ConceptId, f64> = clicks
+                .records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (r.concept, clicks.ctr(i)))
+                .collect();
+            let windows =
+                ctxrank_text::window::windows(&sd.text, config.window_size, config.window_overlap);
+            for (w_idx, w) in windows.iter().enumerate() {
+                let members: Vec<&(String, ConceptId, f64, usize, f64, f64)> = sd
+                    .entities
+                    .iter()
+                    .filter(|e| w.contains(e.3))
+                    .collect();
+                if members.len() < 2 {
+                    continue;
+                }
+                let context = RelevanceModel::context_of(w.of(&sd.text));
+                let items: Vec<Item> = members
+                    .iter()
+                    .map(|&&(ref surface, cid, gt, _, pos, baseline)| {
+                        let mut relevance = [0.0; 3];
+                        let mut relevance_raw = [0.0; 3];
+                        for (i, model) in relevance_models.iter().enumerate() {
+                            relevance_raw[i] = model.score(surface, &context);
+                            relevance[i] = relevance_raw[i].ln_1p();
+                        }
+                        Item {
+                            surface: surface.clone(),
+                            concept: cid,
+                            ctr: ctr_of.get(&cid).copied().unwrap_or(0.0),
+                            baseline_score: baseline,
+                            interest: interest_cache[surface].clone(),
+                            relevance,
+                            relevance_raw,
+                            position_frac: pos,
+                            gt_relevance: gt,
+                        }
+                    })
+                    .collect();
+                stats.concept_instances += items.len();
+                groups.push(WindowGroup {
+                    story: sd.story,
+                    window: w_idx,
+                    items,
+                });
+            }
+        }
+        stats.windows = groups.len();
+
+        Self {
+            world,
+            units,
+            dictionary,
+            relevance_models,
+            interest_raw,
+            dataset: Dataset::new(groups),
+            stats,
+            config,
+        }
+    }
+}
+
+/// Build the editorial dictionary from the universe's named entities,
+/// with topic words as disambiguation context.
+pub fn build_dictionary(world: &SynthWorld) -> EntityDictionary {
+    let mut dict = EntityDictionary::new();
+    for c in world.universe.all() {
+        if let Some((hlt, subtype)) = c.entity_type {
+            let context_terms = c
+                .topic
+                .map(|t| world.lexicon.topic(t)[..12.min(world.lexicon.topic(t).len())].to_vec())
+                .unwrap_or_default();
+            dict.insert(DictionaryEntry {
+                terms: c.terms.clone(),
+                type_code: hlt.code(),
+                subtype: subtype.to_string(),
+                geo: c.geo,
+                context_terms,
+            });
+        }
+    }
+    dict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_experiment_builds() {
+        let exp = Experiment::build(ExperimentConfig::small(3));
+        assert!(exp.stats.stories_kept > 20, "{:?}", exp.stats);
+        assert!(exp.stats.windows > 20, "{:?}", exp.stats);
+        assert!(exp.stats.concept_instances > 50, "{:?}", exp.stats);
+        assert!(exp.stats.total_clicks > 100, "{:?}", exp.stats);
+        // Every group has >= 2 items and CTR labels in [0, 1].
+        for g in &exp.dataset.groups {
+            assert!(g.items.len() >= 2);
+            for i in &g.items {
+                assert!((0.0..=1.0).contains(&i.ctr));
+                assert_eq!(i.interest.len(), 9);
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_feature_tracks_ground_truth() {
+        let exp = Experiment::build(ExperimentConfig::small(4));
+        let snip = resource_index(MiningResource::Snippets);
+        let (mut rel_sum, mut rel_n) = (0.0, 0);
+        let (mut irr_sum, mut irr_n) = (0.0, 0);
+        for g in &exp.dataset.groups {
+            for i in &g.items {
+                if i.gt_relevance > 0.9 {
+                    rel_sum += i.relevance[snip];
+                    rel_n += 1;
+                } else if i.gt_relevance < 0.1 {
+                    irr_sum += i.relevance[snip];
+                    irr_n += 1;
+                }
+            }
+        }
+        assert!(rel_n > 0 && irr_n > 0);
+        let rel_mean = rel_sum / rel_n as f64;
+        let irr_mean = irr_sum / irr_n as f64;
+        assert!(
+            rel_mean > irr_mean,
+            "snippet relevance should separate relevant ({rel_mean}) from irrelevant ({irr_mean})"
+        );
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let a = Experiment::build(ExperimentConfig::small(5));
+        let b = Experiment::build(ExperimentConfig::small(5));
+        assert_eq!(a.stats.windows, b.stats.windows);
+        assert_eq!(a.stats.total_clicks, b.stats.total_clicks);
+    }
+}

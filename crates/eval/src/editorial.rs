@@ -1,0 +1,170 @@
+//! Tallies for the editorial study (Table VI).
+//!
+//! The study rates the top-k entities picked by each ranker on two
+//! 3-level scales (interestingness, relevance) plus a rare "Can't Tell".
+//! This module aggregates raw ratings into the percentage rows of
+//! Table VI and computes the headline derived statistics the paper
+//! quotes: the combined non-interesting/non-relevant share and the
+//! Very-to-Somewhat relevance ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts for one 3-level scale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tally {
+    pub very: u64,
+    pub somewhat: u64,
+    pub not: u64,
+    pub cant_tell: u64,
+}
+
+impl Tally {
+    /// Create an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total judgments.
+    pub fn total(&self) -> u64 {
+        self.very + self.somewhat + self.not + self.cant_tell
+    }
+
+    /// Fraction rated "Very ...".
+    pub fn frac_very(&self) -> f64 {
+        self.frac(self.very)
+    }
+
+    /// Fraction rated "Somewhat ...".
+    pub fn frac_somewhat(&self) -> f64 {
+        self.frac(self.somewhat)
+    }
+
+    /// Fraction rated "Not ...".
+    pub fn frac_not(&self) -> f64 {
+        self.frac(self.not)
+    }
+
+    /// Fraction rated "Can't Tell".
+    pub fn frac_cant_tell(&self) -> f64 {
+        self.frac(self.cant_tell)
+    }
+
+    fn frac(&self, x: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            x as f64 / t as f64
+        }
+    }
+
+    /// Very : Somewhat ratio (the paper quotes 1.82 → 2.52 for News
+    /// relevance). Returns infinity when `somewhat` is 0 and `very` > 0.
+    pub fn very_to_somewhat_ratio(&self) -> f64 {
+        if self.somewhat == 0 {
+            if self.very == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.very as f64 / self.somewhat as f64
+        }
+    }
+
+    /// Merge another tally.
+    pub fn merge(&mut self, other: Tally) {
+        self.very += other.very;
+        self.somewhat += other.somewhat;
+        self.not += other.not;
+        self.cant_tell += other.cant_tell;
+    }
+}
+
+/// One system's Table VI row-set on one content type: both scales.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyCell {
+    pub interestingness: Tally,
+    pub relevance: Tally,
+}
+
+impl StudyCell {
+    /// The paper's headline: average of the Not-Interesting and
+    /// Not-Relevant fractions ("the overall average percentage of
+    /// non-interesting and non-relevant terms").
+    pub fn combined_bad_fraction(&self) -> f64 {
+        (self.interestingness.frac_not() + self.relevance.frac_not()) / 2.0
+    }
+
+    /// Merge another cell.
+    pub fn merge(&mut self, other: StudyCell) {
+        self.interestingness.merge(other.interestingness);
+        self.relevance.merge(other.relevance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = Tally {
+            very: 30,
+            somewhat: 50,
+            not: 19,
+            cant_tell: 1,
+        };
+        let sum = t.frac_very() + t.frac_somewhat() + t.frac_not() + t.frac_cant_tell();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(t.total(), 100);
+    }
+
+    #[test]
+    fn empty_tally_all_zero() {
+        let t = Tally::new();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.frac_very(), 0.0);
+        assert_eq!(t.very_to_somewhat_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratio_matches_paper_arithmetic() {
+        // Paper, concept-vector News relevance: 53.0 / 29.2 = 1.82.
+        let t = Tally {
+            very: 530,
+            somewhat: 292,
+            not: 177,
+            cant_tell: 1,
+        };
+        assert!((t.very_to_somewhat_ratio() - 1.815).abs() < 0.01);
+    }
+
+    #[test]
+    fn ratio_edge_cases() {
+        let t = Tally { very: 5, somewhat: 0, not: 0, cant_tell: 0 };
+        assert!(t.very_to_somewhat_ratio().is_infinite());
+    }
+
+    #[test]
+    fn combined_bad_fraction_averages_scales() {
+        let cell = StudyCell {
+            interestingness: Tally { very: 0, somewhat: 0, not: 30, cant_tell: 0 },
+            relevance: Tally { very: 80, somewhat: 0, not: 20, cant_tell: 0 },
+        };
+        // 100% not-interesting... wait: interestingness is 30/30 = 1.0,
+        // relevance not = 20/100 = 0.2 → mean 0.6.
+        assert!((cell.combined_bad_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Tally { very: 1, somewhat: 2, not: 3, cant_tell: 0 };
+        a.merge(Tally { very: 10, somewhat: 20, not: 30, cant_tell: 1 });
+        assert_eq!(a.very, 11);
+        assert_eq!(a.total(), 67);
+        let mut cell = StudyCell::default();
+        cell.merge(StudyCell { interestingness: a, relevance: a });
+        assert_eq!(cell.interestingness.very, 11);
+    }
+}

@@ -1,0 +1,210 @@
+//! Pairwise error rates (Eq. 4 and Eq. 5).
+//!
+//! Given a predicted ranking and the correct ordering, consider all
+//! preference pairs `(i, j)` with `CTRᵢ > CTRⱼ`:
+//!
+//! * **error rate** (Eq. 4) = mispredicted pairs / all pairs;
+//! * **weighted error rate** (Eq. 5) = Σ CTR-difference over mispredicted
+//!   pairs / Σ CTR-difference over all pairs — "we propose to punish
+//!   mistakes according to their CTRs differences".
+//!
+//! Ties in the predicted scores are counted as half-mistakes (the
+//! expected cost of the paper's "in the case of ties, we assume a random
+//! ordering"), which keeps the metric deterministic.
+//!
+//! The worked example from §V-A.2 is encoded in the tests: for true CTRs
+//! `[(A,.15),(B,.05),(C,.02),(D,.01)]`, prediction `R1=[A,B,D,C]` has
+//! weighted error 2.22 % and `R2=[B,A,C,D]` 22.22 %.
+
+/// Weighted pair counts for one or more rankings.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PairStats {
+    /// Weight (or count) of mispredicted pairs.
+    pub mistaken: f64,
+    /// Weight (or count) of all preference pairs.
+    pub total: f64,
+}
+
+impl PairStats {
+    /// The error rate; 0 when no pairs exist.
+    pub fn rate(&self) -> f64 {
+        if self.total <= 0.0 {
+            0.0
+        } else {
+            self.mistaken / self.total
+        }
+    }
+
+    /// Merge another set of counts (for corpus-level aggregation).
+    pub fn merge(&mut self, other: PairStats) {
+        self.mistaken += other.mistaken;
+        self.total += other.total;
+    }
+}
+
+fn stats_with_weight(
+    scores: &[f64],
+    ctrs: &[f64],
+    weight: impl Fn(f64, f64) -> f64,
+) -> PairStats {
+    assert_eq!(scores.len(), ctrs.len(), "scores/ctrs length mismatch");
+    let mut stats = PairStats::default();
+    let n = scores.len();
+    for i in 0..n {
+        for j in 0..n {
+            if ctrs[i] > ctrs[j] {
+                let w = weight(ctrs[i], ctrs[j]);
+                stats.total += w;
+                if scores[i] < scores[j] {
+                    stats.mistaken += w;
+                } else if scores[i] == scores[j] {
+                    // Random tie order: expected half cost.
+                    stats.mistaken += 0.5 * w;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Unweighted pair statistics (Eq. 4): every pair costs 1.
+pub fn pair_stats(scores: &[f64], ctrs: &[f64]) -> PairStats {
+    stats_with_weight(scores, ctrs, |_, _| 1.0)
+}
+
+/// CTR-difference-weighted pair statistics (Eq. 5).
+pub fn weighted_pair_stats(scores: &[f64], ctrs: &[f64]) -> PairStats {
+    stats_with_weight(scores, ctrs, |hi, lo| hi - lo)
+}
+
+/// Accumulates both metrics across documents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ErrorRateAccumulator {
+    pub unweighted: PairStats,
+    pub weighted: PairStats,
+}
+
+impl ErrorRateAccumulator {
+    /// Create an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document's ranking (predicted scores vs. observed CTRs).
+    pub fn add(&mut self, scores: &[f64], ctrs: &[f64]) {
+        self.unweighted.merge(pair_stats(scores, ctrs));
+        self.weighted.merge(weighted_pair_stats(scores, ctrs));
+    }
+
+    /// The aggregated Eq. 4 error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.unweighted.rate()
+    }
+
+    /// The aggregated Eq. 5 weighted error rate.
+    pub fn weighted_error_rate(&self) -> f64 {
+        self.weighted.rate()
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &ErrorRateAccumulator) {
+        self.unweighted.merge(other.unweighted);
+        self.weighted.merge(other.weighted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §V-A.2 example: CTRs for A, B, C, D.
+    const CTRS: [f64; 4] = [0.15, 0.05, 0.02, 0.01];
+
+    /// Scores realizing the prediction R1 = [A, B, D, C].
+    const R1: [f64; 4] = [4.0, 3.0, 1.0, 2.0];
+    /// Scores realizing the prediction R2 = [B, A, C, D].
+    const R2: [f64; 4] = [3.0, 4.0, 2.0, 1.0];
+
+    #[test]
+    fn paper_example_unweighted() {
+        // Both R1 and R2 make exactly one pairwise mistake out of six.
+        let e1 = pair_stats(&R1, &CTRS);
+        let e2 = pair_stats(&R2, &CTRS);
+        assert_eq!(e1.total, 6.0);
+        assert!((e1.rate() - 1.0 / 6.0).abs() < 1e-9, "{}", e1.rate());
+        assert!((e2.rate() - 1.0 / 6.0).abs() < 1e-9, "{}", e2.rate());
+    }
+
+    #[test]
+    fn paper_example_weighted() {
+        // The paper reports 2.22% for R1 and 22.22% for R2.
+        let w1 = weighted_pair_stats(&R1, &CTRS);
+        let w2 = weighted_pair_stats(&R2, &CTRS);
+        assert!((w1.rate() - 0.0222).abs() < 1e-3, "R1 weighted {}", w1.rate());
+        assert!((w2.rate() - 0.2222).abs() < 1e-3, "R2 weighted {}", w2.rate());
+    }
+
+    #[test]
+    fn perfect_ranking_zero_error() {
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(pair_stats(&scores, &CTRS).rate(), 0.0);
+        assert_eq!(weighted_pair_stats(&scores, &CTRS).rate(), 0.0);
+    }
+
+    #[test]
+    fn reversed_ranking_full_error() {
+        let scores = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pair_stats(&scores, &CTRS).rate(), 1.0);
+        assert_eq!(weighted_pair_stats(&scores, &CTRS).rate(), 1.0);
+    }
+
+    #[test]
+    fn all_tied_scores_half_error() {
+        let scores = [1.0, 1.0, 1.0, 1.0];
+        assert!((pair_stats(&scores, &CTRS).rate() - 0.5).abs() < 1e-12);
+        assert!((weighted_pair_stats(&scores, &CTRS).rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tied_ctrs_form_no_pairs() {
+        let stats = pair_stats(&[1.0, 2.0], &[0.05, 0.05]);
+        assert_eq!(stats.total, 0.0);
+        assert_eq!(stats.rate(), 0.0);
+    }
+
+    #[test]
+    fn accumulator_aggregates_micro() {
+        let mut acc = ErrorRateAccumulator::new();
+        acc.add(&[2.0, 1.0], &[0.1, 0.05]); // correct: 0/1
+        acc.add(&[1.0, 2.0], &[0.1, 0.05]); // wrong: 1/1
+        assert!((acc.error_rate() - 0.5).abs() < 1e-12);
+        assert!((acc.weighted_error_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_punishes_big_mistakes_more() {
+        // Mistake on the (0.15, 0.01) pair vs on the (0.02, 0.01) pair.
+        let big = weighted_pair_stats(&[1.0, 3.0, 2.0, 4.0], &CTRS);
+        let small = weighted_pair_stats(&[4.0, 3.0, 1.0, 2.0], &CTRS);
+        assert!(big.rate() > small.rate());
+    }
+
+    #[test]
+    fn rates_bounded() {
+        let scores = [0.3, 0.9, 0.1, 0.5];
+        let r = weighted_pair_stats(&scores, &CTRS).rate();
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = pair_stats(&[1.0], &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn empty_ranking_ok() {
+        let stats = pair_stats(&[], &[]);
+        assert_eq!(stats.rate(), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation metrics and study harnesses (§V).
+//!
+//! * [`error_rate`] — the pairwise error rate (Eq. 4) and the paper's
+//!   **weighted error rate** (Eq. 5), where each mispredicted preference
+//!   pair is punished proportionally to the CTR difference of its two
+//!   concepts;
+//! * [`ndcg`] — the normalized discounted cumulative gain (Eq. 6) with
+//!   the paper's CTR-bucket gain function (`score(j) =
+//!   bucketNo(CTR(j))/100`, buckets 0‥1000 over all CTRs observed in the
+//!   system);
+//! * [`editorial`] — tallies for the Table VI editorial study;
+//! * [`production`] — before/after accounting for the §V-C production
+//!   A/B comparison (views, clicks, CTR deltas);
+//! * [`significance`] — a paired permutation test backing the paper's
+//!   "significantly lower" claims with an actual p-value.
+
+pub mod editorial;
+pub mod error_rate;
+pub mod ndcg;
+pub mod production;
+pub mod significance;
+
+pub use editorial::Tally;
+pub use error_rate::{pair_stats, weighted_pair_stats, ErrorRateAccumulator, PairStats};
+pub use ndcg::{ndcg_at_k, CtrBuckets, NdcgAccumulator};
+pub use production::PeriodStats;
+pub use significance::{paired_permutation_wer, PairedOutcome};

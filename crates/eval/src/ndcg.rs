@@ -1,0 +1,240 @@
+//! NDCG with the paper's CTR-bucket gain function (Eq. 6).
+//!
+//! ```text
+//! NDCG_doc = N · Σ_{j=1..k} (2^score(j) − 1) / log(j + 1)
+//! ```
+//!
+//! where `score(j) = bucketNo(CTR(j)) / 100`, `bucketNo` mapping a CTR to
+//! a bucket `0‥1000` "considering all the CTR values observed in the
+//! system in increasing order" — i.e. a scaled percentile rank — and `N`
+//! normalizes a perfect ordering to 1.0.
+
+/// The paper's bucket resolution.
+pub const NUM_BUCKETS: u32 = 1000;
+
+/// The bucket table: a frozen, sorted list of all observed CTRs.
+#[derive(Debug, Clone)]
+pub struct CtrBuckets {
+    sorted: Vec<f64>,
+}
+
+impl CtrBuckets {
+    /// Build from every CTR observed in the system.
+    pub fn new(mut ctrs: Vec<f64>) -> Self {
+        ctrs.retain(|c| c.is_finite());
+        ctrs.sort_by(|a, b| a.partial_cmp(b).expect("finite ctrs"));
+        Self { sorted: ctrs }
+    }
+
+    /// Bucket number in `0..=1000`: the scaled rank of `ctr` among all
+    /// observed values.
+    pub fn bucket(&self, ctr: f64) -> u32 {
+        if self.sorted.is_empty() {
+            return 0;
+        }
+        // Rank = number of observed values strictly below `ctr`.
+        let rank = self.sorted.partition_point(|&x| x < ctr);
+        ((rank as f64 / self.sorted.len() as f64) * NUM_BUCKETS as f64).round() as u32
+    }
+
+    /// The paper's judgment score in `0.00..=10.00`:
+    /// `bucketNo(ctr) / 100`.
+    pub fn score(&self, ctr: f64) -> f64 {
+        self.bucket(ctr) as f64 / 100.0
+    }
+
+    /// Gain `2^score − 1`.
+    pub fn gain(&self, ctr: f64) -> f64 {
+        (2f64).powf(self.score(ctr)) - 1.0
+    }
+
+    /// Number of observations backing the table.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no CTRs were observed.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// NDCG@k for one document: items are ranked by `pred_scores`
+/// (descending), gains come from `gains` (parallel to the items).
+/// Returns 1.0 for an ideal ordering; 0 when all gains are zero.
+pub fn ndcg_at_k(pred_scores: &[f64], gains: &[f64], k: usize) -> f64 {
+    assert_eq!(pred_scores.len(), gains.len(), "length mismatch");
+    let n = pred_scores.len();
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    // Rank by predicted score, ties broken by original position (stable
+    // and deterministic).
+    order.sort_by(|&a, &b| {
+        pred_scores[b]
+            .partial_cmp(&pred_scores[a])
+            .expect("finite scores")
+            .then(a.cmp(&b))
+    });
+    let dcg: f64 = order
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, &idx)| gains[idx] / ((pos + 2) as f64).log2())
+        .sum();
+
+    let mut ideal: Vec<f64> = gains.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("finite gains"));
+    let idcg: f64 = ideal
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(pos, g)| g / ((pos + 2) as f64).log2())
+        .sum();
+
+    if idcg <= 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Averages NDCG@k over documents for several cut-offs at once.
+#[derive(Debug, Clone)]
+pub struct NdcgAccumulator {
+    ks: Vec<usize>,
+    sums: Vec<f64>,
+    count: usize,
+}
+
+impl NdcgAccumulator {
+    /// Track the given cut-offs (the paper reports k = 1, 2, 3).
+    pub fn new(ks: &[usize]) -> Self {
+        Self {
+            ks: ks.to_vec(),
+            sums: vec![0.0; ks.len()],
+            count: 0,
+        }
+    }
+
+    /// Add one document.
+    pub fn add(&mut self, pred_scores: &[f64], gains: &[f64]) {
+        for (i, &k) in self.ks.iter().enumerate() {
+            self.sums[i] += ndcg_at_k(pred_scores, gains, k);
+        }
+        self.count += 1;
+    }
+
+    /// Mean NDCG per cut-off, in the order given at construction.
+    pub fn means(&self) -> Vec<f64> {
+        let n = self.count.max(1) as f64;
+        self.sums.iter().map(|s| s / n).collect()
+    }
+
+    /// Number of documents accumulated.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Merge another accumulator tracking the same cut-offs.
+    ///
+    /// # Panics
+    /// Panics when the cut-off lists differ.
+    pub fn merge(&mut self, other: &NdcgAccumulator) {
+        assert_eq!(self.ks, other.ks, "cut-off mismatch");
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §V-A.2 example with score(j) = CTR(j)·10 (the paper's
+    /// simplification): R1=[A,B,D,C] gets ndcg@1 = 1.0, R2=[B,A,C,D]
+    /// gets 0.23.
+    #[test]
+    fn paper_ndcg_example() {
+        let ctrs = [0.15, 0.05, 0.02, 0.01];
+        let gains: Vec<f64> = ctrs.iter().map(|c| 2f64.powf(c * 10.0) - 1.0).collect();
+        let r1 = [4.0, 3.0, 1.0, 2.0];
+        let r2 = [3.0, 4.0, 2.0, 1.0];
+        assert!((ndcg_at_k(&r1, &gains, 1) - 1.0).abs() < 1e-9);
+        let n2 = ndcg_at_k(&r2, &gains, 1);
+        assert!((n2 - 0.23).abs() < 0.005, "ndcg@1(R2) = {n2}");
+        // ndcg@2: R1 = 1.0, R2 = 0.75; ndcg@3: R1 = 0.98, R2 = 0.76.
+        assert!((ndcg_at_k(&r1, &gains, 2) - 1.0).abs() < 1e-9);
+        assert!((ndcg_at_k(&r2, &gains, 2) - 0.75).abs() < 0.01);
+        assert!((ndcg_at_k(&r1, &gains, 3) - 0.98).abs() < 0.01);
+        assert!((ndcg_at_k(&r2, &gains, 3) - 0.76).abs() < 0.01);
+    }
+
+    #[test]
+    fn perfect_ordering_is_one() {
+        let gains = [7.0, 3.0, 1.0];
+        assert!((ndcg_at_k(&[3.0, 2.0, 1.0], &gains, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let gains = [0.5, 2.0, 1.0, 4.0];
+        for k in 1..=4 {
+            let v = ndcg_at_k(&[1.0, 2.0, 3.0, 4.0], &gains, k);
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_gains_zero_ndcg() {
+        assert_eq!(ndcg_at_k(&[1.0, 2.0], &[0.0, 0.0], 2), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(ndcg_at_k(&[], &[], 1), 0.0);
+        assert_eq!(ndcg_at_k(&[1.0], &[1.0], 0), 0.0);
+    }
+
+    #[test]
+    fn buckets_are_percentile_ranks() {
+        let b = CtrBuckets::new(vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]);
+        assert_eq!(b.bucket(0.005), 0);
+        assert_eq!(b.bucket(0.055), 500);
+        assert_eq!(b.bucket(1.0), 1000);
+        // Score is bucket/100, in 0..=10.
+        assert!((b.score(1.0) - 10.0).abs() < 1e-12);
+        assert!(b.gain(1.0) > b.gain(0.05));
+    }
+
+    #[test]
+    fn empty_buckets() {
+        let b = CtrBuckets::new(vec![]);
+        assert!(b.is_empty());
+        assert_eq!(b.bucket(0.5), 0);
+        assert_eq!(b.gain(0.5), 0.0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = NdcgAccumulator::new(&[1, 2]);
+        acc.add(&[2.0, 1.0], &[3.0, 1.0]); // perfect → 1.0, 1.0
+        acc.add(&[1.0, 2.0], &[3.0, 1.0]); // reversed @1: 1/3
+        let m = acc.means();
+        assert_eq!(acc.count(), 2);
+        assert!((m[0] - (1.0 + 1.0 / 3.0) / 2.0).abs() < 1e-9);
+        assert!(m[1] > 0.8); // @2 recovers most of the gain
+    }
+
+    #[test]
+    fn prediction_ties_broken_by_position() {
+        let gains = [1.0, 5.0];
+        // Tied predictions: first item ranked first → suboptimal but
+        // deterministic.
+        let v = ndcg_at_k(&[1.0, 1.0], &gains, 1);
+        assert!(v < 1.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Paired significance testing for ranking comparisons.
+//!
+//! The paper reports that the learned model's weighted error rate "is
+//! significantly lower than our baseline result" without a test
+//! statistic. This module supplies one: a paired permutation test over
+//! per-document weighted pair statistics. Under the null hypothesis the
+//! two rankers are exchangeable on every document, so randomly swapping
+//! their per-document outcomes yields the distribution of the WER
+//! difference; the p-value is the fraction of permutations at least as
+//! extreme as the observed difference.
+//!
+//! The module is dependency-free: permutation draws come from a local
+//! SplitMix64 generator so `ctxrank-eval` keeps its tiny footprint.
+
+use crate::error_rate::PairStats;
+
+/// Result of a paired permutation test on weighted error rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedOutcome {
+    /// Aggregated weighted error rate of system A.
+    pub wer_a: f64,
+    /// Aggregated weighted error rate of system B.
+    pub wer_b: f64,
+    /// Observed difference `wer_a − wer_b`.
+    pub difference: f64,
+    /// Two-sided permutation p-value.
+    pub p_value: f64,
+}
+
+/// SplitMix64 — tiny, deterministic, good enough for permutation signs.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn flip(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+fn aggregate(stats: impl Iterator<Item = PairStats>) -> f64 {
+    let mut total = PairStats::default();
+    for s in stats {
+        total.merge(s);
+    }
+    total.rate()
+}
+
+/// Paired permutation test over per-document `(system A, system B)`
+/// weighted pair statistics.
+///
+/// `iterations` permutations are drawn with the given `seed`; the
+/// returned p-value uses the add-one smoothing `(b + 1) / (n + 1)` so it
+/// is never exactly zero.
+pub fn paired_permutation_wer(
+    per_doc: &[(PairStats, PairStats)],
+    iterations: usize,
+    seed: u64,
+) -> PairedOutcome {
+    let wer_a = aggregate(per_doc.iter().map(|p| p.0));
+    let wer_b = aggregate(per_doc.iter().map(|p| p.1));
+    let observed = wer_a - wer_b;
+
+    let mut rng = SplitMix64(seed ^ 0x51611);
+    let mut extreme = 0usize;
+    for _ in 0..iterations {
+        let mut a = PairStats::default();
+        let mut b = PairStats::default();
+        for &(sa, sb) in per_doc {
+            if rng.flip() {
+                a.merge(sb);
+                b.merge(sa);
+            } else {
+                a.merge(sa);
+                b.merge(sb);
+            }
+        }
+        if (a.rate() - b.rate()).abs() >= observed.abs() - 1e-15 {
+            extreme += 1;
+        }
+    }
+    PairedOutcome {
+        wer_a,
+        wer_b,
+        difference: observed,
+        p_value: (extreme + 1) as f64 / (iterations + 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_rate::weighted_pair_stats;
+
+    fn doc_stats(scores_a: &[f64], scores_b: &[f64], ctrs: &[f64]) -> (PairStats, PairStats) {
+        (
+            weighted_pair_stats(scores_a, ctrs),
+            weighted_pair_stats(scores_b, ctrs),
+        )
+    }
+
+    /// System A perfect, system B reversed, many documents: the
+    /// difference must be overwhelmingly significant.
+    #[test]
+    fn clear_difference_is_significant() {
+        let ctrs = [0.10, 0.05, 0.02];
+        let per_doc: Vec<_> = (0..60)
+            .map(|_| doc_stats(&[3.0, 2.0, 1.0], &[1.0, 2.0, 3.0], &ctrs))
+            .collect();
+        let out = paired_permutation_wer(&per_doc, 2000, 7);
+        assert_eq!(out.wer_a, 0.0);
+        assert_eq!(out.wer_b, 1.0);
+        assert!(out.p_value < 0.005, "p = {}", out.p_value);
+    }
+
+    /// Identical systems: the p-value must be large.
+    #[test]
+    fn identical_systems_not_significant() {
+        let ctrs = [0.10, 0.05, 0.02];
+        let per_doc: Vec<_> = (0..40)
+            .map(|i| {
+                let scores = if i % 2 == 0 {
+                    [3.0, 2.0, 1.0]
+                } else {
+                    [1.0, 3.0, 2.0]
+                };
+                doc_stats(&scores, &scores, &ctrs)
+            })
+            .collect();
+        let out = paired_permutation_wer(&per_doc, 1000, 11);
+        assert_eq!(out.difference, 0.0);
+        assert!(out.p_value > 0.9, "p = {}", out.p_value);
+    }
+
+    /// A tiny, noisy difference on few documents should not reach
+    /// significance.
+    #[test]
+    fn small_noisy_difference_not_significant() {
+        let ctrs = [0.10, 0.05, 0.02];
+        let mut per_doc = vec![doc_stats(&[3.0, 2.0, 1.0], &[3.0, 2.0, 1.0], &ctrs); 10];
+        // One document where A is slightly better.
+        per_doc.push(doc_stats(&[3.0, 2.0, 1.0], &[3.0, 1.0, 2.0], &ctrs));
+        let out = paired_permutation_wer(&per_doc, 2000, 3);
+        assert!(out.wer_a < out.wer_b);
+        assert!(out.p_value > 0.05, "p = {}", out.p_value);
+    }
+
+    /// Determinism: same seed, same p-value.
+    #[test]
+    fn deterministic() {
+        let ctrs = [0.10, 0.05];
+        let per_doc: Vec<_> = (0..20)
+            .map(|i| {
+                let a = if i % 3 == 0 { [1.0, 2.0] } else { [2.0, 1.0] };
+                doc_stats(&a, &[2.0, 1.0], &ctrs)
+            })
+            .collect();
+        let x = paired_permutation_wer(&per_doc, 500, 42);
+        let y = paired_permutation_wer(&per_doc, 500, 42);
+        assert_eq!(x, y);
+    }
+
+    /// Empty input degenerates gracefully.
+    #[test]
+    fn empty_input() {
+        let out = paired_permutation_wer(&[], 100, 1);
+        assert_eq!(out.wer_a, 0.0);
+        assert_eq!(out.wer_b, 0.0);
+        assert!(out.p_value > 0.99);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the evaluation metrics.
+
+use ctxrank_eval::{ndcg_at_k, pair_stats, weighted_pair_stats, CtrBuckets};
+use proptest::prelude::*;
+
+proptest! {
+    /// Both error rates are always in [0, 1].
+    #[test]
+    fn error_rates_bounded(
+        pairs in prop::collection::vec((-100.0f64..100.0, 0.0f64..0.2), 0..12)
+    ) {
+        let scores: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ctrs: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let e = pair_stats(&scores, &ctrs).rate();
+        let w = weighted_pair_stats(&scores, &ctrs).rate();
+        prop_assert!((0.0..=1.0).contains(&e));
+        prop_assert!((0.0..=1.0).contains(&w));
+    }
+
+    /// Scoring by the labels themselves is always perfect; the reversed
+    /// scores are always maximally wrong (when any pairs exist).
+    #[test]
+    fn oracle_and_antioracle(ctrs in prop::collection::vec(0.0f64..0.2, 2..10)) {
+        let scores = ctrs.clone();
+        prop_assert_eq!(weighted_pair_stats(&scores, &ctrs).rate(), 0.0);
+        let anti: Vec<f64> = ctrs.iter().map(|c| -c).collect();
+        let stats = weighted_pair_stats(&anti, &ctrs);
+        if stats.total > 0.0 {
+            prop_assert_eq!(stats.rate(), 1.0);
+        }
+    }
+
+    /// Complementing the prediction complements the weighted error:
+    /// err(s) + err(-s) = 1 when there are no score ties.
+    #[test]
+    fn error_rate_antisymmetry(n in 2usize..8, seed in 0u64..1000) {
+        // Distinct scores and ctrs from the seed, no ties.
+        let scores: Vec<f64> = (0..n).map(|i| ((seed + i as u64 * 7919) % 1000) as f64 + i as f64 * 1e-3).collect();
+        let ctrs: Vec<f64> = (0..n).map(|i| i as f64 * 0.01 + 0.001).collect();
+        let fwd = weighted_pair_stats(&scores, &ctrs);
+        let rev_scores: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let rev = weighted_pair_stats(&rev_scores, &ctrs);
+        prop_assert!((fwd.rate() + rev.rate() - 1.0).abs() < 1e-9);
+    }
+
+    /// NDCG is in [0, 1] and equals 1 for the gain-sorted ordering.
+    #[test]
+    fn ndcg_bounds_and_perfect(
+        items in prop::collection::vec((-100.0f64..100.0, 0.0f64..50.0), 1..10),
+        k in 1usize..10,
+    ) {
+        let scores: Vec<f64> = items.iter().map(|i| i.0).collect();
+        let gains: Vec<f64> = items.iter().map(|i| i.1).collect();
+        let v = ndcg_at_k(&scores, &gains, k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        // Perfect ordering: score = gain.
+        let perfect = ndcg_at_k(&gains, &gains, k);
+        if gains.iter().any(|g| *g > 0.0) {
+            prop_assert!((perfect - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Bucket numbers are monotone in the CTR and bounded by 0..=1000.
+    #[test]
+    fn buckets_monotone(ctrs in prop::collection::vec(0.0f64..0.5, 1..100)) {
+        let buckets = CtrBuckets::new(ctrs.clone());
+        let mut probes: Vec<f64> = ctrs;
+        probes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = 0;
+        for p in probes {
+            let b = buckets.bucket(p);
+            prop_assert!(b <= 1000);
+            prop_assert!(b >= last, "bucket not monotone");
+            last = b;
+        }
+    }
+
+    /// Gains are non-negative and monotone in the bucket score.
+    #[test]
+    fn gains_monotone(ctrs in prop::collection::vec(0.0f64..0.5, 2..50)) {
+        let buckets = CtrBuckets::new(ctrs.clone());
+        let lo = ctrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ctrs.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(buckets.gain(lo) >= 0.0);
+        prop_assert!(buckets.gain(hi) >= buckets.gain(lo));
+    }
+}

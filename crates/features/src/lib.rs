@@ -1,0 +1,65 @@
+//! The feature space (§IV).
+//!
+//! Two families of signals feed the learned ranker:
+//!
+//! * [`interest`] — the nine **interestingness** features of Table I,
+//!   capturing whether "a concept would be appealing to a broad user base
+//!   in general", mined from query logs, search-engine result counts,
+//!   simple text statistics, the taxonomy, and Wikipedia article lengths;
+//! * [`relevance`] — the **relevance** machinery of §IV-B: for every
+//!   concept, pre-mine its top *m* = 100 context keywords from one of
+//!   three resources (search-engine snippets, the Prisma refinement tool,
+//!   or related query suggestions), then score a concept in a new context
+//!   by the co-occurrence of those keywords. The miner works on stemmed,
+//!   lower-cased, punctuation-stripped terms.
+//!
+//! [`FeatureVector`] assembles both into the 10-dimensional instance the
+//! ranking SVM consumes (nine interestingness fields plus the relevance
+//! score).
+
+pub mod interest;
+pub mod relevance;
+pub mod senses;
+
+pub use interest::{FeatureExtractor, InterestFeatures};
+pub use relevance::{
+    KeywordWeighting, MiningResource, RelevanceModel, RelevanceModelBuilder, RelevantTerms,
+    StemmedIdf,
+};
+pub use senses::{SenseClusters, SenseConfig};
+
+/// A full training/ranking instance: interestingness + relevance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    pub interest: InterestFeatures,
+    /// Log-scaled relevance score of the concept in its context.
+    pub relevance: f64,
+}
+
+impl FeatureVector {
+    /// Dense representation: the nine Table I features followed by the
+    /// relevance score.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut v = self.interest.to_dense();
+        v.push(self.relevance);
+        v
+    }
+
+    /// Number of dimensions of [`Self::to_dense`].
+    pub const DIM: usize = InterestFeatures::DIM + 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_dimensions_consistent() {
+        let fv = FeatureVector {
+            interest: InterestFeatures::default(),
+            relevance: 0.5,
+        };
+        assert_eq!(fv.to_dense().len(), FeatureVector::DIM);
+        assert_eq!(*fv.to_dense().last().expect("nonempty"), 0.5);
+    }
+}

@@ -1,0 +1,293 @@
+//! Sense clustering for ambiguous concepts — the §IV-C discussion.
+//!
+//! "If a concept is ambiguous, then the relevant keywords mined might
+//! have low final scores, as they would not cluster well globally.
+//! However, there would be some good local clusters, depending on the
+//! number of senses, and if such clusters can be identified then the
+//! scores can be boosted."
+//!
+//! [`RelevanceModelBuilder::mine_snippet_senses`] implements that idea:
+//! instead of pooling all of a concept's snippets into one bag of words,
+//! the snippets are clustered by vocabulary overlap (greedy
+//! centroid-link agglomeration on Jaccard similarity — a lightweight
+//! stand-in for the LSA-flavoured techniques the paper points at), and
+//! a keyword set is mined per cluster. At runtime the concept's
+//! relevance in a context is the **maximum over senses**, so a "jaguar"
+//! mention in a wildlife story matches the animal cluster even though
+//! the car cluster dilutes the pooled model.
+
+use crate::relevance::{RelevanceModelBuilder, RelevantTerms, SNIPPET_CONTEXT, SNIPPET_RESULTS};
+use std::collections::{HashMap, HashSet};
+
+/// Sense-clustered relevance keywords for one concept.
+#[derive(Debug, Clone, Default)]
+pub struct SenseClusters {
+    /// One keyword set per discovered sense, largest cluster first.
+    pub senses: Vec<RelevantTerms>,
+    /// Number of snippets backing each sense (parallel to `senses`).
+    pub support: Vec<usize>,
+}
+
+impl SenseClusters {
+    /// Number of senses discovered.
+    pub fn num_senses(&self) -> usize {
+        self.senses.len()
+    }
+
+    /// True when nothing was mined.
+    pub fn is_empty(&self) -> bool {
+        self.senses.is_empty()
+    }
+
+    /// Relevance of the concept in a context: the best-matching sense's
+    /// score (§IV-C's "local cluster" boost).
+    pub fn score_context(&self, context: &HashSet<String>) -> f64 {
+        self.senses
+            .iter()
+            .map(|s| s.score_context(context))
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the sense that best matches the context, if any sense
+    /// matches at all — usable for sense-tagging the annotation.
+    pub fn best_sense(&self, context: &HashSet<String>) -> Option<usize> {
+        let (idx, score) = self
+            .senses
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.score_context(context)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"))?;
+        if score > 0.0 {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+}
+
+/// Configuration for snippet clustering.
+#[derive(Debug, Clone)]
+pub struct SenseConfig {
+    /// Jaccard similarity above which a snippet joins a cluster.
+    pub join_threshold: f64,
+    /// Discard clusters backed by fewer snippets than this.
+    pub min_support: usize,
+    /// Keep at most this many senses (largest first).
+    pub max_senses: usize,
+}
+
+impl Default for SenseConfig {
+    fn default() -> Self {
+        Self {
+            join_threshold: 0.12,
+            min_support: 2,
+            max_senses: 4,
+        }
+    }
+}
+
+fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+impl<'a> RelevanceModelBuilder<'a> {
+    /// Cluster the concept's snippets into senses and mine a keyword set
+    /// per sense.
+    pub fn mine_snippet_senses(
+        &self,
+        concept_terms: &[String],
+        config: &SenseConfig,
+    ) -> SenseClusters {
+        let snippets = self.corpus().phrase_snippets(
+            concept_terms,
+            SNIPPET_RESULTS,
+            SNIPPET_CONTEXT,
+        );
+        let concept_stems: HashSet<String> = concept_terms
+            .iter()
+            .map(|t| ctxrank_text::stem(t))
+            .collect();
+
+        // Stemmed, filtered term set per snippet.
+        let snippet_sets: Vec<HashSet<String>> = snippets
+            .iter()
+            .map(|s| {
+                ctxrank_text::stemmed_terms(s)
+                    .into_iter()
+                    .filter(|t| {
+                        !concept_stems.contains(t) && self.stemmed_idf().idf(t) >= self.min_idf
+                    })
+                    .collect()
+            })
+            .filter(|s: &HashSet<String>| !s.is_empty())
+            .collect();
+
+        // Greedy centroid-link clustering: each snippet joins the
+        // existing cluster with the highest Jaccard similarity to the
+        // cluster's accumulated vocabulary, or founds a new cluster.
+        let mut clusters: Vec<(HashSet<String>, Vec<usize>)> = Vec::new();
+        for (i, set) in snippet_sets.iter().enumerate() {
+            let best = clusters
+                .iter()
+                .enumerate()
+                .map(|(ci, (vocab, _))| (ci, jaccard(set, vocab)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+            match best {
+                Some((ci, sim)) if sim >= config.join_threshold => {
+                    clusters[ci].0.extend(set.iter().cloned());
+                    clusters[ci].1.push(i);
+                }
+                _ => clusters.push((set.clone(), vec![i])),
+            }
+        }
+        clusters.retain(|(_, members)| members.len() >= config.min_support);
+        clusters.sort_by_key(|(_, members)| std::cmp::Reverse(members.len()));
+        clusters.truncate(config.max_senses);
+
+        // Mine a tf·idf keyword set per cluster.
+        let mut senses = Vec::with_capacity(clusters.len());
+        let mut support = Vec::with_capacity(clusters.len());
+        for (_, members) in &clusters {
+            let mut tf: HashMap<String, usize> = HashMap::new();
+            for &i in members {
+                for term in &snippet_sets[i] {
+                    *tf.entry(term.clone()).or_insert(0) += 1;
+                }
+            }
+            let mut terms: Vec<(String, f64)> = tf
+                .into_iter()
+                .map(|(stem, count)| {
+                    let idf = self.stemmed_idf().idf(&stem);
+                    (stem, self.keyword_weight(count, idf))
+                })
+                .collect();
+            terms.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            terms.truncate(self.m);
+            senses.push(RelevantTerms { terms });
+            support.push(members.len());
+        }
+        SenseClusters { senses, support }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relevance::RelevanceModel;
+    use ctxrank_index::IndexBuilder;
+    use ctxrank_querylog::QueryLog;
+
+    fn t(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    /// A corpus where "jaguar" appears in two well-separated senses.
+    fn ambiguous_corpus() -> ctxrank_index::Index {
+        let mut b = IndexBuilder::new();
+        for i in 0..8 {
+            b.add_document(&format!(
+                "the jaguar stalked jungle prey near the riverbank habitat {i}"
+            ));
+        }
+        for i in 0..8 {
+            b.add_document(&format!(
+                "the jaguar sedan engine delivers luxury performance dealership {i}"
+            ));
+        }
+        for i in 0..10 {
+            b.add_document(&format!("unrelated financial markets report number {i}"));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn two_senses_discovered() {
+        let corpus = ambiguous_corpus();
+        let log = QueryLog::new();
+        let builder = RelevanceModelBuilder::new(&corpus, &log);
+        let senses = builder.mine_snippet_senses(&t("jaguar"), &SenseConfig::default());
+        assert_eq!(senses.num_senses(), 2, "{senses:?}");
+        assert!(senses.support.iter().all(|&s| s >= 2));
+    }
+
+    #[test]
+    fn senses_score_their_own_contexts() {
+        let corpus = ambiguous_corpus();
+        let log = QueryLog::new();
+        let builder = RelevanceModelBuilder::new(&corpus, &log);
+        let senses = builder.mine_snippet_senses(&t("jaguar"), &SenseConfig::default());
+        let animal_ctx = RelevanceModel::context_of("a jungle predator stalked its prey to the riverbank");
+        let car_ctx = RelevanceModel::context_of("the sedan's engine gives real luxury performance");
+        assert!(senses.score_context(&animal_ctx) > 0.0);
+        assert!(senses.score_context(&car_ctx) > 0.0);
+        assert_ne!(senses.best_sense(&animal_ctx), senses.best_sense(&car_ctx));
+    }
+
+    #[test]
+    fn sense_aware_beats_pooled_on_minority_sense() {
+        let mut b = IndexBuilder::new();
+        // Dominant sense: 16 docs; minority sense: 4 docs.
+        for i in 0..16 {
+            b.add_document(&format!("jaguar sedan engine luxury dealership performance {i}"));
+        }
+        for i in 0..4 {
+            b.add_document(&format!("jaguar jungle prey habitat riverbank predator {i}"));
+        }
+        for i in 0..10 {
+            b.add_document(&format!("filler economic bulletin entry {i}"));
+        }
+        let corpus = b.build();
+        let log = QueryLog::new();
+        let builder = RelevanceModelBuilder::new(&corpus, &log);
+
+        let pooled = builder.mine(&t("jaguar"), crate::MiningResource::Snippets);
+        let senses = builder.mine_snippet_senses(&t("jaguar"), &SenseConfig::default());
+        let minority_ctx =
+            RelevanceModel::context_of("the predator left the jungle habitat for the riverbank");
+
+        // Relative boost: the best sense concentrates the minority
+        // vocabulary that the pooled model dilutes across 20 snippets.
+        let pooled_score = pooled.score_context(&minority_ctx);
+        let sense_score = senses.score_context(&minority_ctx);
+        assert!(
+            sense_score >= pooled_score,
+            "sense-aware {sense_score} should not lose to pooled {pooled_score}"
+        );
+        assert!(senses.best_sense(&minority_ctx).is_some());
+    }
+
+    #[test]
+    fn unambiguous_concept_single_sense() {
+        let mut b = IndexBuilder::new();
+        for i in 0..10 {
+            b.add_document(&format!("gravity bends light near massive stars physics {i}"));
+        }
+        let corpus = b.build();
+        let log = QueryLog::new();
+        let builder = RelevanceModelBuilder::new(&corpus, &log);
+        let senses = builder.mine_snippet_senses(&t("gravity"), &SenseConfig::default());
+        assert_eq!(senses.num_senses(), 1, "{:?}", senses.support);
+    }
+
+    #[test]
+    fn empty_for_unknown_concept() {
+        let mut b = IndexBuilder::new();
+        b.add_document("something entirely different");
+        let corpus = b.build();
+        let log = QueryLog::new();
+        let builder = RelevanceModelBuilder::new(&corpus, &log);
+        let senses = builder.mine_snippet_senses(&t("missing"), &SenseConfig::default());
+        assert!(senses.is_empty());
+        assert_eq!(senses.score_context(&HashSet::new()), 0.0);
+        assert_eq!(senses.best_sense(&HashSet::new()), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the feature space.
+
+use ctxrank_features::{
+    FeatureExtractor, InterestFeatures, MiningResource, RelevanceModelBuilder, RelevantTerms,
+    SenseConfig,
+};
+use ctxrank_index::IndexBuilder;
+use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn docs_to_index(docs: &[Vec<String>]) -> ctxrank_index::Index {
+    let mut b = IndexBuilder::new();
+    for d in docs {
+        b.add_document(&d.join(" "));
+    }
+    b.build()
+}
+
+proptest! {
+    /// Interestingness extraction is total and internally consistent for
+    /// arbitrary logs, corpora and concepts.
+    #[test]
+    fn interestingness_consistent(
+        queries in prop::collection::vec((prop::collection::vec("[a-c]{1,3}", 1..4), 1u64..40), 0..25),
+        docs in prop::collection::vec(prop::collection::vec("[a-c]{1,3}", 1..20), 1..15),
+        concept in prop::collection::vec("[a-c]{1,3}", 1..4),
+    ) {
+        let mut log = QueryLog::new();
+        for (terms, freq) in &queries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        let units = extract_units(&log, &UnitConfig::default());
+        let index = docs_to_index(&docs);
+        let fx = FeatureExtractor::new(&log, &units, &index, |_| 7, |_| 2);
+        let f = fx.interestingness(&concept);
+        prop_assert!(f.freq_phrase_contained >= f.freq_exact);
+        prop_assert_eq!(f.concept_size as usize, concept.len());
+        prop_assert_eq!(f.number_of_chars as usize, concept.join(" ").chars().count());
+        prop_assert!((0.0..=1.0).contains(&f.unit_score));
+        let dense = f.to_dense();
+        prop_assert_eq!(dense.len(), InterestFeatures::DIM);
+        prop_assert!(dense.iter().all(|v| v.is_finite()));
+    }
+
+    /// The context score of mined keywords is monotone in the context:
+    /// adding terms never lowers it, and it never exceeds the summation.
+    #[test]
+    fn relevance_score_monotone(
+        keywords in prop::collection::vec(("[a-f]{2,5}", 0.1f64..10.0), 1..30),
+        subset_pick in prop::collection::vec(any::<bool>(), 1..30),
+    ) {
+        let mut seen = HashSet::new();
+        let kws: Vec<(String, f64)> = keywords
+            .into_iter()
+            .filter(|(t, _)| seen.insert(t.clone()))
+            .collect();
+        let rt = RelevantTerms { terms: kws.clone() };
+        let small: HashSet<String> = kws
+            .iter()
+            .zip(subset_pick.iter().cycle())
+            .filter(|(_, &p)| p)
+            .map(|((t, _), _)| t.clone())
+            .collect();
+        let mut large = small.clone();
+        large.extend(kws.iter().map(|(t, _)| t.clone()));
+        let s_small = rt.score_context(&small);
+        let s_large = rt.score_context(&large);
+        prop_assert!(s_small <= s_large + 1e-12);
+        prop_assert!(s_large <= rt.summation() + 1e-12);
+        prop_assert!(s_small >= 0.0);
+    }
+
+    /// Sense clustering is total: any corpus/concept yields clusters
+    /// whose supports sum to at most the snippet count and whose scores
+    /// are finite.
+    #[test]
+    fn senses_total(
+        docs in prop::collection::vec(prop::collection::vec("[a-d]{1,4}", 3..15), 1..12),
+        concept in "[a-d]{1,4}",
+    ) {
+        let index = docs_to_index(&docs);
+        let log = QueryLog::new();
+        let builder = RelevanceModelBuilder::new(&index, &log);
+        let senses = builder.mine_snippet_senses(
+            &[concept.clone()],
+            &SenseConfig::default(),
+        );
+        let snippet_count = index.phrase_snippets(&[concept], 100, 12).len();
+        let support_sum: usize = senses.support.iter().sum();
+        prop_assert!(support_sum <= snippet_count);
+        for s in &senses.senses {
+            for (_, w) in &s.terms {
+                prop_assert!(w.is_finite() && *w >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Golomb–Rice coding of sorted TID lists.
+//!
+//! §VI: "this cost can be even further reduced through ... integer
+//! compression techniques, such as Golomb Coding \[26\]." We implement the
+//! Rice special case (the Golomb parameter restricted to powers of two),
+//! which is what production inverted-index systems use: delta-encode the
+//! sorted ids, write each delta as a unary quotient plus a fixed-width
+//! remainder.
+
+/// A growable bit buffer.
+#[derive(Debug, Clone, Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    fn push_bit(&mut self, bit: bool) {
+        let byte = self.bit_len / 8;
+        if byte == self.bytes.len() {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[byte] |= 1 << (7 - self.bit_len % 8);
+        }
+        self.bit_len += 1;
+    }
+
+    fn push_bits(&mut self, value: u64, width: u32) {
+        for i in (0..width).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+}
+
+/// A bit reader over an encoded buffer.
+#[derive(Debug)]
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    bit_len: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bit_len {
+            return None;
+        }
+        let bit = self.bytes[self.pos / 8] & (1 << (7 - self.pos % 8)) != 0;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    fn read_bits(&mut self, width: u32) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+/// Encoded Golomb/Rice stream: the bytes plus the exact bit length and
+/// the element count needed for decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GolombEncoded {
+    pub bytes: Vec<u8>,
+    pub bit_len: usize,
+    pub count: usize,
+    /// Rice parameter: remainder width in bits.
+    pub k: u32,
+}
+
+impl GolombEncoded {
+    /// Compressed size in whole bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+/// The Rice parameter minimizing expected code length for the observed
+/// mean delta: `k ≈ log2(mean)`.
+pub fn optimal_rice_parameter(sorted_ids: &[u32]) -> u32 {
+    if sorted_ids.is_empty() {
+        return 0;
+    }
+    let span = *sorted_ids.last().expect("nonempty") as u64 + 1;
+    let mean = (span as f64 / sorted_ids.len() as f64).max(1.0);
+    mean.log2().floor().max(0.0) as u32
+}
+
+/// Delta–Rice encode a strictly increasing id list.
+///
+/// # Panics
+/// Panics if the list is not strictly increasing.
+pub fn golomb_encode(sorted_ids: &[u32], k: u32) -> GolombEncoded {
+    let mut w = BitWriter::default();
+    let mut prev: i64 = -1;
+    for &id in sorted_ids {
+        assert!(
+            (id as i64) > prev,
+            "golomb_encode needs strictly increasing input"
+        );
+        // Gap is >= 1; encode gap - 1 so dense lists stay cheap.
+        let gap = (id as i64 - prev - 1) as u64;
+        prev = id as i64;
+        let q = gap >> k;
+        for _ in 0..q {
+            w.push_bit(true);
+        }
+        w.push_bit(false);
+        w.push_bits(gap & ((1u64 << k) - 1), k);
+    }
+    GolombEncoded {
+        bytes: w.bytes,
+        bit_len: w.bit_len,
+        count: sorted_ids.len(),
+        k,
+    }
+}
+
+/// Decode a stream produced by [`golomb_encode`].
+pub fn golomb_decode(enc: &GolombEncoded) -> Vec<u32> {
+    let mut r = BitReader {
+        bytes: &enc.bytes,
+        pos: 0,
+        bit_len: enc.bit_len,
+    };
+    let mut out = Vec::with_capacity(enc.count);
+    let mut prev: i64 = -1;
+    for _ in 0..enc.count {
+        let mut q: u64 = 0;
+        while r.read_bit().expect("truncated unary part") {
+            q += 1;
+        }
+        let rem = r.read_bits(enc.k).expect("truncated remainder");
+        let gap = (q << enc.k) | rem;
+        let id = (prev + 1 + gap as i64) as u32;
+        prev = id as i64;
+        out.push(id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let ids = vec![3, 7, 8, 20, 90, 91, 4000];
+        for k in 0..8 {
+            let enc = golomb_encode(&ids, k);
+            assert_eq!(golomb_decode(&enc), ids, "k={k}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_dense_and_sparse() {
+        let dense: Vec<u32> = (0..500).collect();
+        let sparse: Vec<u32> = (0..100).map(|i| i * 997).collect();
+        for ids in [dense, sparse] {
+            let k = optimal_rice_parameter(&ids);
+            let enc = golomb_encode(&ids, k);
+            assert_eq!(golomb_decode(&enc), ids);
+        }
+    }
+
+    #[test]
+    fn compresses_clustered_ids() {
+        // 100 ids clustered in a small range: 400 raw bytes, far fewer
+        // compressed.
+        let ids: Vec<u32> = (0..100u32).map(|i| 50_000 + i * 3).collect();
+        let k = optimal_rice_parameter(&ids);
+        let enc = golomb_encode(&ids, k);
+        assert!(
+            enc.byte_len() < ids.len() * 4,
+            "compressed {} bytes vs raw {}",
+            enc.byte_len(),
+            ids.len() * 4
+        );
+    }
+
+    #[test]
+    fn empty_list() {
+        let enc = golomb_encode(&[], 3);
+        assert_eq!(enc.count, 0);
+        assert!(golomb_decode(&enc).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let enc = golomb_encode(&[42], 2);
+        assert_eq!(golomb_decode(&enc), vec![42]);
+    }
+
+    #[test]
+    fn zero_k_is_pure_unary() {
+        let ids = vec![0, 1, 2];
+        let enc = golomb_encode(&ids, 0);
+        assert_eq!(golomb_decode(&enc), ids);
+        // Gaps of 0 encode as a single 0-bit each.
+        assert_eq!(enc.bit_len, 3);
+    }
+
+    #[test]
+    fn large_tids_roundtrip() {
+        let ids = vec![4_194_300, 4_194_301, 4_194_303];
+        let k = optimal_rice_parameter(&ids);
+        let enc = golomb_encode(&ids, k);
+        assert_eq!(golomb_decode(&enc), ids);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_increasing_rejected() {
+        let _ = golomb_encode(&[5, 5], 2);
+    }
+
+    #[test]
+    fn optimal_parameter_scales_with_sparsity() {
+        let dense: Vec<u32> = (0..1000).collect();
+        let sparse: Vec<u32> = (0..10).map(|i| i * 100_000).collect();
+        assert!(optimal_rice_parameter(&sparse) > optimal_rice_parameter(&dense));
+    }
+}

@@ -1,0 +1,44 @@
+//! The production framework (§VI).
+//!
+//! "All the techniques described so far ... are achieved through
+//! preprocessing and are therefore offline procedures. However, the final
+//! system, which detects and ranks the concepts in a given document,
+//! needs to be quite efficient as this will be done in real time. This
+//! sets computational as well as memory limitations."
+//!
+//! The paper's memory budget for 1 million concepts:
+//!
+//! * **interestingness vectors** — 9 features × 2 bytes = 18 B/concept
+//!   (18 MB total), hash-table access in constant time → [`packed`];
+//! * **relevant keywords** — up to 100 `(TID, score)` pairs per concept,
+//!   a TID fitting in 22 bits and a score in 10 bits, so one pair packs
+//!   into 32 bits → 400 B/concept (~400 MB total) → [`relstore`];
+//! * a **Global TID Table** mapping each term used by at least one
+//!   concept to its term id → [`tid`];
+//! * further reduction via integer compression (Golomb coding,
+//!   Witten/Moffat/Bell \[26\]) → [`golomb`];
+//! * the runtime **Stemmer → Ranker** flow → [`ranker`], with the
+//!   throughput experiment reproduced in `crates/bench`;
+//! * the §VIII future-work **online CTR adaptation** → [`online`]: fast
+//!   vs slow CTR averages per concept, boosting or punishing scores as
+//!   world events move the click stream in real time.
+
+pub mod compressed;
+pub mod golomb;
+pub mod memory;
+pub mod online;
+pub mod packed;
+pub mod persist;
+pub mod ranker;
+pub mod relstore;
+pub mod tid;
+
+pub use compressed::CompressedRelevanceStore;
+pub use golomb::{golomb_decode, golomb_encode, optimal_rice_parameter};
+pub use memory::MemoryReport;
+pub use online::{OnlineConfig, OnlineCtrAdjuster};
+pub use persist::{load_ranker, save_ranker};
+pub use packed::{FieldQuantizer, PackedInterestStore};
+pub use ranker::RuntimeRanker;
+pub use relstore::PackedRelevanceStore;
+pub use tid::{GlobalTidTable, TermId, MAX_TID};

@@ -1,0 +1,166 @@
+//! Memory accounting for the §VI framework.
+//!
+//! Reproduces the paper's arithmetic (18 MB of interestingness vectors
+//! and ~400 MB of relevance keywords per million concepts) against the
+//! actual stores, and measures the additional saving from Golomb-coding
+//! the TID lists.
+
+use crate::golomb::{golomb_encode, optimal_rice_parameter};
+use crate::packed::PackedInterestStore;
+use crate::relstore::PackedRelevanceStore;
+use crate::tid::GlobalTidTable;
+
+/// A memory report over the assembled stores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryReport {
+    pub num_concepts: usize,
+    pub num_terms: usize,
+    /// Bytes of packed interestingness vectors.
+    pub interest_bytes: usize,
+    /// Bytes of packed relevance pairs (4 per keyword).
+    pub relevance_bytes: usize,
+    /// Bytes the TID portion of the relevance store would occupy after
+    /// Golomb coding (scores still cost 10 bits each).
+    pub golomb_relevance_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Measure the stores.
+    pub fn measure(
+        interest: &PackedInterestStore,
+        relevance: &PackedRelevanceStore,
+        tids: &GlobalTidTable,
+    ) -> Self {
+        // Golomb-compress each concept's sorted TID list; add back the
+        // fixed 10 bits per score.
+        let mut golomb_bits = 0usize;
+        let mut n_pairs = 0usize;
+        for packed_list in relevance.tid_lists() {
+            let tid_list: Vec<u32> = packed_list.iter().map(|&p| p >> 10).collect();
+            // TIDs may repeat across score values only if two keywords
+            // share a term, which build() precludes; dedup defensively.
+            let mut unique = tid_list;
+            unique.dedup();
+            if unique.is_empty() {
+                continue;
+            }
+            let k = optimal_rice_parameter(&unique);
+            let enc = golomb_encode(&unique, k);
+            golomb_bits += enc.bit_len;
+            n_pairs += packed_list.len();
+        }
+        let golomb_relevance_bytes = (golomb_bits + n_pairs * 10).div_ceil(8);
+
+        Self {
+            num_concepts: interest.len(),
+            num_terms: tids.len(),
+            interest_bytes: interest.packed_bytes(),
+            relevance_bytes: relevance.packed_bytes(),
+            golomb_relevance_bytes,
+        }
+    }
+
+    /// Interestingness bytes per concept (the paper's 18).
+    pub fn interest_bytes_per_concept(&self) -> f64 {
+        self.interest_bytes as f64 / self.num_concepts.max(1) as f64
+    }
+
+    /// Relevance bytes per concept (the paper's ≤ 400).
+    pub fn relevance_bytes_per_concept(&self) -> f64 {
+        self.relevance_bytes as f64 / self.num_concepts.max(1) as f64
+    }
+
+    /// Fraction of relevance bytes saved by Golomb coding.
+    pub fn golomb_saving(&self) -> f64 {
+        if self.relevance_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.golomb_relevance_bytes as f64 / self.relevance_bytes as f64
+        }
+    }
+
+    /// Extrapolate total bytes to `n` concepts, as the paper does for
+    /// one million.
+    pub fn extrapolate_bytes(&self, n: usize) -> u64 {
+        ((self.interest_bytes_per_concept() + self.relevance_bytes_per_concept()) * n as f64)
+            as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_features::{InterestFeatures, RelevantTerms};
+
+    fn stores() -> (PackedInterestStore, PackedRelevanceStore, GlobalTidTable) {
+        let concepts: Vec<(String, InterestFeatures)> = (0..20)
+            .map(|i| {
+                (
+                    format!("concept {i}"),
+                    InterestFeatures {
+                        freq_exact: i,
+                        ..InterestFeatures::default()
+                    },
+                )
+            })
+            .collect();
+        let interest = PackedInterestStore::build(&concepts);
+        let mut tids = GlobalTidTable::new();
+        let keyword_sets: Vec<(String, RelevantTerms)> = (0..20)
+            .map(|i| {
+                (
+                    format!("concept {i}"),
+                    RelevantTerms {
+                        // Shared vocabulary across concepts: TIDs reused.
+                        terms: (0..50)
+                            .map(|j| (format!("kw{}", (i + j) % 80), 1.0 + j as f64))
+                            .collect(),
+                    },
+                )
+            })
+            .collect();
+        let relevance = PackedRelevanceStore::build(
+            keyword_sets.iter().map(|(s, rt)| (s.as_str(), rt)),
+            &mut tids,
+        );
+        (interest, relevance, tids)
+    }
+
+    #[test]
+    fn per_concept_costs_match_paper_arithmetic() {
+        let (i, r, t) = stores();
+        let report = MemoryReport::measure(&i, &r, &t);
+        assert_eq!(report.interest_bytes_per_concept(), 18.0);
+        // 50 keywords → 200 B/concept (the paper's cap of 100 → 400 B).
+        assert_eq!(report.relevance_bytes_per_concept(), 200.0);
+    }
+
+    #[test]
+    fn golomb_saves_space() {
+        let (i, r, t) = stores();
+        let report = MemoryReport::measure(&i, &r, &t);
+        assert!(
+            report.golomb_saving() > 0.2,
+            "saving {}",
+            report.golomb_saving()
+        );
+        assert!(report.golomb_relevance_bytes < report.relevance_bytes);
+    }
+
+    #[test]
+    fn term_sharing_bounds_tid_table() {
+        let (_, _, t) = stores();
+        // 20 concepts × 50 keywords but only 69 distinct terms
+        // ((i + j) % 80 with i < 20, j < 50 covers 0..=68).
+        assert_eq!(t.len(), 69);
+    }
+
+    #[test]
+    fn extrapolation_to_one_million() {
+        let (i, r, t) = stores();
+        let report = MemoryReport::measure(&i, &r, &t);
+        let bytes = report.extrapolate_bytes(1_000_000);
+        // 18 MB + 200 MB with 50 keywords each.
+        assert_eq!(bytes, 218_000_000);
+    }
+}

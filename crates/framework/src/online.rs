@@ -1,0 +1,247 @@
+//! Online CTR adaptation — the paper's §VIII future work.
+//!
+//! "In this scenario, the system would be able to respond to sudden
+//! fluctuations in click data, either boosting scores of low scoring
+//! concepts that are experiencing high CTRs, or punishing the scores of
+//! those experiencing low CTRs. This may allow the system to potentially
+//! react intelligently to world events in real time."
+//!
+//! [`OnlineCtrAdjuster`] keeps two exponentially-weighted moving averages
+//! of each concept's observed CTR — a *fast* one (recent traffic) and a
+//! *slow* one (the long-run norm). The log-ratio of the two, clamped and
+//! scaled, becomes an additive score adjustment: a concept whose recent
+//! CTR doubles its long-run CTR gets boosted, one whose traffic dies
+//! gets punished. Adjustments decay automatically as the fast average
+//! reverts to the slow one.
+
+use std::collections::HashMap;
+
+/// Tuning for the online adjuster.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Smoothing of the fast (recent) CTR average, per feedback batch.
+    pub fast_alpha: f64,
+    /// Smoothing of the slow (long-run) CTR average.
+    pub slow_alpha: f64,
+    /// Batches with fewer views than this are ignored (too noisy).
+    pub min_views: u64,
+    /// Additive smoothing on CTRs (pseudo-clicks), stabilizing the
+    /// ratio for low-traffic concepts.
+    pub ctr_smoothing: f64,
+    /// The score adjustment is `gain · ln(fast / slow)` clamped into
+    /// `[-max_adjust, max_adjust]`.
+    pub gain: f64,
+    pub max_adjust: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            fast_alpha: 0.5,
+            slow_alpha: 0.02,
+            min_views: 20,
+            ctr_smoothing: 1e-3,
+            gain: 1.0,
+            max_adjust: 2.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConceptState {
+    fast: f64,
+    slow: f64,
+    batches: u64,
+}
+
+/// Streaming per-concept CTR tracker producing score adjustments.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineCtrAdjuster {
+    config: OnlineConfigInner,
+    state: HashMap<String, ConceptState>,
+}
+
+/// Internal copy so `Default` works without an `OnlineConfig: Default`
+/// bound surprise.
+#[derive(Debug, Clone, Default)]
+struct OnlineConfigInner(OnlineConfig);
+
+impl OnlineCtrAdjuster {
+    /// Create an adjuster with the given configuration.
+    pub fn new(config: OnlineConfig) -> Self {
+        Self {
+            config: OnlineConfigInner(config),
+            state: HashMap::new(),
+        }
+    }
+
+    /// Feed one feedback batch for `surface`: how many times its
+    /// annotations were viewed and clicked since the last batch.
+    pub fn record(&mut self, surface: &str, views: u64, clicks: u64) {
+        let cfg = &self.config.0;
+        if views < cfg.min_views {
+            return;
+        }
+        let ctr = clicks as f64 / views as f64 + cfg.ctr_smoothing;
+        match self.state.get_mut(surface) {
+            Some(s) => {
+                s.fast = (1.0 - cfg.fast_alpha) * s.fast + cfg.fast_alpha * ctr;
+                s.slow = (1.0 - cfg.slow_alpha) * s.slow + cfg.slow_alpha * ctr;
+                s.batches += 1;
+            }
+            None => {
+                self.state.insert(
+                    surface.to_string(),
+                    ConceptState {
+                        fast: ctr,
+                        slow: ctr,
+                        batches: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The additive score adjustment for `surface` (0 when unknown or
+    /// too little history).
+    pub fn adjustment(&self, surface: &str) -> f64 {
+        let cfg = &self.config.0;
+        match self.state.get(surface) {
+            Some(s) if s.batches >= 2 && s.slow > 0.0 => {
+                (cfg.gain * (s.fast / s.slow).ln()).clamp(-cfg.max_adjust, cfg.max_adjust)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Current fast/slow CTR estimates (diagnostics).
+    pub fn estimates(&self, surface: &str) -> Option<(f64, f64)> {
+        self.state.get(surface).map(|s| (s.fast, s.slow))
+    }
+
+    /// Number of concepts being tracked.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// True when no feedback has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Forget a concept (e.g. when it leaves the supported set).
+    pub fn forget(&mut self, surface: &str) {
+        self.state.remove(surface);
+    }
+}
+
+impl crate::ranker::RuntimeRanker {
+    /// Rank with online adjustments applied on top of the model score —
+    /// the §VIII "online version" of the system.
+    pub fn rank_online(
+        &self,
+        text: &str,
+        candidates: &[String],
+        adjuster: &OnlineCtrAdjuster,
+    ) -> Vec<crate::ranker::RankedConcept> {
+        let mut ranked = self.rank(text, candidates);
+        for r in &mut ranked {
+            r.score += adjuster.adjustment(&r.surface);
+        }
+        ranked.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.surface.cmp(&b.surface))
+        });
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(adj: &mut OnlineCtrAdjuster, surface: &str, batches: usize, ctr: f64) {
+        for _ in 0..batches {
+            let views = 1000u64;
+            adj.record(surface, views, (views as f64 * ctr) as u64);
+        }
+    }
+
+    #[test]
+    fn steady_traffic_no_adjustment() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        feed(&mut adj, "steady", 50, 0.02);
+        assert!(adj.adjustment("steady").abs() < 0.05, "{}", adj.adjustment("steady"));
+    }
+
+    #[test]
+    fn ctr_spike_boosts() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        feed(&mut adj, "breaking", 50, 0.01);
+        // World event: CTR jumps 8x.
+        feed(&mut adj, "breaking", 3, 0.08);
+        let a = adj.adjustment("breaking");
+        assert!(a > 0.5, "expected a boost, got {a}");
+    }
+
+    #[test]
+    fn ctr_collapse_punishes() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        feed(&mut adj, "stale", 50, 0.05);
+        feed(&mut adj, "stale", 4, 0.002);
+        let a = adj.adjustment("stale");
+        assert!(a < -0.5, "expected a punishment, got {a}");
+    }
+
+    #[test]
+    fn adjustment_decays_back_to_zero() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        feed(&mut adj, "c", 50, 0.01);
+        feed(&mut adj, "c", 3, 0.08);
+        let spike = adj.adjustment("c");
+        // Traffic reverts; after many normal batches the adjustment fades
+        // (the slow average has also risen slightly, so "normal" now sits
+        // a touch above the old baseline — the fast/slow ratio still
+        // converges to 1).
+        feed(&mut adj, "c", 200, 0.01);
+        let later = adj.adjustment("c");
+        assert!(later.abs() < spike.abs() / 3.0, "spike {spike}, later {later}");
+    }
+
+    #[test]
+    fn clamping_applies() {
+        let cfg = OnlineConfig {
+            max_adjust: 0.7,
+            ..OnlineConfig::default()
+        };
+        let mut adj = OnlineCtrAdjuster::new(cfg);
+        feed(&mut adj, "c", 50, 0.001);
+        feed(&mut adj, "c", 5, 0.4);
+        assert!(adj.adjustment("c") <= 0.7 + 1e-12);
+    }
+
+    #[test]
+    fn low_traffic_batches_ignored() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        adj.record("tiny", 5, 5); // below min_views
+        assert!(adj.is_empty());
+        assert_eq!(adj.adjustment("tiny"), 0.0);
+    }
+
+    #[test]
+    fn unknown_concept_zero() {
+        let adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        assert_eq!(adj.adjustment("never seen"), 0.0);
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        feed(&mut adj, "c", 10, 0.02);
+        assert_eq!(adj.len(), 1);
+        adj.forget("c");
+        assert!(adj.is_empty());
+    }
+}

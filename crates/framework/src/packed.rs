@@ -1,0 +1,212 @@
+//! Packed interestingness vectors — 2 bytes per field, 18 per concept.
+//!
+//! §VI: "For each concept we have in the system, we first compute the
+//! values for these features in the offline process, and employ a
+//! normalization that would fit each field to two bytes (this causes a
+//! minor decrease in granularity). So the interestingness vectors for 1
+//! million concepts would cost 18MB in memory; with the use of efficient
+//! data structures, such as hash tables, the vectors for the detected
+//! concepts can be retrieved in constant time."
+
+use ctxrank_features::InterestFeatures;
+use std::collections::HashMap;
+
+/// Bytes used per concept (9 fields × 2 bytes).
+pub const BYTES_PER_CONCEPT: usize = InterestFeatures::DIM * 2;
+
+/// Linear quantizer for one feature field: maps `[lo, hi]` onto
+/// `0..=u16::MAX`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldQuantizer {
+    pub(crate) lo: f64,
+    pub(crate) hi: f64,
+}
+
+impl FieldQuantizer {
+    /// Fit to a range.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi >= lo);
+        Self { lo, hi }
+    }
+
+    /// Fit to the observed range of an iterator of values.
+    pub fn fit(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() {
+            // No values: a degenerate quantizer.
+            return Self { lo: 0.0, hi: 0.0 };
+        }
+        Self { lo, hi }
+    }
+
+    /// Quantize (clamping out-of-range values).
+    pub fn quantize(&self, v: f64) -> u16 {
+        if self.hi <= self.lo {
+            return 0;
+        }
+        let frac = ((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        (frac * u16::MAX as f64).round() as u16
+    }
+
+    /// Reconstruct the midpoint value of a quantized cell.
+    pub fn dequantize(&self, q: u16) -> f64 {
+        self.lo + (q as f64 / u16::MAX as f64) * (self.hi - self.lo)
+    }
+}
+
+/// The packed per-concept feature store.
+#[derive(Debug, Clone)]
+pub struct PackedInterestStore {
+    pub(crate) index: HashMap<String, u32>,
+    /// 18 bytes per concept, contiguous.
+    pub(crate) data: Vec<u8>,
+    pub(crate) quantizers: [FieldQuantizer; InterestFeatures::DIM],
+}
+
+impl PackedInterestStore {
+    /// Build the store from `(surface, features)` pairs. The quantizers
+    /// are fitted per field over the full concept set, as the offline
+    /// process would.
+    pub fn build(concepts: &[(String, InterestFeatures)]) -> Self {
+        let dense: Vec<Vec<f64>> = concepts.iter().map(|(_, f)| f.to_dense()).collect();
+        let quantizers: [FieldQuantizer; InterestFeatures::DIM] =
+            std::array::from_fn(|d| FieldQuantizer::fit(dense.iter().map(|row| row[d])));
+
+        let mut index = HashMap::with_capacity(concepts.len());
+        let mut data = Vec::with_capacity(concepts.len() * BYTES_PER_CONCEPT);
+        for (i, ((surface, _), row)) in concepts.iter().zip(&dense).enumerate() {
+            index.insert(surface.clone(), i as u32);
+            for (d, &v) in row.iter().enumerate() {
+                let q = quantizers[d].quantize(v);
+                data.extend_from_slice(&q.to_le_bytes());
+            }
+        }
+        Self {
+            index,
+            data,
+            quantizers,
+        }
+    }
+
+    /// Number of concepts stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Bytes consumed by the packed vectors (excluding the hash index).
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstruct a concept's dense feature row (with quantization
+    /// error), or `None` for unknown surfaces.
+    pub fn dense(&self, surface: &str) -> Option<Vec<f64>> {
+        let &i = self.index.get(surface)?;
+        let base = i as usize * BYTES_PER_CONCEPT;
+        let row = (0..InterestFeatures::DIM)
+            .map(|d| {
+                let o = base + d * 2;
+                let q = u16::from_le_bytes([self.data[o], self.data[o + 1]]);
+                self.quantizers[d].dequantize(q)
+            })
+            .collect();
+        Some(row)
+    }
+
+    /// The fitted quantizers.
+    pub fn quantizers(&self) -> &[FieldQuantizer; InterestFeatures::DIM] {
+        &self.quantizers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_features(seed: u64) -> InterestFeatures {
+        InterestFeatures {
+            freq_exact: seed * 10,
+            freq_phrase_contained: seed * 15,
+            unit_score: (seed as f64 * 0.1) % 1.0,
+            searchengine_phrase: seed * 3,
+            concept_size: (seed % 3 + 1) as u32,
+            number_of_chars: (seed % 20 + 4) as u32,
+            subconcepts: (seed % 2) as u32,
+            high_level_type: (seed % 7) as u8,
+            wiki_word_count: (seed * 100 % 5000) as u32,
+        }
+    }
+
+    fn store() -> (Vec<(String, InterestFeatures)>, PackedInterestStore) {
+        let concepts: Vec<(String, InterestFeatures)> = (0..50)
+            .map(|i| (format!("concept {i}"), sample_features(i)))
+            .collect();
+        let store = PackedInterestStore::build(&concepts);
+        (concepts, store)
+    }
+
+    #[test]
+    fn eighteen_bytes_per_concept() {
+        let (_, store) = store();
+        assert_eq!(BYTES_PER_CONCEPT, 18);
+        assert_eq!(store.packed_bytes(), 50 * 18);
+    }
+
+    #[test]
+    fn roundtrip_is_close() {
+        let (concepts, store) = store();
+        for (surface, f) in &concepts {
+            let original = f.to_dense();
+            let packed = store.dense(surface).expect("stored concept");
+            for (a, b) in original.iter().zip(&packed) {
+                // "Minor decrease in granularity": relative error bounded
+                // by one quantization cell.
+                assert!(
+                    (a - b).abs() <= 1e-3 * (1.0 + a.abs()),
+                    "{surface}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_surface_none() {
+        let (_, store) = store();
+        assert!(store.dense("never stored").is_none());
+    }
+
+    #[test]
+    fn quantizer_clamps() {
+        let q = FieldQuantizer::new(0.0, 10.0);
+        assert_eq!(q.quantize(-5.0), 0);
+        assert_eq!(q.quantize(15.0), u16::MAX);
+        assert!((q.dequantize(q.quantize(5.0)) - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_quantizer() {
+        let q = FieldQuantizer::fit(std::iter::empty());
+        assert_eq!(q.quantize(3.0), 0);
+        assert_eq!(q.dequantize(0), 0.0);
+        let constant = FieldQuantizer::fit([4.0, 4.0].into_iter());
+        assert_eq!(constant.quantize(4.0), 0);
+        assert_eq!(constant.dequantize(0), 4.0);
+    }
+
+    #[test]
+    fn million_concept_extrapolation_matches_paper() {
+        // 1M concepts × 18 B = 18 MB, as §VI states.
+        let bytes = 1_000_000usize * BYTES_PER_CONCEPT;
+        assert_eq!(bytes, 18_000_000);
+    }
+}

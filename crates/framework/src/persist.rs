@@ -1,0 +1,318 @@
+//! Persistence for the production framework.
+//!
+//! The §VI framework splits work into an *offline* stage (feature
+//! extraction, relevance mining, model training, store packing) and an
+//! *online* stage (detection + ranking under strict latency budgets).
+//! That split implies a hand-off artifact: the frozen stores and the
+//! trained model written by the offline pipeline and memory-mapped or
+//! loaded by the serving fleet.
+//!
+//! [`save_ranker`]/[`load_ranker`] implement that artifact as a
+//! directory:
+//!
+//! * `interest.bin` — the packed interestingness vectors with their
+//!   field quantizers (little-endian binary, built with `bytes`);
+//! * `relevance.bin` — the packed `(TID, score)` store;
+//! * `tids.bin` — the Global TID Table (term list; ids are dense);
+//! * `model.json` — the linear ranking model (scaler + weights).
+
+use crate::packed::{FieldQuantizer, PackedInterestStore};
+use crate::ranker::RuntimeRanker;
+use crate::relstore::PackedRelevanceStore;
+use crate::tid::{GlobalTidTable, TermId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+const MAGIC: u32 = 0x12DE_2009;
+
+/// Save every component of `ranker` into `dir` (created if missing).
+pub fn save_ranker(ranker: &RuntimeRanker, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("interest.bin"), encode_interest(&ranker.interest))?;
+    std::fs::write(dir.join("relevance.bin"), encode_relevance(&ranker.relevance))?;
+    std::fs::write(dir.join("tids.bin"), encode_tids(&ranker.tids))?;
+    let model = serde_json::to_vec_pretty(&ranker.model)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(dir.join("model.json"), model)?;
+    Ok(())
+}
+
+/// Load a ranker previously written by [`save_ranker`].
+pub fn load_ranker(dir: &Path) -> io::Result<RuntimeRanker> {
+    let interest = decode_interest(&mut Bytes::from(std::fs::read(dir.join("interest.bin"))?))?;
+    let relevance =
+        decode_relevance(&mut Bytes::from(std::fs::read(dir.join("relevance.bin"))?))?;
+    let tids = decode_tids(&mut Bytes::from(std::fs::read(dir.join("tids.bin"))?))?;
+    let model: ctxrank_ltr::RankModel =
+        serde_json::from_slice(&std::fs::read(dir.join("model.json"))?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(RuntimeRanker::new(interest, relevance, tids, model))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn check(buf: &mut Bytes, need: usize, what: &str) -> io::Result<()> {
+    if buf.remaining() < need {
+        return Err(bad_data(&format!("truncated {what}")));
+    }
+    Ok(())
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut Bytes) -> io::Result<String> {
+    check(buf, 4, "string length")?;
+    let len = buf.get_u32_le() as usize;
+    check(buf, len, "string body")?;
+    let bytes = buf.copy_to_bytes(len);
+    String::from_utf8(bytes.to_vec()).map_err(|_| bad_data("invalid utf-8"))
+}
+
+fn encode_interest(store: &PackedInterestStore) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(store.quantizers.len() as u32);
+    for q in store.quantizers.iter() {
+        buf.put_f64_le(q.lo);
+        buf.put_f64_le(q.hi);
+    }
+    buf.put_u32_le(store.index.len() as u32);
+    // Deterministic order: sort by slot so files are reproducible.
+    let mut entries: Vec<(&String, &u32)> = store.index.iter().collect();
+    entries.sort_by_key(|(_, &slot)| slot);
+    for (surface, &slot) in entries {
+        put_string(&mut buf, surface);
+        buf.put_u32_le(slot);
+    }
+    buf.put_u64_le(store.data.len() as u64);
+    buf.put_slice(&store.data);
+    buf.to_vec()
+}
+
+fn decode_interest(buf: &mut Bytes) -> io::Result<PackedInterestStore> {
+    check(buf, 8, "interest header")?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(bad_data("interest.bin: bad magic"));
+    }
+    let nq = buf.get_u32_le() as usize;
+    if nq != ctxrank_features::InterestFeatures::DIM {
+        return Err(bad_data("interest.bin: quantizer count mismatch"));
+    }
+    let quantizers: [FieldQuantizer; ctxrank_features::InterestFeatures::DIM] = {
+        let mut qs = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            check(buf, 16, "quantizer")?;
+            let lo = buf.get_f64_le();
+            let hi = buf.get_f64_le();
+            if !lo.is_finite() || !hi.is_finite() || hi < lo {
+                return Err(bad_data("interest.bin: invalid quantizer range"));
+            }
+            qs.push(FieldQuantizer::new(lo, hi));
+        }
+        qs.try_into().expect("length checked")
+    };
+    check(buf, 4, "interest index size")?;
+    let n = buf.get_u32_le() as usize;
+    let mut index = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let surface = get_string(buf)?;
+        check(buf, 4, "interest slot")?;
+        index.insert(surface, buf.get_u32_le());
+    }
+    check(buf, 8, "interest data length")?;
+    let len = buf.get_u64_le() as usize;
+    check(buf, len, "interest data")?;
+    let data = buf.copy_to_bytes(len).to_vec();
+    Ok(PackedInterestStore {
+        index,
+        data,
+        quantizers,
+    })
+}
+
+fn encode_relevance(store: &PackedRelevanceStore) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_f64_le(store.score_scale);
+    buf.put_u32_le(store.index.len() as u32);
+    let mut entries: Vec<(&String, &(u32, u32))> = store.index.iter().collect();
+    entries.sort_by_key(|(_, &(s, _))| s);
+    for (surface, &(start, end)) in entries {
+        put_string(&mut buf, surface);
+        buf.put_u32_le(start);
+        buf.put_u32_le(end);
+    }
+    buf.put_u64_le(store.pairs.len() as u64);
+    for &p in &store.pairs {
+        buf.put_u32_le(p);
+    }
+    buf.to_vec()
+}
+
+fn decode_relevance(buf: &mut Bytes) -> io::Result<PackedRelevanceStore> {
+    check(buf, 16, "relevance header")?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(bad_data("relevance.bin: bad magic"));
+    }
+    let score_scale = buf.get_f64_le();
+    let n = buf.get_u32_le() as usize;
+    let mut index = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let surface = get_string(buf)?;
+        check(buf, 8, "relevance range")?;
+        let start = buf.get_u32_le();
+        let end = buf.get_u32_le();
+        if end < start {
+            return Err(bad_data("relevance.bin: inverted range"));
+        }
+        index.insert(surface, (start, end));
+    }
+    check(buf, 8, "relevance pair count")?;
+    let len = buf.get_u64_le() as usize;
+    check(buf, len * 4, "relevance pairs")?;
+    let mut pairs = Vec::with_capacity(len);
+    for _ in 0..len {
+        pairs.push(buf.get_u32_le());
+    }
+    for &(s, e) in index.values() {
+        if e as usize > pairs.len() || s > e {
+            return Err(bad_data("relevance.bin: range out of bounds"));
+        }
+    }
+    Ok(PackedRelevanceStore {
+        index,
+        pairs,
+        score_scale,
+    })
+}
+
+fn encode_tids(table: &GlobalTidTable) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(table.terms.len() as u32);
+    for term in &table.terms {
+        put_string(&mut buf, term);
+    }
+    buf.to_vec()
+}
+
+fn decode_tids(buf: &mut Bytes) -> io::Result<GlobalTidTable> {
+    check(buf, 8, "tid header")?;
+    if buf.get_u32_le() != MAGIC {
+        return Err(bad_data("tids.bin: bad magic"));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut terms = Vec::with_capacity(n);
+    let mut ids = HashMap::with_capacity(n);
+    for i in 0..n {
+        let term = get_string(buf)?;
+        ids.insert(term.clone(), TermId(i as u32));
+        terms.push(term);
+    }
+    Ok(GlobalTidTable { ids, terms })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_features::{InterestFeatures, RelevantTerms};
+    use ctxrank_ltr::{train, RankGroup, SvmConfig};
+
+    fn sample_ranker() -> RuntimeRanker {
+        let concepts: Vec<(String, InterestFeatures)> = (0..12)
+            .map(|i| {
+                (
+                    format!("concept {i}"),
+                    InterestFeatures {
+                        freq_exact: i * 31,
+                        wiki_word_count: (i * 97) as u32,
+                        ..InterestFeatures::default()
+                    },
+                )
+            })
+            .collect();
+        let interest = PackedInterestStore::build(&concepts);
+        let mut tids = GlobalTidTable::new();
+        let sets: Vec<(String, RelevantTerms)> = (0..12)
+            .map(|i| {
+                (
+                    format!("concept {i}"),
+                    RelevantTerms {
+                        terms: (0..8).map(|j| (format!("kw{}", i + j), 1.0 + j as f64)).collect(),
+                    },
+                )
+            })
+            .collect();
+        let relevance =
+            PackedRelevanceStore::build(sets.iter().map(|(s, r)| (s.as_str(), r)), &mut tids);
+        let groups: Vec<RankGroup> = (0..10)
+            .map(|g| {
+                RankGroup::from_pairs((0..3).map(|i| {
+                    let mut f = vec![0.0; 10];
+                    f[0] = (g + i) as f64;
+                    (f, i as f64 * 0.01)
+                }))
+            })
+            .collect();
+        let model = train(&groups, &SvmConfig::default());
+        RuntimeRanker::new(interest, relevance, tids, model)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_scores() {
+        let ranker = sample_ranker();
+        let dir = std::env::temp_dir().join(format!("ctxrank_persist_{}", std::process::id()));
+        save_ranker(&ranker, &dir).expect("save");
+        let loaded = load_ranker(&dir).expect("load");
+
+        let candidates: Vec<String> = (0..12).map(|i| format!("concept {i}")).collect();
+        let text = "kw1 kw5 kw9 filler words here";
+        let a = ranker.rank(text, &candidates);
+        let b = loaded.rank(text, &candidates);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.surface, y.surface);
+            assert!((x.score - y.score).abs() < 1e-12, "{} vs {}", x.score, y.score);
+            assert!((x.relevance - y.relevance).abs() < 1e-12);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let ranker = sample_ranker();
+        let dir = std::env::temp_dir().join(format!("ctxrank_persist_bad_{}", std::process::id()));
+        save_ranker(&ranker, &dir).expect("save");
+        // Flip the magic of relevance.bin.
+        let path = dir.join("relevance.bin");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, bytes).expect("write");
+        assert!(load_ranker(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let ranker = sample_ranker();
+        let dir = std::env::temp_dir().join(format!("ctxrank_persist_trunc_{}", std::process::id()));
+        save_ranker(&ranker, &dir).expect("save");
+        let path = dir.join("interest.bin");
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write");
+        assert!(load_ranker(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_errors() {
+        assert!(load_ranker(Path::new("/nonexistent/ctxrank")).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The runtime Ranker (§VI, Figure 4).
+//!
+//! Flow for one incoming document: the **Stemmer** produces the stemmed
+//! context once; detected candidate concepts are looked up in the packed
+//! interestingness store (hash table, constant time) and the packed
+//! relevance store (TIDs matched against the context's TID set); the
+//! learned linear model combines the ten features into a final score and
+//! the candidates are returned ranked, relevance breaking ties (§V-A.6).
+
+use crate::packed::PackedInterestStore;
+use crate::relstore::PackedRelevanceStore;
+use crate::tid::GlobalTidTable;
+use ctxrank_ltr::RankModel;
+
+/// One ranked candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedConcept {
+    pub surface: String,
+    /// Final model score.
+    pub score: f64,
+    /// The raw relevance score used for tie-breaking.
+    pub relevance: f64,
+}
+
+/// The assembled production ranker.
+pub struct RuntimeRanker {
+    pub interest: PackedInterestStore,
+    pub relevance: PackedRelevanceStore,
+    pub tids: GlobalTidTable,
+    pub model: RankModel,
+}
+
+impl std::fmt::Debug for RuntimeRanker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeRanker")
+            .field("concepts", &self.interest.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeRanker {
+    /// Assemble a ranker from its frozen stores and a trained model.
+    ///
+    /// # Panics
+    /// Panics when the model is an RBF model — the production framework
+    /// runs the linear model (packed features feed a dot product).
+    pub fn new(
+        interest: PackedInterestStore,
+        relevance: PackedRelevanceStore,
+        tids: GlobalTidTable,
+        model: RankModel,
+    ) -> Self {
+        assert!(
+            !model.is_rbf(),
+            "the production ranker requires a linear model"
+        );
+        Self {
+            interest,
+            relevance,
+            tids,
+            model,
+        }
+    }
+
+    /// Run the Stemmer component: the document's stemmed context terms.
+    pub fn stem_document(&self, text: &str) -> Vec<String> {
+        ctxrank_text::stemmed_terms(text)
+    }
+
+    /// Rank `candidates` (concept surfaces detected in `text`) for the
+    /// document. Returns candidates sorted by score, relevance breaking
+    /// ties; candidates missing from the stores still participate with
+    /// zeroed features.
+    pub fn rank(&self, text: &str, candidates: &[String]) -> Vec<RankedConcept> {
+        let stemmed = self.stem_document(text);
+        let context = self
+            .tids
+            .context_tids(stemmed.iter().map(String::as_str));
+
+        let mut out: Vec<RankedConcept> = candidates
+            .iter()
+            .map(|surface| {
+                let mut features = self
+                    .interest
+                    .dense(surface)
+                    .unwrap_or_else(|| vec![0.0; ctxrank_features::InterestFeatures::DIM]);
+                let rel = self.relevance.score(surface, &context);
+                features.push(rel.ln_1p());
+                RankedConcept {
+                    surface: surface.clone(),
+                    score: self.model.score(&features),
+                    relevance: rel,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.relevance
+                        .partial_cmp(&a.relevance)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then_with(|| a.surface.cmp(&b.surface))
+        });
+        out
+    }
+
+    /// Take the top `n` after ranking.
+    pub fn top_n(&self, text: &str, candidates: &[String], n: usize) -> Vec<RankedConcept> {
+        let mut ranked = self.rank(text, candidates);
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_features::{InterestFeatures, RelevantTerms};
+    use ctxrank_ltr::{train, RankGroup, SvmConfig};
+
+    /// A tiny world: two concepts, one clearly better, a model trained
+    /// to prefer higher freq_exact and relevance.
+    fn build_ranker() -> RuntimeRanker {
+        let hot = (
+            "solar flares".to_string(),
+            InterestFeatures {
+                freq_exact: 1000,
+                freq_phrase_contained: 1500,
+                unit_score: 0.9,
+                searchengine_phrase: 500,
+                concept_size: 2,
+                number_of_chars: 12,
+                subconcepts: 0,
+                high_level_type: 4,
+                wiki_word_count: 2000,
+            },
+        );
+        let cold = (
+            "random stuff".to_string(),
+            InterestFeatures {
+                freq_exact: 5,
+                freq_phrase_contained: 9,
+                unit_score: 0.3,
+                searchengine_phrase: 3000,
+                concept_size: 2,
+                number_of_chars: 12,
+                subconcepts: 0,
+                high_level_type: 0,
+                wiki_word_count: 0,
+            },
+        );
+        let interest = PackedInterestStore::build(&[hot.clone(), cold.clone()]);
+
+        let mut tids = GlobalTidTable::new();
+        let hot_kw = RelevantTerms {
+            terms: vec![
+                (ctxrank_text::stem("sunspot"), 9.0),
+                (ctxrank_text::stem("telescope"), 6.0),
+                (ctxrank_text::stem("radiation"), 5.0),
+            ],
+        };
+        let cold_kw = RelevantTerms {
+            terms: vec![(ctxrank_text::stem("garage"), 0.8)],
+        };
+        let relevance = PackedRelevanceStore::build(
+            vec![
+                ("solar flares", &hot_kw),
+                ("random stuff", &cold_kw),
+            ],
+            &mut tids,
+        );
+
+        // Train a model on synthetic groups whose labels follow
+        // freq_exact + relevance (dims 0 and 9).
+        let groups: Vec<RankGroup> = (0..30)
+            .map(|i| {
+                let base = i as f64 * 0.01;
+                RankGroup::from_pairs(vec![
+                    (
+                        {
+                            let mut f = vec![0.0; 10];
+                            f[0] = 7.0 + base;
+                            f[9] = 2.0;
+                            f
+                        },
+                        0.10,
+                    ),
+                    (
+                        {
+                            let mut f = vec![0.0; 10];
+                            f[0] = 1.0;
+                            f[9] = 0.2 + base * 0.1;
+                            f
+                        },
+                        0.01,
+                    ),
+                ])
+            })
+            .collect();
+        let model = train(&groups, &SvmConfig::default());
+
+        RuntimeRanker::new(interest, relevance, tids, model)
+    }
+
+    #[test]
+    fn hot_concept_ranks_first_in_context() {
+        let ranker = build_ranker();
+        let text = "the telescope captured radiation from a sunspot region";
+        let ranked = ranker.rank(
+            text,
+            &["random stuff".to_string(), "solar flares".to_string()],
+        );
+        assert_eq!(ranked[0].surface, "solar flares");
+        assert!(ranked[0].score > ranked[1].score);
+    }
+
+    #[test]
+    fn relevance_reflects_context() {
+        let ranker = build_ranker();
+        let on = ranker.rank(
+            "telescope radiation sunspot",
+            &["solar flares".to_string()],
+        );
+        let off = ranker.rank("stock market rally", &["solar flares".to_string()]);
+        assert!(on[0].relevance > off[0].relevance);
+    }
+
+    #[test]
+    fn unknown_candidate_scores_with_zero_features() {
+        let ranker = build_ranker();
+        let ranked = ranker.rank("anything", &["never seen".to_string()]);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].relevance, 0.0);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let ranker = build_ranker();
+        let ranked = ranker.top_n(
+            "telescope sunspot",
+            &[
+                "solar flares".to_string(),
+                "random stuff".to_string(),
+                "never seen".to_string(),
+            ],
+            2,
+        );
+        assert_eq!(ranked.len(), 2);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let ranker = build_ranker();
+        assert!(ranker.rank("text", &[]).is_empty());
+    }
+
+    #[test]
+    fn stemmer_component_runs() {
+        let ranker = build_ranker();
+        let stems = ranker.stem_document("The telescopes were observing.");
+        assert_eq!(stems, vec![ctxrank_text::stem("telescopes"), ctxrank_text::stem("observing")]);
+    }
+}

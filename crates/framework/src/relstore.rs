@@ -1,0 +1,243 @@
+//! Packed relevance store — `(TID, score)` in 32 bits, ≤ 100 per concept.
+//!
+//! §VI: "for each concept we actually need to store up to hundred term
+//! ids (TIDs) and their scores ... We normalize the scores of the
+//! relevant terms to be in the range of 0 and 1023, so that they can fit
+//! in 10 bits. So for each concept, we need 400 bytes to store its top
+//! 100 (TID, score) pairs, since each pair can be stored in 32 bits,
+//! combined."
+//!
+//! Layout of one packed pair: bits 31‥10 = TID (22 bits),
+//! bits 9‥0 = quantized score.
+
+use crate::tid::{GlobalTidTable, TermId, MAX_TID};
+use ctxrank_features::RelevantTerms;
+use std::collections::{HashMap, HashSet};
+
+/// Scores are quantized to 10 bits.
+pub const MAX_QSCORE: u32 = 1023;
+/// Keywords kept per concept.
+pub const MAX_KEYWORDS: usize = 100;
+
+/// Pack a `(tid, qscore)` pair into 32 bits.
+fn pack(tid: TermId, qscore: u32) -> u32 {
+    debug_assert!(tid.0 <= MAX_TID);
+    debug_assert!(qscore <= MAX_QSCORE);
+    (tid.0 << 10) | qscore
+}
+
+/// Unpack a 32-bit pair.
+fn unpack(packed: u32) -> (TermId, u32) {
+    (TermId(packed >> 10), packed & MAX_QSCORE)
+}
+
+/// The packed per-concept relevance keyword store.
+#[derive(Debug, Clone, Default)]
+pub struct PackedRelevanceStore {
+    /// concept surface -> range into `pairs`.
+    pub(crate) index: HashMap<String, (u32, u32)>,
+    /// Packed `(TID, score)` pairs, concept ranges contiguous, sorted by
+    /// TID within each concept (enables Golomb compression of the TID
+    /// deltas).
+    pub(crate) pairs: Vec<u32>,
+    /// Global score scale: a quantized score `q` represents
+    /// `q / 1023 * score_scale`.
+    pub(crate) score_scale: f64,
+}
+
+impl PackedRelevanceStore {
+    /// Build from mined keyword sets, interning terms into `tids`.
+    ///
+    /// `score_scale` is fitted to the maximum keyword score observed so
+    /// the 10-bit quantization spans the full range.
+    pub fn build<'a>(
+        concepts: impl IntoIterator<Item = (&'a str, &'a RelevantTerms)>,
+        tids: &mut GlobalTidTable,
+    ) -> Self {
+        let concepts: Vec<(&str, &RelevantTerms)> = concepts.into_iter().collect();
+        let score_scale = concepts
+            .iter()
+            .flat_map(|(_, rt)| rt.terms.iter().map(|(_, s)| *s))
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+
+        let mut index = HashMap::with_capacity(concepts.len());
+        let mut pairs = Vec::new();
+        for (surface, rt) in concepts {
+            let start = pairs.len() as u32;
+            let mut concept_pairs: Vec<u32> = rt
+                .terms
+                .iter()
+                .take(MAX_KEYWORDS)
+                .map(|(term, score)| {
+                    let tid = tids.intern(term);
+                    let q = ((score / score_scale) * MAX_QSCORE as f64)
+                        .round()
+                        .clamp(0.0, MAX_QSCORE as f64) as u32;
+                    pack(tid, q)
+                })
+                .collect();
+            // Sort by TID so the per-concept list is delta-compressible.
+            concept_pairs.sort_unstable();
+            pairs.extend_from_slice(&concept_pairs);
+            index.insert(surface.to_string(), (start, pairs.len() as u32));
+        }
+        Self {
+            index,
+            pairs,
+            score_scale,
+        }
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Bytes of packed pair data (excluding the hash index).
+    pub fn packed_bytes(&self) -> usize {
+        self.pairs.len() * 4
+    }
+
+    /// The concept's packed keyword list as `(TermId, raw score)`.
+    pub fn keywords(&self, surface: &str) -> Option<Vec<(TermId, f64)>> {
+        let &(start, end) = self.index.get(surface)?;
+        Some(
+            self.pairs[start as usize..end as usize]
+                .iter()
+                .map(|&p| {
+                    let (tid, q) = unpack(p);
+                    (tid, q as f64 / MAX_QSCORE as f64 * self.score_scale)
+                })
+                .collect(),
+        )
+    }
+
+    /// Runtime relevance score: sum of dequantized scores of the
+    /// concept's keywords present in the context TID set. Unknown
+    /// concepts score 0.
+    pub fn score(&self, surface: &str, context: &HashSet<TermId>) -> f64 {
+        match self.index.get(surface) {
+            None => 0.0,
+            Some(&(start, end)) => self.pairs[start as usize..end as usize]
+                .iter()
+                .map(|&p| unpack(p))
+                .filter(|(tid, _)| context.contains(tid))
+                .map(|(_, q)| q as f64 / MAX_QSCORE as f64 * self.score_scale)
+                .sum(),
+        }
+    }
+
+    /// Sorted TID lists per concept — input for the Golomb compression
+    /// experiment.
+    pub fn tid_lists(&self) -> impl Iterator<Item = &[u32]> {
+        // Each concept's range is sorted by packed value; since TID is in
+        // the high bits, the TID sequence is sorted too.
+        let mut ranges: Vec<(u32, u32)> = self.index.values().copied().collect();
+        ranges.sort_unstable();
+        ranges
+            .into_iter()
+            .map(move |(s, e)| &self.pairs[s as usize..e as usize])
+    }
+
+    /// The global score scale.
+    pub fn score_scale(&self) -> f64 {
+        self.score_scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(pairs: &[(&str, f64)]) -> RelevantTerms {
+        RelevantTerms {
+            terms: pairs.iter().map(|(t, s)| (t.to_string(), *s)).collect(),
+        }
+    }
+
+    fn store() -> (PackedRelevanceStore, GlobalTidTable) {
+        let mut tids = GlobalTidTable::new();
+        let a = rt(&[("sunspot", 8.0), ("telescop", 6.0), ("radiat", 4.0)]);
+        let b = rt(&[("market", 5.0), ("stock", 3.0)]);
+        let store = PackedRelevanceStore::build(
+            vec![("solar flares", &a), ("wall street", &b)],
+            &mut tids,
+        );
+        (store, tids)
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let tid = TermId(4_000_000);
+        let (t2, q2) = unpack(pack(tid, 1000));
+        assert_eq!(t2, tid);
+        assert_eq!(q2, 1000);
+    }
+
+    #[test]
+    fn four_bytes_per_pair() {
+        let (store, _) = store();
+        assert_eq!(store.packed_bytes(), 5 * 4);
+        // Paper arithmetic: 100 pairs → 400 B/concept.
+        assert_eq!(MAX_KEYWORDS * 4, 400);
+    }
+
+    #[test]
+    fn keywords_roundtrip_scores() {
+        let (store, tids) = store();
+        let kws = store.keywords("solar flares").expect("stored");
+        assert_eq!(kws.len(), 3);
+        // Max score maps to the top of the quantization range.
+        let max = kws.iter().map(|(_, s)| *s).fold(0.0_f64, f64::max);
+        assert!((max - 8.0).abs() < 0.01);
+        // TIDs resolve back to terms.
+        for (tid, _) in kws {
+            assert!(tids.term(tid).is_some());
+        }
+    }
+
+    #[test]
+    fn scoring_matches_unpacked_model() {
+        let (store, tids) = store();
+        let ctx = tids.context_tids(["sunspot", "radiat", "unrelated"]);
+        let s = store.score("solar flares", &ctx);
+        assert!((s - 12.0).abs() < 0.05, "score {s}");
+        assert_eq!(store.score("wall street", &ctx), 0.0);
+        assert_eq!(store.score("unknown", &ctx), 0.0);
+    }
+
+    #[test]
+    fn keyword_cap_enforced() {
+        let mut tids = GlobalTidTable::new();
+        let big = RelevantTerms {
+            terms: (0..150).map(|i| (format!("t{i}"), 1.0)).collect(),
+        };
+        let store = PackedRelevanceStore::build(vec![("big", &big)], &mut tids);
+        assert_eq!(store.keywords("big").expect("stored").len(), MAX_KEYWORDS);
+    }
+
+    #[test]
+    fn tid_lists_sorted_for_compression() {
+        let (store, _) = store();
+        for list in store.tid_lists() {
+            let tids: Vec<u32> = list.iter().map(|&p| p >> 10).collect();
+            let mut sorted = tids.clone();
+            sorted.sort_unstable();
+            assert_eq!(tids, sorted);
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let mut tids = GlobalTidTable::new();
+        let store = PackedRelevanceStore::build(Vec::new(), &mut tids);
+        assert!(store.is_empty());
+        assert_eq!(store.packed_bytes(), 0);
+    }
+}

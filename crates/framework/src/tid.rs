@@ -1,0 +1,129 @@
+//! The Global TID Table.
+//!
+//! §VI: "the system uses a global hash table (Global TID Table) which
+//! simply maps a given term to its TID (if that term is used by at least
+//! one concept) ... the total number of unique terms stored in the
+//! Global TID Table decreases as we increase the number of concepts in
+//! the system ... the largest TID value we need to support in the system
+//! is not too large and can easily fit into 22 bits."
+
+use std::collections::HashMap;
+
+/// A term id — guaranteed to fit in 22 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+/// The largest representable TID (22 bits).
+pub const MAX_TID: u32 = (1 << 22) - 1;
+
+/// Maps stemmed terms to dense [`TermId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalTidTable {
+    pub(crate) ids: HashMap<String, TermId>,
+    pub(crate) terms: Vec<String>,
+}
+
+impl GlobalTidTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its (possibly existing) id.
+    ///
+    /// # Panics
+    /// Panics if the table outgrows the 22-bit id space.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        assert!(id.0 <= MAX_TID, "Global TID Table exceeded 22-bit id space");
+        self.ids.insert(term.to_string(), id);
+        self.terms.push(term.to_string());
+        id
+    }
+
+    /// Look up a term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Reverse lookup.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Map a prepared context (stemmed terms) to the set of known TIDs.
+    pub fn context_tids<'a>(
+        &self,
+        stemmed_terms: impl IntoIterator<Item = &'a str>,
+    ) -> std::collections::HashSet<TermId> {
+        stemmed_terms
+            .into_iter()
+            .filter_map(|t| self.get(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = GlobalTidTable::new();
+        let a = t.intern("warm");
+        let b = t.intern("warm");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut t = GlobalTidTable::new();
+        assert_eq!(t.intern("a"), TermId(0));
+        assert_eq!(t.intern("b"), TermId(1));
+        assert_eq!(t.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut t = GlobalTidTable::new();
+        let id = t.intern("sunspot");
+        assert_eq!(t.term(id), Some("sunspot"));
+        assert_eq!(t.term(TermId(99)), None);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let t = GlobalTidTable::new();
+        assert_eq!(t.get("missing"), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn context_mapping_skips_unknown() {
+        let mut t = GlobalTidTable::new();
+        let a = t.intern("alpha");
+        t.intern("beta");
+        let ctx = t.context_tids(["alpha", "gamma"]);
+        assert_eq!(ctx.len(), 1);
+        assert!(ctx.contains(&a));
+    }
+
+    #[test]
+    fn max_tid_is_22_bits() {
+        assert_eq!(MAX_TID, 4_194_303);
+    }
+}

@@ -1,0 +1,212 @@
+//! Inverted-index search engine substrate.
+//!
+//! The paper leans on Yahoo! Search in four places: the term dictionary
+//! with term–document frequencies used to build tf·idf term vectors
+//! (§II-B), the number of results returned for a phrase query
+//! (`searchengine_phrase`, feature 4 of Table I), the result snippets used
+//! to mine relevance keywords (§IV-B), and the ranked document lists that
+//! the Prisma-style refinement tool draws pseudo-relevance feedback from.
+//!
+//! This crate implements that search engine from scratch: a positional
+//! inverted index over a document collection, tf·idf ranked retrieval
+//! (Salton & Buckley weighting, reference \[6\]), conjunctive and phrase
+//! queries with document counts, and match-window snippet extraction.
+//!
+//! ```
+//! use ctxrank_index::IndexBuilder;
+//!
+//! let mut b = IndexBuilder::new();
+//! b.add_document("global warming threatens polar bears");
+//! b.add_document("the warming trend continued this year");
+//! let index = b.build();
+//!
+//! assert_eq!(index.doc_freq("warming"), 2);
+//! assert_eq!(index.phrase_count(&["global".into(), "warming".into()]), 1);
+//! let hits = index.search(&["warming".into(), "polar".into()], 10);
+//! assert_eq!(hits[0].doc.0, 0);
+//! ```
+
+mod postings;
+mod search;
+mod snippet;
+mod tfidf;
+
+pub use postings::{DocId, Posting, Postings};
+pub use search::SearchHit;
+pub use snippet::{snippet, DEFAULT_CONTEXT_TOKENS};
+pub use tfidf::{tf_idf_weight, TermVector};
+
+use std::collections::HashMap;
+
+/// A document stored in the index: the raw text plus its token stream.
+#[derive(Debug, Clone)]
+pub struct StoredDoc {
+    /// Raw document text.
+    pub text: String,
+    /// Normalized terms in order (empty normalizations dropped).
+    pub terms: Vec<String>,
+    /// Byte offset of each term in `text` (parallel to `terms`).
+    pub offsets: Vec<(usize, usize)>,
+}
+
+impl StoredDoc {
+    /// Number of terms in the document.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the document has no indexable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// Builder that accumulates documents before freezing them into an
+/// [`Index`].
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    docs: Vec<StoredDoc>,
+}
+
+impl IndexBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenize, normalize and store one document; returns its id.
+    pub fn add_document(&mut self, text: &str) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        let mut terms = Vec::new();
+        let mut offsets = Vec::new();
+        for tok in ctxrank_text::tokenize(text) {
+            let norm = ctxrank_text::normalize_term(tok.text);
+            if !norm.is_empty() {
+                terms.push(norm);
+                offsets.push((tok.start, tok.end));
+            }
+        }
+        self.docs.push(StoredDoc {
+            text: text.to_string(),
+            terms,
+            offsets,
+        });
+        id
+    }
+
+    /// Freeze the collection into a searchable [`Index`].
+    pub fn build(self) -> Index {
+        let mut postings: HashMap<String, Postings> = HashMap::new();
+        for (doc_idx, doc) in self.docs.iter().enumerate() {
+            let id = DocId(doc_idx as u32);
+            for (pos, term) in doc.terms.iter().enumerate() {
+                postings
+                    .entry(term.clone())
+                    .or_default()
+                    .push(id, pos as u32);
+            }
+        }
+        Index {
+            docs: self.docs,
+            postings,
+        }
+    }
+}
+
+/// A frozen, searchable document collection.
+#[derive(Debug)]
+pub struct Index {
+    docs: Vec<StoredDoc>,
+    postings: HashMap<String, Postings>,
+}
+
+impl Index {
+    /// Number of documents in the collection.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Access a stored document.
+    pub fn doc(&self, id: DocId) -> &StoredDoc {
+        &self.docs[id.0 as usize]
+    }
+
+    /// Number of documents containing `term` (document frequency).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings.get(term).map_or(0, |p| p.doc_count())
+    }
+
+    /// Inverse document frequency, smoothed so unseen terms get the
+    /// maximum idf instead of infinity: `ln((N + 1) / (df + 1))`.
+    pub fn idf(&self, term: &str) -> f64 {
+        let n = self.docs.len() as f64;
+        let df = self.doc_freq(term) as f64;
+        ((n + 1.0) / (df + 1.0)).ln()
+    }
+
+    /// Postings list for `term`, if any document contains it.
+    pub fn postings(&self, term: &str) -> Option<&Postings> {
+        self.postings.get(term)
+    }
+
+    /// Iterate over all indexed terms.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> Index {
+        let mut b = IndexBuilder::new();
+        b.add_document("global warming threatens the arctic");
+        b.add_document("warming oceans and global trade");
+        b.add_document("trade talks stall again");
+        b.build()
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let mut b = IndexBuilder::new();
+        b.add_document("spam spam spam");
+        b.add_document("spam once");
+        let idx = b.build();
+        assert_eq!(idx.doc_freq("spam"), 2);
+    }
+
+    #[test]
+    fn idf_ordering() {
+        let idx = small_index();
+        // "arctic" appears once, "global" twice: rarer term has higher idf.
+        assert!(idx.idf("arctic") > idx.idf("global"));
+        // Unseen term gets the maximum idf.
+        assert!(idx.idf("zebra") >= idx.idf("arctic"));
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexBuilder::new().build();
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.doc_freq("x"), 0);
+        assert!(idx.search(&["x".into()], 5).is_empty());
+    }
+
+    #[test]
+    fn stored_doc_offsets_align() {
+        let idx = small_index();
+        let doc = idx.doc(DocId(0));
+        for (term, (s, e)) in doc.terms.iter().zip(&doc.offsets) {
+            assert_eq!(&doc.text[*s..*e].to_lowercase(), term);
+        }
+    }
+
+    #[test]
+    fn terms_iterator_covers_vocabulary() {
+        let idx = small_index();
+        let vocab: Vec<_> = idx.terms().collect();
+        assert!(vocab.contains(&"warming"));
+        assert!(vocab.contains(&"stall"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Positional postings lists.
+
+/// Identifier of a document inside one [`crate::Index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+/// One document's entry in a postings list: the document id and the sorted
+/// token positions at which the term occurs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    pub doc: DocId,
+    pub positions: Vec<u32>,
+}
+
+/// A term's postings: one [`Posting`] per containing document, sorted by
+/// document id (an invariant maintained by construction — documents are
+/// indexed in id order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Postings {
+    entries: Vec<Posting>,
+}
+
+impl Postings {
+    /// Record an occurrence of the term at `pos` in `doc`. Documents must
+    /// be pushed in non-decreasing id order with non-decreasing positions
+    /// (the index builder guarantees this).
+    pub(crate) fn push(&mut self, doc: DocId, pos: u32) {
+        match self.entries.last_mut() {
+            Some(last) if last.doc == doc => {
+                debug_assert!(last.positions.last().is_none_or(|&p| p <= pos));
+                last.positions.push(pos);
+            }
+            _ => {
+                debug_assert!(self.entries.last().is_none_or(|p| p.doc < doc));
+                self.entries.push(Posting {
+                    doc,
+                    positions: vec![pos],
+                });
+            }
+        }
+    }
+
+    /// Number of documents containing the term.
+    pub fn doc_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of occurrences across all documents.
+    pub fn total_count(&self) -> usize {
+        self.entries.iter().map(|p| p.positions.len()).sum()
+    }
+
+    /// Iterate the per-document entries in document-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Posting> {
+        self.entries.iter()
+    }
+
+    /// Binary-search for a document's entry.
+    pub fn get(&self, doc: DocId) -> Option<&Posting> {
+        self.entries
+            .binary_search_by_key(&doc, |p| p.doc)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Term frequency in one document.
+    pub fn tf(&self, doc: DocId) -> usize {
+        self.get(doc).map_or(0, |p| p.positions.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_groups_by_document() {
+        let mut p = Postings::default();
+        p.push(DocId(0), 1);
+        p.push(DocId(0), 5);
+        p.push(DocId(2), 0);
+        assert_eq!(p.doc_count(), 2);
+        assert_eq!(p.total_count(), 3);
+        assert_eq!(p.tf(DocId(0)), 2);
+        assert_eq!(p.tf(DocId(1)), 0);
+        assert_eq!(p.tf(DocId(2)), 1);
+    }
+
+    #[test]
+    fn get_binary_search() {
+        let mut p = Postings::default();
+        for d in [0u32, 3, 7, 9] {
+            p.push(DocId(d), 0);
+        }
+        assert!(p.get(DocId(7)).is_some());
+        assert!(p.get(DocId(4)).is_none());
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let mut p = Postings::default();
+        for d in 0..10u32 {
+            p.push(DocId(d), d);
+        }
+        let ids: Vec<_> = p.iter().map(|e| e.doc.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,263 @@
+//! Ranked retrieval, conjunctive queries and phrase queries.
+
+use crate::postings::{DocId, Posting};
+use crate::tfidf::tf_idf_weight;
+use crate::Index;
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    pub doc: DocId,
+    /// tf·idf relevance score (higher is better).
+    pub score: f64,
+    /// Token position of the first query-term match in the document —
+    /// used for snippet extraction.
+    pub first_match: u32,
+}
+
+impl Index {
+    /// Disjunctive ("regular") tf·idf search: documents matching any query
+    /// term, ranked by summed tf·idf, top `k` returned. Ties are broken by
+    /// document id for determinism.
+    pub fn search(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
+        let mut scores: std::collections::HashMap<DocId, (f64, u32)> = std::collections::HashMap::new();
+        for term in terms {
+            let idf = self.idf(term);
+            if let Some(postings) = self.postings(term) {
+                for p in postings.iter() {
+                    let w = tf_idf_weight(p.positions.len(), idf);
+                    let entry = scores.entry(p.doc).or_insert((0.0, u32::MAX));
+                    entry.0 += w;
+                    entry.1 = entry.1.min(p.positions[0]);
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, (score, first_match))| SearchHit {
+                doc,
+                score,
+                first_match,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Number of documents that match *all* query terms (conjunctive
+    /// count — the "regular query" result count the paper experimented
+    /// with during feature selection).
+    pub fn conjunctive_count(&self, terms: &[String]) -> usize {
+        match self.candidate_docs(terms) {
+            Some(docs) => docs.len(),
+            None => 0,
+        }
+    }
+
+    /// Number of documents containing `terms` as a contiguous phrase —
+    /// the `searchengine_phrase` feature (Table I, feature 4).
+    pub fn phrase_count(&self, terms: &[String]) -> usize {
+        match self.phrase_postings(terms) {
+            Some(list) => list.len(),
+            None => 0,
+        }
+    }
+
+    /// Ranked phrase search: documents containing the contiguous phrase,
+    /// scored by phrase frequency times the summed idf of the phrase
+    /// terms; top `k` returned.
+    pub fn phrase_search(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
+        let matches = match self.phrase_postings(terms) {
+            Some(m) => m,
+            None => return Vec::new(),
+        };
+        let phrase_idf: f64 = terms.iter().map(|t| self.idf(t)).sum();
+        let mut hits: Vec<SearchHit> = matches
+            .into_iter()
+            .map(|(doc, positions)| SearchHit {
+                doc,
+                score: tf_idf_weight(positions.len(), phrase_idf),
+                first_match: positions[0],
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Documents containing all terms (intersection of postings), or
+    /// `None` when any term is missing from the index or the query is
+    /// empty.
+    fn candidate_docs(&self, terms: &[String]) -> Option<Vec<DocId>> {
+        if terms.is_empty() {
+            return None;
+        }
+        let mut lists: Vec<&crate::Postings> = Vec::with_capacity(terms.len());
+        for t in terms {
+            lists.push(self.postings(t)?);
+        }
+        // Intersect starting from the shortest list.
+        lists.sort_by_key(|p| p.doc_count());
+        let mut docs: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
+        for list in &lists[1..] {
+            docs.retain(|d| list.get(*d).is_some());
+            if docs.is_empty() {
+                break;
+            }
+        }
+        Some(docs)
+    }
+
+    /// For each document containing the contiguous phrase, the sorted
+    /// token positions of the phrase's first term.
+    fn phrase_postings(&self, terms: &[String]) -> Option<Vec<(DocId, Vec<u32>)>> {
+        if terms.is_empty() {
+            return None;
+        }
+        if terms.len() == 1 {
+            return Some(
+                self.postings(&terms[0])?
+                    .iter()
+                    .map(|p| (p.doc, p.positions.clone()))
+                    .collect(),
+            );
+        }
+        let docs = self.candidate_docs(terms)?;
+        let lists: Vec<&crate::Postings> = terms
+            .iter()
+            .map(|t| self.postings(t).expect("candidate_docs verified presence"))
+            .collect();
+        let mut out = Vec::new();
+        for doc in docs {
+            let entries: Vec<&Posting> = lists
+                .iter()
+                .map(|l| l.get(doc).expect("doc in intersection"))
+                .collect();
+            let mut starts = Vec::new();
+            for &p0 in &entries[0].positions {
+                let aligned = entries[1..]
+                    .iter()
+                    .enumerate()
+                    .all(|(i, e)| e.positions.binary_search(&(p0 + i as u32 + 1)).is_ok());
+                if aligned {
+                    starts.push(p0);
+                }
+            }
+            if !starts.is_empty() {
+                out.push((doc, starts));
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::IndexBuilder;
+
+    fn terms(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn build(docs: &[&str]) -> crate::Index {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            b.add_document(d);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn search_ranks_by_tfidf() {
+        let idx = build(&[
+            "cuba cuba cuba policy",
+            "cuba appears once here",
+            "nothing relevant at all",
+        ]);
+        let hits = idx.search(&terms("cuba"), 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc.0, 0);
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn search_truncates_to_k() {
+        let idx = build(&["a x", "a y", "a z"]);
+        assert_eq!(idx.search(&terms("a"), 2).len(), 2);
+    }
+
+    #[test]
+    fn phrase_count_requires_adjacency() {
+        let idx = build(&[
+            "global warming is real",
+            "warming global order reversed",
+            "global economic warming gap",
+        ]);
+        assert_eq!(idx.phrase_count(&terms("global warming")), 1);
+        assert_eq!(idx.conjunctive_count(&terms("global warming")), 3);
+    }
+
+    #[test]
+    fn phrase_count_single_term() {
+        let idx = build(&["alpha beta", "beta gamma"]);
+        assert_eq!(idx.phrase_count(&terms("beta")), 2);
+    }
+
+    #[test]
+    fn phrase_three_terms() {
+        let idx = build(&[
+            "president of the united states of america",
+            "united states senate",
+            "the states united once",
+        ]);
+        assert_eq!(idx.phrase_count(&terms("united states")), 2);
+        assert_eq!(idx.phrase_count(&terms("united states senate")), 1);
+    }
+
+    #[test]
+    fn phrase_search_scores_by_frequency() {
+        let idx = build(&[
+            "new york new york so nice",
+            "new york once",
+        ]);
+        let hits = idx.phrase_search(&terms("new york"), 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].doc.0, 0);
+        assert_eq!(hits[0].first_match, 0);
+    }
+
+    #[test]
+    fn missing_term_empty_results() {
+        let idx = build(&["something here"]);
+        assert_eq!(idx.phrase_count(&terms("absent phrase")), 0);
+        assert!(idx.phrase_search(&terms("absent"), 5).is_empty());
+        assert_eq!(idx.conjunctive_count(&terms("something absent")), 0);
+    }
+
+    #[test]
+    fn empty_query() {
+        let idx = build(&["something here"]);
+        assert!(idx.search(&[], 5).is_empty());
+        assert_eq!(idx.phrase_count(&[]), 0);
+    }
+
+    #[test]
+    fn repeated_phrase_in_one_doc() {
+        let idx = build(&["ab cd ab cd ab cd", "other text entirely"]);
+        let hits = idx.phrase_search(&terms("ab cd"), 5);
+        assert_eq!(hits.len(), 1);
+        // Three phrase occurrences: score reflects tf=3.
+        assert!(hits[0].score > 0.0);
+    }
+}

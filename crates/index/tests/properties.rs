@@ -1,0 +1,106 @@
+//! Property-based tests for the inverted index.
+
+use ctxrank_index::{DocId, IndexBuilder};
+use proptest::prelude::*;
+
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(prop::collection::vec("[a-e]{1,3}", 1..30), 1..20)
+}
+
+proptest! {
+    /// Postings are consistent with the stored documents: doc_freq
+    /// matches a naive scan, and tf matches the per-document count.
+    #[test]
+    fn postings_match_naive_scan(docs in docs_strategy()) {
+        let mut b = IndexBuilder::new();
+        for d in &docs {
+            b.add_document(&d.join(" "));
+        }
+        let idx = b.build();
+        // Check every distinct term of the corpus.
+        let mut vocab: Vec<&String> = docs.iter().flatten().collect();
+        vocab.sort();
+        vocab.dedup();
+        for term in vocab {
+            let naive_df = docs.iter().filter(|d| d.contains(term)).count();
+            prop_assert_eq!(idx.doc_freq(term), naive_df);
+            let postings = idx.postings(term).expect("term indexed");
+            for (i, d) in docs.iter().enumerate() {
+                let naive_tf = d.iter().filter(|t| *t == term).count();
+                prop_assert_eq!(postings.tf(DocId(i as u32)), naive_tf);
+            }
+        }
+    }
+
+    /// Phrase counts match a naive windows() scan.
+    #[test]
+    fn phrase_count_matches_naive(docs in docs_strategy(),
+                                  phrase in prop::collection::vec("[a-e]{1,3}", 1..4)) {
+        let mut b = IndexBuilder::new();
+        for d in &docs {
+            b.add_document(&d.join(" "));
+        }
+        let idx = b.build();
+        let naive = docs
+            .iter()
+            .filter(|d| {
+                d.len() >= phrase.len()
+                    && d.windows(phrase.len()).any(|w| w == phrase.as_slice())
+            })
+            .count();
+        prop_assert_eq!(idx.phrase_count(&phrase), naive);
+    }
+
+    /// Search results are sorted by score and contain only documents
+    /// that have at least one query term.
+    #[test]
+    fn search_results_sane(docs in docs_strategy(),
+                           query in prop::collection::vec("[a-e]{1,3}", 1..4)) {
+        let mut b = IndexBuilder::new();
+        for d in &docs {
+            b.add_document(&d.join(" "));
+        }
+        let idx = b.build();
+        let hits = idx.search(&query, docs.len());
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            let doc = &docs[h.doc.0 as usize];
+            prop_assert!(query.iter().any(|q| doc.contains(q)));
+        }
+    }
+
+    /// idf is non-increasing in document frequency.
+    #[test]
+    fn idf_monotone(docs in docs_strategy()) {
+        let mut b = IndexBuilder::new();
+        for d in &docs {
+            b.add_document(&d.join(" "));
+        }
+        let idx = b.build();
+        let mut by_df: Vec<(usize, f64)> = idx
+            .terms()
+            .map(|t| (idx.doc_freq(t), idx.idf(t)))
+            .collect();
+        by_df.sort_by_key(|p| p.0);
+        for w in by_df.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+    }
+
+    /// Snippets always contain the token at the match position.
+    #[test]
+    fn snippet_contains_match(doc in prop::collection::vec("[a-e]{1,3}", 1..40),
+                              pos in 0usize..40, context in 0usize..6) {
+        let mut b = IndexBuilder::new();
+        let id = b.add_document(&doc.join(" "));
+        let idx = b.build();
+        let pos = pos.min(doc.len() - 1);
+        let snippet = idx.snippet(id, pos as u32, context);
+        prop_assert!(
+            snippet.split(' ').any(|t| t == doc[pos]),
+            "snippet {:?} missing token {:?}", snippet, doc[pos]
+        );
+    }
+}

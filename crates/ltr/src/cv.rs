@@ -1,0 +1,129 @@
+//! Deterministic k-fold cross-validation.
+//!
+//! §V-A.3: "we followed the five-fold cross-validation process: We
+//! randomly partitioned our document set into five subsets, used four
+//! subsets for training and the remaining subset for testing. We
+//! repeated this five times to ensure the learned model is tested on
+//! each unseen subset."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A k-fold splitter over item indices.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Partition `n` items into `k` folds after a seeded shuffle.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `k > n`.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one fold");
+        assert!(k <= n, "cannot make {k} folds from {n} items");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut r = StdRng::seed_from_u64(seed ^ 0xf01d);
+        for i in (1..n).rev() {
+            let j = r.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut folds = vec![Vec::with_capacity(n / k + 1); k];
+        for (pos, idx) in order.into_iter().enumerate() {
+            folds[pos % k].push(idx);
+        }
+        Self { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The held-out test indices of fold `f`.
+    pub fn test_indices(&self, f: usize) -> &[usize] {
+        &self.folds[f]
+    }
+
+    /// The training indices of fold `f` (everything not in fold `f`).
+    pub fn train_indices(&self, f: usize) -> Vec<usize> {
+        self.folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != f)
+            .flat_map(|(_, fold)| fold.iter().copied())
+            .collect()
+    }
+
+    /// Iterate `(train, test)` splits.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> {
+        (0..self.k()).map(|f| (self.train_indices(f), self.test_indices(f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn folds_partition_all_items() {
+        let kf = KFold::new(23, 5, 1);
+        let mut seen = HashSet::new();
+        for f in 0..5 {
+            for &i in kf.test_indices(f) {
+                assert!(seen.insert(i), "index {i} in two folds");
+            }
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    fn folds_are_balanced() {
+        let kf = KFold::new(100, 5, 2);
+        for f in 0..5 {
+            assert_eq!(kf.test_indices(f).len(), 20);
+        }
+    }
+
+    #[test]
+    fn train_test_disjoint_and_complete() {
+        let kf = KFold::new(17, 4, 3);
+        for (train, test) in kf.splits() {
+            let train_set: HashSet<_> = train.iter().copied().collect();
+            let test_set: HashSet<_> = test.iter().copied().collect();
+            assert!(train_set.is_disjoint(&test_set));
+            assert_eq!(train_set.len() + test_set.len(), 17);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = KFold::new(50, 5, 9);
+        let b = KFold::new(50, 5, 9);
+        for f in 0..5 {
+            assert_eq!(a.test_indices(f), b.test_indices(f));
+        }
+        let c = KFold::new(50, 5, 10);
+        assert_ne!(a.test_indices(0), c.test_indices(0));
+    }
+
+    #[test]
+    fn shuffling_actually_happens() {
+        let kf = KFold::new(100, 2, 4);
+        // Fold 0 should not be exactly the even numbers 0..50.
+        let sorted: Vec<usize> = {
+            let mut v = kf.test_indices(0).to_vec();
+            v.sort_unstable();
+            v
+        };
+        assert_ne!(sorted, (0..100).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_folds_panics() {
+        let _ = KFold::new(3, 5, 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Hyper-parameter selection for the ranking SVM.
+//!
+//! The paper runs SVM-light/LIBLINEAR "with the default parameters" and
+//! reports the better kernel (§V-A.3). A downstream user adopting this
+//! crate will want the selection automated: [`grid_search`] evaluates a
+//! candidate grid under group-level cross-validation and returns the
+//! configuration with the best held-out weighted pairwise accuracy.
+
+use crate::cv::KFold;
+use crate::train::{train, KernelKind, RankGroup, RankModel, SvmConfig};
+
+/// The candidate grid. Every combination of the three axes is tried.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    pub lambdas: Vec<f64>,
+    pub epochs: Vec<usize>,
+    pub kernels: Vec<KernelKind>,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Self {
+            lambdas: vec![1e-3, 1e-4, 1e-5],
+            epochs: vec![20],
+            kernels: vec![
+                KernelKind::Linear,
+                KernelKind::Rbf {
+                    gamma: 0.1,
+                    dim: 256,
+                },
+            ],
+        }
+    }
+}
+
+/// Outcome of a grid search.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// The winning configuration.
+    pub config: SvmConfig,
+    /// Its cross-validated weighted error (CTR-gap-weighted fraction of
+    /// mispredicted preference pairs, the same quantity Eq. 5 reports).
+    pub cv_weighted_error: f64,
+    /// Every `(config, cv error)` evaluated, in grid order.
+    pub trials: Vec<(SvmConfig, f64)>,
+}
+
+/// Weighted pairwise error of `model` on `groups`.
+fn weighted_error(model: &RankModel, groups: &[&RankGroup]) -> f64 {
+    let mut mistaken = 0.0;
+    let mut total = 0.0;
+    for g in groups {
+        let scores: Vec<f64> = g
+            .instances
+            .iter()
+            .map(|i| model.score(&i.features))
+            .collect();
+        for a in 0..g.instances.len() {
+            for b in 0..g.instances.len() {
+                let gap = g.instances[a].label - g.instances[b].label;
+                if gap > 0.0 {
+                    total += gap;
+                    if scores[a] < scores[b] {
+                        mistaken += gap;
+                    } else if scores[a] == scores[b] {
+                        mistaken += 0.5 * gap;
+                    }
+                }
+            }
+        }
+    }
+    if total <= 0.0 {
+        0.0
+    } else {
+        mistaken / total
+    }
+}
+
+/// Run `k_folds` cross-validation for every grid point and pick the
+/// configuration with the lowest held-out weighted error.
+///
+/// # Panics
+/// Panics when `groups` has fewer than `k_folds` members or the grid is
+/// empty.
+pub fn grid_search(groups: &[RankGroup], grid: &Grid, k_folds: usize, seed: u64) -> GridOutcome {
+    assert!(
+        !grid.lambdas.is_empty() && !grid.epochs.is_empty() && !grid.kernels.is_empty(),
+        "empty grid"
+    );
+    let kf = KFold::new(groups.len(), k_folds, seed);
+    let mut trials = Vec::new();
+    let mut best: Option<(SvmConfig, f64)> = None;
+
+    for &kernel in &grid.kernels {
+        for &lambda in &grid.lambdas {
+            for &epochs in &grid.epochs {
+                let config = SvmConfig {
+                    kernel,
+                    lambda,
+                    epochs,
+                    seed,
+                    ..SvmConfig::default()
+                };
+                let mut mistaken_total = (0.0, 0.0);
+                for f in 0..k_folds {
+                    let train_groups: Vec<RankGroup> = kf
+                        .train_indices(f)
+                        .iter()
+                        .map(|&i| groups[i].clone())
+                        .filter(|g| {
+                            g.instances
+                                .iter()
+                                .any(|a| g.instances.iter().any(|b| a.label > b.label))
+                        })
+                        .collect();
+                    if train_groups.is_empty() {
+                        continue;
+                    }
+                    let model = train(&train_groups, &config);
+                    let test: Vec<&RankGroup> =
+                        kf.test_indices(f).iter().map(|&i| &groups[i]).collect();
+                    // Accumulate weighted mistakes across folds.
+                    let e = weighted_error(&model, &test);
+                    // weighted_error returns a ratio; to aggregate fairly
+                    // across folds of slightly different sizes we weight
+                    // by the fold's group count.
+                    mistaken_total.0 += e * test.len() as f64;
+                    mistaken_total.1 += test.len() as f64;
+                }
+                let cv = if mistaken_total.1 > 0.0 {
+                    mistaken_total.0 / mistaken_total.1
+                } else {
+                    1.0
+                };
+                trials.push((config.clone(), cv));
+                if best.as_ref().is_none_or(|(_, b)| cv < *b) {
+                    best = Some((config, cv));
+                }
+            }
+        }
+    }
+    let (config, cv_weighted_error) = best.expect("non-empty grid");
+    GridOutcome {
+        config,
+        cv_weighted_error,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_task(seed: u64, n: usize) -> Vec<RankGroup> {
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                RankGroup::from_pairs((0..5).map(|_| {
+                    let x: f64 = r.random();
+                    let y: f64 = r.random();
+                    (vec![x, y], 3.0 * x - y)
+                }))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_a_good_configuration() {
+        let groups = linear_task(1, 40);
+        let out = grid_search(&groups, &Grid::default(), 4, 9);
+        assert!(
+            out.cv_weighted_error < 0.15,
+            "cv error {}",
+            out.cv_weighted_error
+        );
+        assert_eq!(out.trials.len(), 3 * 1 * 2);
+        // Every trial's error is a valid rate.
+        for (_, e) in &out.trials {
+            assert!((0.0..=1.0).contains(e));
+        }
+    }
+
+    #[test]
+    fn best_is_minimum_of_trials() {
+        let groups = linear_task(2, 25);
+        let out = grid_search(&groups, &Grid::default(), 5, 3);
+        let min = out
+            .trials
+            .iter()
+            .map(|(_, e)| *e)
+            .fold(f64::INFINITY, f64::min);
+        assert!((out.cv_weighted_error - min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let groups = linear_task(3, 20);
+        let a = grid_search(&groups, &Grid::default(), 4, 11);
+        let b = grid_search(&groups, &Grid::default(), 4, 11);
+        assert_eq!(a.cv_weighted_error, b.cv_weighted_error);
+        assert_eq!(a.config.lambda, b.config.lambda);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_grid_panics() {
+        let groups = linear_task(4, 10);
+        let grid = Grid {
+            lambdas: vec![],
+            ..Grid::default()
+        };
+        let _ = grid_search(&groups, &grid, 2, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Learning to rank: a from-scratch pairwise ranking SVM.
+//!
+//! §III: "We use an implementation of ranking SVM to learn a ranking
+//! function between pairs of instances ... each instance consists of the
+//! entity/concept along with its associated features, and the label of
+//! each instance is its CTR value." The paper uses SVM-light's ranking
+//! mode \[9\] / LIBLINEAR \[10\] with "both linear and the radial basis
+//! function kernels with the default parameters".
+//!
+//! We implement the same learner directly:
+//!
+//! * [`train()`](train())/[`RankModel`] — Pegasos-style subgradient descent on the
+//!   pairwise hinge loss `max(0, 1 − w·(xᵢ − xⱼ))` over preference pairs
+//!   drawn within each query group (a document's concepts ordered by
+//!   CTR), with L2 regularization — the linear ranking SVM;
+//! * [`rff`] — a radial-basis-function kernel approximation via random
+//!   Fourier features (Rahimi & Recht), turning the kernelized problem
+//!   back into a linear one at laptop scale;
+//! * [`scale`] — per-dimension standardization fitted on training data;
+//! * [`cv`] — a deterministic k-fold splitter for the five-fold
+//!   cross-validation protocol of §V-A.3;
+//! * [`grid`] — cross-validated hyper-parameter selection over the
+//!   kernel/λ/epoch grid ("test both kernels, report the best",
+//!   automated).
+
+pub mod cv;
+pub mod grid;
+pub mod rff;
+pub mod scale;
+pub mod train;
+
+pub use cv::KFold;
+pub use grid::{grid_search, Grid, GridOutcome};
+pub use rff::RffMap;
+pub use scale::Scaler;
+pub use train::{train, KernelKind, RankGroup, RankModel, SvmConfig, TrainInstance};

@@ -1,0 +1,132 @@
+//! Random Fourier features — the RBF kernel approximation.
+//!
+//! Rahimi & Recht's construction: for the Gaussian kernel
+//! `k(x, y) = exp(−γ‖x − y‖²)`, draw `D` frequency vectors
+//! `ωᵢ ~ N(0, 2γ I)` and phases `bᵢ ~ U[0, 2π)`; the map
+//! `z(x) = √(2/D) · [cos(ω₁·x + b₁), …, cos(ω_D·x + b_D)]`
+//! satisfies `E[z(x)·z(y)] = k(x, y)`. Training a linear ranking SVM on
+//! `z(x)` approximates the kernelized ranking SVM the paper ran through
+//! SVM-light's RBF mode.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A frozen random Fourier feature map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RffMap {
+    /// `D × d` frequency matrix, row-major.
+    omega: Vec<Vec<f64>>,
+    /// `D` phases.
+    phase: Vec<f64>,
+    /// Output scale `√(2/D)`.
+    scale: f64,
+}
+
+impl RffMap {
+    /// Draw a map for inputs of dimension `input_dim`, output dimension
+    /// `output_dim`, bandwidth `gamma`.
+    pub fn new(seed: u64, input_dim: usize, output_dim: usize, gamma: f64) -> Self {
+        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        let mut r = StdRng::seed_from_u64(seed ^ 0x8ff);
+        let sd = (2.0 * gamma).sqrt();
+        let omega = (0..output_dim)
+            .map(|_| (0..input_dim).map(|_| sd * normal(&mut r)).collect())
+            .collect();
+        let phase = (0..output_dim)
+            .map(|_| r.random::<f64>() * std::f64::consts::TAU)
+            .collect();
+        Self {
+            omega,
+            phase,
+            scale: (2.0 / output_dim as f64).sqrt(),
+        }
+    }
+
+    /// Map an input vector into the feature space.
+    pub fn map(&self, x: &[f64]) -> Vec<f64> {
+        self.omega
+            .iter()
+            .zip(&self.phase)
+            .map(|(w, &b)| {
+                let dot: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum();
+                self.scale * (dot + b).cos()
+            })
+            .collect()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.omega.len()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.omega.first().map_or(0, Vec::len)
+    }
+}
+
+/// Box–Muller standard normal (kept private; `ctxrank-ltr` has no other
+/// need for a sampling library).
+fn normal(r: &mut StdRng) -> f64 {
+    let u1: f64 = r.random::<f64>().max(1e-12);
+    let u2: f64 = r.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(x: &[f64], y: &[f64], gamma: f64) -> f64 {
+        let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b).powi(2)).sum();
+        (-gamma * d2).exp()
+    }
+
+    #[test]
+    fn approximates_gaussian_kernel() {
+        let gamma = 0.5;
+        let map = RffMap::new(1, 4, 4096, gamma);
+        let x = [0.3, -0.7, 1.2, 0.0];
+        let y = [0.1, 0.2, 0.9, -0.5];
+        let zx = map.map(&x);
+        let zy = map.map(&y);
+        let approx: f64 = zx.iter().zip(&zy).map(|(a, b)| a * b).sum();
+        let exact = kernel(&x, &y, gamma);
+        assert!(
+            (approx - exact).abs() < 0.05,
+            "approx {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn self_similarity_near_one() {
+        let map = RffMap::new(2, 3, 4096, 1.0);
+        let x = [0.5, 0.5, 0.5];
+        let z = map.map(&x);
+        let s: f64 = z.iter().map(|v| v * v).sum();
+        assert!((s - 1.0).abs() < 0.05, "self-similarity {s}");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = RffMap::new(9, 3, 64, 0.7);
+        let b = RffMap::new(9, 3, 64, 0.7);
+        assert_eq!(a.map(&[1.0, 2.0, 3.0]), b.map(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn dimensions() {
+        let map = RffMap::new(3, 5, 128, 0.3);
+        assert_eq!(map.output_dim(), 128);
+        assert_eq!(map.input_dim(), 5);
+        assert_eq!(map.map(&[0.0; 5]).len(), 128);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gamma_rejected() {
+        let _ = RffMap::new(1, 2, 4, 0.0);
+    }
+}

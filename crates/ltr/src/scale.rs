@@ -1,0 +1,118 @@
+//! Per-dimension feature standardization.
+//!
+//! Fitted on training folds only and baked into the model, so test
+//! instances are transformed with training statistics (no leakage).
+
+use serde::{Deserialize, Serialize};
+
+/// Standardizes features to zero mean, unit variance per dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    /// Inverse standard deviation (0 for constant dimensions, which are
+    /// mapped to 0).
+    inv_sd: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit on a set of instances.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit<'a>(rows: impl IntoIterator<Item = &'a [f64]>) -> Self {
+        let mut rows_iter = rows.into_iter();
+        let first = rows_iter.next().expect("Scaler::fit needs at least one row");
+        let dim = first.len();
+        let mut n = 1.0;
+        let mut mean = first.to_vec();
+        let mut m2 = vec![0.0; dim];
+        for row in rows_iter {
+            assert_eq!(row.len(), dim, "inconsistent feature dimension");
+            n += 1.0;
+            for d in 0..dim {
+                // Welford's online algorithm.
+                let delta = row[d] - mean[d];
+                mean[d] += delta / n;
+                m2[d] += delta * (row[d] - mean[d]);
+            }
+        }
+        let inv_sd = m2
+            .iter()
+            .map(|&m| {
+                let var = m / n;
+                if var > 1e-24 {
+                    1.0 / var.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { mean, inv_sd }
+    }
+
+    /// Transform one row in place.
+    pub fn apply(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.mean.len(), "dimension mismatch");
+        for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.inv_sd) {
+            *v = (*v - m) * s;
+        }
+    }
+
+    /// Transform a copy.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.apply(&mut out);
+        out
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_mean_and_variance() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let scaler = Scaler::fit(rows.iter().map(Vec::as_slice));
+        let transformed: Vec<Vec<f64>> = rows.iter().map(|r| scaler.transform(r)).collect();
+        for d in 0..2 {
+            let mean: f64 = transformed.iter().map(|r| r[d]).sum::<f64>() / 3.0;
+            let var: f64 = transformed.iter().map(|r| r[d].powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_dimension_maps_to_zero() {
+        let rows: Vec<Vec<f64>> = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = Scaler::fit(rows.iter().map(Vec::as_slice));
+        assert_eq!(scaler.transform(&[7.0]), vec![0.0]);
+        assert_eq!(scaler.transform(&[100.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn single_row_fit() {
+        let scaler = Scaler::fit(std::iter::once([3.0, 4.0].as_slice()));
+        assert_eq!(scaler.transform(&[3.0, 4.0]), vec![0.0, 0.0]);
+        assert_eq!(scaler.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_fit_panics() {
+        let _ = Scaler::fit(std::iter::empty::<&[f64]>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let scaler = Scaler::fit(std::iter::once([1.0, 2.0].as_slice()));
+        let _ = scaler.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,418 @@
+//! The pairwise ranking SVM trainer.
+//!
+//! Preference pairs are drawn within each group (the concepts of one
+//! document window, labelled by CTR): instance `i` is preferred to `j`
+//! when `label_i > label_j + min_label_gap`. The linear model minimizes
+//!
+//! ```text
+//! (λ/2)‖w‖² + (1/|P|) Σ_{(i,j)∈P} max(0, 1 − w·(xᵢ − xⱼ))
+//! ```
+//!
+//! with Pegasos subgradient steps (`η_t = 1/(λ t)`), which is the same
+//! objective LIBLINEAR's L2-regularized ranking mode solves. The RBF
+//! variant first maps instances through a [`crate::RffMap`].
+
+use crate::rff::RffMap;
+use crate::scale::Scaler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One training/evaluation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainInstance {
+    pub features: Vec<f64>,
+    /// The preference label (CTR in the paper).
+    pub label: f64,
+}
+
+/// A query group: instances that compete within one ranking.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankGroup {
+    pub instances: Vec<TrainInstance>,
+}
+
+impl RankGroup {
+    /// Build from `(features, label)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Vec<f64>, f64)>) -> Self {
+        Self {
+            instances: pairs
+                .into_iter()
+                .map(|(features, label)| TrainInstance { features, label })
+                .collect(),
+        }
+    }
+}
+
+/// Which kernel to train with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelKind {
+    Linear,
+    /// RBF via random Fourier features of the given output dimension.
+    Rbf { gamma: f64, dim: usize },
+}
+
+/// Trainer hyper-parameters (the "default parameters" of §V-A.3).
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    pub kernel: KernelKind,
+    /// L2 regularization strength λ.
+    pub lambda: f64,
+    /// Passes over the pair set.
+    pub epochs: usize,
+    /// Pair construction: require `label_i > label_j + min_label_gap`.
+    pub min_label_gap: f64,
+    /// Scale each pair's hinge update by its label difference
+    /// (normalized to mean 1). This aligns training with the weighted
+    /// error rate of Eq. 5, which punishes mistakes proportionally to
+    /// the CTR difference.
+    pub weight_by_gap: bool,
+    /// RNG seed for pair shuffling (and the RFF map).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            kernel: KernelKind::Linear,
+            lambda: 1e-4,
+            epochs: 20,
+            min_label_gap: 0.0,
+            weight_by_gap: true,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained ranking model: scaler (+ optional RFF map) + weight vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RankModel {
+    scaler: Scaler,
+    rff: Option<RffMap>,
+    weights: Vec<f64>,
+}
+
+impl RankModel {
+    /// Score a raw (unscaled) feature vector; higher means ranked
+    /// earlier.
+    pub fn score(&self, features: &[f64]) -> f64 {
+        let x = self.scaler.transform(features);
+        match &self.rff {
+            Some(map) => dot(&self.weights, &map.map(&x)),
+            None => dot(&self.weights, &x),
+        }
+    }
+
+    /// The learned weights (in the scaled/mapped space) — exposed for
+    /// diagnostics and the framework's packed ranker.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted scaler.
+    pub fn scaler(&self) -> &Scaler {
+        &self.scaler
+    }
+
+    /// Is this an RBF (random-Fourier) model?
+    pub fn is_rbf(&self) -> bool {
+        self.rff.is_some()
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Train a ranking SVM on `groups`.
+///
+/// # Panics
+/// Panics if no group contains at least two instances with distinct
+/// labels (no preference pairs can be formed).
+pub fn train(groups: &[RankGroup], config: &SvmConfig) -> RankModel {
+    // Fit the scaler on all training rows.
+    let all_rows = groups
+        .iter()
+        .flat_map(|g| g.instances.iter().map(|i| i.features.as_slice()));
+    let scaler = Scaler::fit(all_rows);
+
+    // Optional kernel map.
+    let rff = match config.kernel {
+        KernelKind::Linear => None,
+        KernelKind::Rbf { gamma, dim } => {
+            Some(RffMap::new(config.seed, scaler.dim(), dim, gamma))
+        }
+    };
+    let mapped: Vec<Vec<Vec<f64>>> = groups
+        .iter()
+        .map(|g| {
+            g.instances
+                .iter()
+                .map(|i| {
+                    let x = scaler.transform(&i.features);
+                    match &rff {
+                        Some(m) => m.map(&x),
+                        None => x,
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let dim = rff.as_ref().map_or(scaler.dim(), RffMap::output_dim);
+
+    // Materialize preference pairs as (group, winner, loser, weight).
+    let mut pairs: Vec<(usize, usize, usize, f64)> = Vec::new();
+    for (g, group) in groups.iter().enumerate() {
+        let n = group.instances.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j
+                    && group.instances[i].label
+                        > group.instances[j].label + config.min_label_gap
+                {
+                    let gap = group.instances[i].label - group.instances[j].label;
+                    pairs.push((g, i, j, gap));
+                }
+            }
+        }
+    }
+    assert!(
+        !pairs.is_empty(),
+        "ranking SVM needs at least one preference pair"
+    );
+    // Normalize pair weights to mean 1 so the learning-rate schedule is
+    // insensitive to the label scale.
+    if config.weight_by_gap {
+        let mean_gap: f64 =
+            pairs.iter().map(|p| p.3).sum::<f64>() / pairs.len() as f64;
+        for p in &mut pairs {
+            p.3 /= mean_gap.max(1e-12);
+        }
+    } else {
+        for p in &mut pairs {
+            p.3 = 1.0;
+        }
+    }
+
+    // Pegasos subgradient descent with tail averaging: the returned
+    // model is the average of the iterates over the second half of
+    // training, which suppresses the SGD jitter that plain Pegasos
+    // exhibits on noisy pair sets.
+    let mut r = StdRng::seed_from_u64(config.seed ^ 0x5f3);
+    let mut w = vec![0.0; dim];
+    let mut w_avg = vec![0.0; dim];
+    let mut avg_count = 0u64;
+    let avg_from = config.epochs / 2;
+    let mut t = 0usize;
+    let mut order: Vec<usize> = (0..pairs.len()).collect();
+    for epoch in 0..config.epochs {
+        shuffle(&mut order, &mut r);
+        for &p in &order {
+            t += 1;
+            let (g, i, j, pair_weight) = pairs[p];
+            let eta = 1.0 / (config.lambda * t as f64);
+            // Shrink (L2 term): w ← (1 − η λ) w.
+            let shrink = 1.0 - eta * config.lambda;
+            for wd in &mut w {
+                *wd *= shrink;
+            }
+            // Hinge subgradient on the pair difference.
+            let xi = &mapped[g][i];
+            let xj = &mapped[g][j];
+            let margin = dot(&w, xi) - dot(&w, xj);
+            if margin < 1.0 {
+                let step = eta * pair_weight;
+                for d in 0..dim {
+                    w[d] += step * (xi[d] - xj[d]);
+                }
+            }
+            // Pegasos projection onto the ball of radius 1/sqrt(lambda):
+            // essential for stable convergence on noisy pair sets.
+            let norm2: f64 = w.iter().map(|x| x * x).sum();
+            let radius2 = 1.0 / config.lambda;
+            if norm2 > radius2 {
+                let scale = (radius2 / norm2).sqrt();
+                for wd in &mut w {
+                    *wd *= scale;
+                }
+            }
+            if epoch >= avg_from {
+                for d in 0..dim {
+                    w_avg[d] += w[d];
+                }
+                avg_count += 1;
+            }
+        }
+    }
+    let weights = if avg_count > 0 {
+        w_avg.into_iter().map(|x| x / avg_count as f64).collect()
+    } else {
+        w
+    };
+
+    RankModel {
+        scaler,
+        rff,
+        weights,
+    }
+}
+
+/// Fisher–Yates shuffle (kept local for determinism control).
+fn shuffle(order: &mut [usize], r: &mut StdRng) {
+    for i in (1..order.len()).rev() {
+        let j = r.random_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic ranking task: label = 2·x₀ − x₁ + noise.
+    fn synthetic_groups(seed: u64, n_groups: usize, per_group: usize) -> Vec<RankGroup> {
+        let mut r = StdRng::seed_from_u64(seed);
+        (0..n_groups)
+            .map(|_| {
+                RankGroup::from_pairs((0..per_group).map(|_| {
+                    let x0: f64 = r.random();
+                    let x1: f64 = r.random();
+                    let noise: f64 = (r.random::<f64>() - 0.5) * 0.1;
+                    (vec![x0, x1], 2.0 * x0 - x1 + noise)
+                }))
+            })
+            .collect()
+    }
+
+    /// Fraction of correctly ordered pairs on held-out groups.
+    fn pairwise_accuracy(model: &RankModel, groups: &[RankGroup]) -> f64 {
+        let mut correct = 0;
+        let mut total = 0;
+        for g in groups {
+            for i in 0..g.instances.len() {
+                for j in 0..g.instances.len() {
+                    if g.instances[i].label > g.instances[j].label {
+                        total += 1;
+                        if model.score(&g.instances[i].features)
+                            > model.score(&g.instances[j].features)
+                        {
+                            correct += 1;
+                        }
+                    }
+                }
+            }
+        }
+        correct as f64 / total.max(1) as f64
+    }
+
+    #[test]
+    fn linear_model_learns_linear_ranking() {
+        let train_groups = synthetic_groups(1, 60, 6);
+        let test_groups = synthetic_groups(2, 20, 6);
+        let model = train(&train_groups, &SvmConfig::default());
+        let acc = pairwise_accuracy(&model, &test_groups);
+        assert!(acc > 0.9, "pairwise accuracy {acc}");
+    }
+
+    #[test]
+    fn rbf_model_learns_nonlinear_ranking() {
+        // label depends on |x0 - 0.5| — not linearly separable.
+        let mut r = StdRng::seed_from_u64(7);
+        let make = |r: &mut StdRng, n: usize| -> Vec<RankGroup> {
+            (0..n)
+                .map(|_| {
+                    RankGroup::from_pairs((0..8).map(|_| {
+                        let x0: f64 = r.random();
+                        let x1: f64 = r.random();
+                        (vec![x0, x1], -(x0 - 0.5).abs())
+                    }))
+                })
+                .collect()
+        };
+        let train_groups = make(&mut r, 80);
+        let test_groups = make(&mut r, 20);
+        let linear = train(&train_groups, &SvmConfig::default());
+        let rbf = train(
+            &train_groups,
+            &SvmConfig {
+                kernel: KernelKind::Rbf { gamma: 2.0, dim: 256 },
+                epochs: 30,
+                ..SvmConfig::default()
+            },
+        );
+        let acc_linear = pairwise_accuracy(&linear, &test_groups);
+        let acc_rbf = pairwise_accuracy(&rbf, &test_groups);
+        assert!(
+            acc_rbf > acc_linear + 0.1,
+            "rbf {acc_rbf} should beat linear {acc_linear} on a nonlinear task"
+        );
+        assert!(acc_rbf > 0.75, "rbf accuracy {acc_rbf}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let groups = synthetic_groups(3, 10, 5);
+        let a = train(&groups, &SvmConfig::default());
+        let b = train(&groups, &SvmConfig::default());
+        assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn min_label_gap_drops_near_ties() {
+        let groups = vec![RankGroup::from_pairs(vec![
+            (vec![1.0, 0.0], 0.50),
+            (vec![0.0, 1.0], 0.495),
+            (vec![0.5, 0.5], 0.10),
+        ])];
+        // With a gap of 0.1 only pairs against the 0.10 instance remain.
+        let model = train(
+            &groups,
+            &SvmConfig {
+                min_label_gap: 0.1,
+                ..SvmConfig::default()
+            },
+        );
+        // The two near-tied instances should not be strongly ordered.
+        let s1 = model.score(&[1.0, 0.0]);
+        let s3 = model.score(&[0.5, 0.5]);
+        assert!(s1 > s3, "clear preference must be learned");
+    }
+
+    #[test]
+    #[should_panic]
+    fn no_pairs_panics() {
+        let groups = vec![RankGroup::from_pairs(vec![
+            (vec![1.0], 0.5),
+            (vec![2.0], 0.5),
+        ])];
+        let _ = train(&groups, &SvmConfig::default());
+    }
+
+    #[test]
+    fn model_accessors() {
+        let groups = synthetic_groups(4, 5, 4);
+        let model = train(&groups, &SvmConfig::default());
+        assert_eq!(model.weights().len(), 2);
+        assert_eq!(model.scaler().dim(), 2);
+        assert!(!model.is_rbf());
+        let rbf = train(
+            &groups,
+            &SvmConfig {
+                kernel: KernelKind::Rbf { gamma: 1.0, dim: 32 },
+                ..SvmConfig::default()
+            },
+        );
+        assert!(rbf.is_rbf());
+        assert_eq!(rbf.weights().len(), 32);
+    }
+
+    #[test]
+    fn higher_label_scores_higher_on_training_data() {
+        let groups = synthetic_groups(5, 40, 6);
+        let model = train(&groups, &SvmConfig::default());
+        let acc = pairwise_accuracy(&model, &groups);
+        assert!(acc > 0.9, "training accuracy {acc}");
+    }
+}

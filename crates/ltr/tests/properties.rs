@@ -1,0 +1,102 @@
+//! Property-based tests for the learning-to-rank crate.
+
+use ctxrank_ltr::{train, KFold, RankGroup, RffMap, Scaler, SvmConfig};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Standardization maps the fitted rows to (≈0 mean, ≤1+eps max
+    /// |z| per constant-free dimension) and is exact on affine copies.
+    #[test]
+    fn scaler_centers_data(rows in prop::collection::vec(
+        prop::collection::vec(-1e3f64..1e3, 3..=3), 2..30)) {
+        let scaler = Scaler::fit(rows.iter().map(Vec::as_slice));
+        for d in 0..3 {
+            let mean: f64 = rows.iter().map(|r| scaler.transform(r)[d]).sum::<f64>()
+                / rows.len() as f64;
+            prop_assert!(mean.abs() < 1e-6, "dim {} mean {}", d, mean);
+        }
+    }
+
+    /// K-fold always partitions the index set exactly.
+    #[test]
+    fn kfold_partitions(n in 2usize..200, k in 2usize..8, seed in 0u64..1000) {
+        prop_assume!(k <= n);
+        let kf = KFold::new(n, k, seed);
+        let mut seen = HashSet::new();
+        for f in 0..k {
+            for &i in kf.test_indices(f) {
+                prop_assert!(i < n);
+                prop_assert!(seen.insert(i), "duplicate index {}", i);
+            }
+            let train = kf.train_indices(f);
+            prop_assert_eq!(train.len() + kf.test_indices(f).len(), n);
+        }
+        prop_assert_eq!(seen.len(), n);
+    }
+
+    /// Fold sizes differ by at most one.
+    #[test]
+    fn kfold_balanced(n in 2usize..200, k in 2usize..8, seed in 0u64..1000) {
+        prop_assume!(k <= n);
+        let kf = KFold::new(n, k, seed);
+        let sizes: Vec<usize> = (0..k).map(|f| kf.test_indices(f).len()).collect();
+        let min = *sizes.iter().min().expect("nonempty");
+        let max = *sizes.iter().max().expect("nonempty");
+        prop_assert!(max - min <= 1);
+    }
+
+    /// The RFF map is bounded: each output coordinate is within
+    /// sqrt(2/D) in absolute value, so the self-inner-product is <= 2.
+    #[test]
+    fn rff_bounded(seed in 0u64..500, x in prop::collection::vec(-10.0f64..10.0, 3..=3)) {
+        let map = RffMap::new(seed, 3, 64, 0.5);
+        let z = map.map(&x);
+        let bound = (2.0f64 / 64.0).sqrt() + 1e-12;
+        for v in &z {
+            prop_assert!(v.abs() <= bound);
+        }
+        let norm: f64 = z.iter().map(|v| v * v).sum();
+        prop_assert!(norm <= 2.0);
+    }
+
+    /// Training on a perfectly separable 1-D ranking always recovers the
+    /// direction: higher feature ⇒ higher score.
+    #[test]
+    fn svm_recovers_monotone_signal(offsets in prop::collection::vec(0.0f64..5.0, 4..12),
+                                    seed in 0u64..100) {
+        let groups: Vec<RankGroup> = offsets
+            .iter()
+            .map(|o| RankGroup::from_pairs(vec![
+                (vec![o + 2.0], 0.9),
+                (vec![o + 1.0], 0.5),
+                (vec![*o], 0.1),
+            ]))
+            .collect();
+        let model = train(&groups, &SvmConfig { seed, ..SvmConfig::default() });
+        prop_assert!(model.score(&[10.0]) > model.score(&[0.0]));
+    }
+
+    /// Scores are translation-consistent: duplicating every group leaves
+    /// the learned ordering unchanged (training is deterministic given
+    /// the seed, so this checks invariance to data duplication).
+    #[test]
+    fn svm_duplication_invariant_ordering(seed in 0u64..50) {
+        let base: Vec<RankGroup> = (0..6)
+            .map(|i| RankGroup::from_pairs(vec![
+                (vec![i as f64 + 1.0, 0.3], 0.8),
+                (vec![i as f64 * 0.5, 0.7], 0.2),
+            ]))
+            .collect();
+        let mut doubled = base.clone();
+        doubled.extend(base.clone());
+        let m1 = train(&base, &SvmConfig { seed, ..SvmConfig::default() });
+        let m2 = train(&doubled, &SvmConfig { seed, ..SvmConfig::default() });
+        let probe_hi = [5.0, 0.3];
+        let probe_lo = [0.1, 0.7];
+        prop_assert_eq!(
+            m1.score(&probe_hi) > m1.score(&probe_lo),
+            m2.score(&probe_hi) > m2.score(&probe_lo)
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Query-log mining substrate.
+//!
+//! Contextual Shortcuts detects *concepts* — abstract entities beyond the
+//! editorial dictionaries — "using data from search engine query logs"
+//! (§II-A). This crate implements everything the paper mines from those
+//! logs:
+//!
+//! * [`QueryLog`] — the log itself, with exact-match and
+//!   phrase-containment frequency counters (features 1–2 of Table I),
+//! * [`units`] — the unit-extraction algorithm of Parikh & Kapur
+//!   (references \[7\], \[8\]): iterative merging of frequently co-occurring
+//!   terms validated by pointwise mutual information (Eq. 1 of the paper),
+//! * [`suggest`] — the related-query suggestion service (§IV-B: up to 300
+//!   suggestions with their query frequencies),
+//! * [`prisma`] — the Prisma query-refinement tool (Anick, SIGIR 2003,
+//!   reference \[19\]): pseudo-relevance feedback terms from the top-50
+//!   ranked documents, at most 20 returned.
+
+pub mod log;
+pub mod prisma;
+pub mod suggest;
+pub mod units;
+
+pub use log::{LogQuery, QueryLog};
+pub use prisma::Prisma;
+pub use suggest::SuggestionService;
+pub use units::{extract_units, Unit, UnitConfig, UnitDictionary};

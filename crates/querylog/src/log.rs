@@ -1,0 +1,272 @@
+//! The query-log store and its frequency counters.
+//!
+//! The paper's evaluation "considered the most popular 20 million queries
+//! submitted to the engine in the week of November 17th–23rd, 2007"
+//! (§V-A.1) and mines two frequency features from them (Table I):
+//! `freq_exact` — the number of queries identical to the concept — and
+//! `freq_phrase_contained` — the number of queries containing the concept
+//! as a contiguous phrase. Both counters are pre-computed here with an
+//! n-gram table so feature extraction is O(1) per lookup.
+
+use std::collections::HashMap;
+
+/// Longest phrase length tracked by the n-gram containment table.
+pub const MAX_NGRAM: usize = 5;
+
+/// One distinct query with its submission count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogQuery {
+    /// Normalized query terms (lower-case, punctuation-trimmed).
+    pub terms: Vec<String>,
+    /// Number of times this exact query was submitted.
+    pub freq: u64,
+}
+
+/// An aggregated search-engine query log.
+#[derive(Debug, Default)]
+pub struct QueryLog {
+    queries: Vec<LogQuery>,
+    /// Joined query string -> index into `queries`.
+    exact: HashMap<String, usize>,
+    /// n-gram (joined by space) -> total freq of queries containing it
+    /// as a contiguous phrase (each query counted once per distinct gram).
+    ngram_freq: HashMap<String, u64>,
+    /// term -> total freq of queries containing the term.
+    term_freq: HashMap<String, u64>,
+    /// Sum of all query frequencies.
+    total: u64,
+}
+
+impl QueryLog {
+    /// Create an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `freq` submissions of `query` (raw text; it will be normalized
+    /// and tokenized). Repeated adds of the same query accumulate.
+    pub fn add(&mut self, query: &str, freq: u64) {
+        let terms: Vec<String> = ctxrank_text::tokenize_terms(query);
+        if terms.is_empty() || freq == 0 {
+            return;
+        }
+        self.add_terms(terms, freq);
+    }
+
+    /// Add a pre-tokenized query.
+    pub fn add_terms(&mut self, terms: Vec<String>, freq: u64) {
+        if terms.is_empty() || freq == 0 {
+            return;
+        }
+        let key = terms.join(" ");
+        match self.exact.get(&key) {
+            Some(&i) => {
+                self.queries[i].freq += freq;
+            }
+            None => {
+                self.queries.push(LogQuery {
+                    terms: terms.clone(),
+                    freq,
+                });
+                self.exact.insert(key, self.queries.len() - 1);
+            }
+        }
+        // Update n-gram containment counts (each distinct gram of the
+        // query counted once, weighted by freq).
+        let mut seen = std::collections::HashSet::new();
+        for n in 1..=MAX_NGRAM.min(terms.len()) {
+            for start in 0..=(terms.len() - n) {
+                let gram = terms[start..start + n].join(" ");
+                if seen.insert(gram.clone()) {
+                    *self.ngram_freq.entry(gram).or_insert(0) += freq;
+                }
+            }
+        }
+        // Term containment (distinct terms only).
+        let mut term_seen = std::collections::HashSet::new();
+        for t in &terms {
+            if term_seen.insert(t.as_str()) {
+                *self.term_freq.entry(t.clone()).or_insert(0) += freq;
+            }
+        }
+        self.total += freq;
+    }
+
+    /// Number of distinct queries.
+    pub fn num_distinct(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Sum of all query frequencies (total submissions).
+    pub fn total_freq(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterate the distinct queries.
+    pub fn queries(&self) -> impl Iterator<Item = &LogQuery> {
+        self.queries.iter()
+    }
+
+    /// Feature 1, `freq_exact`: submissions of queries exactly equal to
+    /// the concept.
+    pub fn freq_exact(&self, concept_terms: &[String]) -> u64 {
+        if concept_terms.is_empty() {
+            return 0;
+        }
+        self.exact
+            .get(&concept_terms.join(" "))
+            .map_or(0, |&i| self.queries[i].freq)
+    }
+
+    /// Feature 2, `freq_phrase_contained`: submissions of queries that
+    /// contain the concept as a contiguous phrase (includes exact
+    /// matches). Phrases longer than [`MAX_NGRAM`] terms fall back to a
+    /// linear scan.
+    pub fn freq_phrase_contained(&self, concept_terms: &[String]) -> u64 {
+        if concept_terms.is_empty() {
+            return 0;
+        }
+        if concept_terms.len() <= MAX_NGRAM {
+            return self
+                .ngram_freq
+                .get(&concept_terms.join(" "))
+                .copied()
+                .unwrap_or(0);
+        }
+        self.queries
+            .iter()
+            .filter(|q| contains_phrase(&q.terms, concept_terms))
+            .map(|q| q.freq)
+            .sum()
+    }
+
+    /// Submissions of queries containing `term` anywhere.
+    pub fn freq_term_contained(&self, term: &str) -> u64 {
+        self.term_freq.get(term).copied().unwrap_or(0)
+    }
+
+    /// Probability that a random submission contains `term`.
+    pub fn p_term(&self, term: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.freq_term_contained(term) as f64 / self.total as f64
+        }
+    }
+
+    /// Probability that a random submission contains the contiguous
+    /// phrase.
+    pub fn p_phrase(&self, terms: &[String]) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.freq_phrase_contained(terms) as f64 / self.total as f64
+        }
+    }
+}
+
+/// Does `haystack` contain `needle` as a contiguous subsequence?
+pub fn contains_phrase(haystack: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn sample_log() -> QueryLog {
+        let mut log = QueryLog::new();
+        log.add("global warming", 100);
+        log.add("global warming effects", 40);
+        log.add("effects of global warming on ice", 10);
+        log.add("warming trends", 5);
+        log.add("tom cruise", 200);
+        log
+    }
+
+    #[test]
+    fn exact_frequency() {
+        let log = sample_log();
+        assert_eq!(log.freq_exact(&t("global warming")), 100);
+        assert_eq!(log.freq_exact(&t("tom cruise")), 200);
+        assert_eq!(log.freq_exact(&t("warming")), 0);
+    }
+
+    #[test]
+    fn phrase_containment_includes_exact() {
+        let log = sample_log();
+        // 100 (exact) + 40 + 10 = 150.
+        assert_eq!(log.freq_phrase_contained(&t("global warming")), 150);
+        assert_eq!(log.freq_phrase_contained(&t("warming")), 155);
+    }
+
+    #[test]
+    fn accumulation_of_repeated_adds() {
+        let mut log = QueryLog::new();
+        log.add("jaguar", 10);
+        log.add("jaguar", 15);
+        assert_eq!(log.freq_exact(&t("jaguar")), 25);
+        assert_eq!(log.num_distinct(), 1);
+        assert_eq!(log.total_freq(), 25);
+    }
+
+    #[test]
+    fn normalization_applied() {
+        let mut log = QueryLog::new();
+        log.add("Global WARMING!", 7);
+        assert_eq!(log.freq_exact(&t("global warming")), 7);
+    }
+
+    #[test]
+    fn empty_and_zero_ignored() {
+        let mut log = QueryLog::new();
+        log.add("", 10);
+        log.add("   ", 10);
+        log.add("real", 0);
+        assert_eq!(log.num_distinct(), 0);
+        assert_eq!(log.total_freq(), 0);
+    }
+
+    #[test]
+    fn long_phrase_linear_fallback() {
+        let mut log = QueryLog::new();
+        log.add("a b c d e f g", 3);
+        let phrase = t("a b c d e f");
+        assert!(phrase.len() > MAX_NGRAM);
+        assert_eq!(log.freq_phrase_contained(&phrase), 3);
+        assert_eq!(log.freq_phrase_contained(&t("b c d e f g")), 3);
+        assert_eq!(log.freq_phrase_contained(&t("a c d e f g")), 0);
+    }
+
+    #[test]
+    fn probabilities() {
+        let log = sample_log();
+        let total = log.total_freq() as f64;
+        assert!((log.p_term("warming") - 155.0 / total).abs() < 1e-12);
+        assert_eq!(log.p_term("absent"), 0.0);
+        assert!(log.p_phrase(&t("global warming")) > 0.0);
+    }
+
+    #[test]
+    fn contains_phrase_edges() {
+        assert!(!contains_phrase(&t("a b"), &t("")));
+        assert!(!contains_phrase(&t("a"), &t("a b")));
+        assert!(contains_phrase(&t("x a b y"), &t("a b")));
+        assert!(!contains_phrase(&t("a x b"), &t("a b")));
+    }
+
+    #[test]
+    fn repeated_gram_in_one_query_counted_once() {
+        let mut log = QueryLog::new();
+        log.add("spam spam", 4);
+        assert_eq!(log.freq_phrase_contained(&t("spam")), 4);
+        assert_eq!(log.freq_term_contained("spam"), 4);
+    }
+}

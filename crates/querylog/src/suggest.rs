@@ -1,0 +1,176 @@
+//! Related query suggestions.
+//!
+//! §IV-B: "we submit the concept ci to this service and obtain up to 300
+//! suggestions. We also obtain the query frequencies of the suggestions."
+//! The production service mines suggestion candidates from query-log
+//! co-occurrence; we implement the same interface: given a concept, return
+//! the most frequent distinct queries that share at least one
+//! (non-stop-word) term with it, excluding the concept itself.
+
+use crate::log::{contains_phrase, QueryLog};
+use std::collections::HashMap;
+
+/// Maximum suggestions returned, as in the paper.
+pub const MAX_SUGGESTIONS: usize = 300;
+
+/// A related-query suggestion service over a [`QueryLog`].
+#[derive(Debug)]
+pub struct SuggestionService<'a> {
+    log: &'a QueryLog,
+    /// term -> indices of distinct queries containing it.
+    by_term: HashMap<String, Vec<usize>>,
+}
+
+/// One suggestion: the query terms and its submission frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    pub terms: Vec<String>,
+    pub freq: u64,
+}
+
+impl<'a> SuggestionService<'a> {
+    /// Build the term-to-query index for `log`.
+    pub fn new(log: &'a QueryLog) -> Self {
+        let mut by_term: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, q) in log.queries().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for t in &q.terms {
+                if !ctxrank_text::is_stopword(t) && seen.insert(t.as_str()) {
+                    by_term.entry(t.clone()).or_default().push(i);
+                }
+            }
+        }
+        Self { log, by_term }
+    }
+
+    /// Up to `max` suggestions related to `concept_terms`, most strongly
+    /// related first. Relatedness is the number of shared non-stop-word
+    /// terms, ties broken by query frequency then lexicographically.
+    pub fn suggestions(&self, concept_terms: &[String], max: usize) -> Vec<Suggestion> {
+        let queries: Vec<&crate::log::LogQuery> = self.log.queries().collect();
+        let mut overlap: HashMap<usize, usize> = HashMap::new();
+        for t in concept_terms {
+            if let Some(idxs) = self.by_term.get(t) {
+                for &i in idxs {
+                    *overlap.entry(i).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut candidates: Vec<(usize, usize)> = overlap
+            .into_iter()
+            // Exclude the concept itself (exact term-sequence match).
+            .filter(|&(i, _)| queries[i].terms != concept_terms)
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| queries[b.0].freq.cmp(&queries[a.0].freq))
+                .then_with(|| queries[a.0].terms.cmp(&queries[b.0].terms))
+        });
+        candidates
+            .into_iter()
+            .take(max)
+            .map(|(i, _)| Suggestion {
+                terms: queries[i].terms.clone(),
+                freq: queries[i].freq,
+            })
+            .collect()
+    }
+
+    /// The paper's default: up to [`MAX_SUGGESTIONS`] suggestions.
+    pub fn paper_suggestions(&self, concept_terms: &[String]) -> Vec<Suggestion> {
+        self.suggestions(concept_terms, MAX_SUGGESTIONS)
+    }
+
+    /// Suggestions that contain the whole concept as a phrase — a
+    /// stricter notion used in tests and diagnostics.
+    pub fn phrase_suggestions(&self, concept_terms: &[String], max: usize) -> Vec<Suggestion> {
+        self.suggestions(concept_terms, usize::MAX)
+            .into_iter()
+            .filter(|s| contains_phrase(&s.terms, concept_terms))
+            .take(max)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn log() -> QueryLog {
+        let mut log = QueryLog::new();
+        log.add("global warming", 100);
+        log.add("global warming effects", 60);
+        log.add("global warming hoax", 30);
+        log.add("warming oceans", 20);
+        log.add("global trade", 15);
+        log.add("celebrity gossip", 500);
+        log
+    }
+
+    #[test]
+    fn related_queries_ranked_by_overlap() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        let sugg = svc.suggestions(&t("global warming"), 10);
+        // Both-term matches first.
+        assert_eq!(sugg[0].terms, t("global warming effects"));
+        assert_eq!(sugg[1].terms, t("global warming hoax"));
+        // Unrelated query never appears.
+        assert!(sugg.iter().all(|s| s.terms != t("celebrity gossip")));
+    }
+
+    #[test]
+    fn concept_itself_excluded() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        let sugg = svc.suggestions(&t("global warming"), 10);
+        assert!(sugg.iter().all(|s| s.terms != t("global warming")));
+    }
+
+    #[test]
+    fn frequencies_attached() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        let sugg = svc.suggestions(&t("global warming"), 10);
+        assert_eq!(sugg[0].freq, 60);
+    }
+
+    #[test]
+    fn max_respected() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        assert!(svc.suggestions(&t("global"), 2).len() <= 2);
+    }
+
+    #[test]
+    fn unknown_concept_no_suggestions() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        assert!(svc.suggestions(&t("quantum chromodynamics"), 10).is_empty());
+    }
+
+    #[test]
+    fn phrase_suggestions_strict() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        let sugg = svc.phrase_suggestions(&t("global warming"), 10);
+        assert_eq!(sugg.len(), 2);
+        for s in sugg {
+            assert!(crate::log::contains_phrase(&s.terms, &t("global warming")));
+        }
+    }
+
+    #[test]
+    fn stopwords_do_not_drive_relatedness() {
+        let mut l = QueryLog::new();
+        l.add("the weather", 10);
+        l.add("the economy", 10);
+        let svc = SuggestionService::new(&l);
+        // "the" is a stop-word: no overlap counted through it.
+        assert!(svc.suggestions(&t("the weather"), 10).is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! Unit extraction from query logs.
+//!
+//! A *unit* "is simply a multi-term entity in the query logs which refers
+//! to a single concept" (§II-B, after Parikh & Kapur \[7\] and the Kapur &
+//! Joshi patent \[8\]). Units are constructed iteratively: in the first
+//! iteration every single term appearing in queries is a unit; in each
+//! following iteration, units that frequently co-occur adjacently in
+//! queries are combined into larger candidate units, validated by
+//! pointwise mutual information (Eq. 1):
+//!
+//! ```text
+//! I(x, y) = log( p(x, y) / (p(x) p(y)) )
+//! ```
+//!
+//! where `p(x, y)` is the probability of observing `x` and `y` together
+//! (adjacent in a query) and `p(x)`, `p(y)` the marginal probabilities.
+//! Unit scores are normalized to `[0, 1]`, low scores are punished and
+//! pruned, mirroring the treatment of term-vector weights.
+
+use crate::log::QueryLog;
+use std::collections::HashMap;
+
+/// Tuning knobs for unit extraction.
+#[derive(Debug, Clone)]
+pub struct UnitConfig {
+    /// A candidate pair must co-occur in queries with at least this total
+    /// frequency before MI is even computed.
+    pub min_pair_freq: u64,
+    /// Minimum mutual information (nats) to accept a merged unit.
+    pub min_mi: f64,
+    /// Maximum number of terms in a unit.
+    pub max_terms: usize,
+    /// Scores below this threshold are multiplied by `punish_factor`.
+    pub punish_threshold: f64,
+    /// Multiplier applied to sub-threshold scores.
+    pub punish_factor: f64,
+    /// Units whose (possibly punished) score falls below this are dropped.
+    pub drop_below: f64,
+}
+
+impl Default for UnitConfig {
+    fn default() -> Self {
+        Self {
+            min_pair_freq: 3,
+            min_mi: 1.0,
+            max_terms: 4,
+            punish_threshold: 0.05,
+            punish_factor: 0.5,
+            drop_below: 0.01,
+        }
+    }
+}
+
+/// A validated unit: a term sequence that behaves as one concept.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    /// The unit's terms in order.
+    pub terms: Vec<String>,
+    /// Total frequency of queries containing the unit as a phrase.
+    pub freq: u64,
+    /// Raw mutual information of the final merge (0 for single terms).
+    pub mi: f64,
+    /// Normalized score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// The set of extracted units, keyed by the space-joined term sequence.
+#[derive(Debug, Default)]
+pub struct UnitDictionary {
+    units: HashMap<String, Unit>,
+}
+
+impl UnitDictionary {
+    /// Look up a unit by its term sequence.
+    pub fn get(&self, terms: &[String]) -> Option<&Unit> {
+        self.units.get(&terms.join(" "))
+    }
+
+    /// Look up by the pre-joined key.
+    pub fn get_key(&self, key: &str) -> Option<&Unit> {
+        self.units.get(key)
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when no units were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Iterate all units in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Unit> {
+        self.units.values()
+    }
+
+    /// The unit score for a term sequence, zero when absent. This is
+    /// feature 3 of Table I (`unit_score`).
+    pub fn score(&self, terms: &[String]) -> f64 {
+        self.get(terms).map_or(0.0, |u| u.score)
+    }
+
+    /// Number of multi-term sub-units (length > 2 per the paper's
+    /// `subconcepts` feature uses a score threshold; here we expose the raw
+    /// lookup and let the feature layer filter).
+    pub fn subunits_of(&self, terms: &[String], min_len: usize, min_score: f64) -> usize {
+        if terms.len() < min_len {
+            return 0;
+        }
+        let mut count = 0;
+        for n in min_len..terms.len() {
+            for start in 0..=(terms.len() - n) {
+                if let Some(u) = self.get(&terms[start..start + n]) {
+                    if u.score > min_score {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    fn insert(&mut self, unit: Unit) {
+        self.units.insert(unit.terms.join(" "), unit);
+    }
+}
+
+/// Extract units from `log` with the given configuration.
+///
+/// Iteration 1 seeds single-term units from all query terms. Each later
+/// iteration considers adjacent (unit, unit) pairs inside queries, keeps
+/// pairs with co-occurrence frequency ≥ `min_pair_freq` and MI ≥ `min_mi`,
+/// and repeats until no new unit appears or `max_terms` is reached.
+/// Finally scores are max-normalized, punished and pruned.
+pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
+    let mut dict = UnitDictionary::default();
+
+    // Iteration 1: single terms.
+    let mut single: HashMap<&str, u64> = HashMap::new();
+    for q in log.queries() {
+        for t in &q.terms {
+            *single.entry(t.as_str()).or_insert(0) += q.freq;
+        }
+    }
+    for (term, freq) in &single {
+        dict.insert(Unit {
+            terms: vec![term.to_string()],
+            freq: *freq,
+            mi: 0.0,
+            score: 0.0, // filled in during normalization below
+        });
+    }
+
+    // Later iterations: merge adjacent units of length l with single terms
+    // or other units, growing by segmentation of each query.
+    let mut current_len = 1;
+    while current_len < config.max_terms {
+        let mut pair_freq: HashMap<(String, String), u64> = HashMap::new();
+        for q in log.queries() {
+            // Find adjacent (left, right) pairs where `left` is a known
+            // unit of length `current_len` and `right` a known single
+            // term, producing a candidate of length current_len + 1.
+            if q.terms.len() < current_len + 1 {
+                continue;
+            }
+            for start in 0..=(q.terms.len() - current_len - 1) {
+                let left = q.terms[start..start + current_len].join(" ");
+                let right = &q.terms[start + current_len];
+                if dict.get_key(&left).is_some() && dict.get_key(right).is_some() {
+                    *pair_freq
+                        .entry((left.clone(), right.clone()))
+                        .or_insert(0) += q.freq;
+                }
+            }
+        }
+        let mut added = 0;
+        for ((left, right), freq) in pair_freq {
+            if freq < config.min_pair_freq {
+                continue;
+            }
+            let left_terms: Vec<String> = left.split(' ').map(str::to_string).collect();
+            let mut terms = left_terms.clone();
+            terms.push(right.clone());
+            let p_joint = log.p_phrase(&terms);
+            let p_left = log.p_phrase(&left_terms);
+            let p_right = log.p_term(&right);
+            if p_joint <= 0.0 || p_left <= 0.0 || p_right <= 0.0 {
+                continue;
+            }
+            let mi = (p_joint / (p_left * p_right)).ln();
+            if mi >= config.min_mi {
+                dict.insert(Unit {
+                    terms,
+                    freq,
+                    mi,
+                    score: 0.0,
+                });
+                added += 1;
+            }
+        }
+        if added == 0 {
+            break;
+        }
+        current_len += 1;
+    }
+
+    normalize_scores(&mut dict, config);
+    dict
+}
+
+/// Normalize unit scores to `[0, 1]`, punish low scores, prune.
+///
+/// Multi-term units are scored by their MI relative to the maximum MI
+/// observed; single-term units by log-frequency relative to the maximum
+/// log-frequency (a frequency proxy, since MI is undefined for one term).
+fn normalize_scores(dict: &mut UnitDictionary, config: &UnitConfig) {
+    let max_mi = dict
+        .units
+        .values()
+        .map(|u| u.mi)
+        .fold(0.0_f64, f64::max);
+    let max_logfreq = dict
+        .units
+        .values()
+        .filter(|u| u.terms.len() == 1)
+        .map(|u| (u.freq as f64).ln_1p())
+        .fold(0.0_f64, f64::max);
+
+    for u in dict.units.values_mut() {
+        u.score = if u.terms.len() > 1 {
+            if max_mi > 0.0 {
+                (u.mi / max_mi).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        } else if max_logfreq > 0.0 {
+            ((u.freq as f64).ln_1p() / max_logfreq).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        if u.score < config.punish_threshold {
+            u.score *= config.punish_factor;
+        }
+    }
+    dict.units.retain(|_, u| u.score >= config.drop_below);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    /// A log where "new york" always co-occurs but "red"/"car" appear
+    /// mostly independently.
+    fn cooccurrence_log() -> QueryLog {
+        let mut log = QueryLog::new();
+        log.add("new york", 50);
+        log.add("new york hotels", 30);
+        log.add("new york subway map", 20);
+        log.add("red car", 5);
+        log.add("red apple", 40);
+        log.add("car insurance", 45);
+        log.add("blue car", 30);
+        log.add("red paint", 30);
+        for i in 0..30 {
+            log.add(&format!("filler query {i}"), 10);
+        }
+        log
+    }
+
+    #[test]
+    fn strong_collocation_becomes_unit() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        let ny = dict.get(&t("new york"));
+        assert!(ny.is_some(), "'new york' should be a unit");
+        assert!(ny.unwrap().mi > 0.0);
+    }
+
+    #[test]
+    fn weak_pair_rejected_or_scored_lower() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        let ny_score = dict.score(&t("new york"));
+        let rc_score = dict.score(&t("red car"));
+        assert!(
+            ny_score > rc_score,
+            "strong collocation must outscore weak one ({ny_score} vs {rc_score})"
+        );
+    }
+
+    #[test]
+    fn three_term_units_grow() {
+        let mut log = QueryLog::new();
+        log.add("san francisco bay", 40);
+        log.add("san francisco bay area", 25);
+        log.add("san francisco", 60);
+        for i in 0..50 {
+            log.add(&format!("noise number {i}"), 8);
+        }
+        let dict = extract_units(&log, &UnitConfig::default());
+        assert!(dict.get(&t("san francisco")).is_some());
+        assert!(
+            dict.get(&t("san francisco bay")).is_some(),
+            "3-term unit should be extracted"
+        );
+    }
+
+    #[test]
+    fn scores_normalized_to_unit_interval() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        for u in dict.iter() {
+            assert!((0.0..=1.0).contains(&u.score), "{:?}", u);
+        }
+    }
+
+    #[test]
+    fn single_terms_present_with_frequency_scores() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        let red = dict.get(&t("red")).expect("single term unit");
+        assert_eq!(red.terms.len(), 1);
+        assert!(red.score > 0.0);
+    }
+
+    #[test]
+    fn empty_log_no_units() {
+        let dict = extract_units(&QueryLog::new(), &UnitConfig::default());
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn min_pair_freq_gate() {
+        let mut log = QueryLog::new();
+        log.add("rare pair", 1); // below min_pair_freq = 3
+        log.add("rare", 100);
+        log.add("pair", 100);
+        let dict = extract_units(&log, &UnitConfig::default());
+        assert!(dict.get(&t("rare pair")).is_none());
+    }
+
+    #[test]
+    fn subunits_counting() {
+        let mut log = QueryLog::new();
+        log.add("san francisco bay", 50);
+        log.add("san francisco", 80);
+        for i in 0..50 {
+            log.add(&format!("noise term {i}"), 10);
+        }
+        let dict = extract_units(&log, &UnitConfig::default());
+        // "san francisco bay" contains the sub-unit "san francisco"
+        // (length 2 >= min_len 2).
+        let n = dict.subunits_of(&t("san francisco bay"), 2, 0.0);
+        assert!(n >= 1, "expected at least one subunit, got {n}");
+    }
+
+    #[test]
+    fn score_lookup_absent_is_zero() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        assert_eq!(dict.score(&t("does not exist")), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for query-log mining.
+
+use ctxrank_querylog::{extract_units, QueryLog, SuggestionService, UnitConfig};
+use proptest::prelude::*;
+
+fn log_strategy() -> impl Strategy<Value = Vec<(Vec<String>, u64)>> {
+    prop::collection::vec(
+        (prop::collection::vec("[a-d]{1,3}", 1..5), 1u64..50),
+        0..40,
+    )
+}
+
+proptest! {
+    /// Total frequency equals the sum of added frequencies; exact
+    /// frequency matches a naive aggregation.
+    #[test]
+    fn frequencies_match_naive(entries in log_strategy()) {
+        let mut log = QueryLog::new();
+        for (terms, freq) in &entries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        let expected_total: u64 = entries.iter().map(|e| e.1).sum();
+        prop_assert_eq!(log.total_freq(), expected_total);
+
+        // Naive exact counts.
+        let mut naive: std::collections::HashMap<Vec<String>, u64> = std::collections::HashMap::new();
+        for (terms, freq) in &entries {
+            *naive.entry(terms.clone()).or_insert(0) += freq;
+        }
+        for (terms, freq) in &naive {
+            prop_assert_eq!(log.freq_exact(terms), *freq);
+        }
+    }
+
+    /// Phrase containment dominates exact frequency and term containment
+    /// dominates phrase containment of longer phrases.
+    #[test]
+    fn containment_hierarchy(entries in log_strategy(),
+                             probe in prop::collection::vec("[a-d]{1,3}", 1..4)) {
+        let mut log = QueryLog::new();
+        for (terms, freq) in &entries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        prop_assert!(log.freq_phrase_contained(&probe) >= log.freq_exact(&probe));
+        if probe.len() == 1 {
+            prop_assert_eq!(
+                log.freq_phrase_contained(&probe),
+                log.freq_term_contained(&probe[0])
+            );
+        }
+    }
+
+    /// Unit scores are always within [0, 1], and every multi-term unit's
+    /// phrase actually co-occurs in the log.
+    #[test]
+    fn unit_invariants(entries in log_strategy()) {
+        let mut log = QueryLog::new();
+        for (terms, freq) in &entries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        let units = extract_units(&log, &UnitConfig::default());
+        for u in units.iter() {
+            prop_assert!((0.0..=1.0).contains(&u.score), "score {}", u.score);
+            if u.terms.len() > 1 {
+                prop_assert!(
+                    log.freq_phrase_contained(&u.terms) > 0,
+                    "unit {:?} never co-occurs", u.terms
+                );
+            }
+        }
+    }
+
+    /// Suggestions never include the concept itself and respect the max.
+    #[test]
+    fn suggestion_contracts(entries in log_strategy(),
+                            concept in prop::collection::vec("[a-d]{1,3}", 1..3),
+                            max in 0usize..10) {
+        let mut log = QueryLog::new();
+        for (terms, freq) in &entries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        let svc = SuggestionService::new(&log);
+        let sugg = svc.suggestions(&concept, max);
+        prop_assert!(sugg.len() <= max);
+        for s in &sugg {
+            prop_assert!(s.terms != concept);
+            prop_assert!(s.freq > 0);
+        }
+    }
+}

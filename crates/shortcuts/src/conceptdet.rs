@@ -1,0 +1,179 @@
+//! Query-log concept detection.
+//!
+//! §II-A: "Concepts are detected using data from search engine query
+//! logs, thus allowing the system to detect things of interest that go
+//! beyond editorially reviewed terms." The detector scans a normalized
+//! token stream for phrases present in a [`UnitDictionary`] whose score
+//! clears a threshold, longest match first.
+
+use ctxrank_querylog::UnitDictionary;
+
+/// A concept detection in a token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptMatch {
+    /// Token index where the concept starts.
+    pub token_start: usize,
+    /// Number of tokens covered.
+    pub token_len: usize,
+    /// The concept surface (space-joined terms).
+    pub surface: String,
+    /// The unit score of the matched concept.
+    pub unit_score: f64,
+}
+
+/// Detector over the unit dictionary.
+#[derive(Debug)]
+pub struct ConceptDetector<'a> {
+    units: &'a UnitDictionary,
+    /// Minimum unit score a phrase needs to be detected.
+    pub min_score: f64,
+    /// Maximum phrase length considered.
+    pub max_terms: usize,
+    /// Detect single-term concepts too? The production system supports a
+    /// large single-term concept set; turning this off restricts
+    /// detection to multi-term units.
+    pub allow_single: bool,
+}
+
+impl<'a> ConceptDetector<'a> {
+    /// Create a detector with the platform defaults.
+    pub fn new(units: &'a UnitDictionary) -> Self {
+        Self {
+            units,
+            min_score: 0.05,
+            max_terms: 4,
+            allow_single: true,
+        }
+    }
+
+    /// Scan `tokens` (already normalized) for concepts. Longest match
+    /// wins at each position; matches never overlap; stop-words never
+    /// start a concept.
+    pub fn detect(&self, tokens: &[String]) -> Vec<ConceptMatch> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            if ctxrank_text::is_stopword(&tokens[i]) {
+                i += 1;
+                continue;
+            }
+            let longest = self.max_terms.min(tokens.len() - i);
+            let shortest = if self.allow_single { 1 } else { 2 };
+            let mut matched = None;
+            for len in (shortest..=longest).rev() {
+                let slice = &tokens[i..i + len];
+                // A concept must not end with a stop-word either.
+                if ctxrank_text::is_stopword(&slice[len - 1]) {
+                    continue;
+                }
+                if let Some(unit) = self.units.get(slice) {
+                    if unit.score >= self.min_score {
+                        matched = Some(ConceptMatch {
+                            token_start: i,
+                            token_len: len,
+                            surface: slice.join(" "),
+                            unit_score: unit.score,
+                        });
+                        break;
+                    }
+                }
+            }
+            match matched {
+                Some(m) => {
+                    i += m.token_len;
+                    out.push(m);
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
+
+    fn t(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn units() -> UnitDictionary {
+        let mut log = QueryLog::new();
+        log.add("global warming", 80);
+        log.add("global warming effects", 30);
+        log.add("auto insurance", 60);
+        log.add("cheap auto insurance", 25);
+        for i in 0..40 {
+            log.add(&format!("noise filler {i}"), 10);
+        }
+        extract_units(&log, &UnitConfig::default())
+    }
+
+    #[test]
+    fn detects_multiterm_concept() {
+        let u = units();
+        let det = ConceptDetector::new(&u);
+        let found = det.detect(&t("scientists say global warming accelerates"));
+        assert!(found.iter().any(|m| m.surface == "global warming"), "{found:?}");
+    }
+
+    #[test]
+    fn longest_match_preferred() {
+        let u = units();
+        let det = ConceptDetector::new(&u);
+        let found = det.detect(&t("find cheap auto insurance online"));
+        let best = found
+            .iter()
+            .find(|m| m.surface.contains("auto insurance"))
+            .expect("insurance concept");
+        // "cheap auto insurance" should win over "auto insurance" if it
+        // was extracted as a 3-term unit; either way it covers >= 2 terms.
+        assert!(best.token_len >= 2);
+    }
+
+    #[test]
+    fn no_overlap() {
+        let u = units();
+        let det = ConceptDetector::new(&u);
+        let found = det.detect(&t("global warming global warming"));
+        for pair in found.windows(2) {
+            assert!(pair[0].token_start + pair[0].token_len <= pair[1].token_start);
+        }
+    }
+
+    #[test]
+    fn stopwords_never_start_concepts() {
+        let u = units();
+        let det = ConceptDetector::new(&u);
+        let found = det.detect(&t("the and of global warming"));
+        for m in &found {
+            assert!(!ctxrank_text::is_stopword(m.surface.split(' ').next().expect("term")));
+        }
+    }
+
+    #[test]
+    fn min_score_filters() {
+        let u = units();
+        let mut det = ConceptDetector::new(&u);
+        det.min_score = 2.0; // impossible
+        assert!(det.detect(&t("global warming effects")).is_empty());
+    }
+
+    #[test]
+    fn single_term_toggle() {
+        let u = units();
+        let mut det = ConceptDetector::new(&u);
+        det.allow_single = false;
+        let found = det.detect(&t("insurance quotes today"));
+        assert!(found.iter().all(|m| m.token_len >= 2));
+    }
+
+    #[test]
+    fn empty_tokens() {
+        let u = units();
+        let det = ConceptDetector::new(&u);
+        assert!(det.detect(&[]).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Editorially-reviewed named-entity dictionaries.
+//!
+//! §II-A: "Named entities are detected with the help of editorially
+//! reviewed dictionaries. The dictionaries contain categorized terms and
+//! phrases according to a pre-defined taxonomy ... It is possible that a
+//! named entity can be a member of multiple types, such as the term
+//! jaguar, in which case the entity is disambiguated. The named location
+//! detector also uses data-packs that are pre-loaded into memory ...
+//! the meta-data contained geo-location information."
+//!
+//! The dictionary maps normalized surface phrases to typed entries and is
+//! matched against documents longest-phrase-first. Ambiguous surfaces
+//! (several entries for one phrase) are disambiguated by scoring each
+//! entry's *context terms* against the surrounding sentence.
+
+use std::collections::HashMap;
+
+/// One dictionary entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictionaryEntry {
+    /// Normalized phrase terms.
+    pub terms: Vec<String>,
+    /// Major-type code (stable small integer; 0 = untyped concept).
+    pub type_code: u8,
+    /// Sub-type label ("actor", "city", ...).
+    pub subtype: String,
+    /// Geo metadata for locations (latitude, longitude).
+    pub geo: Option<(f64, f64)>,
+    /// Distinctive context terms used for disambiguation; may be empty.
+    pub context_terms: Vec<String>,
+}
+
+impl DictionaryEntry {
+    /// The entry's surface form.
+    pub fn surface(&self) -> String {
+        self.terms.join(" ")
+    }
+}
+
+/// A frozen entity dictionary.
+#[derive(Debug, Default)]
+pub struct EntityDictionary {
+    /// surface key -> candidate entries (ambiguous surfaces have > 1).
+    entries: HashMap<String, Vec<DictionaryEntry>>,
+    /// Longest phrase length in the dictionary (bounds the match scan).
+    max_len: usize,
+}
+
+/// A dictionary match in a token stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictMatch {
+    /// Token index where the phrase starts.
+    pub token_start: usize,
+    /// Number of tokens covered.
+    pub token_len: usize,
+    /// Index of the chosen entry within the surface's candidate list.
+    pub entry_index: usize,
+    /// The surface key.
+    pub surface: String,
+}
+
+impl EntityDictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an entry. Multiple entries may share a surface (ambiguity).
+    pub fn insert(&mut self, entry: DictionaryEntry) {
+        assert!(!entry.terms.is_empty(), "dictionary entry needs terms");
+        self.max_len = self.max_len.max(entry.terms.len());
+        self.entries.entry(entry.surface()).or_default().push(entry);
+    }
+
+    /// Number of distinct surfaces.
+    pub fn num_surfaces(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// All candidate entries for a surface.
+    pub fn candidates(&self, surface: &str) -> &[DictionaryEntry] {
+        self.entries.get(surface).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolve a match back to its entry.
+    pub fn entry(&self, m: &DictMatch) -> &DictionaryEntry {
+        &self.entries[&m.surface][m.entry_index]
+    }
+
+    /// Scan a normalized token stream for dictionary phrases.
+    ///
+    /// Longest-match-wins at each position; after a match the scan
+    /// resumes *after* the matched phrase (no overlapping dictionary
+    /// matches). Ambiguous surfaces are disambiguated by counting each
+    /// candidate's `context_terms` in a window of `context_window` tokens
+    /// around the match; ties go to the first-inserted entry.
+    pub fn detect(&self, tokens: &[String], context_window: usize) -> Vec<DictMatch> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut matched = None;
+            let longest = self.max_len.min(tokens.len() - i);
+            for len in (1..=longest).rev() {
+                let surface = tokens[i..i + len].join(" ");
+                if let Some(cands) = self.entries.get(&surface) {
+                    let entry_index = if cands.len() == 1 {
+                        0
+                    } else {
+                        disambiguate(cands, tokens, i, len, context_window)
+                    };
+                    matched = Some(DictMatch {
+                        token_start: i,
+                        token_len: len,
+                        entry_index,
+                        surface,
+                    });
+                    break;
+                }
+            }
+            match matched {
+                Some(m) => {
+                    i += m.token_len;
+                    out.push(m);
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Pick the candidate whose context terms best match the surrounding
+/// window.
+fn disambiguate(
+    cands: &[DictionaryEntry],
+    tokens: &[String],
+    at: usize,
+    len: usize,
+    window: usize,
+) -> usize {
+    let from = at.saturating_sub(window);
+    let to = (at + len + window).min(tokens.len());
+    let mut best = 0;
+    let mut best_score = -1i64;
+    for (idx, cand) in cands.iter().enumerate() {
+        let score = tokens[from..to]
+            .iter()
+            .filter(|t| cand.context_terms.iter().any(|c| c == *t))
+            .count() as i64;
+        if score > best_score {
+            best_score = score;
+            best = idx;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn entry(surface: &str, type_code: u8, subtype: &str) -> DictionaryEntry {
+        DictionaryEntry {
+            terms: t(surface),
+            type_code,
+            subtype: subtype.to_string(),
+            geo: None,
+            context_terms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_term_detection() {
+        let mut d = EntityDictionary::new();
+        d.insert(entry("cuba", 2, "country"));
+        let m = d.detect(&t("talks with cuba stalled"), 5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].surface, "cuba");
+        assert_eq!(m[0].token_start, 2);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut d = EntityDictionary::new();
+        d.insert(entry("york", 2, "city"));
+        d.insert(entry("new york", 2, "city"));
+        let m = d.detect(&t("i love new york pizza"), 5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].surface, "new york");
+        assert_eq!(m[0].token_len, 2);
+    }
+
+    #[test]
+    fn no_overlapping_matches() {
+        let mut d = EntityDictionary::new();
+        d.insert(entry("a b", 1, "x"));
+        d.insert(entry("b c", 1, "x"));
+        let m = d.detect(&t("a b c"), 5);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].surface, "a b");
+    }
+
+    #[test]
+    fn consecutive_matches() {
+        let mut d = EntityDictionary::new();
+        d.insert(entry("obama", 1, "politician"));
+        d.insert(entry("clinton", 1, "politician"));
+        let m = d.detect(&t("obama clinton debate"), 5);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn ambiguity_resolved_by_context() {
+        let mut d = EntityDictionary::new();
+        d.insert(DictionaryEntry {
+            terms: t("jaguar"),
+            type_code: 5,
+            subtype: "mammal".into(),
+            geo: None,
+            context_terms: t("jungle cat prey habitat"),
+        });
+        d.insert(DictionaryEntry {
+            terms: t("jaguar"),
+            type_code: 6,
+            subtype: "car".into(),
+            geo: None,
+            context_terms: t("engine sedan luxury dealership"),
+        });
+        let animal_ctx = t("the jaguar stalked prey in the jungle habitat");
+        let car_ctx = t("the jaguar sedan has a new engine");
+        let m1 = d.detect(&animal_ctx, 8);
+        let m2 = d.detect(&car_ctx, 8);
+        assert_eq!(d.entry(&m1[0]).subtype, "mammal");
+        assert_eq!(d.entry(&m2[0]).subtype, "car");
+    }
+
+    #[test]
+    fn ambiguity_tie_goes_to_first() {
+        let mut d = EntityDictionary::new();
+        d.insert(entry("springfield", 2, "city"));
+        d.insert(DictionaryEntry {
+            geo: Some((39.8, -89.6)),
+            ..entry("springfield", 2, "capital")
+        });
+        let m = d.detect(&t("springfield wins"), 5);
+        assert_eq!(d.entry(&m[0]).subtype, "city");
+    }
+
+    #[test]
+    fn geo_metadata_preserved() {
+        let mut d = EntityDictionary::new();
+        d.insert(DictionaryEntry {
+            geo: Some((37.4, -122.0)),
+            ..entry("sunnyvale", 2, "city")
+        });
+        let m = d.detect(&t("offices in sunnyvale california"), 5);
+        assert_eq!(d.entry(&m[0]).geo, Some((37.4, -122.0)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = EntityDictionary::new();
+        assert!(d.detect(&t("anything at all"), 5).is_empty());
+        let mut d2 = EntityDictionary::new();
+        d2.insert(entry("x", 1, "s"));
+        assert!(d2.detect(&[], 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_entry_rejected() {
+        let mut d = EntityDictionary::new();
+        d.insert(DictionaryEntry {
+            terms: vec![],
+            type_code: 0,
+            subtype: String::new(),
+            geo: None,
+            context_terms: vec![],
+        });
+    }
+}

@@ -1,0 +1,293 @@
+//! Pattern-based entity detectors: emails, URLs, phone numbers.
+//!
+//! §II-A: "Pattern based entities are primarily detected by regular
+//! expressions. To provide a level of consistent behavior to the end
+//! user, pattern based entities are not subject to any relevance
+//! calculations \[and\] are always annotated." We implement the matchers as
+//! small hand-written scanners (no regex dependency) with conventional
+//! semantics: RFC-ish emails, `http(s)://` or `www.` URLs, and North
+//! American style phone numbers.
+
+use ctxrank_text::Span;
+
+/// The pattern-based entity types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternType {
+    Email,
+    Url,
+    Phone,
+}
+
+/// One pattern match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternMatch {
+    pub kind: PatternType,
+    pub span: Span,
+}
+
+impl PatternMatch {
+    /// The matched text.
+    pub fn of<'a>(&self, text: &'a str) -> &'a str {
+        self.span.of(text)
+    }
+}
+
+/// Detect all pattern entities in `text`, sorted by start offset.
+/// Overlaps between pattern matches are resolved longest-first (an email
+/// wins over the URL-ish domain inside it).
+pub fn detect_patterns(text: &str) -> Vec<PatternMatch> {
+    let mut found = Vec::new();
+    find_emails(text, &mut found);
+    find_urls(text, &mut found);
+    find_phones(text, &mut found);
+    // Longest-first collision resolution, then re-sort by position.
+    found.sort_by_key(|m| (m.span.start, std::cmp::Reverse(m.span.len())));
+    let mut out: Vec<PatternMatch> = Vec::new();
+    for m in found {
+        if out.iter().all(|kept| !kept.span.overlaps(&m.span)) {
+            out.push(m);
+        }
+    }
+    out.sort_by_key(|m| m.span.start);
+    out
+}
+
+fn is_email_local(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '%' | '+' | '-')
+}
+
+fn is_domain_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '-')
+}
+
+/// Scan for `local@domain.tld`.
+fn find_emails(text: &str, out: &mut Vec<PatternMatch>) {
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'@' {
+            continue;
+        }
+        // Extend left over local-part chars.
+        let mut start = i;
+        while start > 0 && is_email_local(bytes[start - 1] as char) {
+            start -= 1;
+        }
+        if start == i {
+            continue;
+        }
+        // Extend right over the domain.
+        let mut end = i + 1;
+        while end < bytes.len() && is_domain_char(bytes[end] as char) {
+            end += 1;
+        }
+        // Trim trailing dots/hyphens.
+        while end > i + 1 && matches!(bytes[end - 1], b'.' | b'-') {
+            end -= 1;
+        }
+        let domain = &text[i + 1..end];
+        // Domain needs at least one internal dot and a 2+ letter TLD.
+        if let Some(dot) = domain.rfind('.') {
+            let tld = &domain[dot + 1..];
+            if dot > 0 && tld.len() >= 2 && tld.chars().all(|c| c.is_ascii_alphabetic()) {
+                out.push(PatternMatch {
+                    kind: PatternType::Email,
+                    span: Span { start, end },
+                });
+            }
+        }
+    }
+}
+
+fn is_url_char(c: char) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            '.' | '/' | '-' | '_' | '~' | '%' | '?' | '=' | '&' | '#' | ':' | '+'
+        )
+}
+
+/// Scan for `http://`, `https://` and `www.` URLs.
+fn find_urls(text: &str, out: &mut Vec<PatternMatch>) {
+    for prefix in ["http://", "https://", "www."] {
+        let mut from = 0;
+        while let Some(rel) = text[from..].find(prefix) {
+            let start = from + rel;
+            // "www." must start at a word boundary.
+            let at_boundary = start == 0
+                || !text[..start]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || c == '.');
+            let mut end = start + prefix.len();
+            let bytes = text.as_bytes();
+            while end < bytes.len() && is_url_char(bytes[end] as char) {
+                end += 1;
+            }
+            // Trim trailing punctuation that likely belongs to the prose.
+            while end > start + prefix.len()
+                && matches!(bytes[end - 1], b'.' | b'?' | b':' | b'&' | b'#')
+            {
+                end -= 1;
+            }
+            if at_boundary && end > start + prefix.len() {
+                out.push(PatternMatch {
+                    kind: PatternType::Url,
+                    span: Span { start, end },
+                });
+            }
+            from = end.max(start + 1);
+        }
+    }
+}
+
+/// Scan for phone numbers: `NNN-NNN-NNNN`, `(NNN) NNN-NNNN`,
+/// `+N NNN NNN NNNN` style runs of 10–12 digits with separators.
+fn find_phones(text: &str, out: &mut Vec<PatternMatch>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !(bytes[i].is_ascii_digit() || bytes[i] == b'(' || bytes[i] == b'+') {
+            i += 1;
+            continue;
+        }
+        // Phone candidates must not be glued to a preceding digit/letter.
+        if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'-') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        let mut digits = 0;
+        let mut separators = 0;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'0'..=b'9' => digits += 1,
+                b'-' | b'.' | b' ' | b'(' | b')' | b'+' => {
+                    // A separator must lead to a digit within two chars
+                    // (")" may be followed by one more separator, as in
+                    // "(555) 123-4567").
+                    let next_ok = match bytes.get(j + 1) {
+                        Some(&n) if n.is_ascii_digit() || n == b')' => true,
+                        Some(b'-' | b'.' | b' ' | b'(') => bytes
+                            .get(j + 2)
+                            .is_some_and(|&m| m.is_ascii_digit()),
+                        _ => false,
+                    };
+                    if !next_ok {
+                        break;
+                    }
+                    separators += 1;
+                }
+                _ => break,
+            }
+            j += 1;
+            if digits > 12 {
+                break;
+            }
+        }
+        if (10..=12).contains(&digits) && separators >= 2 && digits + separators == j - start {
+            out.push(PatternMatch {
+                kind: PatternType::Phone,
+                span: Span { start, end: j },
+            });
+            i = j;
+        } else {
+            i += 1;
+            // Skip the rest of a long digit run so we don't re-test
+            // every suffix.
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(text: &str) -> Vec<(PatternType, String)> {
+        detect_patterns(text)
+            .into_iter()
+            .map(|m| (m.kind, m.of(text).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn detects_email() {
+        let found = kinds("contact uirmak@yahoo-inc.com for details");
+        assert_eq!(found, vec![(PatternType::Email, "uirmak@yahoo-inc.com".into())]);
+    }
+
+    #[test]
+    fn email_trailing_period_excluded() {
+        let found = kinds("write to a.b@example.org.");
+        assert_eq!(found[0].1, "a.b@example.org");
+    }
+
+    #[test]
+    fn rejects_bare_at() {
+        assert!(kinds("meet @ noon").is_empty());
+        assert!(kinds("a@b").is_empty());
+    }
+
+    #[test]
+    fn detects_http_and_www_urls() {
+        let found = kinds("see http://news.yahoo.com/story?id=1 or www.example.com today");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0], (PatternType::Url, "http://news.yahoo.com/story?id=1".into()));
+        assert_eq!(found[1], (PatternType::Url, "www.example.com".into()));
+    }
+
+    #[test]
+    fn url_sentence_period_trimmed() {
+        let found = kinds("Visit https://svmlight.joachims.org.");
+        assert_eq!(found[0].1, "https://svmlight.joachims.org");
+    }
+
+    #[test]
+    fn detects_phone_formats() {
+        for text in [
+            "call 555-123-4567 now",
+            "call (555) 123-4567 now",
+            "call +1 555 123 4567 now",
+            "call 555.123.4567 now",
+        ] {
+            let found = kinds(text);
+            assert_eq!(found.len(), 1, "in {text:?}: {found:?}");
+            assert_eq!(found[0].0, PatternType::Phone);
+        }
+    }
+
+    #[test]
+    fn rejects_short_and_long_digit_runs() {
+        assert!(kinds("room 1234").is_empty());
+        assert!(kinds("in 2008 and 2009").is_empty());
+        assert!(kinds("id 12345678901234567890").is_empty());
+        // Plain numbers without separators are not phones.
+        assert!(kinds("5551234567").is_empty());
+    }
+
+    #[test]
+    fn email_wins_over_inner_url() {
+        // "bob@www.example.com" — the email subsumes the www. match.
+        let found = kinds("bob@www.example.com");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, PatternType::Email);
+    }
+
+    #[test]
+    fn results_sorted_by_position() {
+        let found = detect_patterns("x www.a.com y b@c.org z 555-123-4567");
+        let starts: Vec<usize> = found.iter().map(|m| m.span.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(detect_patterns("").is_empty());
+    }
+}

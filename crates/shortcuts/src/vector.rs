@@ -1,0 +1,309 @@
+//! Concept-vector generation (§II-B) — the baseline ranking.
+//!
+//! Given a document:
+//!
+//! 1. build a **term vector** of tf·idf scores over a term dictionary
+//!    (stop-words removed), normalize weights into `[0, 1]`, punish
+//!    weights under a threshold, drop the lowest;
+//! 2. build a **unit vector** of all query-log units found in the
+//!    document, normalized/punished/pruned the same way;
+//! 3. **merge**: a term only in the term vector is added with a punished
+//!    weight (it "did not appear as a popular query"); a unit only in the
+//!    unit vector keeps its unit weight; a term in both gets the sum;
+//! 4. for every **multi-term concept**, add the unit- and term-vector
+//!    scores of each constituent term — "this way more specific concepts
+//!    eventually bubble up in the overall rank". The maximum possible
+//!    final weight is `2 × number of terms`.
+//!
+//! The resulting score is what the production Contextual Shortcuts used
+//! to rank annotations, and is the baseline every experiment in §V
+//! compares against (weighted error rate 30.22%).
+
+use crate::conceptdet::ConceptDetector;
+use ctxrank_index::TermVector;
+use ctxrank_querylog::UnitDictionary;
+use std::collections::HashMap;
+
+/// Thresholds for the §II-B merge.
+#[derive(Debug, Clone)]
+pub struct ConceptVectorConfig {
+    /// Term-vector weights below this are punished...
+    pub term_punish_threshold: f64,
+    /// ...by multiplying with this factor.
+    pub term_punish_factor: f64,
+    /// Term-vector weights below this are removed.
+    pub term_drop_below: f64,
+    /// Unit-vector weights below this are punished...
+    pub unit_punish_threshold: f64,
+    /// ...by multiplying with this factor.
+    pub unit_punish_factor: f64,
+    /// Unit-vector weights below this are removed.
+    pub unit_drop_below: f64,
+    /// Factor applied to term weights that have no unit support (merge
+    /// case 1: "we add it to the concept vector, but punish its term
+    /// vector weight").
+    pub unmatched_term_factor: f64,
+    /// Minimum unit score for the detector that finds units in the text.
+    pub detector_min_score: f64,
+    /// Apply the §II-B step-4 multi-term specificity bonus. On by
+    /// default; the `ablation_merge` experiment turns it off.
+    pub multiterm_bonus: bool,
+}
+
+impl Default for ConceptVectorConfig {
+    fn default() -> Self {
+        Self {
+            term_punish_threshold: 0.25,
+            term_punish_factor: 0.5,
+            term_drop_below: 0.05,
+            unit_punish_threshold: 0.15,
+            unit_punish_factor: 0.5,
+            unit_drop_below: 0.02,
+            unmatched_term_factor: 0.5,
+            detector_min_score: 0.02,
+            multiterm_bonus: true,
+        }
+    }
+}
+
+/// One concept with its merged §II-B score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredConcept {
+    /// Space-joined surface form.
+    pub surface: String,
+    /// Final merged weight (up to `2 × terms`).
+    pub score: f64,
+}
+
+/// Builds concept vectors for documents.
+pub struct ConceptVectorBuilder<'a> {
+    units: &'a UnitDictionary,
+    idf: Box<dyn Fn(&str) -> f64 + 'a>,
+    config: ConceptVectorConfig,
+}
+
+impl<'a> std::fmt::Debug for ConceptVectorBuilder<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConceptVectorBuilder")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ConceptVectorBuilder<'a> {
+    /// Create a builder over a unit dictionary and an idf source (usually
+    /// [`ctxrank_index::Index::idf`]).
+    pub fn new(
+        units: &'a UnitDictionary,
+        idf: impl Fn(&str) -> f64 + 'a,
+        config: ConceptVectorConfig,
+    ) -> Self {
+        Self {
+            units,
+            idf: Box::new(idf),
+            config,
+        }
+    }
+
+    /// Generate the concept vector for a document given as raw text.
+    /// Returns concepts sorted by descending score.
+    pub fn build(&self, text: &str) -> Vec<ScoredConcept> {
+        let tokens: Vec<String> = ctxrank_text::tokenize_terms(text);
+        self.build_from_tokens(&tokens)
+    }
+
+    /// Generate the concept vector from pre-normalized tokens.
+    pub fn build_from_tokens(&self, tokens: &[String]) -> Vec<ScoredConcept> {
+        // 1. Term vector: tf·idf over non-stop-words, normalized,
+        //    punished, pruned.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for t in tokens {
+            if !ctxrank_text::is_stopword(t) {
+                *counts.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut term_vec = TermVector::from_counts(&counts, |t| (self.idf)(t));
+        term_vec.normalize_max();
+        term_vec.punish_and_prune(
+            self.config.term_punish_threshold,
+            self.config.term_punish_factor,
+            self.config.term_drop_below,
+        );
+
+        // 2. Unit vector: units found in the document, with their scores,
+        //    normalized/punished/pruned.
+        let mut detector = ConceptDetector::new(self.units);
+        detector.min_score = self.config.detector_min_score;
+        let mut unit_vec = TermVector::new();
+        for m in detector.detect(tokens) {
+            let current = unit_vec.get(&m.surface);
+            unit_vec.set(m.surface, current.max(m.unit_score));
+        }
+        unit_vec.normalize_max();
+        unit_vec.punish_and_prune(
+            self.config.unit_punish_threshold,
+            self.config.unit_punish_factor,
+            self.config.unit_drop_below,
+        );
+
+        // 3. Merge into the concept vector.
+        let mut merged: HashMap<String, f64> = HashMap::new();
+        for (term, w) in term_vec.iter() {
+            let unit_w = unit_vec.get(term);
+            if unit_w > 0.0 {
+                // Case 3: in both — sum the weights.
+                merged.insert(term.to_string(), w + unit_w);
+            } else {
+                // Case 1: term only — punish.
+                merged.insert(term.to_string(), w * self.config.unmatched_term_factor);
+            }
+        }
+        for (unit, w) in unit_vec.iter() {
+            // Case 2: unit only — add with its unit weight.
+            merged.entry(unit.to_string()).or_insert(w);
+        }
+
+        // 4. Multi-term bonus: add each constituent term's unit- and
+        //    term-vector scores.
+        let mut out: Vec<ScoredConcept> = merged
+            .iter()
+            .map(|(surface, &base)| {
+                let mut score = base;
+                let parts: Vec<&str> = surface.split(' ').collect();
+                if self.config.multiterm_bonus && parts.len() > 1 {
+                    for p in &parts {
+                        score += term_vec.get(p) + unit_vec.get(p);
+                    }
+                }
+                ScoredConcept {
+                    surface: surface.clone(),
+                    score,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.surface.cmp(&b.surface))
+        });
+        out
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &ConceptVectorConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
+
+    fn units() -> UnitDictionary {
+        let mut log = QueryLog::new();
+        log.add("global warming", 90);
+        log.add("global warming report", 40);
+        log.add("polar bears", 70);
+        log.add("polar bears habitat", 20);
+        for i in 0..40 {
+            log.add(&format!("filler queryterm{i}"), 12);
+        }
+        extract_units(&log, &UnitConfig::default())
+    }
+
+    /// idf source: every term moderately distinctive, "common" cheap.
+    fn idf(term: &str) -> f64 {
+        if term == "common" {
+            0.2
+        } else {
+            3.0
+        }
+    }
+
+    #[test]
+    fn multiterm_concepts_bubble_up() {
+        let u = units();
+        let b = ConceptVectorBuilder::new(&u, idf, ConceptVectorConfig::default());
+        let text = "global warming threatens polar bears habitat said the report \
+                    common common common";
+        let v = b.build(text);
+        assert!(!v.is_empty());
+        // The top concept should be one of the multi-term units, not a
+        // bare single term.
+        assert!(
+            v[0].surface.contains(' '),
+            "expected multi-term on top, got {:?}",
+            v[0]
+        );
+    }
+
+    #[test]
+    fn score_bounded_by_two_per_term() {
+        let u = units();
+        let b = ConceptVectorBuilder::new(&u, idf, ConceptVectorConfig::default());
+        let v = b.build("global warming global warming polar bears");
+        for c in &v {
+            let n = c.surface.split(' ').count() as f64;
+            assert!(
+                c.score <= 2.0 * n + 1e-9,
+                "{} score {} exceeds 2x{}",
+                c.surface,
+                c.score,
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn stopwords_never_scored() {
+        let u = units();
+        let b = ConceptVectorBuilder::new(&u, idf, ConceptVectorConfig::default());
+        let v = b.build("the global warming and the polar bears");
+        for c in &v {
+            assert!(!ctxrank_text::is_stopword(&c.surface));
+        }
+    }
+
+    #[test]
+    fn term_only_entries_punished() {
+        let u = units();
+        let cfg = ConceptVectorConfig::default();
+        let b = ConceptVectorBuilder::new(&u, idf, cfg.clone());
+        // "zebra" is not a unit; it can appear only via the term vector.
+        let v = b.build("zebra zebra zebra zebra global warming");
+        let zebra = v.iter().find(|c| c.surface == "zebra");
+        if let Some(z) = zebra {
+            // Punished: max possible normalized weight is 1.0, so the
+            // merged score is at most the unmatched factor.
+            assert!(z.score <= cfg.unmatched_term_factor + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sorted_descending() {
+        let u = units();
+        let b = ConceptVectorBuilder::new(&u, idf, ConceptVectorConfig::default());
+        let v = b.build("global warming report polar bears habitat filler queryterm1");
+        for w in v.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn empty_document() {
+        let u = units();
+        let b = ConceptVectorBuilder::new(&u, idf, ConceptVectorConfig::default());
+        assert!(b.build("").is_empty());
+        assert!(b.build("the of and").is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let u = units();
+        let b = ConceptVectorBuilder::new(&u, idf, ConceptVectorConfig::default());
+        let text = "global warming polar bears report habitat";
+        assert_eq!(b.build(text), b.build(text));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the detection platform.
+
+use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
+use ctxrank_shortcuts::{
+    detect_patterns, DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig,
+};
+use proptest::prelude::*;
+
+fn knowledge() -> (EntityDictionary, ctxrank_querylog::UnitDictionary) {
+    let mut dict = EntityDictionary::new();
+    for (surface, code) in [("alpha city", 2u8), ("beta", 1), ("gamma delta", 3)] {
+        dict.insert(DictionaryEntry {
+            terms: surface.split(' ').map(str::to_string).collect(),
+            type_code: code,
+            subtype: "x".into(),
+            geo: None,
+            context_terms: Vec::new(),
+        });
+    }
+    let mut log = QueryLog::new();
+    log.add("omega prime", 50);
+    log.add("omega prime news", 20);
+    for i in 0..30 {
+        log.add(&format!("pad query{i}"), 10);
+    }
+    (dict, extract_units(&log, &UnitConfig::default()))
+}
+
+proptest! {
+    /// Pattern detection never panics and produces valid, ordered,
+    /// non-overlapping spans for arbitrary input.
+    #[test]
+    fn patterns_total_and_valid(text in "\\PC{0,300}") {
+        let found = detect_patterns(&text);
+        for m in &found {
+            prop_assert!(m.span.start < m.span.end);
+            prop_assert!(m.span.end <= text.len());
+            prop_assert!(text.is_char_boundary(m.span.start));
+            prop_assert!(text.is_char_boundary(m.span.end));
+        }
+        for w in found.windows(2) {
+            prop_assert!(w[0].span.end <= w[1].span.start);
+        }
+    }
+
+    /// Detected emails always contain '@' and a dot-bearing domain.
+    #[test]
+    fn email_matches_wellformed(text in "\\PC{0,200}") {
+        for m in detect_patterns(&text) {
+            if m.kind == ctxrank_shortcuts::PatternType::Email {
+                let s = m.of(&text);
+                prop_assert!(s.contains('@'));
+                let domain = s.split('@').next_back().expect("has domain");
+                prop_assert!(domain.contains('.'));
+            }
+        }
+    }
+
+    /// The full pipeline is total over arbitrary (possibly HTML) input
+    /// and upholds its annotation invariants.
+    #[test]
+    fn pipeline_invariants(text in "\\PC{0,500}") {
+        let (dict, units) = knowledge();
+        let pipeline = Pipeline::new(&dict, &units, |_| 2.0, PipelineConfig::default());
+        let doc = pipeline.process(&text);
+        for pair in doc.annotations.windows(2) {
+            prop_assert!(pair[0].span.end <= pair[1].span.start, "overlap");
+        }
+        for a in &doc.annotations {
+            prop_assert!(a.span.end <= doc.text.len());
+            prop_assert!(a.score.is_finite());
+            prop_assert!((0.0..1.0 + 1e-9).contains(&a.position_frac));
+            if !a.kind.is_pattern() {
+                prop_assert_eq!(
+                    a.span.of(&doc.text).to_lowercase(),
+                    a.surface.clone()
+                );
+            }
+        }
+    }
+
+    /// Sentences that contain a dictionary surface (as clean tokens) get
+    /// it detected regardless of the surrounding filler.
+    #[test]
+    fn dictionary_surface_always_found(
+        prefix in "[a-z]{1,8}( [a-z]{1,8}){0,5}",
+        suffix in "[a-z]{1,8}( [a-z]{1,8}){0,5}",
+    ) {
+        let (dict, units) = knowledge();
+        let pipeline = Pipeline::new(&dict, &units, |_| 2.0, PipelineConfig::default());
+        let text = format!("{prefix} beta {suffix}");
+        let doc = pipeline.process(&text);
+        prop_assert!(
+            doc.annotations.iter().any(|a| a.surface == "beta"
+                || a.surface.contains("beta")),
+            "beta not detected in {:?}",
+            text
+        );
+    }
+
+    /// Concept-vector scores respect the §II-B bound of 2 x term count.
+    #[test]
+    fn concept_vector_bounded(words in prop::collection::vec("[a-z]{2,8}", 1..60)) {
+        let (_, units) = knowledge();
+        let builder = ctxrank_shortcuts::ConceptVectorBuilder::new(
+            &units,
+            |_| 2.0,
+            ctxrank_shortcuts::ConceptVectorConfig::default(),
+        );
+        for c in builder.build(&words.join(" ")) {
+            let n = c.surface.split(' ').count() as f64;
+            prop_assert!(c.score <= 2.0 * n + 1e-9);
+            prop_assert!(c.score.is_finite());
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! The latent concept universe.
+//!
+//! Every detectable thing in the world — named entities from the
+//! editorial dictionaries and abstract concepts from query logs (§II-A) —
+//! is generated here with its hidden ground truth: a home *topic* (the
+//! context it is relevant in), a latent *interestingness* (how likely a
+//! broad user base is to click it, §IV-A), and a *quality* class
+//! distinguishing specific concepts from the "very general or low quality
+//! concepts (such as 'my favorite', 'the other', ...)" of §IV-B.
+
+use crate::lexicon::Lexicon;
+use crate::rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a concept within one universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ConceptId(pub u32);
+
+/// The taxonomy's major types (§II-A: "a handful major types, such as
+/// people, organizations, places, events, animals, products").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HighLevelType {
+    Person,
+    Place,
+    Organization,
+    Event,
+    Animal,
+    Product,
+}
+
+impl HighLevelType {
+    /// All major types.
+    pub const ALL: [HighLevelType; 6] = [
+        HighLevelType::Person,
+        HighLevelType::Place,
+        HighLevelType::Organization,
+        HighLevelType::Event,
+        HighLevelType::Animal,
+        HighLevelType::Product,
+    ];
+
+    /// Sub-types under each major type ("each of these major types
+    /// contains a large number of subtypes, e.g. actor, musician,
+    /// scientist").
+    pub fn subtypes(self) -> &'static [&'static str] {
+        match self {
+            HighLevelType::Person => &[
+                "actor", "musician", "scientist", "politician", "athlete", "author", "director",
+            ],
+            HighLevelType::Place => &["city", "country", "landmark", "region", "street"],
+            HighLevelType::Organization => &["company", "agency", "team", "university", "party"],
+            HighLevelType::Event => &["election", "disaster", "festival", "war", "tournament"],
+            HighLevelType::Animal => &["mammal", "bird", "reptile", "fish"],
+            HighLevelType::Product => &["phone", "car", "game", "movie", "gadget"],
+        }
+    }
+
+    /// Stable small integer used by the feature encoder.
+    pub fn code(self) -> u8 {
+        match self {
+            HighLevelType::Person => 1,
+            HighLevelType::Place => 2,
+            HighLevelType::Organization => 3,
+            HighLevelType::Event => 4,
+            HighLevelType::Animal => 5,
+            HighLevelType::Product => 6,
+        }
+    }
+}
+
+/// Quality class of a concept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quality {
+    /// A real, specific concept with a home topic.
+    Specific,
+    /// A general/low-quality phrase ("my favorite"): high unit score, no
+    /// home topic, should be suppressed by the relevance safety net.
+    Junk,
+}
+
+/// Ground truth for one concept.
+#[derive(Debug, Clone)]
+pub struct ConceptSpec {
+    pub id: ConceptId,
+    /// Surface terms (lower-case lexicon words), 1–3 of them.
+    pub terms: Vec<String>,
+    /// Home topic index, or `None` for junk concepts.
+    pub topic: Option<usize>,
+    /// Latent interestingness in `[0, 1]` (heavy-tailed).
+    pub interestingness: f64,
+    /// Sub-topic center in `[0, 1)`: where within the home topic's
+    /// vocabulary spectrum the concept lives. Relevance to a document is
+    /// graded by center distance (see [`crate::news`]).
+    pub center: f64,
+    /// Taxonomy entry when the concept is a dictionary named entity;
+    /// `None` for query-log concepts.
+    pub entity_type: Option<(HighLevelType, &'static str)>,
+    /// Geo coordinates for places (§II-A: "the meta-data contained
+    /// geo-location information").
+    pub geo: Option<(f64, f64)>,
+    pub quality: Quality,
+}
+
+impl ConceptSpec {
+    /// The concept's surface form, terms joined by spaces.
+    pub fn surface(&self) -> String {
+        self.terms.join(" ")
+    }
+
+    /// Is this a junk (general/low-quality) concept?
+    pub fn is_junk(&self) -> bool {
+        self.quality == Quality::Junk
+    }
+}
+
+/// Configuration for universe generation.
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Number of specific concepts.
+    pub num_specific: usize,
+    /// Number of junk concepts.
+    pub num_junk: usize,
+    /// Fraction of specific concepts that are dictionary named entities
+    /// (the rest are query-log concepts).
+    pub named_entity_fraction: f64,
+    /// Shape of the interestingness distribution (`u^shape`); larger
+    /// means fewer interesting concepts.
+    pub interest_shape: f64,
+    /// Number of ambiguous surface forms to create (pairs of concepts
+    /// sharing one surface term, like "jaguar").
+    pub num_ambiguous: usize,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        Self {
+            num_specific: 1200,
+            num_junk: 120,
+            named_entity_fraction: 0.5,
+            interest_shape: 2.5,
+            num_ambiguous: 10,
+        }
+    }
+}
+
+/// The full set of concepts with their ground truth.
+#[derive(Debug, Clone)]
+pub struct ConceptUniverse {
+    concepts: Vec<ConceptSpec>,
+}
+
+impl ConceptUniverse {
+    /// Generate a universe over `lexicon` with `num_topics` topics.
+    pub fn generate(seed: u64, lexicon: &Lexicon, config: &UniverseConfig) -> Self {
+        let mut r = StdRng::seed_from_u64(seed ^ 0xc0ce97);
+        let num_topics = lexicon.num_topics();
+        assert!(num_topics > 0, "universe needs at least one topic");
+        let mut concepts = Vec::with_capacity(config.num_specific + config.num_junk);
+        let mut used_surfaces = std::collections::HashSet::new();
+
+        // Specific concepts: surfaces drawn from the home topic's *name*
+        // pool — names appear in text only where the generator embeds a
+        // mention, exactly like real entity names.
+        for i in 0..config.num_specific {
+            let topic = i % num_topics;
+            let center = r.random::<f64>();
+            let mut n_terms = match r.random_range(0..10) {
+                0..=3 => 1,
+                4..=7 => 2,
+                _ => 3,
+            };
+            // Rejection-sample a fresh surface; if a length is exhausted
+            // (small vocabularies), escalate to longer phrases, whose
+            // combinatorial space is effectively unbounded.
+            let mut attempts = 0;
+            let names = lexicon.names(topic);
+            let terms = loop {
+                let t: Vec<String> = (0..n_terms)
+                    .map(|_| names[r.random_range(0..names.len())].clone())
+                    .collect();
+                let key = t.join(" ");
+                if t.iter().collect::<std::collections::HashSet<_>>().len() == t.len()
+                    && used_surfaces.insert(key)
+                {
+                    break t;
+                }
+                attempts += 1;
+                if attempts % 40 == 0 && n_terms < 4 {
+                    n_terms += 1;
+                }
+            };
+            let interestingness = rng::heavy_tail01(&mut r, config.interest_shape);
+            let is_entity = r.random::<f64>() < config.named_entity_fraction;
+            let entity_type = if is_entity {
+                let hlt = *rng::choose(&mut r, &HighLevelType::ALL);
+                let sub = *rng::choose(&mut r, hlt.subtypes());
+                Some((hlt, sub))
+            } else {
+                None
+            };
+            let geo = match entity_type {
+                Some((HighLevelType::Place, _)) => Some((
+                    r.random_range(-90.0..90.0),
+                    r.random_range(-180.0..180.0),
+                )),
+                _ => None,
+            };
+            concepts.push(ConceptSpec {
+                id: ConceptId(concepts.len() as u32),
+                terms,
+                topic: Some(topic),
+                interestingness,
+                center,
+                entity_type,
+                geo,
+                quality: Quality::Specific,
+            });
+        }
+
+        // Junk concepts: 2-term phrases of *general* vocabulary. They are
+        // typed frequently in queries (the generator gives them traffic)
+        // but have no home topic, so their corpus contexts never cluster.
+        for _ in 0..config.num_junk {
+            let terms = loop {
+                let t: Vec<String> = (0..2)
+                    .map(|_| rng::choose(&mut r, &lexicon.general()[..lexicon.general().len().min(200)]).clone())
+                    .collect();
+                let key = t.join(" ");
+                if t[0] != t[1] && used_surfaces.insert(key) {
+                    break t;
+                }
+            };
+            concepts.push(ConceptSpec {
+                id: ConceptId(concepts.len() as u32),
+                terms,
+                topic: None,
+                // Junk phrases are typed a lot; give them mid-range
+                // apparent popularity so interestingness features alone
+                // cannot filter them (the paper's motivation for the
+                // relevance safety net).
+                interestingness: 0.15 + 0.35 * r.random::<f64>(),
+                center: 0.0,
+                entity_type: None,
+                geo: None,
+                quality: Quality::Junk,
+            });
+        }
+
+        // Ambiguity: pick pairs of single-term specific concepts in
+        // different topics and give them the same surface term.
+        let single_idx: Vec<usize> = concepts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.quality == Quality::Specific && c.terms.len() == 1)
+            .map(|(i, _)| i)
+            .collect();
+        let mut made = 0;
+        let mut tries = 0;
+        while made < config.num_ambiguous && tries < 1000 && single_idx.len() >= 2 {
+            tries += 1;
+            let a = *rng::choose(&mut r, &single_idx);
+            let b = *rng::choose(&mut r, &single_idx);
+            if a == b || concepts[a].topic == concepts[b].topic {
+                continue;
+            }
+            let term = concepts[a].terms[0].clone();
+            concepts[b].terms = vec![term];
+            made += 1;
+        }
+
+        Self { concepts }
+    }
+
+    /// All concepts.
+    pub fn all(&self) -> &[ConceptSpec] {
+        &self.concepts
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: ConceptId) -> &ConceptSpec {
+        &self.concepts[id.0 as usize]
+    }
+
+    /// Concepts whose home topic is `t`.
+    pub fn of_topic(&self, t: usize) -> impl Iterator<Item = &ConceptSpec> {
+        self.concepts.iter().filter(move |c| c.topic == Some(t))
+    }
+
+    /// All junk concepts.
+    pub fn junk(&self) -> impl Iterator<Item = &ConceptSpec> {
+        self.concepts.iter().filter(|c| c.is_junk())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_universe() -> (Lexicon, ConceptUniverse) {
+        let lex = Lexicon::generate(5, 300, 4, 60);
+        let cfg = UniverseConfig {
+            num_specific: 80,
+            num_junk: 10,
+            num_ambiguous: 3,
+            ..UniverseConfig::default()
+        };
+        let uni = ConceptUniverse::generate(5, &lex, &cfg);
+        (lex, uni)
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let (_, uni) = small_universe();
+        assert_eq!(uni.len(), 90);
+        assert_eq!(uni.junk().count(), 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let lex = Lexicon::generate(5, 300, 4, 60);
+        let cfg = UniverseConfig::default();
+        let a = ConceptUniverse::generate(9, &lex, &cfg);
+        let b = ConceptUniverse::generate(9, &lex, &cfg);
+        assert_eq!(a.get(ConceptId(0)).terms, b.get(ConceptId(0)).terms);
+        assert_eq!(
+            a.get(ConceptId(42)).interestingness,
+            b.get(ConceptId(42)).interestingness
+        );
+    }
+
+    #[test]
+    fn specific_concepts_use_topic_vocabulary() {
+        let (lex, uni) = small_universe();
+        for c in uni.all().iter().filter(|c| !c.is_junk()) {
+            let t = c.topic.expect("specific concepts have topics");
+            for term in &c.terms {
+                // Ambiguous concepts borrow a surface from another topic,
+                // so the invariant is: a name-pool word, never a general
+                // or context-vocabulary word.
+                let named = (0..lex.num_topics()).any(|k| lex.names(k).contains(term));
+                assert!(named, "term {term} (topic {t}) is not a name word");
+                assert!(!lex.general().contains(term));
+            }
+        }
+    }
+
+    #[test]
+    fn junk_has_no_topic_and_general_terms() {
+        let (lex, uni) = small_universe();
+        for c in uni.junk() {
+            assert!(c.topic.is_none());
+            for term in &c.terms {
+                assert!(lex.general().contains(term));
+            }
+        }
+    }
+
+    #[test]
+    fn interestingness_in_unit_interval() {
+        let (_, uni) = small_universe();
+        for c in uni.all() {
+            assert!((0.0..=1.0).contains(&c.interestingness));
+        }
+    }
+
+    #[test]
+    fn places_have_geo() {
+        let lex = Lexicon::generate(5, 300, 4, 120);
+        let cfg = UniverseConfig {
+            num_specific: 600,
+            named_entity_fraction: 1.0,
+            ..UniverseConfig::default()
+        };
+        let uni = ConceptUniverse::generate(5, &lex, &cfg);
+        let mut saw_place = false;
+        for c in uni.all() {
+            if let Some((HighLevelType::Place, _)) = c.entity_type {
+                saw_place = true;
+                let (lat, lon) = c.geo.expect("places carry geo metadata");
+                assert!((-90.0..=90.0).contains(&lat));
+                assert!((-180.0..=180.0).contains(&lon));
+            } else if c.quality == Quality::Specific {
+                assert!(c.geo.is_none());
+            }
+        }
+        assert!(saw_place);
+    }
+
+    #[test]
+    fn ambiguous_surfaces_exist() {
+        let (_, uni) = small_universe();
+        let mut counts = std::collections::HashMap::new();
+        for c in uni.all().iter().filter(|c| c.terms.len() == 1) {
+            *counts.entry(c.terms[0].clone()).or_insert(0) += 1;
+        }
+        assert!(
+            counts.values().any(|&n| n >= 2),
+            "expected at least one ambiguous surface form"
+        );
+    }
+
+    #[test]
+    fn subtypes_nonempty_and_codes_distinct() {
+        let mut codes = std::collections::HashSet::new();
+        for hlt in HighLevelType::ALL {
+            assert!(!hlt.subtypes().is_empty());
+            assert!(codes.insert(hlt.code()));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthetic web corpus.
+//!
+//! Stands in for "all the web documents that are indexed by Yahoo! Search"
+//! (§II-B) — the source of term–document frequencies (idf), phrase-query
+//! result counts (feature `searchengine_phrase`), result snippets and the
+//! Prisma feedback pool.
+//!
+//! Each document belongs to one topic and mixes three vocabularies:
+//! the topic's distinctive pool, the general pool, and inline mentions of
+//! concepts that live in that topic. Junk phrases are sprinkled across
+//! *all* topics at a low rate — they appear often (they are general) but
+//! never with a coherent surrounding vocabulary, which is exactly the
+//! structure Table II exploits.
+
+use crate::concepts::{ConceptId, ConceptUniverse};
+use crate::lexicon::{center_distance, Lexicon};
+use crate::rng;
+use crate::rng::ZipfSampler;
+use ctxrank_index::{Index, IndexBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of web documents.
+    pub num_docs: usize,
+    /// Document length range in tokens.
+    pub min_tokens: usize,
+    pub max_tokens: usize,
+    /// Probability that a token position is a topic word (vs general).
+    pub p_topic_word: f64,
+    /// Concept mentions per document (on-topic), expected.
+    pub mentions_per_doc: f64,
+    /// Probability a document carries one junk-phrase mention.
+    pub p_junk_mention: f64,
+    /// Zipf exponent for general-word sampling.
+    pub general_zipf: f64,
+    /// Spread of the sub-topic word sampling around a document's center.
+    pub center_spread: f64,
+    /// Kernel width of mention-to-document center proximity; smaller
+    /// means documents stay closer to the concepts they mention.
+    pub proximity_sigma: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            num_docs: 10000,
+            min_tokens: 60,
+            max_tokens: 180,
+            p_topic_word: 0.5,
+            mentions_per_doc: 4.0,
+            p_junk_mention: 0.25,
+            general_zipf: 1.05,
+            center_spread: 0.07,
+            proximity_sigma: 0.07,
+        }
+    }
+}
+
+/// Generate the corpus and freeze it into a searchable [`Index`].
+pub fn generate_corpus(
+    seed: u64,
+    lexicon: &Lexicon,
+    universe: &ConceptUniverse,
+    config: &CorpusConfig,
+) -> Index {
+    let mut r = StdRng::seed_from_u64(seed ^ 0xc0fb5);
+    let zipf = ZipfSampler::new(lexicon.general().len(), config.general_zipf);
+    let num_topics = lexicon.num_topics();
+
+    // Group concepts by topic with their popularity weights: the web
+    // writes far more about interesting concepts, and continuously so —
+    // this is what makes snippet keyword mass a popularity signal
+    // (Table II and the §V-A.5 result that snippets are the best
+    // relevance resource). Mentions are additionally weighted by
+    // sub-topic proximity to the document's center, which grounds graded
+    // relevance in the text itself.
+    let mut by_topic: Vec<Vec<(ConceptId, f64, f64)>> = vec![Vec::new(); num_topics];
+    for c in universe.all() {
+        if let Some(t) = c.topic {
+            let weight = (0.01 + c.interestingness).powf(1.5);
+            by_topic[t].push((c.id, weight, c.center));
+        }
+    }
+    let junk_ids: Vec<ConceptId> = universe.junk().map(|c| c.id).collect();
+
+    let mut builder = IndexBuilder::new();
+    for d in 0..config.num_docs {
+        let topic = d % num_topics;
+        let center: f64 = r.random();
+        let len = r.random_range(config.min_tokens..=config.max_tokens);
+        let mut words: Vec<String> = Vec::with_capacity(len + 8);
+        while words.len() < len {
+            if rng::flip(&mut r, config.p_topic_word) {
+                words.push(
+                    lexicon
+                        .sample_topic_near(&mut r, topic, center, config.center_spread)
+                        .to_string(),
+                );
+            } else {
+                words.push(lexicon.sample_general(&mut r, &zipf).to_string());
+            }
+        }
+        // Insert on-topic concept mentions at random positions, weighted
+        // by popularity x sub-topic proximity.
+        if !by_topic[topic].is_empty() {
+            let mentions = sample_count(&mut r, config.mentions_per_doc);
+            for _ in 0..mentions {
+                let cid = sample_proximate(&mut r, &by_topic[topic], center, config.proximity_sigma);
+                insert_phrase(&mut r, &mut words, &universe.get(cid).terms);
+            }
+        }
+        // Occasionally a junk phrase, regardless of topic.
+        if !junk_ids.is_empty() && rng::flip(&mut r, config.p_junk_mention) {
+            let cid = *rng::choose(&mut r, &junk_ids);
+            insert_phrase(&mut r, &mut words, &universe.get(cid).terms);
+        }
+        builder.add_document(&words.join(" "));
+    }
+    builder.build()
+}
+
+/// Draw a concept from `pool` with probability proportional to its
+/// popularity among concepts whose sub-topic center lies within `sigma`
+/// (soft gate with a steep fourth-power kernel). The gate is what keeps
+/// every concept's corpus context *localized*: a document about one
+/// sub-topic never mentions a popular concept from another — "Texas"
+/// pages contain Texas words no matter how famous Texas is.
+fn sample_proximate(
+    r: &mut StdRng,
+    pool: &[(ConceptId, f64, f64)],
+    center: f64,
+    sigma: f64,
+) -> ConceptId {
+    let weights: Vec<f64> = pool
+        .iter()
+        .map(|&(_, w, c)| {
+            let d = center_distance(center, c);
+            w * (-(d / sigma).powi(4)).exp() + 1e-12
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = r.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return pool[i].0;
+        }
+    }
+    pool.last().expect("nonempty pool").0
+}
+
+/// Poisson-ish small count with the given mean (geometric approximation —
+/// adequate for mention counts).
+fn sample_count(r: &mut StdRng, mean: f64) -> usize {
+    let mut n = 0;
+    let p = mean / (1.0 + mean);
+    while n < 12 && rng::flip(r, p) {
+        n += 1;
+    }
+    n
+}
+
+/// Splice `phrase` into `words` at a random position (kept contiguous so
+/// phrase queries can find it).
+fn insert_phrase(r: &mut StdRng, words: &mut Vec<String>, phrase: &[String]) {
+    let at = r.random_range(0..=words.len());
+    for (i, t) in phrase.iter().enumerate() {
+        words.insert(at + i, t.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::UniverseConfig;
+
+    fn setup() -> (Lexicon, ConceptUniverse, Index) {
+        let lex = Lexicon::generate(4, 400, 4, 60);
+        let uni = ConceptUniverse::generate(
+            4,
+            &lex,
+            &UniverseConfig {
+                num_specific: 60,
+                num_junk: 8,
+                ..UniverseConfig::default()
+            },
+        );
+        let idx = generate_corpus(
+            4,
+            &lex,
+            &uni,
+            &CorpusConfig {
+                num_docs: 400,
+                ..CorpusConfig::default()
+            },
+        );
+        (lex, uni, idx)
+    }
+
+    #[test]
+    fn corpus_size() {
+        let (_, _, idx) = setup();
+        assert_eq!(idx.num_docs(), 400);
+    }
+
+    #[test]
+    fn concepts_findable_as_phrases() {
+        let (_, uni, idx) = setup();
+        let findable = uni
+            .all()
+            .iter()
+            .filter(|c| !c.is_junk())
+            .filter(|c| idx.phrase_count(&c.terms) > 0)
+            .count();
+        let total = uni.all().iter().filter(|c| !c.is_junk()).count();
+        assert!(
+            findable * 2 > total,
+            "most specific concepts should appear in the corpus ({findable}/{total})"
+        );
+    }
+
+    #[test]
+    fn topic_words_have_higher_idf_than_common_generals() {
+        let (lex, _, idx) = setup();
+        // The most common general words appear in many documents; topic
+        // words only in ~1/num_topics of them.
+        let common_general = &lex.general()[0];
+        let topic_word = &lex.topic(0)[0];
+        assert!(
+            idx.idf(topic_word) > idx.idf(common_general),
+            "topic word should be more distinctive"
+        );
+    }
+
+    #[test]
+    fn junk_phrases_spread_across_topics() {
+        let (_, uni, idx) = setup();
+        // At least one junk phrase appears somewhere.
+        let present = uni.junk().filter(|c| idx.phrase_count(&c.terms) > 0).count();
+        assert!(present > 0, "junk phrases should occur in the corpus");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (lex, uni, _) = setup();
+        let a = generate_corpus(11, &lex, &uni, &CorpusConfig { num_docs: 50, ..CorpusConfig::default() });
+        let b = generate_corpus(11, &lex, &uni, &CorpusConfig { num_docs: 50, ..CorpusConfig::default() });
+        assert_eq!(a.num_docs(), b.num_docs());
+        assert_eq!(a.doc(ctxrank_index::DocId(17)).text, b.doc(ctxrank_index::DocId(17)).text);
+    }
+
+    #[test]
+    fn document_lengths_in_range() {
+        let (_, _, idx) = setup();
+        for i in 0..idx.num_docs() {
+            let doc = idx.doc(ctxrank_index::DocId(i as u32));
+            // Mentions can push length slightly above max_tokens.
+            assert!(doc.len() >= 60, "doc too short: {}", doc.len());
+            assert!(doc.len() <= 180 + 60, "doc too long: {}", doc.len());
+        }
+    }
+}

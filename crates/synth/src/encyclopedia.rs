@@ -1,0 +1,165 @@
+//! Synthetic encyclopedia — the Wikipedia stand-in.
+//!
+//! Feature 9 of Table I is `wiki_word_count`: "number of words in the
+//! Wikipedia article returned for the concept, and 0 is used if no
+//! article exists" (§IV-A, citing Hu et al. \[14\] for article length as a
+//! quality signal). The synthetic encyclopedia preserves the property
+//! that matters: real, interesting concepts tend to have substantial
+//! articles; junk phrases have none.
+
+use crate::concepts::{ConceptId, ConceptUniverse};
+use crate::rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Article lengths per concept.
+#[derive(Debug, Clone, Default)]
+pub struct Encyclopedia {
+    word_counts: HashMap<ConceptId, u32>,
+}
+
+/// Configuration for encyclopedia generation.
+#[derive(Debug, Clone)]
+pub struct EncyclopediaConfig {
+    /// Base probability a specific concept has an article.
+    pub base_article_prob: f64,
+    /// Additional probability proportional to interestingness.
+    pub interest_article_boost: f64,
+    /// Log-normal location for article length.
+    pub length_mu: f64,
+    /// Log-normal scale for article length.
+    pub length_sigma: f64,
+}
+
+impl Default for EncyclopediaConfig {
+    fn default() -> Self {
+        Self {
+            base_article_prob: 0.35,
+            interest_article_boost: 0.6,
+            length_mu: 6.0, // median ~ 400 words
+            length_sigma: 0.9,
+        }
+    }
+}
+
+impl Encyclopedia {
+    /// Generate articles for `universe`.
+    pub fn generate(seed: u64, universe: &ConceptUniverse, config: &EncyclopediaConfig) -> Self {
+        let mut r = StdRng::seed_from_u64(seed ^ 0x71c1a);
+        let mut word_counts = HashMap::new();
+        for c in universe.all() {
+            if c.is_junk() {
+                // Nobody writes encyclopedia articles about "my favorite".
+                continue;
+            }
+            let p = config.base_article_prob + config.interest_article_boost * c.interestingness;
+            if rng::flip(&mut r, p.min(0.98)) {
+                // Interesting concepts get longer articles on average.
+                let boost = 1.0 + 2.0 * c.interestingness;
+                let len = rng::log_normal(&mut r, config.length_mu, config.length_sigma) * boost;
+                word_counts.insert(c.id, len.round().clamp(30.0, 200_000.0) as u32);
+            }
+        }
+        Self { word_counts }
+    }
+
+    /// `wiki_word_count` for a concept (0 when no article exists).
+    pub fn word_count(&self, id: ConceptId) -> u32 {
+        self.word_counts.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Does the concept have an article?
+    pub fn has_article(&self, id: ConceptId) -> bool {
+        self.word_counts.contains_key(&id)
+    }
+
+    /// Number of articles.
+    pub fn num_articles(&self) -> usize {
+        self.word_counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::UniverseConfig;
+    use crate::lexicon::Lexicon;
+
+    fn setup() -> (ConceptUniverse, Encyclopedia) {
+        let lex = Lexicon::generate(6, 300, 4, 60);
+        let uni = ConceptUniverse::generate(
+            6,
+            &lex,
+            &UniverseConfig {
+                num_specific: 200,
+                num_junk: 20,
+                ..UniverseConfig::default()
+            },
+        );
+        let enc = Encyclopedia::generate(6, &uni, &EncyclopediaConfig::default());
+        (uni, enc)
+    }
+
+    #[test]
+    fn junk_has_no_articles() {
+        let (uni, enc) = setup();
+        for c in uni.junk() {
+            assert_eq!(enc.word_count(c.id), 0);
+            assert!(!enc.has_article(c.id));
+        }
+    }
+
+    #[test]
+    fn some_articles_exist() {
+        let (_, enc) = setup();
+        assert!(enc.num_articles() > 50);
+    }
+
+    #[test]
+    fn interesting_concepts_more_likely_covered() {
+        let (uni, enc) = setup();
+        let hot: Vec<_> = uni
+            .all()
+            .iter()
+            .filter(|c| !c.is_junk() && c.interestingness > 0.5)
+            .collect();
+        let cold: Vec<_> = uni
+            .all()
+            .iter()
+            .filter(|c| !c.is_junk() && c.interestingness < 0.05)
+            .collect();
+        if hot.is_empty() || cold.is_empty() {
+            return; // degenerate draw; other seeds cover this
+        }
+        let hot_rate =
+            hot.iter().filter(|c| enc.has_article(c.id)).count() as f64 / hot.len() as f64;
+        let cold_rate =
+            cold.iter().filter(|c| enc.has_article(c.id)).count() as f64 / cold.len() as f64;
+        assert!(
+            hot_rate >= cold_rate,
+            "hot {hot_rate} should be covered at least as often as cold {cold_rate}"
+        );
+    }
+
+    #[test]
+    fn word_counts_reasonable() {
+        let (uni, enc) = setup();
+        for c in uni.all() {
+            let wc = enc.word_count(c.id);
+            if wc > 0 {
+                assert!((30..=200_000).contains(&wc));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (uni, _) = setup();
+        let a = Encyclopedia::generate(99, &uni, &EncyclopediaConfig::default());
+        let b = Encyclopedia::generate(99, &uni, &EncyclopediaConfig::default());
+        for c in uni.all() {
+            assert_eq!(a.word_count(c.id), b.word_count(c.id));
+        }
+    }
+}

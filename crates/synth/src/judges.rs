@@ -1,0 +1,174 @@
+//! Simulated editorial judges.
+//!
+//! The Table VI study uses "a team of expert judges" rating each
+//! highlighted entity on two 3-level scales plus a rare "Can't Tell"
+//! (§V-B.1). Our judges read the ground-truth latents through Gaussian
+//! noise and threshold them — the standard signal-detection model of a
+//! human rater. Because both rankers are judged by the *same* panel, the
+//! comparison between them is preserved even though absolute agreement
+//! rates are synthetic.
+
+use crate::rng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A 3-level editorial rating (either scale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rating {
+    /// "Very Interesting or Useful" / "Relevant".
+    Very,
+    /// "Somewhat Interesting or Useful" / "Somewhat Relevant".
+    Somewhat,
+    /// "Definitely Not Interesting" / "Not Relevant".
+    Not,
+    /// "Can't Tell".
+    CantTell,
+}
+
+/// One entity's judgment: interestingness and relevance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Judgment {
+    pub interestingness: Rating,
+    pub relevance: Rating,
+}
+
+/// Judge-panel parameters.
+#[derive(Debug, Clone)]
+pub struct JudgeConfig {
+    /// Noise added to the latent before thresholding.
+    pub noise_sd: f64,
+    /// Latent above this reads "Very".
+    pub very_threshold: f64,
+    /// Latent above this (but below `very_threshold`) reads "Somewhat".
+    pub somewhat_threshold: f64,
+    /// Probability of "Can't Tell" (the paper calls it rare).
+    pub p_cant_tell: f64,
+}
+
+impl Default for JudgeConfig {
+    fn default() -> Self {
+        Self {
+            noise_sd: 0.18,
+            very_threshold: 0.45,
+            somewhat_threshold: 0.15,
+            p_cant_tell: 0.0015,
+        }
+    }
+}
+
+/// A deterministic panel of judges.
+#[derive(Debug)]
+pub struct JudgePanel {
+    rng: StdRng,
+    config: JudgeConfig,
+}
+
+impl JudgePanel {
+    /// Create a panel with its own seed.
+    pub fn new(seed: u64, config: JudgeConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ 0x10d6e5),
+            config,
+        }
+    }
+
+    /// Rate one latent value on the 3-level scale.
+    fn rate(&mut self, latent: f64) -> Rating {
+        if rng::flip(&mut self.rng, self.config.p_cant_tell) {
+            return Rating::CantTell;
+        }
+        let perceived = latent + rng::normal_with(&mut self.rng, 0.0, self.config.noise_sd);
+        if perceived >= self.config.very_threshold {
+            Rating::Very
+        } else if perceived >= self.config.somewhat_threshold {
+            Rating::Somewhat
+        } else {
+            Rating::Not
+        }
+    }
+
+    /// Judge one entity given its ground-truth interestingness and
+    /// relevance-to-document.
+    pub fn judge(&mut self, interestingness: f64, relevance: f64) -> Judgment {
+        Judgment {
+            interestingness: self.rate(interestingness),
+            relevance: self.rate(relevance),
+        }
+    }
+}
+
+/// Aggregated rating distribution for one scale (fractions sum to ~1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RatingDistribution {
+    pub very: f64,
+    pub somewhat: f64,
+    pub not: f64,
+    pub cant_tell: f64,
+}
+
+impl RatingDistribution {
+    /// Tally a set of ratings into fractions.
+    pub fn from_ratings(ratings: &[Rating]) -> Self {
+        let n = ratings.len().max(1) as f64;
+        let count = |target: Rating| ratings.iter().filter(|&&r| r == target).count() as f64 / n;
+        Self {
+            very: count(Rating::Very),
+            somewhat: count(Rating::Somewhat),
+            not: count(Rating::Not),
+            cant_tell: count(Rating::CantTell),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_latents_rated_very() {
+        let mut panel = JudgePanel::new(1, JudgeConfig::default());
+        let ratings: Vec<Rating> = (0..500).map(|_| panel.judge(0.95, 0.95).interestingness).collect();
+        let dist = RatingDistribution::from_ratings(&ratings);
+        assert!(dist.very > 0.9, "very fraction {}", dist.very);
+    }
+
+    #[test]
+    fn low_latents_rated_not() {
+        let mut panel = JudgePanel::new(2, JudgeConfig::default());
+        let ratings: Vec<Rating> = (0..500).map(|_| panel.judge(0.0, 0.0).relevance).collect();
+        let dist = RatingDistribution::from_ratings(&ratings);
+        assert!(dist.not > 0.7, "not fraction {}", dist.not);
+    }
+
+    #[test]
+    fn mid_latents_spread() {
+        let mut panel = JudgePanel::new(3, JudgeConfig::default());
+        let ratings: Vec<Rating> = (0..1000).map(|_| panel.judge(0.3, 0.3).interestingness).collect();
+        let dist = RatingDistribution::from_ratings(&ratings);
+        assert!(dist.somewhat > 0.4, "somewhat fraction {}", dist.somewhat);
+        assert!(dist.very > 0.02 && dist.not > 0.02);
+    }
+
+    #[test]
+    fn cant_tell_is_rare() {
+        let mut panel = JudgePanel::new(4, JudgeConfig::default());
+        let ratings: Vec<Rating> = (0..2000).map(|_| panel.judge(0.5, 0.5).interestingness).collect();
+        let dist = RatingDistribution::from_ratings(&ratings);
+        assert!(dist.cant_tell < 0.02);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let ratings = vec![Rating::Very, Rating::Somewhat, Rating::Not, Rating::Very];
+        let d = RatingDistribution::from_ratings(&ratings);
+        assert!((d.very + d.somewhat + d.not + d.cant_tell - 1.0).abs() < 1e-12);
+        assert_eq!(d.very, 0.5);
+    }
+
+    #[test]
+    fn empty_ratings_all_zero() {
+        let d = RatingDistribution::from_ratings(&[]);
+        assert_eq!(d, RatingDistribution::default());
+    }
+}

@@ -1,0 +1,185 @@
+//! Deterministic pseudo-word lexicon and topic vocabularies.
+//!
+//! Every other generator draws its vocabulary from here. A lexicon
+//! consists of a *general* pool (words any document or query may use, the
+//! stand-in for everyday English) and one *distinctive* pool per topic.
+//! The pools are disjoint, which gives the relevance miner the structure
+//! it needs: a specific concept's context keywords come from its topic's
+//! distinctive pool and therefore have high idf in the full corpus, while
+//! a junk phrase's contexts are spread over the general pool (§IV-C,
+//! Table II).
+//!
+//! Words are pronounceable syllable chains ("zorelka", "mintovar"), so
+//! examples and debug output read naturally, and the generator never
+//! collides with English stop-words.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+const ONSETS: &[&str] = &[
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "dr", "gr",
+    "kr", "pl", "st", "tr", "sk", "sl", "ch", "sh",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+const CODAS: &[&str] = &["", "", "", "n", "r", "s", "l", "k", "m", "t", "x"];
+
+/// A generated lexicon: general vocabulary, per-topic distinctive
+/// vocabularies, and per-topic *name* pools (words reserved for entity
+/// and concept surfaces — "Obama" appears in a document only when the
+/// document actually mentions Obama). All pools are disjoint.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    general: Vec<String>,
+    topics: Vec<Vec<String>>,
+    names: Vec<Vec<String>>,
+}
+
+impl Lexicon {
+    /// Generate a lexicon with `general_size` general words and
+    /// `num_topics` topics of `topic_size` distinctive words each, plus
+    /// a name pool per topic sized `topic_size` as well.
+    pub fn generate(seed: u64, general_size: usize, num_topics: usize, topic_size: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1e71c0);
+        let mut seen: HashSet<String> = HashSet::new();
+        let draw = |rng: &mut StdRng, seen: &mut HashSet<String>| -> String {
+            loop {
+                let syllables = rng.random_range(2..=3);
+                let mut w = String::new();
+                for _ in 0..syllables {
+                    w.push_str(ONSETS[rng.random_range(0..ONSETS.len())]);
+                    w.push_str(NUCLEI[rng.random_range(0..NUCLEI.len())]);
+                    w.push_str(CODAS[rng.random_range(0..CODAS.len())]);
+                }
+                if w.len() >= 4 && !ctxrank_text::is_stopword(&w) && seen.insert(w.clone()) {
+                    return w;
+                }
+            }
+        };
+
+        let general = (0..general_size).map(|_| draw(&mut rng, &mut seen)).collect();
+        let topics: Vec<Vec<String>> = (0..num_topics)
+            .map(|_| (0..topic_size).map(|_| draw(&mut rng, &mut seen)).collect())
+            .collect();
+        let names = (0..num_topics)
+            .map(|_| (0..topic_size).map(|_| draw(&mut rng, &mut seen)).collect())
+            .collect();
+        Self {
+            general,
+            topics,
+            names,
+        }
+    }
+
+    /// The general vocabulary.
+    pub fn general(&self) -> &[String] {
+        &self.general
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// A topic's distinctive vocabulary.
+    pub fn topic(&self, t: usize) -> &[String] {
+        &self.topics[t]
+    }
+
+    /// A topic's name pool (reserved for concept surfaces).
+    pub fn names(&self, t: usize) -> &[String] {
+        &self.names[t]
+    }
+
+    /// Total number of words across all pools.
+    pub fn total_words(&self) -> usize {
+        self.general.len()
+            + self.topics.iter().map(Vec::len).sum::<usize>()
+            + self.names.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Sample a general word with Zipf-like bias toward the front of the
+    /// pool (low indices are "common words").
+    pub fn sample_general<R: Rng + ?Sized>(&self, rng: &mut R, zipf: &crate::rng::ZipfSampler) -> &str {
+        &self.general[zipf.sample(rng) % self.general.len()]
+    }
+
+    /// Sample a distinctive word of topic `t` uniformly.
+    pub fn sample_topic<R: Rng + ?Sized>(&self, rng: &mut R, t: usize) -> &str {
+        self.topics[t][rng.random_range(0..self.topics[t].len())].as_str()
+    }
+
+    /// Sample a distinctive word of topic `t` near sub-topic `center`
+    /// (in `[0, 1)`): indices are drawn from a wrapped normal around
+    /// `center · len` with standard deviation `spread · len`. This gives
+    /// topics internal structure, so relevance can be *graded* rather
+    /// than binary.
+    pub fn sample_topic_near<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        t: usize,
+        center: f64,
+        spread: f64,
+    ) -> &str {
+        let len = self.topics[t].len() as f64;
+        let raw = crate::rng::normal_with(rng, center * len, spread * len);
+        let idx = raw.rem_euclid(len) as usize;
+        self.topics[t][idx.min(self.topics[t].len() - 1)].as_str()
+    }
+}
+
+/// Wrapped distance between two sub-topic centers in `[0, 1)`; the
+/// result lies in `[0, 0.5]`.
+pub fn center_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(1.0);
+    d.min(1.0 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = Lexicon::generate(7, 100, 3, 20);
+        let b = Lexicon::generate(7, 100, 3, 20);
+        assert_eq!(a.general, b.general);
+        assert_eq!(a.topics, b.topics);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Lexicon::generate(1, 50, 2, 10);
+        let b = Lexicon::generate(2, 50, 2, 10);
+        assert_ne!(a.general, b.general);
+    }
+
+    #[test]
+    fn pools_are_disjoint_and_sized() {
+        let lex = Lexicon::generate(3, 200, 5, 30);
+        assert_eq!(lex.general().len(), 200);
+        assert_eq!(lex.num_topics(), 5);
+        let mut all: Vec<&str> = lex.general().iter().map(String::as_str).collect();
+        for t in 0..5 {
+            assert_eq!(lex.topic(t).len(), 30);
+            assert_eq!(lex.names(t).len(), 30);
+            all.extend(lex.topic(t).iter().map(String::as_str));
+            all.extend(lex.names(t).iter().map(String::as_str));
+        }
+        let set: HashSet<&str> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "pools must be disjoint");
+        assert_eq!(lex.total_words(), 200 + 2 * 5 * 30);
+    }
+
+    #[test]
+    fn words_are_clean_tokens() {
+        let lex = Lexicon::generate(11, 300, 2, 50);
+        for w in lex.general() {
+            assert!(w.len() >= 4);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(!ctxrank_text::is_stopword(w));
+            // Round-trips through the tokenizer unchanged.
+            assert_eq!(ctxrank_text::tokenize_terms(w), vec![w.clone()]);
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Synthetic news stories.
+//!
+//! Stands in for the Yahoo! News stories that Contextual Shortcuts
+//! annotates (§III). A story has one primary topic (and sometimes a
+//! secondary one); its body mixes the topic vocabulary with general
+//! words, and embeds entity mentions:
+//!
+//! * mostly concepts whose home topic matches the story (relevant — the
+//!   "President Bush / Sen. Clinton / Obama / Cuba" of the §I example),
+//! * a couple of off-topic concepts (the irrelevant "Texas"),
+//! * occasionally a junk phrase.
+//!
+//! The ground-truth relevance of any concept to a story is a pure
+//! function of the topic structure ([`ground_truth_relevance`]), so
+//! incidental detections made later by the Shortcuts pipeline get
+//! consistent labels too.
+
+use crate::concepts::{ConceptId, ConceptSpec, ConceptUniverse};
+use crate::lexicon::{center_distance, Lexicon};
+use crate::rng;
+use crate::rng::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ground-truth mention embedded in a story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mention {
+    pub concept: ConceptId,
+    /// Ground-truth relevance of the concept to this story, in `[0, 1]`.
+    pub relevance: f64,
+}
+
+/// One generated news story.
+#[derive(Debug, Clone)]
+pub struct NewsStory {
+    pub id: usize,
+    /// Body text (plain, sentence-punctuated).
+    pub text: String,
+    /// Primary topic.
+    pub topic: usize,
+    /// Sub-topic center of the story within the primary topic.
+    pub center: f64,
+    /// Optional secondary topic with its own center.
+    pub secondary_topic: Option<(usize, f64)>,
+    /// Concepts deliberately embedded, with ground-truth relevance.
+    pub mentions: Vec<Mention>,
+}
+
+/// Configuration for news generation.
+#[derive(Debug, Clone)]
+pub struct NewsConfig {
+    /// Number of stories.
+    pub num_stories: usize,
+    /// Sentence count range per story.
+    pub min_sentences: usize,
+    pub max_sentences: usize,
+    /// Words per sentence range.
+    pub min_words: usize,
+    pub max_words: usize,
+    /// On-topic mentions per story range.
+    pub min_on_topic: usize,
+    pub max_on_topic: usize,
+    /// Probability of a secondary topic.
+    pub p_secondary: f64,
+    /// Off-topic mentions per story range.
+    pub max_off_topic: usize,
+    /// Probability of one junk mention.
+    pub p_junk: f64,
+    /// Zipf exponent for general words.
+    pub general_zipf: f64,
+    /// Strength of relevance-driven mention repetition: a mention is
+    /// embedded `1 + floor(repetition x relevance + 0.8 u)` times.
+    pub repetition: f64,
+}
+
+impl Default for NewsConfig {
+    fn default() -> Self {
+        Self {
+            num_stories: 1000,
+            min_sentences: 18,
+            max_sentences: 45,
+            min_words: 8,
+            max_words: 16,
+            min_on_topic: 4,
+            max_on_topic: 8,
+            p_secondary: 0.35,
+            max_off_topic: 3,
+            p_junk: 0.5,
+            general_zipf: 1.05,
+            repetition: 4.0,
+        }
+    }
+}
+
+/// Width of the sub-topic relevance kernel.
+pub const RELEVANCE_KERNEL_SIGMA: f64 = 0.12;
+/// Relevance floor for off-topic and junk concepts ("Texas" still has
+/// *some* chance of a curiosity click).
+pub const RELEVANCE_FLOOR: f64 = 0.05;
+
+/// Graded relevance kernel over a wrapped center distance.
+pub fn relevance_kernel(distance: f64) -> f64 {
+    (-(distance / RELEVANCE_KERNEL_SIGMA).powi(2)).exp()
+}
+
+/// Ground-truth relevance of `concept` to a story on `topic` with
+/// sub-topic `center` (and optionally a secondary topic/center pair).
+///
+/// A same-topic concept's relevance decays with the distance between its
+/// sub-topic center and the story's — the §I substitution argument made
+/// quantitative: a concept central to what the story is about cannot be
+/// swapped out, a peripheral one can. Secondary-topic concepts are
+/// discounted (0.55x), everything else sits at the floor.
+pub fn ground_truth_relevance(
+    concept: &ConceptSpec,
+    topic: usize,
+    center: f64,
+    secondary_topic: Option<(usize, f64)>,
+) -> f64 {
+    let raw = match concept.topic {
+        Some(t) if t == topic => relevance_kernel(center_distance(concept.center, center)),
+        Some(t) => match secondary_topic {
+            Some((st, sc)) if st == t => {
+                0.55 * relevance_kernel(center_distance(concept.center, sc))
+            }
+            _ => 0.0,
+        },
+        None => 0.0,
+    };
+    raw.max(RELEVANCE_FLOOR)
+}
+
+/// Generate the news stories.
+pub fn generate_news(
+    seed: u64,
+    lexicon: &Lexicon,
+    universe: &ConceptUniverse,
+    config: &NewsConfig,
+) -> Vec<NewsStory> {
+    let mut r = StdRng::seed_from_u64(seed ^ 0x4e35);
+    let zipf = ZipfSampler::new(lexicon.general().len(), config.general_zipf);
+    let num_topics = lexicon.num_topics();
+
+    // Concept pools per topic with popularity weights and centers.
+    let mut by_topic: Vec<Vec<(ConceptId, f64, f64)>> = vec![Vec::new(); num_topics];
+    for c in universe.all() {
+        if let Some(t) = c.topic {
+            let weight = (0.02 + c.interestingness).powf(1.2);
+            by_topic[t].push((c.id, weight, c.center));
+        }
+    }
+    let junk_ids: Vec<ConceptId> = universe.junk().map(|c| c.id).collect();
+
+    let mut stories = Vec::with_capacity(config.num_stories);
+    for id in 0..config.num_stories {
+        let topic = id % num_topics;
+        let center: f64 = r.random();
+        let secondary_topic = if rng::flip(&mut r, config.p_secondary) {
+            Some((
+                (topic + 1 + r.random_range(0..num_topics - 1)) % num_topics,
+                r.random::<f64>(),
+            ))
+        } else {
+            None
+        };
+
+        // Choose the mentions first.
+        let mut mentions: Vec<Mention> = Vec::new();
+        let mut mention_ids = std::collections::HashSet::new();
+        let n_on = r.random_range(config.min_on_topic..=config.max_on_topic);
+        for k in 0..n_on {
+            // Split on-topic mentions between primary and secondary.
+            let (t, t_center) = match secondary_topic {
+                Some((s, sc)) if rng::flip(&mut r, 0.3) => (s, sc),
+                _ => (topic, center),
+            };
+            if by_topic[t].is_empty() {
+                continue;
+            }
+            // Mix central mentions (close to what the story is about)
+            // with peripheral same-topic ones, so within-story relevance
+            // is graded rather than uniform.
+            let cid = if k % 2 == 0 {
+                sample_proximate(&mut r, &by_topic[t], t_center, 0.10)
+            } else {
+                sample_weighted(&mut r, &by_topic[t])
+            };
+            if mention_ids.insert(cid) {
+                mentions.push(Mention {
+                    concept: cid,
+                    relevance: ground_truth_relevance(universe.get(cid), topic, center, secondary_topic),
+                });
+            }
+        }
+        // Off-topic strays (the "Texas" case).
+        let n_off = r.random_range(0..=config.max_off_topic);
+        for _ in 0..n_off {
+            let t = (topic + 1 + r.random_range(0..num_topics - 1)) % num_topics;
+            if secondary_topic.is_some_and(|(st, _)| st == t) || by_topic[t].is_empty() {
+                continue;
+            }
+            let cid = sample_weighted(&mut r, &by_topic[t]);
+            if mention_ids.insert(cid) {
+                mentions.push(Mention {
+                    concept: cid,
+                    relevance: ground_truth_relevance(universe.get(cid), topic, center, secondary_topic),
+                });
+            }
+        }
+        // A junk phrase now and then.
+        if !junk_ids.is_empty() && rng::flip(&mut r, config.p_junk) {
+            let cid = *rng::choose(&mut r, &junk_ids);
+            if mention_ids.insert(cid) {
+                mentions.push(Mention {
+                    concept: cid,
+                    relevance: RELEVANCE_FLOOR,
+                });
+            }
+        }
+
+        // Build the body: sentences of topic/general words, then splice
+        // each mention into a random sentence.
+        let n_sentences = r.random_range(config.min_sentences..=config.max_sentences);
+        let mut sentences: Vec<Vec<String>> = (0..n_sentences)
+            .map(|s| {
+                let n_words = r.random_range(config.min_words..=config.max_words);
+                let (sent_topic, sent_center) = match secondary_topic {
+                    Some((sec, sc)) if s % 3 == 2 => (sec, sc),
+                    _ => (topic, center),
+                };
+                (0..n_words)
+                    .map(|_| {
+                        if rng::flip(&mut r, 0.4) {
+                            lexicon
+                                .sample_topic_near(&mut r, sent_topic, sent_center, 0.07)
+                                .to_string()
+                        } else {
+                            lexicon.sample_general(&mut r, &zipf).to_string()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // Central concepts are repeated, peripheral ones mentioned once —
+        // the way a story about Cuba says "Cuba" five times while "Texas"
+        // appears once. This is the term-frequency signal the §II-B
+        // concept vector picks up.
+        // Group splices by sentence and apply them in descending position
+        // order so a later insertion can never split an earlier phrase.
+        let mut splices: Vec<(usize, usize, &Vec<String>)> = mentions
+            .iter()
+            .flat_map(|m| {
+                let copies = 1 + (config.repetition * m.relevance + 0.8 * r.random::<f64>()).floor() as usize;
+                let terms = &universe.get(m.concept).terms;
+                (0..copies)
+                    .map(|_| {
+                        let sent = r.random_range(0..sentences.len());
+                        let at = r.random_range(0..=sentences[sent].len());
+                        (sent, at, terms)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        splices.sort_by_key(|s| std::cmp::Reverse((s.0, s.1)));
+        for (sent, at, terms) in splices {
+            for (i, t) in terms.iter().enumerate() {
+                sentences[sent].insert(at + i, t.clone());
+            }
+        }
+        let text = sentences
+            .iter()
+            .map(|s| {
+                let mut line = s.join(" ");
+                if let Some(first) = line.get_mut(0..1) {
+                    first.make_ascii_uppercase();
+                }
+                line.push('.');
+                line
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+
+        stories.push(NewsStory {
+            id,
+            text,
+            topic,
+            center,
+            secondary_topic,
+            mentions,
+        });
+    }
+    stories
+}
+
+/// Popularity-weighted draw from a `(id, weight, center)` pool.
+fn sample_weighted(r: &mut StdRng, pool: &[(ConceptId, f64, f64)]) -> ConceptId {
+    let total: f64 = pool.iter().map(|p| p.1).sum();
+    let mut u: f64 = r.random::<f64>() * total;
+    for &(id, w, _) in pool {
+        u -= w;
+        if u <= 0.0 {
+            return id;
+        }
+    }
+    pool.last().expect("nonempty pool").0
+}
+
+/// Popularity x proximity weighted draw.
+fn sample_proximate(
+    r: &mut StdRng,
+    pool: &[(ConceptId, f64, f64)],
+    center: f64,
+    sigma: f64,
+) -> ConceptId {
+    let weights: Vec<f64> = pool
+        .iter()
+        .map(|&(_, w, c)| {
+            let d = center_distance(center, c);
+            w * (-(d / sigma).powi(4)).exp() + 1e-12
+        })
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = r.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return pool[i].0;
+        }
+    }
+    pool.last().expect("nonempty pool").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::UniverseConfig;
+
+    fn setup() -> (Lexicon, ConceptUniverse, Vec<NewsStory>) {
+        let lex = Lexicon::generate(8, 400, 4, 60);
+        let uni = ConceptUniverse::generate(
+            8,
+            &lex,
+            &UniverseConfig {
+                num_specific: 80,
+                num_junk: 10,
+                ..UniverseConfig::default()
+            },
+        );
+        let news = generate_news(
+            8,
+            &lex,
+            &uni,
+            &NewsConfig {
+                num_stories: 60,
+                ..NewsConfig::default()
+            },
+        );
+        (lex, uni, news)
+    }
+
+    #[test]
+    fn story_count_and_ids() {
+        let (_, _, news) = setup();
+        assert_eq!(news.len(), 60);
+        for (i, s) in news.iter().enumerate() {
+            assert_eq!(s.id, i);
+        }
+    }
+
+    #[test]
+    fn mentions_present_in_text() {
+        let (_, uni, news) = setup();
+        for story in &news {
+            for m in &story.mentions {
+                let surface = uni.get(m.concept).surface();
+                assert!(
+                    story.text.to_lowercase().contains(&surface),
+                    "story {} missing mention {surface:?}",
+                    story.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_labels_follow_topics() {
+        let (_, uni, news) = setup();
+        for story in &news {
+            for m in &story.mentions {
+                let spec = uni.get(m.concept);
+                let expected = ground_truth_relevance(
+                    spec,
+                    story.topic,
+                    story.center,
+                    story.secondary_topic,
+                );
+                assert_eq!(m.relevance, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn most_stories_have_relevant_and_some_have_irrelevant() {
+        let (_, _, news) = setup();
+        let with_relevant = news
+            .iter()
+            .filter(|s| s.mentions.iter().any(|m| m.relevance > 0.8))
+            .count();
+        let with_irrelevant = news
+            .iter()
+            .filter(|s| s.mentions.iter().any(|m| m.relevance < 0.1))
+            .count();
+        assert!(with_relevant > news.len() / 2, "{with_relevant}/{}", news.len());
+        assert!(with_irrelevant > news.len() / 4);
+    }
+
+    #[test]
+    fn ground_truth_relevance_cases() {
+        let (_, uni, _) = setup();
+        let spec = uni
+            .all()
+            .iter()
+            .find(|c| c.topic == Some(1))
+            .expect("topic-1 concept");
+        // Same topic, same center: fully relevant.
+        assert_eq!(ground_truth_relevance(spec, 1, spec.center, None), 1.0);
+        // Same topic, opposite center: decays toward the floor.
+        let far = ground_truth_relevance(spec, 1, (spec.center + 0.5) % 1.0, None);
+        assert!(far < 0.2, "far-center relevance {far}");
+        // Secondary topic is discounted.
+        let sec = ground_truth_relevance(spec, 0, 0.0, Some((1, spec.center)));
+        assert!((sec - 0.55).abs() < 1e-9);
+        // Unrelated topic and junk sit at the floor.
+        assert_eq!(ground_truth_relevance(spec, 0, 0.0, None), RELEVANCE_FLOOR);
+        let junk = uni.junk().next().expect("junk concept");
+        assert_eq!(ground_truth_relevance(junk, 0, 0.0, Some((1, 0.0))), RELEVANCE_FLOOR);
+    }
+
+    #[test]
+    fn stories_are_sentence_punctuated() {
+        let (_, _, news) = setup();
+        for s in &news {
+            assert!(s.text.ends_with('.'));
+            assert!(ctxrank_text::sentences(&s.text).len() >= 10);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (lex, uni, _) = setup();
+        let a = generate_news(21, &lex, &uni, &NewsConfig { num_stories: 5, ..NewsConfig::default() });
+        let b = generate_news(21, &lex, &uni, &NewsConfig { num_stories: 5, ..NewsConfig::default() });
+        assert_eq!(a[0].text, b[0].text);
+        assert_eq!(a[4].mentions, b[4].mentions);
+    }
+}

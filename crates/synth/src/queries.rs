@@ -1,0 +1,241 @@
+//! Synthetic search-engine query log.
+//!
+//! Stands in for "the most popular 20 million queries submitted to the
+//! engine in the week of November 17th–23rd, 2007" (§V-A.1). The
+//! generative story follows the paper's causal assumption: interesting
+//! concepts get searched more, so query frequencies carry signal about
+//! the latent interestingness that the Table I features try to recover.
+//!
+//! Query forms per concept draw:
+//! * the concept alone (drives `freq_exact`),
+//! * the concept plus refinement terms from its topic or the general pool
+//!   (drives `freq_phrase_contained` and unit co-occurrence),
+//! * for junk concepts, the phrase plus a *random* continuation — giving
+//!   them the high unit scores the paper complains about (§IV-B) without
+//!   any topical coherence.
+//!
+//! A share of pure-noise queries over general vocabulary rounds out the
+//! log.
+
+use crate::concepts::ConceptUniverse;
+use crate::lexicon::Lexicon;
+use crate::rng;
+use crate::rng::ZipfSampler;
+use ctxrank_querylog::QueryLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for query-log generation.
+#[derive(Debug, Clone)]
+pub struct QueryConfig {
+    /// Total query submissions to simulate (sum of frequencies).
+    pub total_submissions: u64,
+    /// Fraction of submissions that are concept-driven (the rest are
+    /// noise over general vocabulary).
+    pub concept_fraction: f64,
+    /// Given a concept-driven submission: probability it is the exact
+    /// concept.
+    pub p_exact: f64,
+    /// Probability the query adds one refinement term (else two).
+    pub p_one_extra: f64,
+    /// Zipf exponent for the general-vocabulary noise.
+    pub noise_zipf: f64,
+    /// How strongly popularity follows interestingness: submissions per
+    /// concept ∝ `(0.02 + interestingness)^popularity_power`.
+    pub popularity_power: f64,
+    /// Log-normal scale of per-concept popularity noise: query fame is a
+    /// noisy proxy of click propensity (a concept can be heavily searched
+    /// yet rarely clicked in context, and vice versa).
+    pub popularity_noise: f64,
+    /// Probability that a refinement term is drawn from the concept's
+    /// topic vocabulary (the rest are general words — real refinements
+    /// mix intents).
+    pub p_topical_refinement: f64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self {
+            total_submissions: 400_000,
+            concept_fraction: 0.75,
+            p_exact: 0.45,
+            p_one_extra: 0.7,
+            noise_zipf: 1.05,
+            popularity_power: 2.0,
+            popularity_noise: 0.6,
+            p_topical_refinement: 0.3,
+        }
+    }
+}
+
+/// Generate the query log.
+pub fn generate_query_log(
+    seed: u64,
+    lexicon: &Lexicon,
+    universe: &ConceptUniverse,
+    config: &QueryConfig,
+) -> QueryLog {
+    let mut r = StdRng::seed_from_u64(seed ^ 0x9e81);
+    let mut log = QueryLog::new();
+
+    // Split the budget between concepts (by popularity weight) and noise.
+    let concept_budget =
+        (config.total_submissions as f64 * config.concept_fraction) as u64;
+    let noise_budget = config.total_submissions - concept_budget;
+
+    let weights: Vec<f64> = universe
+        .all()
+        .iter()
+        .map(|c| {
+            (0.02 + c.interestingness).powf(config.popularity_power)
+                * rng::log_normal(&mut r, 0.0, config.popularity_noise)
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let noise_zipf = ZipfSampler::new(lexicon.general().len(), config.noise_zipf);
+
+    for (c, w) in universe.all().iter().zip(&weights) {
+        let submissions = ((w / total_weight) * concept_budget as f64).round() as u64;
+        if submissions == 0 {
+            continue;
+        }
+        // Spread the concept's submissions across a handful of distinct
+        // query forms, weighted toward the exact form.
+        let exact = (submissions as f64 * config.p_exact).round() as u64;
+        if exact > 0 {
+            log.add_terms(c.terms.clone(), exact);
+        }
+        let mut remaining = submissions - exact;
+        // Derive refinement pools once per concept.
+        while remaining > 0 {
+            let chunk = (remaining / 3).max(1).min(remaining);
+            let n_extra = if rng::flip(&mut r, config.p_one_extra) { 1 } else { 2 };
+            let mut terms = c.terms.clone();
+            for _ in 0..n_extra {
+                let extra = match c.topic {
+                    // Specific concepts are refined with topical terms
+                    // (what a real user adds: "katrina levees").
+                    Some(t) if rng::flip(&mut r, config.p_topical_refinement) => {
+                        // Refinements stay near the concept's sub-topic.
+                        lexicon.sample_topic_near(&mut r, t, c.center, 0.07).to_string()
+                    }
+                    // Junk concepts are continued with arbitrary general
+                    // terms ("my favorite <anything>").
+                    _ => lexicon.sample_general(&mut r, &noise_zipf).to_string(),
+                };
+                if rng::flip(&mut r, 0.5) {
+                    terms.push(extra);
+                } else {
+                    terms.insert(0, extra);
+                }
+            }
+            log.add_terms(terms, chunk);
+            remaining -= chunk;
+        }
+    }
+
+    // Pure noise queries.
+    let mut spent = 0u64;
+    while spent < noise_budget {
+        let n_terms = r.random_range(1..=3);
+        let terms: Vec<String> = (0..n_terms)
+            .map(|_| lexicon.sample_general(&mut r, &noise_zipf).to_string())
+            .collect();
+        let freq = rng::log_normal(&mut r, 1.0, 1.0).round().max(1.0) as u64;
+        let freq = freq.min(noise_budget - spent);
+        log.add_terms(terms, freq);
+        spent += freq;
+    }
+
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concepts::UniverseConfig;
+
+    fn setup() -> (Lexicon, ConceptUniverse, QueryLog) {
+        let lex = Lexicon::generate(3, 400, 4, 60);
+        let uni = ConceptUniverse::generate(
+            3,
+            &lex,
+            &UniverseConfig {
+                num_specific: 60,
+                num_junk: 8,
+                ..UniverseConfig::default()
+            },
+        );
+        let log = generate_query_log(
+            3,
+            &lex,
+            &uni,
+            &QueryConfig {
+                total_submissions: 50_000,
+                ..QueryConfig::default()
+            },
+        );
+        (lex, uni, log)
+    }
+
+    #[test]
+    fn total_volume_close_to_budget() {
+        let (_, _, log) = setup();
+        let total = log.total_freq();
+        assert!(
+            (45_000..=55_000).contains(&total),
+            "total submissions {total}"
+        );
+    }
+
+    #[test]
+    fn popular_concepts_get_more_exact_queries() {
+        let (_, uni, log) = setup();
+        let mut pairs: Vec<(f64, u64)> = uni
+            .all()
+            .iter()
+            .filter(|c| !c.is_junk())
+            .map(|c| (c.interestingness, log.freq_exact(&c.terms)))
+            .collect();
+        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        let top_mean: f64 =
+            pairs[..10].iter().map(|p| p.1 as f64).sum::<f64>() / 10.0;
+        let bottom_mean: f64 =
+            pairs[pairs.len() - 10..].iter().map(|p| p.1 as f64).sum::<f64>() / 10.0;
+        assert!(
+            top_mean > bottom_mean * 2.0,
+            "interesting concepts should dominate exact queries: {top_mean} vs {bottom_mean}"
+        );
+    }
+
+    #[test]
+    fn phrase_containment_at_least_exact() {
+        let (_, uni, log) = setup();
+        for c in uni.all() {
+            assert!(log.freq_phrase_contained(&c.terms) >= log.freq_exact(&c.terms));
+        }
+    }
+
+    #[test]
+    fn junk_concepts_present_in_log() {
+        let (_, uni, log) = setup();
+        let searched = uni
+            .junk()
+            .filter(|c| log.freq_phrase_contained(&c.terms) > 0)
+            .count();
+        assert!(
+            searched >= uni.junk().count() / 2,
+            "junk phrases must appear in the log so they get unit scores"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let (lex, uni, _) = setup();
+        let a = generate_query_log(7, &lex, &uni, &QueryConfig::default());
+        let b = generate_query_log(7, &lex, &uni, &QueryConfig::default());
+        assert_eq!(a.total_freq(), b.total_freq());
+        assert_eq!(a.num_distinct(), b.num_distinct());
+    }
+}

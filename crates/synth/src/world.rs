@@ -1,0 +1,149 @@
+//! The fully assembled synthetic world.
+//!
+//! [`SynthWorld::generate`] runs every generator off one seed and returns
+//! the complete substitute for the paper's data estate: lexicon, concept
+//! universe, query log, web corpus (as a searchable index), encyclopedia
+//! and news stories. The click simulation is *not* run here — clicks
+//! depend on which entities the production system annotates, so the
+//! evaluation harness calls [`crate::clicks::simulate_story`] itself.
+
+use crate::concepts::{ConceptUniverse, UniverseConfig};
+use crate::corpus::{generate_corpus, CorpusConfig};
+use crate::encyclopedia::{Encyclopedia, EncyclopediaConfig};
+use crate::lexicon::Lexicon;
+use crate::news::{generate_news, NewsConfig, NewsStory};
+use crate::queries::{generate_query_log, QueryConfig};
+use ctxrank_index::Index;
+use ctxrank_querylog::QueryLog;
+
+/// Top-level configuration: sizes for every generator.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    pub seed: u64,
+    /// General vocabulary size.
+    pub general_words: usize,
+    /// Number of topics.
+    pub num_topics: usize,
+    /// Distinctive words per topic.
+    pub topic_words: usize,
+    pub universe: UniverseConfig,
+    pub queries: QueryConfig,
+    pub corpus: CorpusConfig,
+    pub encyclopedia: EncyclopediaConfig,
+    pub news: NewsConfig,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x1cde2009,
+            general_words: 2500,
+            num_topics: 40,
+            topic_words: 120,
+            universe: UniverseConfig::default(),
+            queries: QueryConfig::default(),
+            corpus: CorpusConfig::default(),
+            encyclopedia: EncyclopediaConfig::default(),
+            news: NewsConfig::default(),
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A scaled-down configuration for fast tests: a few topics, tens of
+    /// concepts, hundreds of documents. Generates in well under a second.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            general_words: 500,
+            num_topics: 6,
+            topic_words: 60,
+            universe: UniverseConfig {
+                num_specific: 120,
+                num_junk: 15,
+                num_ambiguous: 4,
+                ..UniverseConfig::default()
+            },
+            queries: QueryConfig {
+                total_submissions: 60_000,
+                ..QueryConfig::default()
+            },
+            corpus: CorpusConfig {
+                num_docs: 600,
+                ..CorpusConfig::default()
+            },
+            encyclopedia: EncyclopediaConfig::default(),
+            news: NewsConfig {
+                num_stories: 120,
+                ..NewsConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything the experiments need, generated deterministically.
+pub struct SynthWorld {
+    pub config: WorldConfig,
+    pub lexicon: Lexicon,
+    pub universe: ConceptUniverse,
+    pub query_log: QueryLog,
+    pub corpus: Index,
+    pub encyclopedia: Encyclopedia,
+    pub news: Vec<NewsStory>,
+}
+
+impl SynthWorld {
+    /// Generate the world from `config`.
+    pub fn generate(config: WorldConfig) -> Self {
+        let lexicon = Lexicon::generate(
+            config.seed,
+            config.general_words,
+            config.num_topics,
+            config.topic_words,
+        );
+        let universe = ConceptUniverse::generate(config.seed, &lexicon, &config.universe);
+        let query_log = generate_query_log(config.seed, &lexicon, &universe, &config.queries);
+        let corpus = generate_corpus(config.seed, &lexicon, &universe, &config.corpus);
+        let encyclopedia = Encyclopedia::generate(config.seed, &universe, &config.encyclopedia);
+        let news = generate_news(config.seed, &lexicon, &universe, &config.news);
+        Self {
+            config,
+            lexicon,
+            universe,
+            query_log,
+            corpus,
+            encyclopedia,
+            news,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_world_generates_consistently() {
+        let w = SynthWorld::generate(WorldConfig::small(77));
+        assert_eq!(w.universe.len(), 135);
+        assert_eq!(w.corpus.num_docs(), 600);
+        assert_eq!(w.news.len(), 120);
+        assert!(w.query_log.total_freq() > 50_000);
+        assert!(w.encyclopedia.num_articles() > 20);
+    }
+
+    #[test]
+    fn same_seed_same_world() {
+        let a = SynthWorld::generate(WorldConfig::small(5));
+        let b = SynthWorld::generate(WorldConfig::small(5));
+        assert_eq!(a.news[3].text, b.news[3].text);
+        assert_eq!(a.query_log.num_distinct(), b.query_log.num_distinct());
+    }
+
+    #[test]
+    fn different_seed_different_world() {
+        let a = SynthWorld::generate(WorldConfig::small(5));
+        let b = SynthWorld::generate(WorldConfig::small(6));
+        assert_ne!(a.news[0].text, b.news[0].text);
+    }
+}

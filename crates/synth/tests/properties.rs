@@ -1,0 +1,129 @@
+//! Property-based tests for the synthetic-world generators.
+
+use ctxrank_synth::clicks::simulate_story;
+use ctxrank_synth::concepts::UniverseConfig;
+use ctxrank_synth::lexicon::center_distance;
+use ctxrank_synth::news::{ground_truth_relevance, relevance_kernel, RELEVANCE_FLOOR};
+use ctxrank_synth::rng::{binomial, heavy_tail01, ZipfSampler};
+use ctxrank_synth::{ClickConfig, ConceptUniverse, Lexicon};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Zipf samples stay in range for any size/exponent.
+    #[test]
+    fn zipf_in_range(n in 1usize..500, s in 0.1f64..3.0, seed in 0u64..500) {
+        let z = ZipfSampler::new(n, s);
+        let mut r = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(z.sample(&mut r) < n);
+        }
+    }
+
+    /// Binomial samples never exceed n and match expectation in the
+    /// aggregate.
+    #[test]
+    fn binomial_bounded(n in 0u64..5000, p in 0.0f64..1.0, seed in 0u64..500) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let x = binomial(&mut r, n, p);
+        prop_assert!(x <= n);
+    }
+
+    /// Heavy-tail samples live in (0, 1].
+    #[test]
+    fn heavy_tail_in_unit(shape in 0.2f64..8.0, seed in 0u64..500) {
+        let mut r = StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let x = heavy_tail01(&mut r, shape);
+            prop_assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    /// Wrapped center distance is a metric-ish quantity in [0, 0.5].
+    #[test]
+    fn center_distance_bounds(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let d = center_distance(a, b);
+        prop_assert!((0.0..=0.5).contains(&d));
+        prop_assert!((center_distance(a, b) - center_distance(b, a)).abs() < 1e-12);
+        prop_assert!(center_distance(a, a) < 1e-12);
+    }
+
+    /// The relevance kernel is in (0, 1], decreasing in distance, and
+    /// ground-truth relevance respects the floor.
+    #[test]
+    fn relevance_kernel_contract(d1 in 0.0f64..0.5, d2 in 0.0f64..0.5) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(relevance_kernel(lo) >= relevance_kernel(hi));
+        prop_assert!(relevance_kernel(lo) <= 1.0 && relevance_kernel(hi) > 0.0);
+    }
+
+    /// Lexicon pools are disjoint at any size.
+    #[test]
+    fn lexicon_disjoint(seed in 0u64..50, general in 10usize..80,
+                        topics in 1usize..5, per_topic in 5usize..25) {
+        let lex = Lexicon::generate(seed, general, topics, per_topic);
+        let mut all: Vec<&String> = lex.general().iter().collect();
+        for t in 0..topics {
+            all.extend(lex.topic(t).iter());
+            all.extend(lex.names(t).iter());
+        }
+        let set: std::collections::HashSet<&String> = all.iter().copied().collect();
+        prop_assert_eq!(set.len(), all.len());
+    }
+
+    /// Click simulation: clicks never exceed views, true CTRs are
+    /// probabilities, and the same inputs reproduce exactly.
+    #[test]
+    fn clicks_bounded_and_deterministic(seed in 0u64..100, story in 0usize..50) {
+        let lex = Lexicon::generate(3, 60, 2, 20);
+        let uni = ConceptUniverse::generate(
+            3,
+            &lex,
+            &UniverseConfig { num_specific: 10, num_junk: 2, num_ambiguous: 0, ..UniverseConfig::default() },
+        );
+        let annotated: Vec<_> = uni
+            .all()
+            .iter()
+            .take(5)
+            .enumerate()
+            .map(|(i, c)| (c.id, 0.2 * i as f64, i as f64 / 5.0))
+            .collect();
+        let a = simulate_story(seed, story, &uni, &annotated, &ClickConfig::default());
+        let b = simulate_story(seed, story, &uni, &annotated, &ClickConfig::default());
+        prop_assert_eq!(a.views, b.views);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            prop_assert_eq!(x.clicks, y.clicks);
+            prop_assert!(x.clicks <= a.views);
+            prop_assert!((0.0..=1.0).contains(&x.true_ctr));
+        }
+    }
+}
+
+/// Ground-truth relevance over a generated universe: always within
+/// `[floor, 1]`, junk always at the floor.
+#[test]
+fn ground_truth_relevance_bounds() {
+    let lex = Lexicon::generate(9, 80, 3, 25);
+    let uni = ConceptUniverse::generate(
+        9,
+        &lex,
+        &UniverseConfig {
+            num_specific: 30,
+            num_junk: 5,
+            num_ambiguous: 0,
+            ..UniverseConfig::default()
+        },
+    );
+    for c in uni.all() {
+        for topic in 0..3 {
+            for center in [0.0, 0.33, 0.77] {
+                let r = ground_truth_relevance(c, topic, center, Some((topic + 1, 0.5)));
+                assert!((RELEVANCE_FLOOR..=1.0).contains(&r), "{r}");
+                if c.is_junk() {
+                    assert_eq!(r, RELEVANCE_FLOOR);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! A small, forgiving HTML stripper.
+//!
+//! The first pre-processing step of the Contextual Shortcuts pipeline is
+//! HTML parsing (§II): published news pages arrive as markup and the
+//! detectors operate over plain text. We do not need a full DOM — only a
+//! lossless-enough text extraction that (a) removes tags, (b) drops
+//! `<script>`/`<style>` content entirely, (c) decodes the common entities,
+//! and (d) turns block-level boundaries into paragraph breaks so that the
+//! downstream sentence/paragraph segmenter sees them.
+
+/// Tags whose entire content is dropped.
+const DROP_CONTENT: &[&str] = &["script", "style"];
+
+/// Tags that imply a paragraph break in the extracted text.
+const BLOCK_TAGS: &[&str] = &[
+    "p", "div", "br", "li", "ul", "ol", "table", "tr", "h1", "h2", "h3", "h4", "h5", "h6",
+    "blockquote", "pre", "hr", "section", "article", "header", "footer",
+];
+
+/// Strip HTML markup from `input`, returning plain text.
+///
+/// Block-level tags are replaced by `\n\n` so paragraph detection still
+/// works; inline tags are replaced by nothing; a handful of common entities
+/// (`&amp;` `&lt;` `&gt;` `&quot;` `&apos;` `&nbsp;` and numeric refs) are
+/// decoded. Malformed markup never panics — an unterminated tag is treated
+/// as text.
+pub fn strip_html(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let bytes = input.as_bytes();
+    let mut i = 0;
+
+    while i < input.len() {
+        match bytes[i] {
+            b'<' => {
+                match parse_tag(input, i) {
+                    Some((name, is_close, end)) => {
+                        let lname = name.to_ascii_lowercase();
+                        if !is_close && DROP_CONTENT.contains(&lname.as_str()) {
+                            // Skip to the matching close tag (or EOF).
+                            i = skip_dropped(input, end, &lname);
+                        } else {
+                            if BLOCK_TAGS.contains(&lname.as_str()) {
+                                push_para_break(&mut out);
+                            }
+                            i = end;
+                        }
+                    }
+                    None => {
+                        // Not a well-formed tag: emit the '<' literally.
+                        out.push('<');
+                        i += 1;
+                    }
+                }
+            }
+            b'&' => {
+                let (decoded, end) = decode_entity(input, i);
+                out.push_str(&decoded);
+                i = end;
+            }
+            _ => {
+                // Copy one whole char.
+                let c = input[i..].chars().next().expect("in-bounds char");
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    while out.ends_with(['\n', ' ', '\t']) {
+        out.pop();
+    }
+    out
+}
+
+/// Append a paragraph break, collapsing runs.
+fn push_para_break(out: &mut String) {
+    while out.ends_with(' ') || out.ends_with('\t') {
+        out.pop();
+    }
+    if !out.is_empty() && !out.ends_with("\n\n") {
+        while out.ends_with('\n') {
+            out.pop();
+        }
+        out.push_str("\n\n");
+    }
+}
+
+/// Try to parse a tag starting at `start` (which must be `<`). Returns the
+/// tag name, whether it is a closing tag, and the byte offset just past the
+/// closing `>`.
+fn parse_tag(input: &str, start: usize) -> Option<(String, bool, usize)> {
+    let rest = &input[start + 1..];
+    // Comments: <!-- ... -->
+    if let Some(body) = rest.strip_prefix("!--") {
+        let close = body.find("-->")?;
+        return Some((String::from("!comment"), false, start + 4 + close + 3));
+    }
+    let mut chars = rest.char_indices();
+    let (mut name_start, first) = chars.next()?;
+    let is_close = first == '/';
+    if is_close {
+        let (i, c) = chars.next()?;
+        if !c.is_ascii_alphabetic() && c != '!' {
+            return None;
+        }
+        name_start = i;
+    } else if !first.is_ascii_alphabetic() && first != '!' {
+        return None;
+    }
+    // Find the end of the name and then the closing '>'.
+    let mut name_end = rest.len();
+    let mut gt = None;
+    for (i, c) in rest[name_start..].char_indices() {
+        let abs = name_start + i;
+        if c == '>' {
+            name_end = name_end.min(abs);
+            gt = Some(abs);
+            break;
+        }
+        if c.is_whitespace() || c == '/' {
+            name_end = name_end.min(abs);
+        }
+    }
+    let gt = gt.or_else(|| rest[name_start..].find('>').map(|i| name_start + i))?;
+    let name = rest[name_start..name_end].to_string();
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, is_close, start + 1 + gt + 1))
+}
+
+/// Skip everything up to (and including) `</name>`.
+fn skip_dropped(input: &str, from: usize, name: &str) -> usize {
+    let lower = input[from..].to_ascii_lowercase();
+    let close = format!("</{name}");
+    match lower.find(&close) {
+        Some(rel) => {
+            let at = from + rel;
+            match input[at..].find('>') {
+                Some(gt) => at + gt + 1,
+                None => input.len(),
+            }
+        }
+        None => input.len(),
+    }
+}
+
+/// Decode the entity starting at `start` (which must be `&`). Returns the
+/// decoded text and the offset just past the entity; an unknown or
+/// malformed entity is passed through as a literal `&`.
+fn decode_entity(input: &str, start: usize) -> (String, usize) {
+    let rest = &input[start + 1..];
+    let semi = match rest.find(';') {
+        Some(i) if i <= 10 => i,
+        _ => return ("&".to_string(), start + 1),
+    };
+    let body = &rest[..semi];
+    let end = start + 1 + semi + 1;
+    let decoded = match body {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        "nbsp" => Some(' '),
+        _ => {
+            if let Some(num) = body.strip_prefix('#') {
+                let code = if let Some(hex) = num.strip_prefix(['x', 'X']) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else {
+                    num.parse::<u32>().ok()
+                };
+                code.and_then(char::from_u32)
+            } else {
+                None
+            }
+        }
+    };
+    match decoded {
+        Some(c) => (c.to_string(), end),
+        None => ("&".to_string(), start + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_inline_tags() {
+        assert_eq!(strip_html("<b>bold</b> text"), "bold text");
+    }
+
+    #[test]
+    fn block_tags_make_paragraphs() {
+        let out = strip_html("<p>one</p><p>two</p>");
+        assert_eq!(out, "one\n\ntwo");
+    }
+
+    #[test]
+    fn drops_script_and_style() {
+        let out = strip_html("a<script>var x = '<p>';</script>b<style>p{}</style>c");
+        assert_eq!(out, "abc");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        assert_eq!(strip_html("a &amp; b &lt;c&gt; &#65; &#x42;"), "a & b <c> A B");
+    }
+
+    #[test]
+    fn unknown_entity_passthrough() {
+        assert_eq!(strip_html("AT&T; R&D"), "AT&T; R&D");
+    }
+
+    #[test]
+    fn malformed_tag_is_text() {
+        assert_eq!(strip_html("3 < 4 and 5 > 2"), "3 < 4 and 5 > 2");
+    }
+
+    #[test]
+    fn unterminated_script_consumes_rest() {
+        assert_eq!(strip_html("a<script>oops"), "a");
+    }
+
+    #[test]
+    fn comments_removed() {
+        assert_eq!(strip_html("a<!-- hidden <b> -->b"), "ab");
+    }
+
+    #[test]
+    fn attributes_ignored() {
+        assert_eq!(
+            strip_html(r#"<a href="http://y.com" class="x">link</a>"#),
+            "link"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(strip_html(""), "");
+    }
+
+    #[test]
+    fn br_breaks() {
+        assert_eq!(strip_html("one<br/>two"), "one\n\ntwo");
+    }
+}

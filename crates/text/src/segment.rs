@@ -1,0 +1,265 @@
+//! Sentence and paragraph boundary detection.
+//!
+//! The Contextual Shortcuts pre-processing pipeline performs "sentence, and
+//! paragraph boundary detection" (§II) before the entity detectors run:
+//! collision resolution and context extraction both need to know which
+//! sentence a detected span belongs to.
+//!
+//! The segmenter is rule-based: sentence terminators are `.` `!` `?`
+//! followed by whitespace and an upper-case/digit start, with an
+//! abbreviation list preventing false splits ("Sen. Clinton" stays one
+//! sentence). Paragraphs are separated by blank lines.
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    /// Extract the spanned slice of `text`.
+    pub fn of<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Does this span contain byte offset `pos`?
+    pub fn contains(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// Do two spans overlap?
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Common abbreviations that do not terminate a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen", "lt", "col", "sgt", "capt",
+    "st", "ave", "blvd", "dept", "univ", "assn", "inc", "ltd", "co", "corp", "vs", "etc", "jan",
+    "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "e.g", "i.e",
+    "u.s", "u.k", "a.m", "p.m", "no", "vol", "fig", "ca", "approx",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.to_ascii_lowercase();
+    ABBREVIATIONS.contains(&w.as_str()) || (w.len() == 1 && w.chars().all(|c| c.is_ascii_alphabetic()))
+}
+
+/// Split `text` into sentence [`Span`]s.
+///
+/// Leading/trailing whitespace is excluded from each span; empty sentences
+/// are never produced. Paragraph breaks (`\n\n`) always end a sentence.
+pub fn sentences(text: &str) -> Vec<Span> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0;
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let terminator = matches!(b, b'.' | b'!' | b'?');
+        let para_break = b == b'\n' && bytes.get(i + 1) == Some(&b'\n');
+
+        if terminator {
+            // Consume a run of terminators and closing quotes/brackets.
+            let mut end = i + 1;
+            while end < bytes.len() && matches!(bytes[end], b'.' | b'!' | b'?' | b'"' | b'\'' | b')' | b']') {
+                end += 1;
+            }
+            // Must be followed by whitespace + sentence-initial char (or EOF).
+            let after_ws = text[end..].find(|c: char| !c.is_whitespace()).map(|o| end + o);
+            let splits = match after_ws {
+                None => true,
+                Some(pos) => {
+                    let next = text[pos..].chars().next().expect("non-ws char");
+                    let had_ws = pos > end || end == bytes.len();
+                    had_ws && (next.is_uppercase() || next.is_numeric() || next == '"' || next == '\'')
+                }
+            };
+            // Abbreviation check only applies to '.' terminators.
+            let last_word_abbrev = b == b'.' && {
+                let before = &text[start..i];
+                let word = before
+                    .rsplit(|c: char| c.is_whitespace())
+                    .next()
+                    .unwrap_or("");
+                is_abbreviation(word.trim_matches(|c: char| !c.is_alphanumeric() && c != '.'))
+            };
+            if splits && !last_word_abbrev {
+                push_trimmed(text, start, end, &mut out);
+                start = end;
+                i = end;
+                continue;
+            }
+            i = end;
+            continue;
+        }
+
+        if para_break {
+            push_trimmed(text, start, i, &mut out);
+            start = i;
+        }
+        // Advance one char.
+        i += utf8_len(bytes[i]);
+    }
+    push_trimmed(text, start, text.len(), &mut out);
+    out
+}
+
+/// Split `text` into paragraph [`Span`]s (separated by blank lines).
+pub fn paragraphs(text: &str) -> Vec<Span> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            // Count consecutive newlines (allowing interleaved spaces).
+            let mut j = i + 1;
+            let mut newlines = 1;
+            while j < bytes.len() && (bytes[j] == b'\n' || bytes[j] == b' ' || bytes[j] == b'\r' || bytes[j] == b'\t') {
+                if bytes[j] == b'\n' {
+                    newlines += 1;
+                }
+                j += 1;
+            }
+            if newlines >= 2 {
+                push_trimmed(text, start, i, &mut out);
+                start = j;
+                i = j;
+                continue;
+            }
+        }
+        i += utf8_len(bytes[i]);
+    }
+    push_trimmed(text, start, text.len(), &mut out);
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Push `[start, end)` trimmed of surrounding whitespace; skip if empty.
+fn push_trimmed(text: &str, start: usize, end: usize, out: &mut Vec<Span>) {
+    if start >= end {
+        return;
+    }
+    let slice = &text[start..end];
+    let lead = slice.len() - slice.trim_start().len();
+    let trail = slice.len() - slice.trim_end().len();
+    let (s, e) = (start + lead, end - trail);
+    if s < e {
+        out.push(Span { start: s, end: e });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent_texts(text: &str) -> Vec<&str> {
+        sentences(text).into_iter().map(|s| s.of(text)).collect::<Vec<_>>()
+    }
+
+    #[test]
+    fn simple_sentences() {
+        assert_eq!(
+            sent_texts("First one. Second one! Third one?"),
+            vec!["First one.", "Second one!", "Third one?"]
+        );
+    }
+
+    #[test]
+    fn abbreviation_does_not_split() {
+        assert_eq!(
+            sent_texts("New York Sen. Clinton argued. Obama replied."),
+            vec!["New York Sen. Clinton argued.", "Obama replied."]
+        );
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        assert_eq!(
+            sent_texts("George W. Bush spoke. Then he left."),
+            vec!["George W. Bush spoke.", "Then he left."]
+        );
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        assert_eq!(
+            sent_texts("The stock fell 3.5 percent. It recovered."),
+            vec!["The stock fell 3.5 percent.", "It recovered."]
+        );
+    }
+
+    #[test]
+    fn paragraph_break_splits() {
+        let text = "End of para\n\nNew para starts";
+        assert_eq!(sent_texts(text), vec!["End of para", "New para starts"]);
+    }
+
+    #[test]
+    fn spans_are_valid_and_ordered() {
+        let text = "A b. C d! E f? G h.";
+        let spans = sentences(text);
+        for w in spans.windows(2) {
+            assert!(w[0].end <= w[1].start);
+        }
+        for s in &spans {
+            assert!(!s.of(text).trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn paragraphs_basic() {
+        let text = "one\ntwo\n\nthree\n\n\nfour";
+        let paras: Vec<_> = paragraphs(text).into_iter().map(|s| s.of(text)).collect();
+        assert_eq!(paras, vec!["one\ntwo", "three", "four"]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(sentences("").is_empty());
+        assert!(paragraphs("").is_empty());
+        assert!(sentences("   \n\n  ").is_empty());
+    }
+
+    #[test]
+    fn quoted_sentence_end() {
+        assert_eq!(
+            sent_texts("He said \"stop.\" Then he left."),
+            vec!["He said \"stop.\"", "Then he left."]
+        );
+    }
+
+    #[test]
+    fn span_helpers() {
+        let s = Span { start: 2, end: 5 };
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.contains(2));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert!(s.overlaps(&Span { start: 4, end: 9 }));
+        assert!(!s.overlaps(&Span { start: 5, end: 9 }));
+    }
+}

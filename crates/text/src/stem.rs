@@ -1,0 +1,426 @@
+//! A complete implementation of the Porter stemming algorithm.
+//!
+//! M. Porter, "An algorithm for suffix stripping", *Program* 14(3), 1980 —
+//! reference \[17\] of the paper. The relevance-keyword miner works entirely
+//! on stemmed terms (§IV-B), and the production framework runs a Stemmer
+//! component over every incoming document before ranking (§VI), so this is
+//! on the hot path and is written allocation-free except for the final
+//! output string.
+//!
+//! The implementation follows the canonical description: words are viewed
+//! as `[C](VC)^m[V]`, the *measure* `m` gates most rules, and five steps of
+//! suffix rewrites are applied in order.
+
+/// Stem a single lower-case word with the Porter algorithm.
+///
+/// Words shorter than three characters, or containing non-ASCII-alphabetic
+/// characters, are returned unchanged (the classic algorithm is defined
+/// over ASCII letters; Contextual Shortcuts normalizes terms before
+/// stemming).
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len(),
+    };
+    s.step1ab();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    s.b.truncate(s.k);
+    // SAFETY-free: input was ASCII, all rewrites write ASCII.
+    String::from_utf8(s.b).expect("porter stemmer produces ASCII")
+}
+
+struct Stemmer {
+    /// Working buffer; only `b[..k]` is live.
+    b: Vec<u8>,
+    k: usize,
+}
+
+impl Stemmer {
+    /// True if `b[i]` is a consonant, per Porter's definition ('y' is a
+    /// consonant when preceded by a vowel position... precisely: 'y' is a
+    /// consonant iff it is word-initial or preceded by a consonant).
+    fn cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => {
+                if i == 0 {
+                    true
+                } else {
+                    !self.cons(i - 1)
+                }
+            }
+            _ => true,
+        }
+    }
+
+    /// Porter measure of `b[..j+1]` (number of VC sequences).
+    fn measure(&self, j: usize) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        // Skip initial consonants.
+        loop {
+            if i > j {
+                return n;
+            }
+            if !self.cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        loop {
+            // Skip vowels.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            n += 1;
+            // Skip consonants.
+            loop {
+                if i > j {
+                    return n;
+                }
+                if !self.cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// True if `b[..=j]` contains a vowel.
+    fn vowel_in_stem(&self, j: usize) -> bool {
+        (0..=j).any(|i| !self.cons(i))
+    }
+
+    /// True if `b[j-1..=j]` is a double consonant.
+    fn double_cons(&self, j: usize) -> bool {
+        j >= 1 && self.b[j] == self.b[j - 1] && self.cons(j)
+    }
+
+    /// True for consonant-vowel-consonant ending at `i`, where the final
+    /// consonant is not `w`, `x` or `y` (used to detect e.g. `hop` in
+    /// `hopping` so an `e` gets restored: `hop` + `e` rules).
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.cons(i) || self.cons(i - 1) || !self.cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// Does the live word end with `suf`?
+    fn ends(&self, suf: &str) -> bool {
+        let s = suf.as_bytes();
+        s.len() <= self.k && &self.b[self.k - s.len()..self.k] == s
+    }
+
+    /// Porter measure of the stem left when `suf` is removed; 0 when the
+    /// suffix spans the whole word. Callers must have checked `ends(suf)`.
+    fn stem_measure(&self, suf: &str) -> usize {
+        if suf.len() >= self.k {
+            0
+        } else {
+            self.measure(self.k - suf.len() - 1)
+        }
+    }
+
+    /// Is there a vowel in the stem left when `suf` is removed?
+    fn stem_has_vowel(&self, suf: &str) -> bool {
+        suf.len() < self.k && self.vowel_in_stem(self.k - suf.len() - 1)
+    }
+
+    /// Replace the current suffix of length `old_len` with `new`.
+    fn set_to(&mut self, old_len: usize, new: &str) {
+        let base = self.k - old_len;
+        self.b.truncate(base);
+        self.b.extend_from_slice(new.as_bytes());
+        self.k = base + new.len();
+    }
+
+    /// If the word ends with `suf` and the remaining stem has measure > 0,
+    /// replace `suf` by `new` and return true (also returns true on a match
+    /// whose condition failed, to emulate Porter's first-match semantics).
+    fn rule(&mut self, suf: &str, new: &str) -> bool {
+        if !self.ends(suf) {
+            return false;
+        }
+        if self.stem_measure(suf) > 0 {
+            self.set_to(suf.len(), new);
+        }
+        true
+    }
+
+    /// Step 1a (plurals) and 1b (-ed / -ing).
+    fn step1ab(&mut self) {
+        // Step 1a.
+        if self.ends("sses") {
+            self.set_to(4, "ss");
+        } else if self.ends("ies") {
+            self.set_to(3, "i");
+        } else if self.ends("ss") {
+            // leave as-is
+        } else if self.ends("s") {
+            self.set_to(1, "");
+        }
+
+        // Step 1b.
+        if self.ends("eed") {
+            if self.stem_measure("eed") > 0 {
+                self.set_to(3, "ee");
+            }
+            return;
+        }
+        let removed = if self.ends("ed") && self.stem_has_vowel("ed") {
+            self.set_to(2, "");
+            true
+        } else if self.ends("ing") && self.stem_has_vowel("ing") {
+            self.set_to(3, "");
+            true
+        } else {
+            false
+        };
+        if removed {
+            if self.ends("at") || self.ends("bl") || self.ends("iz") {
+                let k = self.k;
+                self.b.truncate(k);
+                self.b.push(b'e');
+                self.k += 1;
+            } else if self.double_cons(self.k - 1) && !matches!(self.b[self.k - 1], b'l' | b's' | b'z') {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            } else if self.measure(self.k - 1) == 1 && self.cvc(self.k - 1) {
+                self.b.truncate(self.k);
+                self.b.push(b'e');
+                self.k += 1;
+            }
+        }
+    }
+
+    /// Step 1c: terminal `y` becomes `i` when there is a vowel in the stem.
+    fn step1c(&mut self) {
+        if self.ends("y") && self.vowel_in_stem(self.k - 2) {
+            self.b[self.k - 1] = b'i';
+        }
+    }
+
+    /// Step 2: double-suffix reductions (gated on m > 0).
+    fn step2(&mut self) {
+        if self.k < 3 {
+            return;
+        }
+        // Dispatch on penultimate char as in Porter's reference code.
+        let _ = match self.b[self.k - 2] {
+            b'a' => self.rule("ational", "ate") || self.rule("tional", "tion"),
+            b'c' => self.rule("enci", "ence") || self.rule("anci", "ance"),
+            b'e' => self.rule("izer", "ize"),
+            b'l' => {
+                self.rule("bli", "ble")
+                    || self.rule("alli", "al")
+                    || self.rule("entli", "ent")
+                    || self.rule("eli", "e")
+                    || self.rule("ousli", "ous")
+            }
+            b'o' => {
+                self.rule("ization", "ize") || self.rule("ation", "ate") || self.rule("ator", "ate")
+            }
+            b's' => {
+                self.rule("alism", "al")
+                    || self.rule("iveness", "ive")
+                    || self.rule("fulness", "ful")
+                    || self.rule("ousness", "ous")
+            }
+            b't' => self.rule("aliti", "al") || self.rule("iviti", "ive") || self.rule("biliti", "ble"),
+            b'g' => self.rule("logi", "log"),
+            _ => false,
+        };
+    }
+
+    /// Step 3: -ic-, -full, -ness etc.
+    fn step3(&mut self) {
+        let _ = match self.b[self.k - 1] {
+            b'e' => self.rule("icate", "ic") || self.rule("ative", "") || self.rule("alize", "al"),
+            b'i' => self.rule("iciti", "ic"),
+            b'l' => self.rule("ical", "ic") || self.rule("ful", ""),
+            b's' => self.rule("ness", ""),
+            _ => false,
+        };
+    }
+
+    /// Step 4: drop -ant, -ence etc. when m > 1.
+    fn step4(&mut self) {
+        if self.k < 3 {
+            return;
+        }
+        let suffixes: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suf in suffixes {
+            if self.ends(suf) {
+                if *suf == "ion" {
+                    // -ion only drops after s or t.
+                    let after_s_or_t = suf.len() < self.k
+                        && matches!(self.b[self.k - suf.len() - 1], b's' | b't');
+                    if !after_s_or_t {
+                        return;
+                    }
+                }
+                if self.stem_measure(suf) > 1 {
+                    self.set_to(suf.len(), "");
+                }
+                return;
+            }
+        }
+    }
+
+    /// Step 5a (drop final e when m > 1, or m == 1 and not *o) and
+    /// step 5b (-ll → -l when m > 1).
+    fn step5(&mut self) {
+        if self.b[self.k - 1] == b'e' {
+            let m = self.measure(self.k - 1);
+            if m > 1 || (m == 1 && !self.cvc(self.k - 2)) {
+                self.k -= 1;
+                self.b.truncate(self.k);
+            }
+        }
+        if self.b[self.k - 1] == b'l' && self.double_cons(self.k - 1) && self.measure(self.k - 1) > 1 {
+            self.k -= 1;
+            self.b.truncate(self.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic vocabulary spot-checks from Porter's paper and the reference
+    /// test set.
+    #[test]
+    fn porter_reference_cases() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("at"), "at");
+        assert_eq!(stem("by"), "by");
+    }
+
+    #[test]
+    fn non_ascii_unchanged() {
+        assert_eq!(stem("caf\u{e9}"), "caf\u{e9}");
+        assert_eq!(stem("Upper"), "Upper");
+        assert_eq!(stem("with-dash"), "with-dash");
+    }
+
+    #[test]
+    fn news_domain_words() {
+        assert_eq!(stem("elections"), "elect");
+        assert_eq!(stem("political"), "polit");
+        assert_eq!(stem("prisoners"), "prison");
+        assert_eq!(stem("arguing"), "argu");
+        assert_eq!(stem("releasing"), "releas");
+    }
+
+    #[test]
+    fn idempotent_on_common_stems() {
+        for w in ["run", "plaster", "motor", "hop", "depend", "adopt"] {
+            assert_eq!(stem(&stem(w)), stem(w));
+        }
+    }
+}

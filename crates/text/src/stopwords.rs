@@ -1,0 +1,60 @@
+//! Stop-word filtering.
+//!
+//! Stop-words are removed before term vectors are built (§II-B: "The
+//! stop-words are removed and the remaining terms' weights are
+//! normalized"). The list is the standard English function-word set used
+//! by classic IR systems (articles, prepositions, pronouns, auxiliaries),
+//! matched case-insensitively on normalized terms.
+
+/// Sorted list of stop-words (lower-case). Binary-searched at runtime.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during",
+    "each", "few", "for", "from", "further", "had", "has", "have", "having", "he", "her",
+    "here", "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is",
+    "it", "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those",
+    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you",
+    "your", "yours", "yourself", "yourselves",
+];
+
+/// Is `term` (already lower-cased) a stop-word?
+pub fn is_stopword(term: &str) -> bool {
+    STOPWORDS.binary_search(&term).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{:?} >= {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_stopwords_detected() {
+        for w in ["the", "and", "of", "a", "is", "with", "to"] {
+            assert!(is_stopword(w), "{w} should be a stop-word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["president", "cuba", "global", "warming", "jaguar"] {
+            assert!(!is_stopword(w), "{w} should not be a stop-word");
+        }
+    }
+
+    #[test]
+    fn case_sensitivity_contract() {
+        // Callers must lower-case first; upper-case input is not matched.
+        assert!(!is_stopword("The"));
+    }
+}

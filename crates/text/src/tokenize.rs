@@ -1,0 +1,197 @@
+//! Offset-preserving tokenizer and term normalization.
+//!
+//! Tokens carry their byte offsets into the original document so that the
+//! entity-detection pipeline can annotate spans in place (the Contextual
+//! Shortcuts platform turns detected spans into "intelligent hyperlinks",
+//! §II). Tokenization is intentionally simple and deterministic: a token is
+//! a maximal run of alphanumeric characters, possibly joined by single
+//! internal `'`, `-`, `.`, or `_` characters (so `don't`, `U.S.`, `e-mail`
+//! and `v3m_silver` each stay one token).
+
+/// A single token with its byte span in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The raw token text, exactly as it appears in the source.
+    pub text: &'a str,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl<'a> Token<'a> {
+    /// Length of the token in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the token is empty (never produced by [`tokenize`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Characters allowed to join two alphanumeric runs inside one token.
+fn is_joiner(c: char) -> bool {
+    matches!(c, '\'' | '-' | '.' | '_' | '@' | '+')
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// Split `text` into [`Token`]s, preserving byte offsets.
+///
+/// Guarantees:
+/// * every returned span lies on `char` boundaries of `text`,
+/// * spans are non-overlapping and strictly increasing,
+/// * `&text[t.start..t.end] == t.text` for every token.
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let mut out = Vec::new();
+    let mut chars = text.char_indices().peekable();
+
+    while let Some(&(start, c)) = chars.peek() {
+        if !is_word_char(c) {
+            chars.next();
+            continue;
+        }
+        // Consume a word: alnum runs joined by single joiner chars that are
+        // followed by another alnum char.
+        let mut end = start;
+        while let Some(&(i, c)) = chars.peek() {
+            if is_word_char(c) {
+                end = i + c.len_utf8();
+                chars.next();
+            } else if is_joiner(c) {
+                // Look ahead one: the joiner must be followed by a word char.
+                let mut ahead = chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&(_, nc)) if is_word_char(nc) => {
+                        end = i + c.len_utf8();
+                        chars.next();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        out.push(Token {
+            text: &text[start..end],
+            start,
+            end,
+        });
+    }
+    out
+}
+
+/// Tokenize and return just the normalized term strings (lower-cased,
+/// punctuation-trimmed), dropping tokens that normalize to nothing.
+pub fn tokenize_terms(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter_map(|t| {
+            let n = normalize_term(t.text);
+            if n.is_empty() {
+                None
+            } else {
+                Some(n)
+            }
+        })
+        .collect()
+}
+
+/// Normalize one term: lower-case it and strip surrounding punctuation
+/// (including joiners that survived tokenization at the edges, e.g. the
+/// trailing `.` of a sentence-final abbreviation is already excluded by the
+/// tokenizer, but callers may pass raw strings).
+pub fn normalize_term(term: &str) -> String {
+    term.trim_matches(|c: char| !c.is_alphanumeric())
+        .to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(s: &str) -> Vec<&str> {
+        tokenize(s).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn simple_words() {
+        assert_eq!(texts("hello world"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(texts("a,b;c!d?e"), vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn internal_apostrophe_kept() {
+        assert_eq!(texts("don't stop"), vec!["don't", "stop"]);
+    }
+
+    #[test]
+    fn internal_hyphen_kept() {
+        assert_eq!(texts("e-mail me"), vec!["e-mail", "me"]);
+    }
+
+    #[test]
+    fn trailing_joiner_not_consumed() {
+        // Sentence-final period is not part of the token.
+        assert_eq!(texts("end."), vec!["end"]);
+        assert_eq!(texts("wait- what"), vec!["wait", "what"]);
+    }
+
+    #[test]
+    fn abbreviation_periods_kept() {
+        assert_eq!(texts("the U.S. army"), vec!["the", "U.S", "army"]);
+    }
+
+    #[test]
+    fn email_stays_single_token() {
+        assert_eq!(texts("mail uirmak@yahoo-inc.com now"), vec!["mail", "uirmak@yahoo-inc.com", "now"]);
+    }
+
+    #[test]
+    fn offsets_roundtrip() {
+        let s = "President Bush's position, per Sen. Clinton!";
+        for t in tokenize(s) {
+            assert_eq!(&s[t.start..t.end], t.text);
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn unicode_words() {
+        let s = "caf\u{e9} na\u{ef}ve \u{4e2d}\u{6587}";
+        let toks = texts(s);
+        assert_eq!(toks, vec!["caf\u{e9}", "na\u{ef}ve", "\u{4e2d}\u{6587}"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn numbers_tokenized() {
+        assert_eq!(texts("version 3.5 of 2008"), vec!["version", "3.5", "of", "2008"]);
+    }
+
+    #[test]
+    fn normalize_trims_and_lowercases() {
+        assert_eq!(normalize_term("...Hello!!"), "hello");
+        assert_eq!(normalize_term("'tis"), "tis");
+        assert_eq!(normalize_term("''"), "");
+    }
+
+    #[test]
+    fn tokenize_terms_drops_empty() {
+        assert_eq!(tokenize_terms("A B!"), vec!["a", "b"]);
+    }
+}

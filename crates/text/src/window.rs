@@ -1,0 +1,204 @@
+//! Overlapping character-window partitioning.
+//!
+//! To control the position bias inherent in click data ("the first entities
+//! in a document may get an unfair share of user attention", §V-A.1) the
+//! paper partitions large documents into windows of 2500 characters with a
+//! 500-character overlap between consecutive windows, "so that the
+//! neighboring concepts are not separated".
+//!
+//! Window boundaries are snapped back to the nearest whitespace so tokens
+//! are never cut in half; byte offsets always land on `char` boundaries.
+
+/// The window size the paper uses (characters).
+pub const PAPER_WINDOW_SIZE: usize = 2500;
+/// The overlap the paper uses (characters).
+pub const PAPER_OVERLAP: usize = 500;
+
+/// One document window: a byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Window {
+    /// Extract the window's text.
+    pub fn of<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+
+    /// Does the window contain byte offset `pos`?
+    pub fn contains(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+}
+
+/// Partition `text` into windows of at most `size` characters with
+/// `overlap` characters shared between consecutive windows.
+///
+/// * A text shorter than `size` produces exactly one window.
+/// * Each new window starts `size - overlap` characters after the previous
+///   one (snapped to a whitespace boundary where possible).
+/// * Every byte of the input is covered by at least one window.
+///
+/// # Panics
+/// Panics if `overlap >= size` or `size == 0`.
+pub fn windows(text: &str, size: usize, overlap: usize) -> Vec<Window> {
+    assert!(size > 0, "window size must be positive");
+    assert!(overlap < size, "overlap must be smaller than the window size");
+
+    let n_chars = text.chars().count();
+    if n_chars <= size {
+        return vec![Window { start: 0, end: text.len() }];
+    }
+
+    // Precompute byte offset of each char index (plus the end sentinel).
+    let offsets: Vec<usize> = text
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(text.len()))
+        .collect();
+
+    let stride = size - overlap;
+    let mut out = Vec::new();
+    let mut start_char = 0;
+    loop {
+        let end_char = (start_char + size).min(n_chars);
+        let start = snap_to_whitespace(text, &offsets, start_char, false);
+        let end = snap_to_whitespace(text, &offsets, end_char, true);
+        let window = Window { start, end: end.max(start) };
+        if window.start < window.end {
+            out.push(window);
+        }
+        if end_char >= n_chars {
+            break;
+        }
+        start_char += stride;
+    }
+    // Make sure the tail is fully covered even after snapping.
+    if let Some(last) = out.last_mut() {
+        if last.end < text.len() {
+            last.end = text.len();
+        }
+    }
+    out
+}
+
+/// Partition with the paper's parameters (2500-char windows, 500 overlap).
+pub fn paper_windows(text: &str) -> Vec<Window> {
+    windows(text, PAPER_WINDOW_SIZE, PAPER_OVERLAP)
+}
+
+/// Snap a char index to a nearby whitespace boundary (searching forward up
+/// to 40 chars); returns a byte offset. When `backward` the search extends
+/// the window (for the end edge) so no token is truncated.
+fn snap_to_whitespace(text: &str, offsets: &[usize], char_idx: usize, extend: bool) -> usize {
+    let n_chars = offsets.len() - 1;
+    if char_idx == 0 || char_idx >= n_chars {
+        return offsets[char_idx.min(n_chars)];
+    }
+    let limit = 40;
+    if extend {
+        // Move forward until whitespace (token finishes).
+        for &b in &offsets[char_idx..(char_idx + limit).min(n_chars)] {
+            let c = text[b..].chars().next().expect("valid offset");
+            if c.is_whitespace() {
+                return b;
+            }
+        }
+    } else {
+        // Move backward until just after whitespace (token starts cleanly).
+        for ci in (char_idx.saturating_sub(limit)..=char_idx).rev() {
+            if ci == 0 {
+                return 0;
+            }
+            let prev = offsets[ci - 1];
+            let c = text[prev..].chars().next().expect("valid offset");
+            if c.is_whitespace() {
+                return offsets[ci];
+            }
+        }
+    }
+    offsets[char_idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_text(n_words: usize) -> String {
+        (0..n_words)
+            .map(|i| format!("word{i}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    #[test]
+    fn short_text_single_window() {
+        let text = "short document";
+        let w = windows(text, 2500, 500);
+        assert_eq!(w, vec![Window { start: 0, end: text.len() }]);
+    }
+
+    #[test]
+    fn exact_size_single_window() {
+        let text = "x".repeat(100);
+        assert_eq!(windows(&text, 100, 10).len(), 1);
+    }
+
+    #[test]
+    fn long_text_multiple_windows() {
+        let text = word_text(2000); // ~ 13k chars
+        let ws = windows(&text, 2500, 500);
+        assert!(ws.len() > 3, "expected several windows, got {}", ws.len());
+    }
+
+    #[test]
+    fn full_coverage() {
+        let text = word_text(1500);
+        let ws = windows(&text, 1000, 200);
+        assert_eq!(ws[0].start, 0);
+        assert_eq!(ws.last().unwrap().end, text.len());
+        // Every window starts before the previous one ends (overlap).
+        for pair in ws.windows(2) {
+            assert!(pair[1].start < pair[0].end, "windows must overlap");
+        }
+    }
+
+    #[test]
+    fn windows_do_not_cut_words() {
+        let text = word_text(1500);
+        for w in windows(&text, 1000, 200) {
+            // Window edges are clean: no partial "wordN" fragments at the
+            // start (starts exactly at a word boundary).
+            assert!(
+                w.start == 0 || text.as_bytes()[w.start - 1] == b' ',
+                "window starts mid-word at {}",
+                w.start
+            );
+        }
+    }
+
+    #[test]
+    fn paper_parameters() {
+        assert_eq!(PAPER_WINDOW_SIZE, 2500);
+        assert_eq!(PAPER_OVERLAP, 500);
+        let text = word_text(1000);
+        assert!(!paper_windows(&text).is_empty());
+    }
+
+    #[test]
+    fn unicode_boundaries_safe() {
+        let text = "\u{4e2d}\u{6587} ".repeat(2000);
+        for w in windows(&text, 500, 100) {
+            // Slicing must not panic on char boundaries.
+            let _ = w.of(&text);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_must_be_smaller() {
+        windows("abc", 10, 10);
+    }
+}

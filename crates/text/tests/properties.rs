@@ -1,0 +1,135 @@
+//! Property-based tests for the text substrate.
+
+use ctxrank_text::{
+    normalize_term, paragraphs, sentences, stem, strip_html, tokenize, windows,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokenizer spans always index into the input on char boundaries
+    /// and reproduce the token text.
+    #[test]
+    fn tokenize_spans_are_valid(text in "\\PC{0,400}") {
+        for t in tokenize(&text) {
+            prop_assert!(t.start < t.end);
+            prop_assert!(text.is_char_boundary(t.start));
+            prop_assert!(text.is_char_boundary(t.end));
+            prop_assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    /// Token spans are strictly increasing and non-overlapping.
+    #[test]
+    fn tokenize_spans_ordered(text in "\\PC{0,400}") {
+        let toks = tokenize(&text);
+        for w in toks.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(term in "\\PC{0,40}") {
+        let once = normalize_term(&term);
+        prop_assert_eq!(normalize_term(&once), once.clone());
+    }
+
+    /// The stemmer never panics, never grows a lower-case ASCII word
+    /// (beyond the +e restorations of step 1b), and always emits
+    /// lower-case ASCII. (Note: the Porter algorithm is famously *not*
+    /// idempotent in general — e.g. artificial inputs like "ubee" — so
+    /// idempotence is only asserted on the curated vocabulary in the
+    /// unit tests.)
+    #[test]
+    fn stem_contracts(word in "[a-z]{1,24}") {
+        let s = stem(&word);
+        prop_assert!(s.len() <= word.len() + 1, "stem grew: {} -> {}", word, s);
+        prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        prop_assert!(!s.is_empty());
+    }
+
+    /// Arbitrary input never panics the stemmer.
+    #[test]
+    fn stem_total(word in "\\PC{0,32}") {
+        let _ = stem(&word);
+    }
+
+    /// Sentence spans lie within the text, are ordered, and non-empty.
+    #[test]
+    fn sentence_spans_valid(text in "\\PC{0,500}") {
+        let spans = sentences(&text);
+        for s in &spans {
+            prop_assert!(s.start <= s.end && s.end <= text.len());
+            prop_assert!(text.is_char_boundary(s.start) && text.is_char_boundary(s.end));
+            prop_assert!(!s.of(&text).trim().is_empty());
+        }
+        for w in spans.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    /// Paragraph detection has the same span contracts.
+    #[test]
+    fn paragraph_spans_valid(text in "\\PC{0,500}") {
+        for p in paragraphs(&text) {
+            prop_assert!(p.start <= p.end && p.end <= text.len());
+            prop_assert!(text.is_char_boundary(p.start) && text.is_char_boundary(p.end));
+        }
+    }
+
+    /// HTML stripping never panics and never leaves well-formed simple
+    /// tags behind.
+    #[test]
+    fn strip_html_total(text in "\\PC{0,300}") {
+        let out = strip_html(&text);
+        prop_assert!(!out.contains("<p>"));
+        prop_assert!(!out.contains("</p>"));
+    }
+
+    /// Windows cover the whole text: first starts at 0, last ends at the
+    /// end, and consecutive windows overlap.
+    #[test]
+    fn windows_cover(words in prop::collection::vec("[a-z]{1,10}", 1..400),
+                     size in 40usize..200, overlap_frac in 1usize..4) {
+        let text = words.join(" ");
+        let overlap = size * overlap_frac / 10; // < size
+        let ws = windows(&text, size, overlap);
+        prop_assert!(!ws.is_empty());
+        prop_assert_eq!(ws[0].start, 0);
+        prop_assert_eq!(ws.last().expect("nonempty").end, text.len());
+        for pair in ws.windows(2) {
+            prop_assert!(pair[1].start < pair[0].end, "windows must overlap");
+            prop_assert!(text.is_char_boundary(pair[1].start));
+        }
+    }
+}
+
+/// The stemmer agrees with the classic Porter fixture on a fixed list —
+/// kept as a regular test here so the property suite also guards the
+/// reference behaviour.
+#[test]
+fn porter_fixture_spot_checks() {
+    for (w, s) in [
+        ("caresses", "caress"),
+        ("flies", "fli"),
+        ("dies", "di"),
+        ("mules", "mule"),
+        ("denied", "deni"),
+        ("died", "di"),
+        ("agreed", "agre"),
+        ("owned", "own"),
+        ("humbled", "humbl"),
+        ("sized", "size"),
+        ("meeting", "meet"),
+        ("stating", "state"),
+        ("siezing", "siez"),
+        ("itemization", "item"),
+        ("sensational", "sensat"),
+        ("traditional", "tradit"),
+        ("reference", "refer"),
+        ("colonizer", "colon"),
+        ("plotted", "plot"),
+    ] {
+        assert_eq!(stem(w), s, "stem({w})");
+    }
+}

@@ -1,0 +1,115 @@
+//! A news-stream serving loop: load a persisted production ranker,
+//! annotate incoming stories, collect click feedback, and adapt online —
+//! the full §VI + §VIII story through the public API.
+//!
+//! Run with: `cargo run --release --example online_news_stream`
+
+use ctxrank::features::{InterestFeatures, RelevantTerms};
+use ctxrank::framework::{
+    load_ranker, save_ranker, GlobalTidTable, OnlineConfig, OnlineCtrAdjuster,
+    PackedInterestStore, PackedRelevanceStore, RuntimeRanker,
+};
+use ctxrank::ltr::{train, RankGroup, SvmConfig};
+use ctxrank::text::stem;
+
+fn main() {
+    // ---- Offline: build, train and persist the serving artifact.
+    let concepts: Vec<(String, InterestFeatures)> = [
+        ("world cup", 4000u64, 2500u32),
+        ("transfer rumours", 900, 400),
+        ("qualifying rounds", 150, 120),
+    ]
+    .iter()
+    .map(|(s, freq, wiki)| {
+        (
+            s.to_string(),
+            InterestFeatures {
+                freq_exact: *freq,
+                freq_phrase_contained: freq * 2,
+                unit_score: 0.8,
+                searchengine_phrase: freq / 3,
+                concept_size: 2,
+                number_of_chars: s.len() as u32,
+                subconcepts: 0,
+                high_level_type: 4,
+                wiki_word_count: *wiki,
+            },
+        )
+    })
+    .collect();
+    let interest = PackedInterestStore::build(&concepts);
+
+    let mut tids = GlobalTidTable::new();
+    let kw = |terms: &[(&str, f64)]| RelevantTerms {
+        terms: terms.iter().map(|(t, s)| (stem(t), *s)).collect(),
+    };
+    let sets = vec![
+        ("world cup", kw(&[("stadium", 8.0), ("final", 7.0), ("goal", 6.0)])),
+        ("transfer rumours", kw(&[("signing", 6.0), ("fee", 5.0), ("club", 4.0)])),
+        ("qualifying rounds", kw(&[("fixture", 5.0), ("group", 4.0), ("standings", 4.0)])),
+    ];
+    let relevance =
+        PackedRelevanceStore::build(sets.iter().map(|(s, r)| (*s, r)), &mut tids);
+
+    let groups: Vec<RankGroup> = (0..30)
+        .map(|g| {
+            RankGroup::from_pairs((0..3).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[0] = 4.0 + i as f64 * 2.0 + g as f64 * 0.01;
+                f[9] = i as f64;
+                (f, 0.01 * (i + 1) as f64)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+    let ranker = RuntimeRanker::new(interest, relevance, tids, model);
+
+    let artifact = std::env::temp_dir().join("ctxrank_example_artifact");
+    save_ranker(&ranker, &artifact).expect("persist the offline artifact");
+    println!("offline artifact written to {}", artifact.display());
+
+    // ---- Online: a serving process loads the artifact cold.
+    let serving = load_ranker(&artifact).expect("load the artifact");
+    let mut adjuster = OnlineCtrAdjuster::new(OnlineConfig {
+        gain: 3.0,
+        max_adjust: 8.0,
+        ..OnlineConfig::default()
+    });
+
+    let candidates: Vec<String> = concepts.iter().map(|(s, _)| s.clone()).collect();
+    let story = "The stadium roared as the final goal settled the group standings \
+                 and the qualifying fixture list for the cup.";
+
+    println!("\nserving loop (CTR feedback arrives after each batch):");
+    for batch in 0..6 {
+        let ranked = serving.rank_online(story, &candidates, &adjuster);
+        println!(
+            "batch {batch}: {}",
+            ranked
+                .iter()
+                .map(|r| format!("{} ({:.2})", r.surface, r.score))
+                .collect::<Vec<_>>()
+                .join("  >  ")
+        );
+        // Feedback: "qualifying rounds" (statically least interesting)
+        // suddenly draws heavy clicks — a knockout upset.
+        for surface in &candidates {
+            let (views, clicks) = if surface == "qualifying rounds" && batch >= 1 {
+                (20_000, 3_000)
+            } else if surface == "world cup" {
+                (20_000, 700)
+            } else {
+                (20_000, 260)
+            };
+            adjuster.record(surface, views, clicks);
+        }
+    }
+    println!(
+        "\nadjustments now: world cup {:+.2}, transfer rumours {:+.2}, qualifying rounds {:+.2}",
+        adjuster.adjustment("world cup"),
+        adjuster.adjustment("transfer rumours"),
+        adjuster.adjustment("qualifying rounds"),
+    );
+
+    std::fs::remove_dir_all(&artifact).ok();
+}

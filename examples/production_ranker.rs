@@ -1,0 +1,141 @@
+//! Build and drive the §VI production framework end to end: train a
+//! ranking SVM on synthetic click data, pack the feature stores (2-byte
+//! interestingness fields, 32-bit relevance pairs, 22-bit TIDs), and
+//! rank a new document through the runtime path.
+//!
+//! Run with: `cargo run --release --example production_ranker`
+
+use ctxrank::features::{InterestFeatures, RelevantTerms};
+use ctxrank::framework::{
+    GlobalTidTable, MemoryReport, PackedInterestStore, PackedRelevanceStore, RuntimeRanker,
+};
+use ctxrank::ltr::{train, RankGroup, SvmConfig};
+use ctxrank::text::stem;
+
+fn main() {
+    // --- Offline stage 1: interestingness vectors for the supported
+    // concept set (here: three concepts with hand-written features).
+    let concepts = vec![
+        (
+            "solar flares".to_string(),
+            InterestFeatures {
+                freq_exact: 4200,
+                freq_phrase_contained: 6100,
+                unit_score: 0.85,
+                searchengine_phrase: 950,
+                concept_size: 2,
+                number_of_chars: 12,
+                subconcepts: 0,
+                high_level_type: 4,
+                wiki_word_count: 3200,
+            },
+        ),
+        (
+            "stock markets".to_string(),
+            InterestFeatures {
+                freq_exact: 2600,
+                freq_phrase_contained: 4800,
+                unit_score: 0.7,
+                searchengine_phrase: 4200,
+                concept_size: 2,
+                number_of_chars: 13,
+                subconcepts: 0,
+                high_level_type: 0,
+                wiki_word_count: 1800,
+            },
+        ),
+        (
+            "my favorite".to_string(),
+            InterestFeatures {
+                freq_exact: 900,
+                freq_phrase_contained: 7400,
+                unit_score: 0.9,
+                searchengine_phrase: 9000,
+                concept_size: 2,
+                number_of_chars: 11,
+                subconcepts: 0,
+                high_level_type: 0,
+                wiki_word_count: 0,
+            },
+        ),
+    ];
+    let interest = PackedInterestStore::build(&concepts);
+
+    // --- Offline stage 2: relevance keywords (stemmed) per concept.
+    let mut tids = GlobalTidTable::new();
+    let keyword = |terms: &[(&str, f64)]| RelevantTerms {
+        terms: terms.iter().map(|(t, s)| (stem(t), *s)).collect(),
+    };
+    let solar = keyword(&[
+        ("sunspot", 9.0),
+        ("telescope", 7.0),
+        ("radiation", 6.5),
+        ("astronomers", 5.0),
+        ("corona", 4.0),
+    ]);
+    let stocks = keyword(&[
+        ("earnings", 8.0),
+        ("investors", 6.0),
+        ("rally", 5.0),
+        ("nasdaq", 5.0),
+    ]);
+    // Junk: sparse, low-scoring keywords (the Table II signature).
+    let junk = keyword(&[("things", 0.4), ("stuff", 0.3)]);
+    let relevance = PackedRelevanceStore::build(
+        vec![
+            ("solar flares", &solar),
+            ("stock markets", &stocks),
+            ("my favorite", &junk),
+        ],
+        &mut tids,
+    );
+
+    // --- Offline stage 3: the learned model. Train on synthetic click
+    // groups where CTR follows freq_exact (dim 0) and relevance (dim 9).
+    let groups: Vec<RankGroup> = (0..40)
+        .map(|i| {
+            let jitter = i as f64 * 1e-3;
+            RankGroup::from_pairs(vec![
+                (feature_row(8.0 + jitter, 2.2), 0.08),
+                (feature_row(7.0, 0.3), 0.03),
+                (feature_row(6.5 + jitter, 0.1), 0.012),
+            ])
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+
+    let ranker = RuntimeRanker::new(interest, relevance, tids, model);
+
+    // --- Runtime: rank the candidates detected in a fresh document.
+    let doc = "Astronomers said the telescope captured intense radiation from a \
+               sunspot region, while my favorite commentators discussed stock \
+               markets only in passing.";
+    let candidates = vec![
+        "solar flares".to_string(),
+        "stock markets".to_string(),
+        "my favorite".to_string(),
+    ];
+    println!("document:\n  {doc}\n");
+    println!("{:<16} {:>10} {:>12}", "concept", "score", "relevance");
+    for r in ranker.rank(doc, &candidates) {
+        println!("{:<16} {:>10.4} {:>12.3}", r.surface, r.score, r.relevance);
+    }
+
+    let report = MemoryReport::measure(&ranker.interest, &ranker.relevance, &ranker.tids);
+    println!(
+        "\nmemory: {} B interestingness ({} B/concept), {} B relevance, Golomb saves {:.0}%",
+        report.interest_bytes,
+        report.interest_bytes_per_concept() as u64,
+        report.relevance_bytes,
+        report.golomb_saving() * 100.0
+    );
+}
+
+/// A 10-dimensional feature row with the given freq_exact (log-scale)
+/// and relevance feature; everything else zero.
+fn feature_row(freq: f64, relevance: f64) -> Vec<f64> {
+    let mut v = vec![0.0; 10];
+    v[0] = freq;
+    v[9] = relevance;
+    v
+}

@@ -1,0 +1,84 @@
+//! Quickstart: detect and rank the key concepts in a piece of text.
+//!
+//! Builds the Contextual Shortcuts pipeline from a tiny hand-rolled
+//! knowledge base (a query log, a web corpus, an entity dictionary) and
+//! annotates a news snippet, printing every detected entity with its
+//! baseline concept-vector score — the ranking the production system
+//! used before the paper's learned model.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ctxrank::index::IndexBuilder;
+use ctxrank::querylog::{extract_units, QueryLog, UnitConfig};
+use ctxrank::shortcuts::{DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig};
+
+fn main() {
+    // 1. A search-engine query log: concepts people search for.
+    let mut log = QueryLog::new();
+    for (query, freq) in [
+        ("political prisoners", 90),
+        ("political prisoners cuba", 25),
+        ("human rights", 160),
+        ("human rights watch", 40),
+        ("havana travel", 35),
+        ("debate highlights", 20),
+    ] {
+        log.add(query, freq);
+    }
+    // Pad the log so unit extraction has co-occurrence statistics.
+    for i in 0..40 {
+        log.add(&format!("filler query number{i}"), 10);
+    }
+    let units = extract_units(&log, &UnitConfig::default());
+
+    // 2. A small web corpus for term-document frequencies (idf).
+    let mut corpus = IndexBuilder::new();
+    corpus.add_document("cuba rejects calls to release political prisoners amid human rights pressure");
+    corpus.add_document("the human rights watch report criticized detention conditions");
+    corpus.add_document("presidential debate covered foreign policy and the economy");
+    corpus.add_document("havana travel restrictions eased for family visits");
+    corpus.add_document("markets rallied as tech earnings beat expectations");
+    let corpus = corpus.build();
+
+    // 3. The editorial entity dictionary with taxonomy metadata.
+    let mut dictionary = EntityDictionary::new();
+    for (surface, type_code, subtype, geo) in [
+        ("cuba", 2u8, "country", Some((21.5, -77.8))),
+        ("obama", 1, "politician", None),
+        ("clinton", 1, "politician", None),
+        ("texas", 2, "region", Some((31.0, -99.0))),
+    ] {
+        dictionary.insert(DictionaryEntry {
+            terms: surface.split(' ').map(str::to_string).collect(),
+            type_code,
+            subtype: subtype.to_string(),
+            geo,
+            context_terms: Vec::new(),
+        });
+    }
+
+    // 4. Assemble the platform and process a document (§II).
+    let pipeline = Pipeline::new(
+        &dictionary,
+        &units,
+        |term| corpus.idf(term),
+        PipelineConfig::default(),
+    );
+    let snippet = "<p>Clinton argued at a debate with Obama in Texas that there \
+                   should be no talks with Cuba until it makes progress on releasing \
+                   political prisoners and improving human rights. \
+                   Contact press@example.org.</p>";
+    let doc = pipeline.process(snippet);
+
+    println!("plain text:\n  {}\n", doc.text);
+    println!("{:<24} {:<28} {:>8}", "surface", "kind", "score");
+    for a in &doc.annotations {
+        println!("{:<24} {:<28} {:>8.3}", a.surface, format!("{:?}", a.kind), a.score);
+    }
+    let mut ranked: Vec<_> = doc.rankable().collect();
+    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    println!(
+        "\ntop concept by the §II-B baseline: {:?}",
+        ranked.first().map(|a| a.surface.as_str())
+    );
+}

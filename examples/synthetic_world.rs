@@ -1,0 +1,121 @@
+//! Generate the full synthetic world and walk through the offline
+//! mining pipeline: unit extraction, interestingness features, relevance
+//! keywords and the click simulation — everything the paper precomputes
+//! before the runtime ranker goes live.
+//!
+//! Run with: `cargo run --release --example synthetic_world`
+
+use ctxrank::features::{FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder};
+use ctxrank::querylog::{extract_units, UnitConfig};
+use ctxrank::synth::clicks::simulate_story;
+use ctxrank::synth::news::ground_truth_relevance;
+use ctxrank::synth::{ClickConfig, SynthWorld, WorldConfig};
+
+fn main() {
+    // A laptop-sized world: 6 topics, ~135 concepts, 600 web documents.
+    let world = SynthWorld::generate(WorldConfig::small(42));
+    println!(
+        "world: {} concepts, {} distinct queries ({} submissions), {} web docs, {} stories",
+        world.universe.len(),
+        world.query_log.num_distinct(),
+        world.query_log.total_freq(),
+        world.corpus.num_docs(),
+        world.news.len()
+    );
+
+    // Unit extraction (§II-B): multi-term query-log phrases validated by
+    // mutual information.
+    let units = extract_units(&world.query_log, &UnitConfig::default());
+    let multi = units.iter().filter(|u| u.terms.len() > 1).count();
+    println!("units: {} total, {multi} multi-term", units.len());
+
+    // Table I features for the most and least interesting concepts.
+    let extractor = FeatureExtractor::new(
+        &world.query_log,
+        &units,
+        &world.corpus,
+        |terms| {
+            world
+                .universe
+                .all()
+                .iter()
+                .find(|c| c.terms == terms)
+                .map_or(0, |c| world.encyclopedia.word_count(c.id))
+        },
+        |_| 0,
+    );
+    let mut specs: Vec<_> = world.universe.all().iter().filter(|c| !c.is_junk()).collect();
+    specs.sort_by(|a, b| b.interestingness.partial_cmp(&a.interestingness).expect("finite"));
+    for (label, spec) in [("hot", specs[0]), ("cold", specs[specs.len() - 1])] {
+        let f = extractor.interestingness(&spec.terms);
+        println!(
+            "{label} concept {:?} (latent {:.2}): freq_exact {}, phrase_contained {}, wiki {}",
+            spec.surface(),
+            spec.interestingness,
+            f.freq_exact,
+            f.freq_phrase_contained,
+            f.wiki_word_count
+        );
+    }
+
+    // Relevance keywords (§IV-B) for the hot concept, from snippets.
+    // The idf floor plays the role of web-scale stopwording (DESIGN.md §1).
+    let mut builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
+    builder.min_idf = 3.2;
+    let mined = builder.mine(&specs[0].terms, MiningResource::Snippets);
+    println!(
+        "snippet keywords for {:?}: {} terms, summation {:.1}, top-3 {:?}",
+        specs[0].surface(),
+        mined.len(),
+        mined.summation(),
+        mined.terms.iter().take(3).map(|(t, _)| t.as_str()).collect::<Vec<_>>()
+    );
+
+    // Score the hot concept in the story closest to its sub-topic vs a
+    // story from a different topic entirely (relevance is graded by
+    // sub-topic center distance, see `ctxrank::synth::news`).
+    let on_story = world
+        .news
+        .iter()
+        .filter(|s| Some(s.topic) == specs[0].topic)
+        .min_by(|a, b| {
+            let da = ctxrank::synth::lexicon::center_distance(a.center, specs[0].center);
+            let db = ctxrank::synth::lexicon::center_distance(b.center, specs[0].center);
+            da.partial_cmp(&db).expect("finite")
+        })
+        .expect("a story in the concept's topic");
+    let off_story = world
+        .news
+        .iter()
+        .find(|s| Some(s.topic) != specs[0].topic)
+        .expect("a story outside it");
+    let on = mined.score_context(&RelevanceModel::context_of(&on_story.text));
+    let off = mined.score_context(&RelevanceModel::context_of(&off_story.text));
+    println!("relevance in nearest on-subtopic story {on:.1} vs off-topic story {off:.1}");
+
+    // Click simulation (§III): the implicit feedback the ranker learns
+    // from.
+    let story = &world.news[0];
+    let annotated: Vec<_> = story
+        .mentions
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let gt = ground_truth_relevance(
+                world.universe.get(m.concept),
+                story.topic,
+                story.center,
+                story.secondary_topic,
+            );
+            (m.concept, gt, i as f64 / story.mentions.len().max(1) as f64)
+        })
+        .collect();
+    let clicks = simulate_story(7, story.id, &world.universe, &annotated, &ClickConfig::default());
+    println!(
+        "story 0: {} views, {} total clicks across {} annotated entities (passes paper filter: {})",
+        clicks.views,
+        clicks.total_clicks(),
+        clicks.records.len(),
+        clicks.passes_paper_filter()
+    );
+}

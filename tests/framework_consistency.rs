@@ -1,0 +1,115 @@
+//! The packed production path must agree with the reference (float)
+//! path: quantization may perturb scores slightly, but orderings with a
+//! real margin survive.
+
+use ctxrank::features::{InterestFeatures, RelevantTerms};
+use ctxrank::framework::{
+    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, RuntimeRanker,
+};
+use ctxrank::ltr::{train, RankGroup, SvmConfig};
+use ctxrank::text::stem;
+
+fn features(freq: u64, wiki: u32) -> InterestFeatures {
+    InterestFeatures {
+        freq_exact: freq,
+        freq_phrase_contained: freq * 2,
+        unit_score: 0.5,
+        searchengine_phrase: freq / 2,
+        concept_size: 1,
+        number_of_chars: 8,
+        subconcepts: 0,
+        high_level_type: 1,
+        wiki_word_count: wiki,
+    }
+}
+
+#[test]
+fn packed_scores_match_reference_model() {
+    // 20 concepts with spread-out features.
+    let concepts: Vec<(String, InterestFeatures)> = (0..20)
+        .map(|i| (format!("concept{i}"), features(10 + i * 137, (i * 53) as u32)))
+        .collect();
+    let interest = PackedInterestStore::build(&concepts);
+
+    let mut tids = GlobalTidTable::new();
+    let keyword_sets: Vec<(String, RelevantTerms)> = (0..20)
+        .map(|i| {
+            (
+                format!("concept{i}"),
+                RelevantTerms {
+                    terms: (0..10)
+                        .map(|j| (stem(&format!("keyword{}", (i + j) % 25)), 1.0 + j as f64))
+                        .collect(),
+                },
+            )
+        })
+        .collect();
+    let relevance = PackedRelevanceStore::build(
+        keyword_sets.iter().map(|(s, rt)| (s.as_str(), rt)),
+        &mut tids,
+    );
+
+    // A simple linear model over the 10 features.
+    let groups: Vec<RankGroup> = (0..25)
+        .map(|g| {
+            RankGroup::from_pairs((0..4).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[0] = (g * 4 + i) as f64 * 0.37 % 9.0;
+                f[9] = i as f64;
+                (f, 0.01 * (i + 1) as f64)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+
+    let context_text = (0..25)
+        .map(|j| format!("keyword{j}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let candidates: Vec<String> = concepts.iter().map(|(s, _)| s.clone()).collect();
+
+    // Reference path: float features straight into the model.
+    let context_stems: std::collections::HashSet<String> =
+        ctxrank::text::stemmed_terms(&context_text).into_iter().collect();
+    let mut reference: Vec<(String, f64)> = concepts
+        .iter()
+        .map(|(surface, feats)| {
+            let mut f = feats.to_dense();
+            let rel: f64 = keyword_sets
+                .iter()
+                .find(|(s, _)| s == surface)
+                .map(|(_, rt)| rt.score_context(&context_stems))
+                .unwrap_or(0.0);
+            f.push(rel.ln_1p());
+            (surface.clone(), model.score(&f))
+        })
+        .collect();
+    reference.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    // Packed path.
+    let ranker = RuntimeRanker::new(interest, relevance, tids, model);
+    let packed = ranker.rank(&context_text, &candidates);
+
+    // Scores agree within a small tolerance concept by concept.
+    for p in &packed {
+        let r = reference
+            .iter()
+            .find(|(s, _)| s == &p.surface)
+            .expect("concept in reference");
+        assert!(
+            (p.score - r.1).abs() < 0.05,
+            "{}: packed {} vs reference {}",
+            p.surface,
+            p.score,
+            r.1
+        );
+    }
+
+    // Orderings with real margins are preserved: compare top-5 sets.
+    let top_packed: std::collections::HashSet<&str> =
+        packed.iter().take(5).map(|p| p.surface.as_str()).collect();
+    let top_ref: std::collections::HashSet<&str> =
+        reference.iter().take(5).map(|(s, _)| s.as_str()).collect();
+    let overlap = top_packed.intersection(&top_ref).count();
+    assert!(overlap >= 4, "top-5 overlap only {overlap}");
+}

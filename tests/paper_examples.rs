@@ -1,0 +1,69 @@
+//! The paper's worked examples, checked through the public API.
+
+use ctxrank::eval::{ndcg_at_k, pair_stats, weighted_pair_stats};
+use ctxrank::text::{sentences, stem, tokenize};
+
+/// §V-A.2: CTRs [(A,.15),(B,.05),(C,.02),(D,.01)]; R1=[A,B,D,C] and
+/// R2=[B,A,C,D] both make one pairwise mistake (16.67%), but weighted
+/// error rates are 2.22% and 22.22%.
+#[test]
+fn weighted_error_rate_worked_example() {
+    let ctrs = [0.15, 0.05, 0.02, 0.01];
+    let r1 = [4.0, 3.0, 1.0, 2.0];
+    let r2 = [3.0, 4.0, 2.0, 1.0];
+
+    assert!((pair_stats(&r1, &ctrs).rate() - 1.0 / 6.0).abs() < 1e-9);
+    assert!((pair_stats(&r2, &ctrs).rate() - 1.0 / 6.0).abs() < 1e-9);
+    assert!((weighted_pair_stats(&r1, &ctrs).rate() - 0.022222).abs() < 1e-4);
+    assert!((weighted_pair_stats(&r2, &ctrs).rate() - 0.222222).abs() < 1e-4);
+}
+
+/// §V-A.2: with score(j) = CTR(j)·10, ndcg@1 is 1.0 for R1 and 0.23 for
+/// R2; @2 = 1.0/0.75; @3 = 0.98/0.76.
+#[test]
+fn ndcg_worked_example() {
+    let ctrs = [0.15f64, 0.05, 0.02, 0.01];
+    let gains: Vec<f64> = ctrs.iter().map(|c| 2f64.powf(c * 10.0) - 1.0).collect();
+    let r1 = [4.0, 3.0, 1.0, 2.0];
+    let r2 = [3.0, 4.0, 2.0, 1.0];
+    assert!((ndcg_at_k(&r1, &gains, 1) - 1.0).abs() < 1e-9);
+    assert!((ndcg_at_k(&r2, &gains, 1) - 0.2266).abs() < 0.002);
+    assert!((ndcg_at_k(&r2, &gains, 2) - 0.75).abs() < 0.01);
+    assert!((ndcg_at_k(&r1, &gains, 3) - 0.98).abs() < 0.005);
+    assert!((ndcg_at_k(&r2, &gains, 3) - 0.76).abs() < 0.005);
+}
+
+/// The §I example snippet: pre-processing keeps "Sen. Clinton" inside
+/// one sentence and tokenizes the named entities cleanly.
+#[test]
+fn introduction_snippet_preprocessing() {
+    let text = "President Bush's position was similar to that of New York Sen. \
+                Clinton, who argued at a debate with Obama last week in Texas that \
+                there should be no talks with Cuba until it makes progress on \
+                releasing political prisoners and improving human rights.";
+    // One sentence: the Sen. abbreviation must not split it.
+    assert_eq!(sentences(text).len(), 1);
+    let tokens: Vec<&str> = tokenize(text).into_iter().map(|t| t.text).collect();
+    for entity in ["Bush's", "Clinton", "Obama", "Texas", "Cuba"] {
+        assert!(tokens.contains(&entity), "{entity} missing from {tokens:?}");
+    }
+}
+
+/// §IV-B works on stemmed terms: "releasing political prisoners" and
+/// "release political prisoner" collide after stemming.
+#[test]
+fn relevance_mining_stems_collide() {
+    assert_eq!(stem("releasing"), stem("release"));
+    assert_eq!(stem("prisoners"), stem("prisoner"));
+    assert_eq!(stem("improving"), stem("improve"));
+}
+
+/// The paper's memory arithmetic (§VI): 9 fields × 2 bytes = 18 B per
+/// concept; 100 pairs × 32 bits = 400 B per concept; TIDs fit 22 bits.
+#[test]
+fn framework_arithmetic() {
+    assert_eq!(ctxrank::framework::MAX_TID, (1 << 22) - 1);
+    assert_eq!(ctxrank::features::InterestFeatures::DIM * 2, 18);
+    assert_eq!(ctxrank::framework::relstore::MAX_KEYWORDS * 4, 400);
+    assert_eq!(ctxrank::framework::relstore::MAX_QSCORE, 1023);
+}

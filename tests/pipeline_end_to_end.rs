@@ -1,0 +1,189 @@
+//! End-to-end integration: synthetic world → query-log mining →
+//! Contextual Shortcuts annotation → click simulation → features →
+//! learned ranking → evaluation. Exercises every crate through the
+//! `ctxrank` facade.
+
+use ctxrank::eval::ErrorRateAccumulator;
+use ctxrank::features::{FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder};
+use ctxrank::ltr::{train, RankGroup, SvmConfig};
+use ctxrank::querylog::{extract_units, UnitConfig};
+use ctxrank::shortcuts::{DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig};
+use ctxrank::synth::clicks::simulate_story;
+use ctxrank::synth::news::ground_truth_relevance;
+use ctxrank::synth::{ClickConfig, ConceptId, SynthWorld, WorldConfig};
+use std::collections::HashMap;
+
+fn build_dictionary(world: &SynthWorld) -> EntityDictionary {
+    let mut dict = EntityDictionary::new();
+    for c in world.universe.all() {
+        if let Some((hlt, subtype)) = c.entity_type {
+            dict.insert(DictionaryEntry {
+                terms: c.terms.clone(),
+                type_code: hlt.code(),
+                subtype: subtype.to_string(),
+                geo: c.geo,
+                context_terms: Vec::new(),
+            });
+        }
+    }
+    dict
+}
+
+#[test]
+fn full_chain_produces_learnable_signal() {
+    let world = SynthWorld::generate(WorldConfig::small(2024));
+    let units = extract_units(&world.query_log, &UnitConfig::default());
+    let dictionary = build_dictionary(&world);
+    let pipeline = Pipeline::new(
+        &dictionary,
+        &units,
+        |t| world.corpus.idf(t),
+        PipelineConfig::default(),
+    );
+
+    let mut by_surface: HashMap<String, ConceptId> = HashMap::new();
+    for c in world.universe.all() {
+        by_surface.entry(c.surface()).or_insert(c.id);
+    }
+
+    // Annotate stories, simulate clicks, extract features.
+    let extractor = FeatureExtractor::new(
+        &world.query_log,
+        &units,
+        &world.corpus,
+        |_| 0,
+        |_| 0,
+    );
+    let mut rel_builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
+    rel_builder.min_idf = 3.2;
+
+    let mut groups: Vec<RankGroup> = Vec::new();
+    let mut heldout: Vec<(Vec<Vec<f64>>, Vec<f64>)> = Vec::new();
+    for story in world.news.iter().take(80) {
+        let doc = pipeline.process(&story.text);
+        let mut seen = std::collections::HashSet::new();
+        let entities: Vec<(String, ConceptId, f64, f64)> = doc
+            .rankable()
+            .filter(|a| seen.insert(a.surface.clone()))
+            .filter_map(|a| {
+                by_surface.get(&a.surface).map(|&cid| {
+                    let gt = ground_truth_relevance(
+                        world.universe.get(cid),
+                        story.topic,
+                        story.center,
+                        story.secondary_topic,
+                    );
+                    (a.surface.clone(), cid, gt, a.position_frac)
+                })
+            })
+            .collect();
+        if entities.len() < 2 {
+            continue;
+        }
+        let annotated: Vec<(ConceptId, f64, f64)> =
+            entities.iter().map(|e| (e.1, e.2, e.3)).collect();
+        let clicks = simulate_story(9, story.id, &world.universe, &annotated, &ClickConfig::default());
+        if !clicks.passes_paper_filter() {
+            continue;
+        }
+        let context = RelevanceModel::context_of(&doc.text);
+        let model = rel_builder.build(
+            entities
+                .iter()
+                .map(|e| e.0.split(' ').map(str::to_string).collect()),
+            MiningResource::Snippets,
+        );
+        let rows: Vec<(Vec<f64>, f64)> = entities
+            .iter()
+            .enumerate()
+            .map(|(i, (surface, _, _, _))| {
+                let terms: Vec<String> = surface.split(' ').map(str::to_string).collect();
+                let mut f = extractor.interestingness(&terms).to_dense();
+                f.push(model.score_feature(surface, &context));
+                (f, clicks.ctr(i))
+            })
+            .collect();
+        if story.id % 5 == 0 {
+            heldout.push((
+                rows.iter().map(|r| r.0.clone()).collect(),
+                rows.iter().map(|r| r.1).collect(),
+            ));
+        } else {
+            groups.push(RankGroup::from_pairs(rows));
+        }
+    }
+
+    let trainable: Vec<RankGroup> = groups
+        .into_iter()
+        .filter(|g| {
+            g.instances
+                .iter()
+                .any(|a| g.instances.iter().any(|b| a.label > b.label))
+        })
+        .collect();
+    assert!(trainable.len() > 10, "need training groups, got {}", trainable.len());
+    assert!(!heldout.is_empty(), "need held-out stories");
+
+    let model = train(&trainable, &SvmConfig::default());
+
+    // The learned model beats random ordering on held-out stories.
+    let mut learned = ErrorRateAccumulator::new();
+    let mut random = ErrorRateAccumulator::new();
+    for (features, ctrs) in &heldout {
+        let scores: Vec<f64> = features.iter().map(|f| model.score(f)).collect();
+        learned.add(&scores, ctrs);
+        let rnd: Vec<f64> = (0..scores.len()).map(|i| ((i * 7919) % 13) as f64).collect();
+        random.add(&rnd, ctrs);
+    }
+    assert!(
+        learned.weighted_error_rate() < random.weighted_error_rate(),
+        "learned {} should beat arbitrary {}",
+        learned.weighted_error_rate(),
+        random.weighted_error_rate()
+    );
+    assert!(learned.weighted_error_rate() < 0.45);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = || {
+        let world = SynthWorld::generate(WorldConfig::small(7));
+        let units = extract_units(&world.query_log, &UnitConfig::default());
+        let dictionary = build_dictionary(&world);
+        let pipeline = Pipeline::new(
+            &dictionary,
+            &units,
+            |t| world.corpus.idf(t),
+            PipelineConfig::default(),
+        );
+        let doc = pipeline.process(&world.news[3].text);
+        (
+            doc.annotations.len(),
+            doc.annotations.first().map(|a| a.surface.clone()),
+            units.len(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn annotations_never_overlap_and_point_into_text() {
+    let world = SynthWorld::generate(WorldConfig::small(31));
+    let units = extract_units(&world.query_log, &UnitConfig::default());
+    let dictionary = build_dictionary(&world);
+    let pipeline = Pipeline::new(
+        &dictionary,
+        &units,
+        |t| world.corpus.idf(t),
+        PipelineConfig::default(),
+    );
+    for story in world.news.iter().take(25) {
+        let doc = pipeline.process(&story.text);
+        for pair in doc.annotations.windows(2) {
+            assert!(pair[0].span.end <= pair[1].span.start);
+        }
+        for a in &doc.annotations {
+            assert_eq!(a.span.of(&doc.text).to_lowercase(), a.surface);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Seed robustness: the paper's qualitative orderings must hold across
+//! different world seeds, not just the headline seed. This is the
+//! repository's core scientific claim, so it is enforced by a test.
+//!
+//! Small worlds keep the test fast; orderings are checked with modest
+//! slack because small datasets are noisy.
+
+use ctxrank::eval::ErrorRateAccumulator;
+use ctxrank::features::{FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder};
+use ctxrank::ltr::{train, RankGroup, SvmConfig};
+use ctxrank::querylog::{extract_units, UnitConfig};
+use ctxrank::shortcuts::{DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig};
+use ctxrank::synth::clicks::simulate_story;
+use ctxrank::synth::news::ground_truth_relevance;
+use ctxrank::synth::{ClickConfig, ConceptId, SynthWorld, WorldConfig};
+use std::collections::HashMap;
+
+struct MiniEval {
+    random: f64,
+    learned: f64,
+}
+
+/// A compact version of the experiment pipeline: annotate, click,
+/// featurize, 2-fold cross-validate.
+fn run_world(seed: u64) -> MiniEval {
+    let world = SynthWorld::generate(WorldConfig::small(seed));
+    let units = extract_units(&world.query_log, &UnitConfig::default());
+    let mut dict = EntityDictionary::new();
+    for c in world.universe.all() {
+        if let Some((hlt, subtype)) = c.entity_type {
+            dict.insert(DictionaryEntry {
+                terms: c.terms.clone(),
+                type_code: hlt.code(),
+                subtype: subtype.to_string(),
+                geo: c.geo,
+                context_terms: Vec::new(),
+            });
+        }
+    }
+    let pipeline = Pipeline::new(
+        &dict,
+        &units,
+        |t| world.corpus.idf(t),
+        PipelineConfig::default(),
+    );
+    let mut by_surface: HashMap<String, ConceptId> = HashMap::new();
+    for c in world.universe.all() {
+        by_surface.entry(c.surface()).or_insert(c.id);
+    }
+    let extractor = FeatureExtractor::new(&world.query_log, &units, &world.corpus, |_| 0, |_| 0);
+    let mut rel_builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
+    rel_builder.min_idf = 3.2;
+
+    // Collect per-story feature/label groups.
+    let mut story_rows: Vec<Vec<(Vec<f64>, f64)>> = Vec::new();
+    for story in &world.news {
+        let doc = pipeline.process(&story.text);
+        let mut seen = std::collections::HashSet::new();
+        let entities: Vec<(String, ConceptId, f64, f64)> = doc
+            .rankable()
+            .filter(|a| seen.insert(a.surface.clone()))
+            .filter_map(|a| {
+                by_surface.get(&a.surface).map(|&cid| {
+                    let gt = ground_truth_relevance(
+                        world.universe.get(cid),
+                        story.topic,
+                        story.center,
+                        story.secondary_topic,
+                    );
+                    (a.surface.clone(), cid, gt, a.position_frac)
+                })
+            })
+            .collect();
+        if entities.len() < 2 {
+            continue;
+        }
+        let annotated: Vec<(ConceptId, f64, f64)> =
+            entities.iter().map(|e| (e.1, e.2, e.3)).collect();
+        let clicks =
+            simulate_story(seed, story.id, &world.universe, &annotated, &ClickConfig::default());
+        if !clicks.passes_paper_filter() {
+            continue;
+        }
+        let model = rel_builder.build(
+            entities.iter().map(|e| e.0.split(' ').map(str::to_string).collect()),
+            MiningResource::Snippets,
+        );
+        let context = RelevanceModel::context_of(&doc.text);
+        story_rows.push(
+            entities
+                .iter()
+                .enumerate()
+                .map(|(i, (surface, _, _, _))| {
+                    let terms: Vec<String> = surface.split(' ').map(str::to_string).collect();
+                    let mut f = extractor.interestingness(&terms).to_dense();
+                    f.push(model.score_feature(surface, &context));
+                    (f, clicks.ctr(i))
+                })
+                .collect(),
+        );
+    }
+    assert!(story_rows.len() > 20, "too few usable stories: {}", story_rows.len());
+
+    // 2-fold split by story parity.
+    let mut random = ErrorRateAccumulator::new();
+    let mut learned = ErrorRateAccumulator::new();
+    for fold in 0..2 {
+        let training: Vec<RankGroup> = story_rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 != fold)
+            .map(|(_, rows)| RankGroup::from_pairs(rows.clone()))
+            .filter(|g| {
+                g.instances
+                    .iter()
+                    .any(|a| g.instances.iter().any(|b| a.label > b.label))
+            })
+            .collect();
+        let model = train(&training, &SvmConfig::default());
+        for (i, rows) in story_rows.iter().enumerate() {
+            if i % 2 != fold {
+                continue;
+            }
+            let scores: Vec<f64> = rows.iter().map(|(f, _)| model.score(f)).collect();
+            let ctrs: Vec<f64> = rows.iter().map(|(_, c)| *c).collect();
+            learned.add(&scores, &ctrs);
+            let rnd: Vec<f64> = (0..rows.len())
+                .map(|j| ((j * 2654435761 + i * 40503) % 997) as f64)
+                .collect();
+            random.add(&rnd, &ctrs);
+        }
+    }
+    MiniEval {
+        random: random.weighted_error_rate(),
+        learned: learned.weighted_error_rate(),
+    }
+}
+
+#[test]
+fn orderings_hold_across_seeds() {
+    for seed in [11u64, 222, 3333] {
+        let e = run_world(seed);
+        assert!(
+            (0.35..=0.65).contains(&e.random),
+            "seed {seed}: random WER {:.3} not ~0.5",
+            e.random
+        );
+        assert!(
+            e.learned < e.random - 0.1,
+            "seed {seed}: learned {:.3} must clearly beat random {:.3}",
+            e.learned,
+            e.random
+        );
+        assert!(
+            e.learned < 0.40,
+            "seed {seed}: learned WER {:.3} unexpectedly weak",
+            e.learned
+        );
+    }
+}
