@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use ctxrank_features::RelevantTerms;
 use ctxrank_framework::{
-    golomb_decode, golomb_encode, optimal_rice_parameter, CompressedRelevanceStore,
-    GlobalTidTable, PackedRelevanceStore,
+    golomb_decode, golomb_encode, optimal_rice_parameter, CompressedRelevanceStore, GlobalTidTable,
+    PackedRelevanceStore,
 };
 use ctxrank_ltr::{train, RankGroup, SvmConfig};
 use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
@@ -30,9 +30,15 @@ fn bench_text(c: &mut Criterion) {
     });
     group.finish();
 
-    let words: Vec<&str> = ["running", "nationalization", "flies", "agreed", "hopefulness"]
-        .into_iter()
-        .collect();
+    let words: Vec<&str> = [
+        "running",
+        "nationalization",
+        "flies",
+        "agreed",
+        "hopefulness",
+    ]
+    .into_iter()
+    .collect();
     c.bench_function("porter_stem_5_words", |b| {
         b.iter(|| {
             for w in &words {
@@ -59,7 +65,14 @@ fn bench_index(c: &mut Criterion) {
         b.iter(|| black_box(world.corpus.search(black_box(&concept.terms), 50)).len())
     });
     group.bench_function("phrase_snippets_100", |b| {
-        b.iter(|| black_box(world.corpus.phrase_snippets(black_box(&concept.terms), 100, 12)).len())
+        b.iter(|| {
+            black_box(
+                world
+                    .corpus
+                    .phrase_snippets(black_box(&concept.terms), 100, 12),
+            )
+            .len()
+        })
     });
     group.finish();
 }
@@ -73,7 +86,7 @@ fn bench_querylog(c: &mut Criterion) {
         for w in lexicon.topic(t) {
             k += 1;
             log.add_terms(vec![w.clone()], 5 + (k as u64 % 40));
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 log.add_terms(
                     vec![w.clone(), lexicon.topic(t)[(k * 7) % 60].clone()],
                     3 + (k as u64 % 9),
@@ -105,9 +118,7 @@ fn bench_framework(c: &mut Criterion) {
     }
     group.bench_function("tid_context_lookup_100", |b| {
         let terms: Vec<String> = (0..100).map(|i| format!("term{}", i * 31 % 6000)).collect();
-        b.iter(|| {
-            black_box(tids.context_tids(terms.iter().map(String::as_str))).len()
-        })
+        b.iter(|| black_box(tids.context_tids(terms.iter().map(String::as_str))).len())
     });
 
     // Packed vs Golomb-compressed relevance scoring: the memory/CPU
@@ -129,8 +140,20 @@ fn bench_framework(c: &mut Criterion) {
     let mut t2 = GlobalTidTable::new();
     let compressed =
         CompressedRelevanceStore::build(sets.iter().map(|(s, r)| (s.as_str(), r)), &mut t2);
-    let ctx1 = t1.context_tids((0..60).map(|i| format!("kw{}", i * 5)).collect::<Vec<_>>().iter().map(String::as_str));
-    let ctx2 = t2.context_tids((0..60).map(|i| format!("kw{}", i * 5)).collect::<Vec<_>>().iter().map(String::as_str));
+    let ctx1 = t1.context_tids(
+        (0..60)
+            .map(|i| format!("kw{}", i * 5))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str),
+    );
+    let ctx2 = t2.context_tids(
+        (0..60)
+            .map(|i| format!("kw{}", i * 5))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(String::as_str),
+    );
     group.bench_function("relevance_score_packed", |b| {
         b.iter(|| {
             let mut acc = 0.0;
@@ -156,7 +179,9 @@ fn bench_ltr_and_eval(c: &mut Criterion) {
     let groups: Vec<RankGroup> = (0..50)
         .map(|g| {
             RankGroup::from_pairs((0..6).map(|i| {
-                let f: Vec<f64> = (0..10).map(|d| ((g * 6 + i) * (d + 1)) as f64 % 17.0).collect();
+                let f: Vec<f64> = (0..10)
+                    .map(|d| ((g * 6 + i) * (d + 1)) as f64 % 17.0)
+                    .collect();
                 (f, (i as f64) * 0.01)
             }))
         })
@@ -164,7 +189,15 @@ fn bench_ltr_and_eval(c: &mut Criterion) {
     c.bench_function("svm_train_50_groups", |b| {
         b.iter_batched(
             || groups.clone(),
-            |g| black_box(train(&g, &SvmConfig { epochs: 5, ..SvmConfig::default() })),
+            |g| {
+                black_box(train(
+                    &g,
+                    &SvmConfig {
+                        epochs: 5,
+                        ..SvmConfig::default()
+                    },
+                ))
+            },
             BatchSize::SmallInput,
         )
     });
@@ -172,11 +205,23 @@ fn bench_ltr_and_eval(c: &mut Criterion) {
     let scores: Vec<f64> = (0..50).map(|i| (i * 37 % 50) as f64).collect();
     let ctrs: Vec<f64> = (0..50).map(|i| (i as f64) * 0.001).collect();
     c.bench_function("weighted_error_rate_50", |b| {
-        b.iter(|| black_box(ctxrank_eval::weighted_pair_stats(black_box(&scores), black_box(&ctrs))).rate())
+        b.iter(|| {
+            black_box(ctxrank_eval::weighted_pair_stats(
+                black_box(&scores),
+                black_box(&ctrs),
+            ))
+            .rate()
+        })
     });
     let gains: Vec<f64> = ctrs.iter().map(|c| c * 50.0).collect();
     c.bench_function("ndcg_at_3_of_50", |b| {
-        b.iter(|| black_box(ctxrank_eval::ndcg_at_k(black_box(&scores), black_box(&gains), 3)))
+        b.iter(|| {
+            black_box(ctxrank_eval::ndcg_at_k(
+                black_box(&scores),
+                black_box(&gains),
+                3,
+            ))
+        })
     });
 }
 

@@ -39,7 +39,13 @@ fn fixture() -> PerfFixture {
     for i in 0..NUM_DOCS {
         let story = &exp.world.news[i % exp.world.news.len()];
         let mut text = story.text.clone();
-        text.truncate(text.char_indices().nth(TARGET_DOC_BYTES).map_or(text.len(), |(o, _)| o));
+        // Truncate to ~2.5 KB of *bytes* (the paper's unit, and the unit
+        // Throughput::Bytes reports in), backing off to a char boundary.
+        let mut cut = TARGET_DOC_BYTES.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
         total_bytes += text.len();
         // ~6.45 detections per document, as in the paper's test set.
         let n = if i % 20 < 9 { 6 } else { 7 };
@@ -97,5 +103,53 @@ fn bench_stemmer_and_ranker(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stemmer_and_ranker);
+/// Batched ranking across the worker pool vs the serial loop above.
+fn bench_ranker_parallel(c: &mut Criterion) {
+    let fx = fixture();
+    let threads = ctxrank_parallel::num_threads();
+    let docs: Vec<(&str, &[String])> = fx
+        .docs
+        .iter()
+        .zip(&fx.candidates)
+        .map(|(d, c)| (d.as_str(), c.as_slice()))
+        .collect();
+
+    let mut group = c.benchmark_group("ranker_component_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(fx.total_bytes as u64));
+    group.bench_function(format!("rank_batch_t{threads}").as_str(), |b| {
+        b.iter(|| {
+            let ranked = fx.ranker.rank_batch(black_box(&docs));
+            black_box(ranked.len())
+        })
+    });
+    group.finish();
+}
+
+/// Whole-pipeline `Experiment::build`, serial vs the worker pool.
+fn bench_experiment_build_parallel(c: &mut Criterion) {
+    let threads = ctxrank_parallel::num_threads();
+    let mut group = c.benchmark_group("experiment_build_parallel");
+    group.sample_size(10);
+    group.bench_function("build_serial", |b| {
+        b.iter(|| {
+            let exp = Experiment::build_serial(ExperimentConfig::small(0xbe7c4));
+            black_box(exp.stats.windows)
+        })
+    });
+    group.bench_function(format!("build_t{threads}").as_str(), |b| {
+        b.iter(|| {
+            let exp = Experiment::build_with_threads(ExperimentConfig::small(0xbe7c4), threads);
+            black_box(exp.stats.windows)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stemmer_and_ranker,
+    bench_ranker_parallel,
+    bench_experiment_build_parallel
+);
 criterion_main!(benches);

@@ -16,8 +16,20 @@ fn main() {
     let ds = &exp.dataset;
     let kernels = [
         ("linear", KernelKind::Linear),
-        ("rbf (gamma 0.5, 256 features)", KernelKind::Rbf { gamma: 0.5, dim: 256 }),
-        ("rbf (gamma 0.1, 256 features)", KernelKind::Rbf { gamma: 0.1, dim: 256 }),
+        (
+            "rbf (gamma 0.5, 256 features)",
+            KernelKind::Rbf {
+                gamma: 0.5,
+                dim: 256,
+            },
+        ),
+        (
+            "rbf (gamma 0.1, 256 features)",
+            KernelKind::Rbf {
+                gamma: 0.1,
+                dim: 256,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (fs_label, fs, tiebreak) in [

@@ -24,7 +24,10 @@ fn main() {
             }),
         ));
     }
-    print_table("Ablation: keywords per concept (snippet relevance only)", &rows);
+    print_table(
+        "Ablation: keywords per concept (snippet relevance only)",
+        &rows,
+    );
     std::fs::create_dir_all("results").ok();
     write_json("results/ablation_m.json", "ablation_m", &rows).expect("write report");
 }

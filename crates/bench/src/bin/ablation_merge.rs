@@ -10,7 +10,10 @@ use ctxrank_bench::{Experiment, ExperimentConfig};
 
 fn main() {
     let mut rows = Vec::new();
-    for (label, bonus) in [("with multi-term bonus", true), ("without multi-term bonus", false)] {
+    for (label, bonus) in [
+        ("with multi-term bonus", true),
+        ("without multi-term bonus", false),
+    ] {
         let config = ExperimentConfig {
             multiterm_bonus: bonus,
             ..ExperimentConfig::default()
@@ -21,7 +24,10 @@ fn main() {
             evaluate_fixed(&exp.dataset, |i| i.baseline_score),
         ));
     }
-    print_table("Ablation: §II-B multi-term bonus (concept-vector baseline)", &rows);
+    print_table(
+        "Ablation: §II-B multi-term bonus (concept-vector baseline)",
+        &rows,
+    );
     std::fs::create_dir_all("results").ok();
     write_json("results/ablation_merge.json", "ablation_merge", &rows).expect("write report");
 }

@@ -40,5 +40,10 @@ fn main() {
          *coverage*, which is the §V-A.5 mechanism (see EXPERIMENTS.md)."
     );
     std::fs::create_dir_all("results").ok();
-    write_json("results/ablation_weighting.json", "ablation_weighting", &rows).expect("write report");
+    write_json(
+        "results/ablation_weighting.json",
+        "ablation_weighting",
+        &rows,
+    )
+    .expect("write report");
 }

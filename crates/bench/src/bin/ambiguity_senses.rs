@@ -55,11 +55,16 @@ fn main() {
         let mut contexts = Vec::new();
         for spec in specs.iter().take(2) {
             let topic = spec.topic.expect("ambiguous specs are specific");
-            if let Some(story) = world.news.iter().filter(|s| s.topic == topic).min_by(|a, b| {
-                let da = ctxrank_synth::lexicon::center_distance(a.center, spec.center);
-                let db = ctxrank_synth::lexicon::center_distance(b.center, spec.center);
-                da.partial_cmp(&db).expect("finite")
-            }) {
+            if let Some(story) = world
+                .news
+                .iter()
+                .filter(|s| s.topic == topic)
+                .min_by(|a, b| {
+                    let da = ctxrank_synth::lexicon::center_distance(a.center, spec.center);
+                    let db = ctxrank_synth::lexicon::center_distance(b.center, spec.center);
+                    da.partial_cmp(&db).expect("finite")
+                })
+            {
                 contexts.push(RelevanceModel::context_of(&story.text));
             }
         }

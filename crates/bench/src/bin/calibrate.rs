@@ -50,17 +50,34 @@ fn main() {
     let exp = Experiment::build(config);
     println!("build: {:.1}s", t0.elapsed().as_secs_f64());
     println!("stats: {:?}", exp.stats);
-    println!("groups: {}  items: {}", exp.dataset.groups.len(), exp.dataset.num_items());
+    println!(
+        "groups: {}  items: {}",
+        exp.dataset.groups.len(),
+        exp.dataset.num_items()
+    );
 
     let ds = &exp.dataset;
     let t = Instant::now();
     let random = evaluate_fixed(ds, random_scorer(1));
     let baseline = evaluate_fixed(ds, |i| i.baseline_score);
-    println!("random    WER {:.2}%  ndcg {:?}", random.wer_pct(), random.ndcg);
-    println!("baseline  WER {:.2}%  ndcg {:?}", baseline.wer_pct(), baseline.ndcg);
+    println!(
+        "random    WER {:.2}%  ndcg {:?}",
+        random.wer_pct(),
+        random.ndcg
+    );
+    println!(
+        "baseline  WER {:.2}%  ndcg {:?}",
+        baseline.wer_pct(),
+        baseline.ndcg
+    );
     for r in MiningResource::ALL {
         let rel = evaluate_fixed(ds, |i| i.relevance_raw_for(r));
-        println!("rel {:?}  WER {:.2}%  ndcg {:?}", r, rel.wer_pct(), rel.ndcg);
+        println!(
+            "rel {:?}  WER {:.2}%  ndcg {:?}",
+            r,
+            rel.wer_pct(),
+            rel.ndcg
+        );
     }
     // Baseline score coverage diagnostics.
     {
@@ -84,7 +101,12 @@ fn main() {
             .groups
             .iter()
             .flat_map(|g| g.items.iter())
-            .map(|i| (i.baseline_score, exp.world.universe.get(i.concept).interestingness))
+            .map(|i| {
+                (
+                    i.baseline_score,
+                    exp.world.universe.get(i.concept).interestingness,
+                )
+            })
             .collect();
         println!("corr(baseline, interest) = {:.3}", pearson(&pts));
         let pts2: Vec<(f64, f64)> = ds
@@ -145,7 +167,14 @@ fn main() {
             let mut m = xtx.clone();
             let mut b = xty.clone();
             for col in 0..=d {
-                let piv = (col..=d).max_by(|&x, &y| m[x][col].abs().partial_cmp(&m[y][col].abs()).expect("finite")).expect("rows");
+                let piv = (col..=d)
+                    .max_by(|&x, &y| {
+                        m[x][col]
+                            .abs()
+                            .partial_cmp(&m[y][col].abs())
+                            .expect("finite")
+                    })
+                    .expect("rows");
                 m.swap(col, piv);
                 b.swap(col, piv);
                 let pv = m[col][col];
@@ -166,15 +195,16 @@ fn main() {
                 let scores: Vec<f64> = group
                     .items
                     .iter()
-                    .map(|i| {
-                        i.interest.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>() + w[d]
-                    })
+                    .map(|i| i.interest.iter().zip(&w).map(|(x, wi)| x * wi).sum::<f64>() + w[d])
                     .collect();
                 let ctrs: Vec<f64> = group.items.iter().map(|i| i.ctr).collect();
                 err.add(&scores, &ctrs);
             }
         }
-        println!("ridge interest WER {:.2}%", err.weighted_error_rate() * 100.0);
+        println!(
+            "ridge interest WER {:.2}%",
+            err.weighted_error_rate() * 100.0
+        );
     }
 
     let svm = SvmConfig {
@@ -185,7 +215,13 @@ fn main() {
     let single = evaluate_learned(ds, FeatureSet::SingleInterest(0), &svm, 5, 7, false);
     println!("learned freq_exact only WER {:.2}%", single.wer_pct());
     if std::env::var("ABLATE").is_ok() {
-        for group in ["query_logs", "taxonomy", "search_results", "other", "text_based"] {
+        for group in [
+            "query_logs",
+            "taxonomy",
+            "search_results",
+            "other",
+            "text_based",
+        ] {
             let r = evaluate_learned(ds, FeatureSet::InterestWithout(group), &svm, 5, 7, false);
             println!("ablate -{group} WER {:.2}%", r.wer_pct());
         }
@@ -199,7 +235,11 @@ fn main() {
         }
     }
     let interest = evaluate_learned(ds, FeatureSet::AllInterest, &svm, 5, 7, false);
-    println!("interest  WER {:.2}%  ndcg {:?}", interest.wer_pct(), interest.ndcg);
+    println!(
+        "interest  WER {:.2}%  ndcg {:?}",
+        interest.wer_pct(),
+        interest.ndcg
+    );
     let all = evaluate_learned(
         ds,
         FeatureSet::InterestPlusRelevance(MiningResource::Snippets),
@@ -223,17 +263,27 @@ fn main() {
                 if i.gt_relevance > 0.9 {
                     on.0 += v;
                     on.1 += 1;
-                    if v == 0.0 { zero_on += 1; }
+                    if v == 0.0 {
+                        zero_on += 1;
+                    }
                 } else if i.gt_relevance < 0.1 {
                     off.0 += v;
                     off.1 += 1;
-                    if v == 0.0 { zero_off += 1; }
+                    if v == 0.0 {
+                        zero_off += 1;
+                    }
                 }
             }
         }
         println!(
             "diag {:?}: on-topic mean {:.1} (zero {}/{})  off-topic mean {:.1} (zero {}/{})",
-            r, on.0 / on.1 as f64, zero_on, on.1, off.0 / off.1 as f64, zero_off, off.1
+            r,
+            on.0 / on.1 as f64,
+            zero_on,
+            on.1,
+            off.0 / off.1 as f64,
+            zero_off,
+            off.1
         );
         // Keyword set sizes for a sample of concepts.
         let model = &exp.relevance_models[ctxrank_bench::dataset::resource_index(r)];
@@ -261,13 +311,18 @@ fn main() {
                 )
             })
             .collect();
-        println!("diag {:?}: corr(ln rel, interest) = {:.3}", r, pearson(&pts));
+        println!(
+            "diag {:?}: corr(ln rel, interest) = {:.3}",
+            r,
+            pearson(&pts)
+        );
     }
 
     // Inspect one polluted off-topic snippet score in depth.
     {
         use ctxrank_features::{MiningResource, RelevanceModel};
-        let model = &exp.relevance_models[ctxrank_bench::dataset::resource_index(MiningResource::Snippets)];
+        let model =
+            &exp.relevance_models[ctxrank_bench::dataset::resource_index(MiningResource::Snippets)];
         'outer: for (g_idx, g) in exp.dataset.groups.iter().enumerate() {
             for i in &g.items {
                 if i.gt_relevance < 0.1 && i.relevance_raw_for(MiningResource::Snippets) > 500.0 {
@@ -303,7 +358,8 @@ fn main() {
                                         .map(|idx| {
                                             format!(
                                                 "topic{k}@{:.3}",
-                                                idx as f64 / exp.world.lexicon.topic(k).len() as f64
+                                                idx as f64
+                                                    / exp.world.lexicon.topic(k).len() as f64
                                             )
                                         })
                                 })

@@ -49,7 +49,11 @@ fn evaluate_custom(
         let model = train(&training, &SvmConfig::default());
         for &g in &test_groups {
             let group = &ds.groups[g];
-            let scores: Vec<f64> = group.items.iter().map(|i| model.score(&features(i))).collect();
+            let scores: Vec<f64> = group
+                .items
+                .iter()
+                .map(|i| model.score(&features(i)))
+                .collect();
             let ctrs: Vec<f64> = group.items.iter().map(|i| i.ctr).collect();
             let gains: Vec<f64> = ctrs.iter().map(|&c| ds.buckets.gain(c)).collect();
             err.add(&scores, &ctrs);

@@ -1,8 +1,6 @@
 //! Figure 3 — NDCG@{1,2,3} for the combined model.
 
-use ctxrank_bench::rankers::{
-    evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet,
-};
+use ctxrank_bench::rankers::{evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet};
 use ctxrank_bench::report::{print_ndcg_figure, write_json};
 use ctxrank_bench::{Experiment, ExperimentConfig};
 use ctxrank_features::MiningResource;

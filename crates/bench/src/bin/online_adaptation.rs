@@ -48,7 +48,11 @@ fn main() {
                 .iter()
                 .find(|c| c.surface() == **s && !c.is_junk())
         })
-        .min_by(|a, b| a.interestingness.partial_cmp(&b.interestingness).expect("finite"))
+        .min_by(|a, b| {
+            a.interestingness
+                .partial_cmp(&b.interestingness)
+                .expect("finite")
+        })
         .expect("a cold concept")
         .surface();
     let event_topic = exp

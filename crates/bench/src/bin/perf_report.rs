@@ -1,0 +1,183 @@
+//! Machine-readable §VI throughput report.
+//!
+//! Re-runs the paper-shaped corpus (1445 docs, ~2.5 KB, ~6.45
+//! candidates each) through the stemmer and ranker components — serial
+//! and parallel — plus the whole `Experiment::build` pipeline, and
+//! writes `BENCH_throughput.json` at the repository root so the perf
+//! trajectory stays comparable across PRs. One row per component:
+//! `{component, serial_mb_s, parallel_mb_s, speedup, threads}`.
+//!
+//! Knobs: `CTXRANK_THREADS` (pool size), `PERF_REPORT_REPS` (best-of-N
+//! timing, default 3).
+
+use ctxrank_bench::{build_runtime_ranker, Experiment, ExperimentConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+const NUM_DOCS: usize = 1445;
+const TARGET_DOC_BYTES: usize = 2500;
+
+struct Fixture {
+    docs: Vec<String>,
+    candidates: Vec<Vec<String>>,
+    ranker: ctxrank_framework::RuntimeRanker,
+    total_bytes: usize,
+}
+
+fn fixture() -> Fixture {
+    let exp = Experiment::build(ExperimentConfig::small(0xbe7c4));
+    let ranker = build_runtime_ranker(&exp);
+    let surfaces: Vec<String> = {
+        let mut s: Vec<String> = exp.interest_raw.keys().cloned().collect();
+        s.sort_unstable();
+        s
+    };
+    let mut docs = Vec::with_capacity(NUM_DOCS);
+    let mut candidates = Vec::with_capacity(NUM_DOCS);
+    let mut total_bytes = 0;
+    for i in 0..NUM_DOCS {
+        let story = &exp.world.news[i % exp.world.news.len()];
+        let mut text = story.text.clone();
+        let mut cut = TARGET_DOC_BYTES.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+        total_bytes += text.len();
+        let n = if i % 20 < 9 { 6 } else { 7 };
+        let cands: Vec<String> = (0..n)
+            .map(|j| surfaces[(i * 7 + j * 13) % surfaces.len()].clone())
+            .collect();
+        docs.push(text);
+        candidates.push(cands);
+    }
+    Fixture {
+        docs,
+        candidates,
+        ranker,
+        total_bytes,
+    }
+}
+
+/// Best-of-N wall time, in seconds.
+fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn round2(x: f64) -> f64 {
+    (x * 100.0).round() / 100.0
+}
+
+fn row(
+    component: &str,
+    bytes: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    threads: usize,
+) -> serde_json::Value {
+    let mb = bytes as f64 / 1e6;
+    serde_json::json!({
+        "component": component,
+        "serial_mb_s": round2(mb / serial_s),
+        "parallel_mb_s": round2(mb / parallel_s),
+        "speedup": round2(serial_s / parallel_s),
+        "threads": threads,
+    })
+}
+
+fn main() {
+    let reps: usize = std::env::var("PERF_REPORT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let threads = ctxrank_parallel::num_threads();
+    eprintln!("perf_report: threads={threads} reps={reps}");
+
+    let fx = fixture();
+    let docs: Vec<(&str, &[String])> = fx
+        .docs
+        .iter()
+        .zip(&fx.candidates)
+        .map(|(d, c)| (d.as_str(), c.as_slice()))
+        .collect();
+
+    // Stemmer component (paper: 7.9 MB/s).
+    let stem_serial = best_secs(reps, || {
+        fx.docs
+            .iter()
+            .map(|d| fx.ranker.stem_document(d).len())
+            .sum::<usize>()
+    });
+    let stem_parallel = best_secs(reps, || {
+        ctxrank_parallel::par_map(threads, &fx.docs, |d| fx.ranker.stem_document(d).len())
+            .into_iter()
+            .sum::<usize>()
+    });
+
+    // Ranker component (paper: 2.4 MB/s).
+    let rank_serial = best_secs(reps, || {
+        docs.iter()
+            .map(|(d, c)| fx.ranker.rank(d, c).len())
+            .sum::<usize>()
+    });
+    let rank_parallel = best_secs(reps, || {
+        fx.ranker
+            .rank_batch_with_threads(&docs, threads)
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>()
+    });
+
+    // Whole offline pipeline; throughput over the raw story bytes.
+    let config = ExperimentConfig::small(0xbe7c4);
+    let corpus_bytes: usize = Experiment::build_serial(config.clone())
+        .world
+        .news
+        .iter()
+        .map(|s| s.text.len())
+        .sum();
+    let build_serial = best_secs(reps, || {
+        Experiment::build_serial(config.clone()).stats.windows
+    });
+    let build_parallel = best_secs(reps, || {
+        Experiment::build_with_threads(config.clone(), threads)
+            .stats
+            .windows
+    });
+
+    let report = serde_json::Value::Seq(vec![
+        row(
+            "stemmer_component",
+            fx.total_bytes,
+            stem_serial,
+            stem_parallel,
+            threads,
+        ),
+        row(
+            "ranker_component",
+            fx.total_bytes,
+            rank_serial,
+            rank_parallel,
+            threads,
+        ),
+        row(
+            "experiment_build",
+            corpus_bytes,
+            build_serial,
+            build_parallel,
+            threads,
+        ),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_throughput.json");
+    println!("{json}");
+    eprintln!("perf_report: wrote {path}");
+}

@@ -75,8 +75,7 @@ fn main() {
                 }
                 // The annotation policy under test.
                 let annotated: Vec<(ConceptId, f64, f64)> = if annotate_top_k {
-                    let surfaces: Vec<String> =
-                        entities.iter().map(|e| e.0.clone()).collect();
+                    let surfaces: Vec<String> = entities.iter().map(|e| e.0.clone()).collect();
                     let top = ranker.top_n(&doc.text, &surfaces, TOP_K);
                     top.iter()
                         .filter_map(|r| {
@@ -100,10 +99,7 @@ fn main() {
                     &exp.config.clicks,
                 );
                 // Each annotation is viewed once per story view (§III).
-                stats.record(
-                    clicks.views * annotated.len() as u64,
-                    clicks.total_clicks(),
-                );
+                stats.record(clicks.views * annotated.len() as u64, clicks.total_clicks());
             }
         }
         stats

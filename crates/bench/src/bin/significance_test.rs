@@ -13,10 +13,7 @@ use ctxrank_ltr::SvmConfig;
 
 const PERMUTATIONS: usize = 10_000;
 
-fn per_group_stats(
-    exp: &Experiment,
-    scores: &[Vec<f64>],
-) -> Vec<PairStats> {
+fn per_group_stats(exp: &Experiment, scores: &[Vec<f64>]) -> Vec<PairStats> {
     exp.dataset
         .groups
         .iter()

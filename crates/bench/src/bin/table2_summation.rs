@@ -32,7 +32,12 @@ fn main() {
     println!("=== Table II: concepts and their summation values ===");
     println!("{:<42} {:>12} {:>9}", "Concept", "Summation", "class");
     for (s, sum, junk) in rows.iter().take(3) {
-        println!("{:<42} {:>12.1} {:>9}", s, sum, if *junk { "junk" } else { "specific" });
+        println!(
+            "{:<42} {:>12.1} {:>9}",
+            s,
+            sum,
+            if *junk { "junk" } else { "specific" }
+        );
     }
     println!("{:^65}", "...");
     let junk_rows: Vec<&(String, f64, bool)> = rows.iter().filter(|r| r.2).collect();
@@ -60,7 +65,11 @@ fn main() {
     );
     let median = |mut v: Vec<f64>| -> f64 {
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        if v.is_empty() { 0.0 } else { v[v.len() / 2] }
+        if v.is_empty() {
+            0.0
+        } else {
+            v[v.len() / 2]
+        }
     };
     let spec_med = median(rows.iter().filter(|r| !r.2).map(|r| r.1).collect());
     let junk_med = median(rows.iter().filter(|r| r.2).map(|r| r.1).collect());
@@ -82,5 +91,9 @@ fn main() {
         "junk_in_top_half": junk_in_top,
         "top3": rows.iter().take(3).map(|(s, v, _)| serde_json::json!({"concept": s, "summation": v})).collect::<Vec<_>>(),
     });
-    std::fs::write("results/table2_summation.json", serde_json::to_string_pretty(&json).expect("serialize")).ok();
+    std::fs::write(
+        "results/table2_summation.json",
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .ok();
 }

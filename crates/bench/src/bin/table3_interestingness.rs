@@ -4,9 +4,7 @@
 //! Features 23.69 %, then leave-one-group-out ablations showing that the
 //! query-log and taxonomy groups matter most.
 
-use ctxrank_bench::rankers::{
-    evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet,
-};
+use ctxrank_bench::rankers::{evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet};
 use ctxrank_bench::report::{print_table, write_json};
 use ctxrank_bench::{Experiment, ExperimentConfig};
 
@@ -15,7 +13,9 @@ fn main() {
     let ds = &exp.dataset;
     println!(
         "dataset: {} stories kept, {} windows, {} concept instances, {} clicks",
-        exp.stats.stories_kept, exp.stats.windows, exp.stats.concept_instances,
+        exp.stats.stories_kept,
+        exp.stats.windows,
+        exp.stats.concept_instances,
         exp.stats.total_clicks
     );
 

@@ -25,7 +25,10 @@ fn main() {
             evaluate_fixed(ds, |i| i.relevance_raw_for(r)),
         ));
     }
-    print_table("Table IV: weighted error rates, relevance score only", &rows);
+    print_table(
+        "Table IV: weighted error rates, relevance score only",
+        &rows,
+    );
     println!(
         "\npaper: Prisma 32.32 / Query Suggestions 31.23 / Snippets 24.86\n\
          (our Prisma comparator lacks the proprietary tool's full weaknesses; see EXPERIMENTS.md)"

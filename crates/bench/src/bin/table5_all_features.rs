@@ -5,9 +5,7 @@
 //! Interestingness + Relevance 18.66 %. The combined model wins by a
 //! wide margin; relevance breaks ties (§V-A.6).
 
-use ctxrank_bench::rankers::{
-    evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet,
-};
+use ctxrank_bench::rankers::{evaluate_best_kernel, evaluate_fixed, random_scorer, FeatureSet};
 use ctxrank_bench::report::{print_table, write_json};
 use ctxrank_bench::{Experiment, ExperimentConfig};
 use ctxrank_features::MiningResource;
@@ -40,7 +38,10 @@ fn main() {
             ),
         ),
     ];
-    print_table("Table V: weighted error rates when all features are used", &rows);
+    print_table(
+        "Table V: weighted error rates when all features are used",
+        &rows,
+    );
     println!(
         "\npaper: Random 50.01 / Concept Vector 30.22 / Interestingness 23.69 /\n\
          Relevance 24.86 / Interestingness+Relevance 18.66"

@@ -60,58 +60,56 @@ fn main() {
     let mut judges = JudgePanel::new(exp.config.seed ^ 0x6ed, JudgeConfig::default());
 
     // Judge the top-k picks of one ranking policy over one corpus.
-    let study =
-        |stories: &[NewsStory], top_k: usize, learned: bool, judges: &mut JudgePanel| -> StudyCell {
-            let mut cell = StudyCell::default();
-            for story in stories {
-                let doc = pipeline.process(&story.text);
-                let mut candidates: Vec<(String, f64)> = Vec::new();
-                let mut seen = std::collections::HashSet::new();
-                for a in doc.rankable() {
-                    if by_surface.contains_key(&a.surface) && seen.insert(a.surface.clone()) {
-                        candidates.push((a.surface.clone(), a.score));
-                    }
-                }
-                if candidates.is_empty() {
-                    continue;
-                }
-                let picks: Vec<String> = if learned {
-                    let surfaces: Vec<String> =
-                        candidates.iter().map(|(s, _)| s.clone()).collect();
-                    ranker
-                        .top_n(&doc.text, &surfaces, top_k)
-                        .into_iter()
-                        .map(|r| r.surface)
-                        .collect()
-                } else {
-                    let mut by_score = candidates.clone();
-                    by_score.sort_by(|a, b| {
-                        b.1.partial_cmp(&a.1)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then_with(|| a.0.cmp(&b.0))
-                    });
-                    by_score.into_iter().take(top_k).map(|(s, _)| s).collect()
-                };
-                for surface in picks {
-                    let cands = &by_surface[&surface];
-                    let cid = *cands
-                        .iter()
-                        .find(|&&c| exp.world.universe.get(c).topic == Some(story.topic))
-                        .unwrap_or(&cands[0]);
-                    let spec = exp.world.universe.get(cid);
-                    let gt_rel = ground_truth_relevance(
-                        spec,
-                        story.topic,
-                        story.center,
-                        story.secondary_topic,
-                    );
-                    let j = judges.judge(spec.interestingness, gt_rel);
-                    tally(&mut cell.interestingness, j.interestingness);
-                    tally(&mut cell.relevance, j.relevance);
+    let study = |stories: &[NewsStory],
+                 top_k: usize,
+                 learned: bool,
+                 judges: &mut JudgePanel|
+     -> StudyCell {
+        let mut cell = StudyCell::default();
+        for story in stories {
+            let doc = pipeline.process(&story.text);
+            let mut candidates: Vec<(String, f64)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for a in doc.rankable() {
+                if by_surface.contains_key(&a.surface) && seen.insert(a.surface.clone()) {
+                    candidates.push((a.surface.clone(), a.score));
                 }
             }
-            cell
-        };
+            if candidates.is_empty() {
+                continue;
+            }
+            let picks: Vec<String> = if learned {
+                let surfaces: Vec<String> = candidates.iter().map(|(s, _)| s.clone()).collect();
+                ranker
+                    .top_n(&doc.text, &surfaces, top_k)
+                    .into_iter()
+                    .map(|r| r.surface)
+                    .collect()
+            } else {
+                let mut by_score = candidates.clone();
+                by_score.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                by_score.into_iter().take(top_k).map(|(s, _)| s).collect()
+            };
+            for surface in picks {
+                let cands = &by_surface[&surface];
+                let cid = *cands
+                    .iter()
+                    .find(|&&c| exp.world.universe.get(c).topic == Some(story.topic))
+                    .unwrap_or(&cands[0]);
+                let spec = exp.world.universe.get(cid);
+                let gt_rel =
+                    ground_truth_relevance(spec, story.topic, story.center, story.secondary_topic);
+                let j = judges.judge(spec.interestingness, gt_rel);
+                tally(&mut cell.interestingness, j.interestingness);
+                tally(&mut cell.relevance, j.relevance);
+            }
+        }
+        cell
+    };
 
     let cv_news = study(&news, 3, false, &mut judges);
     let cv_answers = study(&answers, 2, false, &mut judges);
@@ -119,19 +117,28 @@ fn main() {
     let lr_answers = study(&answers, 2, true, &mut judges);
 
     println!("=== Table VI: editorial study ===");
-    println!("{:<28} {:>10} {:>10} {:>10} {:>10}", "", "CV News", "CV Answers", "LR News", "LR Answers");
-    print_scale("Interestingness", &[
-        cv_news.interestingness,
-        cv_answers.interestingness,
-        lr_news.interestingness,
-        lr_answers.interestingness,
-    ]);
-    print_scale("Relevance", &[
-        cv_news.relevance,
-        cv_answers.relevance,
-        lr_news.relevance,
-        lr_answers.relevance,
-    ]);
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "", "CV News", "CV Answers", "LR News", "LR Answers"
+    );
+    print_scale(
+        "Interestingness",
+        &[
+            cv_news.interestingness,
+            cv_answers.interestingness,
+            lr_news.interestingness,
+            lr_answers.interestingness,
+        ],
+    );
+    print_scale(
+        "Relevance",
+        &[
+            cv_news.relevance,
+            cv_answers.relevance,
+            lr_news.relevance,
+            lr_answers.relevance,
+        ],
+    );
 
     let cv_bad = (cv_news.combined_bad_fraction() + cv_answers.combined_bad_fraction()) / 2.0;
     let lr_bad = (lr_news.combined_bad_fraction() + lr_answers.combined_bad_fraction()) / 2.0;

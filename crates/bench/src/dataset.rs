@@ -15,7 +15,7 @@ pub fn resource_index(r: MiningResource) -> usize {
 }
 
 /// One concept instance inside a window group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Item {
     pub surface: String,
     pub concept: ConceptId,
@@ -50,7 +50,7 @@ impl Item {
 }
 
 /// One ranking group: the concepts sharing a 2500-character window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowGroup {
     pub story: usize,
     pub window: usize,

@@ -1,17 +1,11 @@
 //! Experiment assembly: world → pipeline → clicks → features → dataset.
 
 use crate::dataset::{resource_index, Dataset, Item, WindowGroup};
-use ctxrank_features::{
-    FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder,
-};
+use ctxrank_features::{FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder};
 use ctxrank_querylog::{extract_units, UnitConfig, UnitDictionary};
-use ctxrank_shortcuts::{
-    DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig,
-};
+use ctxrank_shortcuts::{DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig};
 use ctxrank_synth::news::ground_truth_relevance;
-use ctxrank_synth::{
-    clicks::simulate_story, ClickConfig, ConceptId, SynthWorld, WorldConfig,
-};
+use ctxrank_synth::{clicks::simulate_story, ClickConfig, ConceptId, SynthWorld, WorldConfig};
 use std::collections::{HashMap, HashSet};
 
 /// Experiment-level configuration.
@@ -97,8 +91,27 @@ pub struct Experiment {
 }
 
 impl Experiment {
-    /// Run the full offline pipeline.
+    /// Run the full offline pipeline with the default worker count
+    /// ([`ctxrank_parallel::num_threads`]; override with the
+    /// `CTXRANK_THREADS` environment variable).
     pub fn build(config: ExperimentConfig) -> Self {
+        Self::build_with_threads(config, ctxrank_parallel::num_threads())
+    }
+
+    /// Sequential reference build. Produces byte-identical output to
+    /// [`Experiment::build`] at any thread count: the parallel stages
+    /// run the same per-item closures and collect by input index, so
+    /// ordering never depends on scheduling.
+    pub fn build_serial(config: ExperimentConfig) -> Self {
+        Self::build_with_threads(config, 1)
+    }
+
+    /// Run the full offline pipeline on `threads` workers.
+    ///
+    /// Four independent stages fan out: per-story annotation, per-surface
+    /// interestingness features, the three mining-resource relevance
+    /// models, and per-story window/item assembly.
+    pub fn build_with_threads(config: ExperimentConfig, threads: usize) -> Self {
         let world = SynthWorld::generate(config.world.clone());
         let units = extract_units(&world.query_log, &config.units);
         let dictionary = build_dictionary(&world);
@@ -120,57 +133,52 @@ impl Experiment {
         // pipeline's borrows end before the stores are moved out).
         let mut pipe_config = PipelineConfig::default();
         pipe_config.vector.multiterm_bonus = config.multiterm_bonus;
-        let pipeline = Pipeline::new(
-            &dictionary,
-            &units,
-            |t| world.corpus.idf(t),
-            pipe_config,
-        );
-        let mut annotated_stories: Vec<StoryData> = Vec::new();
-        for story in &world.news {
-            let doc = pipeline.process(&story.text);
-            let mut seen: HashSet<&str> = HashSet::new();
-            let mut entities = Vec::new();
-            for a in doc.rankable() {
-                if !seen.insert(a.surface.as_str()) {
-                    continue; // first occurrence only, as the click report aggregates
-                }
-                let Some(cands) = by_surface.get(&a.surface) else {
-                    continue; // outside the supported concept set
-                };
-                // Ambiguity: prefer the sense matching the story topic.
-                let cid = *cands
-                    .iter()
-                    .find(|&&c| world.universe.get(c).topic == Some(story.topic))
-                    .or_else(|| {
-                        cands.iter().find(|&&c| {
-                            story
-                                .secondary_topic
-                                .is_some_and(|(st, _)| world.universe.get(c).topic == Some(st))
+        let pipeline = Pipeline::new(&dictionary, &units, |t| world.corpus.idf(t), pipe_config);
+        let annotated_stories: Vec<StoryData> =
+            ctxrank_parallel::par_map(threads, &world.news, |story| {
+                let doc = pipeline.process(&story.text);
+                let mut seen: HashSet<&str> = HashSet::new();
+                let mut entities = Vec::new();
+                for a in doc.rankable() {
+                    if !seen.insert(a.surface.as_str()) {
+                        continue; // first occurrence only, as the click report aggregates
+                    }
+                    let Some(cands) = by_surface.get(&a.surface) else {
+                        continue; // outside the supported concept set
+                    };
+                    // Ambiguity: prefer the sense matching the story topic.
+                    let cid = *cands
+                        .iter()
+                        .find(|&&c| world.universe.get(c).topic == Some(story.topic))
+                        .or_else(|| {
+                            cands.iter().find(|&&c| {
+                                story
+                                    .secondary_topic
+                                    .is_some_and(|(st, _)| world.universe.get(c).topic == Some(st))
+                            })
                         })
-                    })
-                    .unwrap_or(&cands[0]);
-                let gt = ground_truth_relevance(
-                    world.universe.get(cid),
-                    story.topic,
-                    story.center,
-                    story.secondary_topic,
-                );
-                entities.push((
-                    a.surface.clone(),
-                    cid,
-                    gt,
-                    a.span.start,
-                    a.position_frac,
-                    a.score,
-                ));
-            }
-            annotated_stories.push(StoryData {
-                story: story.id,
-                text: doc.text,
-                entities,
+                        .unwrap_or(&cands[0]);
+                    let gt = ground_truth_relevance(
+                        world.universe.get(cid),
+                        story.topic,
+                        story.center,
+                        story.secondary_topic,
+                    );
+                    entities.push((
+                        a.surface.clone(),
+                        cid,
+                        gt,
+                        a.span.start,
+                        a.position_frac,
+                        a.score,
+                    ));
+                }
+                StoryData {
+                    story: story.id,
+                    text: doc.text,
+                    entities,
+                }
             });
-        }
         drop(pipeline);
 
         // Click simulation + the §V-A.1 cleaning rules.
@@ -196,11 +204,19 @@ impl Experiment {
             }
         }
 
-        // Interestingness features, one per distinct surface.
-        let surfaces: HashSet<String> = kept
-            .iter()
-            .flat_map(|(sd, _)| sd.entities.iter().map(|e| e.0.clone()))
-            .collect();
+        // Interestingness features, one per distinct surface. Sorted so
+        // every downstream pass (feature extraction, relevance mining)
+        // walks surfaces in a reproducible order rather than whatever
+        // the dedup set happens to hash to.
+        let surfaces: Vec<String> = {
+            let distinct: HashSet<&str> = kept
+                .iter()
+                .flat_map(|(sd, _)| sd.entities.iter().map(|e| e.0.as_str()))
+                .collect();
+            let mut surfaces: Vec<String> = distinct.into_iter().map(str::to_string).collect();
+            surfaces.sort_unstable();
+            surfaces
+        };
         let extractor = FeatureExtractor::new(
             &world.query_log,
             &units,
@@ -219,11 +235,14 @@ impl Experiment {
                     .map_or(0, |(hlt, _)| hlt.code())
             },
         );
+        let per_surface_feats: Vec<ctxrank_features::InterestFeatures> =
+            ctxrank_parallel::par_map(threads, &surfaces, |s| {
+                let terms: Vec<String> = s.split(' ').map(str::to_string).collect();
+                extractor.interestingness(&terms)
+            });
         let mut interest_cache: HashMap<String, Vec<f64>> = HashMap::new();
         let mut interest_raw: HashMap<String, ctxrank_features::InterestFeatures> = HashMap::new();
-        for s in &surfaces {
-            let terms: Vec<String> = s.split(' ').map(str::to_string).collect();
-            let feats = extractor.interestingness(&terms);
+        for (s, feats) in surfaces.iter().zip(per_surface_feats) {
             interest_cache.insert(s.clone(), feats.to_dense());
             interest_raw.insert(s.clone(), feats);
         }
@@ -240,11 +259,20 @@ impl Experiment {
             .iter()
             .map(|s| s.split(' ').map(str::to_string).collect())
             .collect();
-        let mut models: Vec<RelevanceModel> = vec![
-            builder.build(concept_term_lists.clone(), MiningResource::Snippets),
-            builder.build(concept_term_lists.clone(), MiningResource::Prisma),
-            builder.build(concept_term_lists, MiningResource::Suggestions),
-        ];
+        // The three resources mine independently from the shared
+        // (immutable) builder; run them as one job each.
+        let mut models: Vec<RelevanceModel> = {
+            let builder = &builder;
+            let lists = &concept_term_lists;
+            ctxrank_parallel::join_all(
+                threads,
+                vec![
+                    Box::new(|| builder.build(lists.clone(), MiningResource::Snippets)),
+                    Box::new(|| builder.build(lists.clone(), MiningResource::Prisma)),
+                    Box::new(|| builder.build(lists.clone(), MiningResource::Suggestions)),
+                ],
+            )
+        };
         // Order the array by resource_index.
         models.sort_by_key(|m| resource_index(m.resource));
         let relevance_models: [RelevanceModel; 3] = models
@@ -259,54 +287,62 @@ impl Experiment {
             stories_kept: kept.len(),
             ..DatasetStats::default()
         };
-        for (sd, clicks) in &kept {
-            stats.total_clicks += clicks.total_clicks();
-            let ctr_of: HashMap<ConceptId, f64> = clicks
-                .records
-                .iter()
-                .enumerate()
-                .map(|(i, r)| (r.concept, clicks.ctr(i)))
-                .collect();
-            let windows =
-                ctxrank_text::window::windows(&sd.text, config.window_size, config.window_overlap);
-            for (w_idx, w) in windows.iter().enumerate() {
-                let members: Vec<&(String, ConceptId, f64, usize, f64, f64)> = sd
-                    .entities
+        let per_story_groups: Vec<Vec<WindowGroup>> =
+            ctxrank_parallel::par_map(threads, &kept, |(sd, clicks)| {
+                let ctr_of: HashMap<ConceptId, f64> = clicks
+                    .records
                     .iter()
-                    .filter(|e| w.contains(e.3))
+                    .enumerate()
+                    .map(|(i, r)| (r.concept, clicks.ctr(i)))
                     .collect();
-                if members.len() < 2 {
-                    continue;
+                let windows = ctxrank_text::window::windows(
+                    &sd.text,
+                    config.window_size,
+                    config.window_overlap,
+                );
+                let mut story_groups = Vec::new();
+                for (w_idx, w) in windows.iter().enumerate() {
+                    let members: Vec<&(String, ConceptId, f64, usize, f64, f64)> =
+                        sd.entities.iter().filter(|e| w.contains(e.3)).collect();
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let context = RelevanceModel::context_of(w.of(&sd.text));
+                    let items: Vec<Item> = members
+                        .iter()
+                        .map(|&&(ref surface, cid, gt, _, pos, baseline)| {
+                            let mut relevance = [0.0; 3];
+                            let mut relevance_raw = [0.0; 3];
+                            for (i, model) in relevance_models.iter().enumerate() {
+                                relevance_raw[i] = model.score(surface, &context);
+                                relevance[i] = relevance_raw[i].ln_1p();
+                            }
+                            Item {
+                                surface: surface.clone(),
+                                concept: cid,
+                                ctr: ctr_of.get(&cid).copied().unwrap_or(0.0),
+                                baseline_score: baseline,
+                                interest: interest_cache[surface].clone(),
+                                relevance,
+                                relevance_raw,
+                                position_frac: pos,
+                                gt_relevance: gt,
+                            }
+                        })
+                        .collect();
+                    story_groups.push(WindowGroup {
+                        story: sd.story,
+                        window: w_idx,
+                        items,
+                    });
                 }
-                let context = RelevanceModel::context_of(w.of(&sd.text));
-                let items: Vec<Item> = members
-                    .iter()
-                    .map(|&&(ref surface, cid, gt, _, pos, baseline)| {
-                        let mut relevance = [0.0; 3];
-                        let mut relevance_raw = [0.0; 3];
-                        for (i, model) in relevance_models.iter().enumerate() {
-                            relevance_raw[i] = model.score(surface, &context);
-                            relevance[i] = relevance_raw[i].ln_1p();
-                        }
-                        Item {
-                            surface: surface.clone(),
-                            concept: cid,
-                            ctr: ctr_of.get(&cid).copied().unwrap_or(0.0),
-                            baseline_score: baseline,
-                            interest: interest_cache[surface].clone(),
-                            relevance,
-                            relevance_raw,
-                            position_frac: pos,
-                            gt_relevance: gt,
-                        }
-                    })
-                    .collect();
-                stats.concept_instances += items.len();
-                groups.push(WindowGroup {
-                    story: sd.story,
-                    window: w_idx,
-                    items,
-                });
+                story_groups
+            });
+        for ((_, clicks), story_groups) in kept.iter().zip(per_story_groups) {
+            stats.total_clicks += clicks.total_clicks();
+            for g in story_groups {
+                stats.concept_instances += g.items.len();
+                groups.push(g);
             }
         }
         stats.windows = groups.len();

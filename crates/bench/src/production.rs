@@ -3,9 +3,7 @@
 use crate::experiment::Experiment;
 use crate::rankers::FeatureSet;
 use ctxrank_features::MiningResource;
-use ctxrank_framework::{
-    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, RuntimeRanker,
-};
+use ctxrank_framework::{GlobalTidTable, PackedInterestStore, PackedRelevanceStore, RuntimeRanker};
 use ctxrank_ltr::{train, RankGroup, SvmConfig};
 
 /// Train the combined linear model on the full click dataset and freeze
@@ -22,8 +20,7 @@ pub fn build_runtime_ranker(exp: &Experiment) -> RuntimeRanker {
     // Packed relevance store over the snippet-mined keywords (the
     // resource the production system uses, §V-A.6).
     let mut tids = GlobalTidTable::new();
-    let snippets =
-        &exp.relevance_models[crate::dataset::resource_index(MiningResource::Snippets)];
+    let snippets = &exp.relevance_models[crate::dataset::resource_index(MiningResource::Snippets)];
     let keyword_sets: Vec<(&str, &ctxrank_features::RelevantTerms)> = exp
         .interest_raw
         .keys()
@@ -103,9 +100,6 @@ mod tests {
             }
         }
         // Far better than the ~1/n chance level.
-        assert!(
-            agree * 3 > total,
-            "top-1 agreement {agree}/{total} too low"
-        );
+        assert!(agree * 3 > total, "top-1 agreement {agree}/{total} too low");
     }
 }

@@ -114,29 +114,27 @@ pub fn evaluate_learned(
     // merge the accumulators afterwards (results are identical to the
     // sequential order because the metrics are commutative sums).
     let folds = dataset.story_folds(k_folds, fold_seed);
-    let fold_results: Vec<(ErrorRateAccumulator, NdcgAccumulator)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = folds
-                .iter()
-                .map(|(train_groups, test_groups)| {
-                    scope.spawn(move |_| {
-                        run_fold(
-                            dataset,
-                            feature_set,
-                            svm,
-                            train_groups,
-                            test_groups,
-                            tiebreak_relevance,
-                        )
-                    })
+    let fold_results: Vec<(ErrorRateAccumulator, NdcgAccumulator)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = folds
+            .iter()
+            .map(|(train_groups, test_groups)| {
+                scope.spawn(move || {
+                    run_fold(
+                        dataset,
+                        feature_set,
+                        svm,
+                        train_groups,
+                        test_groups,
+                        tiebreak_relevance,
+                    )
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fold worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold worker panicked"))
+            .collect()
+    });
 
     let mut err = ErrorRateAccumulator::new();
     let mut ndcg = NdcgAccumulator::new(&[1, 2, 3]);
@@ -357,7 +355,11 @@ mod tests {
             "learned WER {}",
             learned.weighted_error
         );
-        assert!((random.weighted_error - 0.5).abs() < 0.15, "random WER {}", random.weighted_error);
+        assert!(
+            (random.weighted_error - 0.5).abs() < 0.15,
+            "random WER {}",
+            random.weighted_error
+        );
         assert!(learned.ndcg[0] > random.ndcg[0]);
     }
 

@@ -1,0 +1,42 @@
+//! The parallel `Experiment::build` must be indistinguishable from the
+//! sequential reference build: same dataset, same stats, same metrics.
+
+use ctxrank_bench::{evaluate_fixed, Experiment, ExperimentConfig};
+
+#[test]
+fn parallel_build_is_identical_to_serial() {
+    let serial = Experiment::build_serial(ExperimentConfig::small(11));
+    let parallel = Experiment::build_with_threads(ExperimentConfig::small(11), 4);
+
+    assert_eq!(
+        serial.stats.stories_generated,
+        parallel.stats.stories_generated
+    );
+    assert_eq!(serial.stats.stories_kept, parallel.stats.stories_kept);
+    assert_eq!(serial.stats.windows, parallel.stats.windows);
+    assert_eq!(
+        serial.stats.concept_instances,
+        parallel.stats.concept_instances
+    );
+    assert_eq!(serial.stats.total_clicks, parallel.stats.total_clicks);
+
+    // Every group, item, feature vector and label — not just counts.
+    assert_eq!(serial.dataset.groups, parallel.dataset.groups);
+
+    // And a downstream metric computed from each dataset agrees exactly.
+    let a = evaluate_fixed(&serial.dataset, |i| i.baseline_score);
+    let b = evaluate_fixed(&parallel.dataset, |i| i.baseline_score);
+    assert_eq!(a.ndcg, b.ndcg);
+    assert_eq!(a.weighted_error, b.weighted_error);
+    assert_eq!(a.error, b.error);
+}
+
+#[test]
+fn default_build_matches_serial_under_env_override() {
+    // `build` picks its worker count from the environment/machine; it
+    // must still be the same experiment.
+    let serial = Experiment::build_serial(ExperimentConfig::small(12));
+    let auto = Experiment::build(ExperimentConfig::small(12));
+    assert_eq!(serial.dataset.groups, auto.dataset.groups);
+    assert_eq!(serial.stats.total_clicks, auto.stats.total_clicks);
+}

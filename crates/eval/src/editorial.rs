@@ -142,15 +142,30 @@ mod tests {
 
     #[test]
     fn ratio_edge_cases() {
-        let t = Tally { very: 5, somewhat: 0, not: 0, cant_tell: 0 };
+        let t = Tally {
+            very: 5,
+            somewhat: 0,
+            not: 0,
+            cant_tell: 0,
+        };
         assert!(t.very_to_somewhat_ratio().is_infinite());
     }
 
     #[test]
     fn combined_bad_fraction_averages_scales() {
         let cell = StudyCell {
-            interestingness: Tally { very: 0, somewhat: 0, not: 30, cant_tell: 0 },
-            relevance: Tally { very: 80, somewhat: 0, not: 20, cant_tell: 0 },
+            interestingness: Tally {
+                very: 0,
+                somewhat: 0,
+                not: 30,
+                cant_tell: 0,
+            },
+            relevance: Tally {
+                very: 80,
+                somewhat: 0,
+                not: 20,
+                cant_tell: 0,
+            },
         };
         // 100% not-interesting... wait: interestingness is 30/30 = 1.0,
         // relevance not = 20/100 = 0.2 → mean 0.6.
@@ -159,12 +174,25 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Tally { very: 1, somewhat: 2, not: 3, cant_tell: 0 };
-        a.merge(Tally { very: 10, somewhat: 20, not: 30, cant_tell: 1 });
+        let mut a = Tally {
+            very: 1,
+            somewhat: 2,
+            not: 3,
+            cant_tell: 0,
+        };
+        a.merge(Tally {
+            very: 10,
+            somewhat: 20,
+            not: 30,
+            cant_tell: 1,
+        });
         assert_eq!(a.very, 11);
         assert_eq!(a.total(), 67);
         let mut cell = StudyCell::default();
-        cell.merge(StudyCell { interestingness: a, relevance: a });
+        cell.merge(StudyCell {
+            interestingness: a,
+            relevance: a,
+        });
         assert_eq!(cell.interestingness.very, 11);
     }
 }

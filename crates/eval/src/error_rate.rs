@@ -42,11 +42,7 @@ impl PairStats {
     }
 }
 
-fn stats_with_weight(
-    scores: &[f64],
-    ctrs: &[f64],
-    weight: impl Fn(f64, f64) -> f64,
-) -> PairStats {
+fn stats_with_weight(scores: &[f64], ctrs: &[f64], weight: impl Fn(f64, f64) -> f64) -> PairStats {
     assert_eq!(scores.len(), ctrs.len(), "scores/ctrs length mismatch");
     let mut stats = PairStats::default();
     let n = scores.len();
@@ -140,8 +136,16 @@ mod tests {
         // The paper reports 2.22% for R1 and 22.22% for R2.
         let w1 = weighted_pair_stats(&R1, &CTRS);
         let w2 = weighted_pair_stats(&R2, &CTRS);
-        assert!((w1.rate() - 0.0222).abs() < 1e-3, "R1 weighted {}", w1.rate());
-        assert!((w2.rate() - 0.2222).abs() < 1e-3, "R2 weighted {}", w2.rate());
+        assert!(
+            (w1.rate() - 0.0222).abs() < 1e-3,
+            "R1 weighted {}",
+            w1.rate()
+        );
+        assert!(
+            (w2.rate() - 0.2222).abs() < 1e-3,
+            "R2 weighted {}",
+            w2.rate()
+        );
     }
 
     #[test]

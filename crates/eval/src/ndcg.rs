@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn buckets_are_percentile_ranks() {
-        let b = CtrBuckets::new(vec![0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]);
+        let b = CtrBuckets::new(vec![
+            0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10,
+        ]);
         assert_eq!(b.bucket(0.005), 0);
         assert_eq!(b.bucket(0.055), 500);
         assert_eq!(b.bucket(1.0), 1000);

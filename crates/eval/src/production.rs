@@ -92,7 +92,10 @@ mod tests {
         before.record(2_000_000, 20_000);
         let mut after = PeriodStats::new(15);
         // Scale weekly views to 47.5% and weekly clicks to 98%.
-        after.record((2_000_000.0 / 20.0 * 15.0 * 0.475) as u64, (20_000.0 / 20.0 * 15.0 * 0.98) as u64);
+        after.record(
+            (2_000_000.0 / 20.0 * 15.0 * 0.475) as u64,
+            (20_000.0 / 20.0 * 15.0 * 0.98) as u64,
+        );
         assert!((after.views_delta_pct(&before) + 52.5).abs() < 0.1);
         assert!((after.clicks_delta_pct(&before) + 2.0).abs() < 0.1);
         let ctr_up = after.ctr_delta_pct(&before);

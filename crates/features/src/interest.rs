@@ -96,9 +96,9 @@ impl InterestFeatures {
 /// crate stays decoupled from whichever store provides them (the
 /// synthetic encyclopedia in the experiments, a real dump in production).
 /// Injected lookup: concept terms → Wikipedia article word count.
-pub type WikiLookup<'a> = Box<dyn Fn(&[String]) -> u32 + 'a>;
+pub type WikiLookup<'a> = Box<dyn Fn(&[String]) -> u32 + Sync + 'a>;
 /// Injected lookup: concept terms → taxonomy major-type code (0 = none).
-pub type TypeLookup<'a> = Box<dyn Fn(&[String]) -> u8 + 'a>;
+pub type TypeLookup<'a> = Box<dyn Fn(&[String]) -> u8 + Sync + 'a>;
 
 pub struct FeatureExtractor<'a> {
     log: &'a QueryLog,
@@ -120,8 +120,8 @@ impl<'a> FeatureExtractor<'a> {
         log: &'a QueryLog,
         units: &'a UnitDictionary,
         corpus: &'a Index,
-        wiki_word_count: impl Fn(&[String]) -> u32 + 'a,
-        entity_type_code: impl Fn(&[String]) -> u8 + 'a,
+        wiki_word_count: impl Fn(&[String]) -> u32 + Sync + 'a,
+        entity_type_code: impl Fn(&[String]) -> u8 + Sync + 'a,
     ) -> Self {
         Self {
             log,
@@ -151,7 +151,8 @@ impl<'a> FeatureExtractor<'a> {
             number_of_chars: surface.chars().count() as u32,
             subconcepts: self
                 .units
-                .subunits_of(concept_terms, 2, SUBCONCEPT_MIN_SCORE) as u32,
+                .subunits_of(concept_terms, 2, SUBCONCEPT_MIN_SCORE)
+                as u32,
             high_level_type: (self.entity_type_code)(concept_terms),
             wiki_word_count: (self.wiki_word_count)(concept_terms),
         }
@@ -187,13 +188,7 @@ mod tests {
     #[test]
     fn all_nine_features_populated() {
         let (log, units, corpus) = setup();
-        let fx = FeatureExtractor::new(
-            &log,
-            &units,
-            &corpus,
-            |_| 842,
-            |_| 4,
-        );
+        let fx = FeatureExtractor::new(&log, &units, &corpus, |_| 842, |_| 4);
         let f = fx.interestingness(&t("global warming"));
         assert_eq!(f.freq_exact, 120);
         assert_eq!(f.freq_phrase_contained, 170);

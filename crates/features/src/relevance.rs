@@ -166,7 +166,9 @@ pub struct RelevanceModelBuilder<'a> {
 
 impl<'a> std::fmt::Debug for RelevanceModelBuilder<'a> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RelevanceModelBuilder").field("m", &self.m).finish_non_exhaustive()
+        f.debug_struct("RelevanceModelBuilder")
+            .field("m", &self.m)
+            .finish_non_exhaustive()
     }
 }
 
@@ -232,11 +234,13 @@ impl<'a> RelevanceModelBuilder<'a> {
     /// Snippets resource: top-100 phrase results, context windows, one
     /// bag of words, tf·idf over stems, top *m*.
     fn mine_snippets(&self, concept_terms: &[String]) -> RelevantTerms {
-        let snippets =
-            self.corpus
-                .phrase_snippets(concept_terms, SNIPPET_RESULTS, SNIPPET_CONTEXT);
-        let concept_stems: HashSet<String> =
-            concept_terms.iter().map(|t| ctxrank_text::stem(t)).collect();
+        let snippets = self
+            .corpus
+            .phrase_snippets(concept_terms, SNIPPET_RESULTS, SNIPPET_CONTEXT);
+        let concept_stems: HashSet<String> = concept_terms
+            .iter()
+            .map(|t| ctxrank_text::stem(t))
+            .collect();
         let mut tf: HashMap<String, usize> = HashMap::new();
         for snip in &snippets {
             for stem in ctxrank_text::stemmed_terms(snip) {
@@ -285,8 +289,10 @@ impl<'a> RelevanceModelBuilder<'a> {
             .suggest
             .phrase_suggestions(concept_terms, ctxrank_querylog::suggest::MAX_SUGGESTIONS);
         suggestions.retain(|s| s.freq >= self.min_suggestion_freq);
-        let concept_stems: HashSet<String> =
-            concept_terms.iter().map(|t| ctxrank_text::stem(t)).collect();
+        let concept_stems: HashSet<String> = concept_terms
+            .iter()
+            .map(|t| ctxrank_text::stem(t))
+            .collect();
         let mut log_freq_sum: HashMap<String, f64> = HashMap::new();
         for s in &suggestions {
             let mut seen = HashSet::new();

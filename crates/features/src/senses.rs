@@ -103,11 +103,9 @@ impl<'a> RelevanceModelBuilder<'a> {
         concept_terms: &[String],
         config: &SenseConfig,
     ) -> SenseClusters {
-        let snippets = self.corpus().phrase_snippets(
-            concept_terms,
-            SNIPPET_RESULTS,
-            SNIPPET_CONTEXT,
-        );
+        let snippets =
+            self.corpus()
+                .phrase_snippets(concept_terms, SNIPPET_RESULTS, SNIPPET_CONTEXT);
         let concept_stems: HashSet<String> = concept_terms
             .iter()
             .map(|t| ctxrank_text::stem(t))
@@ -225,8 +223,10 @@ mod tests {
         let log = QueryLog::new();
         let builder = RelevanceModelBuilder::new(&corpus, &log);
         let senses = builder.mine_snippet_senses(&t("jaguar"), &SenseConfig::default());
-        let animal_ctx = RelevanceModel::context_of("a jungle predator stalked its prey to the riverbank");
-        let car_ctx = RelevanceModel::context_of("the sedan's engine gives real luxury performance");
+        let animal_ctx =
+            RelevanceModel::context_of("a jungle predator stalked its prey to the riverbank");
+        let car_ctx =
+            RelevanceModel::context_of("the sedan's engine gives real luxury performance");
         assert!(senses.score_context(&animal_ctx) > 0.0);
         assert!(senses.score_context(&car_ctx) > 0.0);
         assert_ne!(senses.best_sense(&animal_ctx), senses.best_sense(&car_ctx));
@@ -237,10 +237,14 @@ mod tests {
         let mut b = IndexBuilder::new();
         // Dominant sense: 16 docs; minority sense: 4 docs.
         for i in 0..16 {
-            b.add_document(&format!("jaguar sedan engine luxury dealership performance {i}"));
+            b.add_document(&format!(
+                "jaguar sedan engine luxury dealership performance {i}"
+            ));
         }
         for i in 0..4 {
-            b.add_document(&format!("jaguar jungle prey habitat riverbank predator {i}"));
+            b.add_document(&format!(
+                "jaguar jungle prey habitat riverbank predator {i}"
+            ));
         }
         for i in 0..10 {
             b.add_document(&format!("filler economic bulletin entry {i}"));
@@ -269,7 +273,9 @@ mod tests {
     fn unambiguous_concept_single_sense() {
         let mut b = IndexBuilder::new();
         for i in 0..10 {
-            b.add_document(&format!("gravity bends light near massive stars physics {i}"));
+            b.add_document(&format!(
+                "gravity bends light near massive stars physics {i}"
+            ));
         }
         let corpus = b.build();
         let log = QueryLog::new();

@@ -1,8 +1,7 @@
 //! Property-based tests for the feature space.
 
 use ctxrank_features::{
-    FeatureExtractor, InterestFeatures, MiningResource, RelevanceModelBuilder, RelevantTerms,
-    SenseConfig,
+    FeatureExtractor, InterestFeatures, RelevanceModelBuilder, RelevantTerms, SenseConfig,
 };
 use ctxrank_index::IndexBuilder;
 use ctxrank_querylog::{extract_units, QueryLog, UnitConfig};
@@ -82,10 +81,8 @@ proptest! {
         let index = docs_to_index(&docs);
         let log = QueryLog::new();
         let builder = RelevanceModelBuilder::new(&index, &log);
-        let senses = builder.mine_snippet_senses(
-            &[concept.clone()],
-            &SenseConfig::default(),
-        );
+        let senses =
+            builder.mine_snippet_senses(std::slice::from_ref(&concept), &SenseConfig::default());
         let snippet_count = index.phrase_snippets(&[concept], 100, 12).len();
         let support_sum: usize = senses.support.iter().sum();
         prop_assert!(support_sum <= snippet_count);

@@ -109,10 +109,7 @@ impl CompressedRelevanceStore {
                 .enumerate()
                 .map(|(i, tid)| {
                     let q = unpack_score(&block.scores, i);
-                    (
-                        TermId(tid),
-                        q as f64 / MAX_QSCORE as f64 * self.score_scale,
-                    )
+                    (TermId(tid), q as f64 / MAX_QSCORE as f64 * self.score_scale)
                 })
                 .collect(),
         )
@@ -197,15 +194,11 @@ mod tests {
             })
             .collect();
         let mut tids1 = GlobalTidTable::new();
-        let compressed = CompressedRelevanceStore::build(
-            sets.iter().map(|(s, r)| (s.as_str(), r)),
-            &mut tids1,
-        );
+        let compressed =
+            CompressedRelevanceStore::build(sets.iter().map(|(s, r)| (s.as_str(), r)), &mut tids1);
         let mut tids2 = GlobalTidTable::new();
-        let packed = PackedRelevanceStore::build(
-            sets.iter().map(|(s, r)| (s.as_str(), r)),
-            &mut tids2,
-        );
+        let packed =
+            PackedRelevanceStore::build(sets.iter().map(|(s, r)| (s.as_str(), r)), &mut tids2);
         // Both builds intern the same terms in the same order.
         (compressed, packed, tids1)
     }

@@ -37,8 +37,8 @@ pub use compressed::CompressedRelevanceStore;
 pub use golomb::{golomb_decode, golomb_encode, optimal_rice_parameter};
 pub use memory::MemoryReport;
 pub use online::{OnlineConfig, OnlineCtrAdjuster};
-pub use persist::{load_ranker, save_ranker};
 pub use packed::{FieldQuantizer, PackedInterestStore};
+pub use persist::{load_ranker, save_ranker};
 pub use ranker::RuntimeRanker;
 pub use relstore::PackedRelevanceStore;
 pub use tid::{GlobalTidTable, TermId, MAX_TID};

@@ -82,8 +82,7 @@ impl MemoryReport {
     /// Extrapolate total bytes to `n` concepts, as the paper does for
     /// one million.
     pub fn extrapolate_bytes(&self, n: usize) -> u64 {
-        ((self.interest_bytes_per_concept() + self.relevance_bytes_per_concept()) * n as f64)
-            as u64
+        ((self.interest_bytes_per_concept() + self.relevance_bytes_per_concept()) * n as f64) as u64
     }
 }
 

@@ -173,7 +173,11 @@ mod tests {
     fn steady_traffic_no_adjustment() {
         let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
         feed(&mut adj, "steady", 50, 0.02);
-        assert!(adj.adjustment("steady").abs() < 0.05, "{}", adj.adjustment("steady"));
+        assert!(
+            adj.adjustment("steady").abs() < 0.05,
+            "{}",
+            adj.adjustment("steady")
+        );
     }
 
     #[test]
@@ -207,7 +211,10 @@ mod tests {
         // converges to 1).
         feed(&mut adj, "c", 200, 0.01);
         let later = adj.adjustment("c");
-        assert!(later.abs() < spike.abs() / 3.0, "spike {spike}, later {later}");
+        assert!(
+            later.abs() < spike.abs() / 3.0,
+            "spike {spike}, later {later}"
+        );
     }
 
     #[test]

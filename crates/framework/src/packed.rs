@@ -198,7 +198,7 @@ mod tests {
         let q = FieldQuantizer::fit(std::iter::empty());
         assert_eq!(q.quantize(3.0), 0);
         assert_eq!(q.dequantize(0), 0.0);
-        let constant = FieldQuantizer::fit([4.0, 4.0].into_iter());
+        let constant = FieldQuantizer::fit([4.0, 4.0]);
         assert_eq!(constant.quantize(4.0), 0);
         assert_eq!(constant.dequantize(0), 4.0);
     }

@@ -31,7 +31,10 @@ const MAGIC: u32 = 0x12DE_2009;
 pub fn save_ranker(ranker: &RuntimeRanker, dir: &Path) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("interest.bin"), encode_interest(&ranker.interest))?;
-    std::fs::write(dir.join("relevance.bin"), encode_relevance(&ranker.relevance))?;
+    std::fs::write(
+        dir.join("relevance.bin"),
+        encode_relevance(&ranker.relevance),
+    )?;
     std::fs::write(dir.join("tids.bin"), encode_tids(&ranker.tids))?;
     let model = serde_json::to_vec_pretty(&ranker.model)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -42,8 +45,7 @@ pub fn save_ranker(ranker: &RuntimeRanker, dir: &Path) -> io::Result<()> {
 /// Load a ranker previously written by [`save_ranker`].
 pub fn load_ranker(dir: &Path) -> io::Result<RuntimeRanker> {
     let interest = decode_interest(&mut Bytes::from(std::fs::read(dir.join("interest.bin"))?))?;
-    let relevance =
-        decode_relevance(&mut Bytes::from(std::fs::read(dir.join("relevance.bin"))?))?;
+    let relevance = decode_relevance(&mut Bytes::from(std::fs::read(dir.join("relevance.bin"))?))?;
     let tids = decode_tids(&mut Bytes::from(std::fs::read(dir.join("tids.bin"))?))?;
     let model: ctxrank_ltr::RankModel =
         serde_json::from_slice(&std::fs::read(dir.join("model.json"))?)
@@ -245,7 +247,9 @@ mod tests {
                 (
                     format!("concept {i}"),
                     RelevantTerms {
-                        terms: (0..8).map(|j| (format!("kw{}", i + j), 1.0 + j as f64)).collect(),
+                        terms: (0..8)
+                            .map(|j| (format!("kw{}", i + j), 1.0 + j as f64))
+                            .collect(),
                     },
                 )
             })
@@ -279,7 +283,12 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.surface, y.surface);
-            assert!((x.score - y.score).abs() < 1e-12, "{} vs {}", x.score, y.score);
+            assert!(
+                (x.score - y.score).abs() < 1e-12,
+                "{} vs {}",
+                x.score,
+                y.score
+            );
             assert!((x.relevance - y.relevance).abs() < 1e-12);
         }
         std::fs::remove_dir_all(&dir).ok();
@@ -302,7 +311,8 @@ mod tests {
     #[test]
     fn truncated_file_rejected() {
         let ranker = sample_ranker();
-        let dir = std::env::temp_dir().join(format!("ctxrank_persist_trunc_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ctxrank_persist_trunc_{}", std::process::id()));
         save_ranker(&ranker, &dir).expect("save");
         let path = dir.join("interest.bin");
         let bytes = std::fs::read(&path).expect("read");

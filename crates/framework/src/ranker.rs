@@ -9,8 +9,14 @@
 
 use crate::packed::PackedInterestStore;
 use crate::relstore::PackedRelevanceStore;
-use crate::tid::GlobalTidTable;
+use crate::tid::{GlobalTidTable, TermId};
 use ctxrank_ltr::RankModel;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+
+/// Cap on distinct memoized tokens; beyond this the cache stops
+/// admitting new entries (news vocabulary saturates well below it).
+const STEM_CACHE_CAP: usize = 1 << 16;
 
 /// One ranked candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +34,12 @@ pub struct RuntimeRanker {
     pub relevance: PackedRelevanceStore,
     pub tids: GlobalTidTable,
     pub model: RankModel,
+    /// Memoized raw token → interned TermId (`None` when the token
+    /// normalizes to nothing, is a stop word, or is absent from the TID
+    /// table). Keyed on the *unnormalized* token text so a cache hit
+    /// skips normalization, Porter stemming, and the intern-table probe
+    /// entirely. Rebuilt empty on [`crate::persist::load_ranker`].
+    stem_cache: RwLock<HashMap<Box<str>, Option<TermId>>>,
 }
 
 impl std::fmt::Debug for RuntimeRanker {
@@ -59,6 +71,7 @@ impl RuntimeRanker {
             relevance,
             tids,
             model,
+            stem_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -67,16 +80,65 @@ impl RuntimeRanker {
         ctxrank_text::stemmed_terms(text)
     }
 
+    /// Resolve a raw (unnormalized) token to its interned TermId; the
+    /// slow path behind the memo cache.
+    fn resolve_token(&self, raw: &str) -> Option<TermId> {
+        let norm = ctxrank_text::normalize_term(raw);
+        if norm.is_empty() || ctxrank_text::is_stopword(&norm) {
+            return None;
+        }
+        self.tids.get(&ctxrank_text::stem(&norm))
+    }
+
+    /// The document's context TID set, resolving tokens through the
+    /// shared stem cache: a hit turns "allocate + normalize + stem +
+    /// intern probe" into a single hash lookup on the borrowed token.
+    pub fn context_tids_cached(&self, text: &str) -> HashSet<TermId> {
+        let mut context = HashSet::new();
+        let mut misses: Vec<(Box<str>, Option<TermId>)> = Vec::new();
+        {
+            let cache = self.stem_cache.read();
+            for tok in ctxrank_text::tokenize(text) {
+                match cache.get(tok.text) {
+                    Some(&tid) => {
+                        if let Some(tid) = tid {
+                            context.insert(tid);
+                        }
+                    }
+                    None => {
+                        let tid = self.resolve_token(tok.text);
+                        if let Some(tid) = tid {
+                            context.insert(tid);
+                        }
+                        misses.push((tok.text.into(), tid));
+                    }
+                }
+            }
+        }
+        if !misses.is_empty() {
+            let mut cache = self.stem_cache.write();
+            if cache.len() < STEM_CACHE_CAP {
+                cache.extend(misses);
+            }
+        }
+        context
+    }
+
     /// Rank `candidates` (concept surfaces detected in `text`) for the
     /// document. Returns candidates sorted by score, relevance breaking
     /// ties; candidates missing from the stores still participate with
     /// zeroed features.
     pub fn rank(&self, text: &str, candidates: &[String]) -> Vec<RankedConcept> {
-        let stemmed = self.stem_document(text);
-        let context = self
-            .tids
-            .context_tids(stemmed.iter().map(String::as_str));
+        let context = self.context_tids_cached(text);
+        self.rank_in_context(&context, candidates)
+    }
 
+    /// Rank against an already-resolved context TID set.
+    fn rank_in_context(
+        &self,
+        context: &HashSet<TermId>,
+        candidates: &[String],
+    ) -> Vec<RankedConcept> {
         let mut out: Vec<RankedConcept> = candidates
             .iter()
             .map(|surface| {
@@ -84,7 +146,7 @@ impl RuntimeRanker {
                     .interest
                     .dense(surface)
                     .unwrap_or_else(|| vec![0.0; ctxrank_features::InterestFeatures::DIM]);
-                let rel = self.relevance.score(surface, &context);
+                let rel = self.relevance.score(surface, context);
                 features.push(rel.ln_1p());
                 RankedConcept {
                     surface: surface.clone(),
@@ -105,6 +167,26 @@ impl RuntimeRanker {
                 .then_with(|| a.surface.cmp(&b.surface))
         });
         out
+    }
+
+    /// Rank a batch of documents, fanning them across worker threads
+    /// ([`ctxrank_parallel::num_threads`]; `CTXRANK_THREADS` overrides).
+    /// Output `i` is exactly `self.rank(docs[i].0, docs[i].1)` — the
+    /// batch shares the stem cache but order never depends on
+    /// scheduling.
+    pub fn rank_batch(&self, docs: &[(&str, &[String])]) -> Vec<Vec<RankedConcept>> {
+        self.rank_batch_with_threads(docs, ctxrank_parallel::num_threads())
+    }
+
+    /// [`RuntimeRanker::rank_batch`] with an explicit worker count.
+    pub fn rank_batch_with_threads(
+        &self,
+        docs: &[(&str, &[String])],
+        threads: usize,
+    ) -> Vec<Vec<RankedConcept>> {
+        ctxrank_parallel::par_map(threads, docs, |(text, candidates)| {
+            self.rank(text, candidates)
+        })
     }
 
     /// Take the top `n` after ranking.
@@ -166,10 +248,7 @@ mod tests {
             terms: vec![(ctxrank_text::stem("garage"), 0.8)],
         };
         let relevance = PackedRelevanceStore::build(
-            vec![
-                ("solar flares", &hot_kw),
-                ("random stuff", &cold_kw),
-            ],
+            vec![("solar flares", &hot_kw), ("random stuff", &cold_kw)],
             &mut tids,
         );
 
@@ -220,10 +299,7 @@ mod tests {
     #[test]
     fn relevance_reflects_context() {
         let ranker = build_ranker();
-        let on = ranker.rank(
-            "telescope radiation sunspot",
-            &["solar flares".to_string()],
-        );
+        let on = ranker.rank("telescope radiation sunspot", &["solar flares".to_string()]);
         let off = ranker.rank("stock market rally", &["solar flares".to_string()]);
         assert!(on[0].relevance > off[0].relevance);
     }
@@ -258,9 +334,46 @@ mod tests {
     }
 
     #[test]
+    fn cached_context_matches_uncached() {
+        let ranker = build_ranker();
+        let text = "The telescope observed radiation; telescope readings repeat, repeat.";
+        let expected = ranker
+            .tids
+            .context_tids(ranker.stem_document(text).iter().map(String::as_str));
+        // Cold cache, then warm cache: both must equal the uncached path.
+        assert_eq!(ranker.context_tids_cached(text), expected);
+        assert_eq!(ranker.context_tids_cached(text), expected);
+    }
+
+    #[test]
+    fn rank_batch_matches_per_doc_rank() {
+        let ranker = build_ranker();
+        let cands = vec!["solar flares".to_string(), "random stuff".to_string()];
+        let texts = [
+            "the telescope captured radiation from a sunspot region",
+            "stock market rally",
+            "garage sale near the telescope shop",
+        ];
+        let docs: Vec<(&str, &[String])> = texts.iter().map(|t| (*t, cands.as_slice())).collect();
+        for threads in [1, 4] {
+            let batch = ranker.rank_batch_with_threads(&docs, threads);
+            assert_eq!(batch.len(), docs.len());
+            for ((text, cands), ranked) in docs.iter().zip(&batch) {
+                assert_eq!(ranked, &ranker.rank(text, cands), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
     fn stemmer_component_runs() {
         let ranker = build_ranker();
         let stems = ranker.stem_document("The telescopes were observing.");
-        assert_eq!(stems, vec![ctxrank_text::stem("telescopes"), ctxrank_text::stem("observing")]);
+        assert_eq!(
+            stems,
+            vec![
+                ctxrank_text::stem("telescopes"),
+                ctxrank_text::stem("observing")
+            ]
+        );
     }
 }

@@ -165,10 +165,8 @@ mod tests {
         let mut tids = GlobalTidTable::new();
         let a = rt(&[("sunspot", 8.0), ("telescop", 6.0), ("radiat", 4.0)]);
         let b = rt(&[("market", 5.0), ("stock", 3.0)]);
-        let store = PackedRelevanceStore::build(
-            vec![("solar flares", &a), ("wall street", &b)],
-            &mut tids,
-        );
+        let store =
+            PackedRelevanceStore::build(vec![("solar flares", &a), ("wall street", &b)], &mut tids);
         (store, tids)
     }
 

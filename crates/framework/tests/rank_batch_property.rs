@@ -1,0 +1,99 @@
+//! Property: `rank_batch` is exactly per-document `rank`, for arbitrary
+//! documents and candidate sets, at any thread count.
+
+use ctxrank_features::{InterestFeatures, RelevantTerms};
+use ctxrank_framework::{GlobalTidTable, PackedInterestStore, PackedRelevanceStore, RuntimeRanker};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared ranker across all cases (training the model is the
+/// expensive part; the property is about the batching layer).
+fn ranker() -> &'static RuntimeRanker {
+    static RANKER: OnceLock<RuntimeRanker> = OnceLock::new();
+    RANKER.get_or_init(|| {
+        let feats = |freq: u64| InterestFeatures {
+            freq_exact: freq,
+            freq_phrase_contained: freq + 100,
+            unit_score: 0.5,
+            searchengine_phrase: 200,
+            concept_size: 2,
+            number_of_chars: 12,
+            subconcepts: 0,
+            high_level_type: 4,
+            wiki_word_count: 500,
+        };
+        let interest = PackedInterestStore::build(&[
+            ("solar flares".to_string(), feats(1000)),
+            ("random stuff".to_string(), feats(5)),
+        ]);
+
+        let mut tids = GlobalTidTable::new();
+        let hot_kw = RelevantTerms {
+            terms: vec![
+                (ctxrank_text::stem("sunspot"), 9.0),
+                (ctxrank_text::stem("telescope"), 6.0),
+            ],
+        };
+        let cold_kw = RelevantTerms {
+            terms: vec![(ctxrank_text::stem("garage"), 0.8)],
+        };
+        let relevance = PackedRelevanceStore::build(
+            vec![("solar flares", &hot_kw), ("random stuff", &cold_kw)],
+            &mut tids,
+        );
+
+        let groups: Vec<RankGroup> = (0..10)
+            .map(|i| {
+                let base = i as f64 * 0.01;
+                RankGroup::from_pairs(vec![
+                    (
+                        {
+                            let mut f = vec![0.0; 10];
+                            f[0] = 5.0 + base;
+                            f[9] = 1.0;
+                            f
+                        },
+                        0.10,
+                    ),
+                    (
+                        {
+                            let mut f = vec![0.0; 10];
+                            f[0] = 1.0;
+                            f[9] = 0.1;
+                            f
+                        },
+                        0.01,
+                    ),
+                ])
+            })
+            .collect();
+        let model = train(&groups, &SvmConfig::default());
+        RuntimeRanker::new(interest, relevance, tids, model)
+    })
+}
+
+proptest! {
+    #[test]
+    fn rank_batch_equals_per_document_rank(
+        docs in prop::collection::vec("\\PC{0,120}", 0..6),
+        extra in prop::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,2}", 0..4),
+        threads in 1usize..5,
+    ) {
+        let r = ranker();
+        // Mix store-known surfaces with arbitrary (usually unknown) ones.
+        let mut candidates = extra;
+        candidates.push("solar flares".to_string());
+        candidates.push("random stuff".to_string());
+
+        let doc_refs: Vec<(&str, &[String])> = docs
+            .iter()
+            .map(|d| (d.as_str(), candidates.as_slice()))
+            .collect();
+        let batch = r.rank_batch_with_threads(&doc_refs, threads);
+        prop_assert_eq!(batch.len(), docs.len());
+        for ((text, cands), ranked) in doc_refs.iter().zip(&batch) {
+            prop_assert_eq!(ranked, &r.rank(text, cands));
+        }
+    }
+}

@@ -20,7 +20,8 @@ impl Index {
     /// term, ranked by summed tf·idf, top `k` returned. Ties are broken by
     /// document id for determinism.
     pub fn search(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
-        let mut scores: std::collections::HashMap<DocId, (f64, u32)> = std::collections::HashMap::new();
+        let mut scores: std::collections::HashMap<DocId, (f64, u32)> =
+            std::collections::HashMap::new();
         for term in terms {
             let idf = self.idf(term);
             if let Some(postings) = self.postings(term) {
@@ -227,10 +228,7 @@ mod tests {
 
     #[test]
     fn phrase_search_scores_by_frequency() {
-        let idx = build(&[
-            "new york new york so nice",
-            "new york once",
-        ]);
+        let idx = build(&["new york new york so nice", "new york once"]);
         let hits = idx.phrase_search(&terms("new york"), 10);
         assert_eq!(hits.len(), 2);
         assert_eq!(hits[0].doc.0, 0);

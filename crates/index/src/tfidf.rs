@@ -110,12 +110,12 @@ impl TermVector {
     /// The `k` highest-weighted entries, descending by weight (ties broken
     /// by term for determinism).
     pub fn top_k(&self, k: usize) -> Vec<(String, f64)> {
-        let mut v: Vec<_> = self
-            .weights
-            .iter()
-            .map(|(t, &w)| (t.clone(), w))
-            .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut v: Vec<_> = self.weights.iter().map(|(t, &w)| (t.clone(), w)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         v.truncate(k);
         v
     }

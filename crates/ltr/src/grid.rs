@@ -175,7 +175,7 @@ mod tests {
             "cv error {}",
             out.cv_weighted_error
         );
-        assert_eq!(out.trials.len(), 3 * 1 * 2);
+        assert_eq!(out.trials.len(), 3 * 2);
         // Every trial's error is a valid rate.
         for (_, e) in &out.trials {
             assert!((0.0..=1.0).contains(e));

@@ -27,7 +27,10 @@ impl RffMap {
     /// Draw a map for inputs of dimension `input_dim`, output dimension
     /// `output_dim`, bandwidth `gamma`.
     pub fn new(seed: u64, input_dim: usize, output_dim: usize, gamma: f64) -> Self {
-        assert!(input_dim > 0 && output_dim > 0, "dimensions must be positive");
+        assert!(
+            input_dim > 0 && output_dim > 0,
+            "dimensions must be positive"
+        );
         assert!(gamma > 0.0, "gamma must be positive");
         let mut r = StdRng::seed_from_u64(seed ^ 0x8ff);
         let sd = (2.0 * gamma).sqrt();

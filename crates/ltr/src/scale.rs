@@ -21,7 +21,9 @@ impl Scaler {
     /// Panics if `rows` is empty or rows have inconsistent lengths.
     pub fn fit<'a>(rows: impl IntoIterator<Item = &'a [f64]>) -> Self {
         let mut rows_iter = rows.into_iter();
-        let first = rows_iter.next().expect("Scaler::fit needs at least one row");
+        let first = rows_iter
+            .next()
+            .expect("Scaler::fit needs at least one row");
         let dim = first.len();
         let mut n = 1.0;
         let mut mean = first.to_vec();

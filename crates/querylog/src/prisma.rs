@@ -53,7 +53,9 @@ impl<'a> Prisma<'a> {
         // Initial retrieval plus pseudo-feedback expansion rounds: the
         // top terms of each round are re-issued as a query and the newly
         // retrieved documents join the feedback pool.
-        let mut hits = self.index.search(query_terms, top_docs / (1 + self.expansion_rounds));
+        let mut hits = self
+            .index
+            .search(query_terms, top_docs / (1 + self.expansion_rounds));
         for _ in 0..self.expansion_rounds {
             // Drift mechanism: expansion picks the most *frequent* terms
             // of the current pool (tf, no idf) — the classic PRF failure
@@ -61,21 +63,20 @@ impl<'a> Prisma<'a> {
             let mut tf: HashMap<&str, usize> = HashMap::new();
             for hit in &hits {
                 for term in &self.index.doc(hit.doc).terms {
-                    if !ctxrank_text::is_stopword(term)
-                        && !query_terms.iter().any(|q| q == term)
-                    {
+                    if !ctxrank_text::is_stopword(term) && !query_terms.iter().any(|q| q == term) {
                         *tf.entry(term.as_str()).or_insert(0) += 1;
                     }
                 }
             }
             let mut by_tf: Vec<(&str, usize)> = tf.into_iter().collect();
             by_tf.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-            let expansion: Vec<String> =
-                by_tf.iter().take(5).map(|(t, _)| t.to_string()).collect();
+            let expansion: Vec<String> = by_tf.iter().take(5).map(|(t, _)| t.to_string()).collect();
             if expansion.is_empty() {
                 break;
             }
-            let mut more = self.index.search(&expansion, top_docs / (1 + self.expansion_rounds));
+            let mut more = self
+                .index
+                .search(&expansion, top_docs / (1 + self.expansion_rounds));
             more.retain(|m| hits.iter().all(|h| h.doc != m.doc));
             // The tool cannot tell drifted results from on-query ones:
             // both pools interleave in its final ranking.
@@ -173,7 +174,10 @@ mod tests {
         let prisma = Prisma::new(&idx);
         let fb = prisma.feedback_terms(&t("hurricane"), 50, 20);
         let terms: Vec<&str> = fb.iter().map(|(t, _)| t.as_str()).collect();
-        assert!(terms.contains(&"levees") || terms.contains(&"flooding"), "{terms:?}");
+        assert!(
+            terms.contains(&"levees") || terms.contains(&"flooding"),
+            "{terms:?}"
+        );
         // Off-topic vocabulary must not surface.
         assert!(!terms.contains(&"earnings"));
     }

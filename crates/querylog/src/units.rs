@@ -169,9 +169,7 @@ pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
                 let left = q.terms[start..start + current_len].join(" ");
                 let right = &q.terms[start + current_len];
                 if dict.get_key(&left).is_some() && dict.get_key(right).is_some() {
-                    *pair_freq
-                        .entry((left.clone(), right.clone()))
-                        .or_insert(0) += q.freq;
+                    *pair_freq.entry((left.clone(), right.clone())).or_insert(0) += q.freq;
                 }
             }
         }
@@ -216,11 +214,7 @@ pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
 /// observed; single-term units by log-frequency relative to the maximum
 /// log-frequency (a frequency proxy, since MI is undefined for one term).
 fn normalize_scores(dict: &mut UnitDictionary, config: &UnitConfig) {
-    let max_mi = dict
-        .units
-        .values()
-        .map(|u| u.mi)
-        .fold(0.0_f64, f64::max);
+    let max_mi = dict.units.values().map(|u| u.mi).fold(0.0_f64, f64::max);
     let max_logfreq = dict
         .units
         .values()

@@ -4,10 +4,7 @@ use ctxrank_querylog::{extract_units, QueryLog, SuggestionService, UnitConfig};
 use proptest::prelude::*;
 
 fn log_strategy() -> impl Strategy<Value = Vec<(Vec<String>, u64)>> {
-    prop::collection::vec(
-        (prop::collection::vec("[a-d]{1,3}", 1..5), 1u64..50),
-        0..40,
-    )
+    prop::collection::vec((prop::collection::vec("[a-d]{1,3}", 1..5), 1u64..50), 0..40)
 }
 
 proptest! {

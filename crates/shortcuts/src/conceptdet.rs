@@ -116,7 +116,10 @@ mod tests {
         let u = units();
         let det = ConceptDetector::new(&u);
         let found = det.detect(&t("scientists say global warming accelerates"));
-        assert!(found.iter().any(|m| m.surface == "global warming"), "{found:?}");
+        assert!(
+            found.iter().any(|m| m.surface == "global warming"),
+            "{found:?}"
+        );
     }
 
     #[test]
@@ -149,7 +152,9 @@ mod tests {
         let det = ConceptDetector::new(&u);
         let found = det.detect(&t("the and of global warming"));
         for m in &found {
-            assert!(!ctxrank_text::is_stopword(m.surface.split(' ').next().expect("term")));
+            assert!(!ctxrank_text::is_stopword(
+                m.surface.split(' ').next().expect("term")
+            ));
         }
     }
 

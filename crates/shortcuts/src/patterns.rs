@@ -168,9 +168,9 @@ fn find_phones(text: &str, out: &mut Vec<PatternMatch>) {
                     // "(555) 123-4567").
                     let next_ok = match bytes.get(j + 1) {
                         Some(&n) if n.is_ascii_digit() || n == b')' => true,
-                        Some(b'-' | b'.' | b' ' | b'(') => bytes
-                            .get(j + 2)
-                            .is_some_and(|&m| m.is_ascii_digit()),
+                        Some(b'-' | b'.' | b' ' | b'(') => {
+                            bytes.get(j + 2).is_some_and(|&m| m.is_ascii_digit())
+                        }
                         _ => false,
                     };
                     if !next_ok {
@@ -216,7 +216,10 @@ mod tests {
     #[test]
     fn detects_email() {
         let found = kinds("contact uirmak@yahoo-inc.com for details");
-        assert_eq!(found, vec![(PatternType::Email, "uirmak@yahoo-inc.com".into())]);
+        assert_eq!(
+            found,
+            vec![(PatternType::Email, "uirmak@yahoo-inc.com".into())]
+        );
     }
 
     #[test]
@@ -235,7 +238,10 @@ mod tests {
     fn detects_http_and_www_urls() {
         let found = kinds("see http://news.yahoo.com/story?id=1 or www.example.com today");
         assert_eq!(found.len(), 2);
-        assert_eq!(found[0], (PatternType::Url, "http://news.yahoo.com/story?id=1".into()));
+        assert_eq!(
+            found[0],
+            (PatternType::Url, "http://news.yahoo.com/story?id=1".into())
+        );
         assert_eq!(found[1], (PatternType::Url, "www.example.com".into()));
     }
 

@@ -102,13 +102,16 @@ impl Default for PipelineConfig {
 pub struct Pipeline<'a> {
     dictionary: &'a EntityDictionary,
     units: &'a UnitDictionary,
-    idf: Box<dyn Fn(&str) -> f64 + 'a>,
+    /// `Sync` so one pipeline can annotate stories from worker threads.
+    idf: Box<dyn Fn(&str) -> f64 + Sync + 'a>,
     config: PipelineConfig,
 }
 
 impl<'a> std::fmt::Debug for Pipeline<'a> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Pipeline").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("Pipeline")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -117,7 +120,7 @@ impl<'a> Pipeline<'a> {
     pub fn new(
         dictionary: &'a EntityDictionary,
         units: &'a UnitDictionary,
-        idf: impl Fn(&str) -> f64 + 'a,
+        idf: impl Fn(&str) -> f64 + Sync + 'a,
         config: PipelineConfig,
     ) -> Self {
         Self {
@@ -151,7 +154,10 @@ impl<'a> Pipeline<'a> {
             })
             .collect();
         let same_sentence = |start: usize, len: usize| -> bool {
-            len <= 1 || sentence_of[start..start + len].windows(2).all(|w| w[0] == w[1])
+            len <= 1
+                || sentence_of[start..start + len]
+                    .windows(2)
+                    .all(|w| w[0] == w[1])
         };
         let doc_len = text.len().max(1) as f64;
 
@@ -230,11 +236,12 @@ impl<'a> Pipeline<'a> {
         // Scoring: attach the §II-B concept-vector score to rankable
         // annotations (deduplicated by surface — the vector is per
         // document, not per occurrence).
-        let builder =
-            ConceptVectorBuilder::new(self.units, &self.idf, self.config.vector.clone());
+        let builder = ConceptVectorBuilder::new(self.units, &self.idf, self.config.vector.clone());
         let vector = builder.build_from_tokens(&norm);
-        let scores: HashMap<&str, f64> =
-            vector.iter().map(|c| (c.surface.as_str(), c.score)).collect();
+        let scores: HashMap<&str, f64> = vector
+            .iter()
+            .map(|c| (c.surface.as_str(), c.score))
+            .collect();
         for a in &mut kept {
             if !a.kind.is_pattern() {
                 a.score = scores.get(a.surface.as_str()).copied().unwrap_or(0.0);
@@ -408,9 +415,17 @@ mod tests {
         let (dict, units) = knowledge();
         let p = Pipeline::new(&dict, &units, idf, PipelineConfig::default());
         let doc = p.process("Cuba announced reforms.");
-        let cuba = doc.annotations.iter().find(|a| a.surface == "cuba").expect("cuba");
+        let cuba = doc
+            .annotations
+            .iter()
+            .find(|a| a.surface == "cuba")
+            .expect("cuba");
         match &cuba.kind {
-            DetectionKind::Entity { type_code, subtype, geo } => {
+            DetectionKind::Entity {
+                type_code,
+                subtype,
+                geo,
+            } => {
                 assert_eq!(*type_code, 2);
                 assert_eq!(subtype, "country");
                 assert_eq!(*geo, Some((21.5, -77.8)));

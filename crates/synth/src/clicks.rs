@@ -94,9 +94,7 @@ impl StoryClicks {
     /// The paper's §V-A.1 noise filter: at least 30 sampled views, more
     /// than one concept, and some concept with more than three clicks.
     pub fn passes_paper_filter(&self) -> bool {
-        self.views >= 30
-            && self.records.len() > 1
-            && self.records.iter().any(|r| r.clicks > 3)
+        self.views >= 30 && self.records.len() > 1 && self.records.iter().any(|r| r.clicks > 3)
     }
 
     /// Total clicks across all records.
@@ -131,8 +129,8 @@ pub fn simulate_story(
             let rel_factor = config.relevance_floor + (1.0 - config.relevance_floor) * relevance;
             let pos_factor = 1.0 - config.position_bias * position_frac.clamp(0.0, 1.0);
             let noise = rng::log_normal(&mut r, 0.0, config.noise_sigma);
-            let true_ctr = (config.max_ctr * interest * rel_factor * pos_factor * noise)
-                .clamp(0.0, 0.5);
+            let true_ctr =
+                (config.max_ctr * interest * rel_factor * pos_factor * noise).clamp(0.0, 0.5);
             let clicks = rng::binomial(&mut r, views, true_ctr);
             ClickRecord {
                 concept: cid,
@@ -171,7 +169,11 @@ mod tests {
 
     fn hot_and_cold(uni: &ConceptUniverse) -> (ConceptId, ConceptId) {
         let mut sorted: Vec<_> = uni.all().iter().filter(|c| !c.is_junk()).collect();
-        sorted.sort_by(|a, b| b.interestingness.partial_cmp(&a.interestingness).expect("finite"));
+        sorted.sort_by(|a, b| {
+            b.interestingness
+                .partial_cmp(&a.interestingness)
+                .expect("finite")
+        });
         (sorted[0].id, sorted.last().expect("nonempty").id)
     }
 
@@ -184,13 +186,7 @@ mod tests {
         let mut cold_clicks = 0u64;
         let mut views = 0u64;
         for story in 0..300 {
-            let sc = simulate_story(
-                1,
-                story,
-                &uni,
-                &[(hot, 1.0, 0.1), (cold, 1.0, 0.1)],
-                &cfg,
-            );
+            let sc = simulate_story(1, story, &uni, &[(hot, 1.0, 0.1), (cold, 1.0, 0.1)], &cfg);
             hot_clicks += sc.records[0].clicks;
             cold_clicks += sc.records[1].clicks;
             views += sc.views;
@@ -254,13 +250,26 @@ mod tests {
             story: 0,
             views: 100,
             records: vec![
-                ClickRecord { concept: ConceptId(0), position_frac: 0.0, clicks: 5, true_ctr: 0.05 },
-                ClickRecord { concept: ConceptId(1), position_frac: 0.5, clicks: 0, true_ctr: 0.01 },
+                ClickRecord {
+                    concept: ConceptId(0),
+                    position_frac: 0.0,
+                    clicks: 5,
+                    true_ctr: 0.05,
+                },
+                ClickRecord {
+                    concept: ConceptId(1),
+                    position_frac: 0.5,
+                    clicks: 0,
+                    true_ctr: 0.01,
+                },
             ],
         };
         assert!(base.passes_paper_filter());
 
-        let few_views = StoryClicks { views: 29, ..base.clone() };
+        let few_views = StoryClicks {
+            views: 29,
+            ..base.clone()
+        };
         assert!(!few_views.passes_paper_filter());
 
         let one_concept = StoryClicks {
@@ -273,7 +282,10 @@ mod tests {
             records: base
                 .records
                 .iter()
-                .map(|r| ClickRecord { clicks: 3, ..r.clone() })
+                .map(|r| ClickRecord {
+                    clicks: 3,
+                    ..r.clone()
+                })
                 .collect(),
             ..base.clone()
         };

@@ -47,7 +47,13 @@ impl HighLevelType {
     pub fn subtypes(self) -> &'static [&'static str] {
         match self {
             HighLevelType::Person => &[
-                "actor", "musician", "scientist", "politician", "athlete", "author", "director",
+                "actor",
+                "musician",
+                "scientist",
+                "politician",
+                "athlete",
+                "author",
+                "director",
             ],
             HighLevelType::Place => &["city", "country", "landmark", "region", "street"],
             HighLevelType::Organization => &["company", "agency", "team", "university", "party"],
@@ -201,10 +207,9 @@ impl ConceptUniverse {
                 None
             };
             let geo = match entity_type {
-                Some((HighLevelType::Place, _)) => Some((
-                    r.random_range(-90.0..90.0),
-                    r.random_range(-180.0..180.0),
-                )),
+                Some((HighLevelType::Place, _)) => {
+                    Some((r.random_range(-90.0..90.0), r.random_range(-180.0..180.0)))
+                }
                 _ => None,
             };
             concepts.push(ConceptSpec {
@@ -225,7 +230,13 @@ impl ConceptUniverse {
         for _ in 0..config.num_junk {
             let terms = loop {
                 let t: Vec<String> = (0..2)
-                    .map(|_| rng::choose(&mut r, &lexicon.general()[..lexicon.general().len().min(200)]).clone())
+                    .map(|_| {
+                        rng::choose(
+                            &mut r,
+                            &lexicon.general()[..lexicon.general().len().min(200)],
+                        )
+                        .clone()
+                    })
                     .collect();
                 let key = t.join(" ");
                 if t[0] != t[1] && used_surfaces.insert(key) {

@@ -108,7 +108,8 @@ pub fn generate_corpus(
         if !by_topic[topic].is_empty() {
             let mentions = sample_count(&mut r, config.mentions_per_doc);
             for _ in 0..mentions {
-                let cid = sample_proximate(&mut r, &by_topic[topic], center, config.proximity_sigma);
+                let cid =
+                    sample_proximate(&mut r, &by_topic[topic], center, config.proximity_sigma);
                 insert_phrase(&mut r, &mut words, &universe.get(cid).terms);
             }
         }
@@ -239,17 +240,39 @@ mod tests {
     fn junk_phrases_spread_across_topics() {
         let (_, uni, idx) = setup();
         // At least one junk phrase appears somewhere.
-        let present = uni.junk().filter(|c| idx.phrase_count(&c.terms) > 0).count();
+        let present = uni
+            .junk()
+            .filter(|c| idx.phrase_count(&c.terms) > 0)
+            .count();
         assert!(present > 0, "junk phrases should occur in the corpus");
     }
 
     #[test]
     fn deterministic() {
         let (lex, uni, _) = setup();
-        let a = generate_corpus(11, &lex, &uni, &CorpusConfig { num_docs: 50, ..CorpusConfig::default() });
-        let b = generate_corpus(11, &lex, &uni, &CorpusConfig { num_docs: 50, ..CorpusConfig::default() });
+        let a = generate_corpus(
+            11,
+            &lex,
+            &uni,
+            &CorpusConfig {
+                num_docs: 50,
+                ..CorpusConfig::default()
+            },
+        );
+        let b = generate_corpus(
+            11,
+            &lex,
+            &uni,
+            &CorpusConfig {
+                num_docs: 50,
+                ..CorpusConfig::default()
+            },
+        );
         assert_eq!(a.num_docs(), b.num_docs());
-        assert_eq!(a.doc(ctxrank_index::DocId(17)).text, b.doc(ctxrank_index::DocId(17)).text);
+        assert_eq!(
+            a.doc(ctxrank_index::DocId(17)).text,
+            b.doc(ctxrank_index::DocId(17)).text
+        );
     }
 
     #[test]

@@ -128,7 +128,9 @@ mod tests {
     #[test]
     fn high_latents_rated_very() {
         let mut panel = JudgePanel::new(1, JudgeConfig::default());
-        let ratings: Vec<Rating> = (0..500).map(|_| panel.judge(0.95, 0.95).interestingness).collect();
+        let ratings: Vec<Rating> = (0..500)
+            .map(|_| panel.judge(0.95, 0.95).interestingness)
+            .collect();
         let dist = RatingDistribution::from_ratings(&ratings);
         assert!(dist.very > 0.9, "very fraction {}", dist.very);
     }
@@ -144,7 +146,9 @@ mod tests {
     #[test]
     fn mid_latents_spread() {
         let mut panel = JudgePanel::new(3, JudgeConfig::default());
-        let ratings: Vec<Rating> = (0..1000).map(|_| panel.judge(0.3, 0.3).interestingness).collect();
+        let ratings: Vec<Rating> = (0..1000)
+            .map(|_| panel.judge(0.3, 0.3).interestingness)
+            .collect();
         let dist = RatingDistribution::from_ratings(&ratings);
         assert!(dist.somewhat > 0.4, "somewhat fraction {}", dist.somewhat);
         assert!(dist.very > 0.02 && dist.not > 0.02);
@@ -153,7 +157,9 @@ mod tests {
     #[test]
     fn cant_tell_is_rare() {
         let mut panel = JudgePanel::new(4, JudgeConfig::default());
-        let ratings: Vec<Rating> = (0..2000).map(|_| panel.judge(0.5, 0.5).interestingness).collect();
+        let ratings: Vec<Rating> = (0..2000)
+            .map(|_| panel.judge(0.5, 0.5).interestingness)
+            .collect();
         let dist = RatingDistribution::from_ratings(&ratings);
         assert!(dist.cant_tell < 0.02);
     }

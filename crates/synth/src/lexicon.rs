@@ -18,8 +18,8 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 const ONSETS: &[&str] = &[
-    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "dr", "gr",
-    "kr", "pl", "st", "tr", "sk", "sl", "ch", "sh",
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "dr", "gr", "kr",
+    "pl", "st", "tr", "sk", "sl", "ch", "sh",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
 const CODAS: &[&str] = &["", "", "", "n", "r", "s", "l", "k", "m", "t", "x"];
@@ -57,7 +57,9 @@ impl Lexicon {
             }
         };
 
-        let general = (0..general_size).map(|_| draw(&mut rng, &mut seen)).collect();
+        let general = (0..general_size)
+            .map(|_| draw(&mut rng, &mut seen))
+            .collect();
         let topics: Vec<Vec<String>> = (0..num_topics)
             .map(|_| (0..topic_size).map(|_| draw(&mut rng, &mut seen)).collect())
             .collect();
@@ -100,7 +102,11 @@ impl Lexicon {
 
     /// Sample a general word with Zipf-like bias toward the front of the
     /// pool (low indices are "common words").
-    pub fn sample_general<R: Rng + ?Sized>(&self, rng: &mut R, zipf: &crate::rng::ZipfSampler) -> &str {
+    pub fn sample_general<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        zipf: &crate::rng::ZipfSampler,
+    ) -> &str {
         &self.general[zipf.sample(rng) % self.general.len()]
     }
 

@@ -188,7 +188,12 @@ pub fn generate_news(
             if mention_ids.insert(cid) {
                 mentions.push(Mention {
                     concept: cid,
-                    relevance: ground_truth_relevance(universe.get(cid), topic, center, secondary_topic),
+                    relevance: ground_truth_relevance(
+                        universe.get(cid),
+                        topic,
+                        center,
+                        secondary_topic,
+                    ),
                 });
             }
         }
@@ -203,7 +208,12 @@ pub fn generate_news(
             if mention_ids.insert(cid) {
                 mentions.push(Mention {
                     concept: cid,
-                    relevance: ground_truth_relevance(universe.get(cid), topic, center, secondary_topic),
+                    relevance: ground_truth_relevance(
+                        universe.get(cid),
+                        topic,
+                        center,
+                        secondary_topic,
+                    ),
                 });
             }
         }
@@ -250,7 +260,8 @@ pub fn generate_news(
         let mut splices: Vec<(usize, usize, &Vec<String>)> = mentions
             .iter()
             .flat_map(|m| {
-                let copies = 1 + (config.repetition * m.relevance + 0.8 * r.random::<f64>()).floor() as usize;
+                let copies = 1
+                    + (config.repetition * m.relevance + 0.8 * r.random::<f64>()).floor() as usize;
                 let terms = &universe.get(m.concept).terms;
                 (0..copies)
                     .map(|_| {
@@ -388,12 +399,8 @@ mod tests {
         for story in &news {
             for m in &story.mentions {
                 let spec = uni.get(m.concept);
-                let expected = ground_truth_relevance(
-                    spec,
-                    story.topic,
-                    story.center,
-                    story.secondary_topic,
-                );
+                let expected =
+                    ground_truth_relevance(spec, story.topic, story.center, story.secondary_topic);
                 assert_eq!(m.relevance, expected);
             }
         }
@@ -410,7 +417,11 @@ mod tests {
             .iter()
             .filter(|s| s.mentions.iter().any(|m| m.relevance < 0.1))
             .count();
-        assert!(with_relevant > news.len() / 2, "{with_relevant}/{}", news.len());
+        assert!(
+            with_relevant > news.len() / 2,
+            "{with_relevant}/{}",
+            news.len()
+        );
         assert!(with_irrelevant > news.len() / 4);
     }
 
@@ -433,7 +444,10 @@ mod tests {
         // Unrelated topic and junk sit at the floor.
         assert_eq!(ground_truth_relevance(spec, 0, 0.0, None), RELEVANCE_FLOOR);
         let junk = uni.junk().next().expect("junk concept");
-        assert_eq!(ground_truth_relevance(junk, 0, 0.0, Some((1, 0.0))), RELEVANCE_FLOOR);
+        assert_eq!(
+            ground_truth_relevance(junk, 0, 0.0, Some((1, 0.0))),
+            RELEVANCE_FLOOR
+        );
     }
 
     #[test]
@@ -448,8 +462,24 @@ mod tests {
     #[test]
     fn deterministic() {
         let (lex, uni, _) = setup();
-        let a = generate_news(21, &lex, &uni, &NewsConfig { num_stories: 5, ..NewsConfig::default() });
-        let b = generate_news(21, &lex, &uni, &NewsConfig { num_stories: 5, ..NewsConfig::default() });
+        let a = generate_news(
+            21,
+            &lex,
+            &uni,
+            &NewsConfig {
+                num_stories: 5,
+                ..NewsConfig::default()
+            },
+        );
+        let b = generate_news(
+            21,
+            &lex,
+            &uni,
+            &NewsConfig {
+                num_stories: 5,
+                ..NewsConfig::default()
+            },
+        );
         assert_eq!(a[0].text, b[0].text);
         assert_eq!(a[4].mentions, b[4].mentions);
     }

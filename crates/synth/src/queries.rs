@@ -79,8 +79,7 @@ pub fn generate_query_log(
     let mut log = QueryLog::new();
 
     // Split the budget between concepts (by popularity weight) and noise.
-    let concept_budget =
-        (config.total_submissions as f64 * config.concept_fraction) as u64;
+    let concept_budget = (config.total_submissions as f64 * config.concept_fraction) as u64;
     let noise_budget = config.total_submissions - concept_budget;
 
     let weights: Vec<f64> = universe
@@ -110,7 +109,11 @@ pub fn generate_query_log(
         // Derive refinement pools once per concept.
         while remaining > 0 {
             let chunk = (remaining / 3).max(1).min(remaining);
-            let n_extra = if rng::flip(&mut r, config.p_one_extra) { 1 } else { 2 };
+            let n_extra = if rng::flip(&mut r, config.p_one_extra) {
+                1
+            } else {
+                2
+            };
             let mut terms = c.terms.clone();
             for _ in 0..n_extra {
                 let extra = match c.topic {
@@ -118,7 +121,9 @@ pub fn generate_query_log(
                     // (what a real user adds: "katrina levees").
                     Some(t) if rng::flip(&mut r, config.p_topical_refinement) => {
                         // Refinements stay near the concept's sub-topic.
-                        lexicon.sample_topic_near(&mut r, t, c.center, 0.07).to_string()
+                        lexicon
+                            .sample_topic_near(&mut r, t, c.center, 0.07)
+                            .to_string()
                     }
                     // Junk concepts are continued with arbitrary general
                     // terms ("my favorite <anything>").
@@ -199,10 +204,12 @@ mod tests {
             .map(|c| (c.interestingness, log.freq_exact(&c.terms)))
             .collect();
         pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
-        let top_mean: f64 =
-            pairs[..10].iter().map(|p| p.1 as f64).sum::<f64>() / 10.0;
-        let bottom_mean: f64 =
-            pairs[pairs.len() - 10..].iter().map(|p| p.1 as f64).sum::<f64>() / 10.0;
+        let top_mean: f64 = pairs[..10].iter().map(|p| p.1 as f64).sum::<f64>() / 10.0;
+        let bottom_mean: f64 = pairs[pairs.len() - 10..]
+            .iter()
+            .map(|p| p.1 as f64)
+            .sum::<f64>()
+            / 10.0;
         assert!(
             top_mean > bottom_mean * 2.0,
             "interesting concepts should dominate exact queries: {top_mean} vs {bottom_mean}"

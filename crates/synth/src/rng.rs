@@ -63,7 +63,10 @@ impl ZipfSampler {
     /// Draw a rank in `[0, n)`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

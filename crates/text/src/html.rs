@@ -13,8 +13,27 @@ const DROP_CONTENT: &[&str] = &["script", "style"];
 
 /// Tags that imply a paragraph break in the extracted text.
 const BLOCK_TAGS: &[&str] = &[
-    "p", "div", "br", "li", "ul", "ol", "table", "tr", "h1", "h2", "h3", "h4", "h5", "h6",
-    "blockquote", "pre", "hr", "section", "article", "header", "footer",
+    "p",
+    "div",
+    "br",
+    "li",
+    "ul",
+    "ol",
+    "table",
+    "tr",
+    "h1",
+    "h2",
+    "h3",
+    "h4",
+    "h5",
+    "h6",
+    "blockquote",
+    "pre",
+    "hr",
+    "section",
+    "article",
+    "header",
+    "footer",
 ];
 
 /// Strip HTML markup from `input`, returning plain text.
@@ -204,7 +223,10 @@ mod tests {
 
     #[test]
     fn decodes_entities() {
-        assert_eq!(strip_html("a &amp; b &lt;c&gt; &#65; &#x42;"), "a & b <c> A B");
+        assert_eq!(
+            strip_html("a &amp; b &lt;c&gt; &#65; &#x42;"),
+            "a & b <c> A B"
+        );
     }
 
     #[test]

@@ -46,15 +46,16 @@ impl Span {
 
 /// Common abbreviations that do not terminate a sentence.
 const ABBREVIATIONS: &[&str] = &[
-    "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen", "lt", "col", "sgt", "capt",
-    "st", "ave", "blvd", "dept", "univ", "assn", "inc", "ltd", "co", "corp", "vs", "etc", "jan",
-    "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "e.g", "i.e",
-    "u.s", "u.k", "a.m", "p.m", "no", "vol", "fig", "ca", "approx",
+    "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen", "lt", "col", "sgt", "capt", "st",
+    "ave", "blvd", "dept", "univ", "assn", "inc", "ltd", "co", "corp", "vs", "etc", "jan", "feb",
+    "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec", "e.g", "i.e", "u.s",
+    "u.k", "a.m", "p.m", "no", "vol", "fig", "ca", "approx",
 ];
 
 fn is_abbreviation(word: &str) -> bool {
     let w = word.to_ascii_lowercase();
-    ABBREVIATIONS.contains(&w.as_str()) || (w.len() == 1 && w.chars().all(|c| c.is_ascii_alphabetic()))
+    ABBREVIATIONS.contains(&w.as_str())
+        || (w.len() == 1 && w.chars().all(|c| c.is_ascii_alphabetic()))
 }
 
 /// Split `text` into sentence [`Span`]s.
@@ -75,17 +76,22 @@ pub fn sentences(text: &str) -> Vec<Span> {
         if terminator {
             // Consume a run of terminators and closing quotes/brackets.
             let mut end = i + 1;
-            while end < bytes.len() && matches!(bytes[end], b'.' | b'!' | b'?' | b'"' | b'\'' | b')' | b']') {
+            while end < bytes.len()
+                && matches!(bytes[end], b'.' | b'!' | b'?' | b'"' | b'\'' | b')' | b']')
+            {
                 end += 1;
             }
             // Must be followed by whitespace + sentence-initial char (or EOF).
-            let after_ws = text[end..].find(|c: char| !c.is_whitespace()).map(|o| end + o);
+            let after_ws = text[end..]
+                .find(|c: char| !c.is_whitespace())
+                .map(|o| end + o);
             let splits = match after_ws {
                 None => true,
                 Some(pos) => {
                     let next = text[pos..].chars().next().expect("non-ws char");
                     let had_ws = pos > end || end == bytes.len();
-                    had_ws && (next.is_uppercase() || next.is_numeric() || next == '"' || next == '\'')
+                    had_ws
+                        && (next.is_uppercase() || next.is_numeric() || next == '"' || next == '\'')
                 }
             };
             // Abbreviation check only applies to '.' terminators.
@@ -129,7 +135,9 @@ pub fn paragraphs(text: &str) -> Vec<Span> {
             // Count consecutive newlines (allowing interleaved spaces).
             let mut j = i + 1;
             let mut newlines = 1;
-            while j < bytes.len() && (bytes[j] == b'\n' || bytes[j] == b' ' || bytes[j] == b'\r' || bytes[j] == b'\t') {
+            while j < bytes.len()
+                && (bytes[j] == b'\n' || bytes[j] == b' ' || bytes[j] == b'\r' || bytes[j] == b'\t')
+            {
                 if bytes[j] == b'\n' {
                     newlines += 1;
                 }
@@ -176,7 +184,10 @@ mod tests {
     use super::*;
 
     fn sent_texts(text: &str) -> Vec<&str> {
-        sentences(text).into_iter().map(|s| s.of(text)).collect::<Vec<_>>()
+        sentences(text)
+            .into_iter()
+            .map(|s| s.of(text))
+            .collect::<Vec<_>>()
     }
 
     #[test]

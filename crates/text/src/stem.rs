@@ -199,7 +199,9 @@ impl Stemmer {
                 self.b.truncate(k);
                 self.b.push(b'e');
                 self.k += 1;
-            } else if self.double_cons(self.k - 1) && !matches!(self.b[self.k - 1], b'l' | b's' | b'z') {
+            } else if self.double_cons(self.k - 1)
+                && !matches!(self.b[self.k - 1], b'l' | b's' | b'z')
+            {
                 self.k -= 1;
                 self.b.truncate(self.k);
             } else if self.measure(self.k - 1) == 1 && self.cvc(self.k - 1) {
@@ -243,7 +245,9 @@ impl Stemmer {
                     || self.rule("fulness", "ful")
                     || self.rule("ousness", "ous")
             }
-            b't' => self.rule("aliti", "al") || self.rule("iviti", "ive") || self.rule("biliti", "ble"),
+            b't' => {
+                self.rule("aliti", "al") || self.rule("iviti", "ive") || self.rule("biliti", "ble")
+            }
             b'g' => self.rule("logi", "log"),
             _ => false,
         };
@@ -266,15 +270,15 @@ impl Stemmer {
             return;
         }
         let suffixes: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suf in suffixes {
             if self.ends(suf) {
                 if *suf == "ion" {
                     // -ion only drops after s or t.
-                    let after_s_or_t = suf.len() < self.k
-                        && matches!(self.b[self.k - suf.len() - 1], b's' | b't');
+                    let after_s_or_t =
+                        suf.len() < self.k && matches!(self.b[self.k - suf.len() - 1], b's' | b't');
                     if !after_s_or_t {
                         return;
                     }
@@ -297,7 +301,10 @@ impl Stemmer {
                 self.b.truncate(self.k);
             }
         }
-        if self.b[self.k - 1] == b'l' && self.double_cons(self.k - 1) && self.measure(self.k - 1) > 1 {
+        if self.b[self.k - 1] == b'l'
+            && self.double_cons(self.k - 1)
+            && self.measure(self.k - 1) > 1
+        {
             self.k -= 1;
             self.b.truncate(self.k);
         }

@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn email_stays_single_token() {
-        assert_eq!(texts("mail uirmak@yahoo-inc.com now"), vec!["mail", "uirmak@yahoo-inc.com", "now"]);
+        assert_eq!(
+            texts("mail uirmak@yahoo-inc.com now"),
+            vec!["mail", "uirmak@yahoo-inc.com", "now"]
+        );
     }
 
     #[test]
@@ -180,7 +183,10 @@ mod tests {
 
     #[test]
     fn numbers_tokenized() {
-        assert_eq!(texts("version 3.5 of 2008"), vec!["version", "3.5", "of", "2008"]);
+        assert_eq!(
+            texts("version 3.5 of 2008"),
+            vec!["version", "3.5", "of", "2008"]
+        );
     }
 
     #[test]

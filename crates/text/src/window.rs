@@ -45,11 +45,17 @@ impl Window {
 /// Panics if `overlap >= size` or `size == 0`.
 pub fn windows(text: &str, size: usize, overlap: usize) -> Vec<Window> {
     assert!(size > 0, "window size must be positive");
-    assert!(overlap < size, "overlap must be smaller than the window size");
+    assert!(
+        overlap < size,
+        "overlap must be smaller than the window size"
+    );
 
     let n_chars = text.chars().count();
     if n_chars <= size {
-        return vec![Window { start: 0, end: text.len() }];
+        return vec![Window {
+            start: 0,
+            end: text.len(),
+        }];
     }
 
     // Precompute byte offset of each char index (plus the end sentinel).
@@ -66,7 +72,10 @@ pub fn windows(text: &str, size: usize, overlap: usize) -> Vec<Window> {
         let end_char = (start_char + size).min(n_chars);
         let start = snap_to_whitespace(text, &offsets, start_char, false);
         let end = snap_to_whitespace(text, &offsets, end_char, true);
-        let window = Window { start, end: end.max(start) };
+        let window = Window {
+            start,
+            end: end.max(start),
+        };
         if window.start < window.end {
             out.push(window);
         }
@@ -137,7 +146,13 @@ mod tests {
     fn short_text_single_window() {
         let text = "short document";
         let w = windows(text, 2500, 500);
-        assert_eq!(w, vec![Window { start: 0, end: text.len() }]);
+        assert_eq!(
+            w,
+            vec![Window {
+                start: 0,
+                end: text.len()
+            }]
+        );
     }
 
     #[test]

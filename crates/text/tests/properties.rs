@@ -1,8 +1,6 @@
 //! Property-based tests for the text substrate.
 
-use ctxrank_text::{
-    normalize_term, paragraphs, sentences, stem, strip_html, tokenize, windows,
-};
+use ctxrank_text::{normalize_term, paragraphs, sentences, stem, strip_html, tokenize, windows};
 use proptest::prelude::*;
 
 proptest! {

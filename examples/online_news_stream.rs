@@ -6,8 +6,8 @@
 
 use ctxrank::features::{InterestFeatures, RelevantTerms};
 use ctxrank::framework::{
-    load_ranker, save_ranker, GlobalTidTable, OnlineConfig, OnlineCtrAdjuster,
-    PackedInterestStore, PackedRelevanceStore, RuntimeRanker,
+    load_ranker, save_ranker, GlobalTidTable, OnlineConfig, OnlineCtrAdjuster, PackedInterestStore,
+    PackedRelevanceStore, RuntimeRanker,
 };
 use ctxrank::ltr::{train, RankGroup, SvmConfig};
 use ctxrank::text::stem;
@@ -43,13 +43,21 @@ fn main() {
     let kw = |terms: &[(&str, f64)]| RelevantTerms {
         terms: terms.iter().map(|(t, s)| (stem(t), *s)).collect(),
     };
-    let sets = vec![
-        ("world cup", kw(&[("stadium", 8.0), ("final", 7.0), ("goal", 6.0)])),
-        ("transfer rumours", kw(&[("signing", 6.0), ("fee", 5.0), ("club", 4.0)])),
-        ("qualifying rounds", kw(&[("fixture", 5.0), ("group", 4.0), ("standings", 4.0)])),
+    let sets = [
+        (
+            "world cup",
+            kw(&[("stadium", 8.0), ("final", 7.0), ("goal", 6.0)]),
+        ),
+        (
+            "transfer rumours",
+            kw(&[("signing", 6.0), ("fee", 5.0), ("club", 4.0)]),
+        ),
+        (
+            "qualifying rounds",
+            kw(&[("fixture", 5.0), ("group", 4.0), ("standings", 4.0)]),
+        ),
     ];
-    let relevance =
-        PackedRelevanceStore::build(sets.iter().map(|(s, r)| (*s, r)), &mut tids);
+    let relevance = PackedRelevanceStore::build(sets.iter().map(|(s, r)| (*s, r)), &mut tids);
 
     let groups: Vec<RankGroup> = (0..30)
         .map(|g| {

@@ -33,7 +33,9 @@ fn main() {
 
     // 2. A small web corpus for term-document frequencies (idf).
     let mut corpus = IndexBuilder::new();
-    corpus.add_document("cuba rejects calls to release political prisoners amid human rights pressure");
+    corpus.add_document(
+        "cuba rejects calls to release political prisoners amid human rights pressure",
+    );
     corpus.add_document("the human rights watch report criticized detention conditions");
     corpus.add_document("presidential debate covered foreign policy and the economy");
     corpus.add_document("havana travel restrictions eased for family visits");
@@ -73,7 +75,12 @@ fn main() {
     println!("plain text:\n  {}\n", doc.text);
     println!("{:<24} {:<28} {:>8}", "surface", "kind", "score");
     for a in &doc.annotations {
-        println!("{:<24} {:<28} {:>8.3}", a.surface, format!("{:?}", a.kind), a.score);
+        println!(
+            "{:<24} {:<28} {:>8.3}",
+            a.surface,
+            format!("{:?}", a.kind),
+            a.score
+        );
     }
     let mut ranked: Vec<_> = doc.rankable().collect();
     ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));

@@ -44,8 +44,17 @@ fn main() {
         },
         |_| 0,
     );
-    let mut specs: Vec<_> = world.universe.all().iter().filter(|c| !c.is_junk()).collect();
-    specs.sort_by(|a, b| b.interestingness.partial_cmp(&a.interestingness).expect("finite"));
+    let mut specs: Vec<_> = world
+        .universe
+        .all()
+        .iter()
+        .filter(|c| !c.is_junk())
+        .collect();
+    specs.sort_by(|a, b| {
+        b.interestingness
+            .partial_cmp(&a.interestingness)
+            .expect("finite")
+    });
     for (label, spec) in [("hot", specs[0]), ("cold", specs[specs.len() - 1])] {
         let f = extractor.interestingness(&spec.terms);
         println!(
@@ -68,7 +77,12 @@ fn main() {
         specs[0].surface(),
         mined.len(),
         mined.summation(),
-        mined.terms.iter().take(3).map(|(t, _)| t.as_str()).collect::<Vec<_>>()
+        mined
+            .terms
+            .iter()
+            .take(3)
+            .map(|(t, _)| t.as_str())
+            .collect::<Vec<_>>()
     );
 
     // Score the hot concept in the story closest to its sub-topic vs a
@@ -110,7 +124,13 @@ fn main() {
             (m.concept, gt, i as f64 / story.mentions.len().max(1) as f64)
         })
         .collect();
-    let clicks = simulate_story(7, story.id, &world.universe, &annotated, &ClickConfig::default());
+    let clicks = simulate_story(
+        7,
+        story.id,
+        &world.universe,
+        &annotated,
+        &ClickConfig::default(),
+    );
     println!(
         "story 0: {} views, {} total clicks across {} annotated entities (passes paper filter: {})",
         clicks.views,

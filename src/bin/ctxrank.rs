@@ -92,7 +92,9 @@ fn cmd_annotate_text(text: &str) -> i32 {
     let units = extract_units(&log, &UnitConfig::default());
 
     let mut corpus = IndexBuilder::new();
-    corpus.add_document("cuba rejects calls to release political prisoners amid human rights pressure");
+    corpus.add_document(
+        "cuba rejects calls to release political prisoners amid human rights pressure",
+    );
     corpus.add_document("the human rights watch report criticized detention conditions");
     corpus.add_document("presidential debate covered foreign policy");
     corpus.add_document("markets rallied as tech earnings beat expectations");
@@ -147,10 +149,7 @@ fn cmd_world(seed: u64) -> i32 {
     let world = SynthWorld::generate(WorldConfig::small(seed));
     println!("seed: {seed}");
     println!("concepts:        {}", world.universe.len());
-    println!(
-        "  junk:          {}",
-        world.universe.junk().count()
-    );
+    println!("  junk:          {}", world.universe.junk().count());
     println!("distinct queries: {}", world.query_log.num_distinct());
     println!("query volume:     {}", world.query_log.total_freq());
     println!("web documents:    {}", world.corpus.num_docs());

@@ -30,8 +30,7 @@
 pub mod prelude {
     pub use ctxrank_eval::{ndcg_at_k, weighted_pair_stats, CtrBuckets, ErrorRateAccumulator};
     pub use ctxrank_features::{
-        FeatureExtractor, InterestFeatures, MiningResource, RelevanceModel,
-        RelevanceModelBuilder,
+        FeatureExtractor, InterestFeatures, MiningResource, RelevanceModel, RelevanceModelBuilder,
     };
     pub use ctxrank_framework::{OnlineCtrAdjuster, RuntimeRanker};
     pub use ctxrank_index::{Index, IndexBuilder};

@@ -27,7 +27,12 @@ fn features(freq: u64, wiki: u32) -> InterestFeatures {
 fn packed_scores_match_reference_model() {
     // 20 concepts with spread-out features.
     let concepts: Vec<(String, InterestFeatures)> = (0..20)
-        .map(|i| (format!("concept{i}"), features(10 + i * 137, (i * 53) as u32)))
+        .map(|i| {
+            (
+                format!("concept{i}"),
+                features(10 + i * 137, (i * 53) as u32),
+            )
+        })
         .collect();
     let interest = PackedInterestStore::build(&concepts);
 
@@ -70,7 +75,9 @@ fn packed_scores_match_reference_model() {
 
     // Reference path: float features straight into the model.
     let context_stems: std::collections::HashSet<String> =
-        ctxrank::text::stemmed_terms(&context_text).into_iter().collect();
+        ctxrank::text::stemmed_terms(&context_text)
+            .into_iter()
+            .collect();
     let mut reference: Vec<(String, f64)> = concepts
         .iter()
         .map(|(surface, feats)| {

@@ -47,13 +47,7 @@ fn full_chain_produces_learnable_signal() {
     }
 
     // Annotate stories, simulate clicks, extract features.
-    let extractor = FeatureExtractor::new(
-        &world.query_log,
-        &units,
-        &world.corpus,
-        |_| 0,
-        |_| 0,
-    );
+    let extractor = FeatureExtractor::new(&world.query_log, &units, &world.corpus, |_| 0, |_| 0);
     let mut rel_builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
     rel_builder.min_idf = 3.2;
 
@@ -82,7 +76,13 @@ fn full_chain_produces_learnable_signal() {
         }
         let annotated: Vec<(ConceptId, f64, f64)> =
             entities.iter().map(|e| (e.1, e.2, e.3)).collect();
-        let clicks = simulate_story(9, story.id, &world.universe, &annotated, &ClickConfig::default());
+        let clicks = simulate_story(
+            9,
+            story.id,
+            &world.universe,
+            &annotated,
+            &ClickConfig::default(),
+        );
         if !clicks.passes_paper_filter() {
             continue;
         }
@@ -121,7 +121,11 @@ fn full_chain_produces_learnable_signal() {
                 .any(|a| g.instances.iter().any(|b| a.label > b.label))
         })
         .collect();
-    assert!(trainable.len() > 10, "need training groups, got {}", trainable.len());
+    assert!(
+        trainable.len() > 10,
+        "need training groups, got {}",
+        trainable.len()
+    );
     assert!(!heldout.is_empty(), "need held-out stories");
 
     let model = train(&trainable, &SvmConfig::default());
@@ -132,7 +136,9 @@ fn full_chain_produces_learnable_signal() {
     for (features, ctrs) in &heldout {
         let scores: Vec<f64> = features.iter().map(|f| model.score(f)).collect();
         learned.add(&scores, ctrs);
-        let rnd: Vec<f64> = (0..scores.len()).map(|i| ((i * 7919) % 13) as f64).collect();
+        let rnd: Vec<f64> = (0..scores.len())
+            .map(|i| ((i * 7919) % 13) as f64)
+            .collect();
         random.add(&rnd, ctrs);
     }
     assert!(

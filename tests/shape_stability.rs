@@ -76,13 +76,20 @@ fn run_world(seed: u64) -> MiniEval {
         }
         let annotated: Vec<(ConceptId, f64, f64)> =
             entities.iter().map(|e| (e.1, e.2, e.3)).collect();
-        let clicks =
-            simulate_story(seed, story.id, &world.universe, &annotated, &ClickConfig::default());
+        let clicks = simulate_story(
+            seed,
+            story.id,
+            &world.universe,
+            &annotated,
+            &ClickConfig::default(),
+        );
         if !clicks.passes_paper_filter() {
             continue;
         }
         let model = rel_builder.build(
-            entities.iter().map(|e| e.0.split(' ').map(str::to_string).collect()),
+            entities
+                .iter()
+                .map(|e| e.0.split(' ').map(str::to_string).collect()),
             MiningResource::Snippets,
         );
         let context = RelevanceModel::context_of(&doc.text);
@@ -99,7 +106,11 @@ fn run_world(seed: u64) -> MiniEval {
                 .collect(),
         );
     }
-    assert!(story_rows.len() > 20, "too few usable stories: {}", story_rows.len());
+    assert!(
+        story_rows.len() > 20,
+        "too few usable stories: {}",
+        story_rows.len()
+    );
 
     // 2-fold split by story parity.
     let mut random = ErrorRateAccumulator::new();

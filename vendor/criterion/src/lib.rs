@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput`, `Bencher::iter`
+//! and `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. Instead of criterion's statistical engine it reports the
+//! best-of-N mean iteration time (plus derived throughput) to stdout.
+//! Tuning knobs: `CRITERION_TARGET_MS` (per-sample budget, default 60)
+//! and `CRITERION_SAMPLES` (overrides `sample_size`, default 10).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How measured work scales, for MB/s or Melem/s reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup; all variants behave the same here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Mean seconds per iteration for one measured sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    pub secs_per_iter: f64,
+}
+
+pub struct Bencher {
+    target: Duration,
+    samples: usize,
+    /// Best (lowest) mean seconds/iter across samples.
+    best: Option<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            target: Duration::from_millis(env_u64("CRITERION_TARGET_MS", 60)),
+            samples,
+            best: None,
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: time one call, then size each sample to the budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_secs_f64() / once.as_secs_f64())
+            .ceil()
+            .max(1.0) as u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per = start.elapsed().as_secs_f64() / iters as f64;
+            self.best = Some(self.best.map_or(per, |b: f64| b.min(per)));
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_secs_f64() / once.as_secs_f64())
+            .ceil()
+            .max(1.0) as u64;
+        for _ in 0..self.samples {
+            // Setup cost is excluded by pre-building this sample's inputs.
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let per = start.elapsed().as_secs_f64() / iters as f64;
+            self.best = Some(self.best.map_or(per, |b: f64| b.min(per)));
+        }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn report(name: &str, secs: f64, throughput: Option<Throughput>) {
+    let extra = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  ({:.2} MiB/s)", b as f64 / secs / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!("  ({:.2} Kelem/s)", n as f64 / secs / 1e3),
+        None => String::new(),
+    };
+    println!("{name:<48} {:>12}/iter{extra}", fmt_time(secs));
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> f64 {
+    let samples = env_u64("CRITERION_SAMPLES", sample_size as u64).max(1) as usize;
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    let secs = b.best.expect("bench closure never called Bencher::iter");
+    report(name, secs, throughput);
+    secs
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(name, 10, None, &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no global config.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_bench(&name, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_positive_time() {
+        std::env::set_var("CRITERION_TARGET_MS", "1");
+        let mut b = Bencher::new(2);
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.best.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        std::env::set_var("CRITERION_TARGET_MS", "1");
+        std::env::set_var("CRITERION_SAMPLES", "2");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2).throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..50u64).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,81 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Size specifications accepted by collection strategies.
+pub trait SizeRange {
+    /// Inclusive `(min, max)` element count.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let (lo, hi) = self.size.bounds();
+        let n = rng.inner.random_range(lo..=hi);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, sizes)`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+pub struct BTreeSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for BTreeSetStrategy<S, R>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let (lo, hi) = self.size.bounds();
+        let n = rng.inner.random_range(lo..=hi);
+        let mut out = BTreeSet::new();
+        // Duplicates collapse; retry a bounded number of times to get
+        // close to the requested size.
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 10 + 10 {
+            out.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `prop::collection::btree_set(element, sizes)`.
+pub fn btree_set<S: Strategy, R: SizeRange>(element: S, size: R) -> BTreeSetStrategy<S, R> {
+    BTreeSetStrategy { element, size }
+}

@@ -1,0 +1,245 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern forms this workspace's tests use: character
+//! classes (`[a-z]`), the `\PC` escape (any non-control character,
+//! including multibyte), parenthesised groups, literal characters, and
+//! `{n}` / `{n,m}` repetition. Anything fancier is a panic, not a
+//! silent mis-generation.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Inclusive char ranges, e.g. `[a-z0-9_]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any char outside Unicode category C (control/format/...).
+    AnyNonControl,
+    Literal(char),
+    Group(Vec<Element>),
+}
+
+#[derive(Debug, Clone)]
+struct Element {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let elements = parse_sequence(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    emit(&elements, rng, &mut out);
+    out
+}
+
+fn emit(elements: &[Element], rng: &mut TestRng, out: &mut String) {
+    for el in elements {
+        let n = if el.min == el.max {
+            el.min
+        } else {
+            rng.inner.random_range(el.min..=el.max)
+        };
+        for _ in 0..n {
+            match &el.atom {
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.inner.random_range(0..ranges.len())];
+                    let span = hi as u32 - lo as u32;
+                    let mut c = rng.inner.random_range(0..=span) + lo as u32;
+                    while char::from_u32(c).is_none() {
+                        c = rng.inner.random_range(0..=span) + lo as u32;
+                    }
+                    out.push(char::from_u32(c).unwrap());
+                }
+                Atom::AnyNonControl => out.push(non_control_char(rng)),
+                Atom::Literal(c) => out.push(*c),
+                Atom::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Sample a printable char: mostly ASCII, with a multibyte tail so
+/// UTF-8 boundary handling gets exercised.
+fn non_control_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &[
+        'é', 'ß', 'ñ', 'Ø', 'λ', 'Ж', 'ع', 'ह', '中', '日', '한', 'あ', '—', '“', '”', '…', '€',
+        '™', '√', '≈', '∞', '🙂', '🚀', '𝔘', 'Ａ', '　',
+    ];
+    loop {
+        let roll: f64 = rng.inner.random();
+        let c = if roll < 0.85 {
+            // ASCII printable, space included.
+            char::from_u32(rng.inner.random_range(0x20u32..0x7F)).unwrap()
+        } else {
+            EXOTIC[rng.inner.random_range(0..EXOTIC.len())]
+        };
+        if !c.is_control() {
+            return c;
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars, pattern: &str, in_group: bool) -> Vec<Element> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.peek() {
+        if c == ')' {
+            assert!(in_group, "unbalanced ')' in pattern {pattern:?}");
+            chars.next();
+            return out;
+        }
+        chars.next();
+        let atom = match c {
+            '[' => Atom::Class(parse_class(chars, pattern)),
+            '(' => Atom::Group(parse_sequence(chars, pattern, true)),
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let cat = chars.next();
+                    assert_eq!(
+                        cat,
+                        Some('C'),
+                        "only \\PC is supported, got \\P{cat:?} in {pattern:?}"
+                    );
+                    Atom::AnyNonControl
+                }
+                Some(esc @ ('\\' | '(' | ')' | '[' | ']' | '{' | '}' | '.' | '+' | '*' | '?')) => {
+                    Atom::Literal(esc)
+                }
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            },
+            '{' | '}' | ']' | '*' | '+' | '?' | '.' | '|' => {
+                panic!("unsupported metachar {c:?} in pattern {pattern:?}")
+            }
+            lit => Atom::Literal(lit),
+        };
+        let (min, max) = parse_repetition(chars, pattern);
+        out.push(Element { atom, min, max });
+    }
+    assert!(!in_group, "unbalanced '(' in pattern {pattern:?}");
+    out
+}
+
+fn parse_class(chars: &mut Chars, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let lo = match chars.next() {
+            Some(']') => break,
+            Some('\\') => chars.next().expect("escape at end of class"),
+            Some(c) => c,
+            None => panic!("unterminated character class in pattern {pattern:?}"),
+        };
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            let hi = match chars.next() {
+                Some(']') => {
+                    // Trailing '-' is a literal.
+                    ranges.push((lo, lo));
+                    ranges.push(('-', '-'));
+                    break;
+                }
+                Some('\\') => chars.next().expect("escape at end of class"),
+                Some(c) => c,
+                None => panic!("unterminated character class in pattern {pattern:?}"),
+            };
+            assert!(
+                lo <= hi,
+                "inverted range {lo:?}-{hi:?} in pattern {pattern:?}"
+            );
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    ranges
+}
+
+fn parse_repetition(chars: &mut Chars, pattern: &str) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => spec.push(c),
+            None => panic!("unterminated repetition in pattern {pattern:?}"),
+        }
+    }
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition {spec:?} in pattern {pattern:?}"))
+    };
+    match spec.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&spec);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        use rand::SeedableRng;
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(7),
+        }
+    }
+
+    #[test]
+    fn class_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,24}", &mut r);
+            assert!((1..=24).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn non_control_any() {
+        let mut r = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = generate("\\PC{0,400}", &mut r);
+            assert!(s.chars().count() <= 400);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_multibyte |= s.len() > s.chars().count();
+        }
+        assert!(saw_multibyte, "expected some multibyte output");
+    }
+
+    #[test]
+    fn groups_with_literals() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,8}( [a-z]{1,8}){0,5}", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=6).contains(&words.len()));
+            assert!(words.iter().all(|w| {
+                (1..=8).contains(&w.len()) && w.chars().all(|c| c.is_ascii_lowercase())
+            }));
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        let mut r = rng();
+        let s = generate("[ab]{4}x", &mut r);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.ends_with('x'));
+    }
+}

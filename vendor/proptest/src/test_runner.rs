@@ -1,0 +1,76 @@
+//! Deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies; wraps the vendored `StdRng`.
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // Stable seed: FNV-1a over the test name, mixed with the case
+        // index so every case sees a fresh stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered the input out.
+    Reject,
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// How many cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Drive `case` until enough inputs pass or too many are rejected.
+pub fn run_cases(
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+) {
+    let wanted = case_count();
+    let mut passed = 0u64;
+    let mut rejected = 0u64;
+    let mut attempt = 0u64;
+    while passed < wanted {
+        let mut rng = TestRng::for_case(test_name, attempt);
+        attempt += 1;
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < wanted * 16,
+                    "{test_name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case #{attempt} failed\n  inputs: {inputs}\n  {msg}")
+            }
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde`, written directly against `proc_macro` (no `syn`,
+//! no `quote` — the registry is unreachable offline).
+//!
+//! Supported item shapes — exactly what the workspace derives on:
+//!
+//! * structs with named fields (lifetime generics allowed),
+//! * enums whose variants are units or have named fields.
+//!
+//! Representation matches serde's externally-tagged default: a struct is
+//! an object of its fields, a unit variant the string of its name, a
+//! struct variant a single-key object `{"Variant": {fields...}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed derive input.
+struct Item {
+    name: String,
+    /// Verbatim generics, e.g. `<'a>`, or empty.
+    generics: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<String>),
+    /// Single-field tuple struct, serialized transparently as its inner
+    /// value (serde's newtype-struct representation in JSON).
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for named fields.
+    fields: Option<Vec<String>>,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i < tokens.len() && is_punct(&tokens[*i], '#') {
+            *i += 2; // `#` + bracket group
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+            if id.to_string() == "pub" {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        break;
+    }
+}
+
+/// Parse the field names of a named-field body (brace group content).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1;
+        assert!(
+            matches!(tokens.get(i), Some(tt) if is_punct(tt, ':')),
+            "vendored serde derive: expected `:` after field `{}`",
+            fields.last().expect("just pushed")
+        );
+        i += 1;
+        // Skip the type: commas inside `<...>` belong to the type.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                tt if is_punct(tt, '<') => angle_depth += 1,
+                tt if is_punct(tt, '>') => angle_depth -= 1,
+                tt if is_punct(tt, ',') && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    let mut generics = String::new();
+    if matches!(tokens.get(i), Some(tt) if is_punct(tt, '<')) {
+        let mut depth = 0i32;
+        loop {
+            let tt = tokens.get(i).unwrap_or_else(|| {
+                panic!("vendored serde derive: unterminated generics on {name}")
+            });
+            if is_punct(tt, '<') {
+                depth += 1;
+            } else if is_punct(tt, '>') {
+                depth -= 1;
+            }
+            generics.push_str(&tt.to_string());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        assert!(
+            !generics.contains(':') && !tokens_have_type_param(&generics),
+            "vendored serde derive: type parameters/bounds unsupported on {name}"
+        );
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+        {
+            assert_eq!(
+                count_tuple_fields(g.stream()),
+                1,
+                "vendored serde derive: only single-field tuple structs supported, for {name}"
+            );
+            return Item {
+                name,
+                generics,
+                kind: Kind::Newtype,
+            };
+        }
+        other => panic!(
+            "vendored serde derive: only braced {keyword}s supported for {name}, got {other:?}"
+        ),
+    };
+
+    let kind = if keyword == "struct" {
+        Kind::Struct(parse_named_fields(body))
+    } else if keyword == "enum" {
+        let tokens: Vec<TokenTree> = body.into_iter().collect();
+        let mut variants = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            skip_attrs_and_vis(&tokens, &mut i);
+            let Some(TokenTree::Ident(vname)) = tokens.get(i) else {
+                break;
+            };
+            let vname = vname.to_string();
+            i += 1;
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let f = parse_named_fields(g.stream());
+                    i += 1;
+                    Some(f)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    panic!("vendored serde derive: tuple variant {name}::{vname} unsupported")
+                }
+                _ => None,
+            };
+            if matches!(tokens.get(i), Some(tt) if is_punct(tt, ',')) {
+                i += 1;
+            }
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Kind::Enum(variants)
+    } else {
+        panic!("vendored serde derive: unsupported item kind `{keyword}`")
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Count top-level comma-separated fields in a tuple-struct body
+/// (angle brackets shield type-internal commas).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    for (idx, tt) in tokens.iter().enumerate() {
+        if is_punct(tt, '<') {
+            angle_depth += 1;
+        } else if is_punct(tt, '>') {
+            angle_depth -= 1;
+        } else if is_punct(tt, ',') && angle_depth == 0 && idx + 1 < tokens.len() {
+            fields += 1;
+        }
+    }
+    fields
+}
+
+/// Crude check that generics hold only lifetimes (`'a`) — a bare ident
+/// not preceded by `'` would be a type parameter.
+fn tokens_have_type_param(generics: &str) -> bool {
+    let mut prev_tick = false;
+    for part in generics
+        .trim_start_matches('<')
+        .trim_end_matches('>')
+        .split(',')
+    {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part.starts_with('\'') {
+            return true;
+        }
+        prev_tick = true;
+    }
+    let _ = prev_tick;
+    false
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let Item {
+        name,
+        generics,
+        kind,
+    } = &item;
+
+    let body = match kind {
+        Kind::Struct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(::std::vec![{entries}])")
+        }
+        Kind::Newtype => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{name}::{v} => ::serde::Content::Str(::std::string::String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    Some(fields) => {
+                        let binders = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_content({f})),"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binders} }} => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), ::serde::Content::Map(::std::vec![{entries}]))]),",
+                            v = v.name
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+
+    format!(
+        "impl{generics} ::serde::Serialize for {name}{generics} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let Item {
+        name,
+        generics,
+        kind,
+    } = &item;
+    assert!(
+        generics.is_empty(),
+        "vendored serde derive: Deserialize on generic type {name} unsupported"
+    );
+
+    let body = match kind {
+        Kind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         __c.get(\"{f}\").unwrap_or(&::serde::Content::Null))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Map(_) => ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected object for {name}, got {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+        Kind::Newtype => {
+            format!("::std::result::Result::map(::serde::Deserialize::from_content(__c), {name})")
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| v.fields.as_ref().map(|fields| (v, fields)))
+                .map(|(v, fields)| {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(\
+                                 __inner.get(\"{f}\").unwrap_or(&::serde::Content::Null))?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {inits} }}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            format!(
+                "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown {name} variant {{}}\", __other))),\n\
+                     }},\n\
+                     ::serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown {name} variant {{}}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected {name} variant, got {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &::serde::Content) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("vendored serde derive: generated invalid Deserialize impl")
+}

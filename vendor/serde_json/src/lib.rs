@@ -1,0 +1,534 @@
+//! Offline stand-in for `serde_json`, rendering and parsing the
+//! vendored `serde`'s [`Content`] tree. [`Value`] *is* that tree, so
+//! `json!`, `to_string_pretty` and friends interoperate with every
+//! `#[derive(Serialize)]` type in the workspace.
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::Content as Value;
+
+/// Serialization / parse failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::from_content(&value).map_err(Error::from)
+}
+
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) => {
+            if n.is_finite() {
+                // `{:?}` prints the shortest round-trip decimal and keeps
+                // a trailing `.0` on whole numbers, like upstream.
+                out.push_str(&format!("{n:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Value::Str),
+            b't' if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            b'f' if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            b'n' if self.eat_keyword("null") => Ok(Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("invalid \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("invalid \\u escape".into()))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+// ---- json! macro -----------------------------------------------------
+
+/// Build a [`Value`] literal. Keys must be string literals (which is how
+/// every call site in this workspace writes them); values may be `null`,
+/// nested `json!` objects/arrays, or arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut __items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_internal!(__items; []; $($tt)*);
+        $crate::Value::Seq(__items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut __entries: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_object_internal!(__entries; $($tt)*);
+        $crate::Value::Map(__entries)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // Done.
+    ($entries:ident;) => {};
+    // `"key": value...` — start munching the value.
+    ($entries:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_object_value!($entries; $key; []; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    // Top-level comma terminates the value.
+    ($entries:ident; $key:literal; [$($acc:tt)*]; , $($rest:tt)*) => {
+        $entries.push(($key.to_string(), $crate::json!($($acc)*)));
+        $crate::json_object_internal!($entries; $($rest)*);
+    };
+    // End of input terminates the value.
+    ($entries:ident; $key:literal; [$($acc:tt)*];) => {
+        $entries.push(($key.to_string(), $crate::json!($($acc)*)));
+    };
+    // Otherwise keep munching one token tree at a time.
+    ($entries:ident; $key:literal; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($entries; $key; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // Done, no trailing element.
+    ($items:ident; [];) => {};
+    // Done with a final accumulated element.
+    ($items:ident; [$($acc:tt)+];) => {
+        $items.push($crate::json!($($acc)+));
+    };
+    // Top-level comma terminates an element.
+    ($items:ident; [$($acc:tt)+]; , $($rest:tt)*) => {
+        $items.push($crate::json!($($acc)+));
+        $crate::json_array_internal!($items; []; $($rest)*);
+    };
+    // Otherwise keep munching.
+    ($items:ident; [$($acc:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_array_internal!($items; [$($acc)* $next]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+// `json!` expands to build-then-push locally; the lint only sees through
+// the macro inside its defining crate.
+#[allow(clippy::vec_init_then_push)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_printing_matches_upstream_layout() {
+        let v = json!({
+            "name": "test",
+            "n": 3,
+            "rate": 0.5,
+            "items": [1, 2],
+            "nested": {"flag": true, "none": null},
+        });
+        let s = to_string_pretty(&v).expect("serialize");
+        assert!(s.contains("\"rate\": 0.5"), "{s}");
+        assert!(s.contains("\"n\": 3"), "{s}");
+        let back: Value = from_str(&s).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        let s = to_string(&json!({"x": 5.0})).expect("serialize");
+        assert_eq!(s, "{\"x\":5.0}");
+    }
+
+    #[test]
+    fn complex_value_expressions() {
+        let rows = [("a", 1.0), ("b", 2.0)];
+        let v = json!({
+            "total": rows.iter().map(|(_, x)| x).sum::<f64>(),
+            "rows": rows
+                .iter()
+                .map(|(name, x)| json!({"name": *name, "x": x}))
+                .collect::<Vec<_>>()
+        });
+        let s = to_string(&v).expect("serialize");
+        assert!(s.contains("\"total\":3.0"), "{s}");
+        assert!(s.contains("\"name\":\"b\""), "{s}");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({"s": "line\nbreak \"quoted\" \\ tab\t ünïcode"});
+        let back: Value = from_str(&to_string(&v).expect("serialize")).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn numbers_parse_to_natural_variants() {
+        let v: Value = from_str("[1, -2, 3.5, 1e3]").expect("parse");
+        assert_eq!(
+            v,
+            Value::Seq(vec![
+                Value::U64(1),
+                Value::I64(-2),
+                Value::F64(3.5),
+                Value::F64(1000.0)
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_errors() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("").is_err());
+    }
+}
