@@ -20,6 +20,7 @@ const NUM_DOCS: usize = 1445;
 const TARGET_DOC_BYTES: usize = 2500;
 
 struct PerfFixture {
+    exp: Experiment,
     docs: Vec<String>,
     candidates: Vec<Vec<String>>,
     ranker: ctxrank_framework::RuntimeRanker,
@@ -56,6 +57,7 @@ fn fixture() -> PerfFixture {
         candidates.push(cands);
     }
     PerfFixture {
+        exp,
         docs,
         candidates,
         ranker,
@@ -100,6 +102,37 @@ fn bench_stemmer_and_ranker(c: &mut Criterion) {
         })
     });
 
+    group.finish();
+}
+
+/// Annotation component: the full Shortcuts pipeline — pre-processing,
+/// pattern/dictionary/concept detection over the interned phrase tries,
+/// collision resolution and concept-vector scoring — run document by
+/// document over the paper-shaped corpus.
+fn bench_annotation_component(c: &mut Criterion) {
+    let fx = fixture();
+    let config = ExperimentConfig::small(0xbe7c4);
+    let units = ctxrank_querylog::extract_units(&fx.exp.world.query_log, &config.units);
+    let dictionary = ctxrank_bench::experiment::build_dictionary(&fx.exp.world);
+    let pipeline = ctxrank_shortcuts::Pipeline::new(
+        &dictionary,
+        &units,
+        |t| fx.exp.world.corpus.idf(t),
+        ctxrank_shortcuts::PipelineConfig::default(),
+    );
+
+    let mut group = c.benchmark_group("annotation_component");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(fx.total_bytes as u64));
+    group.bench_function("pipeline_process", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for doc in &fx.docs {
+                n += pipeline.process(black_box(doc)).annotations.len();
+            }
+            black_box(n)
+        })
+    });
     group.finish();
 }
 
@@ -149,6 +182,7 @@ fn bench_experiment_build_parallel(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_stemmer_and_ranker,
+    bench_annotation_component,
     bench_ranker_parallel,
     bench_experiment_build_parallel
 );

@@ -1,10 +1,11 @@
 //! Machine-readable §VI throughput report.
 //!
 //! Re-runs the paper-shaped corpus (1445 docs, ~2.5 KB, ~6.45
-//! candidates each) through the stemmer and ranker components — serial
-//! and parallel — plus the whole `Experiment::build` pipeline, and
-//! writes `BENCH_throughput.json` at the repository root so the perf
-//! trajectory stays comparable across PRs. One row per component:
+//! candidates each) through the stemmer, ranker and annotation
+//! components — serial and parallel — plus the whole
+//! `Experiment::build` pipeline, and writes `BENCH_throughput.json` at
+//! the repository root so the perf trajectory stays comparable across
+//! PRs. One row per component:
 //! `{component, serial_mb_s, parallel_mb_s, speedup, threads}`.
 //!
 //! Knobs: `CTXRANK_THREADS` (pool size), `PERF_REPORT_REPS` (best-of-N
@@ -18,6 +19,7 @@ const NUM_DOCS: usize = 1445;
 const TARGET_DOC_BYTES: usize = 2500;
 
 struct Fixture {
+    exp: Experiment,
     docs: Vec<String>,
     candidates: Vec<Vec<String>>,
     ranker: ctxrank_framework::RuntimeRanker,
@@ -52,6 +54,7 @@ fn fixture() -> Fixture {
         candidates.push(cands);
     }
     Fixture {
+        exp,
         docs,
         candidates,
         ranker,
@@ -134,6 +137,32 @@ fn main() {
             .sum::<usize>()
     });
 
+    // Annotation component: the full Shortcuts pipeline (pre-processing,
+    // interned-trie detection, collision resolution, vector scoring).
+    let units = ctxrank_querylog::extract_units(
+        &fx.exp.world.query_log,
+        &ExperimentConfig::small(0xbe7c4).units,
+    );
+    let dictionary = ctxrank_bench::experiment::build_dictionary(&fx.exp.world);
+    let pipeline = ctxrank_shortcuts::Pipeline::new(
+        &dictionary,
+        &units,
+        |t| fx.exp.world.corpus.idf(t),
+        ctxrank_shortcuts::PipelineConfig::default(),
+    );
+    let annotate_serial = best_secs(reps, || {
+        fx.docs
+            .iter()
+            .map(|d| pipeline.process(d).annotations.len())
+            .sum::<usize>()
+    });
+    let annotate_parallel = best_secs(reps, || {
+        ctxrank_parallel::par_map(threads, &fx.docs, |d| pipeline.process(d).annotations.len())
+            .into_iter()
+            .sum::<usize>()
+    });
+    drop(pipeline);
+
     // Whole offline pipeline; throughput over the raw story bytes.
     let config = ExperimentConfig::small(0xbe7c4);
     let corpus_bytes: usize = Experiment::build_serial(config.clone())
@@ -164,6 +193,13 @@ fn main() {
             fx.total_bytes,
             rank_serial,
             rank_parallel,
+            threads,
+        ),
+        row(
+            "annotation_component",
+            fx.total_bytes,
+            annotate_serial,
+            annotate_parallel,
             threads,
         ),
         row(

@@ -280,7 +280,12 @@ impl Experiment {
             .unwrap_or_else(|_| unreachable!("three models built"));
         drop(builder);
 
-        // Windowing and item assembly.
+        // Windowing and item assembly. The relevance models are compiled
+        // onto interned stem ids first: window scoring then probes dense
+        // bitmaps instead of hashing stem strings per (surface, window)
+        // pair, with bit-identical sums.
+        let compiled: Vec<ctxrank_features::CompiledRelevance> =
+            relevance_models.iter().map(|m| m.compile()).collect();
         let mut groups: Vec<WindowGroup> = Vec::new();
         let mut stats = DatasetStats {
             stories_generated: world.news.len(),
@@ -307,14 +312,18 @@ impl Experiment {
                     if members.len() < 2 {
                         continue;
                     }
-                    let context = RelevanceModel::context_of(w.of(&sd.text));
+                    let stems = ctxrank_text::stemmed_terms(w.of(&sd.text));
+                    let contexts: Vec<Vec<bool>> = compiled
+                        .iter()
+                        .map(|c| c.context_from_stems(&stems))
+                        .collect();
                     let items: Vec<Item> = members
                         .iter()
                         .map(|&&(ref surface, cid, gt, _, pos, baseline)| {
                             let mut relevance = [0.0; 3];
                             let mut relevance_raw = [0.0; 3];
-                            for (i, model) in relevance_models.iter().enumerate() {
-                                relevance_raw[i] = model.score(surface, &context);
+                            for (i, model) in compiled.iter().enumerate() {
+                                relevance_raw[i] = model.score(surface, &contexts[i]);
                                 relevance[i] = relevance_raw[i].ln_1p();
                             }
                             Item {

@@ -18,7 +18,10 @@
 
 use ctxrank_index::Index;
 use ctxrank_querylog::{QueryLog, UnitDictionary};
+use ctxrank_text::{Interner, TermId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// Threshold used by feature 7: sub-units must have a unit score above
 /// this (from the paper: "a unit score of larger than 0.25").
@@ -100,12 +103,26 @@ pub type WikiLookup<'a> = Box<dyn Fn(&[String]) -> u32 + Sync + 'a>;
 /// Injected lookup: concept terms → taxonomy major-type code (0 = none).
 pub type TypeLookup<'a> = Box<dyn Fn(&[String]) -> u8 + Sync + 'a>;
 
+/// Memo table for [`FeatureExtractor::interestingness`], keyed by interned
+/// term-id sequences so repeated candidates (the same concept re-annotated
+/// across documents) hash a handful of `u32`s instead of re-joining and
+/// re-probing every knowledge source.
+#[derive(Default)]
+struct InterestCache {
+    interner: Interner,
+    map: HashMap<Box<[TermId]>, InterestFeatures>,
+}
+
 pub struct FeatureExtractor<'a> {
     log: &'a QueryLog,
     units: &'a UnitDictionary,
     corpus: &'a Index,
     wiki_word_count: WikiLookup<'a>,
     entity_type_code: TypeLookup<'a>,
+    /// Features are pure functions of the concept terms, so concurrent
+    /// threads may race to insert the same key — both compute identical
+    /// values and the result is deterministic.
+    cache: RwLock<InterestCache>,
 }
 
 impl<'a> std::fmt::Debug for FeatureExtractor<'a> {
@@ -129,11 +146,33 @@ impl<'a> FeatureExtractor<'a> {
             corpus,
             wiki_word_count: Box::new(wiki_word_count),
             entity_type_code: Box::new(entity_type_code),
+            cache: RwLock::new(InterestCache::default()),
         }
     }
 
-    /// Compute all nine features for `concept_terms`.
+    /// Compute all nine features for `concept_terms`, memoized per term
+    /// sequence.
     pub fn interestingness(&self, concept_terms: &[String]) -> InterestFeatures {
+        {
+            let cache = self.cache.read().expect("interest cache poisoned");
+            if let Some(ids) = cache.interner.ids_of(concept_terms) {
+                if let Some(&hit) = cache.map.get(ids.as_slice()) {
+                    return hit;
+                }
+            }
+        }
+        let features = self.compute(concept_terms);
+        let mut cache = self.cache.write().expect("interest cache poisoned");
+        let ids: Box<[TermId]> = concept_terms
+            .iter()
+            .map(|t| cache.interner.intern(t))
+            .collect();
+        cache.map.insert(ids, features);
+        features
+    }
+
+    /// The uncached feature computation.
+    fn compute(&self, concept_terms: &[String]) -> InterestFeatures {
         let surface = concept_terms.join(" ");
         InterestFeatures {
             freq_exact: self.log.freq_exact(concept_terms),
@@ -235,6 +274,34 @@ mod tests {
         assert_eq!(groups.iter().filter(|g| **g == "taxonomy").count(), 1);
         assert_eq!(groups.iter().filter(|g| **g == "search_results").count(), 1);
         assert_eq!(groups.iter().filter(|g| **g == "other").count(), 1);
+    }
+
+    #[test]
+    fn memoized_lookup_returns_identical_features() {
+        let (log, units, corpus) = setup();
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let wiki_calls = AtomicU32::new(0);
+        let fx = FeatureExtractor::new(
+            &log,
+            &units,
+            &corpus,
+            |_| {
+                wiki_calls.fetch_add(1, Ordering::Relaxed);
+                842
+            },
+            |_| 4,
+        );
+        let first = fx.interestingness(&t("global warming"));
+        let second = fx.interestingness(&t("global warming"));
+        assert_eq!(first, second);
+        // The second call is served from the cache: the injected lookup
+        // runs once.
+        assert_eq!(wiki_calls.load(Ordering::Relaxed), 1);
+        // Different concepts are distinct keys.
+        let other = fx.interestingness(&t("warming"));
+        assert_ne!(first.concept_size, 0);
+        assert_eq!(other.concept_size, 1);
+        assert_eq!(wiki_calls.load(Ordering::Relaxed), 2);
     }
 
     #[test]

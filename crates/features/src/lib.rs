@@ -23,8 +23,8 @@ pub mod senses;
 
 pub use interest::{FeatureExtractor, InterestFeatures};
 pub use relevance::{
-    KeywordWeighting, MiningResource, RelevanceModel, RelevanceModelBuilder, RelevantTerms,
-    StemmedIdf,
+    CompiledRelevance, KeywordWeighting, MiningResource, RelevanceModel, RelevanceModelBuilder,
+    RelevantTerms, StemmedIdf,
 };
 pub use senses::{SenseClusters, SenseConfig};
 

@@ -23,6 +23,7 @@
 
 use ctxrank_index::Index;
 use ctxrank_querylog::{Prisma, QueryLog, SuggestionService};
+use ctxrank_text::{Interner, TermId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -105,21 +106,38 @@ pub struct StemmedIdf {
 
 impl StemmedIdf {
     /// Scan `index` once, counting per-document stemmed-term presence.
+    ///
+    /// Each vocabulary term is stemmed exactly once (the index interner
+    /// makes the vocabulary dense); the per-document pass then walks term
+    /// ids and dedups per-doc stems with an epoch table — no per-token
+    /// stemming or string hashing.
     pub fn from_index(index: &Index) -> Self {
-        let mut df: HashMap<String, u32> = HashMap::new();
+        let vocab = index.interner().len();
+        // term id -> stem id (None for stop-words); stems interned densely.
+        let mut stems = Interner::new();
+        let mut stem_of: Vec<Option<TermId>> = vec![None; vocab];
+        for (id, term) in index.interner().iter() {
+            if !ctxrank_text::is_stopword(term) {
+                stem_of[id.idx()] = Some(stems.intern(&ctxrank_text::stem(term)));
+            }
+        }
+        let mut df_by_stem: Vec<u32> = vec![0; stems.len()];
+        let mut last_doc: Vec<u32> = vec![u32::MAX; stems.len()];
         for d in 0..index.num_docs() {
             let doc = index.doc(ctxrank_index::DocId(d as u32));
-            let mut seen: HashSet<String> = HashSet::new();
-            for term in &doc.terms {
-                if ctxrank_text::is_stopword(term) {
-                    continue;
-                }
-                let stem = ctxrank_text::stem(term);
-                if seen.insert(stem.clone()) {
-                    *df.entry(stem).or_insert(0) += 1;
+            for tid in &doc.term_ids {
+                if let Some(sid) = stem_of[tid.idx()] {
+                    if last_doc[sid.idx()] != d as u32 {
+                        last_doc[sid.idx()] = d as u32;
+                        df_by_stem[sid.idx()] += 1;
+                    }
                 }
             }
         }
+        let df: HashMap<String, u32> = stems
+            .iter()
+            .map(|(sid, stem)| (stem.to_string(), df_by_stem[sid.idx()]))
+            .collect();
         Self {
             df,
             num_docs: index.num_docs(),
@@ -384,6 +402,93 @@ impl RelevanceModel {
 
     /// Log-compressed relevance score, suitable as a learning feature.
     pub fn score_feature(&self, surface: &str, context: &HashSet<String>) -> f64 {
+        self.score(surface, context).ln_1p()
+    }
+
+    /// Freeze the model into a [`CompiledRelevance`] whose keywords are
+    /// interned stem ids, for allocation-lean scoring over many contexts.
+    pub fn compile(&self) -> CompiledRelevance {
+        let mut stems = Interner::new();
+        let map: HashMap<String, Vec<(TermId, f64)>> = self
+            .map
+            .iter()
+            .map(|(surface, rt)| {
+                let kws: Vec<(TermId, f64)> = rt
+                    .terms
+                    .iter()
+                    .map(|(stem, score)| (stems.intern(stem), *score))
+                    .collect();
+                (surface.clone(), kws)
+            })
+            .collect();
+        CompiledRelevance {
+            stems,
+            map,
+            resource: self.resource,
+        }
+    }
+}
+
+/// A [`RelevanceModel`] compiled onto interned keyword-stem ids.
+///
+/// Contexts become dense presence bitmaps over the model's keyword
+/// vocabulary; scoring a concept is then one pass over its keyword list
+/// with index probes — no string hashing per (concept, context) pair.
+/// Keyword order is preserved from the source model, so floating-point
+/// sums are bit-identical to [`RelevantTerms::score_context`].
+#[derive(Debug, Clone)]
+pub struct CompiledRelevance {
+    /// All keyword stems across the model's concepts.
+    stems: Interner,
+    /// Concept surface → (stem id, score) in mined (descending) order.
+    map: HashMap<String, Vec<(TermId, f64)>>,
+    pub resource: MiningResource,
+}
+
+impl CompiledRelevance {
+    /// Number of concepts covered.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no concept was mined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Prepare a context for scoring: a presence bitmap over the model's
+    /// keyword vocabulary. Stems outside the vocabulary cannot influence
+    /// any score and are dropped.
+    pub fn context_of(&self, text: &str) -> Vec<bool> {
+        self.context_from_stems(&ctxrank_text::stemmed_terms(text))
+    }
+
+    /// Build the presence bitmap from already-stemmed terms, so one
+    /// stemming pass can feed several compiled models.
+    pub fn context_from_stems(&self, stems: &[String]) -> Vec<bool> {
+        let mut present = vec![false; self.stems.len()];
+        for stem in stems {
+            if let Some(id) = self.stems.get(stem) {
+                present[id.idx()] = true;
+            }
+        }
+        present
+    }
+
+    /// Raw relevance score of `surface` in a prepared context (0 when the
+    /// concept is not in the model). Identical (bit-for-bit) to
+    /// [`RelevanceModel::score`] on the equivalent context.
+    pub fn score(&self, surface: &str, context: &[bool]) -> f64 {
+        self.map.get(surface).map_or(0.0, |kws| {
+            kws.iter()
+                .filter(|(id, _)| context[id.idx()])
+                .map(|(_, s)| s)
+                .sum()
+        })
+    }
+
+    /// Log-compressed relevance score, suitable as a learning feature.
+    pub fn score_feature(&self, surface: &str, context: &[bool]) -> f64 {
         self.score(surface, context).ln_1p()
     }
 }

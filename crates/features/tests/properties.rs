@@ -92,4 +92,46 @@ proptest! {
             }
         }
     }
+
+    /// Compiled (interned) relevance scoring is bit-identical to the
+    /// legacy String-keyed path: same models, arbitrary contexts, every
+    /// mining resource, both known and unknown surfaces.
+    #[test]
+    fn compiled_relevance_matches_string_path(
+        queries in prop::collection::vec((prop::collection::vec("[a-c]{1,3}", 1..4), 1u64..40), 0..25),
+        docs in prop::collection::vec(prop::collection::vec("[a-c]{1,3}", 1..20), 1..12),
+        concepts in prop::collection::vec(prop::collection::vec("[a-c]{1,3}", 1..3), 1..6),
+        context_words in prop::collection::vec("[a-c]{1,4}", 0..30),
+    ) {
+        let index = docs_to_index(&docs);
+        let mut log = QueryLog::new();
+        for (terms, freq) in &queries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        let builder = RelevanceModelBuilder::new(&index, &log);
+        let text = context_words.join(" ");
+        let legacy_ctx = ctxrank_features::RelevanceModel::context_of(&text);
+        for resource in ctxrank_features::MiningResource::ALL {
+            let model = builder.build(concepts.iter().cloned(), resource);
+            let compiled = model.compile();
+            let compiled_ctx = compiled.context_of(&text);
+            let mut surfaces: Vec<String> =
+                concepts.iter().map(|c| c.join(" ")).collect();
+            surfaces.push("surface never mined".to_string());
+            for surface in &surfaces {
+                let legacy = model.score(surface, &legacy_ctx);
+                let interned = compiled.score(surface, &compiled_ctx);
+                prop_assert_eq!(
+                    legacy.to_bits(),
+                    interned.to_bits(),
+                    "resource {:?} surface {:?}: {} vs {}",
+                    resource, surface, legacy, interned
+                );
+                prop_assert_eq!(
+                    model.score_feature(surface, &legacy_ctx).to_bits(),
+                    compiled.score_feature(surface, &compiled_ctx).to_bits()
+                );
+            }
+        }
+    }
 }

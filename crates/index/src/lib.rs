@@ -36,7 +36,7 @@ pub use search::SearchHit;
 pub use snippet::{snippet, DEFAULT_CONTEXT_TOKENS};
 pub use tfidf::{tf_idf_weight, TermVector};
 
-use std::collections::HashMap;
+use ctxrank_text::{Interner, TermId};
 
 /// A document stored in the index: the raw text plus its token stream.
 #[derive(Debug, Clone)]
@@ -45,6 +45,9 @@ pub struct StoredDoc {
     pub text: String,
     /// Normalized terms in order (empty normalizations dropped).
     pub terms: Vec<String>,
+    /// Interned id of each term (parallel to `terms`, ids from the
+    /// owning index's [`Interner`]).
+    pub term_ids: Vec<TermId>,
     /// Byte offset of each term in `text` (parallel to `terms`).
     pub offsets: Vec<(usize, usize)>,
 }
@@ -66,6 +69,7 @@ impl StoredDoc {
 #[derive(Debug, Default)]
 pub struct IndexBuilder {
     docs: Vec<StoredDoc>,
+    interner: Interner,
 }
 
 impl IndexBuilder {
@@ -74,14 +78,16 @@ impl IndexBuilder {
         Self::default()
     }
 
-    /// Tokenize, normalize and store one document; returns its id.
+    /// Tokenize, normalize, intern and store one document; returns its id.
     pub fn add_document(&mut self, text: &str) -> DocId {
         let id = DocId(self.docs.len() as u32);
         let mut terms = Vec::new();
+        let mut term_ids = Vec::new();
         let mut offsets = Vec::new();
         for tok in ctxrank_text::tokenize(text) {
             let norm = ctxrank_text::normalize_term(tok.text);
             if !norm.is_empty() {
+                term_ids.push(self.interner.intern(&norm));
                 terms.push(norm);
                 offsets.push((tok.start, tok.end));
             }
@@ -89,25 +95,25 @@ impl IndexBuilder {
         self.docs.push(StoredDoc {
             text: text.to_string(),
             terms,
+            term_ids,
             offsets,
         });
         id
     }
 
-    /// Freeze the collection into a searchable [`Index`].
+    /// Freeze the collection into a searchable [`Index`]. Postings are
+    /// keyed by dense [`TermId`], one list per vocabulary slot.
     pub fn build(self) -> Index {
-        let mut postings: HashMap<String, Postings> = HashMap::new();
+        let mut postings: Vec<Postings> = vec![Postings::default(); self.interner.len()];
         for (doc_idx, doc) in self.docs.iter().enumerate() {
             let id = DocId(doc_idx as u32);
-            for (pos, term) in doc.terms.iter().enumerate() {
-                postings
-                    .entry(term.clone())
-                    .or_default()
-                    .push(id, pos as u32);
+            for (pos, term_id) in doc.term_ids.iter().enumerate() {
+                postings[term_id.idx()].push(id, pos as u32);
             }
         }
         Index {
             docs: self.docs,
+            interner: self.interner,
             postings,
         }
     }
@@ -117,7 +123,11 @@ impl IndexBuilder {
 #[derive(Debug)]
 pub struct Index {
     docs: Vec<StoredDoc>,
-    postings: HashMap<String, Postings>,
+    /// The collection vocabulary; every indexed term has a dense id.
+    interner: Interner,
+    /// Postings indexed by [`TermId`] (every interned term occurs in at
+    /// least one document, so no slot is empty).
+    postings: Vec<Postings>,
 }
 
 impl Index {
@@ -131,9 +141,25 @@ impl Index {
         &self.docs[id.0 as usize]
     }
 
+    /// The collection vocabulary interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The dense id of `term`, if any document contains it.
+    #[inline]
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
     /// Number of documents containing `term` (document frequency).
     pub fn doc_freq(&self, term: &str) -> usize {
-        self.postings.get(term).map_or(0, |p| p.doc_count())
+        self.term_id(term).map_or(0, |id| self.doc_freq_id(id))
+    }
+
+    /// Document frequency by term id.
+    pub fn doc_freq_id(&self, id: TermId) -> usize {
+        self.postings[id.idx()].doc_count()
     }
 
     /// Inverse document frequency, smoothed so unseen terms get the
@@ -144,14 +170,27 @@ impl Index {
         ((n + 1.0) / (df + 1.0)).ln()
     }
 
+    /// Idf by term id.
+    pub fn idf_id(&self, id: TermId) -> f64 {
+        let n = self.docs.len() as f64;
+        let df = self.doc_freq_id(id) as f64;
+        ((n + 1.0) / (df + 1.0)).ln()
+    }
+
     /// Postings list for `term`, if any document contains it.
     pub fn postings(&self, term: &str) -> Option<&Postings> {
-        self.postings.get(term)
+        self.term_id(term).map(|id| self.postings_id(id))
+    }
+
+    /// Postings list by term id.
+    #[inline]
+    pub fn postings_id(&self, id: TermId) -> &Postings {
+        &self.postings[id.idx()]
     }
 
     /// Iterate over all indexed terms.
     pub fn terms(&self) -> impl Iterator<Item = &str> {
-        self.postings.keys().map(|s| s.as_str())
+        self.interner.iter().map(|(_, t)| t)
     }
 }
 

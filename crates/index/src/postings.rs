@@ -55,6 +55,12 @@ impl Postings {
         self.entries.iter()
     }
 
+    /// The per-document entries as a sorted slice (for merge-style
+    /// intersection algorithms).
+    pub fn entries(&self) -> &[Posting] {
+        &self.entries
+    }
+
     /// Binary-search for a document's entry.
     pub fn get(&self, doc: DocId) -> Option<&Posting> {
         self.entries

@@ -15,40 +15,97 @@ pub struct SearchHit {
     pub first_match: u32,
 }
 
+/// In-place sorted intersection of `docs` with the documents of
+/// `entries`. Both sides are ascending; the cursor into `entries`
+/// advances by doubling probes followed by a binary search over the
+/// bracketed range, so runtime is `O(n log(m/n))` when `entries` is much
+/// longer than `docs` and degrades gracefully to a linear merge when the
+/// lists are similar in length.
+fn intersect_galloping(docs: &mut Vec<DocId>, entries: &[Posting]) {
+    let mut j = 0usize;
+    let mut keep = 0usize;
+    for i in 0..docs.len() {
+        let d = docs[i];
+        if j >= entries.len() {
+            break;
+        }
+        if entries[j].doc < d {
+            let mut step = 1usize;
+            while j + step < entries.len() && entries[j + step].doc < d {
+                step <<= 1;
+            }
+            let hi = (j + step + 1).min(entries.len());
+            j += entries[j..hi].partition_point(|p| p.doc < d);
+        }
+        if j < entries.len() && entries[j].doc == d {
+            docs[keep] = d;
+            keep += 1;
+            j += 1;
+        }
+    }
+    docs.truncate(keep);
+}
+
+/// Hit ordering: score descending, ties broken by document id for
+/// determinism.
+fn hit_order(a: &SearchHit, b: &SearchHit) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.doc.cmp(&b.doc))
+}
+
+/// Keep the best `k` hits, sorted. Uses quickselect to avoid sorting the
+/// full accumulator when only a small prefix is wanted.
+fn top_k(mut hits: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if hits.len() > k {
+        hits.select_nth_unstable_by(k - 1, hit_order);
+        hits.truncate(k);
+    }
+    hits.sort_by(hit_order);
+    hits
+}
+
 impl Index {
     /// Disjunctive ("regular") tf·idf search: documents matching any query
     /// term, ranked by summed tf·idf, top `k` returned. Ties are broken by
     /// document id for determinism.
     pub fn search(&self, terms: &[String], k: usize) -> Vec<SearchHit> {
-        let mut scores: std::collections::HashMap<DocId, (f64, u32)> =
-            std::collections::HashMap::new();
+        // Dense per-document accumulator: postings carry dense doc ids,
+        // so scoring indexes a flat array instead of hashing each hit.
+        let mut acc: Vec<(f64, u32)> = vec![(0.0, u32::MAX); self.num_docs()];
+        let mut seen: Vec<bool> = vec![false; self.num_docs()];
+        let mut touched: Vec<DocId> = Vec::new();
         for term in terms {
-            let idf = self.idf(term);
-            if let Some(postings) = self.postings(term) {
-                for p in postings.iter() {
-                    let w = tf_idf_weight(p.positions.len(), idf);
-                    let entry = scores.entry(p.doc).or_insert((0.0, u32::MAX));
-                    entry.0 += w;
+            if let Some(id) = self.term_id(term) {
+                let idf = self.idf_id(id);
+                for p in self.postings_id(id).iter() {
+                    let i = p.doc.0 as usize;
+                    if !seen[i] {
+                        seen[i] = true;
+                        touched.push(p.doc);
+                    }
+                    let entry = &mut acc[i];
+                    entry.0 += tf_idf_weight(p.positions.len(), idf);
                     entry.1 = entry.1.min(p.positions[0]);
                 }
             }
         }
-        let mut hits: Vec<SearchHit> = scores
+        let hits: Vec<SearchHit> = touched
             .into_iter()
-            .map(|(doc, (score, first_match))| SearchHit {
-                doc,
-                score,
-                first_match,
+            .map(|doc| {
+                let (score, first_match) = acc[doc.0 as usize];
+                SearchHit {
+                    doc,
+                    score,
+                    first_match,
+                }
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
-        hits.truncate(k);
-        hits
+        top_k(hits, k)
     }
 
     /// Number of documents that match *all* query terms (conjunctive
@@ -79,7 +136,7 @@ impl Index {
             None => return Vec::new(),
         };
         let phrase_idf: f64 = terms.iter().map(|t| self.idf(t)).sum();
-        let mut hits: Vec<SearchHit> = matches
+        let hits: Vec<SearchHit> = matches
             .into_iter()
             .map(|(doc, positions)| SearchHit {
                 doc,
@@ -87,14 +144,7 @@ impl Index {
                 first_match: positions[0],
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
-        hits.truncate(k);
-        hits
+        top_k(hits, k)
     }
 
     /// Documents containing all terms (intersection of postings), or
@@ -108,11 +158,14 @@ impl Index {
         for t in terms {
             lists.push(self.postings(t)?);
         }
-        // Intersect starting from the shortest list.
+        // Intersect starting from the shortest list; each further list is
+        // merged with a galloping scan that adapts to skew (near-linear
+        // for similar lengths, logarithmic probes when one side is much
+        // longer).
         lists.sort_by_key(|p| p.doc_count());
         let mut docs: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
         for list in &lists[1..] {
-            docs.retain(|d| list.get(*d).is_some());
+            intersect_galloping(&mut docs, list.entries());
             if docs.is_empty() {
                 break;
             }
@@ -248,6 +301,65 @@ mod tests {
         let idx = build(&["something here"]);
         assert!(idx.search(&[], 5).is_empty());
         assert_eq!(idx.phrase_count(&[]), 0);
+    }
+
+    #[test]
+    fn galloping_intersection_matches_naive() {
+        use crate::postings::{DocId, Posting};
+        // Deterministic pseudo-random doc id sets of very different sizes.
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let mut next = move |m: u64| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % m
+        };
+        for (n_small, n_big) in [(0, 50), (3, 1000), (40, 45), (100, 100), (7, 8000)] {
+            let mut small: Vec<u32> = (0..n_small).map(|_| next(10_000) as u32).collect();
+            small.sort_unstable();
+            small.dedup();
+            let mut big: Vec<u32> = (0..n_big).map(|_| next(10_000) as u32).collect();
+            // Force some overlap.
+            big.extend(small.iter().copied().step_by(2));
+            big.sort_unstable();
+            big.dedup();
+            let entries: Vec<Posting> = big
+                .iter()
+                .map(|&d| Posting {
+                    doc: DocId(d),
+                    positions: vec![0],
+                })
+                .collect();
+            let expect: Vec<DocId> = small
+                .iter()
+                .filter(|d| big.binary_search(d).is_ok())
+                .map(|&d| DocId(d))
+                .collect();
+            let mut docs: Vec<DocId> = small.iter().map(|&d| DocId(d)).collect();
+            super::intersect_galloping(&mut docs, &entries);
+            assert_eq!(docs, expect, "n_small={n_small} n_big={n_big}");
+        }
+    }
+
+    #[test]
+    fn top_k_selection_matches_full_sort() {
+        let idx = build(&[
+            "apple banana",
+            "apple",
+            "apple apple",
+            "banana banana apple",
+            "apple cherry",
+            "cherry apple apple",
+            "banana",
+            "apple date",
+        ]);
+        let q = terms("apple banana");
+        let full = idx.search(&q, usize::MAX);
+        for k in 0..=full.len() + 2 {
+            let topk = idx.search(&q, k);
+            assert_eq!(topk.len(), full.len().min(k));
+            assert_eq!(&full[..topk.len()], &topk[..], "k={k}");
+        }
     }
 
     #[test]

@@ -7,7 +7,14 @@
 //! `freq_phrase_contained` — the number of queries containing the concept
 //! as a contiguous phrase. Both counters are pre-computed here with an
 //! n-gram table so feature extraction is O(1) per lookup.
+//!
+//! Internally every term is interned into a dense [`TermId`] and all
+//! tables are keyed on id sequences (`Box<[TermId]>`) hashed directly —
+//! no joined-`String` keys anywhere on the lookup path. The `&[String]`
+//! entry points survive as thin shims that resolve terms through the
+//! interner first (an unknown term proves the count is zero).
 
+use ctxrank_text::{Interner, TermId};
 use std::collections::HashMap;
 
 /// Longest phrase length tracked by the n-gram containment table.
@@ -26,13 +33,17 @@ pub struct LogQuery {
 #[derive(Debug, Default)]
 pub struct QueryLog {
     queries: Vec<LogQuery>,
-    /// Joined query string -> index into `queries`.
-    exact: HashMap<String, usize>,
-    /// n-gram (joined by space) -> total freq of queries containing it
-    /// as a contiguous phrase (each query counted once per distinct gram).
-    ngram_freq: HashMap<String, u64>,
-    /// term -> total freq of queries containing the term.
-    term_freq: HashMap<String, u64>,
+    /// Interned id sequence of each query (parallel to `queries`).
+    query_ids: Vec<Box<[TermId]>>,
+    /// Term → dense id. Every term of every query is interned.
+    interner: Interner,
+    /// Id sequence -> index into `queries`.
+    exact: HashMap<Box<[TermId]>, usize>,
+    /// n-gram id sequence -> total freq of queries containing it as a
+    /// contiguous phrase (each query counted once per distinct gram).
+    ngram_freq: HashMap<Box<[TermId]>, u64>,
+    /// Indexed by `TermId`: total freq of queries containing the term.
+    term_freq: Vec<u64>,
     /// Sum of all query frequencies.
     total: u64,
 }
@@ -58,36 +69,41 @@ impl QueryLog {
         if terms.is_empty() || freq == 0 {
             return;
         }
-        let key = terms.join(" ");
-        match self.exact.get(&key) {
+        let ids: Vec<TermId> = terms.iter().map(|t| self.interner.intern(t)).collect();
+        self.term_freq.resize(self.interner.len(), 0);
+        match self.exact.get(ids.as_slice()) {
             Some(&i) => {
                 self.queries[i].freq += freq;
             }
             None => {
-                self.queries.push(LogQuery {
-                    terms: terms.clone(),
-                    freq,
-                });
-                self.exact.insert(key, self.queries.len() - 1);
+                self.queries.push(LogQuery { terms, freq });
+                self.query_ids.push(ids.clone().into_boxed_slice());
+                self.exact
+                    .insert(ids.clone().into_boxed_slice(), self.queries.len() - 1);
             }
         }
         // Update n-gram containment counts (each distinct gram of the
         // query counted once, weighted by freq).
-        let mut seen = std::collections::HashSet::new();
-        for n in 1..=MAX_NGRAM.min(terms.len()) {
-            for start in 0..=(terms.len() - n) {
-                let gram = terms[start..start + n].join(" ");
-                if seen.insert(gram.clone()) {
-                    *self.ngram_freq.entry(gram).or_insert(0) += freq;
+        let mut seen: std::collections::HashSet<&[TermId]> = std::collections::HashSet::new();
+        for n in 1..=MAX_NGRAM.min(ids.len()) {
+            for start in 0..=(ids.len() - n) {
+                let gram = &ids[start..start + n];
+                if seen.insert(gram) {
+                    match self.ngram_freq.get_mut(gram) {
+                        Some(f) => *f += freq,
+                        None => {
+                            self.ngram_freq.insert(gram.into(), freq);
+                        }
+                    }
                 }
             }
         }
         // Term containment (distinct terms only).
-        let mut term_seen = std::collections::HashSet::new();
-        for t in &terms {
-            if term_seen.insert(t.as_str()) {
-                *self.term_freq.entry(t.clone()).or_insert(0) += freq;
-            }
+        let mut term_seen: Vec<TermId> = ids.clone();
+        term_seen.sort_unstable();
+        term_seen.dedup();
+        for t in term_seen {
+            self.term_freq[t.idx()] += freq;
         }
         self.total += freq;
     }
@@ -107,14 +123,39 @@ impl QueryLog {
         self.queries.iter()
     }
 
+    /// The term interner backing the id-keyed tables.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interned id sequence of the `i`-th distinct query (parallel to
+    /// [`Self::queries`]).
+    pub fn query_ids(&self, i: usize) -> &[TermId] {
+        &self.query_ids[i]
+    }
+
+    /// Resolve a term sequence against the log's interner; `None` when
+    /// any term never occurred in a query.
+    pub fn ids_of(&self, terms: &[String]) -> Option<Vec<TermId>> {
+        self.interner.ids_of(terms)
+    }
+
     /// Feature 1, `freq_exact`: submissions of queries exactly equal to
     /// the concept.
     pub fn freq_exact(&self, concept_terms: &[String]) -> u64 {
-        if concept_terms.is_empty() {
+        match self.ids_of(concept_terms) {
+            Some(ids) => self.freq_exact_ids(&ids),
+            None => 0,
+        }
+    }
+
+    /// Id-keyed form of [`Self::freq_exact`].
+    pub fn freq_exact_ids(&self, concept_ids: &[TermId]) -> u64 {
+        if concept_ids.is_empty() {
             return 0;
         }
         self.exact
-            .get(&concept_terms.join(" "))
+            .get(concept_ids)
             .map_or(0, |&i| self.queries[i].freq)
     }
 
@@ -123,26 +164,38 @@ impl QueryLog {
     /// matches). Phrases longer than [`MAX_NGRAM`] terms fall back to a
     /// linear scan.
     pub fn freq_phrase_contained(&self, concept_terms: &[String]) -> u64 {
-        if concept_terms.is_empty() {
+        match self.ids_of(concept_terms) {
+            Some(ids) => self.freq_phrase_contained_ids(&ids),
+            None => 0,
+        }
+    }
+
+    /// Id-keyed form of [`Self::freq_phrase_contained`].
+    pub fn freq_phrase_contained_ids(&self, concept_ids: &[TermId]) -> u64 {
+        if concept_ids.is_empty() {
             return 0;
         }
-        if concept_terms.len() <= MAX_NGRAM {
-            return self
-                .ngram_freq
-                .get(&concept_terms.join(" "))
-                .copied()
-                .unwrap_or(0);
+        if concept_ids.len() <= MAX_NGRAM {
+            return self.ngram_freq.get(concept_ids).copied().unwrap_or(0);
         }
-        self.queries
+        self.query_ids
             .iter()
-            .filter(|q| contains_phrase(&q.terms, concept_terms))
-            .map(|q| q.freq)
+            .zip(&self.queries)
+            .filter(|(ids, _)| contains_subseq(ids, concept_ids))
+            .map(|(_, q)| q.freq)
             .sum()
     }
 
     /// Submissions of queries containing `term` anywhere.
     pub fn freq_term_contained(&self, term: &str) -> u64 {
-        self.term_freq.get(term).copied().unwrap_or(0)
+        self.interner
+            .get(term)
+            .map_or(0, |id| self.freq_term_id(id))
+    }
+
+    /// Id-keyed form of [`Self::freq_term_contained`].
+    pub fn freq_term_id(&self, id: TermId) -> u64 {
+        self.term_freq.get(id.idx()).copied().unwrap_or(0)
     }
 
     /// Probability that a random submission contains `term`.
@@ -151,6 +204,15 @@ impl QueryLog {
             0.0
         } else {
             self.freq_term_contained(term) as f64 / self.total as f64
+        }
+    }
+
+    /// Id-keyed form of [`Self::p_term`].
+    pub fn p_term_id(&self, id: TermId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.freq_term_id(id) as f64 / self.total as f64
         }
     }
 
@@ -163,10 +225,27 @@ impl QueryLog {
             self.freq_phrase_contained(terms) as f64 / self.total as f64
         }
     }
+
+    /// Id-keyed form of [`Self::p_phrase`].
+    pub fn p_phrase_ids(&self, ids: &[TermId]) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.freq_phrase_contained_ids(ids) as f64 / self.total as f64
+        }
+    }
 }
 
 /// Does `haystack` contain `needle` as a contiguous subsequence?
 pub fn contains_phrase(haystack: &[String], needle: &[String]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Id-slice version of [`contains_phrase`].
+fn contains_subseq(haystack: &[TermId], needle: &[TermId]) -> bool {
     if needle.is_empty() || needle.len() > haystack.len() {
         return false;
     }
@@ -268,5 +347,32 @@ mod tests {
         log.add("spam spam", 4);
         assert_eq!(log.freq_phrase_contained(&t("spam")), 4);
         assert_eq!(log.freq_term_contained("spam"), 4);
+    }
+
+    #[test]
+    fn id_and_string_lookups_agree() {
+        let log = sample_log();
+        for q in [t("global warming"), t("warming"), t("tom cruise")] {
+            let ids = log.ids_of(&q).expect("known terms");
+            assert_eq!(log.freq_exact(&q), log.freq_exact_ids(&ids));
+            assert_eq!(
+                log.freq_phrase_contained(&q),
+                log.freq_phrase_contained_ids(&ids)
+            );
+            assert_eq!(log.p_phrase(&q), log.p_phrase_ids(&ids));
+        }
+        assert!(log.ids_of(&t("totally absent")).is_none());
+    }
+
+    #[test]
+    fn query_ids_parallel_to_queries() {
+        let log = sample_log();
+        for (i, q) in log.queries().enumerate() {
+            let ids = log.query_ids(i);
+            assert_eq!(ids.len(), q.terms.len());
+            for (id, term) in ids.iter().zip(&q.terms) {
+                assert_eq!(log.interner().term(*id), Some(term.as_str()));
+            }
+        }
     }
 }

@@ -8,7 +8,8 @@
 //! query terms within the input phrase" (§IV-B). It returns at most twenty
 //! feedback terms per query.
 
-use ctxrank_index::Index;
+use ctxrank_index::{DocId, Index};
+use ctxrank_text::TermId;
 use std::collections::HashMap;
 
 /// Number of top-ranked documents considered, as in the paper.
@@ -18,6 +19,11 @@ pub const PRISMA_MAX_TERMS: usize = 20;
 
 /// A Prisma-style pseudo-relevance-feedback engine over a document
 /// [`Index`].
+///
+/// Construction pre-computes per-document `(term id, tf, first position)`
+/// stats and per-vocabulary stop-word flags once, so scoring a feedback
+/// pool touches no strings and re-counts no documents — the same corpus
+/// is probed for every mined surface.
 #[derive(Debug)]
 pub struct Prisma<'a> {
     index: &'a Index,
@@ -26,16 +32,57 @@ pub struct Prisma<'a> {
     /// initial results — the characteristic weakness that makes Prisma
     /// the poorest relevance-mining resource in the paper (Table IV).
     pub expansion_rounds: usize,
+    /// Stop-word flag per vocabulary term, indexed by [`TermId`].
+    stop: Vec<bool>,
+    /// Per document: `(term, tf, first_pos)` in first-occurrence order.
+    doc_stats: Vec<Vec<(TermId, u32, u32)>>,
 }
 
 impl<'a> Prisma<'a> {
     /// Wrap an index (one expansion round, as the production tool's
     /// behaviour suggests).
     pub fn new(index: &'a Index) -> Self {
+        let vocab = index.interner().len();
+        let mut stop = vec![false; vocab];
+        for (id, term) in index.interner().iter() {
+            stop[id.idx()] = ctxrank_text::is_stopword(term);
+        }
+        // One pass per document with a vocabulary-sized scratch table
+        // (reset via the touched list, not a full sweep).
+        let mut slot: Vec<u32> = vec![u32::MAX; vocab];
+        let mut doc_stats = Vec::with_capacity(index.num_docs());
+        for d in 0..index.num_docs() {
+            let doc = index.doc(DocId(d as u32));
+            let mut stats: Vec<(TermId, u32, u32)> = Vec::new();
+            for (pos, &tid) in doc.term_ids.iter().enumerate() {
+                let s = slot[tid.idx()];
+                if s == u32::MAX {
+                    slot[tid.idx()] = stats.len() as u32;
+                    stats.push((tid, 1, pos as u32));
+                } else {
+                    stats[s as usize].1 += 1;
+                }
+            }
+            for &(tid, _, _) in &stats {
+                slot[tid.idx()] = u32::MAX;
+            }
+            doc_stats.push(stats);
+        }
         Self {
             index,
             expansion_rounds: 1,
+            stop,
+            doc_stats,
         }
+    }
+
+    /// Resolve query terms against the index vocabulary (terms outside
+    /// the vocabulary cannot occur in any document).
+    fn query_ids(&self, query_terms: &[String]) -> Vec<TermId> {
+        query_terms
+            .iter()
+            .filter_map(|t| self.index.term_id(t))
+            .collect()
     }
 
     /// Feedback terms for `query_terms`: at most `max_terms` terms scored
@@ -53,6 +100,7 @@ impl<'a> Prisma<'a> {
         // Initial retrieval plus pseudo-feedback expansion rounds: the
         // top terms of each round are re-issued as a query and the newly
         // retrieved documents join the feedback pool.
+        let query_ids = self.query_ids(query_terms);
         let mut hits = self
             .index
             .search(query_terms, top_docs / (1 + self.expansion_rounds));
@@ -60,15 +108,25 @@ impl<'a> Prisma<'a> {
             // Drift mechanism: expansion picks the most *frequent* terms
             // of the current pool (tf, no idf) — the classic PRF failure
             // mode of chasing common vocabulary.
-            let mut tf: HashMap<&str, usize> = HashMap::new();
+            let mut tf: HashMap<TermId, usize> = HashMap::new();
             for hit in &hits {
-                for term in &self.index.doc(hit.doc).terms {
-                    if !ctxrank_text::is_stopword(term) && !query_terms.iter().any(|q| q == term) {
-                        *tf.entry(term.as_str()).or_insert(0) += 1;
+                for &(tid, n, _) in &self.doc_stats[hit.doc.0 as usize] {
+                    if !self.stop[tid.idx()] && !query_ids.contains(&tid) {
+                        *tf.entry(tid).or_insert(0) += n as usize;
                     }
                 }
             }
-            let mut by_tf: Vec<(&str, usize)> = tf.into_iter().collect();
+            let mut by_tf: Vec<(&str, usize)> = tf
+                .into_iter()
+                .map(|(tid, n)| {
+                    let term = self
+                        .index
+                        .interner()
+                        .term(tid)
+                        .expect("doc stats use index ids");
+                    (term, n)
+                })
+                .collect();
             by_tf.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
             let expansion: Vec<String> = by_tf.iter().take(5).map(|(t, _)| t.to_string()).collect();
             if expansion.is_empty() {
@@ -95,34 +153,29 @@ impl<'a> Prisma<'a> {
             hits = merged;
             hits.truncate(top_docs);
         }
-        self.score_docs(&hits, query_terms, max_terms)
+        self.score_docs(&hits, &query_ids, max_terms)
     }
 
-    /// PRF scoring of one document pool.
+    /// PRF scoring of one document pool, entirely in id space.
     fn score_docs(
         &self,
         hits: &[ctxrank_index::SearchHit],
-        query_terms: &[String],
+        query_ids: &[TermId],
         max_terms: usize,
     ) -> Vec<(String, f64)> {
-        let mut scores: HashMap<&str, f64> = HashMap::new();
+        let mut scores: HashMap<TermId, f64> = HashMap::new();
 
         for (rank, hit) in hits.iter().enumerate() {
             let rank_discount = 1.0 / (1.0 + (rank as f64)).ln_1p();
             let doc = self.index.doc(hit.doc);
             let n = doc.terms.len().max(1) as f64;
-            let mut counted: HashMap<&str, (usize, usize)> = HashMap::new();
-            for (pos, term) in doc.terms.iter().enumerate() {
-                let entry = counted.entry(term.as_str()).or_insert((0, pos));
-                entry.0 += 1;
-            }
-            for (term, (tf, first_pos)) in counted {
-                if ctxrank_text::is_stopword(term) || query_terms.iter().any(|q| q == term) {
+            for &(tid, tf, first_pos) in &self.doc_stats[hit.doc.0 as usize] {
+                if self.stop[tid.idx()] || query_ids.contains(&tid) {
                     continue;
                 }
                 // Terms appearing earlier in the document count more.
                 let position_boost = 1.0 + (1.0 - first_pos as f64 / n);
-                *scores.entry(term).or_insert(0.0) += tf as f64 * rank_discount * position_boost;
+                *scores.entry(tid).or_insert(0.0) += tf as f64 * rank_discount * position_boost;
             }
         }
 
@@ -132,7 +185,14 @@ impl<'a> Prisma<'a> {
         // vocabulary.
         let mut out: Vec<(String, f64)> = scores
             .into_iter()
-            .map(|(t, s)| (t.to_string(), s))
+            .map(|(tid, s)| {
+                let term = self
+                    .index
+                    .interner()
+                    .term(tid)
+                    .expect("doc stats use index ids");
+                (term.to_string(), s)
+            })
             .collect();
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)

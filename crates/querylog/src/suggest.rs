@@ -8,6 +8,7 @@
 //! (non-stop-word) term with it, excluding the concept itself.
 
 use crate::log::{contains_phrase, QueryLog};
+use ctxrank_text::TermId;
 use std::collections::HashMap;
 
 /// Maximum suggestions returned, as in the paper.
@@ -17,8 +18,8 @@ pub const MAX_SUGGESTIONS: usize = 300;
 #[derive(Debug)]
 pub struct SuggestionService<'a> {
     log: &'a QueryLog,
-    /// term -> indices of distinct queries containing it.
-    by_term: HashMap<String, Vec<usize>>,
+    /// term id -> indices of distinct queries containing it.
+    by_term: HashMap<TermId, Vec<usize>>,
 }
 
 /// One suggestion: the query terms and its submission frequency.
@@ -29,14 +30,15 @@ pub struct Suggestion {
 }
 
 impl<'a> SuggestionService<'a> {
-    /// Build the term-to-query index for `log`.
+    /// Build the term-to-query index for `log`, keyed by the log's
+    /// interned term ids.
     pub fn new(log: &'a QueryLog) -> Self {
-        let mut by_term: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_term: HashMap<TermId, Vec<usize>> = HashMap::new();
         for (i, q) in log.queries().enumerate() {
             let mut seen = std::collections::HashSet::new();
-            for t in &q.terms {
-                if !ctxrank_text::is_stopword(t) && seen.insert(t.as_str()) {
-                    by_term.entry(t.clone()).or_default().push(i);
+            for (t, &id) in q.terms.iter().zip(log.query_ids(i)) {
+                if !ctxrank_text::is_stopword(t) && seen.insert(id) {
+                    by_term.entry(id).or_default().push(i);
                 }
             }
         }
@@ -50,7 +52,10 @@ impl<'a> SuggestionService<'a> {
         let queries: Vec<&crate::log::LogQuery> = self.log.queries().collect();
         let mut overlap: HashMap<usize, usize> = HashMap::new();
         for t in concept_terms {
-            if let Some(idxs) = self.by_term.get(t) {
+            let Some(id) = self.log.interner().get(t) else {
+                continue;
+            };
+            if let Some(idxs) = self.by_term.get(&id) {
                 for &i in idxs {
                     *overlap.entry(i).or_insert(0) += 1;
                 }

@@ -16,9 +16,18 @@
 //! (adjacent in a query) and `p(x)`, `p(y)` the marginal probabilities.
 //! Unit scores are normalized to `[0, 1]`, low scores are punished and
 //! pruned, mirroring the treatment of term-vector weights.
+//!
+//! Extraction runs entirely in the query log's id space — candidate
+//! phrases are `&[TermId]` slices of interned queries, hashed directly.
+//! The finished [`UnitDictionary`] is frozen onto its *own* interner
+//! (covering exactly the terms used by at least one unit) and a
+//! [`PhraseTrie`] mapping id sequences to units, so detectors can walk
+//! token streams incrementally without joining strings.
 
 use crate::log::QueryLog;
-use std::collections::HashMap;
+use ctxrank_text::trie::NodeId;
+use ctxrank_text::{Interner, PhraseTrie, TermId};
+use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs for unit extraction.
 #[derive(Debug, Clone)]
@@ -64,21 +73,81 @@ pub struct Unit {
     pub score: f64,
 }
 
-/// The set of extracted units, keyed by the space-joined term sequence.
+/// The set of extracted units, keyed by term-id sequence through a
+/// [`PhraseTrie`] over the dictionary's own interner.
 #[derive(Debug, Default)]
 pub struct UnitDictionary {
-    units: HashMap<String, Unit>,
+    /// Units in deterministic (id-sequence-sorted) order.
+    units: Vec<Unit>,
+    /// Space-joined surface of each unit, parallel to `units`.
+    surfaces: Vec<String>,
+    /// Terms used by at least one unit.
+    interner: Interner,
+    /// Id sequence -> index into `units`.
+    trie: PhraseTrie<u32>,
 }
 
 impl UnitDictionary {
-    /// Look up a unit by its term sequence.
-    pub fn get(&self, terms: &[String]) -> Option<&Unit> {
-        self.units.get(&terms.join(" "))
+    /// The dictionary's term interner. Terms absent here occur in no
+    /// unit, so detectors can drop them from consideration up front.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
-    /// Look up by the pre-joined key.
-    pub fn get_key(&self, key: &str) -> Option<&Unit> {
-        self.units.get(key)
+    /// Root node for an incremental [`Self::step`] walk.
+    pub fn root(&self) -> NodeId {
+        PhraseTrie::<u32>::ROOT
+    }
+
+    /// Extend a trie walk by one term; `None` when no unit continues
+    /// through `t` from `node`.
+    #[inline]
+    pub fn step(&self, node: NodeId, t: TermId) -> Option<NodeId> {
+        self.trie.step(node, t)
+    }
+
+    /// The unit whose term sequence ends exactly at `node`, if any.
+    #[inline]
+    pub fn unit_at(&self, node: NodeId) -> Option<&Unit> {
+        self.trie.value(node).map(|&i| &self.units[i as usize])
+    }
+
+    /// The index of the unit ending exactly at `node`, if any — the
+    /// allocation-free handle for dense per-document accumulators.
+    #[inline]
+    pub fn unit_index_at(&self, node: NodeId) -> Option<u32> {
+        self.trie.value(node).copied()
+    }
+
+    /// The unit at `idx` (as returned by [`Self::unit_index_at`]).
+    #[inline]
+    pub fn unit(&self, idx: u32) -> &Unit {
+        &self.units[idx as usize]
+    }
+
+    /// Precomputed space-joined surface of the unit at `idx`.
+    #[inline]
+    pub fn surface(&self, idx: u32) -> &str {
+        &self.surfaces[idx as usize]
+    }
+
+    /// Index of the single-term unit for `id`, if one exists.
+    #[inline]
+    pub fn single_unit(&self, id: TermId) -> Option<u32> {
+        self.trie
+            .step(PhraseTrie::<u32>::ROOT, id)
+            .and_then(|n| self.trie.value(n).copied())
+    }
+
+    /// Look up a unit by its id sequence (ids from [`Self::interner`]).
+    pub fn get_ids(&self, ids: &[TermId]) -> Option<&Unit> {
+        self.trie.get(ids).map(|&i| &self.units[i as usize])
+    }
+
+    /// Look up a unit by its term sequence.
+    pub fn get(&self, terms: &[String]) -> Option<&Unit> {
+        let ids = self.interner.ids_of(terms)?;
+        self.get_ids(&ids)
     }
 
     /// Number of units.
@@ -91,9 +160,9 @@ impl UnitDictionary {
         self.units.is_empty()
     }
 
-    /// Iterate all units in arbitrary order.
+    /// Iterate all units in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = &Unit> {
-        self.units.values()
+        self.units.iter()
     }
 
     /// The unit score for a term sequence, zero when absent. This is
@@ -109,12 +178,22 @@ impl UnitDictionary {
         if terms.len() < min_len {
             return 0;
         }
+        let ids = self.interner.map_tokens(terms);
         let mut count = 0;
-        for n in min_len..terms.len() {
-            for start in 0..=(terms.len() - n) {
-                if let Some(u) = self.get(&terms[start..start + n]) {
-                    if u.score > min_score {
-                        count += 1;
+        for start in 0..terms.len() {
+            let mut node = self.root();
+            for (len, id) in ids[start..].iter().enumerate().map(|(k, id)| (k + 1, id)) {
+                let Some(t) = id else { break };
+                let Some(next) = self.step(node, *t) else {
+                    break;
+                };
+                node = next;
+                // Proper sub-units only: shorter than the full sequence.
+                if len >= min_len && len < terms.len() {
+                    if let Some(u) = self.unit_at(node) {
+                        if u.score > min_score {
+                            count += 1;
+                        }
                     }
                 }
             }
@@ -122,9 +201,22 @@ impl UnitDictionary {
         count
     }
 
-    fn insert(&mut self, unit: Unit) {
-        self.units.insert(unit.terms.join(" "), unit);
+    fn freeze(&mut self, unit: Unit) {
+        let ids: Vec<TermId> = unit.terms.iter().map(|t| self.interner.intern(t)).collect();
+        let idx = self.units.len() as u32;
+        if self.trie.insert(&ids, idx).is_none() {
+            self.surfaces.push(unit.terms.join(" "));
+            self.units.push(unit);
+        }
     }
+}
+
+/// A unit under construction, in the *log's* id space.
+struct Draft {
+    ids: Vec<TermId>,
+    freq: u64,
+    mi: f64,
+    score: f64,
 }
 
 /// Extract units from `log` with the given configuration.
@@ -135,19 +227,26 @@ impl UnitDictionary {
 /// and repeats until no new unit appears or `max_terms` is reached.
 /// Finally scores are max-normalized, punished and pruned.
 pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
-    let mut dict = UnitDictionary::default();
+    let mut drafts: Vec<Draft> = Vec::new();
+    let mut known: HashSet<Box<[TermId]>> = HashSet::new();
 
-    // Iteration 1: single terms.
-    let mut single: HashMap<&str, u64> = HashMap::new();
-    for q in log.queries() {
-        for t in &q.terms {
-            *single.entry(t.as_str()).or_insert(0) += q.freq;
+    // Iteration 1: single terms, occurrence-weighted (a term appearing
+    // twice in one query counts that query's frequency twice).
+    let mut single_freq: Vec<u64> = vec![0; log.interner().len()];
+    for (qi, q) in log.queries().enumerate() {
+        for id in log.query_ids(qi) {
+            single_freq[id.idx()] += q.freq;
         }
     }
-    for (term, freq) in &single {
-        dict.insert(Unit {
-            terms: vec![term.to_string()],
-            freq: *freq,
+    for (idx, &freq) in single_freq.iter().enumerate() {
+        if freq == 0 {
+            continue;
+        }
+        let id = TermId(idx as u32);
+        known.insert(vec![id].into_boxed_slice());
+        drafts.push(Draft {
+            ids: vec![id],
+            freq,
             mi: 0.0,
             score: 0.0, // filled in during normalization below
         });
@@ -157,40 +256,46 @@ pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
     // or other units, growing by segmentation of each query.
     let mut current_len = 1;
     while current_len < config.max_terms {
-        let mut pair_freq: HashMap<(String, String), u64> = HashMap::new();
-        for q in log.queries() {
+        let mut pair_freq: HashMap<Box<[TermId]>, u64> = HashMap::new();
+        for (qi, q) in log.queries().enumerate() {
             // Find adjacent (left, right) pairs where `left` is a known
             // unit of length `current_len` and `right` a known single
             // term, producing a candidate of length current_len + 1.
-            if q.terms.len() < current_len + 1 {
+            let ids = log.query_ids(qi);
+            if ids.len() < current_len + 1 {
                 continue;
             }
-            for start in 0..=(q.terms.len() - current_len - 1) {
-                let left = q.terms[start..start + current_len].join(" ");
-                let right = &q.terms[start + current_len];
-                if dict.get_key(&left).is_some() && dict.get_key(right).is_some() {
-                    *pair_freq.entry((left.clone(), right.clone())).or_insert(0) += q.freq;
+            for start in 0..=(ids.len() - current_len - 1) {
+                let cand = &ids[start..start + current_len + 1];
+                let left = &cand[..current_len];
+                let right = &cand[current_len..];
+                if known.contains(left) && known.contains(right) {
+                    match pair_freq.get_mut(cand) {
+                        Some(f) => *f += q.freq,
+                        None => {
+                            pair_freq.insert(cand.into(), q.freq);
+                        }
+                    }
                 }
             }
         }
         let mut added = 0;
-        for ((left, right), freq) in pair_freq {
+        for (cand, freq) in pair_freq {
             if freq < config.min_pair_freq {
                 continue;
             }
-            let left_terms: Vec<String> = left.split(' ').map(str::to_string).collect();
-            let mut terms = left_terms.clone();
-            terms.push(right.clone());
-            let p_joint = log.p_phrase(&terms);
-            let p_left = log.p_phrase(&left_terms);
-            let p_right = log.p_term(&right);
+            let left = &cand[..current_len];
+            let right = cand[current_len];
+            let p_joint = log.p_phrase_ids(&cand);
+            let p_left = log.p_phrase_ids(left);
+            let p_right = log.p_term_id(right);
             if p_joint <= 0.0 || p_left <= 0.0 || p_right <= 0.0 {
                 continue;
             }
             let mi = (p_joint / (p_left * p_right)).ln();
-            if mi >= config.min_mi {
-                dict.insert(Unit {
-                    terms,
+            if mi >= config.min_mi && known.insert(cand.clone()) {
+                drafts.push(Draft {
+                    ids: cand.into_vec(),
                     freq,
                     mi,
                     score: 0.0,
@@ -204,7 +309,30 @@ pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
         current_len += 1;
     }
 
-    normalize_scores(&mut dict, config);
+    normalize_scores(&mut drafts, config);
+
+    // Freeze in id-sequence order so unit indices (and hence iteration
+    // order) are deterministic regardless of hash-map iteration order.
+    drafts.sort_by(|a, b| a.ids.cmp(&b.ids));
+    let mut dict = UnitDictionary::default();
+    for d in drafts {
+        let terms: Vec<String> = d
+            .ids
+            .iter()
+            .map(|&id| {
+                log.interner()
+                    .term(id)
+                    .expect("draft ids come from the log interner")
+                    .to_string()
+            })
+            .collect();
+        dict.freeze(Unit {
+            terms,
+            freq: d.freq,
+            mi: d.mi,
+            score: d.score,
+        });
+    }
     dict
 }
 
@@ -213,17 +341,16 @@ pub fn extract_units(log: &QueryLog, config: &UnitConfig) -> UnitDictionary {
 /// Multi-term units are scored by their MI relative to the maximum MI
 /// observed; single-term units by log-frequency relative to the maximum
 /// log-frequency (a frequency proxy, since MI is undefined for one term).
-fn normalize_scores(dict: &mut UnitDictionary, config: &UnitConfig) {
-    let max_mi = dict.units.values().map(|u| u.mi).fold(0.0_f64, f64::max);
-    let max_logfreq = dict
-        .units
-        .values()
-        .filter(|u| u.terms.len() == 1)
+fn normalize_scores(drafts: &mut Vec<Draft>, config: &UnitConfig) {
+    let max_mi = drafts.iter().map(|u| u.mi).fold(0.0_f64, f64::max);
+    let max_logfreq = drafts
+        .iter()
+        .filter(|u| u.ids.len() == 1)
         .map(|u| (u.freq as f64).ln_1p())
         .fold(0.0_f64, f64::max);
 
-    for u in dict.units.values_mut() {
-        u.score = if u.terms.len() > 1 {
+    for u in drafts.iter_mut() {
+        u.score = if u.ids.len() > 1 {
             if max_mi > 0.0 {
                 (u.mi / max_mi).clamp(0.0, 1.0)
             } else {
@@ -238,7 +365,7 @@ fn normalize_scores(dict: &mut UnitDictionary, config: &UnitConfig) {
             u.score *= config.punish_factor;
         }
     }
-    dict.units.retain(|_, u| u.score >= config.drop_below);
+    drafts.retain(|u| u.score >= config.drop_below);
 }
 
 #[cfg(test)]
@@ -351,8 +478,73 @@ mod tests {
     }
 
     #[test]
+    fn subunits_match_naive_enumeration() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        let probes = [
+            t("new york subway map"),
+            t("new york hotels"),
+            t("red car insurance"),
+            t("unknownterm new york"),
+        ];
+        for terms in probes {
+            for min_len in 1..=2 {
+                let mut naive = 0;
+                for n in min_len..terms.len() {
+                    for start in 0..=(terms.len() - n) {
+                        if let Some(u) = dict.get(&terms[start..start + n]) {
+                            if u.score > 0.0 {
+                                naive += 1;
+                            }
+                        }
+                    }
+                }
+                assert_eq!(
+                    dict.subunits_of(&terms, min_len, 0.0),
+                    naive,
+                    "terms={terms:?} min_len={min_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn score_lookup_absent_is_zero() {
         let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
         assert_eq!(dict.score(&t("does not exist")), 0.0);
+    }
+
+    #[test]
+    fn id_and_string_lookups_agree() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        for u in dict.iter() {
+            let ids = dict
+                .interner()
+                .ids_of(&u.terms)
+                .expect("unit terms are interned");
+            assert_eq!(dict.get_ids(&ids), Some(u));
+            assert_eq!(dict.get(&u.terms), Some(u));
+        }
+    }
+
+    #[test]
+    fn trie_walk_reaches_every_unit() {
+        let dict = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        for u in dict.iter() {
+            let mut node = dict.root();
+            for term in &u.terms {
+                let id = dict.interner().get(term).expect("interned");
+                node = dict.step(node, id).expect("walkable");
+            }
+            assert_eq!(dict.unit_at(node), Some(u));
+        }
+    }
+
+    #[test]
+    fn iteration_order_deterministic() {
+        let a = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        let b = extract_units(&cooccurrence_log(), &UnitConfig::default());
+        let seq_a: Vec<&Unit> = a.iter().collect();
+        let seq_b: Vec<&Unit> = b.iter().collect();
+        assert_eq!(seq_a, seq_b);
     }
 }

@@ -84,4 +84,50 @@ proptest! {
             prop_assert!(s.freq > 0);
         }
     }
+
+    /// Trie-backed `UnitDictionary::get` agrees with a legacy
+    /// String-keyed HashMap over the same units: identical hits (same
+    /// unit, bit-identical score) and identical misses, for arbitrary
+    /// extracted dictionaries and arbitrary probe sequences — including
+    /// probes containing terms no unit uses.
+    #[test]
+    fn trie_get_matches_string_keyed_reference(
+        entries in log_strategy(),
+        probes in prop::collection::vec(
+            prop::collection::vec("[a-e]{1,3}", 1..5),
+            0..20,
+        ),
+    ) {
+        let mut log = QueryLog::new();
+        for (terms, freq) in &entries {
+            log.add_terms(terms.clone(), *freq);
+        }
+        let units = extract_units(&log, &UnitConfig::default());
+        // The legacy representation: surface string -> unit.
+        let by_surface: std::collections::HashMap<String, &ctxrank_querylog::Unit> =
+            units.iter().map(|u| (u.terms.join(" "), u)).collect();
+        // Every unit is reachable through both representations.
+        for u in units.iter() {
+            prop_assert_eq!(units.get(&u.terms), Some(u));
+        }
+        for probe in &probes {
+            let got = units.get(probe);
+            let want = by_surface.get(&probe.join(" ")).copied();
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    prop_assert_eq!(g, w);
+                    prop_assert_eq!(g.score.to_bits(), w.score.to_bits());
+                    prop_assert_eq!(
+                        units.score(probe).to_bits(),
+                        w.score.to_bits()
+                    );
+                }
+                (g, w) => prop_assert!(false, "probe {:?}: trie {:?} vs map {:?}", probe, g, w),
+            }
+            if got.is_none() {
+                prop_assert_eq!(units.score(probe), 0.0);
+            }
+        }
+    }
 }

@@ -21,6 +21,20 @@ pub struct ConceptMatch {
     pub unit_score: f64,
 }
 
+/// An allocation-free concept detection: the matched unit is referenced
+/// by its dictionary index instead of a joined surface string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConceptIdMatch {
+    /// Token index where the concept starts.
+    pub token_start: usize,
+    /// Number of tokens covered.
+    pub token_len: usize,
+    /// Index of the matched unit (see [`UnitDictionary::unit`]).
+    pub unit: u32,
+    /// The unit score of the matched concept.
+    pub unit_score: f64,
+}
+
 /// Detector over the unit dictionary.
 #[derive(Debug)]
 pub struct ConceptDetector<'a> {
@@ -49,39 +63,71 @@ impl<'a> ConceptDetector<'a> {
     /// Scan `tokens` (already normalized) for concepts. Longest match
     /// wins at each position; matches never overlap; stop-words never
     /// start a concept.
+    ///
+    /// The scan projects the tokens into the dictionary's id space once,
+    /// then probes all window lengths at each position with a single
+    /// incremental trie descent — no per-window string joins or hashes.
+    /// A token unknown to the dictionary cuts every phrase through it.
     pub fn detect(&self, tokens: &[String]) -> Vec<ConceptMatch> {
+        self.detect_ids(tokens)
+            .into_iter()
+            .map(|m| ConceptMatch {
+                token_start: m.token_start,
+                token_len: m.token_len,
+                surface: tokens[m.token_start..m.token_start + m.token_len].join(" "),
+                unit_score: m.unit_score,
+            })
+            .collect()
+    }
+
+    /// [`Self::detect`] without surface materialization: matches carry
+    /// the unit's dictionary index, so scoring loops can accumulate into
+    /// dense per-unit arrays with zero allocation per match.
+    pub fn detect_ids(&self, tokens: &[String]) -> Vec<ConceptIdMatch> {
+        let ids = self.units.interner().map_tokens(tokens);
+        let stop: Vec<bool> = tokens
+            .iter()
+            .map(|t| ctxrank_text::is_stopword(t))
+            .collect();
+        let shortest = if self.allow_single { 1 } else { 2 };
         let mut out = Vec::new();
         let mut i = 0;
         while i < tokens.len() {
-            if ctxrank_text::is_stopword(&tokens[i]) {
+            if stop[i] {
                 i += 1;
                 continue;
             }
             let longest = self.max_terms.min(tokens.len() - i);
-            let shortest = if self.allow_single { 1 } else { 2 };
-            let mut matched = None;
-            for len in (shortest..=longest).rev() {
-                let slice = &tokens[i..i + len];
-                // A concept must not end with a stop-word either.
-                if ctxrank_text::is_stopword(&slice[len - 1]) {
+            // Walk the trie forward, remembering the longest qualifying
+            // match; a low-scoring longer unit never shadows a shorter
+            // qualifying one. A concept must not end with a stop-word.
+            let mut matched: Option<(usize, u32, f64)> = None;
+            let mut node = self.units.root();
+            for len in 1..=longest {
+                let Some(t) = ids[i + len - 1] else { break };
+                let Some(next) = self.units.step(node, t) else {
+                    break;
+                };
+                node = next;
+                if len < shortest || stop[i + len - 1] {
                     continue;
                 }
-                if let Some(unit) = self.units.get(slice) {
-                    if unit.score >= self.min_score {
-                        matched = Some(ConceptMatch {
-                            token_start: i,
-                            token_len: len,
-                            surface: slice.join(" "),
-                            unit_score: unit.score,
-                        });
-                        break;
+                if let Some(idx) = self.units.unit_index_at(node) {
+                    let score = self.units.unit(idx).score;
+                    if score >= self.min_score {
+                        matched = Some((len, idx, score));
                     }
                 }
             }
             match matched {
-                Some(m) => {
-                    i += m.token_len;
-                    out.push(m);
+                Some((len, unit, unit_score)) => {
+                    out.push(ConceptIdMatch {
+                        token_start: i,
+                        token_len: len,
+                        unit,
+                        unit_score,
+                    });
+                    i += len;
                 }
                 None => i += 1,
             }

@@ -13,7 +13,7 @@
 //! (several entries for one phrase) are disambiguated by scoring each
 //! entry's *context terms* against the surrounding sentence.
 
-use std::collections::HashMap;
+use ctxrank_text::{Interner, PhraseTrie, TermId};
 
 /// One dictionary entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,10 +38,20 @@ impl DictionaryEntry {
 }
 
 /// A frozen entity dictionary.
+///
+/// Surfaces are keyed by interned term-id sequences through a
+/// [`PhraseTrie`], so matching probes all phrase lengths at a token
+/// position in one incremental descent instead of joining and hashing a
+/// string per (position, length) pair.
 #[derive(Debug, Default)]
 pub struct EntityDictionary {
-    /// surface key -> candidate entries (ambiguous surfaces have > 1).
-    entries: HashMap<String, Vec<DictionaryEntry>>,
+    /// Candidate entries per surface (ambiguous surfaces have > 1),
+    /// indexed by the trie's stored value.
+    surfaces: Vec<Vec<DictionaryEntry>>,
+    /// Terms used by at least one surface.
+    interner: Interner,
+    /// Surface id sequence -> index into `surfaces`.
+    trie: PhraseTrie<u32>,
     /// Longest phrase length in the dictionary (bounds the match scan).
     max_len: usize,
 }
@@ -69,22 +79,38 @@ impl EntityDictionary {
     pub fn insert(&mut self, entry: DictionaryEntry) {
         assert!(!entry.terms.is_empty(), "dictionary entry needs terms");
         self.max_len = self.max_len.max(entry.terms.len());
-        self.entries.entry(entry.surface()).or_default().push(entry);
+        let ids: Vec<TermId> = entry
+            .terms
+            .iter()
+            .map(|t| self.interner.intern(t))
+            .collect();
+        match self.trie.get(&ids) {
+            Some(&idx) => self.surfaces[idx as usize].push(entry),
+            None => {
+                let idx = self.surfaces.len() as u32;
+                self.trie.insert(&ids, idx);
+                self.surfaces.push(vec![entry]);
+            }
+        }
     }
 
     /// Number of distinct surfaces.
     pub fn num_surfaces(&self) -> usize {
-        self.entries.len()
+        self.surfaces.len()
     }
 
     /// All candidate entries for a surface.
     pub fn candidates(&self, surface: &str) -> &[DictionaryEntry] {
-        self.entries.get(surface).map_or(&[], Vec::as_slice)
+        let terms: Vec<String> = surface.split(' ').map(str::to_string).collect();
+        self.interner
+            .ids_of(&terms)
+            .and_then(|ids| self.trie.get(&ids))
+            .map_or(&[], |&idx| self.surfaces[idx as usize].as_slice())
     }
 
     /// Resolve a match back to its entry.
     pub fn entry(&self, m: &DictMatch) -> &DictionaryEntry {
-        &self.entries[&m.surface][m.entry_index]
+        &self.candidates(&m.surface)[m.entry_index]
     }
 
     /// Scan a normalized token stream for dictionary phrases.
@@ -94,33 +120,42 @@ impl EntityDictionary {
     /// matches). Ambiguous surfaces are disambiguated by counting each
     /// candidate's `context_terms` in a window of `context_window` tokens
     /// around the match; ties go to the first-inserted entry.
+    ///
+    /// The tokens are projected into the dictionary's id space once, then
+    /// every position is probed with one incremental trie descent.
     pub fn detect(&self, tokens: &[String], context_window: usize) -> Vec<DictMatch> {
+        let ids = self.interner.map_tokens(tokens);
         let mut out = Vec::new();
         let mut i = 0;
         while i < tokens.len() {
-            let mut matched = None;
             let longest = self.max_len.min(tokens.len() - i);
-            for len in (1..=longest).rev() {
-                let surface = tokens[i..i + len].join(" ");
-                if let Some(cands) = self.entries.get(&surface) {
+            let mut matched: Option<(usize, u32)> = None;
+            let mut node = PhraseTrie::<u32>::ROOT;
+            for len in 1..=longest {
+                let Some(t) = ids[i + len - 1] else { break };
+                let Some(next) = self.trie.step(node, t) else {
+                    break;
+                };
+                node = next;
+                if let Some(&idx) = self.trie.value(node) {
+                    matched = Some((len, idx));
+                }
+            }
+            match matched {
+                Some((len, idx)) => {
+                    let cands = &self.surfaces[idx as usize];
                     let entry_index = if cands.len() == 1 {
                         0
                     } else {
                         disambiguate(cands, tokens, i, len, context_window)
                     };
-                    matched = Some(DictMatch {
+                    out.push(DictMatch {
                         token_start: i,
                         token_len: len,
                         entry_index,
-                        surface,
+                        surface: tokens[i..i + len].join(" "),
                     });
-                    break;
-                }
-            }
-            match matched {
-                Some(m) => {
-                    i += m.token_len;
-                    out.push(m);
+                    i += len;
                 }
                 None => i += 1,
             }
@@ -236,6 +271,93 @@ mod tests {
         let m2 = d.detect(&car_ctx, 8);
         assert_eq!(d.entry(&m1[0]).subtype, "mammal");
         assert_eq!(d.entry(&m2[0]).subtype, "car");
+    }
+
+    #[test]
+    fn three_way_ambiguity_picks_best_context() {
+        let mut d = EntityDictionary::new();
+        for (subtype, ctx) in [
+            ("city", "texas county courthouse"),
+            ("capital", "france seine louvre eiffel"),
+            ("person", "actress film hollywood"),
+        ] {
+            d.insert(DictionaryEntry {
+                terms: t("paris"),
+                type_code: 2,
+                subtype: subtype.into(),
+                geo: None,
+                context_terms: t(ctx),
+            });
+        }
+        let m = d.detect(&t("paris on the seine near the louvre"), 8);
+        assert_eq!(d.entry(&m[0]).subtype, "capital");
+        let m = d.detect(&t("the hollywood actress paris starred in a film"), 8);
+        assert_eq!(d.entry(&m[0]).subtype, "person");
+        // No context at all: tie at zero, first-inserted wins.
+        let m = d.detect(&t("paris"), 8);
+        assert_eq!(d.entry(&m[0]).subtype, "city");
+    }
+
+    #[test]
+    fn ambiguous_multiterm_surface_disambiguated() {
+        let mut d = EntityDictionary::new();
+        d.insert(DictionaryEntry {
+            terms: t("mercury records"),
+            type_code: 3,
+            subtype: "label".into(),
+            geo: None,
+            context_terms: t("album artist music"),
+        });
+        d.insert(DictionaryEntry {
+            terms: t("mercury records"),
+            type_code: 4,
+            subtype: "dataset".into(),
+            geo: None,
+            context_terms: t("probe orbit telemetry"),
+        });
+        let m = d.detect(&t("the probe sent mercury records and telemetry home"), 6);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].token_len, 2);
+        assert_eq!(d.entry(&m[0]).subtype, "dataset");
+    }
+
+    #[test]
+    fn context_outside_window_ignored() {
+        let mut d = EntityDictionary::new();
+        d.insert(DictionaryEntry {
+            terms: t("jaguar"),
+            type_code: 5,
+            subtype: "mammal".into(),
+            geo: None,
+            context_terms: t("jungle"),
+        });
+        d.insert(DictionaryEntry {
+            terms: t("jaguar"),
+            type_code: 6,
+            subtype: "car".into(),
+            geo: None,
+            context_terms: t("sedan"),
+        });
+        // "sedan" is adjacent, "jungle" is 4 tokens away: with window 1
+        // only the car evidence counts.
+        let tokens = t("jungle w x y jaguar sedan");
+        let m = d.detect(&tokens, 1);
+        assert_eq!(d.entry(&m[0]).subtype, "car");
+        // A wide window sees both (1 vs 1): tie goes to first-inserted.
+        let m = d.detect(&tokens, 10);
+        assert_eq!(d.entry(&m[0]).subtype, "mammal");
+    }
+
+    #[test]
+    fn candidates_listed_in_insertion_order() {
+        let mut d = EntityDictionary::new();
+        d.insert(entry("jaguar", 5, "mammal"));
+        d.insert(entry("jaguar", 6, "car"));
+        let cands = d.candidates("jaguar");
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].subtype, "mammal");
+        assert_eq!(cands[1].subtype, "car");
+        assert!(d.candidates("absent surface").is_empty());
     }
 
     #[test]

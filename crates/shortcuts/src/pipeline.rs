@@ -143,14 +143,21 @@ impl<'a> Pipeline<'a> {
             .map(|t| ctxrank_text::normalize_term(t.text))
             .collect();
         let sentence_spans = ctxrank_text::sentences(&text);
+        // Token starts are non-decreasing and sentence spans are sorted,
+        // so one merge pass assigns every token its sentence. Tokens
+        // outside any sentence get a unique id (never "same sentence").
+        let mut si = 0;
         let sentence_of: Vec<usize> = tokens
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                sentence_spans
-                    .iter()
-                    .position(|s| s.contains(t.start))
-                    .unwrap_or(usize::MAX - i)
+                while si < sentence_spans.len() && sentence_spans[si].end <= t.start {
+                    si += 1;
+                }
+                match sentence_spans.get(si) {
+                    Some(s) if s.contains(t.start) => si,
+                    _ => usize::MAX - i,
+                }
             })
             .collect();
         let same_sentence = |start: usize, len: usize| -> bool {
@@ -195,13 +202,16 @@ impl<'a> Pipeline<'a> {
         }
         let mut detector = ConceptDetector::new(self.units);
         detector.min_score = self.config.concept_min_score;
-        for m in detector.detect(&norm) {
+        // Id-space detection: the unit dictionary already stores each
+        // unit's joined surface, so no per-match join is needed and
+        // matches dropped by the sentence filter cost nothing.
+        for m in detector.detect_ids(&norm) {
             if !same_sentence(m.token_start, m.token_len) {
                 continue;
             }
             let span = token_span(&tokens, m.token_start, m.token_len);
             candidates.push(Annotation {
-                surface: m.surface,
+                surface: self.units.surface(m.unit).to_string(),
                 span,
                 kind: DetectionKind::Concept,
                 score: 0.0,

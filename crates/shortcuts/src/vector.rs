@@ -116,13 +116,16 @@ impl<'a> ConceptVectorBuilder<'a> {
     pub fn build_from_tokens(&self, tokens: &[String]) -> Vec<ScoredConcept> {
         // 1. Term vector: tf·idf over non-stop-words, normalized,
         //    punished, pruned.
-        let mut counts: HashMap<String, usize> = HashMap::new();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
         for t in tokens {
             if !ctxrank_text::is_stopword(t) {
-                *counts.entry(t.clone()).or_insert(0) += 1;
+                *counts.entry(t).or_insert(0) += 1;
             }
         }
-        let mut term_vec = TermVector::from_counts(&counts, |t| (self.idf)(t));
+        let mut term_vec = TermVector::new();
+        for (t, &c) in &counts {
+            term_vec.set(*t, ctxrank_index::tf_idf_weight(c, (self.idf)(t)));
+        }
         term_vec.normalize_max();
         term_vec.punish_and_prune(
             self.config.term_punish_threshold,
@@ -131,36 +134,68 @@ impl<'a> ConceptVectorBuilder<'a> {
         );
 
         // 2. Unit vector: units found in the document, with their scores,
-        //    normalized/punished/pruned.
+        //    normalized/punished/pruned. Kept dense over unit indices —
+        //    no surface string is built or hashed per match.
         let mut detector = ConceptDetector::new(self.units);
         detector.min_score = self.config.detector_min_score;
-        let mut unit_vec = TermVector::new();
-        for m in detector.detect(tokens) {
-            let current = unit_vec.get(&m.surface);
-            unit_vec.set(m.surface, current.max(m.unit_score));
+        let mut unit_w: Vec<f64> = vec![0.0; self.units.len()];
+        let mut matched: Vec<u32> = Vec::new();
+        for m in detector.detect_ids(tokens) {
+            let w = &mut unit_w[m.unit as usize];
+            if *w == 0.0 {
+                matched.push(m.unit);
+            }
+            *w = w.max(m.unit_score);
         }
-        unit_vec.normalize_max();
-        unit_vec.punish_and_prune(
-            self.config.unit_punish_threshold,
-            self.config.unit_punish_factor,
-            self.config.unit_drop_below,
-        );
-
-        // 3. Merge into the concept vector.
-        let mut merged: HashMap<String, f64> = HashMap::new();
-        for (term, w) in term_vec.iter() {
-            let unit_w = unit_vec.get(term);
-            if unit_w > 0.0 {
-                // Case 3: in both — sum the weights.
-                merged.insert(term.to_string(), w + unit_w);
-            } else {
-                // Case 1: term only — punish.
-                merged.insert(term.to_string(), w * self.config.unmatched_term_factor);
+        matched.sort_unstable();
+        let max = matched
+            .iter()
+            .fold(0.0f64, |a, &u| a.max(unit_w[u as usize]));
+        if max > 0.0 {
+            for &u in &matched {
+                unit_w[u as usize] /= max;
             }
         }
-        for (unit, w) in unit_vec.iter() {
+        matched.retain(|&u| {
+            let w = &mut unit_w[u as usize];
+            if *w < self.config.unit_punish_threshold {
+                *w *= self.config.unit_punish_factor;
+            }
+            if *w < self.config.unit_drop_below {
+                *w = 0.0;
+                false
+            } else {
+                true
+            }
+        });
+        // Weight of the single-term unit whose surface is `term`, zero
+        // when none survives (the dense analogue of probing the old
+        // string-keyed unit vector with a one-word surface).
+        let single_unit_w = |term: &str| -> f64 {
+            self.units
+                .interner()
+                .get(term)
+                .and_then(|id| self.units.single_unit(id))
+                .map_or(0.0, |u| unit_w[u as usize])
+        };
+
+        // 3. Merge into the concept vector.
+        let mut merged: HashMap<&str, f64> = HashMap::new();
+        for (term, w) in term_vec.iter() {
+            let unit_weight = single_unit_w(term);
+            if unit_weight > 0.0 {
+                // Case 3: in both — sum the weights.
+                merged.insert(term, w + unit_weight);
+            } else {
+                // Case 1: term only — punish.
+                merged.insert(term, w * self.config.unmatched_term_factor);
+            }
+        }
+        for &u in &matched {
             // Case 2: unit only — add with its unit weight.
-            merged.entry(unit.to_string()).or_insert(w);
+            merged
+                .entry(self.units.surface(u))
+                .or_insert(unit_w[u as usize]);
         }
 
         // 4. Multi-term bonus: add each constituent term's unit- and
@@ -169,14 +204,13 @@ impl<'a> ConceptVectorBuilder<'a> {
             .iter()
             .map(|(surface, &base)| {
                 let mut score = base;
-                let parts: Vec<&str> = surface.split(' ').collect();
-                if self.config.multiterm_bonus && parts.len() > 1 {
-                    for p in &parts {
-                        score += term_vec.get(p) + unit_vec.get(p);
+                if self.config.multiterm_bonus && surface.contains(' ') {
+                    for p in surface.split(' ') {
+                        score += term_vec.get(p) + single_unit_w(p);
                     }
                 }
                 ScoredConcept {
-                    surface: surface.clone(),
+                    surface: surface.to_string(),
                     score,
                 }
             })

@@ -16,20 +16,26 @@
 //! * [`stopwords`] — the stop-word list used when building term vectors,
 //! * [`html`] — a small, forgiving HTML tag/entity stripper,
 //! * [`segment`] — sentence and paragraph boundary detection,
-//! * [`window`] — overlapping character-window partitioning.
+//! * [`window`] — overlapping character-window partitioning,
+//! * [`intern`](mod@intern) — dense term-id interning,
+//! * [`trie`](mod@trie) — id-sequence tries for phrase matching.
 
 pub mod html;
+pub mod intern;
 pub mod segment;
 pub mod stem;
 pub mod stopwords;
 pub mod tokenize;
+pub mod trie;
 pub mod window;
 
 pub use html::strip_html;
+pub use intern::{Interner, TermId};
 pub use segment::{paragraphs, sentences, Span};
 pub use stem::stem;
 pub use stopwords::is_stopword;
 pub use tokenize::{normalize_term, tokenize, tokenize_terms, Token};
+pub use trie::{NodeId, PhraseTrie};
 pub use window::{windows, Window};
 
 /// Normalize, stop-filter and stem every token of `text`, returning the

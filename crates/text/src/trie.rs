@@ -1,0 +1,220 @@
+//! Id-sequence tries for multi-pattern phrase matching.
+//!
+//! The annotation hot path must probe, at every token position, *all*
+//! phrase lengths up to the dictionary maximum. Keyed on joined strings
+//! that is one allocation + string hash per (position, length) pair; on
+//! a [`PhraseTrie`] it is a single incremental descent: each token either
+//! extends the current trie node or proves that no longer phrase can
+//! match, and every node passed on the way down reports whether a
+//! complete phrase ends there. Zero allocation, O(window) per position.
+//!
+//! Nodes store their children in a `TermId`-sorted vec (binary search);
+//! the root fans out over the whole vocabulary, so it gets a dense
+//! direct-index table instead.
+
+use crate::intern::TermId;
+
+/// Index of a trie node; [`PhraseTrie::ROOT`] is always valid.
+pub type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    /// Child links sorted by term id.
+    children: Vec<(TermId, NodeId)>,
+    value: Option<V>,
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Self {
+            children: Vec::new(),
+            value: None,
+        }
+    }
+}
+
+/// A trie over [`TermId`] sequences, mapping complete phrases to values.
+#[derive(Debug, Clone)]
+pub struct PhraseTrie<V> {
+    nodes: Vec<Node<V>>,
+    /// Dense first-level table: `root_children[term] = node` (`NO_NODE`
+    /// when the vocabulary term starts no phrase).
+    root_children: Vec<NodeId>,
+    len: usize,
+}
+
+const NO_NODE: NodeId = NodeId::MAX;
+
+impl<V> Default for PhraseTrie<V> {
+    fn default() -> Self {
+        Self {
+            nodes: vec![Node::default()],
+            root_children: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<V> PhraseTrie<V> {
+    /// The root node every descent starts from.
+    pub const ROOT: NodeId = 0;
+
+    /// Create an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored phrases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no phrase has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert `seq` with `value`, returning the previous value if the
+    /// phrase was already present. Empty sequences are rejected (`None`
+    /// returned, nothing stored) — the root carries no value.
+    pub fn insert(&mut self, seq: &[TermId], value: V) -> Option<V> {
+        if seq.is_empty() {
+            return None;
+        }
+        let mut node = Self::ROOT;
+        for &t in seq {
+            node = match self.child(node, t) {
+                Some(n) => n,
+                None => {
+                    let next = self.nodes.len() as NodeId;
+                    self.nodes.push(Node::default());
+                    self.link(node, t, next);
+                    next
+                }
+            };
+        }
+        let slot = &mut self.nodes[node as usize].value;
+        let old = slot.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// One descent step: the child of `node` along `t`, if any.
+    #[inline]
+    pub fn step(&self, node: NodeId, t: TermId) -> Option<NodeId> {
+        self.child(node, t)
+    }
+
+    /// The value stored at `node`, if a phrase ends there.
+    #[inline]
+    pub fn value(&self, node: NodeId) -> Option<&V> {
+        self.nodes[node as usize].value.as_ref()
+    }
+
+    /// Full-sequence lookup (a convenience over [`Self::step`]).
+    pub fn get(&self, seq: &[TermId]) -> Option<&V> {
+        if seq.is_empty() {
+            return None;
+        }
+        let mut node = Self::ROOT;
+        for &t in seq {
+            node = self.child(node, t)?;
+        }
+        self.value(node)
+    }
+
+    #[inline]
+    fn child(&self, node: NodeId, t: TermId) -> Option<NodeId> {
+        if node == Self::ROOT {
+            match self.root_children.get(t.idx()) {
+                Some(&n) if n != NO_NODE => Some(n),
+                _ => None,
+            }
+        } else {
+            let children = &self.nodes[node as usize].children;
+            children
+                .binary_search_by_key(&t, |&(id, _)| id)
+                .ok()
+                .map(|i| children[i].1)
+        }
+    }
+
+    fn link(&mut self, node: NodeId, t: TermId, next: NodeId) {
+        if node == Self::ROOT {
+            if self.root_children.len() <= t.idx() {
+                self.root_children.resize(t.idx() + 1, NO_NODE);
+            }
+            self.root_children[t.idx()] = next;
+        } else {
+            let children = &mut self.nodes[node as usize].children;
+            match children.binary_search_by_key(&t, |&(id, _)| id) {
+                Ok(_) => unreachable!("link called for existing child"),
+                Err(i) => children.insert(i, (t, next)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(seq: &[u32]) -> Vec<TermId> {
+        seq.iter().map(|&i| TermId(i)).collect()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = PhraseTrie::new();
+        assert_eq!(t.insert(&ids(&[1, 2]), "a"), None);
+        assert_eq!(t.insert(&ids(&[1]), "b"), None);
+        assert_eq!(t.insert(&ids(&[1, 2, 3]), "c"), None);
+        assert_eq!(t.get(&ids(&[1, 2])), Some(&"a"));
+        assert_eq!(t.get(&ids(&[1])), Some(&"b"));
+        assert_eq!(t.get(&ids(&[1, 2, 3])), Some(&"c"));
+        assert_eq!(t.get(&ids(&[2])), None);
+        assert_eq!(t.get(&ids(&[1, 3])), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        let mut t = PhraseTrie::new();
+        t.insert(&ids(&[5]), 1);
+        assert_eq!(t.insert(&ids(&[5]), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&ids(&[5])), Some(&2));
+    }
+
+    #[test]
+    fn prefix_without_value_is_not_a_match() {
+        let mut t = PhraseTrie::new();
+        t.insert(&ids(&[1, 2, 3]), ());
+        assert_eq!(t.get(&ids(&[1, 2])), None);
+        // But the walk reaches the interior node.
+        let n1 = t.step(PhraseTrie::<()>::ROOT, TermId(1)).unwrap();
+        let n2 = t.step(n1, TermId(2)).unwrap();
+        assert!(t.value(n2).is_none());
+        let n3 = t.step(n2, TermId(3)).unwrap();
+        assert!(t.value(n3).is_some());
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        let mut t: PhraseTrie<u8> = PhraseTrie::new();
+        assert_eq!(t.insert(&[], 1), None);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&[]), None);
+    }
+
+    #[test]
+    fn sparse_high_ids() {
+        let mut t = PhraseTrie::new();
+        t.insert(&ids(&[1000, 3]), "far");
+        assert_eq!(t.get(&ids(&[1000, 3])), Some(&"far"));
+        assert_eq!(t.get(&ids(&[999])), None);
+        assert_eq!(t.step(PhraseTrie::<&str>::ROOT, TermId(2000)), None);
+    }
+}
