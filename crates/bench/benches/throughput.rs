@@ -111,15 +111,7 @@ fn bench_stemmer_and_ranker(c: &mut Criterion) {
 /// document over the paper-shaped corpus.
 fn bench_annotation_component(c: &mut Criterion) {
     let fx = fixture();
-    let config = ExperimentConfig::small(0xbe7c4);
-    let units = ctxrank_querylog::extract_units(&fx.exp.world.query_log, &config.units);
-    let dictionary = ctxrank_bench::experiment::build_dictionary(&fx.exp.world);
-    let pipeline = ctxrank_shortcuts::Pipeline::new(
-        &dictionary,
-        &units,
-        |t| fx.exp.world.corpus.idf(t),
-        ctxrank_shortcuts::PipelineConfig::default(),
-    );
+    let pipeline = fx.exp.annotation_pipeline();
 
     let mut group = c.benchmark_group("annotation_component");
     group.sample_size(10);
@@ -179,11 +171,77 @@ fn bench_experiment_build_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Reader throughput through a [`ctxrank_framework::ServiceHandle`]:
+/// on a static snapshot vs while a publisher continuously hot-swaps
+/// rebuilt snapshots underneath the readers. The two rates should be
+/// indistinguishable — the read path is one atomic pointer load plus a
+/// refcount increment regardless of publish traffic.
+fn bench_snapshot_swap(c: &mut Criterion) {
+    use ctxrank_framework::ServiceHandle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let fx = fixture();
+    let docs: Vec<(&str, &[String])> = fx
+        .docs
+        .iter()
+        .zip(&fx.candidates)
+        .map(|(d, c)| (d.as_str(), c.as_slice()))
+        .collect();
+    let snap_a = ctxrank_bench::build_snapshot(&fx.exp);
+    let snap_b = ctxrank_bench::build_snapshot(&fx.exp);
+    let handle = ServiceHandle::new(snap_a.clone());
+
+    let mut group = c.benchmark_group("snapshot_swap");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(fx.total_bytes as u64));
+
+    group.bench_function("reader_static", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for (doc, cands) in &docs {
+                n += handle.rank(black_box(doc), black_box(cands)).len();
+            }
+            black_box(n)
+        })
+    });
+
+    // Publisher alternates the two prebuilt snapshots at a steady
+    // cadence while the measured readers run.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let handle = &handle;
+        let stop = &stop;
+        let publisher = scope.spawn(move || {
+            let mut flip = false;
+            while !stop.load(Ordering::Acquire) {
+                handle.publish(if flip { snap_a.clone() } else { snap_b.clone() });
+                flip = !flip;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+
+        group.bench_function("reader_during_publish", |b| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for (doc, cands) in &docs {
+                    n += handle.rank(black_box(doc), black_box(cands)).len();
+                }
+                black_box(n)
+            })
+        });
+
+        stop.store(true, Ordering::Release);
+        publisher.join().expect("publisher");
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_stemmer_and_ranker,
     bench_annotation_component,
     bench_ranker_parallel,
-    bench_experiment_build_parallel
+    bench_experiment_build_parallel,
+    bench_snapshot_swap
 );
 criterion_main!(benches);

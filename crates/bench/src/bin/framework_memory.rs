@@ -13,7 +13,7 @@ use ctxrank_framework::{CompressedRelevanceStore, GlobalTidTable, MemoryReport};
 fn main() {
     let exp = Experiment::build(ExperimentConfig::default());
     let ranker = build_runtime_ranker(&exp);
-    let report = MemoryReport::measure(&ranker.interest, &ranker.relevance, &ranker.tids);
+    let report = MemoryReport::measure(ranker.interest(), ranker.relevance(), ranker.tids());
 
     // The actual Golomb-backed store, not just the projection.
     let snippets =

@@ -138,18 +138,9 @@ fn main() {
     });
 
     // Annotation component: the full Shortcuts pipeline (pre-processing,
-    // interned-trie detection, collision resolution, vector scoring).
-    let units = ctxrank_querylog::extract_units(
-        &fx.exp.world.query_log,
-        &ExperimentConfig::small(0xbe7c4).units,
-    );
-    let dictionary = ctxrank_bench::experiment::build_dictionary(&fx.exp.world);
-    let pipeline = ctxrank_shortcuts::Pipeline::new(
-        &dictionary,
-        &units,
-        |t| fx.exp.world.corpus.idf(t),
-        ctxrank_shortcuts::PipelineConfig::default(),
-    );
+    // interned-trie detection, collision resolution, vector scoring),
+    // wired exactly as the experiment build wired it.
+    let pipeline = fx.exp.annotation_pipeline();
     let annotate_serial = best_secs(reps, || {
         fx.docs
             .iter()
@@ -180,6 +171,37 @@ fn main() {
             .windows
     });
 
+    // Snapshot hot-swap: reader throughput through a ServiceHandle on a
+    // static snapshot ("serial") vs while a publisher continuously
+    // swaps rebuilt snapshots underneath it ("parallel"). A speedup
+    // near 1.0 is the desired result: publishing must not slow readers.
+    let snap_a = ctxrank_bench::build_snapshot(&fx.exp);
+    let snap_b = ctxrank_bench::build_snapshot(&fx.exp);
+    let handle = ctxrank_framework::ServiceHandle::new(snap_a.clone());
+    let read_all = |handle: &ctxrank_framework::ServiceHandle| {
+        docs.iter()
+            .map(|(d, c)| handle.rank(d, c).len())
+            .sum::<usize>()
+    };
+    let swap_static = best_secs(reps, || read_all(&handle));
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let swap_publishing = std::thread::scope(|scope| {
+        let handle = &handle;
+        let stop = &stop;
+        let publisher = scope.spawn(move || {
+            let mut flip = false;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                handle.publish(if flip { snap_a.clone() } else { snap_b.clone() });
+                flip = !flip;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+        let secs = best_secs(reps, || read_all(handle));
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        publisher.join().expect("publisher");
+        secs
+    });
+
     let report = serde_json::Value::Seq(vec![
         row(
             "stemmer_component",
@@ -207,6 +229,13 @@ fn main() {
             corpus_bytes,
             build_serial,
             build_parallel,
+            threads,
+        ),
+        row(
+            "snapshot_swap",
+            fx.total_bytes,
+            swap_static,
+            swap_publishing,
             threads,
         ),
     ]);

@@ -1,12 +1,15 @@
 //! Experiment assembly: world → pipeline → clicks → features → dataset.
+//!
+//! The pipeline itself lives in [`crate::stages`] as typed stages;
+//! [`Experiment::build`] is the canonical composition of them.
 
-use crate::dataset::{resource_index, Dataset, Item, WindowGroup};
-use ctxrank_features::{FeatureExtractor, MiningResource, RelevanceModel, RelevanceModelBuilder};
-use ctxrank_querylog::{extract_units, UnitConfig, UnitDictionary};
+use crate::dataset::Dataset;
+use crate::stages::{FeatureArtifact, FeatureStage, MiningStage, WorldArtifact, WorldStage};
+use ctxrank_features::RelevanceModel;
+use ctxrank_querylog::{UnitConfig, UnitDictionary};
 use ctxrank_shortcuts::{DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig};
-use ctxrank_synth::news::ground_truth_relevance;
-use ctxrank_synth::{clicks::simulate_story, ClickConfig, ConceptId, SynthWorld, WorldConfig};
-use std::collections::{HashMap, HashSet};
+use ctxrank_synth::{ClickConfig, SynthWorld, WorldConfig};
+use std::collections::HashMap;
 
 /// Experiment-level configuration.
 #[derive(Debug, Clone)]
@@ -81,7 +84,7 @@ pub struct Experiment {
     pub world: SynthWorld,
     pub units: UnitDictionary,
     pub dictionary: EntityDictionary,
-    /// Relevance models indexed by [`resource_index`].
+    /// Relevance models indexed by [`crate::dataset::resource_index`].
     pub relevance_models: [RelevanceModel; 3],
     /// Raw (unscaled) Table I features per dataset surface.
     pub interest_raw: HashMap<String, ctxrank_features::InterestFeatures>,
@@ -106,266 +109,55 @@ impl Experiment {
         Self::build_with_threads(config, 1)
     }
 
-    /// Run the full offline pipeline on `threads` workers.
+    /// Run the full offline pipeline on `threads` workers by composing
+    /// the typed stages: [`WorldStage`] → [`MiningStage`] →
+    /// [`FeatureStage`]. ([`crate::stages::TrainStage`] and
+    /// [`crate::stages::PublishStage`] continue from the finished
+    /// experiment — see [`crate::production::build_snapshot`].)
     ///
-    /// Four independent stages fan out: per-story annotation, per-surface
-    /// interestingness features, the three mining-resource relevance
-    /// models, and per-story window/item assembly.
+    /// Inside the stages, four independent loops fan out across the
+    /// workers: per-story annotation, per-surface interestingness
+    /// features, the three mining-resource relevance models, and
+    /// per-story window/item assembly.
     pub fn build_with_threads(config: ExperimentConfig, threads: usize) -> Self {
-        let world = SynthWorld::generate(config.world.clone());
-        let units = extract_units(&world.query_log, &config.units);
-        let dictionary = build_dictionary(&world);
-
-        // Surface -> candidate concept ids (ambiguous surfaces have > 1).
-        let mut by_surface: HashMap<String, Vec<ConceptId>> = HashMap::new();
-        for c in world.universe.all() {
-            by_surface.entry(c.surface()).or_default().push(c.id);
-        }
-
-        struct StoryData {
-            story: usize,
-            text: String,
-            /// (surface, concept, gt relevance, first byte offset,
-            /// position fraction, baseline score)
-            entities: Vec<(String, ConceptId, f64, usize, f64, f64)>,
-        }
-        // Annotate every story with the Shortcuts pipeline (scoped so the
-        // pipeline's borrows end before the stores are moved out).
-        let mut pipe_config = PipelineConfig::default();
-        pipe_config.vector.multiterm_bonus = config.multiterm_bonus;
-        let pipeline = Pipeline::new(&dictionary, &units, |t| world.corpus.idf(t), pipe_config);
-        let annotated_stories: Vec<StoryData> =
-            ctxrank_parallel::par_map(threads, &world.news, |story| {
-                let doc = pipeline.process(&story.text);
-                let mut seen: HashSet<&str> = HashSet::new();
-                let mut entities = Vec::new();
-                for a in doc.rankable() {
-                    if !seen.insert(a.surface.as_str()) {
-                        continue; // first occurrence only, as the click report aggregates
-                    }
-                    let Some(cands) = by_surface.get(&a.surface) else {
-                        continue; // outside the supported concept set
-                    };
-                    // Ambiguity: prefer the sense matching the story topic.
-                    let cid = *cands
-                        .iter()
-                        .find(|&&c| world.universe.get(c).topic == Some(story.topic))
-                        .or_else(|| {
-                            cands.iter().find(|&&c| {
-                                story
-                                    .secondary_topic
-                                    .is_some_and(|(st, _)| world.universe.get(c).topic == Some(st))
-                            })
-                        })
-                        .unwrap_or(&cands[0]);
-                    let gt = ground_truth_relevance(
-                        world.universe.get(cid),
-                        story.topic,
-                        story.center,
-                        story.secondary_topic,
-                    );
-                    entities.push((
-                        a.surface.clone(),
-                        cid,
-                        gt,
-                        a.span.start,
-                        a.position_frac,
-                        a.score,
-                    ));
-                }
-                StoryData {
-                    story: story.id,
-                    text: doc.text,
-                    entities,
-                }
-            });
-        drop(pipeline);
-
-        // Click simulation + the §V-A.1 cleaning rules.
-        let mut kept: Vec<(StoryData, ctxrank_synth::StoryClicks)> = Vec::new();
-        for sd in annotated_stories {
-            if sd.entities.len() < 2 {
-                continue;
-            }
-            let annotated: Vec<(ConceptId, f64, f64)> = sd
-                .entities
-                .iter()
-                .map(|&(_, cid, gt, _, pos, _)| (cid, gt, pos))
-                .collect();
-            let clicks = simulate_story(
-                config.seed,
-                sd.story,
-                &world.universe,
-                &annotated,
-                &config.clicks,
-            );
-            if clicks.passes_paper_filter() {
-                kept.push((sd, clicks));
-            }
-        }
-
-        // Interestingness features, one per distinct surface. Sorted so
-        // every downstream pass (feature extraction, relevance mining)
-        // walks surfaces in a reproducible order rather than whatever
-        // the dedup set happens to hash to.
-        let surfaces: Vec<String> = {
-            let distinct: HashSet<&str> = kept
-                .iter()
-                .flat_map(|(sd, _)| sd.entities.iter().map(|e| e.0.as_str()))
-                .collect();
-            let mut surfaces: Vec<String> = distinct.into_iter().map(str::to_string).collect();
-            surfaces.sort_unstable();
-            surfaces
-        };
-        let extractor = FeatureExtractor::new(
-            &world.query_log,
-            &units,
-            &world.corpus,
-            |terms: &[String]| {
-                by_surface
-                    .get(&terms.join(" "))
-                    .and_then(|ids| ids.first())
-                    .map_or(0, |&id| world.encyclopedia.word_count(id))
-            },
-            |terms: &[String]| {
-                by_surface
-                    .get(&terms.join(" "))
-                    .and_then(|ids| ids.first())
-                    .and_then(|&id| world.universe.get(id).entity_type)
-                    .map_or(0, |(hlt, _)| hlt.code())
-            },
-        );
-        let per_surface_feats: Vec<ctxrank_features::InterestFeatures> =
-            ctxrank_parallel::par_map(threads, &surfaces, |s| {
-                let terms: Vec<String> = s.split(' ').map(str::to_string).collect();
-                extractor.interestingness(&terms)
-            });
-        let mut interest_cache: HashMap<String, Vec<f64>> = HashMap::new();
-        let mut interest_raw: HashMap<String, ctxrank_features::InterestFeatures> = HashMap::new();
-        for (s, feats) in surfaces.iter().zip(per_surface_feats) {
-            interest_cache.insert(s.clone(), feats.to_dense());
-            interest_raw.insert(s.clone(), feats);
-        }
-        drop(extractor);
-
-        // Relevance models for the three resources over the dataset's
-        // concepts.
-        let mut builder = RelevanceModelBuilder::new(&world.corpus, &world.query_log);
-        builder.m = config.relevance_m;
-        builder.min_idf = 3.2;
-        builder.min_suggestion_freq = config.min_suggestion_freq;
-        builder.weighting = config.keyword_weighting;
-        let concept_term_lists: Vec<Vec<String>> = surfaces
-            .iter()
-            .map(|s| s.split(' ').map(str::to_string).collect())
-            .collect();
-        // The three resources mine independently from the shared
-        // (immutable) builder; run them as one job each.
-        let mut models: Vec<RelevanceModel> = {
-            let builder = &builder;
-            let lists = &concept_term_lists;
-            ctxrank_parallel::join_all(
-                threads,
-                vec![
-                    Box::new(|| builder.build(lists.clone(), MiningResource::Snippets)),
-                    Box::new(|| builder.build(lists.clone(), MiningResource::Prisma)),
-                    Box::new(|| builder.build(lists.clone(), MiningResource::Suggestions)),
-                ],
-            )
-        };
-        // Order the array by resource_index.
-        models.sort_by_key(|m| resource_index(m.resource));
-        let relevance_models: [RelevanceModel; 3] = models
-            .try_into()
-            .unwrap_or_else(|_| unreachable!("three models built"));
-        drop(builder);
-
-        // Windowing and item assembly. The relevance models are compiled
-        // onto interned stem ids first: window scoring then probes dense
-        // bitmaps instead of hashing stem strings per (surface, window)
-        // pair, with bit-identical sums.
-        let compiled: Vec<ctxrank_features::CompiledRelevance> =
-            relevance_models.iter().map(|m| m.compile()).collect();
-        let mut groups: Vec<WindowGroup> = Vec::new();
-        let mut stats = DatasetStats {
-            stories_generated: world.news.len(),
-            stories_kept: kept.len(),
-            ..DatasetStats::default()
-        };
-        let per_story_groups: Vec<Vec<WindowGroup>> =
-            ctxrank_parallel::par_map(threads, &kept, |(sd, clicks)| {
-                let ctr_of: HashMap<ConceptId, f64> = clicks
-                    .records
-                    .iter()
-                    .enumerate()
-                    .map(|(i, r)| (r.concept, clicks.ctr(i)))
-                    .collect();
-                let windows = ctxrank_text::window::windows(
-                    &sd.text,
-                    config.window_size,
-                    config.window_overlap,
-                );
-                let mut story_groups = Vec::new();
-                for (w_idx, w) in windows.iter().enumerate() {
-                    let members: Vec<&(String, ConceptId, f64, usize, f64, f64)> =
-                        sd.entities.iter().filter(|e| w.contains(e.3)).collect();
-                    if members.len() < 2 {
-                        continue;
-                    }
-                    let stems = ctxrank_text::stemmed_terms(w.of(&sd.text));
-                    let contexts: Vec<Vec<bool>> = compiled
-                        .iter()
-                        .map(|c| c.context_from_stems(&stems))
-                        .collect();
-                    let items: Vec<Item> = members
-                        .iter()
-                        .map(|&&(ref surface, cid, gt, _, pos, baseline)| {
-                            let mut relevance = [0.0; 3];
-                            let mut relevance_raw = [0.0; 3];
-                            for (i, model) in compiled.iter().enumerate() {
-                                relevance_raw[i] = model.score(surface, &contexts[i]);
-                                relevance[i] = relevance_raw[i].ln_1p();
-                            }
-                            Item {
-                                surface: surface.clone(),
-                                concept: cid,
-                                ctr: ctr_of.get(&cid).copied().unwrap_or(0.0),
-                                baseline_score: baseline,
-                                interest: interest_cache[surface].clone(),
-                                relevance,
-                                relevance_raw,
-                                position_frac: pos,
-                                gt_relevance: gt,
-                            }
-                        })
-                        .collect();
-                    story_groups.push(WindowGroup {
-                        story: sd.story,
-                        window: w_idx,
-                        items,
-                    });
-                }
-                story_groups
-            });
-        for ((_, clicks), story_groups) in kept.iter().zip(per_story_groups) {
-            stats.total_clicks += clicks.total_clicks();
-            for g in story_groups {
-                stats.concept_instances += g.items.len();
-                groups.push(g);
-            }
-        }
-        stats.windows = groups.len();
-
+        let world = WorldStage::run(&config);
+        let mining = MiningStage::run(&config, &world, threads);
+        let features = FeatureStage::run(&config, &world, &mining, threads);
+        let WorldArtifact {
+            world,
+            units,
+            dictionary,
+            ..
+        } = world;
+        let FeatureArtifact {
+            interest_raw,
+            relevance_models,
+            dataset,
+            stats,
+        } = features;
         Self {
             world,
             units,
             dictionary,
             relevance_models,
             interest_raw,
-            dataset: Dataset::new(groups),
+            dataset,
             stats,
             config,
         }
+    }
+
+    /// The Shortcuts annotation pipeline wired over this experiment's
+    /// own knowledge sources — the same wiring [`MiningStage`] used
+    /// during the build. Benchmarks and reports should call this
+    /// instead of re-deriving the dictionary and unit list.
+    pub fn annotation_pipeline(&self) -> Pipeline<'_> {
+        Pipeline::new(
+            &self.dictionary,
+            &self.units,
+            |t| self.world.corpus.idf(t),
+            PipelineConfig::with_multiterm_bonus(self.config.multiterm_bonus),
+        )
     }
 }
 
@@ -394,6 +186,8 @@ pub fn build_dictionary(world: &SynthWorld) -> EntityDictionary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::resource_index;
+    use ctxrank_features::MiningResource;
 
     #[test]
     fn small_experiment_builds() {

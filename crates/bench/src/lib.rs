@@ -14,9 +14,14 @@ pub mod experiment;
 pub mod production;
 pub mod rankers;
 pub mod report;
+pub mod stages;
 
 pub use dataset::{Dataset, Item, WindowGroup};
 pub use experiment::{Experiment, ExperimentConfig};
-pub use production::build_runtime_ranker;
+pub use production::{build_runtime_ranker, build_snapshot};
 pub use rankers::{evaluate_fixed, evaluate_learned, EvalResult, FeatureSet};
 pub use report::{fmt_pct, print_table};
+pub use stages::{
+    FeatureArtifact, FeatureStage, MiningArtifact, MiningStage, PublishStage, TrainArtifact,
+    TrainStage, WorldArtifact, WorldStage,
+};

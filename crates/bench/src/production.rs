@@ -1,55 +1,28 @@
 //! Assembling the §VI production framework from an [`Experiment`].
+//!
+//! The offline pipeline ends in two stages: [`TrainStage`] fits the
+//! deployed combined linear model on the full click dataset, and
+//! [`PublishStage`] freezes the packed stores plus the model into an
+//! immutable [`Snapshot`] — the unit the serving layer loads, persists
+//! and hot-swaps.
 
 use crate::experiment::Experiment;
-use crate::rankers::FeatureSet;
-use ctxrank_features::MiningResource;
-use ctxrank_framework::{GlobalTidTable, PackedInterestStore, PackedRelevanceStore, RuntimeRanker};
-use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use crate::stages::{PublishStage, TrainStage};
+use ctxrank_framework::{RuntimeRanker, Snapshot};
+use std::sync::Arc;
 
 /// Train the combined linear model on the full click dataset and freeze
-/// the packed stores into a [`RuntimeRanker`] — the §VI production path.
+/// the packed stores into an immutable [`Snapshot`] — the §VI
+/// production path.
+pub fn build_snapshot(exp: &Experiment) -> Arc<Snapshot> {
+    let trained = TrainStage::run(&exp.dataset);
+    PublishStage::run(&exp.interest_raw, &exp.relevance_models, trained)
+}
+
+/// [`build_snapshot`] wrapped in a ready-to-serve [`RuntimeRanker`]
+/// view.
 pub fn build_runtime_ranker(exp: &Experiment) -> RuntimeRanker {
-    // Packed interestingness vectors (2 bytes/field).
-    let concepts: Vec<(String, ctxrank_features::InterestFeatures)> = exp
-        .interest_raw
-        .iter()
-        .map(|(s, f)| (s.clone(), *f))
-        .collect();
-    let interest = PackedInterestStore::build(&concepts);
-
-    // Packed relevance store over the snippet-mined keywords (the
-    // resource the production system uses, §V-A.6).
-    let mut tids = GlobalTidTable::new();
-    let snippets = &exp.relevance_models[crate::dataset::resource_index(MiningResource::Snippets)];
-    let keyword_sets: Vec<(&str, &ctxrank_features::RelevantTerms)> = exp
-        .interest_raw
-        .keys()
-        .filter_map(|s| snippets.terms(s).map(|rt| (s.as_str(), rt)))
-        .collect();
-    let relevance = PackedRelevanceStore::build(keyword_sets, &mut tids);
-
-    // The deployed model: linear ranking SVM on all ten features.
-    let feature_set = FeatureSet::InterestPlusRelevance(MiningResource::Snippets);
-    let groups: Vec<RankGroup> = exp
-        .dataset
-        .groups
-        .iter()
-        .map(|g| {
-            RankGroup::from_pairs(
-                g.items
-                    .iter()
-                    .map(|item| (feature_set.features(item), item.ctr)),
-            )
-        })
-        .filter(|g| {
-            g.instances
-                .iter()
-                .any(|a| g.instances.iter().any(|b| a.label > b.label))
-        })
-        .collect();
-    let model = train(&groups, &SvmConfig::default());
-
-    RuntimeRanker::new(interest, relevance, tids, model)
+    RuntimeRanker::from_snapshot(build_snapshot(exp))
 }
 
 #[cfg(test)]
@@ -101,5 +74,14 @@ mod tests {
         }
         // Far better than the ~1/n chance level.
         assert!(agree * 3 > total, "top-1 agreement {agree}/{total} too low");
+    }
+
+    #[test]
+    fn snapshot_and_ranker_share_the_artifact() {
+        let exp = Experiment::build(ExperimentConfig::small(11));
+        let snap = build_snapshot(&exp);
+        let ranker = RuntimeRanker::from_snapshot(snap.clone());
+        assert_eq!(ranker.epoch(), snap.epoch());
+        assert!(Arc::ptr_eq(ranker.snapshot(), &snap));
     }
 }

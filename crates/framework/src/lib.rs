@@ -22,6 +22,13 @@
 //! * the §VIII future-work **online CTR adaptation** → [`online`]: fast
 //!   vs slow CTR averages per concept, boosting or punishing scores as
 //!   world events move the click stream in real time.
+//!
+//! The offline/online hand-off is organized around an immutable
+//! [`Snapshot`] artifact: [`snapshot::SnapshotBuilder`] is the single
+//! assembly path, [`persist`] (de)serializes snapshots, [`ranker`]
+//! serves thin stateless views over one, and [`swap`] hot-swaps
+//! rebuilt snapshots under live traffic without locks on the read
+//! path.
 
 pub mod compressed;
 pub mod golomb;
@@ -31,6 +38,8 @@ pub mod packed;
 pub mod persist;
 pub mod ranker;
 pub mod relstore;
+pub mod snapshot;
+pub mod swap;
 pub mod tid;
 
 pub use compressed::CompressedRelevanceStore;
@@ -38,7 +47,12 @@ pub use golomb::{golomb_decode, golomb_encode, optimal_rice_parameter};
 pub use memory::MemoryReport;
 pub use online::{OnlineConfig, OnlineCtrAdjuster};
 pub use packed::{FieldQuantizer, PackedInterestStore};
-pub use persist::{load_ranker, save_ranker};
-pub use ranker::RuntimeRanker;
+pub use persist::{
+    load_ranker, load_service, load_snapshot, save_ranker, save_service, save_snapshot,
+    PersistError,
+};
+pub use ranker::{RankedConcept, RuntimeRanker};
 pub use relstore::PackedRelevanceStore;
+pub use snapshot::{Snapshot, SnapshotBuilder, SnapshotError};
+pub use swap::{ServiceHandle, SwapCell};
 pub use tid::{GlobalTidTable, TermId, MAX_TID};

@@ -14,10 +14,11 @@
 //! gets punished. Adjustments decay automatically as the fast average
 //! reverts to the slow one.
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tuning for the online adjuster.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineConfig {
     /// Smoothing of the fast (recent) CTR average, per feedback batch.
     pub fast_alpha: f64,
@@ -47,7 +48,7 @@ impl Default for OnlineConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct ConceptState {
     fast: f64,
     slow: f64,
@@ -55,7 +56,10 @@ struct ConceptState {
 }
 
 /// Streaming per-concept CTR tracker producing score adjustments.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializable so a serving process can persist accumulated CTR state
+/// (`persist::save_service`) and resume adapting after a restart.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct OnlineCtrAdjuster {
     config: OnlineConfigInner,
     state: HashMap<String, ConceptState>,
@@ -63,7 +67,7 @@ pub struct OnlineCtrAdjuster {
 
 /// Internal copy so `Default` works without an `OnlineConfig: Default`
 /// bound surprise.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct OnlineConfigInner(OnlineConfig);
 
 impl OnlineCtrAdjuster {

@@ -6,17 +6,21 @@
 //! relevance store (TIDs matched against the context's TID set); the
 //! learned linear model combines the ten features into a final score and
 //! the candidates are returned ranked, relevance breaking ties (§V-A.6).
+//!
+//! [`RuntimeRanker`] is a *stateless view* over an [`Arc<Snapshot>`]:
+//! all stores, the model, and the stem memo cache live in the snapshot,
+//! so views are free to create, trivially cloneable, and many of them
+//! can serve the same artifact concurrently. A view is pinned to the
+//! snapshot it was created from — rankings through it are immune to
+//! hot-swaps happening on a [`crate::swap::ServiceHandle`].
 
 use crate::packed::PackedInterestStore;
 use crate::relstore::PackedRelevanceStore;
+use crate::snapshot::{Snapshot, SnapshotBuilder};
 use crate::tid::{GlobalTidTable, TermId};
 use ctxrank_ltr::RankModel;
-use parking_lot::RwLock;
-use std::collections::{HashMap, HashSet};
-
-/// Cap on distinct memoized tokens; beyond this the cache stops
-/// admitting new entries (news vocabulary saturates well below it).
-const STEM_CACHE_CAP: usize = 1 << 16;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// One ranked candidate.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,30 +32,25 @@ pub struct RankedConcept {
     pub relevance: f64,
 }
 
-/// The assembled production ranker.
+/// The assembled production ranker: a thin view over one frozen
+/// [`Snapshot`].
+#[derive(Clone)]
 pub struct RuntimeRanker {
-    pub interest: PackedInterestStore,
-    pub relevance: PackedRelevanceStore,
-    pub tids: GlobalTidTable,
-    pub model: RankModel,
-    /// Memoized raw token → interned TermId (`None` when the token
-    /// normalizes to nothing, is a stop word, or is absent from the TID
-    /// table). Keyed on the *unnormalized* token text so a cache hit
-    /// skips normalization, Porter stemming, and the intern-table probe
-    /// entirely. Rebuilt empty on [`crate::persist::load_ranker`].
-    stem_cache: RwLock<HashMap<Box<str>, Option<TermId>>>,
+    snapshot: Arc<Snapshot>,
 }
 
 impl std::fmt::Debug for RuntimeRanker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RuntimeRanker")
-            .field("concepts", &self.interest.len())
+            .field("epoch", &self.snapshot.epoch())
+            .field("concepts", &self.snapshot.interest().len())
             .finish_non_exhaustive()
     }
 }
 
 impl RuntimeRanker {
-    /// Assemble a ranker from its frozen stores and a trained model.
+    /// Assemble a ranker from its frozen stores and a trained model
+    /// (one fresh snapshot via [`SnapshotBuilder`]).
     ///
     /// # Panics
     /// Panics when the model is an RBF model — the production framework
@@ -66,13 +65,49 @@ impl RuntimeRanker {
             !model.is_rbf(),
             "the production ranker requires a linear model"
         );
-        Self {
-            interest,
-            relevance,
-            tids,
-            model,
-            stem_cache: RwLock::new(HashMap::new()),
-        }
+        let snapshot = SnapshotBuilder::new()
+            .interest(interest)
+            .relevance(relevance)
+            .tids(tids)
+            .model(model)
+            .build()
+            .expect("all components supplied and model checked linear");
+        Self { snapshot }
+    }
+
+    /// A view over an existing snapshot.
+    pub fn from_snapshot(snapshot: Arc<Snapshot>) -> Self {
+        Self { snapshot }
+    }
+
+    /// The snapshot this view is pinned to.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
+    }
+
+    /// The pinned snapshot's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// The packed interestingness store.
+    pub fn interest(&self) -> &PackedInterestStore {
+        self.snapshot.interest()
+    }
+
+    /// The packed relevance-keyword store.
+    pub fn relevance(&self) -> &PackedRelevanceStore {
+        self.snapshot.relevance()
+    }
+
+    /// The Global TID Table.
+    pub fn tids(&self) -> &GlobalTidTable {
+        self.snapshot.tids()
+    }
+
+    /// The trained ranking model.
+    pub fn model(&self) -> &RankModel {
+        self.snapshot.model()
     }
 
     /// Run the Stemmer component: the document's stemmed context terms.
@@ -80,48 +115,10 @@ impl RuntimeRanker {
         ctxrank_text::stemmed_terms(text)
     }
 
-    /// Resolve a raw (unnormalized) token to its interned TermId; the
-    /// slow path behind the memo cache.
-    fn resolve_token(&self, raw: &str) -> Option<TermId> {
-        let norm = ctxrank_text::normalize_term(raw);
-        if norm.is_empty() || ctxrank_text::is_stopword(&norm) {
-            return None;
-        }
-        self.tids.get(&ctxrank_text::stem(&norm))
-    }
-
-    /// The document's context TID set, resolving tokens through the
-    /// shared stem cache: a hit turns "allocate + normalize + stem +
-    /// intern probe" into a single hash lookup on the borrowed token.
+    /// The document's context TID set, resolved through the snapshot's
+    /// sharded stem cache.
     pub fn context_tids_cached(&self, text: &str) -> HashSet<TermId> {
-        let mut context = HashSet::new();
-        let mut misses: Vec<(Box<str>, Option<TermId>)> = Vec::new();
-        {
-            let cache = self.stem_cache.read();
-            for tok in ctxrank_text::tokenize(text) {
-                match cache.get(tok.text) {
-                    Some(&tid) => {
-                        if let Some(tid) = tid {
-                            context.insert(tid);
-                        }
-                    }
-                    None => {
-                        let tid = self.resolve_token(tok.text);
-                        if let Some(tid) = tid {
-                            context.insert(tid);
-                        }
-                        misses.push((tok.text.into(), tid));
-                    }
-                }
-            }
-        }
-        if !misses.is_empty() {
-            let mut cache = self.stem_cache.write();
-            if cache.len() < STEM_CACHE_CAP {
-                cache.extend(misses);
-            }
-        }
-        context
+        self.snapshot.context_tids_cached(text)
     }
 
     /// Rank `candidates` (concept surfaces detected in `text`) for the
@@ -139,18 +136,19 @@ impl RuntimeRanker {
         context: &HashSet<TermId>,
         candidates: &[String],
     ) -> Vec<RankedConcept> {
+        let snapshot = &*self.snapshot;
         let mut out: Vec<RankedConcept> = candidates
             .iter()
             .map(|surface| {
-                let mut features = self
-                    .interest
+                let mut features = snapshot
+                    .interest()
                     .dense(surface)
                     .unwrap_or_else(|| vec![0.0; ctxrank_features::InterestFeatures::DIM]);
-                let rel = self.relevance.score(surface, context);
+                let rel = snapshot.relevance().score(surface, context);
                 features.push(rel.ln_1p());
                 RankedConcept {
                     surface: surface.clone(),
-                    score: self.model.score(&features),
+                    score: snapshot.model().score(&features),
                     relevance: rel,
                 }
             })
@@ -173,7 +171,8 @@ impl RuntimeRanker {
     /// ([`ctxrank_parallel::num_threads`]; `CTXRANK_THREADS` overrides).
     /// Output `i` is exactly `self.rank(docs[i].0, docs[i].1)` — the
     /// batch shares the stem cache but order never depends on
-    /// scheduling.
+    /// scheduling, and the whole batch runs on this view's one pinned
+    /// snapshot.
     pub fn rank_batch(&self, docs: &[(&str, &[String])]) -> Vec<Vec<RankedConcept>> {
         self.rank_batch_with_threads(docs, ctxrank_parallel::num_threads())
     }
@@ -338,7 +337,7 @@ mod tests {
         let ranker = build_ranker();
         let text = "The telescope observed radiation; telescope readings repeat, repeat.";
         let expected = ranker
-            .tids
+            .tids()
             .context_tids(ranker.stem_document(text).iter().map(String::as_str));
         // Cold cache, then warm cache: both must equal the uncached path.
         assert_eq!(ranker.context_tids_cached(text), expected);
@@ -375,5 +374,13 @@ mod tests {
                 ctxrank_text::stem("observing")
             ]
         );
+    }
+
+    #[test]
+    fn cloned_views_share_the_snapshot() {
+        let ranker = build_ranker();
+        let view = ranker.clone();
+        assert!(Arc::ptr_eq(ranker.snapshot(), view.snapshot()));
+        assert_eq!(ranker.epoch(), view.epoch());
     }
 }

@@ -1,0 +1,330 @@
+//! Lock-free snapshot hot-swap — the serving tier's publish protocol.
+//!
+//! The offline pipeline periodically produces a fresh [`Snapshot`]; the
+//! serving tier must start using it **without pausing traffic**. The
+//! protocol:
+//!
+//! * Readers call [`SwapCell::load`] — one atomic pointer load plus one
+//!   refcount increment, no locks, no waiting — and then finish their
+//!   entire ranking on the `Arc<Snapshot>` they got back. An in-flight
+//!   request never observes a mix of two snapshots.
+//! * A publisher calls [`SwapCell::swap`] (or
+//!   [`ServiceHandle::publish`]) to install the rebuilt snapshot. The
+//!   store is a single atomic pointer write, so there is no window in
+//!   which readers can observe a torn or absent snapshot.
+//! * Epochs are strictly increasing (see [`crate::snapshot`]), so a
+//!   reader comparing epochs across successive loads sees a monotone
+//!   sequence.
+//!
+//! **Reclamation.** A hand-rolled `ArcSwap` needs an answer to the
+//! classic race: a reader loads the raw pointer, is preempted, the
+//! publisher swaps and drops the last `Arc`, and the reader's deferred
+//! refcount increment now touches freed memory. We close it the simple
+//! way: the cell retains one strong reference to **every snapshot it
+//! has ever published** (the current one plus a retired list), so the
+//! pointee outlives the cell and the increment is always on a live
+//! allocation. Retired snapshots are freed when the cell drops. This
+//! trades memory for wait-freedom on the read path, and the trade is
+//! deliberately cheap: publishes happen at rebuild cadence (minutes to
+//! hours), so the retired list stays tiny relative to one snapshot's
+//! stores; re-publishing an already-retained `Arc` (as the swap bench
+//! does continuously) costs one `Arc` clone per publish, not a store
+//! copy.
+
+use crate::online::OnlineCtrAdjuster;
+use crate::ranker::{RankedConcept, RuntimeRanker};
+use crate::snapshot::Snapshot;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// An `ArcSwap`-style cell over [`Arc<Snapshot>`]: wait-free `load`,
+/// atomic `swap`, epoch-retirement reclamation (see module docs).
+pub struct SwapCell {
+    /// Raw pointer to the current snapshot. Always points into an
+    /// allocation kept alive by `current`/`retired` below.
+    ptr: AtomicPtr<Snapshot>,
+    /// Publisher-side owner of the current snapshot. Readers never
+    /// touch this lock.
+    current: Mutex<Arc<Snapshot>>,
+    /// Strong references to every previously published snapshot —
+    /// the grace period is the cell's lifetime.
+    retired: Mutex<Vec<Arc<Snapshot>>>,
+}
+
+impl SwapCell {
+    /// A cell serving `initial`.
+    pub fn new(initial: Arc<Snapshot>) -> Self {
+        let ptr = AtomicPtr::new(Arc::as_ptr(&initial) as *mut Snapshot);
+        Self {
+            ptr,
+            current: Mutex::new(initial),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current snapshot. Wait-free: one `Acquire` pointer load and
+    /// one refcount increment; never blocks on a publisher.
+    pub fn load(&self) -> Arc<Snapshot> {
+        let raw = self.ptr.load(Ordering::Acquire) as *const Snapshot;
+        // SAFETY: `raw` was stored from an `Arc` that `current` (and,
+        // after any later swap, `retired`) keeps alive for the life of
+        // `self`, so the allocation is live and its strong count is at
+        // least one for the whole call; the increment hands that
+        // guarantee to the returned `Arc`.
+        unsafe {
+            Arc::increment_strong_count(raw);
+            Arc::from_raw(raw)
+        }
+    }
+
+    /// Install `next` as the current snapshot, returning the snapshot
+    /// it replaced. Readers that already loaded the old snapshot finish
+    /// on it; new loads observe `next` after this returns (and possibly
+    /// during it — the pointer store is the linearization point).
+    pub fn swap(&self, next: Arc<Snapshot>) -> Arc<Snapshot> {
+        let mut current = self.current.lock();
+        let prev = std::mem::replace(&mut *current, next);
+        // Order matters: `*current` owns `next` before the pointer
+        // becomes visible, and `prev` is retired before its pointer can
+        // stop being loadable — so every pointer value ever stored is
+        // backed by a strong reference held by this cell.
+        self.retired.lock().push(prev.clone());
+        self.ptr
+            .store(Arc::as_ptr(&current) as *mut Snapshot, Ordering::Release);
+        prev
+    }
+
+    /// Number of retired (previously published) snapshots retained for
+    /// reader safety.
+    pub fn retired_len(&self) -> usize {
+        self.retired.lock().len()
+    }
+}
+
+/// The serving tier's front door: a [`SwapCell`] holding the live
+/// [`Snapshot`] plus the online CTR state that must *survive* snapshot
+/// swaps (§VIII adaptation is feedback about the world, not about one
+/// artifact, so a rebuild must not amnesia it).
+///
+/// ```no_run
+/// # use ctxrank_framework::*;
+/// # use std::sync::Arc;
+/// # fn rebuild() -> Arc<Snapshot> { unimplemented!() }
+/// let handle = ServiceHandle::new(rebuild());
+/// // Serving threads:
+/// let ranked = handle.rank("breaking news text", &["solar flares".into()]);
+/// // Publisher thread, later, mid-traffic:
+/// handle.publish(rebuild());
+/// ```
+pub struct ServiceHandle {
+    cell: SwapCell,
+    /// Online CTR adjustments, owned by the handle (not any snapshot)
+    /// so `publish` carries them across artifact generations.
+    adjuster: RwLock<OnlineCtrAdjuster>,
+}
+
+impl ServiceHandle {
+    /// Serve `initial` with a fresh (empty) online adjuster.
+    pub fn new(initial: Arc<Snapshot>) -> Self {
+        Self::with_adjuster(initial, OnlineCtrAdjuster::default())
+    }
+
+    /// Serve `initial`, restoring previously accumulated online CTR
+    /// state (e.g. from [`crate::persist::load_service`]).
+    pub fn with_adjuster(initial: Arc<Snapshot>, adjuster: OnlineCtrAdjuster) -> Self {
+        Self {
+            cell: SwapCell::new(initial),
+            adjuster: RwLock::new(adjuster),
+        }
+    }
+
+    /// The snapshot currently being served (wait-free).
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// The current snapshot's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.cell.load().epoch()
+    }
+
+    /// A [`RuntimeRanker`] view pinned to the current snapshot. All
+    /// calls through the returned value use that one snapshot, however
+    /// many publishes happen meanwhile.
+    pub fn ranker(&self) -> RuntimeRanker {
+        RuntimeRanker::from_snapshot(self.cell.load())
+    }
+
+    /// Install a rebuilt snapshot mid-traffic; returns its epoch.
+    /// In-flight rankings finish on the snapshot they started with, and
+    /// the online adjuster (CTR feedback) carries over untouched.
+    pub fn publish(&self, next: Arc<Snapshot>) -> u64 {
+        let epoch = next.epoch();
+        self.cell.swap(next);
+        epoch
+    }
+
+    /// Feed one CTR feedback batch for `surface` (§VIII).
+    pub fn record_feedback(&self, surface: &str, views: u64, clicks: u64) {
+        self.adjuster.write().record(surface, views, clicks);
+    }
+
+    /// The current additive adjustment for `surface`.
+    pub fn adjustment(&self, surface: &str) -> f64 {
+        self.adjuster.read().adjustment(surface)
+    }
+
+    /// A copy of the accumulated online CTR state (for persistence).
+    pub fn adjuster_state(&self) -> OnlineCtrAdjuster {
+        self.adjuster.read().clone()
+    }
+
+    /// Rank `candidates` for one document on the current snapshot, with
+    /// online CTR adjustments applied (§VIII). The whole call uses the
+    /// single snapshot loaded at entry.
+    pub fn rank(&self, text: &str, candidates: &[String]) -> Vec<RankedConcept> {
+        let ranker = self.ranker();
+        let adjuster = self.adjuster.read();
+        ranker.rank_online(text, candidates, &adjuster)
+    }
+
+    /// Rank a batch of documents on *one* snapshot (loaded at entry, so
+    /// a publish mid-batch cannot split the batch across versions),
+    /// fanned across the worker pool.
+    pub fn rank_batch(&self, docs: &[(&str, &[String])]) -> Vec<Vec<RankedConcept>> {
+        self.ranker().rank_batch(docs)
+    }
+
+    /// Snapshots retained for reader safety (diagnostics; see the
+    /// module-level reclamation notes).
+    pub fn retired_len(&self) -> usize {
+        self.cell.retired_len()
+    }
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("epoch", &self.epoch())
+            .field("retired", &self.retired_len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::PackedInterestStore;
+    use crate::relstore::PackedRelevanceStore;
+    use crate::snapshot::SnapshotBuilder;
+    use crate::tid::GlobalTidTable;
+    use ctxrank_features::{InterestFeatures, RelevantTerms};
+    use ctxrank_ltr::{train, RankGroup, SvmConfig};
+
+    /// A snapshot whose single concept's relevance keyword weight is
+    /// `weight` — distinguishable through rank results.
+    fn snapshot(weight: f64) -> Arc<Snapshot> {
+        let interest = PackedInterestStore::build(&[(
+            "solar flares".to_string(),
+            InterestFeatures {
+                freq_exact: 100,
+                ..InterestFeatures::default()
+            },
+        )]);
+        let mut tids = GlobalTidTable::new();
+        let kw = RelevantTerms {
+            terms: vec![(ctxrank_text::stem("sunspot"), weight)],
+        };
+        let relevance = PackedRelevanceStore::build(vec![("solar flares", &kw)], &mut tids);
+        let groups: Vec<RankGroup> = (0..10)
+            .map(|g| {
+                RankGroup::from_pairs((0..2).map(|i| {
+                    let mut f = vec![0.0; 10];
+                    f[9] = (g + i) as f64;
+                    (f, i as f64 * 0.01)
+                }))
+            })
+            .collect();
+        let model = train(&groups, &SvmConfig::default());
+        SnapshotBuilder::new()
+            .interest(interest)
+            .relevance(relevance)
+            .tids(tids)
+            .model(model)
+            .build()
+            .expect("snapshot")
+    }
+
+    #[test]
+    fn load_returns_published_snapshot() {
+        let a = snapshot(1.0);
+        let cell = SwapCell::new(a.clone());
+        assert!(Arc::ptr_eq(&cell.load(), &a));
+        let b = snapshot(2.0);
+        let prev = cell.swap(b.clone());
+        assert!(Arc::ptr_eq(&prev, &a));
+        assert!(Arc::ptr_eq(&cell.load(), &b));
+        assert_eq!(cell.retired_len(), 1);
+    }
+
+    #[test]
+    fn in_flight_view_survives_publish() {
+        let handle = ServiceHandle::new(snapshot(1.0));
+        let pinned = handle.ranker();
+        let before = pinned.rank("sunspot activity", &["solar flares".to_string()]);
+        let old_epoch = pinned.epoch();
+        handle.publish(snapshot(9.0));
+        // The pinned view still ranks on the old snapshot...
+        assert_eq!(pinned.epoch(), old_epoch);
+        assert_eq!(
+            pinned.rank("sunspot activity", &["solar flares".to_string()]),
+            before
+        );
+        // ...while fresh views see the new one.
+        assert!(handle.epoch() > old_epoch);
+        let after = handle
+            .ranker()
+            .rank("sunspot activity", &["solar flares".to_string()]);
+        assert!(after[0].relevance > before[0].relevance);
+    }
+
+    #[test]
+    fn adjuster_survives_publish() {
+        let handle = ServiceHandle::new(snapshot(1.0));
+        // Accumulate a CTR spike for the concept.
+        for _ in 0..50 {
+            handle.record_feedback("solar flares", 1000, 10);
+        }
+        for _ in 0..3 {
+            handle.record_feedback("solar flares", 1000, 80);
+        }
+        let boost = handle.adjustment("solar flares");
+        assert!(boost > 0.5, "expected a boost, got {boost}");
+        handle.publish(snapshot(2.0));
+        assert_eq!(
+            handle.adjustment("solar flares"),
+            boost,
+            "publish must not reset online CTR state"
+        );
+        // And the adjustment is applied when ranking through the handle.
+        let plain = handle
+            .ranker()
+            .rank("sunspot activity", &["solar flares".to_string()]);
+        let adjusted = handle.rank("sunspot activity", &["solar flares".to_string()]);
+        assert!((adjusted[0].score - (plain[0].score + boost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epochs_monotone_across_publishes() {
+        let handle = ServiceHandle::new(snapshot(1.0));
+        let mut last = handle.epoch();
+        for w in 2..6 {
+            let e = handle.publish(snapshot(w as f64));
+            assert!(e > last);
+            assert_eq!(handle.epoch(), e);
+            last = e;
+        }
+        assert_eq!(handle.retired_len(), 4);
+    }
+}

@@ -98,6 +98,16 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Default configuration with the §II-B multi-term bonus toggled —
+    /// the one knob experiment builds vary.
+    pub fn with_multiterm_bonus(bonus: bool) -> Self {
+        let mut config = Self::default();
+        config.vector.multiterm_bonus = bonus;
+        config
+    }
+}
+
 /// The assembled platform.
 pub struct Pipeline<'a> {
     dictionary: &'a EntityDictionary,

@@ -1,47 +1,31 @@
-//! A news-stream serving loop: load a persisted production ranker,
-//! annotate incoming stories, collect click feedback, and adapt online —
-//! the full §VI + §VIII story through the public API.
+//! A news-stream serving loop: freeze an offline snapshot, serve it
+//! through a [`ServiceHandle`], adapt to click feedback online, hot-swap
+//! a rebuilt snapshot mid-traffic, and persist/reload the whole service
+//! — the full §VI + §VIII story through the public API.
 //!
 //! Run with: `cargo run --release --example online_news_stream`
 
 use ctxrank::features::{InterestFeatures, RelevantTerms};
 use ctxrank::framework::{
-    load_ranker, save_ranker, GlobalTidTable, OnlineConfig, OnlineCtrAdjuster, PackedInterestStore,
-    PackedRelevanceStore, RuntimeRanker,
+    load_service, save_service, GlobalTidTable, OnlineConfig, OnlineCtrAdjuster,
+    PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot, SnapshotBuilder,
 };
 use ctxrank::ltr::{train, RankGroup, SvmConfig};
 use ctxrank::text::stem;
+use std::sync::Arc;
 
-fn main() {
-    // ---- Offline: build, train and persist the serving artifact.
-    let concepts: Vec<(String, InterestFeatures)> = [
-        ("world cup", 4000u64, 2500u32),
-        ("transfer rumours", 900, 400),
-        ("qualifying rounds", 150, 120),
-    ]
-    .iter()
-    .map(|(s, freq, wiki)| {
-        (
-            s.to_string(),
-            InterestFeatures {
-                freq_exact: *freq,
-                freq_phrase_contained: freq * 2,
-                unit_score: 0.8,
-                searchengine_phrase: freq / 3,
-                concept_size: 2,
-                number_of_chars: s.len() as u32,
-                subconcepts: 0,
-                high_level_type: 4,
-                wiki_word_count: *wiki,
-            },
-        )
-    })
-    .collect();
-    let interest = PackedInterestStore::build(&concepts);
+/// One offline rebuild: pack the stores, train the model, freeze the
+/// snapshot. `keyword_boost` stands in for the fresher mining data a
+/// later rebuild would see.
+fn rebuild_snapshot(concepts: &[(String, InterestFeatures)], keyword_boost: f64) -> Arc<Snapshot> {
+    let interest = PackedInterestStore::build(concepts);
 
     let mut tids = GlobalTidTable::new();
     let kw = |terms: &[(&str, f64)]| RelevantTerms {
-        terms: terms.iter().map(|(t, s)| (stem(t), *s)).collect(),
+        terms: terms
+            .iter()
+            .map(|(t, s)| (stem(t), *s * keyword_boost))
+            .collect(),
     };
     let sets = [
         (
@@ -70,19 +54,51 @@ fn main() {
         })
         .collect();
     let model = train(&groups, &SvmConfig::default());
-    let ranker = RuntimeRanker::new(interest, relevance, tids, model);
 
-    let artifact = std::env::temp_dir().join("ctxrank_example_artifact");
-    save_ranker(&ranker, &artifact).expect("persist the offline artifact");
-    println!("offline artifact written to {}", artifact.display());
+    SnapshotBuilder::new()
+        .interest(interest)
+        .relevance(relevance)
+        .tids(tids)
+        .model(model)
+        .build()
+        .expect("all snapshot components supplied")
+}
 
-    // ---- Online: a serving process loads the artifact cold.
-    let serving = load_ranker(&artifact).expect("load the artifact");
-    let mut adjuster = OnlineCtrAdjuster::new(OnlineConfig {
-        gain: 3.0,
-        max_adjust: 8.0,
-        ..OnlineConfig::default()
-    });
+fn main() {
+    let concepts: Vec<(String, InterestFeatures)> = [
+        ("world cup", 4000u64, 2500u32),
+        ("transfer rumours", 900, 400),
+        ("qualifying rounds", 150, 120),
+    ]
+    .iter()
+    .map(|(s, freq, wiki)| {
+        (
+            s.to_string(),
+            InterestFeatures {
+                freq_exact: *freq,
+                freq_phrase_contained: freq * 2,
+                unit_score: 0.8,
+                searchengine_phrase: freq / 3,
+                concept_size: 2,
+                number_of_chars: s.len() as u32,
+                subconcepts: 0,
+                high_level_type: 4,
+                wiki_word_count: *wiki,
+            },
+        )
+    })
+    .collect();
+
+    // ---- Offline: freeze the first snapshot; the service starts on it.
+    let handle = ServiceHandle::with_adjuster(
+        rebuild_snapshot(&concepts, 1.0),
+        OnlineCtrAdjuster::new(OnlineConfig {
+            gain: 3.0,
+            max_adjust: 8.0,
+            ..OnlineConfig::default()
+        }),
+    );
+    println!("serving snapshot epoch {}", handle.epoch());
 
     let candidates: Vec<String> = concepts.iter().map(|(s, _)| s.clone()).collect();
     let story = "The stadium roared as the final goal settled the group standings \
@@ -90,9 +106,10 @@ fn main() {
 
     println!("\nserving loop (CTR feedback arrives after each batch):");
     for batch in 0..6 {
-        let ranked = serving.rank_online(story, &candidates, &adjuster);
+        let ranked = handle.rank(story, &candidates);
         println!(
-            "batch {batch}: {}",
+            "batch {batch} (epoch {}): {}",
+            handle.epoch(),
             ranked
                 .iter()
                 .map(|r| format!("{} ({:.2})", r.surface, r.score))
@@ -109,14 +126,49 @@ fn main() {
             } else {
                 (20_000, 260)
             };
-            adjuster.record(surface, views, clicks);
+            handle.record_feedback(surface, views, clicks);
+        }
+        // Mid-traffic, the offline pipeline finishes a rebuild with
+        // fresher keyword data. Publishing is one atomic swap: readers
+        // never pause, and the accumulated CTR state carries over.
+        if batch == 3 {
+            let epoch = handle.publish(rebuild_snapshot(&concepts, 1.25));
+            println!("  >> published rebuilt snapshot, epoch {epoch}");
         }
     }
+    let boost = handle.adjustment("qualifying rounds");
     println!(
         "\nadjustments now: world cup {:+.2}, transfer rumours {:+.2}, qualifying rounds {:+.2}",
-        adjuster.adjustment("world cup"),
-        adjuster.adjustment("transfer rumours"),
-        adjuster.adjustment("qualifying rounds"),
+        handle.adjustment("world cup"),
+        handle.adjustment("transfer rumours"),
+        boost,
+    );
+    assert!(
+        boost > 0.0,
+        "the upset should still be boosted after the swap"
+    );
+
+    // ---- Persist the whole service (snapshot + online CTR state) and
+    // reload it, as a restarted serving process would.
+    let artifact = std::env::temp_dir().join("ctxrank_example_artifact");
+    save_service(&handle, &artifact).expect("persist the serving state");
+    println!("\nservice persisted to {}", artifact.display());
+
+    let restored = load_service(&artifact).expect("reload the serving state");
+    assert_eq!(restored.epoch(), handle.epoch(), "epoch survives restart");
+    assert!(
+        (restored.adjustment("qualifying rounds") - boost).abs() < 1e-12,
+        "online CTR state survives restart"
+    );
+    let ranked = restored.rank(story, &candidates);
+    println!(
+        "after restart (epoch {}): {}",
+        restored.epoch(),
+        ranked
+            .iter()
+            .map(|r| format!("{} ({:.2})", r.surface, r.score))
+            .collect::<Vec<_>>()
+            .join("  >  ")
     );
 
     std::fs::remove_dir_all(&artifact).ok();

@@ -121,7 +121,7 @@ fn main() {
         println!("{:<16} {:>10.4} {:>12.3}", r.surface, r.score, r.relevance);
     }
 
-    let report = MemoryReport::measure(&ranker.interest, &ranker.relevance, &ranker.tids);
+    let report = MemoryReport::measure(ranker.interest(), ranker.relevance(), ranker.tids());
     println!(
         "\nmemory: {} B interestingness ({} B/concept), {} B relevance, Golomb saves {:.0}%",
         report.interest_bytes,

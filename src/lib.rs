@@ -23,7 +23,12 @@
 //! * [`ltr`] — pairwise ranking SVM with cross-validation.
 //! * [`eval`] — weighted error rate, NDCG, editorial and A/B harnesses.
 //! * [`framework`] — the §VI production framework: packed feature stores,
-//!   the global TID table, Golomb coding, and the runtime ranker.
+//!   the global TID table, Golomb coding, the immutable [`Snapshot`]
+//!   serving artifact, the runtime ranker, and lock-free snapshot
+//!   hot-swap via [`ServiceHandle`].
+//!
+//! [`Snapshot`]: framework::Snapshot
+//! [`ServiceHandle`]: framework::ServiceHandle
 
 /// The most commonly used types, importable in one line:
 /// `use ctxrank::prelude::*;`
@@ -32,7 +37,10 @@ pub mod prelude {
     pub use ctxrank_features::{
         FeatureExtractor, InterestFeatures, MiningResource, RelevanceModel, RelevanceModelBuilder,
     };
-    pub use ctxrank_framework::{OnlineCtrAdjuster, RuntimeRanker};
+    pub use ctxrank_framework::{
+        load_service, load_snapshot, save_service, save_snapshot, OnlineCtrAdjuster, PersistError,
+        RuntimeRanker, ServiceHandle, Snapshot, SnapshotBuilder,
+    };
     pub use ctxrank_index::{Index, IndexBuilder};
     pub use ctxrank_ltr::{train, RankGroup, RankModel, SvmConfig};
     pub use ctxrank_querylog::{extract_units, QueryLog, UnitConfig, UnitDictionary};
