@@ -236,12 +236,55 @@ fn bench_snapshot_swap(c: &mut Criterion) {
     group.finish();
 }
 
+/// The serving layer over real loopback sockets: one request per
+/// connection at batch size 1 (the baseline every HTTP framework starts
+/// from) vs keep-alive connections coalesced by the micro-batcher into
+/// `rank_batch_online` calls of up to 16 documents. The acceptance bar
+/// is ≥2× for the batched mode; see `perf_report`'s `server_loopback`
+/// row for the recorded ratio.
+fn bench_server_loopback(c: &mut Criterion) {
+    use ctxrank_bench::{drive_loopback_pass, loopback_config, loopback_workload};
+
+    let exp = Experiment::build(ExperimentConfig::small(0xbe7c4));
+    let workload = loopback_workload(&exp);
+    let handle = std::sync::Arc::new(ctxrank_framework::ServiceHandle::new(
+        ctxrank_bench::build_snapshot(&exp),
+    ));
+
+    let mut group = c.benchmark_group("server_loopback");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(workload.doc_bytes as u64));
+
+    {
+        let server =
+            ctxrank_serve::Server::start(std::sync::Arc::clone(&handle), loopback_config(1))
+                .expect("start baseline server");
+        let addr = server.local_addr();
+        group.bench_function("one_shot_batch1", |b| {
+            b.iter(|| black_box(drive_loopback_pass(addr, &workload.bodies, false)))
+        });
+        server.shutdown();
+    }
+    {
+        let server =
+            ctxrank_serve::Server::start(std::sync::Arc::clone(&handle), loopback_config(16))
+                .expect("start batched server");
+        let addr = server.local_addr();
+        group.bench_function("keep_alive_batch16", |b| {
+            b.iter(|| black_box(drive_loopback_pass(addr, &workload.bodies, true)))
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_stemmer_and_ranker,
     bench_annotation_component,
     bench_ranker_parallel,
     bench_experiment_build_parallel,
-    bench_snapshot_swap
+    bench_snapshot_swap,
+    bench_server_loopback
 );
 criterion_main!(benches);

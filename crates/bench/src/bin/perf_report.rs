@@ -202,6 +202,44 @@ fn main() {
         secs
     });
 
+    // Network serving layer: micro-batched keep-alive `/rank` traffic
+    // ("parallel") vs one request per connection at batch size 1
+    // ("serial"), both against a real server on a loopback port. The
+    // speedup is connection amortization plus batch coalescing — one
+    // snapshot/adjuster read per 16 documents instead of per document.
+    let workload = ctxrank_bench::loopback_workload(&fx.exp);
+    let snapshot = ctxrank_bench::build_snapshot(&fx.exp);
+    let serve_handle = std::sync::Arc::new(ctxrank_framework::ServiceHandle::new(snapshot));
+    let loopback_one_shot = {
+        let server = ctxrank_serve::Server::start(
+            std::sync::Arc::clone(&serve_handle),
+            ctxrank_bench::loopback_config(1),
+        )
+        .expect("start baseline server");
+        let addr = server.local_addr();
+        // Untimed warmup pass: fault in stacks, warm the accept path.
+        ctxrank_bench::drive_loopback_pass(addr, &workload.bodies, false);
+        let secs = best_secs(reps, || {
+            ctxrank_bench::drive_loopback_pass(addr, &workload.bodies, false)
+        });
+        server.shutdown();
+        secs
+    };
+    let loopback_batched = {
+        let server = ctxrank_serve::Server::start(
+            std::sync::Arc::clone(&serve_handle),
+            ctxrank_bench::loopback_config(16),
+        )
+        .expect("start batched server");
+        let addr = server.local_addr();
+        ctxrank_bench::drive_loopback_pass(addr, &workload.bodies, true);
+        let secs = best_secs(reps, || {
+            ctxrank_bench::drive_loopback_pass(addr, &workload.bodies, true)
+        });
+        server.shutdown();
+        secs
+    };
+
     let report = serde_json::Value::Seq(vec![
         row(
             "stemmer_component",
@@ -237,6 +275,13 @@ fn main() {
             swap_static,
             swap_publishing,
             threads,
+        ),
+        row(
+            "server_loopback",
+            workload.doc_bytes,
+            loopback_one_shot,
+            loopback_batched,
+            ctxrank_bench::LOOPBACK_CLIENTS,
         ),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -11,6 +11,7 @@
 
 pub mod dataset;
 pub mod experiment;
+pub mod loopback;
 pub mod production;
 pub mod rankers;
 pub mod report;
@@ -18,6 +19,10 @@ pub mod stages;
 
 pub use dataset::{Dataset, Item, WindowGroup};
 pub use experiment::{Experiment, ExperimentConfig};
+pub use loopback::{
+    drive_loopback_pass, loopback_config, loopback_workload, LoopbackWorkload, LOOPBACK_CLIENTS,
+    LOOPBACK_REQUESTS_PER_CLIENT,
+};
 pub use production::{build_runtime_ranker, build_snapshot};
 pub use rankers::{evaluate_fixed, evaluate_learned, EvalResult, FeatureSet};
 pub use report::{fmt_pct, print_table};

@@ -224,7 +224,7 @@ impl Snapshot {
 ///     .tids(tids)
 ///     .model(model)
 ///     .build()
-///     .unwrap();
+///     .expect("all four components supplied and the model is linear");
 /// ```
 #[derive(Default)]
 pub struct SnapshotBuilder {
@@ -341,6 +341,19 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, SnapshotError::Missing("rank model"));
         drop(model);
+    }
+
+    #[test]
+    fn snapshot_errors_name_the_violated_invariant() {
+        // A server boot path reports these instead of panicking, so the
+        // messages must say what was wrong, not just that something was.
+        assert_eq!(
+            SnapshotError::Missing("rank model").to_string(),
+            "snapshot builder missing rank model"
+        );
+        assert!(SnapshotError::RbfModel.to_string().contains("linear model"));
+        let empty = SnapshotBuilder::new().build();
+        assert!(matches!(empty, Err(SnapshotError::Missing(_))));
     }
 
     #[test]

@@ -196,6 +196,25 @@ impl ServiceHandle {
         self.ranker().rank_batch(docs)
     }
 
+    /// Rank a batch with §VIII online CTR adjustments applied, returning
+    /// the epoch that served it. The snapshot is pinned and the adjuster
+    /// read-locked **once at entry**, so neither a publish nor a
+    /// feedback batch landing mid-way can split the batch across
+    /// versions — every document in the batch is ranked by exactly the
+    /// returned epoch. This is the hook the network serving layer's
+    /// micro-batcher builds on (`ctxrank-serve`).
+    pub fn rank_batch_online(&self, docs: &[(&str, &[String])]) -> (u64, Vec<Vec<RankedConcept>>) {
+        let ranker = self.ranker();
+        let epoch = ranker.epoch();
+        let adjuster = self.adjuster.read();
+        let results = ctxrank_parallel::par_map(
+            ctxrank_parallel::num_threads(),
+            docs,
+            |(text, candidates)| ranker.rank_online(text, candidates, &adjuster),
+        );
+        (epoch, results)
+    }
+
     /// Snapshots retained for reader safety (diagnostics; see the
     /// module-level reclamation notes).
     pub fn retired_len(&self) -> usize {
@@ -313,6 +332,35 @@ mod tests {
             .rank("sunspot activity", &["solar flares".to_string()]);
         let adjusted = handle.rank("sunspot activity", &["solar flares".to_string()]);
         assert!((adjusted[0].score - (plain[0].score + boost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_batch_online_pins_one_epoch_and_applies_adjustments() {
+        let handle = ServiceHandle::new(snapshot(1.0));
+        for _ in 0..50 {
+            handle.record_feedback("solar flares", 1000, 10);
+        }
+        for _ in 0..3 {
+            handle.record_feedback("solar flares", 1000, 80);
+        }
+        let boost = handle.adjustment("solar flares");
+        assert!(boost > 0.5, "expected a boost, got {boost}");
+
+        let cands = vec!["solar flares".to_string()];
+        let docs: Vec<(&str, &[String])> = vec![
+            ("sunspot activity", cands.as_slice()),
+            ("stock market rally", cands.as_slice()),
+        ];
+        let (epoch, batch) = handle.rank_batch_online(&docs);
+        assert_eq!(epoch, handle.epoch());
+        assert_eq!(batch.len(), docs.len());
+        // Each row equals the per-doc online ranking on the same pinned
+        // snapshot.
+        let ranker = handle.ranker();
+        let adjuster = handle.adjuster_state();
+        for ((text, cands), ranked) in docs.iter().zip(&batch) {
+            assert_eq!(ranked, &ranker.rank_online(text, cands, &adjuster));
+        }
     }
 
     #[test]

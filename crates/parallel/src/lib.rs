@@ -18,17 +18,22 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Worker count: `CTXRANK_THREADS` if set and >= 1, else the machine's
-/// available parallelism.
+/// Worker count: `CTXRANK_THREADS` if set to a usable value, else the
+/// machine's available parallelism. A value of `0`, an empty string, or
+/// garbage never reaches callers — every pool in the workspace (and the
+/// serving layer's worker threads) sizes itself through here, so the
+/// override must degrade to the default rather than to zero workers.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("CTXRANK_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    parse_threads(std::env::var("CTXRANK_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Interpret a `CTXRANK_THREADS` value: `Some(n)` only for a parseable
+/// integer >= 1, `None` (fall back to the default) for unset, empty,
+/// zero, negative, or non-numeric input.
+pub fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 /// How many items each claim takes. Small enough to balance skewed
@@ -171,5 +176,38 @@ mod tests {
         assert!(num_threads() >= 1);
         std::env::remove_var("CTXRANK_THREADS");
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_only_usable_counts() {
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some("16")), Some(16));
+        assert_eq!(parse_threads(Some("  8 ")), Some(8));
+    }
+
+    #[test]
+    fn parse_threads_falls_back_on_zero_empty_or_garbage() {
+        for bad in [
+            "0",
+            "",
+            "   ",
+            "-2",
+            "4.5",
+            "four",
+            "0x4",
+            "18446744073709551616",
+        ] {
+            assert_eq!(parse_threads(Some(bad)), None, "input {bad:?}");
+        }
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn num_threads_never_zero_even_when_env_is_hostile() {
+        for bad in ["0", "", "garbage"] {
+            std::env::set_var("CTXRANK_THREADS", bad);
+            assert!(num_threads() >= 1, "CTXRANK_THREADS={bad:?}");
+        }
+        std::env::remove_var("CTXRANK_THREADS");
     }
 }

@@ -1,0 +1,100 @@
+//! A minimal blocking HTTP/1.1 client for loopback use: integration
+//! tests, the throughput bench, and `perf_report` all talk to the
+//! server through this instead of each hand-rolling socket code.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// `(status, lowercased headers, body)` of one response.
+pub type HttpReply = (u16, Vec<(String, String)>, String);
+
+/// A keep-alive connection to the server.
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Scratch for status/header lines, reused across requests.
+    line: String,
+}
+
+impl Conn {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            line: String::new(),
+        })
+    }
+
+    /// Send one request and read the full response. `body = None` sends
+    /// no body (GET). Returns `(status, headers, body)`; header names
+    /// are lowercased.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpReply> {
+        let body = body.unwrap_or("");
+        // One buffer, one write syscall per request.
+        let wire = format!(
+            "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpReply> {
+        let bad =
+            |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(bad("connection closed before status line"));
+        }
+        let status: u16 = self
+            .line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let line = self.line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim().to_string();
+                if name == "content-length" {
+                    content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+                }
+                headers.push((name, value));
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?;
+        Ok((status, headers, body))
+    }
+}
+
+/// One request over a fresh connection (the "one request per
+/// connection" baseline in the loopback bench).
+pub fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpReply> {
+    Conn::connect(addr)?.request(method, path, body)
+}

@@ -1,0 +1,255 @@
+//! A deliberately small HTTP/1.1 implementation on blocking sockets.
+//!
+//! The serving layer needs exactly four verbs of HTTP: read a request
+//! line, read headers until the blank line, read `Content-Length` bytes
+//! of body, write a response with a handful of headers. Everything else
+//! (chunked encoding, multipart, TLS, HTTP/2) is out of scope — the
+//! front door runs behind a load balancer in the deployment the paper
+//! describes, and the reproduction keeps the workspace dependency-free.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Ceiling on the request line + headers, and on a request body. Both
+/// exist so a malicious or broken client cannot make the server buffer
+/// unbounded memory — the same principle as the bounded request queue.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    /// `Connection: keep-alive` semantics (HTTP/1.1 default unless the
+    /// client sent `Connection: close`).
+    pub keep_alive: bool,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including read timeouts on idle
+    /// keep-alive connections — the caller closes quietly).
+    Io(std::io::Error),
+    /// The bytes on the wire are not an HTTP request we accept.
+    BadRequest(&'static str),
+    /// Head or body exceeded the fixed ceilings above.
+    TooLarge,
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request off the connection. `Ok(None)` means the peer
+/// closed cleanly between requests (normal end of a keep-alive
+/// session).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut head_bytes = line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::BadRequest("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing request path"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    // One scratch buffer for every header line, cleared between lines.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(HttpError::BadRequest("connection closed mid-headers"));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::BadRequest("malformed header"));
+        };
+        let name = name.trim();
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest("bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        keep_alive,
+        body,
+    }))
+}
+
+/// One response, about to be written.
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Extra headers, e.g. `Retry-After` on a shed response.
+    pub extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    pub fn json(status: u16, value: &serde_json::Value) -> Self {
+        let body = serde_json::to_string(value)
+            .unwrap_or_else(|_| "{}".to_string())
+            .into_bytes();
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+            extra: Vec::new(),
+        }
+    }
+
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra.push((name, value));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `resp` onto the socket. `keep_alive` controls the
+/// `Connection` header the client sees.
+pub fn write_response(
+    stream: &mut TcpStream,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut wire = String::with_capacity(160 + resp.body.len());
+    wire.push_str(&format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    ));
+    for (name, value) in &resp.extra {
+        wire.push_str(name);
+        wire.push_str(": ");
+        wire.push_str(value);
+        wire.push_str("\r\n");
+    }
+    wire.push_str("\r\n");
+    // Head and body go out in one write: one syscall per response, and
+    // no risk of the head landing in its own TCP segment.
+    let mut wire = wire.into_bytes();
+    wire.extend_from_slice(&resp.body);
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Run `bytes` through a real loopback socket and parse.
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let bytes = bytes.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&bytes).expect("write");
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let out = read_request(&mut BufReader::new(stream));
+        writer.join().expect("writer");
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(b"POST /rank HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+            .expect("parse")
+            .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/rank");
+        assert!(req.keep_alive);
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("parse")
+            .expect("some");
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn closed_connection_is_none() {
+        assert!(parse(b"").expect("parse").is_none());
+    }
+
+    #[test]
+    fn garbage_is_bad_request() {
+        assert!(matches!(
+            parse(b"NOT-HTTP\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_allocation() {
+        let head = format!("POST /rank HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 1 << 30);
+        assert!(matches!(parse(head.as_bytes()), Err(HttpError::TooLarge)));
+    }
+}

@@ -1,0 +1,40 @@
+//! `ctxrank-serve` — the network front door for the §VI online ranker.
+//!
+//! The paper's Contextual Shortcuts platform is a *serving* system:
+//! annotation and key-concept ranking run inside a user-facing page
+//! pipeline at portal scale. Everything below the request boundary
+//! already exists in this reproduction — the immutable [`Snapshot`]
+//! artifact, the wait-free hot-swap [`ServiceHandle`], the batched
+//! `rank_batch` API. This crate adds the boundary itself: a
+//! **zero-external-dependency HTTP/1.1 server** on
+//! `std::net::TcpListener` with
+//!
+//! * an acceptor + worker-thread pool (sized via `CTXRANK_THREADS`,
+//!   like every pool in the workspace) behind a **bounded connection
+//!   queue**;
+//! * a **micro-batcher** that coalesces concurrent `POST /rank`
+//!   requests into single `ServiceHandle::rank_batch_online` calls —
+//!   one snapshot, one adjuster read, one epoch per batch, so clients
+//!   can never observe a torn response across a hot-swap;
+//! * **load shedding**: either bound filling yields an immediate `503`
+//!   with `Retry-After`, never unbounded memory;
+//! * `GET /healthz`, `GET /metrics` (Prometheus text format), `POST
+//!   /annotate`, and graceful **drain on shutdown** (stop accepting,
+//!   finish queued work, close).
+//!
+//! See `DESIGN.md` §10 for the architecture diagram and the metrics
+//! catalogue, and `examples/serve_demo.rs` for an end-to-end demo
+//! binary.
+//!
+//! [`Snapshot`]: ctxrank_framework::Snapshot
+//! [`ServiceHandle`]: ctxrank_framework::ServiceHandle
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use batcher::{Batcher, RankJob, SubmitError};
+pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_SECS};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,247 @@
+//! Live serving metrics, rendered in Prometheus text format.
+//!
+//! Everything is a plain atomic — no locks on the request path, no
+//! allocation until `/metrics` renders. The histogram buckets are fixed
+//! at compile time (Prometheus-style cumulative `le` buckets), so two
+//! scrapes are always comparable and the exporter needs no state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Endpoints that get their own counter + latency histogram. `Other`
+/// absorbs 404s and bad requests so abuse is visible too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Rank,
+    Annotate,
+    Healthz,
+    Metrics,
+    Other,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 5] = [
+        Endpoint::Rank,
+        Endpoint::Annotate,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Rank => "rank",
+            Endpoint::Annotate => "annotate",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Rank => 0,
+            Endpoint::Annotate => 1,
+            Endpoint::Healthz => 2,
+            Endpoint::Metrics => 3,
+            Endpoint::Other => 4,
+        }
+    }
+}
+
+/// Upper bounds of the latency buckets, in seconds. Spans sub-100µs
+/// cache hits to multi-second pathologies; the final implicit bucket is
+/// `+Inf`.
+pub const LATENCY_BUCKETS_SECS: [f64; 12] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+];
+
+#[derive(Default)]
+struct Histogram {
+    /// One slot per finite bucket plus the `+Inf` slot. Stored
+    /// non-cumulative; cumulated at render time.
+    buckets: [AtomicU64; LATENCY_BUCKETS_SECS.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn observe(&self, secs: f64) {
+        let slot = LATENCY_BUCKETS_SECS
+            .iter()
+            .position(|&ub| secs <= ub)
+            .unwrap_or(LATENCY_BUCKETS_SECS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((secs * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The server's metric registry. One instance per [`crate::Server`],
+/// shared by acceptor, workers and the batcher.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; Endpoint::ALL.len()],
+    latency: [Histogram; Endpoint::ALL.len()],
+    /// Requests refused with 503 because a bound was hit (connection
+    /// backlog or rank queue).
+    shed: AtomicU64,
+    /// Rank jobs currently queued in the micro-batcher.
+    queue_depth: AtomicU64,
+    /// Micro-batches executed, and documents they carried — the ratio
+    /// is the realized batch size.
+    batches: AtomicU64,
+    batched_docs: AtomicU64,
+}
+
+impl Metrics {
+    pub fn record_request(&self, ep: Endpoint, secs: f64) {
+        self.requests[ep.index()].fetch_add(1, Ordering::Relaxed);
+        self.latency[ep.index()].observe(secs);
+    }
+
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    pub fn requests_total(&self, ep: Endpoint) -> u64 {
+        self.requests[ep.index()].load(Ordering::Relaxed)
+    }
+
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    pub fn record_batch(&self, docs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_docs.fetch_add(docs as u64, Ordering::Relaxed);
+    }
+
+    /// Render the whole registry in Prometheus text exposition format.
+    /// `epoch` is read from the live [`ctxrank_framework::ServiceHandle`]
+    /// at scrape time so the gauge always names the snapshot actually
+    /// being served.
+    pub fn render_prometheus(&self, epoch: u64) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP ctxrank_requests_total Requests handled, by endpoint.\n");
+        out.push_str("# TYPE ctxrank_requests_total counter\n");
+        for ep in Endpoint::ALL {
+            out.push_str(&format!(
+                "ctxrank_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                self.requests[ep.index()].load(Ordering::Relaxed)
+            ));
+        }
+
+        out.push_str("# HELP ctxrank_shed_total Requests refused with 503 under load.\n");
+        out.push_str("# TYPE ctxrank_shed_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_shed_total {}\n",
+            self.shed.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP ctxrank_queue_depth Rank jobs waiting in the micro-batcher.\n");
+        out.push_str("# TYPE ctxrank_queue_depth gauge\n");
+        out.push_str(&format!(
+            "ctxrank_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP ctxrank_snapshot_epoch Epoch of the snapshot being served.\n");
+        out.push_str("# TYPE ctxrank_snapshot_epoch gauge\n");
+        out.push_str(&format!("ctxrank_snapshot_epoch {epoch}\n"));
+
+        out.push_str("# HELP ctxrank_rank_batches_total Micro-batches executed.\n");
+        out.push_str("# TYPE ctxrank_rank_batches_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_rank_batches_total {}\n",
+            self.batches.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP ctxrank_rank_batched_docs_total Documents ranked through micro-batches.\n",
+        );
+        out.push_str("# TYPE ctxrank_rank_batched_docs_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_rank_batched_docs_total {}\n",
+            self.batched_docs.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP ctxrank_request_latency_seconds Request latency, by endpoint.\n\
+             # TYPE ctxrank_request_latency_seconds histogram\n",
+        );
+        for ep in Endpoint::ALL {
+            let hist = &self.latency[ep.index()];
+            let mut cumulative = 0u64;
+            for (i, ub) in LATENCY_BUCKETS_SECS.iter().enumerate() {
+                cumulative += hist.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "ctxrank_request_latency_seconds_bucket{{endpoint=\"{}\",le=\"{ub}\"}} {cumulative}\n",
+                    ep.label()
+                ));
+            }
+            cumulative += hist.buckets[LATENCY_BUCKETS_SECS.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "ctxrank_request_latency_seconds_bucket{{endpoint=\"{}\",le=\"+Inf\"}} {cumulative}\n",
+                ep.label()
+            ));
+            out.push_str(&format!(
+                "ctxrank_request_latency_seconds_sum{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                hist.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "ctxrank_request_latency_seconds_count{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                hist.count.load(Ordering::Relaxed)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_count_matches() {
+        let m = Metrics::default();
+        m.record_request(Endpoint::Rank, 0.00005); // first bucket
+        m.record_request(Endpoint::Rank, 0.002); // mid bucket
+        m.record_request(Endpoint::Rank, 5.0); // +Inf only
+        let text = m.render_prometheus(7);
+        assert!(text
+            .contains("ctxrank_request_latency_seconds_bucket{endpoint=\"rank\",le=\"0.0001\"} 1"));
+        assert!(text
+            .contains("ctxrank_request_latency_seconds_bucket{endpoint=\"rank\",le=\"0.0025\"} 2"));
+        assert!(text
+            .contains("ctxrank_request_latency_seconds_bucket{endpoint=\"rank\",le=\"+Inf\"} 3"));
+        assert!(text.contains("ctxrank_request_latency_seconds_count{endpoint=\"rank\"} 3"));
+        assert!(text.contains("ctxrank_snapshot_epoch 7"));
+    }
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let m = Metrics::default();
+        m.record_shed();
+        m.record_shed();
+        m.set_queue_depth(5);
+        m.record_batch(16);
+        let text = m.render_prometheus(1);
+        assert!(text.contains("ctxrank_shed_total 2"));
+        assert!(text.contains("ctxrank_queue_depth 5"));
+        assert!(text.contains("ctxrank_rank_batches_total 1"));
+        assert!(text.contains("ctxrank_rank_batched_docs_total 16"));
+        assert!(text.contains("ctxrank_requests_total{endpoint=\"metrics\"} 0"));
+    }
+}

@@ -1,0 +1,526 @@
+//! The front door: acceptor, bounded connection queue, worker pool,
+//! request dispatch, graceful shutdown.
+//!
+//! ```text
+//!            ┌───────────┐  bounded conn   ┌──────────────┐
+//!  clients ─▶│ acceptor  │──── queue ─────▶│ worker pool  │──▶ /healthz /metrics /annotate
+//!            │ (1 thread)│  full? 503+shed │ (N threads)  │──┐
+//!            └───────────┘                 └──────────────┘  │ /rank
+//!                                                            ▼
+//!                                          bounded job  ┌──────────┐  rank_batch_online
+//!                                          queue ──────▶│ batcher  │────▶ one snapshot,
+//!                                          full? 503    │ (1 thread)     one epoch/batch
+//!                                                       └──────────┘
+//! ```
+//!
+//! Both queues are bounded; once either fills, the server sheds with
+//! `503` + `Retry-After` instead of growing memory — admission control
+//! at the door, as in any serving stack sized for peak. Worker count
+//! follows `ctxrank_parallel::num_threads()` (the `CTXRANK_THREADS`
+//! override), the same plumbing every parallel path in the workspace
+//! uses.
+
+use crate::batcher::{Batcher, RankJob, SubmitError};
+use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use ctxrank_framework::ServiceHandle;
+use serde_json::json;
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs. `Default` is sized for a small box; every field exists
+/// so tests can force the interesting regimes (tiny queues for
+/// shedding, batch size 1 for the unbatched baseline).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads. 0 means `ctxrank_parallel::num_threads()`.
+    pub workers: usize,
+    /// Bound on accepted-but-unserviced connections.
+    pub conn_backlog: usize,
+    /// Bound on rank jobs queued in the micro-batcher.
+    pub queue_capacity: usize,
+    /// Micro-batch size cap fed to `rank_batch_online`.
+    pub batch_max_size: usize,
+    /// How long the batcher holds an underfull batch open.
+    pub batch_max_wait: Duration,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+    /// Idle keep-alive read timeout before a worker drops a connection.
+    pub keep_alive_timeout: Duration,
+    /// Expose `POST /admin/shutdown` (used by the demo binary and CI to
+    /// stop the server without signals).
+    pub enable_shutdown_endpoint: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            conn_backlog: 256,
+            queue_capacity: 1024,
+            batch_max_size: 16,
+            batch_max_wait: Duration::from_micros(500),
+            retry_after_secs: 1,
+            keep_alive_timeout: Duration::from_secs(5),
+            enable_shutdown_endpoint: false,
+        }
+    }
+}
+
+struct Inner {
+    handle: Arc<ServiceHandle>,
+    metrics: Arc<Metrics>,
+    config: ServeConfig,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_nonempty: Condvar,
+    shutting: AtomicBool,
+    /// Set by `POST /admin/shutdown`; `wait_for_shutdown_request` blocks
+    /// on it.
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts the threads unjoined; call `shutdown` for a graceful drain.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    batcher: Arc<Batcher>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor + worker pool + batcher, and start
+    /// serving `handle`. Returns as soon as the listener is live.
+    pub fn start(handle: Arc<ServiceHandle>, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::default());
+        let workers = if config.workers == 0 {
+            ctxrank_parallel::num_threads()
+        } else {
+            config.workers
+        };
+
+        let batcher = Arc::new(Batcher::start(
+            Arc::clone(&handle),
+            Arc::clone(&metrics),
+            config.queue_capacity,
+            config.batch_max_size,
+            config.batch_max_wait,
+        ));
+
+        let inner = Arc::new(Inner {
+            handle,
+            metrics,
+            config,
+            conns: Mutex::new(VecDeque::new()),
+            conns_nonempty: Condvar::new(),
+            shutting: AtomicBool::new(false),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ctxrank-acceptor".into())
+                .spawn(move || run_acceptor(&inner, listener))
+                .expect("spawn acceptor")
+        };
+
+        let workers = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let batcher = Arc::clone(&batcher);
+                std::thread::Builder::new()
+                    .name(format!("ctxrank-worker-{i}"))
+                    .spawn(move || run_worker(&inner, &batcher))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+            batcher,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The metric registry (scraped by `/metrics`; also handy in
+    /// tests/benches).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Block until a client calls `POST /admin/shutdown` (requires
+    /// `enable_shutdown_endpoint`).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut requested = self
+            .inner
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag poisoned");
+        while !*requested {
+            requested = self
+                .inner
+                .shutdown_cv
+                .wait(requested)
+                .expect("shutdown flag poisoned");
+        }
+    }
+
+    /// Graceful drain: stop accepting, let workers finish queued
+    /// connections and in-flight requests, rank everything already in
+    /// the batcher, join all threads.
+    pub fn shutdown(mut self) {
+        self.inner.shutting.store(true, Ordering::Release);
+        // Wake the acceptor out of `accept()` with a throwaway
+        // connection; it checks the flag before handling it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.acceptor.take() {
+            t.join().expect("acceptor panicked");
+        }
+        // Workers drain the connection queue, then exit.
+        self.inner.conns_nonempty.notify_all();
+        for t in self.workers.drain(..) {
+            t.join().expect("worker panicked");
+        }
+        // No submitters remain; drain the batcher's queue and join it.
+        self.batcher.shutdown();
+    }
+}
+
+fn run_acceptor(inner: &Inner, listener: TcpListener) {
+    for conn in listener.incoming() {
+        if inner.shutting.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let mut q = inner.conns.lock().expect("conn queue poisoned");
+        if q.len() >= inner.config.conn_backlog {
+            drop(q);
+            inner.metrics.record_shed();
+            shed_connection(stream, inner.config.retry_after_secs);
+            continue;
+        }
+        q.push_back(stream);
+        inner.conns_nonempty.notify_one();
+    }
+}
+
+/// Refuse a connection at the door: one 503 with `Retry-After`, close.
+fn shed_connection(mut stream: TcpStream, retry_after_secs: u32) {
+    let resp = Response::json(503, &json!({"error": "overloaded"}))
+        .with_header("retry-after", retry_after_secs.to_string());
+    let _ = write_response(&mut stream, &resp, false);
+}
+
+fn run_worker(inner: &Inner, batcher: &Batcher) {
+    loop {
+        let stream = {
+            let mut q = inner.conns.lock().expect("conn queue poisoned");
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if inner.shutting.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) = inner
+                    .conns_nonempty
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("conn queue poisoned");
+                q = guard;
+            }
+        };
+        match stream {
+            Some(s) => serve_connection(inner, batcher, s),
+            None => return,
+        }
+    }
+}
+
+fn serve_connection(inner: &Inner, batcher: &Batcher, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.config.keep_alive_timeout));
+    let _ = stream.set_nodelay(true);
+    // The write half is shared with the batcher, which writes `/rank`
+    // responses directly (see batcher.rs); the mutex keeps worker and
+    // batcher response bytes from ever interleaving on the wire.
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let write = |resp: &Response, keep_alive: bool| {
+        let mut w = writer.lock().expect("conn writer poisoned");
+        write_response(&mut w, resp, keep_alive)
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            // Peer closed between requests — normal keep-alive end.
+            Ok(None) => return,
+            // Idle timeout or socket error: close quietly.
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::BadRequest(detail)) => {
+                inner.metrics.record_request(Endpoint::Other, 0.0);
+                let _ = write(&Response::json(400, &json!({"error": detail})), false);
+                return;
+            }
+            Err(HttpError::TooLarge) => {
+                inner.metrics.record_request(Endpoint::Other, 0.0);
+                let resp = Response::json(413, &json!({"error": "request too large"}));
+                let _ = write(&resp, false);
+                return;
+            }
+        };
+        let start = Instant::now();
+        // During drain, finish this response but do not keep the
+        // connection open for more.
+        let keep_alive = req.keep_alive && !inner.shutting.load(Ordering::Acquire);
+
+        // `/rank` hands the connection to the batcher: the response is
+        // rendered and written by the batcher thread once the batch
+        // completes. The worker goes straight back to `read_request` —
+        // a well-behaved client will not send its next request until
+        // the rank response arrives. (HTTP/1.1 pipelining of /rank with
+        // other endpoints is not supported; bytes still never tear
+        // because every write holds the connection's writer mutex.)
+        if req.method == "POST" && req.path == "/rank" {
+            match parse_rank_body(&req.body) {
+                Err(detail) => {
+                    inner
+                        .metrics
+                        .record_request(Endpoint::Rank, start.elapsed().as_secs_f64());
+                    let resp = Response::json(400, &json!({"error": detail}));
+                    if write(&resp, keep_alive).is_err() || !keep_alive {
+                        return;
+                    }
+                }
+                Ok((text, candidates)) => {
+                    let job = RankJob {
+                        text,
+                        candidates,
+                        enqueued: start,
+                        writer: Arc::clone(&writer),
+                        keep_alive,
+                    };
+                    match batcher.submit(&inner.metrics, job) {
+                        // The batcher owns the response now (and the
+                        // request metric, recorded when it writes). If
+                        // the connection is not staying open, just drop
+                        // the read half; the socket closes fully once
+                        // the batcher's write half goes too.
+                        Ok(()) => {
+                            if !keep_alive {
+                                return;
+                            }
+                        }
+                        Err(err) => {
+                            inner.metrics.record_shed();
+                            inner
+                                .metrics
+                                .record_request(Endpoint::Rank, start.elapsed().as_secs_f64());
+                            let detail = match err {
+                                SubmitError::QueueFull => "rank queue full",
+                                SubmitError::ShuttingDown => "shutting down",
+                            };
+                            let resp = Response::json(503, &json!({"error": detail})).with_header(
+                                "retry-after",
+                                inner.config.retry_after_secs.to_string(),
+                            );
+                            if write(&resp, keep_alive).is_err() || !keep_alive {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+
+        let (endpoint, resp) = dispatch(inner, &req);
+        inner
+            .metrics
+            .record_request(endpoint, start.elapsed().as_secs_f64());
+        if write(&resp, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn dispatch(inner: &Inner, req: &Request) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let resp = Response::json(
+                200,
+                &json!({
+                    "status": "ok",
+                    "epoch": inner.handle.epoch(),
+                    "queue_depth": inner.metrics.queue_depth(),
+                }),
+            );
+            (Endpoint::Healthz, resp)
+        }
+        ("GET", "/metrics") => {
+            let text = inner.metrics.render_prometheus(inner.handle.epoch());
+            (Endpoint::Metrics, Response::text(200, text))
+        }
+        ("POST", "/annotate") => (Endpoint::Annotate, handle_annotate(inner, &req.body)),
+        ("POST", "/admin/shutdown") if inner.config.enable_shutdown_endpoint => {
+            let mut requested = inner
+                .shutdown_requested
+                .lock()
+                .expect("shutdown flag poisoned");
+            *requested = true;
+            inner.shutdown_cv.notify_all();
+            (
+                Endpoint::Other,
+                Response::json(200, &json!({"status": "shutting down"})),
+            )
+        }
+        ("GET" | "POST", _) => (
+            Endpoint::Other,
+            Response::json(404, &json!({"error": "no such endpoint"})),
+        ),
+        _ => (
+            Endpoint::Other,
+            Response::json(405, &json!({"error": "method not allowed"})),
+        ),
+    }
+}
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite float (model scores are always finite; a NaN from a
+/// future bug degrades to `null` rather than invalid JSON).
+fn push_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&x.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Parse `{"text": ..., "candidates": [...]}`. Consumes the parsed
+/// tree and moves its strings out instead of cloning them — the text
+/// field is the whole document.
+fn parse_rank_body(body: &[u8]) -> Result<(String, Vec<String>), &'static str> {
+    let value: serde_json::Value =
+        serde_json::from_slice(body).map_err(|_| "body is not valid JSON")?;
+    let serde_json::Value::Map(entries) = value else {
+        return Err("body must be a JSON object");
+    };
+    let mut text = None;
+    let mut candidates = Vec::new();
+    for (key, val) in entries {
+        match key.as_str() {
+            "text" => match val {
+                serde_json::Value::Str(s) => text = Some(s),
+                _ => return Err("missing string field \"text\""),
+            },
+            "candidates" => match val {
+                serde_json::Value::Seq(items) => {
+                    candidates.reserve(items.len());
+                    for item in items {
+                        match item {
+                            serde_json::Value::Str(s) => candidates.push(s),
+                            _ => return Err("\"candidates\" must be an array of strings"),
+                        }
+                    }
+                }
+                _ => return Err("\"candidates\" must be an array of strings"),
+            },
+            _ => {}
+        }
+    }
+    let text = text.ok_or("missing string field \"text\"")?;
+    Ok((text, candidates))
+}
+
+/// Render a `/rank` success response. Serialized by hand: this is the
+/// hot path, and a `json!` value tree costs dozens of small
+/// allocations per response. Called from the batcher thread.
+pub(crate) fn render_rank_response(
+    epoch: u64,
+    ranked: &[ctxrank_framework::RankedConcept],
+) -> Response {
+    let mut body = String::with_capacity(40 + ranked.len() * 72);
+    body.push_str("{\"epoch\":");
+    body.push_str(&epoch.to_string());
+    body.push_str(",\"results\":[");
+    for (i, r) in ranked.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"surface\":");
+        push_json_str(&mut body, &r.surface);
+        body.push_str(",\"score\":");
+        push_json_f64(&mut body, r.score);
+        body.push_str(",\"relevance\":");
+        push_json_f64(&mut body, r.relevance);
+        body.push('}');
+    }
+    body.push_str("]}");
+    Response {
+        status: 200,
+        content_type: "application/json",
+        body: body.into_bytes(),
+        extra: Vec::new(),
+    }
+}
+
+/// The Stemmer/context component of Figure 4 over the wire: the
+/// document's stemmed terms plus how many resolve to snapshot-known
+/// TIDs. Pinned to one snapshot like every other response.
+fn handle_annotate(inner: &Inner, body: &[u8]) -> Response {
+    let value: serde_json::Value = match serde_json::from_slice(body) {
+        Ok(v) => v,
+        Err(_) => return Response::json(400, &json!({"error": "body is not valid JSON"})),
+    };
+    let Some(text) = value.get("text").and_then(|t| t.as_str()) else {
+        return Response::json(400, &json!({"error": "missing string field \"text\""}));
+    };
+    let ranker = inner.handle.ranker();
+    let terms = ranker.stem_document(text);
+    let context_terms = ranker.context_tids_cached(text).len();
+    Response::json(
+        200,
+        &json!({
+            "epoch": ranker.epoch(),
+            "terms": terms,
+            "context_terms": context_terms,
+        }),
+    )
+}

@@ -1,0 +1,357 @@
+//! End-to-end tests over real sockets: concurrent clients, hot-swaps
+//! under traffic, forced shedding, graceful drain.
+//!
+//! The torn-response test is the load-bearing one: snapshots are built
+//! so each epoch produces a *distinguishable* relevance score for the
+//! probe document, and every response must match the score of exactly
+//! the epoch it claims — across 10+ publishes landing mid-traffic.
+
+use ctxrank_features::{InterestFeatures, RelevantTerms};
+use ctxrank_framework::{
+    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot,
+    SnapshotBuilder,
+};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_serve::client::{one_shot, Conn};
+use ctxrank_serve::{ServeConfig, Server};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A snapshot whose only concept's single relevance keyword has weight
+/// `weight` — the probe text "sunspot ..." then scores ~`weight`, so a
+/// response's (epoch, relevance) pair is checkable.
+fn snapshot(weight: f64) -> Arc<Snapshot> {
+    let interest = PackedInterestStore::build(&[(
+        "solar flares".to_string(),
+        InterestFeatures {
+            freq_exact: 100,
+            ..InterestFeatures::default()
+        },
+    )]);
+    let mut tids = GlobalTidTable::new();
+    let kw = RelevantTerms {
+        terms: vec![(ctxrank_text::stem("sunspot"), weight)],
+    };
+    let relevance = PackedRelevanceStore::build(vec![("solar flares", &kw)], &mut tids);
+    let groups: Vec<RankGroup> = (0..10)
+        .map(|g| {
+            RankGroup::from_pairs((0..2).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[9] = (g + i) as f64;
+                (f, i as f64 * 0.01)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+    SnapshotBuilder::new()
+        .interest(interest)
+        .relevance(relevance)
+        .tids(tids)
+        .model(model)
+        .build()
+        .expect("test snapshot")
+}
+
+const RANK_BODY: &str =
+    r#"{"text": "sunspot radiation from the telescope", "candidates": ["solar flares"]}"#;
+
+fn parse_rank_response(body: &str) -> (u64, f64) {
+    let v: serde_json::Value = serde_json::from_str(body).expect("response JSON");
+    let epoch = v.get("epoch").and_then(|e| e.as_u64()).expect("epoch");
+    let results = match v.get("results") {
+        Some(serde_json::Value::Seq(items)) => items,
+        other => panic!("malformed results: {other:?}"),
+    };
+    assert_eq!(results.len(), 1, "one candidate in, one result out");
+    let relevance = results[0]
+        .get("relevance")
+        .and_then(|r| r.as_f64())
+        .expect("relevance");
+    assert!(results[0].get("surface").and_then(|s| s.as_str()) == Some("solar flares"));
+    assert!(results[0]
+        .get("score")
+        .and_then(|s| s.as_f64())
+        .expect("score")
+        .is_finite());
+    (epoch, relevance)
+}
+
+/// The acceptance-criteria test: concurrent rank traffic from N client
+/// threads while 12 rebuilt snapshots are published; every response
+/// must be well-formed and consistent with exactly one epoch.
+#[test]
+fn publish_under_traffic_yields_no_torn_responses() {
+    let weight_of_epoch: Arc<Mutex<HashMap<u64, f64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let first = snapshot(10.0);
+    weight_of_epoch.lock().unwrap().insert(first.epoch(), 10.0);
+    let handle = Arc::new(ServiceHandle::new(first));
+
+    let server = Server::start(
+        Arc::clone(&handle),
+        ServeConfig {
+            workers: 8,
+            batch_max_size: 8,
+            batch_max_wait: Duration::from_micros(300),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 50;
+    const PUBLISHES: usize = 12;
+
+    let observed: Vec<(u64, f64)> = std::thread::scope(|scope| {
+        let mut client_threads = Vec::new();
+        for _ in 0..CLIENTS {
+            client_threads.push(scope.spawn(move || {
+                let mut conn = Conn::connect(addr).expect("connect");
+                let mut seen = Vec::with_capacity(REQUESTS);
+                let mut last_epoch = 0u64;
+                for _ in 0..REQUESTS {
+                    let (status, _, body) = conn
+                        .request("POST", "/rank", Some(RANK_BODY))
+                        .expect("request");
+                    assert_eq!(status, 200, "body: {body}");
+                    let (epoch, relevance) = parse_rank_response(&body);
+                    // Epochs never run backwards for a sequential client.
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch went back: {last_epoch} -> {epoch}"
+                    );
+                    last_epoch = epoch;
+                    seen.push((epoch, relevance));
+                }
+                seen
+            }));
+        }
+
+        // Publisher: 12 rebuilds, each registered before it can serve.
+        let weights = Arc::clone(&weight_of_epoch);
+        let publisher_handle = Arc::clone(&handle);
+        let publisher = scope.spawn(move || {
+            for i in 0..PUBLISHES {
+                let w = 10.0 * (i + 2) as f64;
+                let snap = snapshot(w);
+                weights.lock().unwrap().insert(snap.epoch(), w);
+                publisher_handle.publish(snap);
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        });
+
+        let mut all = Vec::new();
+        for t in client_threads {
+            all.extend(t.join().expect("client thread"));
+        }
+        publisher.join().expect("publisher");
+        all
+    });
+
+    assert_eq!(observed.len(), CLIENTS * REQUESTS);
+    let weights = weight_of_epoch.lock().unwrap();
+    let mut distinct_epochs: Vec<u64> = Vec::new();
+    for (epoch, relevance) in &observed {
+        let expected = weights
+            .get(epoch)
+            .unwrap_or_else(|| panic!("response claimed unknown epoch {epoch}"));
+        // The packed store quantizes scores; the weights are 10 apart,
+        // so a torn response (epoch from one snapshot, scores from
+        // another) would miss by ~10, not by quantization noise.
+        assert!(
+            (relevance - expected).abs() < 0.5,
+            "epoch {epoch} expected relevance ~{expected}, got {relevance} — torn response"
+        );
+        if !distinct_epochs.contains(epoch) {
+            distinct_epochs.push(*epoch);
+        }
+    }
+    // Traffic actually overlapped a meaningful number of swaps.
+    assert!(
+        distinct_epochs.len() >= 3,
+        "expected responses from several epochs, got {distinct_epochs:?}"
+    );
+
+    server.shutdown();
+}
+
+/// A deliberately tiny rank queue plus a slow coalescing window forces
+/// admission control: some requests shed with 503 + Retry-After, none
+/// hang, and the shed counter shows up in /metrics.
+#[test]
+fn tiny_queue_sheds_with_503_instead_of_hanging() {
+    let handle = Arc::new(ServiceHandle::new(snapshot(10.0)));
+    let server = Server::start(
+        Arc::clone(&handle),
+        ServeConfig {
+            workers: 8,
+            queue_capacity: 2,
+            batch_max_size: 4,
+            batch_max_wait: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let threads: Vec<_> = (0..16)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, headers, body) =
+                        one_shot(addr, "POST", "/rank", Some(RANK_BODY)).expect("request");
+                    if status == 503 {
+                        assert!(
+                            headers.iter().any(|(n, _)| n == "retry-after"),
+                            "503 without Retry-After: {headers:?}"
+                        );
+                    } else {
+                        assert_eq!(status, 200, "body: {body}");
+                        parse_rank_response(&body);
+                    }
+                    status
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client"))
+            .collect()
+    });
+
+    let shed = statuses.iter().filter(|&&s| s == 503).count();
+    let served = statuses.iter().filter(|&&s| s == 200).count();
+    assert_eq!(shed + served, 16);
+    assert!(shed > 0, "tiny queue never shed: {statuses:?}");
+    assert!(served > 0, "everything shed: {statuses:?}");
+
+    let (status, _, metrics) = one_shot(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("ctxrank_shed_total"),
+        "missing shed counter"
+    );
+    let shed_line = metrics
+        .lines()
+        .find(|l| l.starts_with("ctxrank_shed_total"))
+        .expect("shed line");
+    let reported: u64 = shed_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(reported >= shed as u64);
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_metrics_and_annotate_shapes() {
+    let handle = Arc::new(ServiceHandle::new(snapshot(10.0)));
+    let epoch = handle.epoch();
+    let server = Server::start(Arc::clone(&handle), ServeConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    let (status, _, body) = one_shot(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).expect("healthz JSON");
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"));
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(epoch));
+
+    let (status, _, body) = one_shot(
+        addr,
+        "POST",
+        "/annotate",
+        Some(r#"{"text": "Telescopes observing sunspot radiation."}"#),
+    )
+    .expect("annotate");
+    assert_eq!(status, 200);
+    let v: serde_json::Value = serde_json::from_str(&body).expect("annotate JSON");
+    assert_eq!(v.get("epoch").and_then(|e| e.as_u64()), Some(epoch));
+    let terms = match v.get("terms") {
+        Some(serde_json::Value::Seq(items)) => items.len(),
+        other => panic!("terms missing: {other:?}"),
+    };
+    assert!(terms >= 3, "expected stemmed terms, got {terms}");
+    // "sunspot" is the only snapshot-known term in the probe text.
+    assert_eq!(v.get("context_terms").and_then(|c| c.as_u64()), Some(1));
+
+    let mut conn = Conn::connect(addr).expect("connect");
+    let (status, _, _) = conn
+        .request("POST", "/rank", Some(RANK_BODY))
+        .expect("rank");
+    assert_eq!(status, 200);
+    let (status, _, metrics) = conn.request("GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    for required in [
+        "ctxrank_requests_total{endpoint=\"rank\"} 1",
+        "ctxrank_requests_total{endpoint=\"healthz\"} 1",
+        "ctxrank_shed_total 0",
+        "ctxrank_queue_depth",
+        &format!("ctxrank_snapshot_epoch {epoch}") as &str,
+        "ctxrank_rank_batches_total 1",
+        "ctxrank_request_latency_seconds_bucket{endpoint=\"rank\",le=\"+Inf\"} 1",
+        "ctxrank_request_latency_seconds_count{endpoint=\"rank\"} 1",
+    ] {
+        assert!(
+            metrics.contains(required),
+            "metrics missing {required:?}:\n{metrics}"
+        );
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_4xx_not_a_hang() {
+    let handle = Arc::new(ServiceHandle::new(snapshot(10.0)));
+    let server = Server::start(handle, ServeConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    let (status, _, _) = one_shot(addr, "POST", "/rank", Some("{not json")).expect("bad json");
+    assert_eq!(status, 400);
+    let (status, _, _) =
+        one_shot(addr, "POST", "/rank", Some(r#"{"candidates": []}"#)).expect("no text");
+    assert_eq!(status, 400);
+    let (status, _, _) = one_shot(addr, "GET", "/nope", None).expect("404");
+    assert_eq!(status, 404);
+    let (status, _, _) = one_shot(addr, "DELETE", "/rank", None).expect("405");
+    assert_eq!(status, 405);
+    // The shutdown endpoint is opt-in and off by default.
+    let (status, _, _) = one_shot(addr, "POST", "/admin/shutdown", None).expect("admin");
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_closes_the_port() {
+    let handle = Arc::new(ServiceHandle::new(snapshot(10.0)));
+    let server = Server::start(
+        handle,
+        ServeConfig {
+            workers: 4,
+            enable_shutdown_endpoint: true,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start");
+    let addr = server.local_addr();
+
+    for _ in 0..5 {
+        let (status, _, body) = one_shot(addr, "POST", "/rank", Some(RANK_BODY)).expect("rank");
+        assert_eq!(status, 200, "{body}");
+    }
+
+    // The admin endpoint only *requests* shutdown; the owner drains.
+    let (status, _, _) = one_shot(addr, "POST", "/admin/shutdown", None).expect("admin");
+    assert_eq!(status, 200);
+    server.wait_for_shutdown_request();
+    server.shutdown();
+
+    // Port is closed: a fresh connection must fail (refused), not hang.
+    let err = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+    assert!(err.is_err(), "listener still accepting after shutdown");
+}

@@ -26,6 +26,9 @@
 //!   the global TID table, Golomb coding, the immutable [`Snapshot`]
 //!   serving artifact, the runtime ranker, and lock-free snapshot
 //!   hot-swap via [`ServiceHandle`].
+//! * [`serve`] — the dependency-free HTTP/1.1 network front door:
+//!   micro-batched `/rank`, backpressure with load shedding, Prometheus
+//!   `/metrics`, graceful drain, hot-swap under live traffic.
 //!
 //! [`Snapshot`]: framework::Snapshot
 //! [`ServiceHandle`]: framework::ServiceHandle
@@ -44,6 +47,7 @@ pub mod prelude {
     pub use ctxrank_index::{Index, IndexBuilder};
     pub use ctxrank_ltr::{train, RankGroup, RankModel, SvmConfig};
     pub use ctxrank_querylog::{extract_units, QueryLog, UnitConfig, UnitDictionary};
+    pub use ctxrank_serve::{ServeConfig, Server};
     pub use ctxrank_shortcuts::{
         Annotation, DictionaryEntry, EntityDictionary, Pipeline, PipelineConfig,
     };
@@ -57,6 +61,7 @@ pub use ctxrank_framework as framework;
 pub use ctxrank_index as index;
 pub use ctxrank_ltr as ltr;
 pub use ctxrank_querylog as querylog;
+pub use ctxrank_serve as serve;
 pub use ctxrank_shortcuts as shortcuts;
 pub use ctxrank_synth as synth;
 pub use ctxrank_text as text;

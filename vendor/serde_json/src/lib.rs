@@ -70,19 +70,29 @@ pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
 
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+    // Bulk fast path: emit maximal runs that need no escaping with one
+    // push_str; escapes are rare in real payloads.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let esc: &str = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        if esc.is_empty() {
+            out.push_str(&format!("\\u{:04x}", b));
+        } else {
+            out.push_str(esc);
         }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -285,6 +295,24 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk fast path: copy the run up to the next quote or
+            // escape in one UTF-8 validation + push_str, instead of
+            // re-decoding byte by byte.
+            let start = self.pos;
+            let mut scan = start;
+            while let Some(&b) = self.bytes.get(scan) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                scan += 1;
+            }
+            if scan > start {
+                let slice = &self.bytes[start..scan];
+                let s = std::str::from_utf8(slice)
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                out.push_str(s);
+                self.pos = scan;
+            }
             let Some(&b) = self.bytes.get(self.pos) else {
                 return Err(Error("unterminated string".into()));
             };
