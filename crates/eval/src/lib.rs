@@ -24,4 +24,6 @@ pub use editorial::Tally;
 pub use error_rate::{pair_stats, weighted_pair_stats, ErrorRateAccumulator, PairStats};
 pub use ndcg::{ndcg_at_k, CtrBuckets, NdcgAccumulator};
 pub use production::PeriodStats;
-pub use significance::{paired_permutation_wer, PairedOutcome};
+pub use significance::{
+    paired_permutation_wer, paired_sign_test, sign_test, PairedOutcome, SignTestOutcome,
+};

@@ -93,6 +93,55 @@ pub fn paired_permutation_wer(
     }
 }
 
+/// Outcome of an exact two-sided sign test over paired differences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignTestOutcome {
+    /// Documents where system A beat system B.
+    pub wins_a: usize,
+    /// Documents where system B beat system A.
+    pub wins_b: usize,
+    /// Exact ties (dropped from the test, per the standard recipe).
+    pub ties: usize,
+    /// Exact two-sided binomial p-value.
+    pub p_value: f64,
+}
+
+/// Exact two-sided sign test: under the null, each non-tied document is
+/// a fair coin, so `p = 2 · Σ_{i=0..min(w,l)} C(n,i) / 2^n` (capped at
+/// 1), with `n = w + l`.
+///
+/// Computed with an iterative binomial term (`t₀ = 2⁻ⁿ`,
+/// `tᵢ₊₁ = tᵢ·(n−i)/(i+1)`), which is exact within f64 up to n ≈ 1000;
+/// past that `2⁻ⁿ` underflows and the permutation test is the right
+/// tool anyway.
+pub fn sign_test(wins_a: usize, wins_b: usize) -> f64 {
+    let n = wins_a + wins_b;
+    if n == 0 || wins_a == wins_b {
+        return 1.0;
+    }
+    let m = wins_a.min(wins_b);
+    let mut term = 0.5f64.powi(n as i32); // C(n,0) / 2^n
+    let mut tail = 0.0f64;
+    for i in 0..=m {
+        tail += term;
+        term *= (n - i) as f64 / (i + 1) as f64;
+    }
+    (2.0 * tail).min(1.0)
+}
+
+/// Sign test over per-document quality differences `quality(A) −
+/// quality(B)` (positive = A better).
+pub fn paired_sign_test(deltas: &[f64]) -> SignTestOutcome {
+    let wins_a = deltas.iter().filter(|&&d| d > 0.0).count();
+    let wins_b = deltas.iter().filter(|&&d| d < 0.0).count();
+    SignTestOutcome {
+        wins_a,
+        wins_b,
+        ties: deltas.len() - wins_a - wins_b,
+        p_value: sign_test(wins_a, wins_b),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

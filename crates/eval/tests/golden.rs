@@ -1,0 +1,111 @@
+//! Worked-by-hand golden values for the evaluation metrics.
+//!
+//! Unit tests elsewhere check invariants (perfect ordering → 1.0,
+//! symmetry, determinism); these pin the *arithmetic* to numbers
+//! computed by hand on paper, so a silent change to a log base, an
+//! off-by-one in a rank position, or a dropped factor of two in a
+//! p-value fails loudly with a known-correct expectation.
+
+use ctxrank_eval::{ndcg_at_k, paired_sign_test, sign_test, CtrBuckets};
+
+// ------------------------------------------------------------- NDCG@k
+//
+// gains = [3, 1, 0, 7], predictions rank the items in the given order.
+//
+//   DCG positions use gain / log2(pos + 2):
+//     pos 1: 3 / log2(2) = 3
+//     pos 2: 1 / log2(3) = 1 / 1.5849625007211562 = 0.6309297535714575
+//     pos 3: 0 / log2(4) = 0
+//     pos 4: 7 / log2(5) = 7 / 2.321928094887362  = 3.0147359064637512
+//
+//   Ideal ordering is [7, 3, 1, 0]:
+//     IDCG@1 = 7
+//     IDCG@2 = 7 + 3 / log2(3) = 7 + 1.8927892607143723 = 8.892789260714373
+//     IDCG@4 = IDCG@2 + 1 / log2(4) = 9.392789260714373
+
+const PRED: [f64; 4] = [4.0, 3.0, 2.0, 1.0];
+const GAINS: [f64; 4] = [3.0, 1.0, 0.0, 7.0];
+
+#[test]
+fn ndcg_at_1_is_three_sevenths() {
+    let v = ndcg_at_k(&PRED, &GAINS, 1);
+    assert!((v - 3.0 / 7.0).abs() < 1e-12, "got {v}");
+}
+
+#[test]
+fn ndcg_at_2_matches_hand_computation() {
+    // (3 + 0.6309297535714575) / 8.892789260714373 = 0.40830043838009256
+    let v = ndcg_at_k(&PRED, &GAINS, 2);
+    assert!((v - 0.40830043838009256).abs() < 1e-9, "got {v}");
+}
+
+#[test]
+fn ndcg_at_4_matches_hand_computation() {
+    // (3 + 0.6309297535714575 + 0 + 3.0147359064637512) / 9.392789260714373
+    //   = 6.645665660085209 / 9.392789260714373 = 0.7075284535426455
+    let v = ndcg_at_k(&PRED, &GAINS, 4);
+    assert!((v - 0.7075284535426455).abs() < 1e-9, "got {v}");
+}
+
+#[test]
+fn ideal_ordering_scores_one_exactly() {
+    // Predictions agreeing with the gains: DCG = IDCG by construction.
+    let v = ndcg_at_k(&[7.0, 3.0, 1.0, 0.0], &[7.0, 3.0, 1.0, 0.0], 4);
+    assert!((v - 1.0).abs() < 1e-12, "got {v}");
+}
+
+// ------------------------------------------------- CTR bucket judgments
+//
+// Observed CTRs {0.01, 0.02, 0.03, 0.04}: bucket(c) = 1000 · rank/4
+// where rank counts observed values strictly below c.
+
+#[test]
+fn ctr_buckets_are_scaled_percentile_ranks() {
+    let buckets = CtrBuckets::new(vec![0.01, 0.02, 0.03, 0.04]);
+    assert_eq!(buckets.bucket(0.01), 0); // nothing below
+    assert_eq!(buckets.bucket(0.03), 500); // 2 of 4 below
+    assert_eq!(buckets.bucket(0.04), 750); // 3 of 4 below
+    assert_eq!(buckets.bucket(1.0), 1000); // everything below
+
+    // score = bucket / 100, gain = 2^score − 1: bucket 500 → score 5.0
+    // → gain 31 exactly.
+    assert!((buckets.score(0.03) - 5.0).abs() < 1e-12);
+    assert!((buckets.gain(0.03) - 31.0).abs() < 1e-9);
+}
+
+// ------------------------------------------------------------ sign test
+//
+// p = 2 · Σ_{i=0..min(w,l)} C(n,i) / 2^n, ties dropped, capped at 1.
+//
+//   w=6, l=0: 2 · C(6,0)/2^6            = 2/64        = 0.03125
+//   w=5, l=0: 2 · C(5,0)/2^5            = 2/32        = 0.0625
+//   w=7, l=1: 2 · (C(8,0)+C(8,1))/2^8   = 2·9/256     = 0.0703125
+//   w=5, l=1: 2 · (C(6,0)+C(6,1))/2^6   = 2·7/64      = 0.21875
+
+#[test]
+fn sign_test_matches_hand_computed_binomials() {
+    assert!((sign_test(6, 0) - 0.03125).abs() < 1e-15);
+    assert!((sign_test(5, 0) - 0.0625).abs() < 1e-15);
+    assert!((sign_test(7, 1) - 0.0703125).abs() < 1e-15);
+    assert!((sign_test(5, 1) - 0.21875).abs() < 1e-15);
+}
+
+#[test]
+fn sign_test_is_symmetric_and_capped() {
+    assert_eq!(sign_test(1, 7), sign_test(7, 1));
+    // Even split: the doubled tail exceeds 1 and must be capped.
+    assert_eq!(sign_test(3, 3), 1.0);
+    // Degenerate inputs.
+    assert_eq!(sign_test(0, 0), 1.0);
+}
+
+#[test]
+fn paired_sign_test_counts_and_drops_ties() {
+    // 5 wins for A, 1 for B, 2 ties → same as sign_test(5, 1).
+    let deltas = [0.3, 0.1, 0.2, 0.4, 0.5, -0.2, 0.0, 0.0];
+    let out = paired_sign_test(&deltas);
+    assert_eq!(out.wins_a, 5);
+    assert_eq!(out.wins_b, 1);
+    assert_eq!(out.ties, 2);
+    assert!((out.p_value - 0.21875).abs() < 1e-15);
+}

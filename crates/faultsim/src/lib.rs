@@ -1,0 +1,35 @@
+//! `ctxrank-faultsim` — deterministic, seed-driven fault injection for
+//! the fragile layers of the serving stack.
+//!
+//! A production ranking service dies in boring ways: a torn write
+//! during a snapshot save, a bit flip on a disk read, a client that
+//! sends one byte per second, a connection reset mid-request. None of
+//! those appear in happy-path integration tests, so this crate makes
+//! them *reproducible*:
+//!
+//! * [`FaultPlan`] — a seeded xorshift schedule that decides, per I/O
+//!   operation, whether to inject a fault and which kind. Same seed,
+//!   same faults, every run; `CTXRANK_FAULT_SEED` replays a failure.
+//! * [`SimRead`]/[`SimWrite`] — adapters over any `std::io::Read`/
+//!   `Write` injecting short reads, mid-file EOF, bit flips, torn
+//!   writes and outright I/O errors.
+//! * [`FaultyFs`] — a [`ctxrank_framework::persist::PersistFs`] built
+//!   from those adapters, so every `save_*`/`load_*` path in
+//!   `persist.rs` can run under fault injection unchanged.
+//! * [`net`] — chaos loopback clients (slowloris, partial request,
+//!   oversized payload, abrupt close) and a byte-forwarding
+//!   [`net::ChaosProxy`] listener shim that injects resets and stalls
+//!   between a real client and a real server.
+//!
+//! The contract under test, everywhere: **typed errors, never panics;
+//! bounded time, never hangs; the previous good artifact survives.**
+//! See `tests/fault_injection.rs` at the workspace root and DESIGN.md
+//! §11 for the fault model and the seed-replay workflow.
+
+pub mod io;
+pub mod net;
+pub mod plan;
+
+pub use io::{FaultyFs, SimRead, SimWrite};
+pub use net::{ChaosProxy, NetOutcome};
+pub use plan::{seed_from_env, FaultKind, FaultPlan};

@@ -48,8 +48,9 @@ pub use memory::MemoryReport;
 pub use online::{OnlineConfig, OnlineCtrAdjuster};
 pub use packed::{FieldQuantizer, PackedInterestStore};
 pub use persist::{
-    load_ranker, load_service, load_snapshot, save_ranker, save_service, save_snapshot,
-    PersistError,
+    load_ranker, load_service, load_service_with, load_snapshot, load_snapshot_with, save_ranker,
+    save_service, save_service_with, save_snapshot, save_snapshot_with, PersistError, PersistFs,
+    StdFs,
 };
 pub use ranker::{RankedConcept, RuntimeRanker};
 pub use relstore::PackedRelevanceStore;

@@ -24,6 +24,16 @@
 //!
 //! Every failure mode — missing files, truncation, corruption, invalid
 //! ranges — surfaces as a [`PersistError`] instead of a panic.
+//!
+//! **Crash/fault safety.** All byte-level I/O goes through the
+//! [`PersistFs`] trait (default: [`StdFs`]), so a fault-injection
+//! harness (`ctxrank-faultsim`) can wrap every read and write. Saves
+//! are *atomic per file*: bytes land in `<name>.tmp` and are renamed
+//! into place only after a successful flush, and the `snapshot.json`
+//! manifest is written **last** — it is the commit point. A save that
+//! dies mid-way (torn write, full disk, injected fault) therefore never
+//! clobbers the previous good manifest, and a directory that holds one
+//! is always loadable.
 
 use crate::online::OnlineCtrAdjuster;
 use crate::packed::{FieldQuantizer, PackedInterestStore};
@@ -36,7 +46,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
-use std::path::Path;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: u32 = 0x12DE_2009;
@@ -103,49 +114,158 @@ fn check(buf: &Bytes, need: usize, file: &'static str, what: &str) -> Result<(),
     Ok(())
 }
 
+/// Pre-allocation cap for decoded collections: a corrupted count field
+/// must never turn into a multi-gigabyte `with_capacity` (which aborts
+/// the process instead of returning [`PersistError::Corrupt`]). Each
+/// decoded entry consumes at least `min_entry_bytes` from the buffer,
+/// so any honest count is bounded by what is actually left to read.
+fn cap_alloc(claimed: usize, buf: &Bytes, min_entry_bytes: usize) -> usize {
+    claimed.min(buf.remaining() / min_entry_bytes.max(1) + 1)
+}
+
+/// The byte-level filesystem operations the persist layer performs.
+///
+/// Production uses [`StdFs`]. The fault-injection harness
+/// (`ctxrank-faultsim`) supplies an implementation whose readers and
+/// writers inject short reads, torn writes, bit flips and I/O errors —
+/// which is why the save/load paths below never touch `std::fs`
+/// directly.
+pub trait PersistFs {
+    /// Open `path` for reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>>;
+    /// Create (truncate) `path` for writing.
+    fn create_write(&self, path: &Path) -> io::Result<Box<dyn Write>>;
+    /// Atomically move `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Create `path` and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Does `path` exist? (Never injected: existence probes decide
+    /// between layout generations, not data integrity.)
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdFs;
+
+impl PersistFs for StdFs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
+
+    fn create_write(&self, path: &Path) -> io::Result<Box<dyn Write>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// Read a whole component file through `fs`.
+fn read_file(fs: &dyn PersistFs, dir: &Path, file: &'static str) -> Result<Vec<u8>, PersistError> {
+    let mut reader = fs.open_read(&dir.join(file)).map_err(io_err(file))?;
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes).map_err(io_err(file))?;
+    Ok(bytes)
+}
+
+/// Write a component file atomically: bytes go to `<file>.tmp`, the
+/// writer is flushed, and only then is the temp renamed into place. Any
+/// failure leaves the previous version of `file` untouched.
+fn write_file_atomic(
+    fs: &dyn PersistFs,
+    dir: &Path,
+    file: &'static str,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
+    let tmp: PathBuf = dir.join(format!("{file}.tmp"));
+    {
+        let mut writer = fs.create_write(&tmp).map_err(io_err(file))?;
+        writer.write_all(bytes).map_err(io_err(file))?;
+        writer.flush().map_err(io_err(file))?;
+    }
+    fs.rename(&tmp, &dir.join(file)).map_err(io_err(file))
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct SnapshotManifest {
     format: u32,
     epoch: u64,
 }
 
-/// Save `snapshot` into `dir` (created if missing).
-pub fn save_snapshot(snapshot: &Snapshot, dir: &Path) -> Result<(), PersistError> {
-    std::fs::create_dir_all(dir).map_err(io_err("snapshot directory"))?;
+/// Write the four data files of `snapshot` into `dir` (atomically, via
+/// `<name>.tmp` + rename) **without** the manifest — the caller commits
+/// by writing the manifest last.
+fn save_data_files(
+    snapshot: &Snapshot,
+    dir: &Path,
+    fs: &dyn PersistFs,
+) -> Result<(), PersistError> {
+    fs.create_dir_all(dir)
+        .map_err(io_err("snapshot directory"))?;
+    write_file_atomic(fs, dir, F_INTEREST, &encode_interest(snapshot.interest()))?;
+    write_file_atomic(
+        fs,
+        dir,
+        F_RELEVANCE,
+        &encode_relevance(snapshot.relevance()),
+    )?;
+    write_file_atomic(fs, dir, F_TIDS, &encode_tids(snapshot.tids()))?;
+    let model =
+        serde_json::to_vec_pretty(snapshot.model()).map_err(|e| corrupt(F_MODEL, e.to_string()))?;
+    write_file_atomic(fs, dir, F_MODEL, &model)?;
+    Ok(())
+}
+
+/// The commit point of every save: the manifest goes in last, so a save
+/// that failed before this call leaves the previous manifest (and hence
+/// a loadable directory) intact.
+fn save_manifest(snapshot: &Snapshot, dir: &Path, fs: &dyn PersistFs) -> Result<(), PersistError> {
     let manifest = SnapshotManifest {
         format: FORMAT_VERSION,
         epoch: snapshot.epoch(),
     };
     let manifest_json =
         serde_json::to_vec_pretty(&manifest).map_err(|e| corrupt(F_MANIFEST, e.to_string()))?;
-    std::fs::write(dir.join(F_MANIFEST), manifest_json).map_err(io_err(F_MANIFEST))?;
-    std::fs::write(dir.join(F_INTEREST), encode_interest(snapshot.interest()))
-        .map_err(io_err(F_INTEREST))?;
-    std::fs::write(
-        dir.join(F_RELEVANCE),
-        encode_relevance(snapshot.relevance()),
-    )
-    .map_err(io_err(F_RELEVANCE))?;
-    std::fs::write(dir.join(F_TIDS), encode_tids(snapshot.tids())).map_err(io_err(F_TIDS))?;
-    let model =
-        serde_json::to_vec_pretty(snapshot.model()).map_err(|e| corrupt(F_MODEL, e.to_string()))?;
-    std::fs::write(dir.join(F_MODEL), model).map_err(io_err(F_MODEL))?;
-    Ok(())
+    write_file_atomic(fs, dir, F_MANIFEST, &manifest_json)
+}
+
+/// Save `snapshot` into `dir` (created if missing).
+pub fn save_snapshot(snapshot: &Snapshot, dir: &Path) -> Result<(), PersistError> {
+    save_snapshot_with(snapshot, dir, &StdFs)
+}
+
+/// [`save_snapshot`] through an explicit [`PersistFs`] (fault injection
+/// and tests). Data files are written first, the manifest last.
+pub fn save_snapshot_with(
+    snapshot: &Snapshot,
+    dir: &Path,
+    fs: &dyn PersistFs,
+) -> Result<(), PersistError> {
+    save_data_files(snapshot, dir, fs)?;
+    save_manifest(snapshot, dir, fs)
 }
 
 /// Load a snapshot previously written by [`save_snapshot`] (or the
 /// pre-manifest layout, which gets a fresh epoch).
 pub fn load_snapshot(dir: &Path) -> Result<Arc<Snapshot>, PersistError> {
-    let interest = decode_interest(&mut Bytes::from(
-        std::fs::read(dir.join(F_INTEREST)).map_err(io_err(F_INTEREST))?,
-    ))?;
-    let relevance = decode_relevance(&mut Bytes::from(
-        std::fs::read(dir.join(F_RELEVANCE)).map_err(io_err(F_RELEVANCE))?,
-    ))?;
-    let tids = decode_tids(&mut Bytes::from(
-        std::fs::read(dir.join(F_TIDS)).map_err(io_err(F_TIDS))?,
-    ))?;
-    let model_bytes = std::fs::read(dir.join(F_MODEL)).map_err(io_err(F_MODEL))?;
+    load_snapshot_with(dir, &StdFs)
+}
+
+/// [`load_snapshot`] through an explicit [`PersistFs`]. Every injected
+/// corruption surfaces as a typed [`PersistError`]; nothing panics.
+pub fn load_snapshot_with(dir: &Path, fs: &dyn PersistFs) -> Result<Arc<Snapshot>, PersistError> {
+    let interest = decode_interest(&mut Bytes::from(read_file(fs, dir, F_INTEREST)?))?;
+    let relevance = decode_relevance(&mut Bytes::from(read_file(fs, dir, F_RELEVANCE)?))?;
+    let tids = decode_tids(&mut Bytes::from(read_file(fs, dir, F_TIDS)?))?;
+    let model_bytes = read_file(fs, dir, F_MODEL)?;
     let model: ctxrank_ltr::RankModel =
         serde_json::from_slice(&model_bytes).map_err(|e| corrupt(F_MODEL, e.to_string()))?;
 
@@ -154,9 +274,8 @@ pub fn load_snapshot(dir: &Path) -> Result<Arc<Snapshot>, PersistError> {
         .relevance(relevance)
         .tids(tids)
         .model(model);
-    let manifest_path = dir.join(F_MANIFEST);
-    if manifest_path.exists() {
-        let bytes = std::fs::read(&manifest_path).map_err(io_err(F_MANIFEST))?;
+    if fs.exists(&dir.join(F_MANIFEST)) {
+        let bytes = read_file(fs, dir, F_MANIFEST)?;
         let manifest: SnapshotManifest =
             serde_json::from_slice(&bytes).map_err(|e| corrupt(F_MANIFEST, e.to_string()))?;
         if manifest.format == 0 || manifest.format > FORMAT_VERSION {
@@ -183,21 +302,37 @@ pub fn load_ranker(dir: &Path) -> Result<RuntimeRanker, PersistError> {
 /// Save a serving handle: its current snapshot plus the accumulated
 /// online CTR state (`online.json`).
 pub fn save_service(handle: &ServiceHandle, dir: &Path) -> Result<(), PersistError> {
-    save_snapshot(&handle.current(), dir)?;
+    save_service_with(handle, dir, &StdFs)
+}
+
+/// [`save_service`] through an explicit [`PersistFs`]. Write order is
+/// data files → `online.json` → manifest, so a save that fails at any
+/// point never clobbers the previous good manifest.
+pub fn save_service_with(
+    handle: &ServiceHandle,
+    dir: &Path,
+    fs: &dyn PersistFs,
+) -> Result<(), PersistError> {
+    let snapshot = handle.current();
+    save_data_files(&snapshot, dir, fs)?;
     let adjuster = handle.adjuster_state();
     let bytes =
         serde_json::to_vec_pretty(&adjuster).map_err(|e| corrupt(F_ONLINE, e.to_string()))?;
-    std::fs::write(dir.join(F_ONLINE), bytes).map_err(io_err(F_ONLINE))?;
-    Ok(())
+    write_file_atomic(fs, dir, F_ONLINE, &bytes)?;
+    save_manifest(&snapshot, dir, fs)
 }
 
 /// Load a serving handle written by [`save_service`]. A plain snapshot
 /// directory (no `online.json`) loads with an empty adjuster.
 pub fn load_service(dir: &Path) -> Result<ServiceHandle, PersistError> {
-    let snapshot = load_snapshot(dir)?;
-    let online_path = dir.join(F_ONLINE);
-    let adjuster = if online_path.exists() {
-        let bytes = std::fs::read(&online_path).map_err(io_err(F_ONLINE))?;
+    load_service_with(dir, &StdFs)
+}
+
+/// [`load_service`] through an explicit [`PersistFs`].
+pub fn load_service_with(dir: &Path, fs: &dyn PersistFs) -> Result<ServiceHandle, PersistError> {
+    let snapshot = load_snapshot_with(dir, fs)?;
+    let adjuster = if fs.exists(&dir.join(F_ONLINE)) {
+        let bytes = read_file(fs, dir, F_ONLINE)?;
         serde_json::from_slice::<OnlineCtrAdjuster>(&bytes)
             .map_err(|e| corrupt(F_ONLINE, e.to_string()))?
     } else {
@@ -265,7 +400,9 @@ fn decode_interest(buf: &mut Bytes) -> Result<PackedInterestStore, PersistError>
         .map_err(|_| corrupt(FILE, "quantizer count mismatch"))?;
     check(buf, 4, FILE, "index size")?;
     let n = buf.get_u32_le() as usize;
-    let mut index = HashMap::with_capacity(n);
+    // An entry is at least a 4-byte length + 4-byte slot; a corrupted
+    // count cannot force a giant allocation.
+    let mut index = HashMap::with_capacity(cap_alloc(n, buf, 8));
     for _ in 0..n {
         let surface = get_string(buf, FILE)?;
         check(buf, 4, FILE, "slot")?;
@@ -309,7 +446,7 @@ fn decode_relevance(buf: &mut Bytes) -> Result<PackedRelevanceStore, PersistErro
     }
     let score_scale = buf.get_f64_le();
     let n = buf.get_u32_le() as usize;
-    let mut index = HashMap::with_capacity(n);
+    let mut index = HashMap::with_capacity(cap_alloc(n, buf, 12));
     for _ in 0..n {
         let surface = get_string(buf, FILE)?;
         check(buf, 8, FILE, "range")?;
@@ -322,7 +459,12 @@ fn decode_relevance(buf: &mut Bytes) -> Result<PackedRelevanceStore, PersistErro
     }
     check(buf, 8, FILE, "pair count")?;
     let len = buf.get_u64_le() as usize;
-    check(buf, len * 4, FILE, "pairs")?;
+    // `len * 4` on a corrupted u64 could wrap past the `check` below;
+    // use the checked product so corruption stays a typed error.
+    let pair_bytes = len
+        .checked_mul(4)
+        .ok_or_else(|| corrupt(FILE, "pair count overflow"))?;
+    check(buf, pair_bytes, FILE, "pairs")?;
     let mut pairs = Vec::with_capacity(len);
     for _ in 0..len {
         pairs.push(buf.get_u32_le());
@@ -356,8 +498,9 @@ fn decode_tids(buf: &mut Bytes) -> Result<GlobalTidTable, PersistError> {
         return Err(corrupt(FILE, "bad magic"));
     }
     let n = buf.get_u32_le() as usize;
-    let mut terms = Vec::with_capacity(n);
-    let mut ids = HashMap::with_capacity(n);
+    let cap = cap_alloc(n, buf, 4);
+    let mut terms = Vec::with_capacity(cap);
+    let mut ids = HashMap::with_capacity(cap);
     for i in 0..n {
         let term = get_string(buf, FILE)?;
         ids.insert(term.clone(), TermId(i as u32));

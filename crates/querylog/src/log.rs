@@ -178,6 +178,13 @@ impl QueryLog {
         if concept_ids.len() <= MAX_NGRAM {
             return self.ngram_freq.get(concept_ids).copied().unwrap_or(0);
         }
+        // A query containing the full phrase necessarily contains its
+        // leading MAX_NGRAM-gram, so an absent prefix gram proves the
+        // linear scan below would find nothing — skip it entirely. This
+        // is the common case: most over-length probes are negative.
+        if !self.ngram_freq.contains_key(&concept_ids[..MAX_NGRAM]) {
+            return 0;
+        }
         self.query_ids
             .iter()
             .zip(&self.queries)
@@ -322,6 +329,25 @@ mod tests {
         assert_eq!(log.freq_phrase_contained(&phrase), 3);
         assert_eq!(log.freq_phrase_contained(&t("b c d e f g")), 3);
         assert_eq!(log.freq_phrase_contained(&t("a c d e f g")), 0);
+    }
+
+    /// The over-length path prunes on the leading MAX_NGRAM-gram: a
+    /// phrase whose prefix gram exists but whose full form does not must
+    /// still return 0 via the scan, and reordered/absent prefixes must
+    /// return 0 via the early exit — both agreeing with ground truth.
+    #[test]
+    fn long_phrase_prefix_pruning_agrees_with_ground_truth() {
+        let mut log = QueryLog::new();
+        log.add("a b c d e f g", 3);
+        log.add("a b c d e x y", 2);
+        // Prefix "a b c d e" present, full phrase present → counted.
+        assert_eq!(log.freq_phrase_contained(&t("a b c d e f")), 3);
+        // Prefix present, full phrase absent → scan finds nothing.
+        assert_eq!(log.freq_phrase_contained(&t("a b c d e z")), 0);
+        // Prefix gram itself never occurred → early exit.
+        assert_eq!(log.freq_phrase_contained(&t("b a c d e f")), 0);
+        // Known terms, but a phrase longer than any query.
+        assert_eq!(log.freq_phrase_contained(&t("a b c d e f g x")), 0);
     }
 
     #[test]

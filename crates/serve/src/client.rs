@@ -1,29 +1,87 @@
 //! A minimal blocking HTTP/1.1 client for loopback use: integration
 //! tests, the throughput bench, and `perf_report` all talk to the
 //! server through this instead of each hand-rolling socket code.
+//!
+//! [`Conn::connect_with`] / [`request_with_retry`] add the hardening a
+//! client facing a faulty network needs: connect and read timeouts (a
+//! hung server fails the call instead of freezing the caller), a cap on
+//! response size (a runaway `Content-Length` cannot balloon memory),
+//! and bounded retries with jittered exponential backoff. The jitter is
+//! seeded, so a test that retries is as replayable as one that does
+//! not.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// `(status, lowercased headers, body)` of one response.
 pub type HttpReply = (u16, Vec<(String, String)>, String);
+
+/// Client-side limits and retry policy.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout — a server that stops sending mid-response
+    /// fails the request instead of hanging the caller.
+    pub read_timeout: Duration,
+    /// Ceiling on `Content-Length` the client will buffer.
+    pub max_response_bytes: usize,
+    /// Extra attempts after the first (0 = no retries).
+    pub retries: u32,
+    /// Backoff before retry `n` (1-based) is `base · 2^(n-1)` plus up
+    /// to 50% seeded jitter.
+    pub backoff_base: Duration,
+    /// Seed for backoff jitter: deterministic sleeps, replayable tests.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(5),
+            max_response_bytes: 8 * 1024 * 1024,
+            retries: 2,
+            backoff_base: Duration::from_millis(20),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
 
 /// A keep-alive connection to the server.
 pub struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    max_response_bytes: usize,
     /// Scratch for status/header lines, reused across requests.
     line: String,
 }
 
 impl Conn {
+    /// Connect with no timeouts and no response-size cap — the
+    /// happy-path constructor the bench and tests on a healthy loopback
+    /// use.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream, usize::MAX)
+    }
+
+    /// Connect under `config`: bounded connect time, bounded read time,
+    /// bounded response size.
+    pub fn connect_with(addr: SocketAddr, config: &ClientConfig) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_read_timeout(Some(config.read_timeout))?;
+        Self::from_stream(stream, config.max_response_bytes)
+    }
+
+    fn from_stream(stream: TcpStream, max_response_bytes: usize) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            max_response_bytes,
             line: String::new(),
         })
     }
@@ -81,6 +139,9 @@ impl Conn {
                 headers.push((name, value));
             }
         }
+        if content_length > self.max_response_bytes {
+            return Err(bad("response exceeds max_response_bytes"));
+        }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body).map_err(|_| bad("non-utf8 body"))?;
@@ -97,4 +158,163 @@ pub fn one_shot(
     body: Option<&str>,
 ) -> std::io::Result<HttpReply> {
     Conn::connect(addr)?.request(method, path, body)
+}
+
+/// Deterministic jitter stream for backoff sleeps — a private xorshift
+/// so the client never depends on the faultsim crate.
+struct Jitter(u64);
+
+impl Jitter {
+    fn next(&mut self) -> u64 {
+        // Displace seed 0 off the xorshift fixed point.
+        if self.0 == 0 {
+            self.0 = 0x9E37_79B9_7F4A_7C15;
+        }
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Is this request worth retrying on a fresh connection? Transport
+/// failures and explicit back-pressure (503) are; definitive responses
+/// (2xx–4xx) are the server's answer, not a fault.
+fn retryable(result: &std::io::Result<HttpReply>) -> bool {
+    match result {
+        Ok((status, _, _)) => *status == 503,
+        Err(_) => true,
+    }
+}
+
+/// One request under `config`, retried up to `config.retries` extra
+/// times on transport errors and 503s, each attempt on a fresh
+/// connection after a jittered exponential backoff. Returns the last
+/// attempt's outcome.
+pub fn request_with_retry(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    config: &ClientConfig,
+) -> std::io::Result<HttpReply> {
+    let mut jitter = Jitter(config.jitter_seed);
+    let mut attempt = 0u32;
+    loop {
+        let result =
+            Conn::connect_with(addr, config).and_then(|mut c| c.request(method, path, body));
+        if attempt >= config.retries || !retryable(&result) {
+            return result;
+        }
+        attempt += 1;
+        let base = config
+            .backoff_base
+            .saturating_mul(1 << (attempt - 1).min(16));
+        // Up to +50% jitter so synchronized retriers spread out.
+        let extra = base.as_micros() as u64 / 2;
+        let sleep =
+            base + Duration::from_micros(if extra == 0 { 0 } else { jitter.next() % extra });
+        std::thread::sleep(sleep);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mut a = Jitter(7);
+        let mut b = Jitter(7);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        let mut c = Jitter(8);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn zero_seed_still_produces_a_stream() {
+        let mut j = Jitter(0);
+        assert_ne!(j.next(), 0);
+        assert_ne!(j.next(), j.next());
+    }
+
+    #[test]
+    fn retryable_judgments() {
+        assert!(retryable(&Err(std::io::Error::other("reset"))));
+        assert!(retryable(&Ok((503, Vec::new(), String::new()))));
+        assert!(!retryable(&Ok((200, Vec::new(), String::new()))));
+        assert!(!retryable(&Ok((400, Vec::new(), String::new()))));
+        assert!(!retryable(&Ok((408, Vec::new(), String::new()))));
+    }
+
+    /// A server that drops the first connection and answers the second:
+    /// the retry path must recover transparently.
+    #[test]
+    fn retry_recovers_from_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: accept and slam shut.
+            let (first, _) = listener.accept().expect("accept 1");
+            drop(first);
+            // Second: answer properly.
+            let (mut s, _) = listener.accept().expect("accept 2");
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok")
+                .expect("write");
+        });
+        let config = ClientConfig {
+            retries: 3,
+            backoff_base: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        let (status, _, body) =
+            request_with_retry(addr, "GET", "/healthz", None, &config).expect("retried ok");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        server.join().expect("server");
+    }
+
+    /// Zero retries: the first failure is the answer.
+    #[test]
+    fn no_retries_means_one_attempt() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (first, _) = listener.accept().expect("accept");
+            drop(first);
+        });
+        let config = ClientConfig {
+            retries: 0,
+            ..ClientConfig::default()
+        };
+        assert!(request_with_retry(addr, "GET", "/healthz", None, &config).is_err());
+        server.join().expect("server");
+    }
+
+    /// An absurd Content-Length is refused before allocation.
+    #[test]
+    fn oversized_response_is_refused() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 999999999\r\n\r\n")
+                .expect("write");
+        });
+        let config = ClientConfig {
+            max_response_bytes: 1024,
+            retries: 0,
+            ..ClientConfig::default()
+        };
+        let err = request_with_retry(addr, "GET", "/big", None, &config);
+        assert!(err.is_err(), "unbounded response accepted: {err:?}");
+        server.join().expect("server");
+    }
 }

@@ -9,6 +9,7 @@
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Ceiling on the request line + headers, and on a request body. Both
 /// exist so a malicious or broken client cannot make the server buffer
@@ -37,6 +38,10 @@ pub enum HttpError {
     BadRequest(&'static str),
     /// Head or body exceeded the fixed ceilings above.
     TooLarge,
+    /// The request started arriving but did not finish within the
+    /// per-request deadline — a slowloris client, or a peer that
+    /// stalled mid-body. Answered with 408.
+    Timeout,
 }
 
 impl From<std::io::Error> for HttpError {
@@ -47,14 +52,150 @@ impl From<std::io::Error> for HttpError {
 
 /// Read one request off the connection. `Ok(None)` means the peer
 /// closed cleanly between requests (normal end of a keep-alive
-/// session).
+/// session). No per-request deadline: total read time is bounded only
+/// by the socket timeout the caller configured.
 pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>, HttpError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    read_request_deadline(reader, None)
+}
+
+/// Floor for re-armed socket timeouts: `set_read_timeout` rejects a
+/// zero duration, and a sub-millisecond window would busy-spin.
+const MIN_ARM: Duration = Duration::from_millis(1);
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Re-arm the socket read timeout with the time left until `deadline`.
+/// Returns `Timeout` if the deadline has already passed.
+fn arm_remaining(stream: &TcpStream, deadline: Option<Instant>) -> Result<(), HttpError> {
+    if let Some(dl) = deadline {
+        let remaining = dl
+            .checked_duration_since(Instant::now())
+            .ok_or(HttpError::Timeout)?;
+        let _ = stream.set_read_timeout(Some(remaining.max(MIN_ARM)));
+    }
+    Ok(())
+}
+
+/// Append one `\n`-terminated line to `line` (terminator included).
+///
+/// Reads through `fill_buf` rather than `read_line` so the remaining
+/// deadline can be re-checked between network chunks — `read_line`
+/// does not return until the newline arrives, which is exactly the
+/// opaqueness a slowloris client exploits. Returns `Ok(true)` when a
+/// newline was seen, `Ok(false)` on EOF first.
+fn read_line_deadline(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    cap: usize,
+    deadline: &mut Option<Instant>,
+    budget: Option<Duration>,
+    started: &mut bool,
+) -> Result<bool, HttpError> {
+    loop {
+        if *started {
+            arm_remaining(reader.get_ref(), *deadline)?;
+        }
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            // Before the first byte this is the caller's idle timeout
+            // (quiet close); after it, with a budget, it is the
+            // deadline firing.
+            Err(e) if is_timeout(&e) => {
+                return Err(if *started && deadline.is_some() {
+                    HttpError::Timeout
+                } else {
+                    HttpError::Io(e)
+                });
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if buf.is_empty() {
+            return Ok(false);
+        }
+        if !*started {
+            // The request clock starts at its first byte, so idle
+            // keep-alive time is never charged against the budget.
+            *started = true;
+            *deadline = budget.map(|b| Instant::now() + b);
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map_or(buf.len(), |i| i + 1);
+        if line.len() + take > cap {
+            return Err(HttpError::TooLarge);
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if nl.is_some() {
+            return Ok(true);
+        }
+    }
+}
+
+/// Read exactly `len` body bytes, bounded by `deadline`.
+fn read_body_deadline(
+    reader: &mut BufReader<TcpStream>,
+    len: usize,
+    deadline: Option<Instant>,
+) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        arm_remaining(reader.get_ref(), deadline)?;
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::BadRequest("connection closed mid-body")),
+            Ok(n) => filled += n,
+            Err(e) if is_timeout(&e) => {
+                return Err(if deadline.is_some() {
+                    HttpError::Timeout
+                } else {
+                    HttpError::Io(e)
+                });
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+/// Read one request, bounding the *total* time from its first byte to
+/// the end of its body by `budget`.
+///
+/// A per-socket read timeout cannot provide this bound: a slowloris
+/// client lands one byte inside every window, so each individual recv
+/// succeeds while the request never completes. Here the socket timeout
+/// is re-armed with the remaining budget around every read, so the
+/// whole request either finishes in time or fails with
+/// [`HttpError::Timeout`] (answered 408).
+pub fn read_request_deadline(
+    reader: &mut BufReader<TcpStream>,
+    budget: Option<Duration>,
+) -> Result<Option<Request>, HttpError> {
+    let mut deadline = None;
+    let mut started = false;
+
+    let mut line = Vec::new();
+    let saw_newline = read_line_deadline(
+        reader,
+        &mut line,
+        MAX_HEAD_BYTES,
+        &mut deadline,
+        budget,
+        &mut started,
+    )?;
+    if line.is_empty() {
         return Ok(None);
     }
+    if !saw_newline {
+        return Err(HttpError::BadRequest("connection closed mid-request-line"));
+    }
     let mut head_bytes = line.len();
-    let mut parts = line.split_whitespace();
+    let first = String::from_utf8_lossy(&line);
+    let mut parts = first.split_whitespace();
     let method = parts
         .next()
         .ok_or(HttpError::BadRequest("empty request line"))?
@@ -73,21 +214,27 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
     let mut content_length = 0usize;
     let mut keep_alive = true;
     // One scratch buffer for every header line, cleared between lines.
-    let mut header = String::new();
+    let mut header = Vec::new();
     loop {
         header.clear();
-        if reader.read_line(&mut header)? == 0 {
+        let cap = MAX_HEAD_BYTES - head_bytes;
+        if !read_line_deadline(
+            reader,
+            &mut header,
+            cap,
+            &mut deadline,
+            budget,
+            &mut started,
+        )? {
             return Err(HttpError::BadRequest("connection closed mid-headers"));
         }
         head_bytes += header.len();
-        if head_bytes > MAX_HEAD_BYTES {
-            return Err(HttpError::TooLarge);
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
+        let text = String::from_utf8_lossy(&header);
+        let text = text.trim_end();
+        if text.is_empty() {
             break;
         }
-        let Some((name, value)) = header.split_once(':') else {
+        let Some((name, value)) = text.split_once(':') else {
             return Err(HttpError::BadRequest("malformed header"));
         };
         let name = name.trim();
@@ -103,8 +250,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Option<Request>
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let body = read_body_deadline(reader, content_length, deadline)?;
     Ok(Some(Request {
         method,
         path,
@@ -156,6 +302,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -251,5 +398,53 @@ mod tests {
     fn oversized_body_is_rejected_before_allocation() {
         let head = format!("POST /rank HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 1 << 30);
         assert!(matches!(parse(head.as_bytes()), Err(HttpError::TooLarge)));
+    }
+
+    /// A drip-fed request must hit the deadline, not hang: each byte
+    /// lands within its own socket-timeout window, so only the total
+    /// budget can catch it.
+    #[test]
+    fn slow_request_times_out_against_total_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dripper = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            for &b in b"GET / HTTP/1.1\r\n\r\n".iter() {
+                if s.write_all(&[b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let started = Instant::now();
+        let out =
+            read_request_deadline(&mut BufReader::new(stream), Some(Duration::from_millis(80)));
+        assert!(matches!(out, Err(HttpError::Timeout)), "got {out:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "deadline did not bound the read"
+        );
+        dripper.join().expect("dripper");
+    }
+
+    /// A request that fits inside the budget parses exactly as without
+    /// one.
+    #[test]
+    fn fast_request_unaffected_by_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(b"POST /rank HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd")
+                .expect("write");
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let req = read_request_deadline(&mut BufReader::new(stream), Some(Duration::from_secs(5)))
+            .expect("parse")
+            .expect("some");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"abcd");
+        writer.join().expect("writer");
     }
 }

@@ -36,5 +36,6 @@ pub mod metrics;
 pub mod server;
 
 pub use batcher::{Batcher, RankJob, SubmitError};
+pub use client::{one_shot, request_with_retry, ClientConfig, Conn};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_SECS};
 pub use server::{ServeConfig, Server};

@@ -92,6 +92,11 @@ pub struct Metrics {
     /// is the realized batch size.
     batches: AtomicU64,
     batched_docs: AtomicU64,
+    /// Requests that blew the per-request deadline (answered 408).
+    timeouts: AtomicU64,
+    /// Connections dropped on a transport error mid-request (resets,
+    /// truncated sends). Idle keep-alive closes are not counted.
+    io_errors: AtomicU64,
 }
 
 impl Metrics {
@@ -125,6 +130,22 @@ impl Metrics {
         self.batched_docs.fetch_add(docs as u64, Ordering::Relaxed);
     }
 
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn timeout_total(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    pub fn record_io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn io_error_total(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
     /// Render the whole registry in Prometheus text exposition format.
     /// `epoch` is read from the live [`ctxrank_framework::ServiceHandle`]
     /// at scrape time so the gauge always names the snapshot actually
@@ -147,6 +168,24 @@ impl Metrics {
         out.push_str(&format!(
             "ctxrank_shed_total {}\n",
             self.shed.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP ctxrank_timeout_total Requests that exceeded the per-request deadline.\n",
+        );
+        out.push_str("# TYPE ctxrank_timeout_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_timeout_total {}\n",
+            self.timeouts.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP ctxrank_io_error_total Connections dropped on a transport error mid-request.\n",
+        );
+        out.push_str("# TYPE ctxrank_io_error_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_io_error_total {}\n",
+            self.io_errors.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP ctxrank_queue_depth Rank jobs waiting in the micro-batcher.\n");
@@ -237,8 +276,16 @@ mod tests {
         m.record_shed();
         m.set_queue_depth(5);
         m.record_batch(16);
+        m.record_timeout();
+        m.record_io_error();
+        m.record_io_error();
+        m.record_io_error();
         let text = m.render_prometheus(1);
         assert!(text.contains("ctxrank_shed_total 2"));
+        assert!(text.contains("ctxrank_timeout_total 1"));
+        assert!(text.contains("ctxrank_io_error_total 3"));
+        assert_eq!(m.timeout_total(), 1);
+        assert_eq!(m.io_error_total(), 3);
         assert!(text.contains("ctxrank_queue_depth 5"));
         assert!(text.contains("ctxrank_rank_batches_total 1"));
         assert!(text.contains("ctxrank_rank_batched_docs_total 16"));

@@ -21,7 +21,7 @@
 //! uses.
 
 use crate::batcher::{Batcher, RankJob, SubmitError};
-use crate::http::{read_request, write_response, HttpError, Request, Response};
+use crate::http::{read_request_deadline, write_response, HttpError, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use ctxrank_framework::ServiceHandle;
 use serde_json::json;
@@ -53,6 +53,12 @@ pub struct ServeConfig {
     pub retry_after_secs: u32,
     /// Idle keep-alive read timeout before a worker drops a connection.
     pub keep_alive_timeout: Duration,
+    /// Total time a request may take from its first byte to the end of
+    /// its body. This — not the socket timeout — is what stops a
+    /// slowloris client: each dripped byte lands inside its own socket
+    /// window, but the sum cannot exceed this deadline. Exceeding it
+    /// answers 408 and closes.
+    pub request_deadline: Duration,
     /// Expose `POST /admin/shutdown` (used by the demo binary and CI to
     /// stop the server without signals).
     pub enable_shutdown_endpoint: bool,
@@ -69,6 +75,7 @@ impl Default for ServeConfig {
             batch_max_wait: Duration::from_micros(500),
             retry_after_secs: 1,
             keep_alive_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(10),
             enable_shutdown_endpoint: false,
         }
     }
@@ -257,7 +264,6 @@ fn run_worker(inner: &Inner, batcher: &Batcher) {
 }
 
 fn serve_connection(inner: &Inner, batcher: &Batcher, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(inner.config.keep_alive_timeout));
     let _ = stream.set_nodelay(true);
     // The write half is shared with the batcher, which writes `/rank`
     // responses directly (see batcher.rs); the mutex keeps worker and
@@ -272,12 +278,36 @@ fn serve_connection(inner: &Inner, batcher: &Batcher, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let req = match read_request(&mut reader) {
+        // Reset the idle timeout every iteration: the deadline logic
+        // inside `read_request_deadline` re-arms the socket timeout
+        // with the shrinking remaining budget, so the previous
+        // request's leftover value must not leak into this one.
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(inner.config.keep_alive_timeout));
+        let req = match read_request_deadline(&mut reader, Some(inner.config.request_deadline)) {
             Ok(Some(req)) => req,
             // Peer closed between requests — normal keep-alive end.
             Ok(None) => return,
-            // Idle timeout or socket error: close quietly.
-            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Io(e)) => {
+                // An idle keep-alive timeout is routine; a transport
+                // error mid-stream (reset, truncated send) is worth
+                // counting.
+                if !matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    inner.metrics.record_io_error();
+                }
+                return;
+            }
+            Err(HttpError::Timeout) => {
+                inner.metrics.record_timeout();
+                inner.metrics.record_request(Endpoint::Other, 0.0);
+                let resp = Response::json(408, &json!({"error": "request timed out"}));
+                let _ = write(&resp, false);
+                return;
+            }
             Err(HttpError::BadRequest(detail)) => {
                 inner.metrics.record_request(Endpoint::Other, 0.0);
                 let _ = write(&Response::json(400, &json!({"error": detail})), false);

@@ -1,0 +1,207 @@
+//! Seeded malformed-header fuzz micro-suite against a live server.
+//!
+//! A generator mutates a valid request template in ways that are each
+//! *guaranteed* to be malformed, fires the result at a real listening
+//! server, and asserts the strict oracle from the fault-model contract:
+//! every hostile request gets a complete 4xx response or a clean close
+//! — never a hang, never a 5xx, never a panic. Afterwards the same
+//! server must still answer a well-formed request with 200.
+//!
+//! Failures print the seed; replay with `CTXRANK_FAULT_SEED=<seed>`.
+
+use ctxrank_faultsim::net::{send_raw, NetOutcome};
+use ctxrank_faultsim::seed_from_env;
+use ctxrank_features::{InterestFeatures, RelevantTerms};
+use ctxrank_framework::{
+    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot,
+    SnapshotBuilder,
+};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_serve::client::one_shot;
+use ctxrank_serve::{ServeConfig, Server};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn snapshot() -> Arc<Snapshot> {
+    let interest = PackedInterestStore::build(&[(
+        "solar flares".to_string(),
+        InterestFeatures {
+            freq_exact: 100,
+            ..InterestFeatures::default()
+        },
+    )]);
+    let mut tids = GlobalTidTable::new();
+    let kw = RelevantTerms {
+        terms: vec![(ctxrank_text::stem("sunspot"), 10.0)],
+    };
+    let relevance = PackedRelevanceStore::build(vec![("solar flares", &kw)], &mut tids);
+    let groups: Vec<RankGroup> = (0..10)
+        .map(|g| {
+            RankGroup::from_pairs((0..2).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[9] = (g + i) as f64;
+                (f, i as f64 * 0.01)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+    SnapshotBuilder::new()
+        .interest(interest)
+        .relevance(relevance)
+        .tids(tids)
+        .model(model)
+        .build()
+        .expect("test snapshot")
+}
+
+/// xorshift64* — the same family the fault plans use.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// Random printable-ish garbage with no whitespace, so it stays one
+/// token when the parser splits on whitespace.
+fn garbage_token(rng: &mut Rng, max_len: u64) -> Vec<u8> {
+    let len = 1 + rng.below(max_len);
+    (0..len)
+        .map(|_| {
+            let c = 0x21 + rng.below(0x5E) as u8; // '!'..='~'
+            if c == b':' {
+                b'@'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Build one guaranteed-malformed request. Every arm either breaks the
+/// request line / a header in a way `read_request` rejects (4xx) or
+/// truncates the stream (clean close / 400) — none can parse cleanly.
+fn malformed_request(rng: &mut Rng) -> Vec<u8> {
+    let mut wire = Vec::new();
+    match rng.below(9) {
+        // Garbage request line: one token, no path, no version.
+        0 => {
+            wire.extend_from_slice(&garbage_token(rng, 60));
+            wire.extend_from_slice(b"\r\n\r\n");
+        }
+        // Method + path but a bogus version token.
+        1 => {
+            wire.extend_from_slice(b"GET /healthz ");
+            wire.extend_from_slice(&garbage_token(rng, 20));
+            wire.extend_from_slice(b"\r\n\r\n");
+        }
+        // Missing the version entirely.
+        2 => {
+            wire.extend_from_slice(b"POST /rank\r\n\r\n");
+        }
+        // Valid request line, header line without a colon.
+        3 => {
+            wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\n");
+            wire.extend_from_slice(&garbage_token(rng, 40));
+            wire.extend_from_slice(b"\r\n\r\n");
+        }
+        // Non-numeric content-length.
+        4 => {
+            wire.extend_from_slice(b"POST /rank HTTP/1.1\r\ncontent-length: ");
+            wire.extend_from_slice(&garbage_token(rng, 12));
+            wire.extend_from_slice(b"\r\n\r\n");
+        }
+        // Overflowing or over-limit content-length.
+        5 => {
+            let claimed: u128 = if rng.below(2) == 0 {
+                u128::from(u64::MAX) * 2 // does not parse as usize
+            } else {
+                (1u128 << 30) + rng.below(1 << 20) as u128 // parses, over cap
+            };
+            let head = format!("POST /rank HTTP/1.1\r\ncontent-length: {claimed}\r\n\r\n");
+            wire.extend_from_slice(head.as_bytes());
+        }
+        // One header line larger than the whole head budget.
+        6 => {
+            wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nx-junk: ");
+            wire.extend(std::iter::repeat_n(b'j', 64 * 1024));
+            wire.extend_from_slice(b"\r\n\r\n");
+        }
+        // Truncated mid-request: bytes then EOF before the blank line.
+        7 => {
+            let full = b"POST /rank HTTP/1.1\r\ncontent-type: application/json\r\n";
+            let cut = 1 + rng.below(full.len() as u64 - 1) as usize;
+            wire.extend_from_slice(&full[..cut]);
+        }
+        // Declared body longer than what is sent before EOF.
+        _ => {
+            wire.extend_from_slice(b"POST /rank HTTP/1.1\r\ncontent-length: 500\r\n\r\nshort");
+        }
+    }
+    wire
+}
+
+#[test]
+fn malformed_headers_always_get_4xx_or_a_clean_close() {
+    let seed = seed_from_env(0xF022_BAD5);
+    eprintln!("[http_fuzz] seed = {seed} (replay with CTXRANK_FAULT_SEED={seed})");
+    let mut rng = Rng::new(seed);
+
+    let handle = Arc::new(ServiceHandle::new(snapshot()));
+    let server = Server::start(
+        handle,
+        ServeConfig {
+            workers: 4,
+            keep_alive_timeout: Duration::from_millis(500),
+            request_deadline: Duration::from_millis(500),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    for case in 0..150u32 {
+        let wire = malformed_request(&mut rng);
+        let outcome = send_raw(addr, &wire, Duration::from_secs(5)).expect("send");
+        match outcome {
+            NetOutcome::Status(code) => assert!(
+                (400..500).contains(&code),
+                "case {case} (seed {seed}): expected 4xx, got {code} for {:?}",
+                String::from_utf8_lossy(&wire[..wire.len().min(120)]),
+            ),
+            NetOutcome::Closed => {}
+            NetOutcome::HungUp => panic!(
+                "case {case} (seed {seed}): server hung on {:?}",
+                String::from_utf8_lossy(&wire[..wire.len().min(120)]),
+            ),
+        }
+    }
+
+    // The storm must not have wedged the server: a good request works.
+    let (status, _, body) = one_shot(
+        addr,
+        "POST",
+        "/rank",
+        Some(r#"{"text": "sunspot radiation", "candidates": ["solar flares"]}"#),
+    )
+    .expect("good request after fuzzing");
+    assert_eq!(status, 200, "body: {body}");
+
+    let (status, _, metrics) = one_shot(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("ctxrank_requests_total"));
+
+    server.shutdown();
+}

@@ -125,21 +125,36 @@ fn parse_tag(input: &str, start: usize) -> Option<(String, bool, usize)> {
     } else if !first.is_ascii_alphabetic() && first != '!' {
         return None;
     }
-    // Find the end of the name and then the closing '>'.
+    // Find the end of the name and then the closing '>'. A '>' inside a
+    // quoted attribute value (`<a href="a>b">`) does not end the tag, so
+    // the scan tracks the active quote character; an unterminated quote
+    // means no closing '>' is ever found and the '<' falls back to text.
     let mut name_end = rest.len();
     let mut gt = None;
+    let mut quote: Option<char> = None;
     for (i, c) in rest[name_start..].char_indices() {
         let abs = name_start + i;
-        if c == '>' {
-            name_end = name_end.min(abs);
-            gt = Some(abs);
-            break;
-        }
-        if c.is_whitespace() || c == '/' {
-            name_end = name_end.min(abs);
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '>' {
+                    name_end = name_end.min(abs);
+                    gt = Some(abs);
+                    break;
+                }
+                if c == '"' || c == '\'' {
+                    quote = Some(c);
+                } else if c.is_whitespace() || c == '/' {
+                    name_end = name_end.min(abs);
+                }
+            }
         }
     }
-    let gt = gt.or_else(|| rest[name_start..].find('>').map(|i| name_start + i))?;
+    let gt = gt?;
     let name = rest[name_start..name_end].to_string();
     if name.is_empty() {
         return None;
@@ -260,6 +275,20 @@ mod tests {
     #[test]
     fn empty_input() {
         assert_eq!(strip_html(""), "");
+    }
+
+    #[test]
+    fn gt_inside_quoted_attribute_does_not_end_the_tag() {
+        assert_eq!(
+            strip_html(r#"<a href="/q?a>b" title='x > y'>link</a> tail"#),
+            "link tail"
+        );
+    }
+
+    #[test]
+    fn unterminated_attribute_quote_falls_back_to_text() {
+        // No unquoted '>' ever closes the tag, so the '<' is literal.
+        assert_eq!(strip_html(r#"x <a href="oops>y"#), r#"x <a href="oops>y"#);
     }
 
     #[test]

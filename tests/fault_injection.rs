@@ -1,0 +1,497 @@
+//! Deterministic fault-injection harness for the persist → publish →
+//! serve path (see DESIGN.md §11).
+//!
+//! Every test resolves its seed through `CTXRANK_FAULT_SEED` and prints
+//! it on entry, so any failure in CI is replayed locally with
+//! `CTXRANK_FAULT_SEED=<seed> cargo test --test fault_injection`.
+//!
+//! The invariants, everywhere:
+//!
+//! * injected corruption surfaces as a typed [`PersistError`] or an
+//!   HTTP error status — never a panic, never a hang;
+//! * a save that dies mid-way never clobbers the previous good
+//!   manifest: the directory stays loadable;
+//! * the served epoch never regresses, and every `/rank` response is
+//!   consistent with exactly the snapshot its epoch names;
+//! * with an empty [`FaultPlan`], behavior is bit-for-bit the
+//!   happy path.
+
+use ctxrank_faultsim::net::{
+    send_oversized, send_partial_request, send_slowloris, send_then_vanish, NetOutcome,
+};
+use ctxrank_faultsim::{seed_from_env, FaultPlan, FaultyFs};
+use ctxrank_features::{InterestFeatures, RelevantTerms};
+use ctxrank_framework::persist::{
+    load_service, load_service_with, load_snapshot_with, save_service, save_service_with,
+    save_snapshot_with, PersistError,
+};
+use ctxrank_framework::{
+    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot,
+    SnapshotBuilder,
+};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_serve::client::{one_shot, request_with_retry, ClientConfig, Conn};
+use ctxrank_serve::{ServeConfig, Server};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------- helpers
+
+/// A per-test scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "ctxrank-faultsim-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Print the resolved seed so a CI failure is replayable verbatim.
+fn announce(test: &str, seed: u64) {
+    eprintln!("{test}: seed = {seed} (replay with CTXRANK_FAULT_SEED={seed})");
+}
+
+/// Same distinguishable-snapshot builder as the serve integration
+/// tests: the probe text scores ~`weight`, so `(epoch, relevance)`
+/// pairs identify which snapshot served a response.
+fn snapshot(weight: f64) -> Arc<Snapshot> {
+    let interest = PackedInterestStore::build(&[(
+        "solar flares".to_string(),
+        InterestFeatures {
+            freq_exact: 100,
+            ..InterestFeatures::default()
+        },
+    )]);
+    let mut tids = GlobalTidTable::new();
+    let kw = RelevantTerms {
+        terms: vec![(ctxrank_text::stem("sunspot"), weight)],
+    };
+    let relevance = PackedRelevanceStore::build(vec![("solar flares", &kw)], &mut tids);
+    let groups: Vec<RankGroup> = (0..10)
+        .map(|g| {
+            RankGroup::from_pairs((0..2).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[9] = (g + i) as f64;
+                (f, i as f64 * 0.01)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+    SnapshotBuilder::new()
+        .interest(interest)
+        .relevance(relevance)
+        .tids(tids)
+        .model(model)
+        .build()
+        .expect("test snapshot")
+}
+
+const PROBE_TEXT: &str = "sunspot radiation from the telescope";
+const RANK_BODY: &str =
+    r#"{"text": "sunspot radiation from the telescope", "candidates": ["solar flares"]}"#;
+
+/// The probe relevance a handle currently serves (exactly what `/rank`
+/// reports for `RANK_BODY`, modulo JSON float formatting).
+fn probe(handle: &ServiceHandle) -> f64 {
+    let ranked = handle.rank(PROBE_TEXT, &["solar flares".to_string()]);
+    assert_eq!(ranked.len(), 1);
+    ranked[0].relevance
+}
+
+fn parse_rank_response(body: &str) -> (u64, f64) {
+    let v: serde_json::Value = serde_json::from_str(body).expect("response JSON");
+    let epoch = v.get("epoch").and_then(|e| e.as_u64()).expect("epoch");
+    let results = match v.get("results") {
+        Some(serde_json::Value::Seq(items)) => items,
+        other => panic!("malformed results: {other:?}"),
+    };
+    assert_eq!(results.len(), 1, "one candidate in, one result out");
+    let relevance = results[0]
+        .get("relevance")
+        .and_then(|r| r.as_f64())
+        .expect("relevance");
+    assert!(results[0].get("surface").and_then(|s| s.as_str()) == Some("solar flares"));
+    (epoch, relevance)
+}
+
+// ------------------------------------------------------------- persist
+
+/// The acceptance sweep: 200 seeded iterations at a 10% injection rate.
+/// A faulty save over a good directory must never leave it unloadable
+/// (the manifest is the commit point), and a faulty load must return
+/// `Ok` or a typed [`PersistError`] — zero panics, zero aborts.
+#[test]
+fn persist_sweep_survives_200_seeded_iterations() {
+    let base = seed_from_env(0xC0FF_EE00);
+    announce("persist_sweep", base);
+
+    let mut save_failures = 0u32;
+    let mut save_successes = 0u32;
+    let mut load_failures = 0u32;
+    for iter in 0..200u64 {
+        let seed = base.wrapping_add(iter);
+        let dir = TempDir::new("sweep");
+
+        // A known-good directory.
+        let good = Arc::new(ServiceHandle::new(snapshot(10.0)));
+        save_service(&good, dir.path()).expect("clean save");
+
+        // A faulty save of a *newer* snapshot on top of it.
+        let next = Arc::new(ServiceHandle::new(snapshot(20.0)));
+        let fs = FaultyFs::new(Arc::new(FaultPlan::new(seed, 100)));
+        match save_service_with(&next, dir.path(), &fs) {
+            Ok(()) => save_successes += 1,
+            Err(e) => {
+                // Typed, displayable, never a panic.
+                let _ = e.to_string();
+                save_failures += 1;
+            }
+        }
+
+        // Whatever happened above, the directory must still load
+        // cleanly, as either the old or the new epoch — per-file
+        // atomicity plus manifest-last makes anything else a bug.
+        let reloaded = load_service(dir.path())
+            .unwrap_or_else(|e| panic!("seed {seed}: faulty save clobbered the directory: {e}"));
+        assert!(
+            reloaded.epoch() == good.epoch() || reloaded.epoch() == next.epoch(),
+            "seed {seed}: reloaded epoch {} is neither {} nor {}",
+            reloaded.epoch(),
+            good.epoch(),
+            next.epoch()
+        );
+
+        // A faulty *load* of the same directory: Ok or typed error.
+        let fs = FaultyFs::new(Arc::new(FaultPlan::new(seed ^ 0xA5A5_A5A5, 100)));
+        match load_service_with(dir.path(), &fs) {
+            Ok(h) => {
+                let _ = probe(&h);
+            }
+            Err(e @ (PersistError::Io { .. } | PersistError::Corrupt { .. })) => {
+                let _ = e.to_string();
+                load_failures += 1;
+            }
+        }
+    }
+    eprintln!(
+        "persist_sweep: {save_failures} save failures, {save_successes} save successes, \
+         {load_failures} load failures over 200 iterations"
+    );
+    // At a 10% per-operation rate the schedule must actually have hit
+    // all three regimes; all-zero means injection is broken.
+    assert!(save_failures > 0, "no save ever failed at 10% injection");
+    assert!(
+        save_successes > 0,
+        "no save ever succeeded at 10% injection"
+    );
+    assert!(load_failures > 0, "no load ever failed at 10% injection");
+}
+
+/// An empty plan is the identity: persist through `FaultyFs` must be
+/// byte-equivalent to persist through `StdFs`.
+#[test]
+fn empty_plan_changes_nothing() {
+    let dir = TempDir::new("identity");
+    let handle = Arc::new(ServiceHandle::new(snapshot(30.0)));
+    let clean_score = probe(&handle);
+
+    let fs = FaultyFs::new(Arc::new(FaultPlan::empty()));
+    save_service_with(&handle, dir.path(), &fs).expect("save under empty plan");
+    let via_faultsim = load_service_with(dir.path(), &fs).expect("load under empty plan");
+    let via_std = load_service(dir.path()).expect("load via StdFs");
+
+    assert_eq!(via_faultsim.epoch(), via_std.epoch());
+    assert_eq!(via_faultsim.epoch(), handle.epoch());
+    assert_eq!(probe(&via_faultsim), clean_score);
+    assert_eq!(probe(&via_std), clean_score);
+}
+
+// --------------------------------------------------------------- serve
+
+/// Hostile clients — slowloris, partial request, oversized payload,
+/// vanish mid-request — against a live server, interleaved with good
+/// traffic. Every hostile connection must end in an error status or a
+/// close (never a hang), good traffic must keep getting 200s, and the
+/// timeout counter must move.
+#[test]
+fn hostile_clients_cannot_hang_the_server() {
+    let seed = seed_from_env(0x5E12_7E57);
+    announce("hostile_clients", seed);
+
+    let handle = Arc::new(ServiceHandle::new(snapshot(10.0)));
+    let server = Server::start(
+        Arc::clone(&handle),
+        ServeConfig {
+            workers: 4,
+            keep_alive_timeout: Duration::from_millis(400),
+            request_deadline: Duration::from_millis(250),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+    let patience = Duration::from_secs(5);
+
+    std::thread::scope(|scope| {
+        // Slowloris: 25 bytes at 30ms/byte blows the 250ms deadline.
+        let loris = scope.spawn(move || {
+            send_slowloris(
+                addr,
+                b"GET /healthz HTTP/1.1\r\n\r\n",
+                Duration::from_millis(30),
+                patience,
+            )
+            .expect("slowloris connect")
+        });
+        // A body that never arrives.
+        let partial = scope.spawn(move || {
+            send_partial_request(
+                addr,
+                b"POST /rank HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort",
+                patience,
+            )
+            .expect("partial connect")
+        });
+        // Content-Length far over MAX_BODY_BYTES.
+        let oversized = scope.spawn(move || {
+            send_oversized(addr, 64 * 1024 * 1024, patience).expect("oversized connect")
+        });
+        // Peers that disappear mid-request-line.
+        let vanish = scope.spawn(move || {
+            for _ in 0..4 {
+                send_then_vanish(addr, b"GET /hea").expect("vanish connect");
+            }
+        });
+
+        // Good traffic throughout, with the hardened retrying client.
+        let good = scope.spawn(move || {
+            let config = ClientConfig {
+                retries: 3,
+                backoff_base: Duration::from_millis(5),
+                jitter_seed: seed,
+                ..ClientConfig::default()
+            };
+            for _ in 0..10 {
+                let (status, _, body) =
+                    request_with_retry(addr, "POST", "/rank", Some(RANK_BODY), &config)
+                        .expect("good rank request");
+                assert_eq!(status, 200, "body: {body}");
+                let (_, relevance) = parse_rank_response(&body);
+                assert!((relevance - 10.0).abs() < 0.5, "got {relevance}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+
+        let loris = loris.join().expect("slowloris thread");
+        assert!(
+            matches!(loris, NetOutcome::Status(408) | NetOutcome::Closed),
+            "slowloris outcome: {loris:?}"
+        );
+        let partial = partial.join().expect("partial thread");
+        assert!(
+            matches!(partial, NetOutcome::Status(400) | NetOutcome::Closed),
+            "partial-request outcome: {partial:?}"
+        );
+        let oversized = oversized.join().expect("oversized thread");
+        assert!(
+            matches!(oversized, NetOutcome::Status(413) | NetOutcome::Closed),
+            "oversized outcome: {oversized:?}"
+        );
+        vanish.join().expect("vanish thread");
+        good.join().expect("good client thread");
+    });
+
+    // The slowloris blew the deadline, so the counter must have moved,
+    // and it must be visible on the wire.
+    assert!(
+        server.metrics().timeout_total() >= 1,
+        "slowloris did not register in ctxrank_timeout_total"
+    );
+    let (status, _, metrics_body) = one_shot(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics_body.contains("ctxrank_timeout_total"));
+    assert!(metrics_body.contains("ctxrank_io_error_total"));
+
+    // The server is still healthy after the abuse.
+    let (status, _, _) = one_shot(addr, "GET", "/healthz", None).expect("healthz");
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}
+
+// ------------------------------------------------------------- publish
+
+/// The end-to-end chaos test: a publisher keeps persisting and
+/// reloading snapshots through a faulty filesystem and publishes only
+/// the ones that survive validation, while clients hammer `/rank`.
+/// Served epochs must never regress per connection, and every response
+/// must match the registered score of exactly the epoch it claims.
+#[test]
+fn publish_chaos_never_regresses_epochs_or_serves_torn_snapshots() {
+    let base = seed_from_env(0xFA57_0001);
+    announce("publish_chaos", base);
+
+    let first = snapshot(10.0);
+    let handle = Arc::new(ServiceHandle::new(first));
+    // epoch → the probe relevance that snapshot actually serves,
+    // registered before the epoch can ever appear in a response.
+    let scores: Arc<Mutex<HashMap<u64, f64>>> = Arc::new(Mutex::new(HashMap::new()));
+    scores
+        .lock()
+        .unwrap()
+        .insert(handle.epoch(), probe(&handle));
+
+    let server = Server::start(
+        Arc::clone(&handle),
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 3;
+    const REQUESTS: usize = 60;
+    const MAX_ROUNDS: u64 = 120;
+    const WANT_PUBLISHES: u32 = 3;
+
+    let observed: Vec<(u64, f64)> = std::thread::scope(|scope| {
+        let mut client_threads = Vec::new();
+        for _ in 0..CLIENTS {
+            client_threads.push(scope.spawn(move || {
+                let mut conn = Conn::connect(addr).expect("connect");
+                let mut seen = Vec::with_capacity(REQUESTS);
+                let mut last_epoch = 0u64;
+                for _ in 0..REQUESTS {
+                    let (status, _, body) = conn
+                        .request("POST", "/rank", Some(RANK_BODY))
+                        .expect("rank request");
+                    assert_eq!(status, 200, "body: {body}");
+                    let (epoch, relevance) = parse_rank_response(&body);
+                    assert!(
+                        epoch >= last_epoch,
+                        "epoch regressed on one connection: {last_epoch} -> {epoch}"
+                    );
+                    last_epoch = epoch;
+                    seen.push((epoch, relevance));
+                }
+                seen
+            }));
+        }
+
+        let publisher_handle = Arc::clone(&handle);
+        let publisher_scores = Arc::clone(&scores);
+        let publisher = scope.spawn(move || {
+            let dir = TempDir::new("publish");
+            let mut published = 0u32;
+            let mut save_errors = 0u32;
+            let mut load_errors = 0u32;
+            let mut rejected = 0u32;
+            for round in 0..MAX_ROUNDS {
+                if published >= WANT_PUBLISHES {
+                    break;
+                }
+                let weight = 10.0 * (round + 2) as f64;
+                let snap = snapshot(weight);
+                let expected_epoch = snap.epoch();
+
+                let save_fs =
+                    FaultyFs::new(Arc::new(FaultPlan::new(base.wrapping_add(round), 100)));
+                if save_snapshot_with(&snap, dir.path(), &save_fs).is_err() {
+                    // The manifest still names the previous snapshot;
+                    // the load below sees a stale epoch and skips.
+                    save_errors += 1;
+                }
+
+                let load_fs = FaultyFs::new(Arc::new(FaultPlan::new(
+                    base.wrapping_add(round) ^ 0x0DD_C0DE,
+                    100,
+                )));
+                let loaded = match load_snapshot_with(dir.path(), &load_fs) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        load_errors += 1;
+                        continue;
+                    }
+                };
+                // Publisher-side guards, as in production: never swap
+                // in an older epoch, never swap in a snapshot that
+                // fails its smoke probe (a bit flip can survive
+                // decoding with a wrong score).
+                if loaded.epoch() <= publisher_handle.epoch() {
+                    rejected += 1;
+                    continue;
+                }
+                let staging = ServiceHandle::new(Arc::clone(&loaded));
+                let score = probe(&staging);
+                if loaded.epoch() != expected_epoch || (score - weight).abs() > 0.5 {
+                    rejected += 1;
+                    continue;
+                }
+                // Register the score before the epoch can serve.
+                publisher_scores
+                    .lock()
+                    .unwrap()
+                    .insert(loaded.epoch(), score);
+                publisher_handle.publish(loaded);
+                published += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            eprintln!(
+                "publish_chaos: {published} published, {save_errors} save errors, \
+                 {load_errors} load errors, {rejected} rejected"
+            );
+            published
+        });
+
+        let mut all = Vec::new();
+        for t in client_threads {
+            all.extend(t.join().expect("client thread"));
+        }
+        let published = publisher.join().expect("publisher thread");
+        assert!(
+            published >= 1,
+            "chaos publisher never got a snapshot through at 10% injection"
+        );
+        all
+    });
+
+    assert_eq!(observed.len(), CLIENTS * REQUESTS);
+    let scores = scores.lock().unwrap();
+    for (epoch, relevance) in &observed {
+        let expected = scores
+            .get(epoch)
+            .unwrap_or_else(|| panic!("response claimed unregistered epoch {epoch}"));
+        // Registered weights are 10 apart; a torn or corrupt snapshot
+        // misses by ~10, quantization noise by far less than 0.5.
+        assert!(
+            (relevance - expected).abs() < 0.5,
+            "epoch {epoch} expected relevance ~{expected}, got {relevance}"
+        );
+    }
+    // Epoch is also monotone across the handle itself.
+    assert!(handle.epoch() >= scores.keys().copied().min().unwrap_or(0));
+
+    server.shutdown();
+}

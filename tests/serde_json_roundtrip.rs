@@ -1,0 +1,142 @@
+//! Property tests for the vendored `serde_json` string fast paths.
+//!
+//! `write_escaped` emits maximal unescaped runs with one `push_str`,
+//! and `Parser::string` scans to the next quote/backslash and validates
+//! UTF-8 once per run. Both are equivalence-checked here against the
+//! obvious one-char-at-a-time implementations over seeded random
+//! strings mixing ASCII, multi-byte UTF-8, control characters and the
+//! escape-relevant punctuation.
+
+use serde_json::Value;
+
+/// Deterministic xorshift64* stream for the generators.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+/// One random char, biased toward the cases the fast paths branch on.
+fn random_char(rng: &mut Rng) -> char {
+    match rng.below(8) {
+        // Plain ASCII: the bulk-run case.
+        0..=2 => (b' ' + rng.below(95) as u8) as char,
+        // The characters that force an escape.
+        3 => *['"', '\\', '\n', '\r', '\t']
+            .get(rng.below(5) as usize)
+            .unwrap(),
+        // Control characters → \uXXXX.
+        4 => char::from_u32(rng.below(0x20) as u32).unwrap(),
+        // Two-to-four-byte UTF-8: accents, CJK, emoji.
+        5 => *['é', 'ß', '中', '語', '🚀', '😀', '𝕊', '\u{0301}']
+            .get(rng.below(8) as usize)
+            .unwrap(),
+        // Arbitrary scalar values (skipping the surrogate gap).
+        _ => loop {
+            if let Some(c) = char::from_u32((rng.below(0x11_0000)) as u32) {
+                break c;
+            }
+        },
+    }
+}
+
+fn random_string(rng: &mut Rng, max_len: u64) -> String {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| random_char(rng)).collect()
+}
+
+/// The textbook escaper `write_escaped` must agree with: one match per
+/// char, no run batching.
+fn naive_escape(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[test]
+fn escape_matches_the_naive_slow_path() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for _ in 0..500 {
+        let s = random_string(&mut rng, 120);
+        let fast = serde_json::to_string(&Value::Str(s.clone())).expect("serialize");
+        assert_eq!(fast, naive_escape(&s), "input: {s:?}");
+    }
+}
+
+#[test]
+fn strings_round_trip_through_parse() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for _ in 0..500 {
+        let s = random_string(&mut rng, 120);
+        let json = serde_json::to_string(&Value::Str(s.clone())).expect("serialize");
+        let back: Value = serde_json::from_str(&json).expect("parse back");
+        assert_eq!(back.as_str(), Some(s.as_str()), "json: {json}");
+    }
+}
+
+/// Escaped and raw spellings of the same string must parse
+/// identically — this is the `\uXXXX` decode path against the bulk
+/// raw-scan path.
+#[test]
+fn unicode_escapes_agree_with_raw_utf8() {
+    let cases = [
+        ("\"\\u0041\\u0042\"", "AB"),
+        ("\"\\u00e9\"", "\u{e9}"),
+        ("\"\\u4e2d\\u6587\"", "\u{4e2d}\u{6587}"),
+        // Surrogate pair -> one astral scalar.
+        ("\"\\ud83d\\ude00\"", "\u{1f600}"),
+        ("\"\\u0000\"", "\u{0}"),
+        // Raw multi-byte UTF-8 through the bulk scan.
+        ("\"\u{e9}\u{4e2d}\u{1f600}\"", "\u{e9}\u{4e2d}\u{1f600}"),
+        // Lone surrogates decode to U+FFFD instead of failing.
+        ("\"\\ud800\"", "\u{FFFD}"),
+        ("\"\\udc00x\"", "\u{FFFD}x"),
+    ];
+    for (json, want) in cases {
+        let v: Value = serde_json::from_str(json).expect(json);
+        assert_eq!(v.as_str(), Some(want), "json: {json}");
+    }
+}
+
+/// The fast paths also sit under object keys and nested values.
+#[test]
+fn objects_with_hostile_keys_round_trip() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for _ in 0..100 {
+        let key = random_string(&mut rng, 40);
+        let val = random_string(&mut rng, 80);
+        let obj = Value::Map(vec![(key.clone(), Value::Str(val.clone()))]);
+        let json = serde_json::to_string(&obj).expect("serialize");
+        let back: Value = serde_json::from_str(&json).expect("parse back");
+        let Value::Map(entries) = back else {
+            panic!("not an object: {json}");
+        };
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, key);
+        assert_eq!(entries[0].1.as_str(), Some(val.as_str()));
+    }
+}

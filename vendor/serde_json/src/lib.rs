@@ -334,20 +334,36 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
-                            self.pos += 4;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| Error("invalid \\u escape".into()))?,
-                                16,
-                            )
-                            .map_err(|_| Error("invalid \\u escape".into()))?;
-                            // Surrogate pairs are not produced by our writer;
-                            // map lone surrogates to the replacement char.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: combine with a
+                                // following `\uXXXX` low surrogate into
+                                // one astral scalar; otherwise it is
+                                // lone and degrades to U+FFFD.
+                                if self.bytes.get(self.pos) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                {
+                                    let mark = self.pos;
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let scalar =
+                                            0x1_0000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                                    } else {
+                                        // Not a low surrogate: the
+                                        // high one is lone, the next
+                                        // escape stands on its own.
+                                        out.push('\u{fffd}');
+                                        self.pos = mark;
+                                    }
+                                } else {
+                                    out.push('\u{fffd}');
+                                }
+                            } else {
+                                // Lone low surrogates also degrade.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
                         }
                         other => {
                             return Err(Error(format!("invalid escape `\\{}`", other as char)))
@@ -369,6 +385,21 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// The four hex digits of a `\uXXXX` escape (the `\u` is already
+    /// consumed).
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        self.pos += 4;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| Error("invalid \\u escape".into()))
     }
 
     fn number(&mut self) -> Result<Value, Error> {
