@@ -30,6 +30,7 @@
 //! rebuilt snapshots under live traffic without locks on the read
 //! path.
 
+pub(crate) mod arena;
 pub mod compressed;
 pub mod golomb;
 pub mod memory;
@@ -49,8 +50,8 @@ pub use online::{OnlineConfig, OnlineCtrAdjuster};
 pub use packed::{FieldQuantizer, PackedInterestStore};
 pub use persist::{
     load_ranker, load_service, load_service_with, load_snapshot, load_snapshot_with, save_ranker,
-    save_service, save_service_with, save_snapshot, save_snapshot_with, PersistError, PersistFs,
-    StdFs,
+    save_service, save_service_with, save_snapshot, save_snapshot_legacy,
+    save_snapshot_legacy_with, save_snapshot_with, PersistError, PersistFs, StdFs,
 };
 pub use ranker::{RankedConcept, RuntimeRanker};
 pub use relstore::PackedRelevanceStore;

@@ -8,8 +8,8 @@
 //! data structures, such as hash tables, the vectors for the detected
 //! concepts can be retrieved in constant time."
 
+use crate::arena::{ByteSlab, StrTable};
 use ctxrank_features::InterestFeatures;
-use std::collections::HashMap;
 
 /// Bytes used per concept (9 fields × 2 bytes).
 pub const BYTES_PER_CONCEPT: usize = InterestFeatures::DIM * 2;
@@ -59,12 +59,15 @@ impl FieldQuantizer {
     }
 }
 
-/// The packed per-concept feature store.
+/// The packed per-concept feature store. Concept `i` (dense slot order
+/// = build order) owns bytes `i*18..(i+1)*18` of `data`; the surface →
+/// slot index is a [`StrTable`], so an arena-loaded store is a pure
+/// view into the snapshot buffer.
 #[derive(Debug, Clone)]
 pub struct PackedInterestStore {
-    pub(crate) index: HashMap<String, u32>,
+    pub(crate) names: StrTable,
     /// 18 bytes per concept, contiguous.
-    pub(crate) data: Vec<u8>,
+    pub(crate) data: ByteSlab,
     pub(crate) quantizers: [FieldQuantizer; InterestFeatures::DIM],
 }
 
@@ -77,30 +80,29 @@ impl PackedInterestStore {
         let quantizers: [FieldQuantizer; InterestFeatures::DIM] =
             std::array::from_fn(|d| FieldQuantizer::fit(dense.iter().map(|row| row[d])));
 
-        let mut index = HashMap::with_capacity(concepts.len());
+        let names = StrTable::build(concepts.iter().map(|(s, _)| s.as_str()));
         let mut data = Vec::with_capacity(concepts.len() * BYTES_PER_CONCEPT);
-        for (i, ((surface, _), row)) in concepts.iter().zip(&dense).enumerate() {
-            index.insert(surface.clone(), i as u32);
+        for row in &dense {
             for (d, &v) in row.iter().enumerate() {
                 let q = quantizers[d].quantize(v);
                 data.extend_from_slice(&q.to_le_bytes());
             }
         }
         Self {
-            index,
-            data,
+            names,
+            data: ByteSlab::Owned(data),
             quantizers,
         }
     }
 
     /// Number of concepts stored.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.names.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.names.len() == 0
     }
 
     /// Bytes consumed by the packed vectors (excluding the hash index).
@@ -111,7 +113,7 @@ impl PackedInterestStore {
     /// Reconstruct a concept's dense feature row (with quantization
     /// error), or `None` for unknown surfaces.
     pub fn dense(&self, surface: &str) -> Option<Vec<f64>> {
-        let &i = self.index.get(surface)?;
+        let i = self.names.lookup(surface)?;
         let base = i as usize * BYTES_PER_CONCEPT;
         let row = (0..InterestFeatures::DIM)
             .map(|d| {

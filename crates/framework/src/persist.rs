@@ -7,7 +7,15 @@
 //! written by the offline pipeline and loaded by the serving fleet.
 //!
 //! [`save_snapshot`]/[`load_snapshot`] implement that artifact as a
-//! directory:
+//! directory whose primary content is a single **arena file**,
+//! `snapshot.ctxr` (see the `arena` module): one little-endian,
+//! checksummed, section-aligned image of all four stores that loads
+//! with *no per-entry decode* — the file is read once into an
+//! `Arc`-owned aligned buffer, validated, and the stores become typed
+//! views into it.
+//!
+//! The **legacy directory layout** is still understood as a fallback
+//! (and written by [`save_snapshot_legacy`] for compatibility tests):
 //!
 //! * `snapshot.json` — the manifest: format version + the snapshot's
 //!   epoch (restored on load, and reserved so later builds in the
@@ -17,6 +25,10 @@
 //! * `relevance.bin` — the packed `(TID, score)` store;
 //! * `tids.bin` — the Global TID Table (term list; ids are dense);
 //! * `model.json` — the linear ranking model (scaler + weights).
+//!
+//! A load prefers `snapshot.ctxr` when it exists and otherwise falls
+//! back to the legacy files, so directories written by either
+//! generation keep loading transparently.
 //!
 //! [`save_service`]/[`load_service`] additionally round-trip the online
 //! CTR adjuster (`online.json`), so a restarted serving process resumes
@@ -29,22 +41,25 @@
 //! [`PersistFs`] trait (default: [`StdFs`]), so a fault-injection
 //! harness (`ctxrank-faultsim`) can wrap every read and write. Saves
 //! are *atomic per file*: bytes land in `<name>.tmp` and are renamed
-//! into place only after a successful flush, and the `snapshot.json`
-//! manifest is written **last** — it is the commit point. A save that
-//! dies mid-way (torn write, full disk, injected fault) therefore never
-//! clobbers the previous good manifest, and a directory that holds one
-//! is always loadable.
+//! into place only after a successful flush. For arena saves the
+//! rename of `snapshot.ctxr` **is** the commit point (and
+//! [`save_service`] orders it after `online.json`); for legacy saves
+//! the `snapshot.json` manifest is written last. A save that dies
+//! mid-way (torn write, full disk, injected fault) therefore never
+//! clobbers the previous good snapshot, and any corruption that does
+//! reach an arena file is caught by its whole-file checksum and
+//! surfaces as [`PersistError::Corrupt`].
 
+use crate::arena::{self, AlignedBuf, ByteSlab, StrTable, U32Slab};
 use crate::online::OnlineCtrAdjuster;
-use crate::packed::{FieldQuantizer, PackedInterestStore};
+use crate::packed::{FieldQuantizer, PackedInterestStore, BYTES_PER_CONCEPT};
 use crate::ranker::RuntimeRanker;
 use crate::relstore::PackedRelevanceStore;
 use crate::snapshot::{Snapshot, SnapshotBuilder};
 use crate::swap::ServiceHandle;
-use crate::tid::{GlobalTidTable, TermId};
+use crate::tid::GlobalTidTable;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::io;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -56,6 +71,7 @@ const MAGIC: u32 = 0x12DE_2009;
 /// still load, with a fresh epoch.
 const FORMAT_VERSION: u32 = 2;
 
+const F_ARENA: &str = arena::ARENA_FILE;
 const F_MANIFEST: &str = "snapshot.json";
 const F_INTEREST: &str = "interest.bin";
 const F_RELEVANCE: &str = "relevance.bin";
@@ -176,6 +192,26 @@ fn read_file(fs: &dyn PersistFs, dir: &Path, file: &'static str) -> Result<Vec<u
     Ok(bytes)
 }
 
+/// Stage `bytes` in `<file>.tmp` (flushed, not yet visible).
+fn write_file_tmp(
+    fs: &dyn PersistFs,
+    dir: &Path,
+    file: &'static str,
+    bytes: &[u8],
+) -> Result<(), PersistError> {
+    let tmp: PathBuf = dir.join(format!("{file}.tmp"));
+    let mut writer = fs.create_write(&tmp).map_err(io_err(file))?;
+    writer.write_all(bytes).map_err(io_err(file))?;
+    writer.flush().map_err(io_err(file))
+}
+
+/// Rename `<file>.tmp` into place — the point where a staged file
+/// becomes visible.
+fn commit_file_tmp(fs: &dyn PersistFs, dir: &Path, file: &'static str) -> Result<(), PersistError> {
+    fs.rename(&dir.join(format!("{file}.tmp")), &dir.join(file))
+        .map_err(io_err(file))
+}
+
 /// Write a component file atomically: bytes go to `<file>.tmp`, the
 /// writer is flushed, and only then is the temp renamed into place. Any
 /// failure leaves the previous version of `file` untouched.
@@ -185,13 +221,8 @@ fn write_file_atomic(
     file: &'static str,
     bytes: &[u8],
 ) -> Result<(), PersistError> {
-    let tmp: PathBuf = dir.join(format!("{file}.tmp"));
-    {
-        let mut writer = fs.create_write(&tmp).map_err(io_err(file))?;
-        writer.write_all(bytes).map_err(io_err(file))?;
-        writer.flush().map_err(io_err(file))?;
-    }
-    fs.rename(&tmp, &dir.join(file)).map_err(io_err(file))
+    write_file_tmp(fs, dir, file, bytes)?;
+    commit_file_tmp(fs, dir, file)
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -237,14 +268,48 @@ fn save_manifest(snapshot: &Snapshot, dir: &Path, fs: &dyn PersistFs) -> Result<
     write_file_atomic(fs, dir, F_MANIFEST, &manifest_json)
 }
 
-/// Save `snapshot` into `dir` (created if missing).
+/// Encode `snapshot` as one arena image.
+fn encode_arena(snapshot: &Snapshot) -> Result<Vec<u8>, PersistError> {
+    let model =
+        serde_json::to_vec_pretty(snapshot.model()).map_err(|e| corrupt(F_MODEL, e.to_string()))?;
+    Ok(arena::encode(
+        snapshot.interest(),
+        snapshot.relevance(),
+        snapshot.tids(),
+        &model,
+        snapshot.epoch(),
+    ))
+}
+
+/// Save `snapshot` into `dir` (created if missing) as a single arena
+/// file, `snapshot.ctxr`. The rename of that file is the commit point.
 pub fn save_snapshot(snapshot: &Snapshot, dir: &Path) -> Result<(), PersistError> {
     save_snapshot_with(snapshot, dir, &StdFs)
 }
 
 /// [`save_snapshot`] through an explicit [`PersistFs`] (fault injection
-/// and tests). Data files are written first, the manifest last.
+/// and tests).
 pub fn save_snapshot_with(
+    snapshot: &Snapshot,
+    dir: &Path,
+    fs: &dyn PersistFs,
+) -> Result<(), PersistError> {
+    fs.create_dir_all(dir)
+        .map_err(io_err("snapshot directory"))?;
+    write_file_atomic(fs, dir, F_ARENA, &encode_arena(snapshot)?)
+}
+
+/// Save `snapshot` in the legacy multi-file directory layout
+/// (`interest.bin` + `relevance.bin` + `tids.bin` + `model.json` +
+/// manifest). Kept for downgrade compatibility and for tests that pin
+/// the legacy decode path; new saves should use [`save_snapshot`].
+pub fn save_snapshot_legacy(snapshot: &Snapshot, dir: &Path) -> Result<(), PersistError> {
+    save_snapshot_legacy_with(snapshot, dir, &StdFs)
+}
+
+/// [`save_snapshot_legacy`] through an explicit [`PersistFs`]. Data
+/// files are written first, the manifest last.
+pub fn save_snapshot_legacy_with(
     snapshot: &Snapshot,
     dir: &Path,
     fs: &dyn PersistFs,
@@ -253,8 +318,10 @@ pub fn save_snapshot_with(
     save_manifest(snapshot, dir, fs)
 }
 
-/// Load a snapshot previously written by [`save_snapshot`] (or the
-/// pre-manifest layout, which gets a fresh epoch).
+/// Load a snapshot previously written by [`save_snapshot`] (preferring
+/// the `snapshot.ctxr` arena file) with transparent fallback to the
+/// legacy directory layout, including the pre-manifest generation
+/// (which gets a fresh epoch).
 pub fn load_snapshot(dir: &Path) -> Result<Arc<Snapshot>, PersistError> {
     load_snapshot_with(dir, &StdFs)
 }
@@ -262,6 +329,35 @@ pub fn load_snapshot(dir: &Path) -> Result<Arc<Snapshot>, PersistError> {
 /// [`load_snapshot`] through an explicit [`PersistFs`]. Every injected
 /// corruption surfaces as a typed [`PersistError`]; nothing panics.
 pub fn load_snapshot_with(dir: &Path, fs: &dyn PersistFs) -> Result<Arc<Snapshot>, PersistError> {
+    if fs.exists(&dir.join(F_ARENA)) {
+        return load_arena_snapshot(dir, fs);
+    }
+    load_legacy_snapshot(dir, fs)
+}
+
+/// The zero-copy load path: read `snapshot.ctxr` once into an aligned
+/// buffer, validate it (header, whole-file checksum, section bounds,
+/// string-table invariants), and build the snapshot from views into
+/// that buffer. No per-entry decode.
+fn load_arena_snapshot(dir: &Path, fs: &dyn PersistFs) -> Result<Arc<Snapshot>, PersistError> {
+    let bytes = read_file(fs, dir, F_ARENA)?;
+    let buf = Arc::new(AlignedBuf::from_bytes(&bytes));
+    drop(bytes);
+    let decoded = arena::decode(buf).map_err(|detail| corrupt(F_ARENA, detail))?;
+    let model: ctxrank_ltr::RankModel = serde_json::from_slice(&decoded.model_json)
+        .map_err(|e| corrupt(F_ARENA, format!("model: {e}")))?;
+    SnapshotBuilder::new()
+        .interest(decoded.interest)
+        .relevance(decoded.relevance)
+        .tids(decoded.tids)
+        .model(model)
+        .epoch(decoded.epoch)
+        .build()
+        .map_err(|e| corrupt(F_ARENA, e.to_string()))
+}
+
+/// The legacy multi-file decode path.
+fn load_legacy_snapshot(dir: &Path, fs: &dyn PersistFs) -> Result<Arc<Snapshot>, PersistError> {
     let interest = decode_interest(&mut Bytes::from(read_file(fs, dir, F_INTEREST)?))?;
     let relevance = decode_relevance(&mut Bytes::from(read_file(fs, dir, F_RELEVANCE)?))?;
     let tids = decode_tids(&mut Bytes::from(read_file(fs, dir, F_TIDS)?))?;
@@ -306,20 +402,23 @@ pub fn save_service(handle: &ServiceHandle, dir: &Path) -> Result<(), PersistErr
 }
 
 /// [`save_service`] through an explicit [`PersistFs`]. Write order is
-/// data files → `online.json` → manifest, so a save that fails at any
-/// point never clobbers the previous good manifest.
+/// stage `snapshot.ctxr.tmp` → `online.json` → rename the arena into
+/// place, so a save that fails at any point never clobbers the
+/// previous good snapshot.
 pub fn save_service_with(
     handle: &ServiceHandle,
     dir: &Path,
     fs: &dyn PersistFs,
 ) -> Result<(), PersistError> {
     let snapshot = handle.current();
-    save_data_files(&snapshot, dir, fs)?;
+    fs.create_dir_all(dir)
+        .map_err(io_err("snapshot directory"))?;
+    write_file_tmp(fs, dir, F_ARENA, &encode_arena(&snapshot)?)?;
     let adjuster = handle.adjuster_state();
     let bytes =
         serde_json::to_vec_pretty(&adjuster).map_err(|e| corrupt(F_ONLINE, e.to_string()))?;
     write_file_atomic(fs, dir, F_ONLINE, &bytes)?;
-    save_manifest(&snapshot, dir, fs)
+    commit_file_tmp(fs, dir, F_ARENA)
 }
 
 /// Load a serving handle written by [`save_service`]. A plain snapshot
@@ -362,13 +461,11 @@ fn encode_interest(store: &PackedInterestStore) -> Vec<u8> {
         buf.put_f64_le(q.lo);
         buf.put_f64_le(q.hi);
     }
-    buf.put_u32_le(store.index.len() as u32);
-    // Deterministic order: sort by slot so files are reproducible.
-    let mut entries: Vec<(&String, &u32)> = store.index.iter().collect();
-    entries.sort_by_key(|(_, &slot)| slot);
-    for (surface, &slot) in entries {
+    buf.put_u32_le(store.names.len() as u32);
+    // Rows are already in dense slot order, so the file is reproducible.
+    for (slot, surface) in store.names.iter().enumerate() {
         put_string(&mut buf, surface);
-        buf.put_u32_le(slot);
+        buf.put_u32_le(slot as u32);
     }
     buf.put_u64_le(store.data.len() as u64);
     buf.put_slice(&store.data);
@@ -402,19 +499,28 @@ fn decode_interest(buf: &mut Bytes) -> Result<PackedInterestStore, PersistError>
     let n = buf.get_u32_le() as usize;
     // An entry is at least a 4-byte length + 4-byte slot; a corrupted
     // count cannot force a giant allocation.
-    let mut index = HashMap::with_capacity(cap_alloc(n, buf, 8));
-    for _ in 0..n {
+    let mut surfaces = Vec::with_capacity(cap_alloc(n, buf, 8));
+    for i in 0..n {
         let surface = get_string(buf, FILE)?;
         check(buf, 4, FILE, "slot")?;
-        index.insert(surface, buf.get_u32_le());
+        let slot = buf.get_u32_le();
+        // The writer always emits dense slots in order; anything else
+        // means the file was tampered with or corrupted.
+        if slot as usize != i {
+            return Err(corrupt(FILE, format!("non-dense slot {slot} at entry {i}")));
+        }
+        surfaces.push(surface);
     }
     check(buf, 8, FILE, "data length")?;
     let len = buf.get_u64_le() as usize;
     check(buf, len, FILE, "data")?;
+    if len != n * BYTES_PER_CONCEPT {
+        return Err(corrupt(FILE, format!("data is {len} B for {n} concepts")));
+    }
     let data = buf.copy_to_bytes(len).to_vec();
     Ok(PackedInterestStore {
-        index,
-        data,
+        names: StrTable::build(surfaces.iter().map(String::as_str)),
+        data: ByteSlab::Owned(data),
         quantizers,
     })
 }
@@ -423,16 +529,15 @@ fn encode_relevance(store: &PackedRelevanceStore) -> Vec<u8> {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
     buf.put_f64_le(store.score_scale);
-    buf.put_u32_le(store.index.len() as u32);
-    let mut entries: Vec<(&String, &(u32, u32))> = store.index.iter().collect();
-    entries.sort_by_key(|(_, &(s, _))| s);
-    for (surface, &(start, end)) in entries {
+    buf.put_u32_le(store.names.len() as u32);
+    // Rows are in build order, which is also ascending range order.
+    for (i, surface) in store.names.iter().enumerate() {
         put_string(&mut buf, surface);
-        buf.put_u32_le(start);
-        buf.put_u32_le(end);
+        buf.put_u32_le(store.starts[i]);
+        buf.put_u32_le(store.starts[i + 1]);
     }
     buf.put_u64_le(store.pairs.len() as u64);
-    for &p in &store.pairs {
+    for &p in store.pairs.iter() {
         buf.put_u32_le(p);
     }
     buf.to_vec()
@@ -445,8 +550,13 @@ fn decode_relevance(buf: &mut Bytes) -> Result<PackedRelevanceStore, PersistErro
         return Err(corrupt(FILE, "bad magic"));
     }
     let score_scale = buf.get_f64_le();
+    if !score_scale.is_finite() {
+        return Err(corrupt(FILE, "score scale is not finite"));
+    }
     let n = buf.get_u32_le() as usize;
-    let mut index = HashMap::with_capacity(cap_alloc(n, buf, 12));
+    let mut surfaces = Vec::with_capacity(cap_alloc(n, buf, 12));
+    let mut starts = Vec::with_capacity(cap_alloc(n, buf, 12) + 1);
+    starts.push(0u32);
     for _ in 0..n {
         let surface = get_string(buf, FILE)?;
         check(buf, 8, FILE, "range")?;
@@ -455,7 +565,13 @@ fn decode_relevance(buf: &mut Bytes) -> Result<PackedRelevanceStore, PersistErro
         if end < start {
             return Err(corrupt(FILE, "inverted range"));
         }
-        index.insert(surface, (start, end));
+        // The writer emits contiguous ranges in order; a gap or overlap
+        // means the file was tampered with or corrupted.
+        if start != *starts.last().expect("non-empty") {
+            return Err(corrupt(FILE, "non-contiguous range"));
+        }
+        starts.push(end);
+        surfaces.push(surface);
     }
     check(buf, 8, FILE, "pair count")?;
     let len = buf.get_u64_le() as usize;
@@ -469,14 +585,13 @@ fn decode_relevance(buf: &mut Bytes) -> Result<PackedRelevanceStore, PersistErro
     for _ in 0..len {
         pairs.push(buf.get_u32_le());
     }
-    for &(s, e) in index.values() {
-        if e as usize > pairs.len() || s > e {
-            return Err(corrupt(FILE, "range out of bounds"));
-        }
+    if *starts.last().expect("non-empty") as usize != pairs.len() {
+        return Err(corrupt(FILE, "range out of bounds"));
     }
     Ok(PackedRelevanceStore {
-        index,
-        pairs,
+        names: StrTable::build(surfaces.iter().map(String::as_str)),
+        starts: U32Slab::Owned(starts),
+        pairs: U32Slab::Owned(pairs),
         score_scale,
     })
 }
@@ -484,8 +599,8 @@ fn decode_relevance(buf: &mut Bytes) -> Result<PackedRelevanceStore, PersistErro
 fn encode_tids(table: &GlobalTidTable) -> Vec<u8> {
     let mut buf = BytesMut::new();
     buf.put_u32_le(MAGIC);
-    buf.put_u32_le(table.terms.len() as u32);
-    for term in &table.terms {
+    buf.put_u32_le(table.len() as u32);
+    for term in table.iter_terms() {
         put_string(&mut buf, term);
     }
     buf.to_vec()
@@ -498,15 +613,11 @@ fn decode_tids(buf: &mut Bytes) -> Result<GlobalTidTable, PersistError> {
         return Err(corrupt(FILE, "bad magic"));
     }
     let n = buf.get_u32_le() as usize;
-    let cap = cap_alloc(n, buf, 4);
-    let mut terms = Vec::with_capacity(cap);
-    let mut ids = HashMap::with_capacity(cap);
-    for i in 0..n {
-        let term = get_string(buf, FILE)?;
-        ids.insert(term.clone(), TermId(i as u32));
-        terms.push(term);
+    let mut terms = Vec::with_capacity(cap_alloc(n, buf, 4));
+    for _ in 0..n {
+        terms.push(get_string(buf, FILE)?);
     }
-    Ok(GlobalTidTable { ids, terms })
+    Ok(GlobalTidTable::from_terms(terms))
 }
 
 #[cfg(test)]
@@ -594,11 +705,45 @@ mod tests {
     }
 
     #[test]
+    fn arena_save_writes_single_file() {
+        let ranker = sample_ranker();
+        let dir =
+            std::env::temp_dir().join(format!("ctxrank_persist_arena_{}", std::process::id()));
+        save_ranker(&ranker, &dir).expect("save");
+        assert!(dir.join(F_ARENA).exists(), "arena file written");
+        assert!(!dir.join(F_INTEREST).exists(), "no legacy data files");
+        assert!(!dir.join(F_MANIFEST).exists(), "no legacy manifest");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_save_roundtrips_and_matches_arena() {
+        let ranker = sample_ranker();
+        let dir = std::env::temp_dir().join(format!("ctxrank_persist_both_{}", std::process::id()));
+        save_snapshot_legacy(ranker.snapshot(), &dir).expect("legacy save");
+        assert!(!dir.join(F_ARENA).exists());
+        let legacy = load_ranker(&dir).expect("legacy load");
+        save_ranker(&ranker, &dir).expect("arena save");
+        let arena = load_ranker(&dir).expect("arena load");
+
+        let candidates: Vec<String> = (0..12).map(|i| format!("concept {i}")).collect();
+        let text = "kw1 kw5 kw9 filler words here";
+        let a = legacy.rank(text, &candidates);
+        let b = arena.rank(text, &candidates);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.surface, y.surface);
+            assert_eq!(x.score, y.score, "legacy and arena loads must agree");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn legacy_directory_without_manifest_loads() {
         let ranker = sample_ranker();
         let dir =
             std::env::temp_dir().join(format!("ctxrank_persist_legacy_{}", std::process::id()));
-        save_ranker(&ranker, &dir).expect("save");
+        save_snapshot_legacy(ranker.snapshot(), &dir).expect("save");
         std::fs::remove_file(dir.join("snapshot.json")).expect("remove manifest");
         let loaded = load_ranker(&dir).expect("legacy load");
         // A legacy artifact has no recorded epoch; it gets a fresh one.
@@ -610,7 +755,7 @@ mod tests {
     fn corrupt_magic_rejected() {
         let ranker = sample_ranker();
         let dir = std::env::temp_dir().join(format!("ctxrank_persist_bad_{}", std::process::id()));
-        save_ranker(&ranker, &dir).expect("save");
+        save_snapshot_legacy(ranker.snapshot(), &dir).expect("save");
         // Flip the magic of relevance.bin.
         let path = dir.join("relevance.bin");
         let mut bytes = std::fs::read(&path).expect("read");
@@ -628,7 +773,7 @@ mod tests {
         let ranker = sample_ranker();
         let dir =
             std::env::temp_dir().join(format!("ctxrank_persist_trunc_{}", std::process::id()));
-        save_ranker(&ranker, &dir).expect("save");
+        save_snapshot_legacy(ranker.snapshot(), &dir).expect("save");
         let path = dir.join("interest.bin");
         let bytes = std::fs::read(&path).expect("read");
         std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("write");
@@ -638,6 +783,46 @@ mod tests {
                 assert!(detail.contains("truncated"), "{detail}");
             }
             other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arena_bit_flip_rejected_everywhere() {
+        let ranker = sample_ranker();
+        let dir = std::env::temp_dir().join(format!("ctxrank_persist_flip_{}", std::process::id()));
+        save_ranker(&ranker, &dir).expect("save");
+        let path = dir.join(F_ARENA);
+        let good = std::fs::read(&path).expect("read");
+        // Flip one bit at positions spread across the whole file: the
+        // checksum (or a structural check) must reject every one.
+        let step = (good.len() / 23).max(1);
+        for byte in (0..good.len()).step_by(step) {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            std::fs::write(&path, &bad).expect("write");
+            match load_ranker(&dir) {
+                Err(PersistError::Corrupt { file, .. }) => assert_eq!(file, F_ARENA),
+                other => panic!("bit flip at byte {byte} not rejected: {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn arena_truncation_rejected() {
+        let ranker = sample_ranker();
+        let dir =
+            std::env::temp_dir().join(format!("ctxrank_persist_atrunc_{}", std::process::id()));
+        save_ranker(&ranker, &dir).expect("save");
+        let path = dir.join(F_ARENA);
+        let good = std::fs::read(&path).expect("read");
+        for keep in [0, 7, 47, 48, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..keep]).expect("write");
+            match load_ranker(&dir) {
+                Err(PersistError::Corrupt { file, .. }) => assert_eq!(file, F_ARENA),
+                other => panic!("truncation to {keep} B not rejected: {other:?}"),
+            }
         }
         std::fs::remove_dir_all(&dir).ok();
     }

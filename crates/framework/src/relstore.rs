@@ -10,9 +10,10 @@
 //! Layout of one packed pair: bits 31‥10 = TID (22 bits),
 //! bits 9‥0 = quantized score.
 
+use crate::arena::{StrTable, U32Slab};
 use crate::tid::{GlobalTidTable, TermId, MAX_TID};
 use ctxrank_features::RelevantTerms;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Scores are quantized to 10 bits.
 pub const MAX_QSCORE: u32 = 1023;
@@ -31,15 +32,19 @@ fn unpack(packed: u32) -> (TermId, u32) {
     (TermId(packed >> 10), packed & MAX_QSCORE)
 }
 
-/// The packed per-concept relevance keyword store.
+/// The packed per-concept relevance keyword store. Concept `i` (dense
+/// row order = build order) owns `pairs[starts[i]..starts[i+1]]`; the
+/// surface → row index is a [`StrTable`], so an arena-loaded store is
+/// a pure view into the snapshot buffer.
 #[derive(Debug, Clone, Default)]
 pub struct PackedRelevanceStore {
-    /// concept surface -> range into `pairs`.
-    pub(crate) index: HashMap<String, (u32, u32)>,
-    /// Packed `(TID, score)` pairs, concept ranges contiguous, sorted by
-    /// TID within each concept (enables Golomb compression of the TID
-    /// deltas).
-    pub(crate) pairs: Vec<u32>,
+    pub(crate) names: StrTable,
+    /// `len() + 1` prefix offsets into `pairs` (concept ranges are
+    /// contiguous in build order).
+    pub(crate) starts: U32Slab,
+    /// Packed `(TID, score)` pairs, sorted by TID within each concept
+    /// (enables Golomb compression of the TID deltas).
+    pub(crate) pairs: U32Slab,
     /// Global score scale: a quantized score `q` represents
     /// `q / 1023 * score_scale`.
     pub(crate) score_scale: f64,
@@ -61,10 +66,11 @@ impl PackedRelevanceStore {
             .fold(0.0_f64, f64::max)
             .max(1e-12);
 
-        let mut index = HashMap::with_capacity(concepts.len());
+        let names = StrTable::build(concepts.iter().map(|(s, _)| *s));
+        let mut starts = Vec::with_capacity(concepts.len() + 1);
+        starts.push(0u32);
         let mut pairs = Vec::new();
-        for (surface, rt) in concepts {
-            let start = pairs.len() as u32;
+        for (_, rt) in concepts {
             let mut concept_pairs: Vec<u32> = rt
                 .terms
                 .iter()
@@ -80,23 +86,30 @@ impl PackedRelevanceStore {
             // Sort by TID so the per-concept list is delta-compressible.
             concept_pairs.sort_unstable();
             pairs.extend_from_slice(&concept_pairs);
-            index.insert(surface.to_string(), (start, pairs.len() as u32));
+            starts.push(pairs.len() as u32);
         }
         Self {
-            index,
-            pairs,
+            names,
+            starts: U32Slab::Owned(starts),
+            pairs: U32Slab::Owned(pairs),
             score_scale,
         }
     }
 
+    /// The pair range of concept row `i`.
+    #[inline]
+    fn range(&self, i: u32) -> std::ops::Range<usize> {
+        self.starts[i as usize] as usize..self.starts[i as usize + 1] as usize
+    }
+
     /// Number of concepts.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.names.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.names.len() == 0
     }
 
     /// Bytes of packed pair data (excluding the hash index).
@@ -106,9 +119,9 @@ impl PackedRelevanceStore {
 
     /// The concept's packed keyword list as `(TermId, raw score)`.
     pub fn keywords(&self, surface: &str) -> Option<Vec<(TermId, f64)>> {
-        let &(start, end) = self.index.get(surface)?;
+        let i = self.names.lookup(surface)?;
         Some(
-            self.pairs[start as usize..end as usize]
+            self.pairs[self.range(i)]
                 .iter()
                 .map(|&p| {
                     let (tid, q) = unpack(p);
@@ -122,9 +135,9 @@ impl PackedRelevanceStore {
     /// concept's keywords present in the context TID set. Unknown
     /// concepts score 0.
     pub fn score(&self, surface: &str, context: &HashSet<TermId>) -> f64 {
-        match self.index.get(surface) {
+        match self.names.lookup(surface) {
             None => 0.0,
-            Some(&(start, end)) => self.pairs[start as usize..end as usize]
+            Some(i) => self.pairs[self.range(i)]
                 .iter()
                 .map(|&p| unpack(p))
                 .filter(|(tid, _)| context.contains(tid))
@@ -138,11 +151,9 @@ impl PackedRelevanceStore {
     pub fn tid_lists(&self) -> impl Iterator<Item = &[u32]> {
         // Each concept's range is sorted by packed value; since TID is in
         // the high bits, the TID sequence is sorted too.
-        let mut ranges: Vec<(u32, u32)> = self.index.values().copied().collect();
-        ranges.sort_unstable();
-        ranges
-            .into_iter()
-            .map(move |(s, e)| &self.pairs[s as usize..e as usize])
+        let pairs: &[u32] = &self.pairs;
+        let starts: &[u32] = &self.starts;
+        (0..self.len()).map(move |i| &pairs[starts[i] as usize..starts[i + 1] as usize])
     }
 
     /// The global score scale.

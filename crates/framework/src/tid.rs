@@ -6,7 +6,13 @@
 //! Global TID Table decreases as we increase the number of concepts in
 //! the system ... the largest TID value we need to support in the system
 //! is not too large and can easily fit into 22 bits."
+//!
+//! The table has two representations behind one API: a *building* form
+//! (growable `HashMap`, used by the offline pipeline while interning)
+//! and a *frozen* form (an arena-backed [`StrTable`] view created when a
+//! `snapshot.ctxr` file is loaded — no per-term allocation or decode).
 
+use crate::arena::StrTable;
 use std::collections::HashMap;
 
 /// A term id — guaranteed to fit in 22 bits.
@@ -16,52 +22,134 @@ pub struct TermId(pub u32);
 /// The largest representable TID (22 bits).
 pub const MAX_TID: u32 = (1 << 22) - 1;
 
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Offline form: supports [`GlobalTidTable::intern`].
+    Building {
+        ids: HashMap<String, TermId>,
+        terms: Vec<String>,
+    },
+    /// Arena-loaded form: lookups go through the shared string table,
+    /// term text is borrowed straight from the snapshot buffer.
+    Frozen(StrTable),
+}
+
 /// Maps stemmed terms to dense [`TermId`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct GlobalTidTable {
-    pub(crate) ids: HashMap<String, TermId>,
-    pub(crate) terms: Vec<String>,
+    repr: Repr,
+}
+
+impl Default for GlobalTidTable {
+    fn default() -> Self {
+        Self {
+            repr: Repr::Building {
+                ids: HashMap::new(),
+                terms: Vec::new(),
+            },
+        }
+    }
 }
 
 impl GlobalTidTable {
-    /// Create an empty table.
+    /// Create an empty (building) table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rehydrate a building table from dense-ordered terms (legacy
+    /// directory decode).
+    pub(crate) fn from_terms(terms: Vec<String>) -> Self {
+        let ids = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TermId(i as u32)))
+            .collect();
+        Self {
+            repr: Repr::Building { ids, terms },
+        }
+    }
+
+    /// Wrap an arena-backed string table (ids are the dense indices).
+    pub(crate) fn from_frozen(table: StrTable) -> Self {
+        Self {
+            repr: Repr::Frozen(table),
+        }
+    }
+
+    /// The table as a frozen string table — the arena encoder's view.
+    /// Cheap for an arena-loaded table; builds the hash index once for
+    /// a building table.
+    pub(crate) fn to_str_table(&self) -> StrTable {
+        match &self.repr {
+            Repr::Building { terms, .. } => StrTable::build(terms.iter().map(String::as_str)),
+            Repr::Frozen(t) => t.clone(),
+        }
     }
 
     /// Intern a term, returning its (possibly existing) id.
     ///
     /// # Panics
-    /// Panics if the table outgrows the 22-bit id space.
+    /// Panics if the table outgrows the 22-bit id space, or if called
+    /// on a frozen (arena-loaded) table — interning is an offline
+    /// operation and loaded snapshots are immutable.
     pub fn intern(&mut self, term: &str) -> TermId {
-        if let Some(&id) = self.ids.get(term) {
-            return id;
+        match &mut self.repr {
+            Repr::Building { ids, terms } => {
+                if let Some(&id) = ids.get(term) {
+                    return id;
+                }
+                let id = TermId(terms.len() as u32);
+                assert!(id.0 <= MAX_TID, "Global TID Table exceeded 22-bit id space");
+                ids.insert(term.to_string(), id);
+                terms.push(term.to_string());
+                id
+            }
+            Repr::Frozen(_) => panic!("intern on a frozen (arena-loaded) Global TID Table"),
         }
-        let id = TermId(self.terms.len() as u32);
-        assert!(id.0 <= MAX_TID, "Global TID Table exceeded 22-bit id space");
-        self.ids.insert(term.to_string(), id);
-        self.terms.push(term.to_string());
-        id
     }
 
     /// Look up a term without interning.
     pub fn get(&self, term: &str) -> Option<TermId> {
-        self.ids.get(term).copied()
+        match &self.repr {
+            Repr::Building { ids, .. } => ids.get(term).copied(),
+            Repr::Frozen(t) => t.lookup(term).map(TermId),
+        }
     }
 
     /// Reverse lookup.
     pub fn term(&self, id: TermId) -> Option<&str> {
-        self.terms.get(id.0 as usize).map(String::as_str)
+        match &self.repr {
+            Repr::Building { terms, .. } => terms.get(id.0 as usize).map(String::as_str),
+            Repr::Frozen(t) => {
+                if (id.0 as usize) < t.len() {
+                    Some(t.str_at(id.0))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Terms in dense id order.
+    pub(crate) fn iter_terms(&self) -> Box<dyn Iterator<Item = &str> + '_> {
+        match &self.repr {
+            Repr::Building { terms, .. } => Box::new(terms.iter().map(String::as_str)),
+            Repr::Frozen(t) => Box::new(t.iter()),
+        }
     }
 
     /// Number of interned terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        match &self.repr {
+            Repr::Building { terms, .. } => terms.len(),
+            Repr::Frozen(t) => t.len(),
+        }
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.len() == 0
     }
 
     /// Map a prepared context (stemmed terms) to the set of known TIDs.
@@ -125,5 +213,30 @@ mod tests {
     #[test]
     fn max_tid_is_22_bits() {
         assert_eq!(MAX_TID, 4_194_303);
+    }
+
+    #[test]
+    fn frozen_table_agrees_with_building_table() {
+        let mut built = GlobalTidTable::new();
+        for term in ["warm", "ocean", "arctic", "trade"] {
+            built.intern(term);
+        }
+        let frozen = GlobalTidTable::from_frozen(built.to_str_table());
+        assert_eq!(frozen.len(), built.len());
+        for term in ["warm", "ocean", "arctic", "trade", "missing"] {
+            assert_eq!(frozen.get(term), built.get(term), "{term}");
+        }
+        for id in 0..=4 {
+            assert_eq!(frozen.term(TermId(id)), built.term(TermId(id)));
+        }
+        let ctx = ["warm", "unknown", "trade"];
+        assert_eq!(frozen.context_tids(ctx), built.context_tids(ctx));
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn intern_on_frozen_panics() {
+        let mut t = GlobalTidTable::from_frozen(GlobalTidTable::new().to_str_table());
+        t.intern("nope");
     }
 }

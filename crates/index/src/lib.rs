@@ -31,7 +31,10 @@ mod search;
 mod snippet;
 mod tfidf;
 
-pub use postings::{DocId, Posting, Postings};
+pub use postings::{
+    decode_all, decode_block, encode_blocks, read_varint, write_varint, DocId, PostingRef,
+    Postings, SkipEntry, BLOCK,
+};
 pub use search::SearchHit;
 pub use snippet::{snippet, DEFAULT_CONTEXT_TOKENS};
 pub use tfidf::{tf_idf_weight, TermVector};
@@ -102,19 +105,24 @@ impl IndexBuilder {
     }
 
     /// Freeze the collection into a searchable [`Index`]. Postings are
-    /// keyed by dense [`TermId`], one list per vocabulary slot.
+    /// keyed by dense [`TermId`], one list per vocabulary slot,
+    /// block-coded on freeze (delta-varint runs plus skip entries).
     pub fn build(self) -> Index {
-        let mut postings: Vec<Postings> = vec![Postings::default(); self.interner.len()];
+        let mut builders: Vec<postings::PostingsBuilder> =
+            vec![postings::PostingsBuilder::default(); self.interner.len()];
         for (doc_idx, doc) in self.docs.iter().enumerate() {
             let id = DocId(doc_idx as u32);
             for (pos, term_id) in doc.term_ids.iter().enumerate() {
-                postings[term_id.idx()].push(id, pos as u32);
+                builders[term_id.idx()].push(id, pos as u32);
             }
         }
         Index {
             docs: self.docs,
             interner: self.interner,
-            postings,
+            postings: builders
+                .into_iter()
+                .map(postings::PostingsBuilder::freeze)
+                .collect(),
         }
     }
 }

@@ -1,6 +1,6 @@
 //! Ranked retrieval, conjunctive queries and phrase queries.
 
-use crate::postings::{DocId, Posting};
+use crate::postings::{DocId, Postings};
 use crate::tfidf::tf_idf_weight;
 use crate::Index;
 
@@ -15,32 +15,26 @@ pub struct SearchHit {
     pub first_match: u32,
 }
 
-/// In-place sorted intersection of `docs` with the documents of
-/// `entries`. Both sides are ascending; the cursor into `entries`
-/// advances by doubling probes followed by a binary search over the
-/// bracketed range, so runtime is `O(n log(m/n))` when `entries` is much
-/// longer than `docs` and degrades gracefully to a linear merge when the
-/// lists are similar in length.
-fn intersect_galloping(docs: &mut Vec<DocId>, entries: &[Posting]) {
-    let mut j = 0usize;
+/// In-place sorted intersection of `docs` with a block-coded postings
+/// list. Both sides are ascending; the cursor gallops block-to-block
+/// over the skip table and then inside the decoded block (doubling
+/// probes followed by a binary search over the bracketed range), so
+/// runtime is `O(n log(m/n))` when the list is much longer than `docs`
+/// — whole blocks that bracket no candidate are never decoded — and
+/// degrades gracefully to a linear merge when the lists are similar in
+/// length.
+fn intersect_galloping(docs: &mut Vec<DocId>, list: &Postings) {
+    let mut cur = list.cursor();
     let mut keep = 0usize;
     for i in 0..docs.len() {
         let d = docs[i];
-        if j >= entries.len() {
-            break;
-        }
-        if entries[j].doc < d {
-            let mut step = 1usize;
-            while j + step < entries.len() && entries[j + step].doc < d {
-                step <<= 1;
+        match cur.seek(d) {
+            Some(r) if r.doc == d => {
+                docs[keep] = d;
+                keep += 1;
             }
-            let hi = (j + step + 1).min(entries.len());
-            j += entries[j..hi].partition_point(|p| p.doc < d);
-        }
-        if j < entries.len() && entries[j].doc == d {
-            docs[keep] = d;
-            keep += 1;
-            j += 1;
+            Some(_) => {}
+            None => break,
         }
     }
     docs.truncate(keep);
@@ -165,7 +159,7 @@ impl Index {
         lists.sort_by_key(|p| p.doc_count());
         let mut docs: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
         for list in &lists[1..] {
-            intersect_galloping(&mut docs, list.entries());
+            intersect_galloping(&mut docs, list);
             if docs.is_empty() {
                 break;
             }
@@ -183,7 +177,7 @@ impl Index {
             return Some(
                 self.postings(&terms[0])?
                     .iter()
-                    .map(|p| (p.doc, p.positions.clone()))
+                    .map(|p| (p.doc, p.positions.to_vec()))
                     .collect(),
             );
         }
@@ -192,14 +186,19 @@ impl Index {
             .iter()
             .map(|t| self.postings(t).expect("candidate_docs verified presence"))
             .collect();
+        // One monotone cursor per term: the intersection is ascending,
+        // so each document lookup resumes where the last one stopped
+        // and never re-decodes a block.
+        let mut cursors: Vec<_> = lists.iter().map(|l| l.cursor()).collect();
         let mut out = Vec::new();
         for doc in docs {
-            let entries: Vec<&Posting> = lists
-                .iter()
-                .map(|l| l.get(doc).expect("doc in intersection"))
+            let entries: Vec<crate::PostingRef<'_>> = cursors
+                .iter_mut()
+                .map(|c| c.seek(doc).expect("doc in intersection"))
                 .collect();
+            debug_assert!(entries.iter().all(|e| e.doc == doc));
             let mut starts = Vec::new();
-            for &p0 in &entries[0].positions {
+            for &p0 in entries[0].positions {
                 let aligned = entries[1..]
                     .iter()
                     .enumerate()
@@ -305,8 +304,10 @@ mod tests {
 
     #[test]
     fn galloping_intersection_matches_naive() {
-        use crate::postings::{DocId, Posting};
-        // Deterministic pseudo-random doc id sets of very different sizes.
+        use crate::postings::{DocId, PostingsBuilder};
+        // Deterministic pseudo-random doc id sets of very different
+        // sizes; the big side spans many coded blocks so the cursor's
+        // skip-table galloping is exercised, not just in-block search.
         let mut x: u64 = 0x9e3779b97f4a7c15;
         let mut next = move |m: u64| {
             x ^= x << 13;
@@ -323,20 +324,18 @@ mod tests {
             big.extend(small.iter().copied().step_by(2));
             big.sort_unstable();
             big.dedup();
-            let entries: Vec<Posting> = big
-                .iter()
-                .map(|&d| Posting {
-                    doc: DocId(d),
-                    positions: vec![0],
-                })
-                .collect();
+            let mut builder = PostingsBuilder::default();
+            for &d in &big {
+                builder.push(DocId(d), 0);
+            }
+            let list = builder.freeze();
             let expect: Vec<DocId> = small
                 .iter()
                 .filter(|d| big.binary_search(d).is_ok())
                 .map(|&d| DocId(d))
                 .collect();
             let mut docs: Vec<DocId> = small.iter().map(|&d| DocId(d)).collect();
-            super::intersect_galloping(&mut docs, &entries);
+            super::intersect_galloping(&mut docs, &list);
             assert_eq!(docs, expect, "n_small={n_small} n_big={n_big}");
         }
     }

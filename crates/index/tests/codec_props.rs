@@ -1,0 +1,79 @@
+//! Property tests for the delta-varint block codec: encode→decode is
+//! the identity on every strictly-increasing doc id sequence, including
+//! the empty list, single entries, and maximum-delta runs.
+
+use ctxrank_index::{decode_all, decode_block, encode_blocks, BLOCK};
+use proptest::prelude::*;
+
+/// Strictly-increasing doc ids from (start, gap) pairs.
+fn docs_from(parts: &[(u32, u32)]) -> Vec<u32> {
+    let mut docs = Vec::with_capacity(parts.len());
+    let mut cur = 0u64;
+    for &(start, gap) in parts {
+        cur += u64::from(start % 97) + u64::from(gap) + 1;
+        if cur > u64::from(u32::MAX) {
+            break;
+        }
+        docs.push(cur as u32);
+    }
+    docs
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_identity(
+        parts in prop::collection::vec((0u32..10_000, 0u32..50_000), 0..700),
+    ) {
+        let docs = docs_from(&parts);
+        let (bytes, skips) = encode_blocks(&docs);
+        prop_assert_eq!(skips.len(), docs.len().div_ceil(BLOCK));
+        prop_assert_eq!(decode_all(&bytes, &skips, docs.len()), docs);
+    }
+
+    #[test]
+    fn per_block_decode_matches_slices(
+        parts in prop::collection::vec((0u32..100, 0u32..300), 1..600),
+    ) {
+        let docs = docs_from(&parts);
+        let (bytes, skips) = encode_blocks(&docs);
+        let mut buf = [0u32; BLOCK];
+        for (b, skip) in skips.iter().enumerate() {
+            let len = decode_block(&bytes, &skips, docs.len(), b, &mut buf);
+            let expect = &docs[b * BLOCK..(b * BLOCK + len).min(docs.len())];
+            prop_assert_eq!(len, expect.len());
+            prop_assert_eq!(&buf[..len], expect);
+            prop_assert_eq!(skip.first, expect[0]);
+            prop_assert_eq!(skip.last, *expect.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn max_delta_runs_roundtrip(deltas in prop::collection::vec(Just(u32::MAX >> 1), 0..5)) {
+        // Deltas of ~2^31 force the 5-byte varint path and straddle the
+        // unrolled fast loop.
+        let mut docs = vec![0u32];
+        let mut cur = 0u64;
+        for &d in &deltas {
+            cur += u64::from(d);
+            if cur > u64::from(u32::MAX) {
+                break;
+            }
+            docs.push(cur as u32);
+        }
+        let (bytes, skips) = encode_blocks(&docs);
+        prop_assert_eq!(decode_all(&bytes, &skips, docs.len()), docs);
+    }
+
+    #[test]
+    fn empty_and_single(doc in 0u32..=u32::MAX) {
+        let (bytes, skips) = encode_blocks(&[]);
+        prop_assert!(bytes.is_empty());
+        prop_assert!(skips.is_empty());
+        prop_assert_eq!(decode_all(&bytes, &skips, 0), Vec::<u32>::new());
+
+        let (bytes, skips) = encode_blocks(&[doc]);
+        prop_assert!(bytes.is_empty(), "single entry lives in the skip entry");
+        prop_assert_eq!(skips.len(), 1);
+        prop_assert_eq!(decode_all(&bytes, &skips, 1), vec![doc]);
+    }
+}

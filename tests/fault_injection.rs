@@ -19,11 +19,11 @@
 use ctxrank_faultsim::net::{
     send_oversized, send_partial_request, send_slowloris, send_then_vanish, NetOutcome,
 };
-use ctxrank_faultsim::{seed_from_env, FaultPlan, FaultyFs};
+use ctxrank_faultsim::{seed_from_env, FaultKind, FaultPlan, FaultyFs};
 use ctxrank_features::{InterestFeatures, RelevantTerms};
 use ctxrank_framework::persist::{
-    load_service, load_service_with, load_snapshot_with, save_service, save_service_with,
-    save_snapshot_with, PersistError,
+    load_service, load_service_with, load_snapshot, load_snapshot_with, save_service,
+    save_service_with, save_snapshot, save_snapshot_legacy, save_snapshot_with, PersistError,
 };
 use ctxrank_framework::{
     GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot,
@@ -224,6 +224,160 @@ fn empty_plan_changes_nothing() {
     assert_eq!(via_faultsim.epoch(), handle.epoch());
     assert_eq!(probe(&via_faultsim), clean_score);
     assert_eq!(probe(&via_std), clean_score);
+}
+
+// --------------------------------------------------------- arena format
+
+/// The arena-format acceptance sweep: 200 seeded iterations of torn
+/// writes against `snapshot.ctxr` followed by bit flips / truncation
+/// on the read side. On every seed:
+///
+/// * a torn save never clobbers the committed arena file — the
+///   `.tmp` → rename commit means a clean load always sees exactly the
+///   previous good snapshot or the new one, never a prefix;
+/// * a faulty load returns the intact snapshot or a typed
+///   [`PersistError`] — the whole-file checksum means a flipped bit
+///   can never decode into silently wrong data.
+#[test]
+fn arena_sweep_torn_writes_and_bit_flips_over_snapshot_ctxr() {
+    let base = seed_from_env(0xDEAD_BEEF);
+    announce("arena_sweep", base);
+
+    let good = snapshot(10.0);
+    let next = snapshot(20.0);
+    let good_score = probe(&ServiceHandle::new(Arc::clone(&good)));
+    let next_score = probe(&ServiceHandle::new(Arc::clone(&next)));
+    let expected = |epoch: u64, seed: u64| {
+        if epoch == good.epoch() {
+            good_score
+        } else if epoch == next.epoch() {
+            next_score
+        } else {
+            panic!("seed {seed}: loaded epoch {epoch} is neither good nor next");
+        }
+    };
+
+    let mut torn_saves = 0u32;
+    let mut clean_saves = 0u32;
+    let mut faulted_loads = 0u32;
+    let mut intact_loads = 0u32;
+    for iter in 0..200u64 {
+        let seed = base.wrapping_add(iter);
+        let dir = TempDir::new("arena");
+
+        // A committed good arena file.
+        save_snapshot(&good, dir.path()).expect("clean arena save");
+        assert!(
+            dir.path().join("snapshot.ctxr").exists(),
+            "arena save must produce snapshot.ctxr"
+        );
+
+        // Tear the save of a newer snapshot on top of it. Write faults
+        // only, so every failure here is a torn `snapshot.ctxr.tmp`.
+        let fs = FaultyFs::new(Arc::new(FaultPlan::with_kinds(
+            seed,
+            250,
+            &[],
+            &[FaultKind::TornWrite],
+        )));
+        match save_snapshot_with(&next, dir.path(), &fs) {
+            Ok(()) => clean_saves += 1,
+            Err(e) => {
+                let _ = e.to_string();
+                torn_saves += 1;
+            }
+        }
+
+        // Clean load: exactly one of the two good snapshots, with the
+        // relevance that snapshot actually computes.
+        let loaded = load_snapshot(dir.path())
+            .unwrap_or_else(|e| panic!("seed {seed}: torn save clobbered the arena file: {e}"));
+        let score = probe(&ServiceHandle::new(Arc::clone(&loaded)));
+        let want = expected(loaded.epoch(), seed);
+        assert!(
+            (score - want).abs() < 0.5,
+            "seed {seed}: epoch {} served {score}, want ~{want}",
+            loaded.epoch()
+        );
+
+        // Faulty load of the committed file: bit flips, truncation and
+        // short reads. `Ok` must be byte-intact (registered score),
+        // anything else a typed error — never a panic, never a wrong
+        // score.
+        let fs = FaultyFs::new(Arc::new(FaultPlan::with_kinds(
+            seed ^ 0x0BAD_F00D,
+            250,
+            &[FaultKind::BitFlip, FaultKind::Eof, FaultKind::ShortRead],
+            &[],
+        )));
+        match load_snapshot_with(dir.path(), &fs) {
+            Ok(s) => {
+                intact_loads += 1;
+                let score = probe(&ServiceHandle::new(Arc::clone(&s)));
+                let want = expected(s.epoch(), seed);
+                assert!(
+                    (score - want).abs() < 0.5,
+                    "seed {seed}: faulted load decoded silently wrong data \
+                     (epoch {} served {score}, want ~{want})",
+                    s.epoch()
+                );
+            }
+            Err(e @ (PersistError::Io { .. } | PersistError::Corrupt { .. })) => {
+                let _ = e.to_string();
+                faulted_loads += 1;
+            }
+        }
+    }
+    eprintln!(
+        "arena_sweep: {torn_saves} torn saves, {clean_saves} clean saves, \
+         {faulted_loads} rejected loads, {intact_loads} intact loads over 200 iterations"
+    );
+    // The schedule must actually have hit all four regimes; an all-zero
+    // counter means the sweep is not exercising what it claims to.
+    assert!(torn_saves > 0, "no save was ever torn at 25% injection");
+    assert!(clean_saves > 0, "no save ever survived at 25% injection");
+    assert!(
+        faulted_loads > 0,
+        "no load was ever rejected at 25% injection"
+    );
+    assert!(intact_loads > 0, "no load ever survived at 25% injection");
+}
+
+/// The legacy directory format and the arena file are two encodings of
+/// the same snapshot: loading either must produce identical epochs and
+/// identical rank output.
+#[test]
+fn legacy_and_arena_loads_agree_on_rank() {
+    let legacy_dir = TempDir::new("parity-legacy");
+    let arena_dir = TempDir::new("parity-arena");
+    let snap = snapshot(40.0);
+
+    save_snapshot_legacy(&snap, legacy_dir.path()).expect("legacy save");
+    save_snapshot(&snap, arena_dir.path()).expect("arena save");
+    assert!(
+        !legacy_dir.path().join("snapshot.ctxr").exists(),
+        "legacy save must not write the arena file"
+    );
+
+    let via_legacy = load_snapshot(legacy_dir.path()).expect("legacy load");
+    let via_arena = load_snapshot(arena_dir.path()).expect("arena load");
+    assert_eq!(via_legacy.epoch(), via_arena.epoch());
+    assert_eq!(via_legacy.epoch(), snap.epoch());
+
+    let legacy_handle = ServiceHandle::new(via_legacy);
+    let arena_handle = ServiceHandle::new(via_arena);
+    assert_eq!(probe(&legacy_handle), probe(&arena_handle));
+    // Full rank output, not just the probe: same candidates, same
+    // order, same scores, bit for bit.
+    let candidates = vec!["solar flares".to_string(), "unknown concept".to_string()];
+    let a = legacy_handle.rank(PROBE_TEXT, &candidates);
+    let b = arena_handle.rank(PROBE_TEXT, &candidates);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.surface, y.surface);
+        assert_eq!(x.score, y.score);
+        assert_eq!(x.relevance, y.relevance);
+    }
 }
 
 // --------------------------------------------------------------- serve
