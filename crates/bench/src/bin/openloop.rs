@@ -1,0 +1,126 @@
+//! Standalone open-loop load generator CLI.
+//!
+//! Fires Poisson arrivals at a fixed offered rate against an already
+//! running `ctxrank-serve` instance (e.g. the `serve_demo` example) and
+//! prints one JSON report line. Latencies are measured from each
+//! request's *scheduled* arrival time — no coordinated omission — so a
+//! struggling server shows up in the tail, not in a quietly reduced
+//! request count. CI uses this as a smoke test against `serve_demo`.
+//!
+//! ```text
+//! openloop ADDR [--rps N] [--duration-ms N] [--connections N]
+//!               [--distinct N] [--exponent F] [--slo-ms N] [--seed N]
+//! ```
+//!
+//! Bodies are self-generated synthetic page fragments (no experiment
+//! build needed), so the binary starts instantly; `--distinct` controls
+//! the size of the query universe the Zipf mix ranges over, which is
+//! what sets the achievable cache hit rate on the server side.
+
+use ctxrank_bench::{run_open_loop, OpenLoopConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: openloop ADDR [--rps N] [--duration-ms N] [--connections N] \
+         [--distinct N] [--exponent F] [--slo-ms N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+/// `--distinct` synthetic `/rank` bodies: ~300-byte texts with a small
+/// candidate list each, distinct per index so the server cache sees
+/// exactly this many keys.
+fn synthetic_bodies(distinct: usize) -> Vec<String> {
+    (0..distinct)
+        .map(|i| {
+            let filler = "solar observatory monitoring continues amid heightened activity; ";
+            let mut text = format!("sunspot activity report number {i}: ");
+            while text.len() < 300 {
+                text.push_str(filler);
+            }
+            text.truncate(300);
+            serde_json::to_string(&serde_json::json!({
+                "text": text,
+                "candidates": serde_json::Value::Seq(vec![
+                    serde_json::Value::Str("solar flares".to_string()),
+                    serde_json::Value::Str("radiation storm".to_string()),
+                ]),
+            }))
+            .expect("render body")
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut rps = 100.0f64;
+    let mut duration_ms = 2000u64;
+    let mut connections = 16usize;
+    let mut distinct = 64usize;
+    let mut exponent = 1.2f64;
+    let mut slo_ms = 50u64;
+    let mut seed = 0x09E7_100Bu64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--rps" => rps = value("--rps").parse().unwrap_or_else(|_| usage()),
+            "--duration-ms" => {
+                duration_ms = value("--duration-ms").parse().unwrap_or_else(|_| usage())
+            }
+            "--connections" => {
+                connections = value("--connections").parse().unwrap_or_else(|_| usage())
+            }
+            "--distinct" => distinct = value("--distinct").parse().unwrap_or_else(|_| usage()),
+            "--exponent" => exponent = value("--exponent").parse().unwrap_or_else(|_| usage()),
+            "--slo-ms" => slo_ms = value("--slo-ms").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other if addr.is_none() && !other.starts_with("--") => {
+                addr = Some(other.parse().unwrap_or_else(|e| {
+                    eprintln!("bad address {other}: {e}");
+                    usage()
+                }))
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let config = OpenLoopConfig {
+        offered_rps: rps,
+        duration: Duration::from_millis(duration_ms),
+        connections,
+        zipf_exponent: exponent,
+        seed,
+        slo_p99: Duration::from_millis(slo_ms),
+    };
+    let bodies = synthetic_bodies(distinct.max(1));
+    let report = run_open_loop(addr, &bodies, &config);
+    let mut row = report.to_json();
+    if let serde_json::Value::Map(entries) = &mut row {
+        entries.push((
+            "meets_slo".to_string(),
+            serde_json::Value::Bool(report.meets_slo()),
+        ));
+    }
+    println!("{}", serde_json::to_string(&row).expect("render report"));
+    if report.ok == 0 {
+        eprintln!("open loop got zero successful responses");
+        std::process::exit(1);
+    }
+}

@@ -12,6 +12,7 @@
 pub mod dataset;
 pub mod experiment;
 pub mod loopback;
+pub mod openloop;
 pub mod production;
 pub mod rankers;
 pub mod report;
@@ -21,7 +22,11 @@ pub use dataset::{Dataset, Item, WindowGroup};
 pub use experiment::{Experiment, ExperimentConfig};
 pub use loopback::{
     drive_loopback_pass, loopback_config, loopback_workload, LoopbackWorkload, LOOPBACK_CLIENTS,
-    LOOPBACK_REQUESTS_PER_CLIENT,
+    LOOPBACK_DOC_BYTES, LOOPBACK_REQUESTS_PER_CLIENT,
+};
+pub use openloop::{
+    max_sustainable_rps, openloop_bodies, openloop_server_config, run_open_loop, OpenLoopConfig,
+    OpenLoopReport,
 };
 pub use production::{build_runtime_ranker, build_snapshot};
 pub use rankers::{evaluate_fixed, evaluate_learned, EvalResult, FeatureSet};

@@ -1,0 +1,429 @@
+//! Open-loop load generator with tail-latency SLOs.
+//!
+//! The loopback bench ([`crate::loopback`]) is *closed-loop*: each
+//! client thread sends its next request only after the previous
+//! response arrives, so a slow server slows the offered load and the
+//! measured latencies silently forgive every stall — the classic
+//! *coordinated omission* trap. Real portal traffic does not wait:
+//! arrivals are a Poisson process at whatever rate the world offers.
+//!
+//! This module drives exactly that: requests are scheduled on a fixed
+//! Poisson timeline at `offered_rps` **before** the run starts, each
+//! lane fires at its scheduled instants regardless of how the server is
+//! doing, and every latency is measured **from the scheduled arrival
+//! time**, not from when the lane got around to sending. A stalled
+//! server therefore shows up as inflated tail latencies (the truth)
+//! instead of reduced throughput (the lie).
+//!
+//! The query mix is Zipf-skewed over a fixed body pool
+//! ([`ctxrank_synth::ZipfQueryMix`]), matching the head-heavy profile
+//! the serve-layer result cache is designed for; an exponent of 0
+//! degenerates to a uniform (cache-hostile) mix.
+//!
+//! [`max_sustainable_rps`] climbs a rate ladder and reports the highest
+//! offered rate whose p99 still meets the declared SLO — the headline
+//! capacity number in `BENCH_throughput.json`'s `server_openloop` rows.
+
+use ctxrank_serve::client::{ClientConfig, Conn};
+use ctxrank_synth::ZipfQueryMix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Knobs for one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rate (requests per second across all lanes).
+    pub offered_rps: f64,
+    /// How long the arrival schedule runs.
+    pub duration: Duration,
+    /// Concurrent connection lanes arrivals are dealt onto. Must exceed
+    /// `offered_rps × worst-case latency` or the lanes themselves
+    /// become the bottleneck (which the report shows honestly as
+    /// schedule slip, but is not the server's fault) — yet must NOT
+    /// exceed the server's worker pool: a `ctxrank-serve` worker owns a
+    /// connection for its whole keep-alive session (DESIGN.md §10.1),
+    /// so surplus keep-alive lanes starve until another lane's
+    /// connection closes, which reads as a near-keep-alive-timeout
+    /// latency spike the server never actually imposed on anyone.
+    pub connections: usize,
+    /// Zipf exponent of the query mix (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Seed for both the Poisson schedule and the query mix.
+    pub seed: u64,
+    /// The p99 service-level objective checked by
+    /// [`OpenLoopReport::meets_slo`].
+    pub slo_p99: Duration,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            offered_rps: 200.0,
+            duration: Duration::from_secs(2),
+            connections: 16,
+            zipf_exponent: 1.2,
+            seed: 0x09E7_100B,
+            slo_p99: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What one open-loop run observed.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// The rate the schedule offered.
+    pub offered_rps: f64,
+    /// Arrivals in the schedule.
+    pub sent: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// 503 responses (server shed under pressure).
+    pub shed: usize,
+    /// Transport failures (timeouts, resets); the lane reconnects.
+    pub errors: usize,
+    /// `ok / wall_clock` — trails `offered_rps` when the server cannot
+    /// keep up.
+    pub achieved_rps: f64,
+    /// Latency percentiles in milliseconds, measured from each
+    /// request's *scheduled* arrival (no coordinated omission).
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub p999_ms: f64,
+    pub max_ms: f64,
+    /// The SLO this run was checked against, for the record.
+    pub slo_p99_ms: f64,
+}
+
+impl OpenLoopReport {
+    /// Did this run hold the declared p99 SLO while actually serving
+    /// the offered load? Sheds and errors beyond 1% also fail: a server
+    /// that "meets p99" by refusing work is not meeting capacity.
+    pub fn meets_slo(&self) -> bool {
+        self.ok > 0
+            && self.p99_ms <= self.slo_p99_ms
+            && (self.shed + self.errors) as f64 <= 0.01 * self.sent as f64
+    }
+
+    /// The row rendered into `BENCH_throughput.json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "offered_rps": self.offered_rps,
+            "sent": self.sent as u64,
+            "ok": self.ok as u64,
+            "shed": self.shed as u64,
+            "errors": self.errors as u64,
+            "achieved_rps": self.achieved_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "max_ms": self.max_ms,
+            "slo_p99_ms": self.slo_p99_ms,
+        })
+    }
+}
+
+/// One lane's pre-dealt schedule: (offset from run start, body index).
+type Lane = Vec<(Duration, usize)>;
+
+/// Deal a Poisson arrival schedule at `config.offered_rps` onto
+/// `config.connections` lanes, with Zipf-sampled body indices. Built
+/// before the clock starts so generation cost never skews arrivals.
+fn build_schedule(config: &OpenLoopConfig, bodies: usize) -> Vec<Lane> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut mix = ZipfQueryMix::new(bodies, config.zipf_exponent, config.seed ^ 0x5A1F);
+    let mut lanes: Vec<Lane> = vec![Vec::new(); config.connections.max(1)];
+    let mut at = 0.0f64;
+    let mut i = 0usize;
+    loop {
+        // Exponential inter-arrival: -ln(1-u)/rate, u ∈ [0, 1).
+        let u: f64 = rng.random();
+        at += -(1.0 - u).ln() / config.offered_rps;
+        if at >= config.duration.as_secs_f64() {
+            break;
+        }
+        let lane = i % lanes.len();
+        lanes[lane].push((Duration::from_secs_f64(at), mix.next_index()));
+        i += 1;
+    }
+    lanes
+}
+
+/// Sleep coarsely, then spin the final stretch: `thread::sleep` alone
+/// overshoots by scheduler quanta, which at thousands of RPS would
+/// smear the whole arrival process.
+fn wait_until(start: Instant, offset: Duration) {
+    let coarse = offset.saturating_sub(Duration::from_micros(200));
+    let now = start.elapsed();
+    if now < coarse {
+        std::thread::sleep(coarse - now);
+    }
+    while start.elapsed() < offset {
+        std::hint::spin_loop();
+    }
+}
+
+/// Drive one open-loop run against `addr`, drawing request bodies from
+/// `bodies` under the configured Zipf mix. Returns the observed report;
+/// panics only on setup failures (cannot connect at all), never on
+/// server responses — 503s and transport errors are counted, not fatal.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    bodies: &[String],
+    config: &OpenLoopConfig,
+) -> OpenLoopReport {
+    assert!(!bodies.is_empty(), "open loop needs at least one body");
+    assert!(config.offered_rps > 0.0, "offered_rps must be positive");
+    let lanes = build_schedule(config, bodies.len());
+    let sent: usize = lanes.iter().map(Vec::len).sum();
+    let client_config = ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(5),
+        ..ClientConfig::default()
+    };
+
+    let start = Instant::now();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut errors = 0usize;
+    let mut latencies: Vec<Duration> = Vec::with_capacity(sent);
+    std::thread::scope(|scope| {
+        let threads: Vec<_> = lanes
+            .iter()
+            .map(|lane| {
+                let client_config = &client_config;
+                scope.spawn(move || {
+                    let mut conn = Conn::connect_with(addr, client_config).ok();
+                    let mut lane_ok = 0usize;
+                    let mut lane_shed = 0usize;
+                    let mut lane_errors = 0usize;
+                    let mut lane_lat = Vec::with_capacity(lane.len());
+                    for &(offset, body_idx) in lane {
+                        wait_until(start, offset);
+                        if conn.is_none() {
+                            conn = Conn::connect_with(addr, client_config).ok();
+                        }
+                        let result = match conn.as_mut() {
+                            Some(c) => c.request("POST", "/rank", Some(&bodies[body_idx])),
+                            None => {
+                                lane_errors += 1;
+                                continue;
+                            }
+                        };
+                        // Latency from the SCHEDULED arrival: a lane
+                        // running late (server backed up) charges the
+                        // backlog to every waiting request, exactly as
+                        // a real arrival would experience it.
+                        let since_arrival = start.elapsed().saturating_sub(offset);
+                        match result {
+                            Ok((200, _, _)) => {
+                                lane_ok += 1;
+                                lane_lat.push(since_arrival);
+                            }
+                            Ok((503, _, _)) => lane_shed += 1,
+                            Ok(_) => lane_errors += 1,
+                            Err(_) => {
+                                // Broken transport: drop the connection
+                                // and rebuild on the next arrival.
+                                lane_errors += 1;
+                                conn = None;
+                            }
+                        }
+                    }
+                    (lane_ok, lane_shed, lane_errors, lane_lat)
+                })
+            })
+            .collect();
+        for t in threads {
+            let (lo, ls, le, ll) = t.join().expect("open-loop lane");
+            ok += lo;
+            shed += ls;
+            errors += le;
+            latencies.extend(ll);
+        }
+    });
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    latencies.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    OpenLoopReport {
+        offered_rps: config.offered_rps,
+        sent,
+        ok,
+        shed,
+        errors,
+        achieved_rps: ok as f64 / wall,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        p999_ms: pct(0.999),
+        max_ms: latencies.last().map_or(0.0, |d| d.as_secs_f64() * 1e3),
+        slo_p99_ms: config.slo_p99.as_secs_f64() * 1e3,
+    }
+}
+
+/// Climb `ladder` (ascending offered rates), running the open loop at
+/// each rung until the SLO first fails; returns the last sustainable
+/// rate (0.0 if even the first rung fails) and every report taken.
+pub fn max_sustainable_rps(
+    addr: SocketAddr,
+    bodies: &[String],
+    base: &OpenLoopConfig,
+    ladder: &[f64],
+) -> (f64, Vec<OpenLoopReport>) {
+    let mut sustained = 0.0f64;
+    let mut reports = Vec::new();
+    for &rate in ladder {
+        let config = OpenLoopConfig {
+            offered_rps: rate,
+            ..base.clone()
+        };
+        let report = run_open_loop(addr, bodies, &config);
+        let passed = report.meets_slo();
+        reports.push(report);
+        if !passed {
+            break;
+        }
+        sustained = rate;
+    }
+    (sustained, reports)
+}
+
+/// Open-loop request documents are full §VI-sized stories (~2.5 KB),
+/// not the loopback bench's 300-byte page fragments: the cache's value
+/// is the ranking work a hit *skips*, and that has to cost something
+/// for the cached/uncached comparison to measure it.
+pub const OPENLOOP_DOC_BYTES: usize = 2500;
+
+/// A pool of `distinct` pre-rendered `/rank` bodies drawn from the
+/// experiment's synthetic news stream — the fixed query universe the
+/// Zipf mix ranges over. Paper-shaped documents
+/// ([`OPENLOOP_DOC_BYTES`]) with 6 candidate surfaces each.
+pub fn openloop_bodies(exp: &crate::Experiment, distinct: usize) -> Vec<String> {
+    let surfaces: Vec<&String> = {
+        let mut s: Vec<&String> = exp.interest_raw.keys().collect();
+        s.sort_unstable();
+        s
+    };
+    (0..distinct)
+        .map(|i| {
+            let story = &exp.world.news[i % exp.world.news.len()];
+            let mut text = story.text.clone();
+            let mut cut = OPENLOOP_DOC_BYTES.min(text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            text.truncate(cut);
+            // Distinguish bodies that cycle onto the same story so the
+            // cache sees exactly `distinct` keys.
+            text.push_str(&format!(" [variant {i}]"));
+            let candidates: Vec<serde_json::Value> = (0..6)
+                .map(|j| {
+                    serde_json::Value::Str(surfaces[(i * 7 + j * 13) % surfaces.len()].clone())
+                })
+                .collect();
+            serde_json::to_string(&serde_json::json!({
+                "text": text,
+                "candidates": serde_json::Value::Seq(candidates),
+            }))
+            .expect("render body")
+        })
+        .collect()
+}
+
+/// Server configuration for the open-loop benchmark: same worker pool
+/// and queue depth as the loopback bench, with the result cache sized
+/// by the caller (0 = disabled — the uncached baseline).
+pub fn openloop_server_config(cache_capacity_bytes: usize) -> ctxrank_serve::ServeConfig {
+    ctxrank_serve::ServeConfig {
+        workers: 16,
+        queue_capacity: 4096,
+        batch_max_size: 16,
+        batch_max_wait: Duration::from_micros(50),
+        cache_capacity_bytes,
+        ..ctxrank_serve::ServeConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_respects_rate_and_duration() {
+        let config = OpenLoopConfig {
+            offered_rps: 1000.0,
+            duration: Duration::from_secs(4),
+            connections: 8,
+            zipf_exponent: 1.2,
+            seed: 7,
+            slo_p99: Duration::from_millis(50),
+        };
+        let lanes = build_schedule(&config, 64);
+        assert_eq!(lanes.len(), 8);
+        let total: usize = lanes.iter().map(Vec::len).sum();
+        // Poisson(4000): 5 sigma ≈ 316.
+        assert!(
+            (total as f64 - 4000.0).abs() < 350.0,
+            "expected ~4000 arrivals, got {total}"
+        );
+        for lane in &lanes {
+            for w in lane.windows(2) {
+                assert!(w[0].0 <= w[1].0, "lane schedule not sorted");
+            }
+            for &(at, body) in lane {
+                assert!(at < config.duration);
+                assert!(body < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_seed() {
+        let config = OpenLoopConfig {
+            offered_rps: 500.0,
+            duration: Duration::from_secs(1),
+            connections: 4,
+            zipf_exponent: 1.0,
+            seed: 42,
+            slo_p99: Duration::from_millis(50),
+        };
+        let a = build_schedule(&config, 16);
+        let b = build_schedule(&config, 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentiles_and_slo_logic() {
+        let report = OpenLoopReport {
+            offered_rps: 100.0,
+            sent: 100,
+            ok: 100,
+            shed: 0,
+            errors: 0,
+            achieved_rps: 99.0,
+            p50_ms: 1.0,
+            p99_ms: 9.0,
+            p999_ms: 12.0,
+            max_ms: 15.0,
+            slo_p99_ms: 10.0,
+        };
+        assert!(report.meets_slo());
+        let failing = OpenLoopReport {
+            p99_ms: 11.0,
+            ..report.clone()
+        };
+        assert!(!failing.meets_slo());
+        let shedding = OpenLoopReport {
+            shed: 2,
+            ..report.clone()
+        };
+        assert!(!shedding.meets_slo(), "2% shed must fail the SLO");
+    }
+}

@@ -35,7 +35,7 @@ use crate::online::OnlineCtrAdjuster;
 use crate::ranker::{RankedConcept, RuntimeRanker};
 use crate::snapshot::Snapshot;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An `ArcSwap`-style cell over [`Arc<Snapshot>`]: wait-free `load`,
@@ -44,6 +44,12 @@ pub struct SwapCell {
     /// Raw pointer to the current snapshot. Always points into an
     /// allocation kept alive by `current`/`retired` below.
     ptr: AtomicPtr<Snapshot>,
+    /// The current snapshot's epoch, mirrored out of the snapshot so
+    /// epoch-keyed callers (the serve-layer result cache probes it on
+    /// every request) read it with one atomic load instead of a full
+    /// `load()` refcount round-trip. Monotone: updated with `fetch_max`
+    /// under the publisher lock.
+    epoch: AtomicU64,
     /// Publisher-side owner of the current snapshot. Readers never
     /// touch this lock.
     current: Mutex<Arc<Snapshot>>,
@@ -56,8 +62,10 @@ impl SwapCell {
     /// A cell serving `initial`.
     pub fn new(initial: Arc<Snapshot>) -> Self {
         let ptr = AtomicPtr::new(Arc::as_ptr(&initial) as *mut Snapshot);
+        let epoch = AtomicU64::new(initial.epoch());
         Self {
             ptr,
+            epoch,
             current: Mutex::new(initial),
             retired: Mutex::new(Vec::new()),
         }
@@ -92,7 +100,17 @@ impl SwapCell {
         self.retired.lock().push(prev.clone());
         self.ptr
             .store(Arc::as_ptr(&current) as *mut Snapshot, Ordering::Release);
+        // Epochs are process-wide monotone, but `fetch_max` keeps the
+        // mirror safe even against a hostile out-of-order publish.
+        self.epoch.fetch_max(current.epoch(), Ordering::Release);
         prev
+    }
+
+    /// The current snapshot's epoch — one atomic load, no refcount
+    /// traffic. May trail [`SwapCell::load`] by the width of a publish
+    /// in flight; never moves backwards.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Number of retired (previously published) snapshots retained for
@@ -144,9 +162,12 @@ impl ServiceHandle {
         self.cell.load()
     }
 
-    /// The current snapshot's epoch.
+    /// The current snapshot's epoch. Wait-free and allocation-free:
+    /// reads the cell's mirrored epoch, so per-request probes (the
+    /// serve-layer cache keys every lookup by this) cost one atomic
+    /// load.
     pub fn epoch(&self) -> u64 {
-        self.cell.load().epoch()
+        self.cell.epoch()
     }
 
     /// A [`RuntimeRanker`] view pinned to the current snapshot. All
@@ -280,10 +301,12 @@ mod tests {
         let a = snapshot(1.0);
         let cell = SwapCell::new(a.clone());
         assert!(Arc::ptr_eq(&cell.load(), &a));
+        assert_eq!(cell.epoch(), a.epoch());
         let b = snapshot(2.0);
         let prev = cell.swap(b.clone());
         assert!(Arc::ptr_eq(&prev, &a));
         assert!(Arc::ptr_eq(&cell.load(), &b));
+        assert_eq!(cell.epoch(), b.epoch());
         assert_eq!(cell.retired_len(), 1);
     }
 

@@ -23,6 +23,7 @@
 //! in time. Shedding at the door costs the client one round trip;
 //! queueing it would cost everyone's latency.
 
+use crate::cache::ResultCache;
 use crate::http::write_response;
 use crate::metrics::{Endpoint, Metrics};
 use crate::server::render_rank_response;
@@ -43,6 +44,11 @@ pub struct RankJob {
     /// Whether the *request* asked to keep the connection open; the
     /// batcher additionally closes when the server is draining.
     pub keep_alive: bool,
+    /// [`crate::cache::query_hash`] of (text, candidates), computed by
+    /// the worker that already probed the cache and missed. `None` when
+    /// the cache is disabled. The batcher uses it to insert the
+    /// rendered body under the epoch that ranked it.
+    pub query_hash: Option<u64>,
 }
 
 struct Queue {
@@ -80,6 +86,7 @@ impl Batcher {
     pub fn start(
         handle: Arc<ServiceHandle>,
         metrics: Arc<Metrics>,
+        cache: Option<Arc<ResultCache>>,
         capacity: usize,
         max_batch: usize,
         max_wait: Duration,
@@ -95,7 +102,16 @@ impl Batcher {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("ctxrank-batcher".into())
-                .spawn(move || run_batcher(&shared, &handle, &metrics, max_batch.max(1), max_wait))
+                .spawn(move || {
+                    run_batcher(
+                        &shared,
+                        &handle,
+                        &metrics,
+                        cache.as_deref(),
+                        max_batch.max(1),
+                        max_wait,
+                    )
+                })
                 .expect("spawn batcher thread")
         };
         Self {
@@ -144,6 +160,7 @@ fn run_batcher(
     shared: &Shared,
     handle: &ServiceHandle,
     metrics: &Metrics,
+    cache: Option<&ResultCache>,
     max_batch: usize,
     max_wait: Duration,
 ) {
@@ -179,6 +196,13 @@ fn run_batcher(
             (batch, q.shutting)
         };
 
+        // Dispatch point: everything from here on is ranking, not
+        // queueing — attribute the wait so SLO misses can be blamed on
+        // the right stage.
+        for job in &batch {
+            metrics.record_queue_wait(job.enqueued.elapsed().as_secs_f64());
+        }
+
         let docs: Vec<(&str, &[String])> = batch
             .iter()
             .map(|j| (j.text.as_str(), j.candidates.as_slice()))
@@ -189,6 +213,12 @@ fn run_batcher(
         metrics.record_batch(batch.len());
         for (job, ranked) in batch.into_iter().zip(results) {
             let resp = render_rank_response(epoch, &ranked);
+            // Cache the rendered body under the epoch that *ranked* it
+            // — the only epoch this body can ever be served for, which
+            // is the whole no-stale-reads argument.
+            if let (Some(cache), Some(qhash)) = (cache, job.query_hash) {
+                cache.insert(epoch, qhash, Arc::from(resp.body.as_slice()), metrics);
+            }
             let keep_alive = job.keep_alive && !draining;
             // Record before writing: once the response is on the wire
             // the client may immediately scrape /metrics and must see

@@ -34,6 +34,10 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Seed for backoff jitter: deterministic sleeps, replayable tests.
     pub jitter_seed: u64,
+    /// Ceiling on how long an advertised `Retry-After` may hold the
+    /// client. A shedding server chooses the hint; this keeps a
+    /// misconfigured (or hostile) one from parking us for minutes.
+    pub max_retry_after: Duration,
 }
 
 impl Default for ClientConfig {
@@ -45,6 +49,7 @@ impl Default for ClientConfig {
             retries: 2,
             backoff_base: Duration::from_millis(20),
             jitter_seed: 0x5EED,
+            max_retry_after: Duration::from_secs(5),
         }
     }
 }
@@ -187,10 +192,23 @@ fn retryable(result: &std::io::Result<HttpReply>) -> bool {
     }
 }
 
+/// The `Retry-After` delay a 503 advertises, if it carries one the
+/// delta-seconds way the server emits it (the HTTP-date form is not
+/// parsed — it reads as absent and the client falls back to backoff).
+fn retry_after_secs(headers: &[(String, String)]) -> Option<u64> {
+    headers
+        .iter()
+        .find(|(name, _)| name == "retry-after")
+        .and_then(|(_, value)| value.trim().parse().ok())
+}
+
 /// One request under `config`, retried up to `config.retries` extra
 /// times on transport errors and 503s, each attempt on a fresh
-/// connection after a jittered exponential backoff. Returns the last
-/// attempt's outcome.
+/// connection. A 503 carrying `Retry-After` sleeps exactly the
+/// advertised delay (capped at `config.max_retry_after`) — the server
+/// knows its queue better than our backoff curve does. Everything else
+/// sleeps a jittered exponential backoff. Returns the last attempt's
+/// outcome.
 pub fn request_with_retry(
     addr: SocketAddr,
     method: &str,
@@ -207,13 +225,21 @@ pub fn request_with_retry(
             return result;
         }
         attempt += 1;
-        let base = config
-            .backoff_base
-            .saturating_mul(1 << (attempt - 1).min(16));
-        // Up to +50% jitter so synchronized retriers spread out.
-        let extra = base.as_micros() as u64 / 2;
-        let sleep =
-            base + Duration::from_micros(if extra == 0 { 0 } else { jitter.next() % extra });
+        let advertised = match &result {
+            Ok((503, headers, _)) => retry_after_secs(headers),
+            _ => None,
+        };
+        let sleep = match advertised {
+            Some(secs) => Duration::from_secs(secs).min(config.max_retry_after),
+            None => {
+                let base = config
+                    .backoff_base
+                    .saturating_mul(1 << (attempt - 1).min(16));
+                // Up to +50% jitter so synchronized retriers spread out.
+                let extra = base.as_micros() as u64 / 2;
+                base + Duration::from_micros(if extra == 0 { 0 } else { jitter.next() % extra })
+            }
+        };
         std::thread::sleep(sleep);
     }
 }
@@ -293,6 +319,99 @@ mod tests {
             ..ClientConfig::default()
         };
         assert!(request_with_retry(addr, "GET", "/healthz", None, &config).is_err());
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn retry_after_parsing() {
+        let h = |v: &str| vec![("retry-after".to_string(), v.to_string())];
+        assert_eq!(retry_after_secs(&h("3")), Some(3));
+        assert_eq!(retry_after_secs(&h(" 0 ")), Some(0));
+        // HTTP-date form and garbage both fall back to backoff.
+        assert_eq!(retry_after_secs(&h("Fri, 08 Aug 2026 00:00:00 GMT")), None);
+        assert_eq!(retry_after_secs(&h("-1")), None);
+        assert_eq!(retry_after_secs(&[]), None);
+        assert_eq!(
+            retry_after_secs(&[("content-type".to_string(), "3".to_string())]),
+            None
+        );
+    }
+
+    /// A 503 with `retry-after: 0` must override the (here, enormous)
+    /// exponential backoff: the whole retry completes in well under the
+    /// 2 s the backoff alone would cost.
+    #[test]
+    fn retry_after_overrides_backoff() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept 1");
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            s.write_all(
+                b"HTTP/1.1 503 Service Unavailable\r\nretry-after: 0\r\ncontent-length: 0\r\n\r\n",
+            )
+            .expect("write 503");
+            drop(s);
+            let (mut s, _) = listener.accept().expect("accept 2");
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok")
+                .expect("write 200");
+        });
+        let config = ClientConfig {
+            retries: 1,
+            // So slow that landing under the deadline proves the
+            // advertised delay was honored instead.
+            backoff_base: Duration::from_secs(2),
+            ..ClientConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let (status, _, body) =
+            request_with_retry(addr, "GET", "/healthz", None, &config).expect("retried ok");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok");
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "Retry-After: 0 was not honored; took {:?}",
+            start.elapsed()
+        );
+        server.join().expect("server");
+    }
+
+    /// An absurd advertised delay is capped at `max_retry_after`, so a
+    /// misbehaving server cannot park the client.
+    #[test]
+    fn retry_after_is_capped() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept 1");
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            s.write_all(
+                b"HTTP/1.1 503 Service Unavailable\r\nretry-after: 9999\r\ncontent-length: 0\r\n\r\n",
+            )
+            .expect("write 503");
+            drop(s);
+            let (mut s, _) = listener.accept().expect("accept 2");
+            let _ = s.read(&mut buf);
+            s.write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok")
+                .expect("write 200");
+        });
+        let config = ClientConfig {
+            retries: 1,
+            max_retry_after: Duration::from_millis(10),
+            ..ClientConfig::default()
+        };
+        let start = std::time::Instant::now();
+        let (status, _, _) =
+            request_with_retry(addr, "GET", "/healthz", None, &config).expect("retried ok");
+        assert_eq!(status, 200);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "retry-after: 9999 was not capped; took {:?}",
+            start.elapsed()
+        );
         server.join().expect("server");
     }
 

@@ -18,6 +18,10 @@
 //!   can never observe a torn response across a hot-swap;
 //! * **load shedding**: either bound filling yields an immediate `503`
 //!   with `Retry-After`, never unbounded memory;
+//! * an optional **epoch-keyed result cache** ([`cache`]) probed by
+//!   workers before the batcher — publishes invalidate by construction
+//!   because the epoch is part of the key, so there are no TTLs and no
+//!   stale reads;
 //! * `GET /healthz`, `GET /metrics` (Prometheus text format), `POST
 //!   /annotate`, and graceful **drain on shutdown** (stop accepting,
 //!   finish queued work, close).
@@ -30,12 +34,14 @@
 //! [`ServiceHandle`]: ctxrank_framework::ServiceHandle
 
 pub mod batcher;
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod server;
 
 pub use batcher::{Batcher, RankJob, SubmitError};
+pub use cache::{query_hash, ResultCache};
 pub use client::{one_shot, request_with_retry, ClientConfig, Conn};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_SECS};
 pub use server::{ServeConfig, Server};

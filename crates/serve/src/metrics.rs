@@ -97,6 +97,20 @@ pub struct Metrics {
     /// Connections dropped on a transport error mid-request (resets,
     /// truncated sends). Idle keep-alive closes are not counted.
     io_errors: AtomicU64,
+    /// Result-cache outcomes: a hit answers from the rendered body
+    /// without touching the batcher or the ranker.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Entries evicted under capacity pressure (CLOCK sweep). Lazy
+    /// dead-epoch retirement is *not* counted here — it only moves the
+    /// bytes gauge.
+    cache_evictions: AtomicU64,
+    /// Resident cache bytes (bodies + per-entry overhead).
+    cache_bytes: AtomicU64,
+    /// Time a `/rank` job spent queued: accept to batcher dispatch.
+    /// Separates "we queued too long" from "ranking was slow" when an
+    /// SLO is missed.
+    queue_wait: Histogram,
 }
 
 impl Metrics {
@@ -146,6 +160,52 @@ impl Metrics {
         self.io_errors.load(Ordering::Relaxed)
     }
 
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_eviction(&self) {
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_cache_bytes(&self, bytes: u64) {
+        self.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub fn sub_cache_bytes(&self, bytes: u64) {
+        self.cache_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub fn cache_hits_total(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_misses_total(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_evictions_total(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
+    }
+
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Observe one job's accept→dispatch wait.
+    pub fn record_queue_wait(&self, secs: f64) {
+        self.queue_wait.observe(secs);
+    }
+
+    /// Jobs with an observed queue wait (tests/benches).
+    pub fn queue_wait_count(&self) -> u64 {
+        self.queue_wait.count.load(Ordering::Relaxed)
+    }
+
     /// Render the whole registry in Prometheus text exposition format.
     /// `epoch` is read from the live [`ctxrank_framework::ServiceHandle`]
     /// at scrape time so the gauge always names the snapshot actually
@@ -188,6 +248,37 @@ impl Metrics {
             self.io_errors.load(Ordering::Relaxed)
         ));
 
+        out.push_str(
+            "# HELP ctxrank_cache_hits_total Rank requests answered from the result cache.\n",
+        );
+        out.push_str("# TYPE ctxrank_cache_hits_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_cache_hits_total {}\n",
+            self.cache_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP ctxrank_cache_misses_total Rank requests that missed the result cache.\n",
+        );
+        out.push_str("# TYPE ctxrank_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_cache_misses_total {}\n",
+            self.cache_misses.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP ctxrank_cache_evictions_total Cache entries evicted under capacity pressure.\n",
+        );
+        out.push_str("# TYPE ctxrank_cache_evictions_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_cache_evictions_total {}\n",
+            self.cache_evictions.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP ctxrank_cache_bytes Resident result-cache bytes.\n");
+        out.push_str("# TYPE ctxrank_cache_bytes gauge\n");
+        out.push_str(&format!(
+            "ctxrank_cache_bytes {}\n",
+            self.cache_bytes.load(Ordering::Relaxed)
+        ));
+
         out.push_str("# HELP ctxrank_queue_depth Rank jobs waiting in the micro-batcher.\n");
         out.push_str("# TYPE ctxrank_queue_depth gauge\n");
         out.push_str(&format!(
@@ -213,6 +304,33 @@ impl Metrics {
             "ctxrank_rank_batched_docs_total {}\n",
             self.batched_docs.load(Ordering::Relaxed)
         ));
+
+        out.push_str(
+            "# HELP ctxrank_queue_wait_seconds Rank-job wait from accept to batcher dispatch.\n\
+             # TYPE ctxrank_queue_wait_seconds histogram\n",
+        );
+        {
+            let hist = &self.queue_wait;
+            let mut cumulative = 0u64;
+            for (i, ub) in LATENCY_BUCKETS_SECS.iter().enumerate() {
+                cumulative += hist.buckets[i].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "ctxrank_queue_wait_seconds_bucket{{le=\"{ub}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += hist.buckets[LATENCY_BUCKETS_SECS.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "ctxrank_queue_wait_seconds_bucket{{le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!(
+                "ctxrank_queue_wait_seconds_sum {}\n",
+                hist.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+            ));
+            out.push_str(&format!(
+                "ctxrank_queue_wait_seconds_count {}\n",
+                hist.count.load(Ordering::Relaxed)
+            ));
+        }
 
         out.push_str(
             "# HELP ctxrank_request_latency_seconds Request latency, by endpoint.\n\
@@ -290,5 +408,40 @@ mod tests {
         assert!(text.contains("ctxrank_rank_batches_total 1"));
         assert!(text.contains("ctxrank_rank_batched_docs_total 16"));
         assert!(text.contains("ctxrank_requests_total{endpoint=\"metrics\"} 0"));
+    }
+
+    #[test]
+    fn cache_counters_and_bytes_render() {
+        let m = Metrics::default();
+        m.record_cache_miss();
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.record_cache_eviction();
+        m.add_cache_bytes(500);
+        m.sub_cache_bytes(120);
+        let text = m.render_prometheus(1);
+        assert!(text.contains("ctxrank_cache_hits_total 2"));
+        assert!(text.contains("ctxrank_cache_misses_total 1"));
+        assert!(text.contains("ctxrank_cache_evictions_total 1"));
+        assert!(text.contains("ctxrank_cache_bytes 380"));
+        assert_eq!(m.cache_hits_total(), 2);
+        assert_eq!(m.cache_misses_total(), 1);
+        assert_eq!(m.cache_evictions_total(), 1);
+        assert_eq!(m.cache_bytes(), 380);
+    }
+
+    #[test]
+    fn queue_wait_histogram_buckets_are_cumulative() {
+        let m = Metrics::default();
+        m.record_queue_wait(0.00005); // first bucket
+        m.record_queue_wait(0.0004); // le=0.0005
+        m.record_queue_wait(3.0); // +Inf only
+        let text = m.render_prometheus(1);
+        assert!(text.contains("ctxrank_queue_wait_seconds_bucket{le=\"0.0001\"} 1"));
+        assert!(text.contains("ctxrank_queue_wait_seconds_bucket{le=\"0.0005\"} 2"));
+        assert!(text.contains("ctxrank_queue_wait_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("ctxrank_queue_wait_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("ctxrank_queue_wait_seconds_count 3"));
+        assert_eq!(m.queue_wait_count(), 3);
     }
 }

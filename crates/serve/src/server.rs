@@ -21,6 +21,7 @@
 //! uses.
 
 use crate::batcher::{Batcher, RankJob, SubmitError};
+use crate::cache::{query_hash, ResultCache};
 use crate::http::{read_request_deadline, write_response, HttpError, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use ctxrank_framework::ServiceHandle;
@@ -62,6 +63,15 @@ pub struct ServeConfig {
     /// Expose `POST /admin/shutdown` (used by the demo binary and CI to
     /// stop the server without signals).
     pub enable_shutdown_endpoint: bool,
+    /// Byte budget for the epoch-keyed result cache. 0 disables the
+    /// cache entirely (every `/rank` goes through the batcher), which
+    /// is the default so batching benchmarks and the PR 4 test suite
+    /// keep measuring the ranker, not the cache. `serve_demo`, the
+    /// open-loop bench and production configs turn it on.
+    pub cache_capacity_bytes: usize,
+    /// Mutex stripes in the result cache (contention control; the byte
+    /// budget is split evenly across shards).
+    pub cache_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,13 +87,27 @@ impl Default for ServeConfig {
             keep_alive_timeout: Duration::from_secs(5),
             request_deadline: Duration::from_secs(10),
             enable_shutdown_endpoint: false,
+            cache_capacity_bytes: 0,
+            cache_shards: 16,
         }
+    }
+}
+
+impl ServeConfig {
+    /// `self` with the result cache enabled at `capacity_bytes`.
+    pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
+        self.cache_capacity_bytes = capacity_bytes;
+        self
     }
 }
 
 struct Inner {
     handle: Arc<ServiceHandle>,
     metrics: Arc<Metrics>,
+    /// Epoch-keyed result cache, `None` when disabled. Probed by
+    /// workers before submitting to the batcher; filled by the batcher
+    /// with rendered bodies.
+    cache: Option<Arc<ResultCache>>,
     config: ServeConfig,
     conns: Mutex<VecDeque<TcpStream>>,
     conns_nonempty: Condvar,
@@ -117,9 +141,17 @@ impl Server {
             config.workers
         };
 
+        let cache = (config.cache_capacity_bytes > 0).then(|| {
+            Arc::new(ResultCache::new(
+                config.cache_capacity_bytes,
+                config.cache_shards,
+            ))
+        });
+
         let batcher = Arc::new(Batcher::start(
             Arc::clone(&handle),
             Arc::clone(&metrics),
+            cache.clone(),
             config.queue_capacity,
             config.batch_max_size,
             config.batch_max_wait,
@@ -128,6 +160,7 @@ impl Server {
         let inner = Arc::new(Inner {
             handle,
             metrics,
+            cache,
             config,
             conns: Mutex::new(VecDeque::new()),
             conns_nonempty: Condvar::new(),
@@ -344,12 +377,39 @@ fn serve_connection(inner: &Inner, batcher: &Batcher, stream: TcpStream) {
                     }
                 }
                 Ok((text, candidates)) => {
+                    // Probe the epoch-keyed cache before the batcher: a
+                    // hit answers on the worker thread with the body
+                    // the ranker rendered for this exact (epoch,
+                    // query) — zero batcher, zero ranker work. The
+                    // epoch read is one atomic load; because it is part
+                    // of the key, a publish landing between the read
+                    // and the write cannot produce a stale pairing
+                    // (the body was rendered by the epoch it claims).
+                    let qhash = inner.cache.as_ref().map(|_| query_hash(&text, &candidates));
+                    if let (Some(cache), Some(qhash)) = (inner.cache.as_ref(), qhash) {
+                        if let Some(body) = cache.get(inner.handle.epoch(), qhash, &inner.metrics) {
+                            inner
+                                .metrics
+                                .record_request(Endpoint::Rank, start.elapsed().as_secs_f64());
+                            let resp = Response {
+                                status: 200,
+                                content_type: "application/json",
+                                body: body.to_vec(),
+                                extra: Vec::new(),
+                            };
+                            if write(&resp, keep_alive).is_err() || !keep_alive {
+                                return;
+                            }
+                            continue;
+                        }
+                    }
                     let job = RankJob {
                         text,
                         candidates,
                         enqueued: start,
                         writer: Arc::clone(&writer),
                         keep_alive,
+                        query_hash: qhash,
                     };
                     match batcher.submit(&inner.metrics, job) {
                         // The batcher owns the response now (and the

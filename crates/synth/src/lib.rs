@@ -47,4 +47,5 @@ pub use judges::{JudgeConfig, JudgePanel};
 pub use lexicon::Lexicon;
 pub use news::{NewsConfig, NewsStory};
 pub use queries::QueryConfig;
+pub use rng::{ZipfQueryMix, ZipfSampler};
 pub use world::{SynthWorld, WorldConfig};

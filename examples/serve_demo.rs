@@ -43,7 +43,10 @@ fn main() {
             addr,
             enable_shutdown_endpoint: true,
             ..ServeConfig::default()
-        },
+        }
+        // Epoch-keyed result cache: repeated queries are served from
+        // memory until the next publish invalidates every key.
+        .with_cache(32 << 20),
     )
     .expect("start server");
 
