@@ -24,10 +24,16 @@
 //! varint loop vs the unrolled block decoder over the same coded
 //! postings).
 //!
+//! Two streaming-ingestion rows cover the event-sourced path:
+//! `click_ingest` (durable segment append+seal rate vs the in-memory
+//! codec ceiling, with `events_per_s`) and `delta_publish` (bootstrap
+//! rebuild vs one incremental append→seal→fold→publish cycle, with the
+//! cycle's click-to-served-epoch latency in `publish_ms`).
+//!
 //! Knobs: `CTXRANK_THREADS` (raises the fan-out cap), `PERF_REPORT_REPS`
 //! (best-of-N timing, default 3).
 
-use ctxrank_bench::{build_runtime_ranker, Experiment, ExperimentConfig};
+use ctxrank_bench::{build_projector, build_runtime_ranker, Experiment, ExperimentConfig};
 use ctxrank_features::{InterestFeatures, RelevantTerms};
 use ctxrank_framework::persist::{load_snapshot, save_snapshot, save_snapshot_legacy};
 use ctxrank_framework::{
@@ -35,6 +41,8 @@ use ctxrank_framework::{
 };
 use ctxrank_index::{decode_all, encode_blocks, read_varint, BLOCK};
 use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_querylog::{Event, SegmentConfig, SegmentStore, StdSegmentFs};
+use ctxrank_synth::{EventStream, StreamConfig};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -435,6 +443,143 @@ fn openloop_rows(
     ]
 }
 
+/// The `click_ingest` row: one synthetic click/query stream appended
+/// through the event log's durable path (`StdSegmentFs`-backed
+/// segments with auto-seal, "serial") and through an in-memory store
+/// ("parallel" — the codec/buffer ceiling the durable path chases).
+/// The extra `events_per_s` field is the durable rate, the number the
+/// streaming pipeline actually ingests at.
+fn click_ingest_row(reps: usize) -> serde_json::Value {
+    const EVENTS: u64 = 200_000;
+    let events: Vec<Event> =
+        EventStream::new(&StreamConfig::of_magnitude(0xC11C, EVENTS)).collect();
+    let mut encoded = Vec::new();
+    for e in &events {
+        e.encode_into(&mut encoded);
+    }
+    let bytes = encoded.len();
+
+    let scratch = std::env::temp_dir().join(format!("ctxrank-perf-ingest-{}", std::process::id()));
+    let durable_dir = scratch.join("segments");
+    let (durable_s, memory_s) = best_pair(
+        reps,
+        || {
+            let _ = std::fs::remove_dir_all(&durable_dir);
+            let mut store = SegmentStore::open(
+                Arc::new(StdSegmentFs),
+                &durable_dir,
+                SegmentConfig::default(),
+            )
+            .expect("open ingest store");
+            for e in &events {
+                store.append(e).expect("durable append");
+            }
+            store.seal().expect("final durable seal");
+            store.sealed_events()
+        },
+        || {
+            let mut store = SegmentStore::in_memory(SegmentConfig::default());
+            for e in &events {
+                store.append(e).expect("in-memory append");
+            }
+            store.seal().expect("final in-memory seal");
+            store.sealed_events()
+        },
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut value = row("click_ingest", bytes, 1, 1, durable_s, memory_s);
+    if let serde_json::Value::Map(entries) = &mut value {
+        entries.push((
+            "events_per_s".to_string(),
+            serde_json::json!((EVENTS as f64 / durable_s).round()),
+        ));
+    }
+    eprintln!(
+        "perf_report: click_ingest {:.0} events/s durable ({EVENTS} events, {bytes} bytes)",
+        EVENTS as f64 / durable_s
+    );
+    value
+}
+
+/// The `delta_publish` row: click-to-served-epoch latency through the
+/// event-sourced path. "Serial" is what a monolithic pipeline needs to
+/// serve fresh clicks — a full bootstrap rebuild plus a fold of the
+/// sealed log; "parallel" is one incremental cycle: append a click
+/// batch, sync and seal it, fold only the delta and publish the next
+/// epoch through the same `ServiceHandle`. The extra `publish_ms`
+/// field is the incremental cycle's latency; CI holds it under a
+/// second.
+fn delta_publish_row(fx: &Fixture, reps: usize) -> serde_json::Value {
+    const BATCH: usize = 1_000;
+    let mut feed = EventStream::new(&StreamConfig::of_magnitude(
+        0xDE17A,
+        (BATCH * (reps + 1)) as u64,
+    ));
+    let seed_batch: Vec<Event> = feed.by_ref().take(BATCH).collect();
+    let mut encoded = Vec::new();
+    for e in &seed_batch {
+        e.encode_into(&mut encoded);
+    }
+    let batch_bytes = encoded.len();
+
+    let scratch = std::env::temp_dir().join(format!("ctxrank-perf-delta-{}", std::process::id()));
+    let mut store = SegmentStore::open(Arc::new(StdSegmentFs), &scratch, SegmentConfig::default())
+        .expect("open delta store");
+    for e in &seed_batch {
+        store.append(e).expect("seed append");
+    }
+    store.seal().expect("seed seal");
+
+    // The rebuild a batch pipeline pays to serve those clicks: the
+    // whole offline build (mining, features, train, pack) plus a fold
+    // of everything sealed.
+    let rebuild_config = ExperimentConfig::small(0xbe7c4);
+    let serial_s = best_secs(reps, || {
+        let exp = Experiment::build_serial(rebuild_config.clone());
+        let (mut projector, snapshot) = build_projector(&exp);
+        let handle = ctxrank_framework::ServiceHandle::new(snapshot);
+        projector
+            .publish_from(&store, &handle)
+            .expect("bootstrap publish");
+        handle.epoch()
+    });
+
+    // The incremental path: a live projector already caught up, paying
+    // only for the new batch.
+    let (mut projector, snapshot) = build_projector(&fx.exp);
+    let handle = ctxrank_framework::ServiceHandle::new(snapshot);
+    projector
+        .publish_from(&store, &handle)
+        .expect("catch-up publish");
+    let delta_s = best_secs(reps, || {
+        for e in feed.by_ref().take(BATCH) {
+            store.append(&e).expect("delta append");
+        }
+        store.sync().expect("delta sync");
+        store.seal().expect("delta seal");
+        projector
+            .publish_from(&store, &handle)
+            .expect("delta publish");
+        handle.epoch()
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut value = row("delta_publish", batch_bytes, 1, 1, serial_s, delta_s);
+    if let serde_json::Value::Map(entries) = &mut value {
+        entries.push((
+            "publish_ms".to_string(),
+            serde_json::json!(round2(delta_s * 1e3)),
+        ));
+    }
+    eprintln!(
+        "perf_report: delta_publish {:.2}ms per {BATCH}-click batch (rebuild {:.2}s)",
+        delta_s * 1e3,
+        serial_s
+    );
+    value
+}
+
 fn main() {
     let reps: usize = std::env::var("PERF_REPORT_REPS")
         .ok()
@@ -639,6 +784,11 @@ fn main() {
     // postings decode.
     rows.push(snapshot_load_cold_row(reps));
     rows.push(postings_decode_row(reps));
+
+    // Streaming-ingestion rows: durable append+seal rate and the
+    // click-to-served-epoch latency of an incremental delta publish.
+    rows.push(click_ingest_row(reps));
+    rows.push(delta_publish_row(&fx, reps));
 
     let report = serde_json::Value::Seq(rows);
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

@@ -28,7 +28,7 @@ pub use openloop::{
     max_sustainable_rps, openloop_bodies, openloop_server_config, run_open_loop, OpenLoopConfig,
     OpenLoopReport,
 };
-pub use production::{build_runtime_ranker, build_snapshot};
+pub use production::{build_projector, build_runtime_ranker, build_snapshot};
 pub use rankers::{evaluate_fixed, evaluate_learned, EvalResult, FeatureSet};
 pub use report::{fmt_pct, print_table};
 pub use stages::{

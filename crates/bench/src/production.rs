@@ -8,7 +8,7 @@
 
 use crate::experiment::Experiment;
 use crate::stages::{PublishStage, TrainStage};
-use ctxrank_framework::{RuntimeRanker, Snapshot};
+use ctxrank_framework::{RuntimeRanker, Snapshot, SnapshotProjector};
 use std::sync::Arc;
 
 /// Train the combined linear model on the full click dataset and freeze
@@ -17,6 +17,14 @@ use std::sync::Arc;
 pub fn build_snapshot(exp: &Experiment) -> Arc<Snapshot> {
     let trained = TrainStage::run(&exp.dataset);
     PublishStage::run(&exp.interest_raw, &exp.relevance_models, trained)
+}
+
+/// [`build_snapshot`], also returning the live [`SnapshotProjector`] so
+/// the caller can fold freshly sealed click segments into incremental
+/// delta publishes against the bootstrapped snapshot.
+pub fn build_projector(exp: &Experiment) -> (SnapshotProjector, Arc<Snapshot>) {
+    let trained = TrainStage::run(&exp.dataset);
+    PublishStage::run_bootstrap(&exp.interest_raw, &exp.relevance_models, trained)
 }
 
 /// [`build_snapshot`] wrapped in a ready-to-serve [`RuntimeRanker`]

@@ -13,14 +13,21 @@
 //!   knowledge sources (unit dictionary, entity dictionary, the
 //!   surface → concept candidate index).
 //! * [`MiningStage`] annotates every story through the Shortcuts
-//!   pipeline, simulates clicks, and applies the §V-A.1 cleaning rules.
-//! * [`FeatureStage`] extracts the Table I interestingness features,
+//!   pipeline, simulates clicks, applies the §V-A.1 cleaning rules, and
+//!   **emits the surviving click reports as events into an append-only
+//!   [`SegmentStore`]** — the hand-off between mining and features is
+//!   the event log, not a monolithic click artifact.
+//! * [`FeatureStage`] replays the sealed segments to recover per-story
+//!   click outcomes, extracts the Table I interestingness features,
 //!   mines the three relevance models, and assembles the windowed,
 //!   CTR-labelled dataset.
 //! * [`TrainStage`] trains the deployed combined linear model on the
 //!   full dataset.
 //! * [`PublishStage`] packs the stores and freezes everything into an
-//!   immutable [`ctxrank_framework::Snapshot`].
+//!   immutable [`ctxrank_framework::Snapshot`] — implemented as the
+//!   *bootstrap case* of the [`SnapshotProjector`], so a full build and
+//!   an incremental delta publish are the same projection applied to
+//!   different prefixes of the log.
 //!
 //! The stages preserve the monolith's exact computation order, so
 //! `Experiment::build` / `build_serial` remain bit-identical to the
@@ -35,13 +42,13 @@ use ctxrank_features::{
     FeatureExtractor, InterestFeatures, MiningResource, RelevanceModel, RelevanceModelBuilder,
 };
 use ctxrank_framework::{
-    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, Snapshot, SnapshotBuilder,
+    FrozenParts, GlobalTidTable, PackedRelevanceStore, Snapshot, SnapshotProjector,
 };
 use ctxrank_ltr::{train, RankGroup, RankModel, SvmConfig};
-use ctxrank_querylog::{extract_units, UnitDictionary};
+use ctxrank_querylog::{extract_units, Event, SegmentConfig, SegmentStore, UnitDictionary};
 use ctxrank_shortcuts::{EntityDictionary, Pipeline, PipelineConfig};
 use ctxrank_synth::news::ground_truth_relevance;
-use ctxrank_synth::{clicks::simulate_story, ConceptId, StoryClicks, SynthWorld};
+use ctxrank_synth::{clicks::simulate_story, ConceptId, SynthWorld};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -80,14 +87,20 @@ pub struct WorldArtifact {
     pub by_surface: HashMap<String, Vec<ConceptId>>,
 }
 
-/// Product of [`MiningStage`]: the cleaned click corpus.
+/// Product of [`MiningStage`]: the annotated stories plus the sealed
+/// click-event log. Click outcomes travel as [`Event::Click`] records in
+/// `store` — downstream stages replay the log instead of receiving a
+/// monolithic click artifact, so the same code path serves both the
+/// offline bootstrap and incremental delta ingestion.
 pub struct MiningArtifact {
-    /// Stories surviving the §V-A.1 filter, paired with their simulated
-    /// click reports, in story order.
-    pub stories: Vec<(AnnotatedStory, StoryClicks)>,
+    /// Stories surviving the §V-A.1 filter, in story order.
+    pub stories: Vec<AnnotatedStory>,
     /// Distinct surfaces across the kept stories, sorted so downstream
     /// passes walk them in a reproducible order.
     pub surfaces: Vec<String>,
+    /// The event log: one `Event::Click` per (story, entity), appended in
+    /// story order and sealed.
+    pub store: SegmentStore,
 }
 
 /// Product of [`FeatureStage`]: features, relevance models, and the
@@ -187,8 +200,12 @@ impl MiningStage {
             });
         drop(pipeline);
 
-        // Click simulation + the §V-A.1 cleaning rules.
-        let mut stories: Vec<(AnnotatedStory, StoryClicks)> = Vec::new();
+        // Click simulation + the §V-A.1 cleaning rules. Surviving click
+        // reports are emitted into the event log: one `Event::Click` per
+        // (story, entity), in mention order, so replay reconstructs every
+        // per-story click report exactly.
+        let mut store = SegmentStore::in_memory(SegmentConfig::default());
+        let mut stories: Vec<AnnotatedStory> = Vec::new();
         for sd in annotated {
             if sd.entities.len() < 2 {
                 continue;
@@ -206,9 +223,20 @@ impl MiningStage {
                 &config.clicks,
             );
             if clicks.passes_paper_filter() {
-                stories.push((sd, clicks));
+                for (e, r) in sd.entities.iter().zip(&clicks.records) {
+                    store
+                        .append(&Event::Click {
+                            story: sd.story as u64,
+                            surface: e.surface.clone(),
+                            views: clicks.views,
+                            clicks: r.clicks,
+                        })
+                        .expect("in-memory event log accepts appends");
+                }
+                stories.push(sd);
             }
         }
+        store.seal().expect("in-memory event log seals");
 
         // Sorted so every downstream pass (feature extraction, relevance
         // mining) walks surfaces in a reproducible order rather than
@@ -216,20 +244,28 @@ impl MiningStage {
         let surfaces: Vec<String> = {
             let distinct: HashSet<&str> = stories
                 .iter()
-                .flat_map(|(sd, _)| sd.entities.iter().map(|e| e.surface.as_str()))
+                .flat_map(|sd| sd.entities.iter().map(|e| e.surface.as_str()))
                 .collect();
             let mut surfaces: Vec<String> = distinct.into_iter().map(str::to_string).collect();
             surfaces.sort_unstable();
             surfaces
         };
 
-        MiningArtifact { stories, surfaces }
+        MiningArtifact {
+            stories,
+            surfaces,
+            store,
+        }
     }
 }
 
 /// Extracts interestingness features, mines the relevance models, and
 /// assembles the windowed dataset.
 pub struct FeatureStage;
+
+/// One story's replayed click outcome: the annotated story, its view
+/// count, and the (surface, clicks) records in log order.
+type StoryClickInput<'a> = (&'a AnnotatedStory, u64, Vec<(String, u64)>);
 
 impl FeatureStage {
     pub fn run(
@@ -317,13 +353,61 @@ impl FeatureStage {
             stories_kept: mining.stories.len(),
             ..DatasetStats::default()
         };
+        // Recover per-story click outcomes by replaying the event log.
+        // Events were appended in story order, one per entity mention, so
+        // grouping by story id and walking each group in order rebuilds
+        // the original click reports bit-exactly.
+        let mut replayed: HashMap<u64, (u64, Vec<(String, u64)>)> = HashMap::new();
+        for event in mining
+            .store
+            .replay()
+            .expect("mining stage sealed an intact event log")
+        {
+            if let Event::Click {
+                story,
+                surface,
+                views,
+                clicks,
+            } = event
+            {
+                let entry = replayed.entry(story).or_insert_with(|| (views, Vec::new()));
+                entry.1.push((surface, clicks));
+            }
+        }
+        let story_inputs: Vec<StoryClickInput> = mining
+            .stories
+            .iter()
+            .map(|sd| {
+                let (views, recs) = replayed
+                    .remove(&(sd.story as u64))
+                    .expect("every kept story has click events in the log");
+                (sd, views, recs)
+            })
+            .collect();
         let per_story_groups: Vec<Vec<WindowGroup>> =
-            ctxrank_parallel::par_map(threads, &mining.stories, |(sd, clicks)| {
-                let ctr_of: HashMap<ConceptId, f64> = clicks
-                    .records
+            ctxrank_parallel::par_map(threads, &story_inputs, |(sd, views, recs)| {
+                // Surface → concept is injective per story (first
+                // occurrence only), so mapping replayed surfaces through
+                // the annotation recovers the concept-keyed CTR map with
+                // the monolith's exact insert/overwrite order.
+                let concept_of: HashMap<&str, ConceptId> = sd
+                    .entities
                     .iter()
-                    .enumerate()
-                    .map(|(i, r)| (r.concept, clicks.ctr(i)))
+                    .map(|e| (e.surface.as_str(), e.concept))
+                    .collect();
+                let ctr_of: HashMap<ConceptId, f64> = recs
+                    .iter()
+                    .map(|(surface, clicks)| {
+                        let concept = *concept_of
+                            .get(surface.as_str())
+                            .expect("replayed surface belongs to its story");
+                        let ctr = if *views == 0 {
+                            0.0
+                        } else {
+                            *clicks as f64 / *views as f64
+                        };
+                        (concept, ctr)
+                    })
                     .collect();
                 let windows = ctxrank_text::window::windows(
                     &sd.text,
@@ -375,8 +459,8 @@ impl FeatureStage {
                 }
                 story_groups
             });
-        for ((_, clicks), story_groups) in mining.stories.iter().zip(per_story_groups) {
-            stats.total_clicks += clicks.total_clicks();
+        for ((_, _, recs), story_groups) in story_inputs.iter().zip(per_story_groups) {
+            stats.total_clicks += recs.iter().map(|(_, clicks)| clicks).sum::<u64>();
             for g in story_groups {
                 stats.concept_instances += g.items.len();
                 groups.push(g);
@@ -423,6 +507,13 @@ impl TrainStage {
 }
 
 /// Packs the stores and freezes the serving artifact.
+///
+/// The full build is the *bootstrap case* of the delta projection: the
+/// stage assembles the frozen (re-mined/retrained) parts and hands the
+/// interestingness base to [`SnapshotProjector::bootstrap`], which packs
+/// the stores and claims the first epoch. Incremental delta publishes
+/// later reuse the very same projector, so bootstrap-then-deltas is
+/// bit-exact with a fresh full build over the concatenated log.
 pub struct PublishStage;
 
 impl PublishStage {
@@ -431,11 +522,17 @@ impl PublishStage {
         relevance_models: &[RelevanceModel; 3],
         trained: TrainArtifact,
     ) -> Arc<Snapshot> {
-        // Packed interestingness vectors (2 bytes/field).
-        let concepts: Vec<(String, InterestFeatures)> =
-            interest_raw.iter().map(|(s, f)| (s.clone(), *f)).collect();
-        let interest = PackedInterestStore::build(&concepts);
+        Self::run_bootstrap(interest_raw, relevance_models, trained).1
+    }
 
+    /// Like [`PublishStage::run`], but also returns the projector so the
+    /// caller can keep folding sealed click segments into incremental
+    /// delta publishes against the bootstrapped snapshot.
+    pub fn run_bootstrap(
+        interest_raw: &HashMap<String, InterestFeatures>,
+        relevance_models: &[RelevanceModel; 3],
+        trained: TrainArtifact,
+    ) -> (SnapshotProjector, Arc<Snapshot>) {
         // Packed relevance store over the snippet-mined keywords (the
         // resource the production system uses, §V-A.6).
         let mut tids = GlobalTidTable::new();
@@ -446,12 +543,12 @@ impl PublishStage {
             .collect();
         let relevance = PackedRelevanceStore::build(keyword_sets, &mut tids);
 
-        SnapshotBuilder::new()
-            .interest(interest)
-            .relevance(relevance)
-            .tids(tids)
-            .model(trained.model)
-            .build()
+        let frozen = FrozenParts {
+            relevance,
+            tids,
+            model: trained.model,
+        };
+        SnapshotProjector::bootstrap(frozen, interest_raw.iter().map(|(s, f)| (s.clone(), *f)))
             .expect("publish stage supplies every snapshot component")
     }
 }
@@ -468,6 +565,14 @@ mod tests {
         let mining = MiningStage::run(&config, &world, threads);
         assert!(!mining.stories.is_empty());
         assert!(mining.surfaces.windows(2).all(|w| w[0] < w[1]), "sorted");
+        // Every kept story's click report lives in the sealed log.
+        assert_eq!(mining.store.active_events(), 0, "log sealed after mining");
+        let expected_events: u64 = mining
+            .stories
+            .iter()
+            .map(|sd| sd.entities.len() as u64)
+            .sum();
+        assert_eq!(mining.store.sealed_events(), expected_events);
         let features = FeatureStage::run(&config, &world, &mining, threads);
         assert_eq!(features.stats.stories_kept, mining.stories.len());
         assert_eq!(features.stats.windows, features.dataset.groups.len());
@@ -486,5 +591,16 @@ mod tests {
         assert!(snap.epoch() > 0);
         assert!(!snap.model().is_rbf());
         assert!(!snap.interest().is_empty());
+    }
+
+    #[test]
+    fn publish_bootstrap_returns_a_live_projector() {
+        let exp = crate::Experiment::build(ExperimentConfig::small(7));
+        let trained = TrainStage::run(&exp.dataset);
+        let (projector, snap) =
+            PublishStage::run_bootstrap(&exp.interest_raw, &exp.relevance_models, trained);
+        assert_eq!(projector.epoch(), snap.epoch());
+        assert_eq!(projector.surfaces(), exp.interest_raw.len());
+        assert_eq!(projector.folded_seq(), 0, "no segments folded yet");
     }
 }

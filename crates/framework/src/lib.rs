@@ -28,10 +28,13 @@
 //! assembly path, [`persist`] (de)serializes snapshots, [`ranker`]
 //! serves thin stateless views over one, and [`swap`] hot-swaps
 //! rebuilt snapshots under live traffic without locks on the read
-//! path.
+//! path. [`delta`] closes the loop incrementally: sealed click-stream
+//! segments fold into [`delta::DeltaSnapshot`]s that merge into the
+//! next epoch without a full rebuild.
 
 pub(crate) mod arena;
 pub mod compressed;
+pub mod delta;
 pub mod golomb;
 pub mod memory;
 pub mod online;
@@ -44,6 +47,7 @@ pub mod swap;
 pub mod tid;
 
 pub use compressed::CompressedRelevanceStore;
+pub use delta::{DeltaError, DeltaSnapshot, FrozenParts, SnapshotProjector, SurfaceAdd};
 pub use golomb::{golomb_decode, golomb_encode, optimal_rice_parameter};
 pub use memory::MemoryReport;
 pub use online::{OnlineConfig, OnlineCtrAdjuster};

@@ -1,0 +1,498 @@
+//! The click-stream event model and its binary record codec.
+//!
+//! The paper's pipeline is batch: every model refresh re-reads the whole
+//! click log. At the ORCAS/CWRCzech scale referenced in PAPERS.md that
+//! log is tens of millions of click pairs, so the repo restructures
+//! ingestion as an *event-sourced* append-only log: the tracking system
+//! emits [`Event`]s, the segment store ([`crate::segment`]) makes them
+//! durable, and projections fold sealed segments into serving artifacts
+//! incrementally.
+//!
+//! ## Record format
+//!
+//! Events are encoded as self-delimiting, individually checksummed
+//! records so a reader can always recover the longest valid prefix of a
+//! torn file:
+//!
+//! ```text
+//! +----------------+--------------------+------------------+
+//! | len: u32 LE    | checksum: u32 LE   | payload: len B   |
+//! +----------------+--------------------+------------------+
+//! ```
+//!
+//! `len` is the payload length, `checksum` is FNV-1a (32-bit) over the
+//! payload bytes. The payload starts with a one-byte tag (`1` = query,
+//! `2` = click) followed by the tag's fields; strings are `u32 LE`
+//! length + UTF-8 bytes. Decoding is fully validating: any length that
+//! overruns the buffer, checksum mismatch, unknown tag, or invalid
+//! UTF-8 yields a typed [`DecodeError`] — never a panic — with the
+//! byte offset of the offending record.
+
+/// Payload tag for [`Event::Query`].
+const TAG_QUERY: u8 = 1;
+/// Payload tag for [`Event::Click`].
+const TAG_CLICK: u8 = 2;
+
+/// Hard cap on a single record's payload (1 MiB). Real events are tens
+/// of bytes; the cap bounds the allocation a corrupt length prefix can
+/// demand before the checksum gets a chance to reject it.
+pub const MAX_RECORD_BYTES: u32 = 1 << 20;
+
+/// One entry in the click stream.
+///
+/// Two kinds mirror the paper's two log sources: the *query log* (§II-A
+/// concept mining, Table I frequency features) and the *click tracking
+/// system* (§III CTR labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A (pre-normalized) search query observed `freq` times.
+    Query {
+        /// Normalized terms, in order.
+        terms: Vec<String>,
+        /// Occurrence count this event contributes.
+        freq: u64,
+    },
+    /// A click report for one annotated concept in one story: `views`
+    /// impressions, `clicks` clicks (§III: per-entity views equal the
+    /// story's views).
+    Click {
+        /// Story id the annotation appeared in.
+        story: u64,
+        /// The annotated surface form.
+        surface: String,
+        /// Sampled impressions.
+        views: u64,
+        /// Sampled clicks.
+        clicks: u64,
+    },
+}
+
+/// Why a record (or a buffer of records) failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The record header or payload extends past the end of the buffer
+    /// — the signature of a torn (partially written) tail record.
+    Truncated { offset: usize },
+    /// The payload checksum did not match — bytes were corrupted after
+    /// the record was written.
+    Checksum { offset: usize },
+    /// The declared payload length exceeds [`MAX_RECORD_BYTES`] — a
+    /// corrupt length prefix, rejected before allocating.
+    Oversized { offset: usize, len: u32 },
+    /// The payload tag byte named no known event kind.
+    UnknownTag { offset: usize, tag: u8 },
+    /// A string field was not valid UTF-8.
+    Utf8 { offset: usize },
+    /// The payload was shorter than its fields claim.
+    Payload { offset: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated record at byte {offset}")
+            }
+            DecodeError::Checksum { offset } => {
+                write!(f, "checksum mismatch in record at byte {offset}")
+            }
+            DecodeError::Oversized { offset, len } => {
+                write!(f, "record at byte {offset} claims {len} payload bytes")
+            }
+            DecodeError::UnknownTag { offset, tag } => {
+                write!(f, "unknown event tag {tag} in record at byte {offset}")
+            }
+            DecodeError::Utf8 { offset } => {
+                write!(f, "invalid UTF-8 in record at byte {offset}")
+            }
+            DecodeError::Payload { offset } => {
+                write!(f, "malformed payload in record at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// True when the error is consistent with a write that stopped
+    /// mid-record (a crash), as opposed to bytes damaged in place.
+    /// Recovery may truncate at a torn tail; damage demands attention.
+    pub fn is_torn_tail(&self) -> bool {
+        matches!(self, DecodeError::Truncated { .. })
+    }
+}
+
+/// FNV-1a, 32-bit — cheap, allocation-free, and strong enough to catch
+/// the single-bit flips and torn boundaries the fault harness injects.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+impl Event {
+    /// Append this event's framed record (header + payload) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(32);
+        match self {
+            Event::Query { terms, freq } => {
+                payload.push(TAG_QUERY);
+                payload.extend_from_slice(&freq.to_le_bytes());
+                payload.extend_from_slice(&(terms.len() as u32).to_le_bytes());
+                for t in terms {
+                    push_str(&mut payload, t);
+                }
+            }
+            Event::Click {
+                story,
+                surface,
+                views,
+                clicks,
+            } => {
+                payload.push(TAG_CLICK);
+                payload.extend_from_slice(&story.to_le_bytes());
+                payload.extend_from_slice(&views.to_le_bytes());
+                payload.extend_from_slice(&clicks.to_le_bytes());
+                push_str(&mut payload, surface);
+            }
+        }
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+
+    /// The framed record for this event alone.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+}
+
+/// A validating cursor over one payload.
+struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Byte offset of the whole record (for error reporting).
+    record_offset: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Payload {
+            offset: self.record_offset,
+        })?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Payload {
+                offset: self.record_offset,
+            });
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Utf8 {
+            offset: self.record_offset,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn decode_payload(payload: &[u8], record_offset: usize) -> Result<Event, DecodeError> {
+    let mut r = PayloadReader {
+        bytes: payload,
+        pos: 0,
+        record_offset,
+    };
+    let tag = r.take(1)?[0];
+    let event = match tag {
+        TAG_QUERY => {
+            let freq = r.u64()?;
+            let n = r.u32()? as usize;
+            // A term count beyond the payload's own capacity is corrupt;
+            // reject before reserving (each term costs >= 4 bytes).
+            if n > payload.len() / 4 + 1 {
+                return Err(DecodeError::Payload {
+                    offset: record_offset,
+                });
+            }
+            let mut terms = Vec::with_capacity(n);
+            for _ in 0..n {
+                terms.push(r.string()?);
+            }
+            Event::Query { terms, freq }
+        }
+        TAG_CLICK => {
+            let story = r.u64()?;
+            let views = r.u64()?;
+            let clicks = r.u64()?;
+            let surface = r.string()?;
+            Event::Click {
+                story,
+                surface,
+                views,
+                clicks,
+            }
+        }
+        tag => {
+            return Err(DecodeError::UnknownTag {
+                offset: record_offset,
+                tag,
+            })
+        }
+    };
+    if !r.finished() {
+        return Err(DecodeError::Payload {
+            offset: record_offset,
+        });
+    }
+    Ok(event)
+}
+
+/// Decode the record starting at `offset`, returning the event and the
+/// offset of the next record.
+pub fn decode_record(buf: &[u8], offset: usize) -> Result<(Event, usize), DecodeError> {
+    let header_end = offset
+        .checked_add(8)
+        .ok_or(DecodeError::Truncated { offset })?;
+    if header_end > buf.len() {
+        return Err(DecodeError::Truncated { offset });
+    }
+    let len = u32::from_le_bytes([
+        buf[offset],
+        buf[offset + 1],
+        buf[offset + 2],
+        buf[offset + 3],
+    ]);
+    if len > MAX_RECORD_BYTES {
+        return Err(DecodeError::Oversized { offset, len });
+    }
+    let want = u32::from_le_bytes([
+        buf[offset + 4],
+        buf[offset + 5],
+        buf[offset + 6],
+        buf[offset + 7],
+    ]);
+    let payload_end = header_end
+        .checked_add(len as usize)
+        .ok_or(DecodeError::Truncated { offset })?;
+    if payload_end > buf.len() {
+        return Err(DecodeError::Truncated { offset });
+    }
+    let payload = &buf[header_end..payload_end];
+    if fnv1a32(payload) != want {
+        return Err(DecodeError::Checksum { offset });
+    }
+    let event = decode_payload(payload, offset)?;
+    Ok((event, payload_end))
+}
+
+/// Decode every record in `buf`. Fails on the first invalid record —
+/// sealed segments are immutable, so any defect is corruption, not a
+/// crash artifact.
+pub fn decode_all(buf: &[u8]) -> Result<Vec<Event>, DecodeError> {
+    let mut events = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        let (event, next) = decode_record(buf, pos)?;
+        events.push(event);
+        pos = next;
+    }
+    Ok(events)
+}
+
+/// Recovery decode for an *unsealed* tail file: the longest valid
+/// prefix of records, plus the byte length of that prefix. A torn final
+/// record is silently dropped (that is exactly what a crash between two
+/// `write(2)` calls leaves behind); a mid-buffer defect still stops the
+/// scan at the last valid record, so earlier records are never
+/// corrupted by a bad tail.
+pub fn decode_valid_prefix(buf: &[u8]) -> (Vec<Event>, usize) {
+    let mut events = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        match decode_record(buf, pos) {
+            Ok((event, next)) => {
+                events.push(event);
+                pos = next;
+            }
+            Err(_) => break,
+        }
+    }
+    (events, pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Query {
+                terms: vec!["solar".into(), "flares".into()],
+                freq: 7,
+            },
+            Event::Click {
+                story: 42,
+                surface: "solar flares".into(),
+                views: 1000,
+                clicks: 31,
+            },
+            Event::Query {
+                terms: vec![],
+                freq: 0,
+            },
+            Event::Click {
+                story: u64::MAX,
+                surface: String::new(),
+                views: 0,
+                clicks: u64::MAX,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        for e in &events {
+            e.encode_into(&mut buf);
+        }
+        assert_eq!(decode_all(&buf).expect("decode"), events);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_earlier_records_survive() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        for e in &events {
+            e.encode_into(&mut buf);
+        }
+        let intact = buf.len();
+        // Every strict prefix decodes to a prefix of the event list.
+        for cut in 0..intact {
+            let (got, valid_len) = decode_valid_prefix(&buf[..cut]);
+            assert!(valid_len <= cut);
+            assert_eq!(got, events[..got.len()], "cut at {cut}");
+            assert!(got.len() < events.len(), "cut at {cut} kept everything");
+        }
+        let (all, len) = decode_valid_prefix(&buf);
+        assert_eq!(all, events);
+        assert_eq!(len, intact);
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_error_not_a_panic() {
+        let e = Event::Click {
+            story: 3,
+            surface: "markets".into(),
+            views: 500,
+            clicks: 12,
+        };
+        let clean = e.encode();
+        for byte in 8..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                let err = decode_all(&buf).expect_err("flip must be detected");
+                assert!(
+                    matches!(err, DecodeError::Checksum { offset: 0 }),
+                    "byte {byte} bit {bit}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn header_flips_never_panic() {
+        let e = Event::Query {
+            terms: vec!["oil".into()],
+            freq: 2,
+        };
+        let clean = e.encode();
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                // Any typed error is acceptable; decoding must not
+                // panic or over-allocate.
+                let _ = decode_all(&buf);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_RECORD_BYTES + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let err = decode_record(&buf, 0).expect_err("oversized");
+        assert!(matches!(err, DecodeError::Oversized { .. }));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let payload = [9u8, 0, 0, 0];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = decode_all(&buf).expect_err("tag 9");
+        assert_eq!(err, DecodeError::UnknownTag { offset: 0, tag: 9 });
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut payload = vec![TAG_QUERY];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.push(0xEE); // one byte beyond the declared fields
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        let err = decode_all(&buf).expect_err("trailing bytes");
+        assert_eq!(err, DecodeError::Payload { offset: 0 });
+    }
+
+    #[test]
+    fn error_messages_name_the_defect_and_offset() {
+        assert_eq!(
+            DecodeError::Truncated { offset: 12 }.to_string(),
+            "truncated record at byte 12"
+        );
+        assert!(DecodeError::Checksum { offset: 4 }
+            .to_string()
+            .contains("checksum"));
+        assert!(DecodeError::Truncated { offset: 0 }.is_torn_tail());
+        assert!(!DecodeError::Checksum { offset: 0 }.is_torn_tail());
+    }
+}

@@ -15,13 +15,28 @@
 //! * [`prisma`] — the Prisma query-refinement tool (Anick, SIGIR 2003,
 //!   reference \[19\]): pseudo-relevance feedback terms from the top-50
 //!   ranked documents, at most 20 returned.
+//!
+//! Beyond the paper's batch world, the crate also owns the *streaming*
+//! form of the log: [`events`] defines the click-stream [`Event`] model
+//! and its checksummed record codec, and [`segment`] the append-only
+//! [`SegmentStore`] those records live in (crash-safe seals, torn-tail
+//! recovery, additive compaction). Projections over sealed segments —
+//! delta snapshots, incremental publishes — live in
+//! `ctxrank-framework`.
 
+pub mod events;
 pub mod log;
 pub mod prisma;
+pub mod segment;
 pub mod suggest;
 pub mod units;
 
-pub use log::{LogQuery, QueryLog};
+pub use events::{decode_all, decode_valid_prefix, DecodeError, Event};
+pub use log::{LogError, LogQuery, QueryLog};
 pub use prisma::Prisma;
+pub use segment::{
+    compact_events, SealedMeta, SegmentConfig, SegmentError, SegmentFs, SegmentStore, SharedMemFs,
+    StdSegmentFs,
+};
 pub use suggest::SuggestionService;
 pub use units::{extract_units, Unit, UnitConfig, UnitDictionary};

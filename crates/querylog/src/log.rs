@@ -20,6 +20,29 @@ use std::collections::HashMap;
 /// Longest phrase length tracked by the n-gram containment table.
 pub const MAX_NGRAM: usize = 5;
 
+/// Typed failure for fallible [`QueryLog`] accessors taking untrusted
+/// indices (audited: no panic on any caller-supplied value).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// A query index at or past [`QueryLog::num_distinct`].
+    QueryIndex { index: usize, distinct: usize },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::QueryIndex { index, distinct } => {
+                write!(
+                    f,
+                    "query index {index} out of range ({distinct} distinct queries)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
 /// One distinct query with its submission count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogQuery {
@@ -71,9 +94,12 @@ impl QueryLog {
         }
         let ids: Vec<TermId> = terms.iter().map(|t| self.interner.intern(t)).collect();
         self.term_freq.resize(self.interner.len(), 0);
+        // Counters saturate instead of overflowing: `freq` is untrusted
+        // (it arrives straight from decoded log events) and u64::MAX
+        // submissions is already "infinitely popular".
         match self.exact.get(ids.as_slice()) {
             Some(&i) => {
-                self.queries[i].freq += freq;
+                self.queries[i].freq = self.queries[i].freq.saturating_add(freq);
             }
             None => {
                 self.queries.push(LogQuery { terms, freq });
@@ -90,7 +116,7 @@ impl QueryLog {
                 let gram = &ids[start..start + n];
                 if seen.insert(gram) {
                     match self.ngram_freq.get_mut(gram) {
-                        Some(f) => *f += freq,
+                        Some(f) => *f = f.saturating_add(freq),
                         None => {
                             self.ngram_freq.insert(gram.into(), freq);
                         }
@@ -103,9 +129,9 @@ impl QueryLog {
         term_seen.sort_unstable();
         term_seen.dedup();
         for t in term_seen {
-            self.term_freq[t.idx()] += freq;
+            self.term_freq[t.idx()] = self.term_freq[t.idx()].saturating_add(freq);
         }
-        self.total += freq;
+        self.total = self.total.saturating_add(freq);
     }
 
     /// Number of distinct queries.
@@ -130,8 +156,24 @@ impl QueryLog {
 
     /// Interned id sequence of the `i`-th distinct query (parallel to
     /// [`Self::queries`]).
+    ///
+    /// # Panics
+    /// Panics when `i >= num_distinct()`; use [`Self::try_query_ids`]
+    /// for untrusted indices.
     pub fn query_ids(&self, i: usize) -> &[TermId] {
-        &self.query_ids[i]
+        self.try_query_ids(i).expect("query index in range")
+    }
+
+    /// Fallible form of [`Self::query_ids`]: a typed error instead of a
+    /// panic on an out-of-range index.
+    pub fn try_query_ids(&self, i: usize) -> Result<&[TermId], LogError> {
+        self.query_ids
+            .get(i)
+            .map(|ids| ids.as_ref())
+            .ok_or(LogError::QueryIndex {
+                index: i,
+                distinct: self.queries.len(),
+            })
     }
 
     /// Resolve a term sequence against the log's interner; `None` when
@@ -388,6 +430,41 @@ mod tests {
             assert_eq!(log.p_phrase(&q), log.p_phrase_ids(&ids));
         }
         assert!(log.ids_of(&t("totally absent")).is_none());
+    }
+
+    /// Audit: untrusted indices get a typed error, not a panic.
+    #[test]
+    fn out_of_range_query_index_is_a_typed_error() {
+        let log = sample_log();
+        let n = log.num_distinct();
+        assert!(log.try_query_ids(n - 1).is_ok());
+        let err = log.try_query_ids(n).expect_err("past the end");
+        assert_eq!(
+            err,
+            LogError::QueryIndex {
+                index: n,
+                distinct: n
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        assert!(QueryLog::new().try_query_ids(0).is_err());
+    }
+
+    /// Audit: adversarial frequencies saturate every counter instead of
+    /// overflowing (debug builds would otherwise panic on `+=`).
+    #[test]
+    fn adversarial_frequencies_saturate() {
+        let mut log = QueryLog::new();
+        log.add("hot query", u64::MAX);
+        log.add("hot query", u64::MAX);
+        log.add("other hot thing", u64::MAX);
+        assert_eq!(log.freq_exact(&t("hot query")), u64::MAX);
+        assert_eq!(log.freq_phrase_contained(&t("hot")), u64::MAX);
+        assert_eq!(log.freq_term_contained("hot"), u64::MAX);
+        assert_eq!(log.total_freq(), u64::MAX);
+        // Probabilities stay finite and in [0, 1].
+        let p = log.p_term("hot");
+        assert!((0.0..=1.0).contains(&p), "p {p}");
     }
 
     #[test]

@@ -1,0 +1,870 @@
+//! The append-only segment store — durable home of the click stream.
+//!
+//! Layout of a store directory:
+//!
+//! ```text
+//! store/
+//!   manifest.txt        # the live sealed-segment list; rename = commit
+//!   segment-000000.seg  # immutable, checksummed records (events.rs)
+//!   segment-000001.seg
+//!   wal.open            # the unsealed tail, rewritten on sync()
+//! ```
+//!
+//! Durability contract, in the PR 5 commit-point idiom:
+//!
+//! * **Sealed segments are immutable and durable.** `seal()` writes the
+//!   active buffer to `segment-N.seg.tmp`, renames it to its final
+//!   name, then rewrites `manifest.txt` through its own temp+rename.
+//!   The *manifest* rename is the commit point: a crash anywhere before
+//!   it leaves the previous manifest (and therefore the previous live
+//!   set) fully intact.
+//! * **The unsealed tail is at-risk by design.** `sync()` rewrites
+//!   `wal.open` in place — deliberately *not* atomic, because that is
+//!   how an append-mode log behaves under a crash. Recovery decodes the
+//!   longest valid record prefix ([`crate::events::decode_valid_prefix`])
+//!   and truncates the torn tail; records before the tear are never
+//!   affected, because each carries its own length and checksum.
+//! * **Compaction is a manifest swap.** Folded replacement segments are
+//!   written under *new* sequence numbers first; only then does one
+//!   manifest write retire the old set. A crash mid-compaction leaves
+//!   the old manifest pointing at the old (complete) segments.
+//!
+//! Corruption in a *sealed* segment — checksum mismatch, bad length,
+//! record-count drift from the manifest — is never truncated away; it
+//! surfaces as a typed [`SegmentError::Corrupt`], because immutable
+//! bytes that changed mean the storage lied, not that we crashed.
+
+use crate::events::{decode_all, decode_valid_prefix, Event};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Filesystem seam for the segment store. Deliberately identical in
+/// shape to the framework's `PersistFs`, so the fault-injection
+/// harness can drive this store through the same `FaultyFs` machinery
+/// with a two-line adapter.
+pub trait SegmentFs: Send + Sync {
+    /// Open `path` for reading.
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>>;
+    /// Create (truncate) `path` for writing.
+    fn create_write(&self, path: &Path) -> io::Result<Box<dyn Write>>;
+    /// Atomically move `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Create `path` and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdSegmentFs;
+
+impl SegmentFs for StdSegmentFs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>> {
+        Ok(Box::new(std::fs::File::open(path)?))
+    }
+
+    fn create_write(&self, path: &Path) -> io::Result<Box<dyn Write>> {
+        Ok(Box::new(std::fs::File::create(path)?))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// Writer that commits into the shared map on drop (mirrors the close
+/// semantics of a real file).
+struct MemWrite {
+    files: Arc<Mutex<HashMap<PathBuf, Vec<u8>>>>,
+    path: PathBuf,
+    buf: Vec<u8>,
+}
+
+impl Write for MemWrite {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for MemWrite {
+    fn drop(&mut self) {
+        self.files
+            .lock()
+            .expect("mem fs lock")
+            .insert(self.path.clone(), std::mem::take(&mut self.buf));
+    }
+}
+
+/// An in-memory filesystem: the stage pipeline and unit tests run the
+/// exact production store logic without touching disk. Cloning shares
+/// the file map, so a test can reopen "the same disk" after a
+/// simulated crash.
+#[derive(Debug, Default, Clone)]
+pub struct SharedMemFs {
+    files: Arc<Mutex<HashMap<PathBuf, Vec<u8>>>>,
+}
+
+impl SharedMemFs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently stored at `path` (tests and diagnostics).
+    pub fn bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().expect("mem fs lock").get(path).cloned()
+    }
+
+    /// Overwrite `path` directly (tests: simulate external corruption).
+    pub fn put(&self, path: &Path, bytes: Vec<u8>) {
+        self.files
+            .lock()
+            .expect("mem fs lock")
+            .insert(path.to_path_buf(), bytes);
+    }
+}
+
+impl SegmentFs for SharedMemFs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>> {
+        let files = self.files.lock().expect("mem fs lock");
+        match files.get(path) {
+            Some(bytes) => Ok(Box::new(io::Cursor::new(bytes.clone()))),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn create_write(&self, path: &Path) -> io::Result<Box<dyn Write>> {
+        Ok(Box::new(MemWrite {
+            files: Arc::clone(&self.files),
+            path: path.to_path_buf(),
+            buf: Vec::new(),
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem fs lock");
+        match files.remove(from) {
+            Some(bytes) => {
+                files.insert(to.to_path_buf(), bytes);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Why the store failed.
+#[derive(Debug)]
+pub enum SegmentError {
+    /// The filesystem failed.
+    Io(io::Error),
+    /// Durable bytes did not validate: `file` names the artifact,
+    /// `detail` says what was wrong.
+    Corrupt { file: String, detail: String },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Io(e) => write!(f, "segment store i/o: {e}"),
+            SegmentError::Corrupt { file, detail } => {
+                write!(f, "segment store corruption in {file}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Io(e) => Some(e),
+            SegmentError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for SegmentError {
+    fn from(e: io::Error) -> Self {
+        SegmentError::Io(e)
+    }
+}
+
+fn corrupt(file: impl Into<String>, detail: impl std::fmt::Display) -> SegmentError {
+    SegmentError::Corrupt {
+        file: file.into(),
+        detail: detail.to_string(),
+    }
+}
+
+/// Store tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentConfig {
+    /// Seal the active segment once its encoded size reaches this many
+    /// bytes. Fixed-size segments keep replay and compaction costs
+    /// predictable at log scale.
+    pub segment_bytes: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 1 << 20, // 1 MiB ≈ 20–30k click events
+        }
+    }
+}
+
+/// A sealed segment's manifest entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealedMeta {
+    /// Sequence number (file name `segment-<seq>.seg`).
+    pub seq: u64,
+    /// Exact file length in bytes.
+    pub bytes: u64,
+    /// Record count.
+    pub events: u64,
+}
+
+const MANIFEST: &str = "manifest.txt";
+const MANIFEST_TMP: &str = "manifest.txt.tmp";
+const WAL: &str = "wal.open";
+const MANIFEST_MAGIC: &str = "ctxrank-seglog v1";
+
+fn segment_name(seq: u64) -> String {
+    format!("segment-{seq:06}.seg")
+}
+
+/// The append-only event log. One writer, any number of replaying
+/// readers-by-path; all I/O goes through the [`SegmentFs`] seam.
+pub struct SegmentStore {
+    fs: Arc<dyn SegmentFs>,
+    dir: PathBuf,
+    config: SegmentConfig,
+    /// Live sealed segments, ascending seq.
+    sealed: Vec<SealedMeta>,
+    /// Next sequence number to seal under.
+    next_seq: u64,
+    /// Encoded records appended but not yet sealed.
+    active: Vec<u8>,
+    active_events: u64,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .field("sealed", &self.sealed.len())
+            .field("active_bytes", &self.active.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SegmentStore {
+    /// Open (or create) the store at `dir` on the real filesystem.
+    pub fn open_std(dir: impl Into<PathBuf>, config: SegmentConfig) -> Result<Self, SegmentError> {
+        Self::open(Arc::new(StdSegmentFs), dir, config)
+    }
+
+    /// A store on a private in-memory filesystem (the stage pipeline's
+    /// mode: production logic, no disk).
+    pub fn in_memory(config: SegmentConfig) -> Self {
+        Self::open(Arc::new(SharedMemFs::new()), "mem-store", config)
+            .expect("in-memory store cannot fail to open")
+    }
+
+    /// Open (or create) the store at `dir` through `fs`, recovering the
+    /// unsealed tail: the WAL's longest valid record prefix becomes the
+    /// active buffer, and anything after a torn record is discarded.
+    pub fn open(
+        fs: Arc<dyn SegmentFs>,
+        dir: impl Into<PathBuf>,
+        config: SegmentConfig,
+    ) -> Result<Self, SegmentError> {
+        let dir = dir.into();
+        fs.create_dir_all(&dir)?;
+        let (sealed, next_seq) = match read_optional(fs.as_ref(), &dir.join(MANIFEST))? {
+            Some(bytes) => parse_manifest(&bytes)?,
+            None => (Vec::new(), 0),
+        };
+        let (active, active_events) = match read_optional(fs.as_ref(), &dir.join(WAL))? {
+            Some(bytes) => {
+                let (events, valid_len) = decode_valid_prefix(&bytes);
+                (bytes[..valid_len].to_vec(), events.len() as u64)
+            }
+            None => (Vec::new(), 0),
+        };
+        Ok(Self {
+            fs,
+            dir,
+            config,
+            sealed,
+            next_seq,
+            active,
+            active_events,
+        })
+    }
+
+    /// Append one event to the active segment. Seals automatically when
+    /// the segment reaches its configured size; returns the sealed
+    /// segment's manifest entry when that happens.
+    pub fn append(&mut self, event: &Event) -> Result<Option<SealedMeta>, SegmentError> {
+        event.encode_into(&mut self.active);
+        self.active_events += 1;
+        if self.active.len() >= self.config.segment_bytes {
+            self.seal()
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Make the unsealed tail durable. Rewrites the WAL in place —
+    /// *not* atomic by design (see module docs); a crash mid-write
+    /// loses at most the tail records past the tear, never sealed data.
+    pub fn sync(&mut self) -> Result<(), SegmentError> {
+        let mut w = self.fs.create_write(&self.dir.join(WAL))?;
+        w.write_all(&self.active)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Seal the active segment: write it under the next sequence
+    /// number, commit it into the manifest, clear the WAL. No-op on an
+    /// empty active buffer.
+    pub fn seal(&mut self) -> Result<Option<SealedMeta>, SegmentError> {
+        if self.active.is_empty() {
+            return Ok(None);
+        }
+        let meta = SealedMeta {
+            seq: self.next_seq,
+            bytes: self.active.len() as u64,
+            events: self.active_events,
+        };
+        self.write_segment_file(meta.seq, &self.active)?;
+        self.sealed.push(meta);
+        self.next_seq += 1;
+        if let Err(e) = self.write_manifest() {
+            // The manifest (the commit point) was never replaced: undo
+            // the in-memory registration so state matches disk.
+            self.sealed.pop();
+            self.next_seq -= 1;
+            return Err(e);
+        }
+        self.active.clear();
+        self.active_events = 0;
+        // Best-effort WAL truncation; the sealed records would merely be
+        // re-recovered (and re-deduplicated by seal ordering) otherwise.
+        let _ = self.sync();
+        Ok(Some(meta))
+    }
+
+    /// Replay every live sealed segment, in order. Fully validating:
+    /// checksum or count drift in immutable bytes is a typed error.
+    pub fn replay(&self) -> Result<Vec<Event>, SegmentError> {
+        self.replay_from(0)
+    }
+
+    /// Replay live sealed segments with `seq >= from_seq` — the delta
+    /// projection's read path ("everything sealed since the segment I
+    /// last folded").
+    pub fn replay_from(&self, from_seq: u64) -> Result<Vec<Event>, SegmentError> {
+        let mut events = Vec::new();
+        for meta in self.sealed.iter().filter(|m| m.seq >= from_seq) {
+            events.extend(self.read_segment(meta)?);
+        }
+        Ok(events)
+    }
+
+    /// Decode one sealed segment, validating it against its manifest
+    /// entry.
+    fn read_segment(&self, meta: &SealedMeta) -> Result<Vec<Event>, SegmentError> {
+        let name = segment_name(meta.seq);
+        let mut bytes = Vec::new();
+        self.fs
+            .open_read(&self.dir.join(&name))?
+            .read_to_end(&mut bytes)?;
+        if bytes.len() as u64 != meta.bytes {
+            return Err(corrupt(
+                &name,
+                format!("length {} != manifest {}", bytes.len(), meta.bytes),
+            ));
+        }
+        let events = decode_all(&bytes).map_err(|e| corrupt(&name, e))?;
+        if events.len() as u64 != meta.events {
+            return Err(corrupt(
+                &name,
+                format!("{} records != manifest {}", events.len(), meta.events),
+            ));
+        }
+        Ok(events)
+    }
+
+    /// Fold the live sealed segments into their additive summary and
+    /// replace them with freshly written segments holding the folded
+    /// events. The swap is one manifest write: a crash at any earlier
+    /// point leaves the previous live set intact. Returns
+    /// `(events_before, events_after)`.
+    pub fn compact(&mut self) -> Result<(u64, u64), SegmentError> {
+        let before: u64 = self.sealed.iter().map(|m| m.events).sum();
+        let folded = compact_events(&self.replay()?);
+        let after = folded.len() as u64;
+
+        // Write the replacement segments under fresh sequence numbers,
+        // respecting the configured segment size.
+        let mut new_sealed: Vec<SealedMeta> = Vec::new();
+        let mut seq = self.next_seq;
+        let mut buf: Vec<u8> = Vec::new();
+        let mut buf_events = 0u64;
+        let flush = |store: &Self,
+                     buf: &mut Vec<u8>,
+                     buf_events: &mut u64,
+                     seq: &mut u64|
+         -> Result<Option<SealedMeta>, SegmentError> {
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            let meta = SealedMeta {
+                seq: *seq,
+                bytes: buf.len() as u64,
+                events: *buf_events,
+            };
+            store.write_segment_file(meta.seq, buf)?;
+            *seq += 1;
+            buf.clear();
+            *buf_events = 0;
+            Ok(Some(meta))
+        };
+        for e in &folded {
+            e.encode_into(&mut buf);
+            buf_events += 1;
+            if buf.len() >= self.config.segment_bytes {
+                if let Some(m) = flush(self, &mut buf, &mut buf_events, &mut seq)? {
+                    new_sealed.push(m);
+                }
+            }
+        }
+        if let Some(m) = flush(self, &mut buf, &mut buf_events, &mut seq)? {
+            new_sealed.push(m);
+        }
+
+        // The commit point: one manifest write retires the old set.
+        let old_sealed = std::mem::replace(&mut self.sealed, new_sealed);
+        let old_next = std::mem::replace(&mut self.next_seq, seq);
+        if let Err(e) = self.write_manifest() {
+            self.sealed = old_sealed;
+            self.next_seq = old_next;
+            return Err(e);
+        }
+        Ok((before, after))
+    }
+
+    /// Live sealed segments, ascending seq.
+    pub fn sealed(&self) -> &[SealedMeta] {
+        &self.sealed
+    }
+
+    /// Total bytes across live sealed segments (the
+    /// `ctxrank_segment_bytes` gauge).
+    pub fn sealed_bytes(&self) -> u64 {
+        self.sealed.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Total records across live sealed segments.
+    pub fn sealed_events(&self) -> u64 {
+        self.sealed.iter().map(|m| m.events).sum()
+    }
+
+    /// The sequence number the next seal will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Encoded bytes waiting in the active (unsealed) segment.
+    pub fn active_bytes(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Records waiting in the active (unsealed) segment.
+    pub fn active_events(&self) -> u64 {
+        self.active_events
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn write_segment_file(&self, seq: u64, bytes: &[u8]) -> Result<(), SegmentError> {
+        let final_path = self.dir.join(segment_name(seq));
+        let tmp_path = self.dir.join(format!("{}.tmp", segment_name(seq)));
+        {
+            let mut w = self.fs.create_write(&tmp_path)?;
+            w.write_all(bytes)?;
+            w.flush()?;
+        }
+        self.fs.rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    fn write_manifest(&self) -> Result<(), SegmentError> {
+        let mut text = String::new();
+        text.push_str(MANIFEST_MAGIC);
+        text.push('\n');
+        for m in &self.sealed {
+            text.push_str(&format!("seg {} {} {}\n", m.seq, m.bytes, m.events));
+        }
+        text.push_str(&format!("next {}\n", self.next_seq));
+        let tmp = self.dir.join(MANIFEST_TMP);
+        {
+            let mut w = self.fs.create_write(&tmp)?;
+            w.write_all(text.as_bytes())?;
+            w.flush()?;
+        }
+        self.fs.rename(&tmp, &self.dir.join(MANIFEST))?;
+        Ok(())
+    }
+}
+
+fn read_optional(fs: &dyn SegmentFs, path: &Path) -> Result<Option<Vec<u8>>, SegmentError> {
+    match fs.open_read(path) {
+        Ok(mut r) => {
+            let mut bytes = Vec::new();
+            r.read_to_end(&mut bytes)?;
+            Ok(Some(bytes))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(SegmentError::Io(e)),
+    }
+}
+
+fn parse_manifest(bytes: &[u8]) -> Result<(Vec<SealedMeta>, u64), SegmentError> {
+    let text = std::str::from_utf8(bytes).map_err(|_| corrupt(MANIFEST, "not UTF-8"))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_MAGIC) {
+        return Err(corrupt(MANIFEST, "bad magic line"));
+    }
+    let mut sealed: Vec<SealedMeta> = Vec::new();
+    let mut next_seq: Option<u64> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(' ').collect();
+        match fields.as_slice() {
+            ["seg", seq, bytes, events] => {
+                let parse = |s: &str, what: &str| {
+                    s.parse::<u64>()
+                        .map_err(|_| corrupt(MANIFEST, format!("bad {what}: {s:?}")))
+                };
+                let meta = SealedMeta {
+                    seq: parse(seq, "seq")?,
+                    bytes: parse(bytes, "bytes")?,
+                    events: parse(events, "events")?,
+                };
+                if let Some(last) = sealed.last() {
+                    if meta.seq <= last.seq {
+                        return Err(corrupt(MANIFEST, "segment sequence not ascending"));
+                    }
+                }
+                sealed.push(meta);
+            }
+            ["next", n] => {
+                next_seq = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| corrupt(MANIFEST, format!("bad next seq: {n:?}")))?,
+                );
+            }
+            _ => return Err(corrupt(MANIFEST, format!("unrecognized line {line:?}"))),
+        }
+    }
+    let next_seq = next_seq.ok_or_else(|| corrupt(MANIFEST, "missing next-seq line"))?;
+    if sealed.last().is_some_and(|m| m.seq >= next_seq) {
+        return Err(corrupt(MANIFEST, "next seq not past the sealed set"));
+    }
+    Ok((sealed, next_seq))
+}
+
+/// The additive fold compaction applies: click events merge by
+/// `(story, surface)` (views and clicks sum), query events merge by
+/// their term list (frequencies sum). Keys keep first-appearance order,
+/// so compaction is deterministic. Any projection that folds events
+/// additively — CTR counts, frequency features — sees the same totals
+/// through the compacted log as through the original.
+pub fn compact_events(events: &[Event]) -> Vec<Event> {
+    // Index into `out` per key, preserving first-seen order.
+    let mut click_at: HashMap<(u64, String), usize> = HashMap::new();
+    let mut query_at: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut out: Vec<Event> = Vec::new();
+    for e in events {
+        match e {
+            Event::Click {
+                story,
+                surface,
+                views,
+                clicks,
+            } => match click_at.get(&(*story, surface.clone())) {
+                Some(&i) => {
+                    if let Event::Click {
+                        views: v,
+                        clicks: c,
+                        ..
+                    } = &mut out[i]
+                    {
+                        // Decoded values are untrusted: saturate rather
+                        // than overflow on adversarial counts.
+                        *v = v.saturating_add(*views);
+                        *c = c.saturating_add(*clicks);
+                    }
+                }
+                None => {
+                    click_at.insert((*story, surface.clone()), out.len());
+                    out.push(e.clone());
+                }
+            },
+            Event::Query { terms, freq } => match query_at.get(terms) {
+                Some(&i) => {
+                    if let Event::Query { freq: f, .. } = &mut out[i] {
+                        *f = f.saturating_add(*freq);
+                    }
+                }
+                None => {
+                    query_at.insert(terms.clone(), out.len());
+                    out.push(e.clone());
+                }
+            },
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn click(story: u64, surface: &str, views: u64, clicks: u64) -> Event {
+        Event::Click {
+            story,
+            surface: surface.into(),
+            views,
+            clicks,
+        }
+    }
+
+    fn query(terms: &[&str], freq: u64) -> Event {
+        Event::Query {
+            terms: terms.iter().map(|s| s.to_string()).collect(),
+            freq,
+        }
+    }
+
+    fn tiny_config() -> SegmentConfig {
+        SegmentConfig { segment_bytes: 128 }
+    }
+
+    #[test]
+    fn append_seal_replay_roundtrip() {
+        let mut store = SegmentStore::in_memory(SegmentConfig::default());
+        let events = vec![
+            query(&["solar", "flares"], 3),
+            click(1, "solar flares", 100, 7),
+            click(2, "oil prices", 50, 2),
+        ];
+        for e in &events {
+            store.append(e).expect("append");
+        }
+        assert_eq!(store.active_events(), 3);
+        let meta = store.seal().expect("seal").expect("nonempty");
+        assert_eq!(meta.events, 3);
+        assert_eq!(store.active_events(), 0);
+        assert_eq!(store.replay().expect("replay"), events);
+        assert_eq!(store.sealed_events(), 3);
+        assert_eq!(store.sealed_bytes(), meta.bytes);
+    }
+
+    #[test]
+    fn auto_seal_at_segment_size() {
+        let mut store = SegmentStore::in_memory(tiny_config());
+        let mut sealed = 0;
+        for i in 0..100 {
+            if store
+                .append(&click(i, "s", 10, 1))
+                .expect("append")
+                .is_some()
+            {
+                sealed += 1;
+            }
+        }
+        assert!(sealed > 1, "128-byte segments must seal many times");
+        assert_eq!(store.sealed().len(), sealed);
+        assert_eq!(
+            store.sealed_events() + store.active_events(),
+            100,
+            "no event lost across seals"
+        );
+    }
+
+    #[test]
+    fn reopen_recovers_sealed_and_synced_tail() {
+        let fs = Arc::new(SharedMemFs::new());
+        let mut store =
+            SegmentStore::open(fs.clone(), "store", SegmentConfig::default()).expect("open");
+        store.append(&click(1, "a", 10, 1)).expect("append");
+        store.seal().expect("seal");
+        store.append(&click(2, "b", 20, 2)).expect("append");
+        store.sync().expect("sync");
+        drop(store);
+
+        let store = SegmentStore::open(fs, "store", SegmentConfig::default()).expect("reopen");
+        assert_eq!(store.replay().expect("replay"), vec![click(1, "a", 10, 1)]);
+        assert_eq!(store.active_events(), 1, "synced tail recovered");
+        assert_eq!(store.next_seq(), 1);
+    }
+
+    #[test]
+    fn torn_wal_tail_truncates_to_last_valid_record() {
+        let fs = Arc::new(SharedMemFs::new());
+        let mut store =
+            SegmentStore::open(fs.clone(), "store", SegmentConfig::default()).expect("open");
+        let kept = [click(1, "kept one", 10, 1), click(2, "kept two", 20, 2)];
+        for e in &kept {
+            store.append(e).expect("append");
+        }
+        store.sync().expect("sync");
+        drop(store);
+
+        // Tear the WAL mid-record, as a crash during sync would.
+        let wal = Path::new("store").join(WAL);
+        let full = fs.bytes(&wal).expect("wal exists");
+        let torn_event = click(3, "torn", 30, 3).encode();
+        for cut in 1..torn_event.len() {
+            let mut torn = full.clone();
+            torn.extend_from_slice(&torn_event[..cut]);
+            fs.put(&wal, torn);
+            let store =
+                SegmentStore::open(fs.clone(), "store", SegmentConfig::default()).expect("reopen");
+            assert_eq!(store.active_events(), 2, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn sealed_corruption_is_a_typed_error_not_truncation() {
+        let fs = Arc::new(SharedMemFs::new());
+        let mut store =
+            SegmentStore::open(fs.clone(), "store", SegmentConfig::default()).expect("open");
+        store.append(&click(1, "a", 10, 1)).expect("append");
+        store.seal().expect("seal");
+
+        let seg = Path::new("store").join(segment_name(0));
+        let mut bytes = fs.bytes(&seg).expect("segment exists");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        fs.put(&seg, bytes);
+
+        let err = store.replay().expect_err("flip detected");
+        match err {
+            SegmentError::Corrupt { file, detail } => {
+                assert!(file.contains("segment-000000"), "{file}");
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn replay_from_skips_already_folded_segments() {
+        let mut store = SegmentStore::in_memory(SegmentConfig::default());
+        store.append(&click(1, "a", 10, 1)).expect("append");
+        store.seal().expect("seal");
+        store.append(&click(2, "b", 20, 2)).expect("append");
+        store.seal().expect("seal");
+        assert_eq!(
+            store.replay_from(1).expect("replay"),
+            vec![click(2, "b", 20, 2)]
+        );
+        assert!(store.replay_from(2).expect("replay").is_empty());
+    }
+
+    #[test]
+    fn compaction_preserves_additive_totals_and_shrinks() {
+        let mut store = SegmentStore::in_memory(tiny_config());
+        for round in 0..20 {
+            store.append(&click(1, "hot", 100, round)).expect("append");
+            store.append(&query(&["hot"], 2)).expect("append");
+        }
+        store.seal().expect("seal");
+        let before = store.replay().expect("replay");
+        let (n_before, n_after) = store.compact().expect("compact");
+        assert_eq!(n_before, 40);
+        assert_eq!(n_after, 2);
+        let after = store.replay().expect("replay");
+        assert_eq!(after.len(), 2);
+        assert_eq!(compact_events(&before), after);
+        assert_eq!(
+            after[0],
+            click(1, "hot", 2000, (0..20).sum()),
+            "click views/clicks fold additively"
+        );
+        assert_eq!(after[1], query(&["hot"], 40));
+        // The store stays usable: new appends seal after the compacted
+        // sequence range.
+        store.append(&click(9, "new", 5, 1)).expect("append");
+        store.seal().expect("seal");
+        assert!(store
+            .replay()
+            .expect("replay")
+            .contains(&click(9, "new", 5, 1)));
+    }
+
+    #[test]
+    fn manifest_defects_are_typed_corruption() {
+        let cases: Vec<Vec<u8>> = vec![
+            b"wrong magic\nnext 0\n".to_vec(),
+            format!("{MANIFEST_MAGIC}\nseg 0 nonsense 1\nnext 1\n").into_bytes(),
+            format!("{MANIFEST_MAGIC}\nseg 1 10 1\nseg 0 10 1\nnext 2\n").into_bytes(),
+            format!("{MANIFEST_MAGIC}\nseg 3 10 1\nnext 2\n").into_bytes(),
+            format!("{MANIFEST_MAGIC}\nseg 0 10 1\n").into_bytes(),
+            vec![0xFF, 0xFE],
+        ];
+        for bytes in cases {
+            let fs = Arc::new(SharedMemFs::new());
+            fs.put(&Path::new("store").join(MANIFEST), bytes.clone());
+            let err = SegmentStore::open(fs, "store", SegmentConfig::default())
+                .expect_err("manifest must be rejected");
+            assert!(
+                matches!(err, SegmentError::Corrupt { .. }),
+                "{bytes:?} → {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn std_fs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "ctxrank-seg-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = SegmentStore::open_std(&dir, SegmentConfig::default()).expect("open");
+        store.append(&click(7, "disk", 70, 7)).expect("append");
+        store.seal().expect("seal");
+        drop(store);
+        let store = SegmentStore::open_std(&dir, SegmentConfig::default()).expect("reopen");
+        assert_eq!(
+            store.replay().expect("replay"),
+            vec![click(7, "disk", 70, 7)]
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

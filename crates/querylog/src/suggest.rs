@@ -169,6 +169,25 @@ mod tests {
         }
     }
 
+    /// Audit: every caller-supplied shape is total — empty concepts,
+    /// zero budgets, and stop-word-only probes return empty instead of
+    /// panicking or probing out of range.
+    #[test]
+    fn adversarial_inputs_are_total() {
+        let l = log();
+        let svc = SuggestionService::new(&l);
+        assert!(svc.suggestions(&[], 10).is_empty());
+        assert!(svc.suggestions(&t("global warming"), 0).is_empty());
+        assert!(svc.phrase_suggestions(&[], 10).is_empty());
+        assert!(svc
+            .phrase_suggestions(&t("absent terms entirely"), 10)
+            .is_empty());
+        let empty_log = QueryLog::new();
+        let empty_svc = SuggestionService::new(&empty_log);
+        assert!(empty_svc.suggestions(&t("anything"), 10).is_empty());
+        assert!(empty_svc.paper_suggestions(&t("anything")).is_empty());
+    }
+
     #[test]
     fn stopwords_do_not_drive_relatedness() {
         let mut l = QueryLog::new();

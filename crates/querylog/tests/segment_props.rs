@@ -1,0 +1,250 @@
+//! Property tests for the event-sourced click log.
+//!
+//! Three invariants the incremental pipeline leans on:
+//!
+//! 1. **Codec totality** — every event round-trips through the binary
+//!    record codec bit-exactly, for arbitrary (including adversarial)
+//!    field values, and a clean buffer recovers fully.
+//! 2. **Compaction transparency** — replaying a compacted store yields
+//!    exactly the additive fold of the original events, so any additive
+//!    projection sees the same totals through either form.
+//! 3. **Delta-merge parity** — bootstrapping once over a full event
+//!    stream produces the same packed serving state, bit-exactly, as
+//!    bootstrapping empty and merging the stream in arbitrarily split
+//!    incremental deltas (the framework's epoch-publish path).
+
+use ctxrank_framework::{FrozenParts, GlobalTidTable, PackedRelevanceStore, SnapshotProjector};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_querylog::{
+    compact_events, decode_all, decode_valid_prefix, Event, SegmentConfig, SegmentStore,
+};
+use proptest::prelude::*;
+
+/// Raw material for one arbitrary event: `kind` picks the variant, the
+/// rest feed its fields (the vendored proptest has no `prop_oneof`, so
+/// variant selection happens in the conversion).
+type RawEvent = (u64, String, u64, u64, u64);
+
+fn raw_event_strategy() -> impl Strategy<Value = Vec<RawEvent>> {
+    prop::collection::vec(
+        (
+            0u64..=u64::MAX,
+            "[a-z ]{0,12}",
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..2,
+        ),
+        0..40,
+    )
+}
+
+fn to_event(raw: &RawEvent) -> Event {
+    let (story, surface, views, clicks, kind) = raw;
+    if *kind == 0 {
+        Event::Click {
+            story: *story,
+            surface: surface.clone(),
+            views: *views,
+            clicks: *clicks,
+        }
+    } else {
+        Event::Query {
+            terms: surface.split_whitespace().map(str::to_string).collect(),
+            freq: *views,
+        }
+    }
+}
+
+/// Surfaces the parity projector's base knows about.
+const POOL: [&str; 4] = ["solar flares", "oil", "meteor shower", "gold price"];
+
+/// Raw material for a bounded pool event: values small enough that no
+/// counter saturates, surfaces drawn from [`POOL`].
+type RawPoolEvent = (u64, usize, u64, u64, u64);
+
+fn raw_pool_strategy(max_len: usize) -> impl Strategy<Value = Vec<RawPoolEvent>> {
+    prop::collection::vec(
+        (
+            0u64..50,
+            0usize..POOL.len(),
+            30u64..5_000,
+            0u64..100,
+            0u64..2,
+        ),
+        0..max_len,
+    )
+}
+
+fn to_pool_event(raw: &RawPoolEvent) -> Event {
+    let (story, surface_idx, views, clicks, kind) = raw;
+    let surface = POOL[*surface_idx];
+    if *kind == 0 {
+        Event::Click {
+            story: *story,
+            surface: surface.to_string(),
+            views: *views,
+            clicks: *clicks,
+        }
+    } else {
+        Event::Query {
+            terms: surface.split(' ').map(str::to_string).collect(),
+            freq: *clicks + 1,
+        }
+    }
+}
+
+fn frozen() -> FrozenParts {
+    let mut tids = GlobalTidTable::new();
+    let kw = ctxrank_features::RelevantTerms {
+        terms: vec![(ctxrank_text::stem("sunspot"), 2.0)],
+    };
+    let relevance = PackedRelevanceStore::build(vec![("solar flares", &kw)], &mut tids);
+    let groups: Vec<RankGroup> = (0..10)
+        .map(|g| {
+            RankGroup::from_pairs((0..2).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[0] = (g + i) as f64;
+                (f, i as f64 * 0.01)
+            }))
+        })
+        .collect();
+    FrozenParts {
+        relevance,
+        tids,
+        model: train(&groups, &SvmConfig::default()),
+    }
+}
+
+fn base() -> Vec<(String, ctxrank_features::InterestFeatures)> {
+    vec![
+        (
+            "solar flares".to_string(),
+            ctxrank_features::InterestFeatures {
+                freq_exact: 100,
+                freq_phrase_contained: 150,
+                concept_size: 2,
+                number_of_chars: 12,
+                ..Default::default()
+            },
+        ),
+        (
+            "oil".to_string(),
+            ctxrank_features::InterestFeatures {
+                freq_exact: 40,
+                concept_size: 1,
+                number_of_chars: 3,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+proptest! {
+    /// Invariant 1: encode → decode is the identity on any event list,
+    /// through both the strict and the recovering decoder.
+    #[test]
+    fn encode_decode_roundtrip(raw in raw_event_strategy()) {
+        let events: Vec<Event> = raw.iter().map(to_event).collect();
+        let mut buf = Vec::new();
+        for e in &events {
+            e.encode_into(&mut buf);
+        }
+        let strict = decode_all(&buf).expect("clean buffer decodes");
+        prop_assert_eq!(&strict, &events);
+        let (recovered, consumed) = decode_valid_prefix(&buf);
+        prop_assert_eq!(&recovered, &events);
+        prop_assert_eq!(consumed, buf.len());
+    }
+
+    /// Invariant 1b: a torn tail never corrupts earlier records — for
+    /// every truncation point the recovering decoder returns a prefix of
+    /// the original event list.
+    #[test]
+    fn truncation_recovers_a_prefix(raw in raw_event_strategy(), cut_frac in 0.0f64..1.0) {
+        let events: Vec<Event> = raw.iter().map(to_event).collect();
+        let mut buf = Vec::new();
+        for e in &events {
+            e.encode_into(&mut buf);
+        }
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        let (recovered, consumed) = decode_valid_prefix(&buf[..cut]);
+        prop_assert!(consumed <= cut);
+        prop_assert!(recovered.len() <= events.len());
+        prop_assert_eq!(&recovered[..], &events[..recovered.len()]);
+    }
+
+    /// Invariant 2: replay(compact(store)) == compact_events(replay(store)),
+    /// and compaction is idempotent.
+    #[test]
+    fn compacted_replay_is_the_additive_fold(
+        raw in raw_pool_strategy(60),
+        segment_bytes in 64usize..2048,
+    ) {
+        let events: Vec<Event> = raw.iter().map(to_pool_event).collect();
+        let mut store = SegmentStore::in_memory(SegmentConfig { segment_bytes });
+        for e in &events {
+            store.append(e).expect("in-memory append");
+        }
+        store.seal().expect("seal");
+        let original = store.replay().expect("replay original");
+        prop_assert_eq!(&original, &events);
+
+        let folded = compact_events(&original);
+        let (before, after) = store.compact().expect("compact");
+        prop_assert_eq!(before, events.len() as u64);
+        prop_assert_eq!(after, folded.len() as u64);
+        prop_assert_eq!(&store.replay().expect("replay compacted"), &folded);
+        prop_assert_eq!(store.sealed_events(), folded.len() as u64);
+
+        // Idempotent: a second compaction changes nothing.
+        let (b2, a2) = store.compact().expect("recompact");
+        prop_assert_eq!(b2, a2);
+        prop_assert_eq!(&store.replay().expect("replay twice-compacted"), &folded);
+    }
+
+    /// Invariant 3: bootstrap-over-everything equals bootstrap-then-
+    /// incremental-deltas, bit-exactly, for every split of the stream.
+    #[test]
+    fn delta_merge_parity(
+        raw in raw_pool_strategy(30),
+        splits in prop::collection::vec(0usize..31, 0..4),
+    ) {
+        let events: Vec<Event> = raw.iter().map(to_pool_event).collect();
+
+        // Path A: one projector folds the whole stream in one delta.
+        let (mut one_shot, _) = SnapshotProjector::bootstrap(frozen(), base()).expect("bootstrap");
+        let whole = one_shot.fold(&events);
+        let snap_a = one_shot.apply(&whole).expect("apply whole");
+
+        // Path B: the same stream in sorted split batches.
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s.min(events.len())).collect();
+        cuts.push(0);
+        cuts.push(events.len());
+        cuts.sort_unstable();
+        let (mut stepped, _) = SnapshotProjector::bootstrap(frozen(), base()).expect("bootstrap");
+        let mut snap_b = None;
+        for pair in cuts.windows(2) {
+            let delta = stepped.fold(&events[pair[0]..pair[1]]);
+            snap_b = Some(stepped.apply(&delta).expect("apply batch"));
+        }
+        let snap_b = snap_b.expect("at least one batch");
+
+        // Bit-exact serving state: same quantizers, same packed rows.
+        prop_assert_eq!(snap_a.interest().len(), snap_b.interest().len());
+        prop_assert_eq!(snap_a.interest().quantizers(), snap_b.interest().quantizers());
+        for (surface, _) in base() {
+            prop_assert_eq!(
+                snap_a.interest().dense(&surface),
+                snap_b.interest().dense(&surface)
+            );
+        }
+        for e in &events {
+            if let Event::Click { surface, .. } = e {
+                prop_assert_eq!(
+                    snap_a.interest().dense(surface),
+                    snap_b.interest().dense(surface)
+                );
+            }
+        }
+    }
+}

@@ -111,6 +111,13 @@ pub struct Metrics {
     /// Separates "we queued too long" from "ranking was slow" when an
     /// SLO is missed.
     queue_wait: Histogram,
+    /// Sealed click-log events not yet folded into the served snapshot
+    /// (newest sealed segment vs. served epoch).
+    ingest_lag_events: AtomicU64,
+    /// Incremental delta publishes applied to the served snapshot.
+    delta_publishes: AtomicU64,
+    /// Bytes across live sealed click-log segments.
+    segment_bytes: AtomicU64,
 }
 
 impl Metrics {
@@ -201,6 +208,33 @@ impl Metrics {
         self.queue_wait.observe(secs);
     }
 
+    /// Set the ingest lag: sealed events not yet in the served epoch.
+    pub fn set_ingest_lag_events(&self, events: u64) {
+        self.ingest_lag_events.store(events, Ordering::Relaxed);
+    }
+
+    pub fn ingest_lag_events(&self) -> u64 {
+        self.ingest_lag_events.load(Ordering::Relaxed)
+    }
+
+    /// Count one incremental delta publish.
+    pub fn record_delta_publish(&self) {
+        self.delta_publishes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn delta_publish_total(&self) -> u64 {
+        self.delta_publishes.load(Ordering::Relaxed)
+    }
+
+    /// Set the live sealed-segment footprint of the click log.
+    pub fn set_segment_bytes(&self, bytes: u64) {
+        self.segment_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes.load(Ordering::Relaxed)
+    }
+
     /// Jobs with an observed queue wait (tests/benches).
     pub fn queue_wait_count(&self) -> u64 {
         self.queue_wait.count.load(Ordering::Relaxed)
@@ -289,6 +323,31 @@ impl Metrics {
         out.push_str("# HELP ctxrank_snapshot_epoch Epoch of the snapshot being served.\n");
         out.push_str("# TYPE ctxrank_snapshot_epoch gauge\n");
         out.push_str(&format!("ctxrank_snapshot_epoch {epoch}\n"));
+
+        out.push_str(
+            "# HELP ctxrank_ingest_lag_events Sealed click-log events not yet folded into the served epoch.\n",
+        );
+        out.push_str("# TYPE ctxrank_ingest_lag_events gauge\n");
+        out.push_str(&format!(
+            "ctxrank_ingest_lag_events {}\n",
+            self.ingest_lag_events.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP ctxrank_delta_publish_total Incremental delta publishes applied to the served snapshot.\n",
+        );
+        out.push_str("# TYPE ctxrank_delta_publish_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_delta_publish_total {}\n",
+            self.delta_publishes.load(Ordering::Relaxed)
+        ));
+
+        out.push_str("# HELP ctxrank_segment_bytes Bytes across live sealed click-log segments.\n");
+        out.push_str("# TYPE ctxrank_segment_bytes gauge\n");
+        out.push_str(&format!(
+            "ctxrank_segment_bytes {}\n",
+            self.segment_bytes.load(Ordering::Relaxed)
+        ));
 
         out.push_str("# HELP ctxrank_rank_batches_total Micro-batches executed.\n");
         out.push_str("# TYPE ctxrank_rank_batches_total counter\n");
@@ -428,6 +487,27 @@ mod tests {
         assert_eq!(m.cache_misses_total(), 1);
         assert_eq!(m.cache_evictions_total(), 1);
         assert_eq!(m.cache_bytes(), 380);
+    }
+
+    #[test]
+    fn ingestion_metrics_render() {
+        let m = Metrics::default();
+        m.set_ingest_lag_events(42);
+        m.record_delta_publish();
+        m.record_delta_publish();
+        m.set_segment_bytes(8192);
+        let text = m.render_prometheus(3);
+        assert!(text.contains("ctxrank_ingest_lag_events 42"));
+        assert!(text.contains("ctxrank_delta_publish_total 2"));
+        assert!(text.contains("ctxrank_segment_bytes 8192"));
+        assert_eq!(m.ingest_lag_events(), 42);
+        assert_eq!(m.delta_publish_total(), 2);
+        assert_eq!(m.segment_bytes(), 8192);
+        // The lag gauge is a set-style gauge: it can go back down.
+        m.set_ingest_lag_events(0);
+        assert!(m
+            .render_prometheus(3)
+            .contains("ctxrank_ingest_lag_events 0"));
     }
 
     #[test]

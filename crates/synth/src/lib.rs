@@ -23,7 +23,10 @@
 //! * a **click model** ([`clicks`]) that turns latent
 //!   interestingness × relevance into views/clicks/CTR with position bias
 //!   and binomial sampling — the paper's causal assumption (§I-B),
-//! * simulated **editorial judges** ([`judges`]) for the Table VI study.
+//! * simulated **editorial judges** ([`judges`]) for the Table VI study,
+//! * a lazy **event-stream generator** ([`stream`]) that synthesizes
+//!   click/query logs of arbitrary magnitude one event at a time for the
+//!   append-only ingestion path — nothing is materialized.
 //!
 //! Everything is generated from a single `u64` seed; the same seed always
 //! produces the same world.
@@ -37,6 +40,7 @@ pub mod lexicon;
 pub mod news;
 pub mod queries;
 pub mod rng;
+pub mod stream;
 pub mod world;
 
 pub use clicks::{ClickConfig, ClickRecord, StoryClicks};
@@ -48,4 +52,5 @@ pub use lexicon::Lexicon;
 pub use news::{NewsConfig, NewsStory};
 pub use queries::QueryConfig;
 pub use rng::{ZipfQueryMix, ZipfSampler};
+pub use stream::{EventStream, StreamConfig};
 pub use world::{SynthWorld, WorldConfig};

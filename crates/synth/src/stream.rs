@@ -1,0 +1,288 @@
+//! Streaming click/query log generation.
+//!
+//! The batch generators in [`crate::world`] materialize a whole world in
+//! memory, which caps the click-log experiments at what fits in RAM. The
+//! ingestion path in `ctxrank-querylog` is an *append-only* consumer,
+//! though: it only ever sees one event at a time. [`EventStream`] feeds
+//! it at arbitrary magnitude — a seeded iterator that synthesizes
+//! [`Event`]s lazily, so "replay a log of ten million events" allocates
+//! the surface vocabulary once and nothing else.
+//!
+//! The stream preserves the statistical shape the rest of the crate
+//! models: surface popularity is Zipf-distributed, per-surface CTRs are
+//! heavy-tailed (most surfaces are dull, a few are hot), story view
+//! counts are log-normal, and clicks are drawn binomially from the views
+//! — the paper's §I-B causal chain, reduced to the event-log fields the
+//! segment store persists.
+
+use crate::lexicon::Lexicon;
+use crate::rng::{self, ZipfSampler};
+use ctxrank_querylog::Event;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Shape of a synthetic event stream.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Seed; the same seed always yields the same event sequence.
+    pub seed: u64,
+    /// Total events the stream emits (the magnitude knob — millions are
+    /// fine, the stream is lazy).
+    pub events: u64,
+    /// Distinct surface vocabulary size (the only O(n) allocation).
+    pub surfaces: usize,
+    /// Zipf exponent on surface popularity.
+    pub zipf_exponent: f64,
+    /// Probability an event is a `Click` report (the rest are `Query`
+    /// frequency records).
+    pub click_fraction: f64,
+    /// Log-normal location/scale of story view counts (matches
+    /// [`crate::clicks::ClickConfig`] defaults).
+    pub view_mu: f64,
+    /// See `view_mu`.
+    pub view_sigma: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            events: 100_000,
+            surfaces: 5_000,
+            zipf_exponent: 1.05,
+            click_fraction: 0.5,
+            view_mu: 4.6,
+            view_sigma: 1.0,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A stream of `events` events with every other knob at its default.
+    pub fn of_magnitude(seed: u64, events: u64) -> Self {
+        Self {
+            seed,
+            events,
+            ..Self::default()
+        }
+    }
+}
+
+/// A lazy, seeded iterator of click-log [`Event`]s.
+///
+/// Memory use is `O(surfaces)` regardless of `events`: the vocabulary
+/// and its latent CTRs are precomputed, every event is synthesized on
+/// `next()`. The iterator reports an exact length so harnesses can
+/// pre-size progress accounting without draining it.
+#[derive(Debug, Clone)]
+pub struct EventStream {
+    surfaces: Vec<String>,
+    /// Latent per-surface click-through rate (heavy-tailed).
+    ctrs: Vec<f64>,
+    popularity: ZipfSampler,
+    rng: StdRng,
+    click_fraction: f64,
+    view_mu: f64,
+    view_sigma: f64,
+    remaining: u64,
+    next_story: u64,
+}
+
+impl EventStream {
+    /// Build the stream: allocates the vocabulary, nothing per-event.
+    ///
+    /// # Panics
+    /// Panics when `config.surfaces == 0` (via [`ZipfSampler::new`]).
+    pub fn new(config: &StreamConfig) -> Self {
+        let lex = Lexicon::generate(config.seed ^ 0x57AE11, config.surfaces.max(1), 1, 1);
+        let words = lex.general();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC11C_10D7);
+        let mut surfaces = Vec::with_capacity(config.surfaces);
+        let mut ctrs = Vec::with_capacity(config.surfaces);
+        for i in 0..config.surfaces {
+            let head = &words[i % words.len()];
+            // A third of the vocabulary is multi-term, so phrase queries
+            // and multi-word surfaces exercise the same code paths the
+            // batch world does.
+            let surface = if i % 3 == 0 {
+                let tail = &words[(i.wrapping_mul(7) + 1) % words.len()];
+                format!("{head} {tail}")
+            } else {
+                head.clone()
+            };
+            surfaces.push(surface);
+            // Latent interestingness -> CTR, heavy-tailed like the click
+            // model's interestingness distribution.
+            ctrs.push(0.08 * rng::heavy_tail01(&mut rng, 2.0));
+        }
+        Self {
+            surfaces,
+            ctrs,
+            popularity: ZipfSampler::new(config.surfaces.max(1), config.zipf_exponent),
+            rng,
+            click_fraction: config.click_fraction,
+            view_mu: config.view_mu,
+            view_sigma: config.view_sigma,
+            remaining: config.events,
+            next_story: 0,
+        }
+    }
+
+    /// Events not yet emitted.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The surface vocabulary (rank order).
+    pub fn surfaces(&self) -> &[String] {
+        &self.surfaces
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let rank = self.popularity.sample(&mut self.rng);
+        let surface = self.surfaces[rank].clone();
+        if rng::flip(&mut self.rng, self.click_fraction) {
+            let views = rng::log_normal(&mut self.rng, self.view_mu, self.view_sigma)
+                .round()
+                .clamp(1.0, 2_000_000.0) as u64;
+            let clicks = rng::binomial(&mut self.rng, views, self.ctrs[rank]);
+            let story = self.next_story;
+            self.next_story += 1;
+            Some(Event::Click {
+                story,
+                surface,
+                views,
+                clicks,
+            })
+        } else {
+            let terms: Vec<String> = surface.split(' ').map(str::to_string).collect();
+            let freq = rng::log_normal(&mut self.rng, 0.0, 1.5).ceil().max(1.0) as u64;
+            Some(Event::Query { terms, freq })
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, usize::try_from(self.remaining).ok())
+    }
+}
+
+impl ExactSizeIterator for EventStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_querylog::{SegmentConfig, SegmentStore};
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let config = StreamConfig {
+            events: 2_000,
+            ..StreamConfig::default()
+        };
+        let a: Vec<Event> = EventStream::new(&config).collect();
+        let b: Vec<Event> = EventStream::new(&config).collect();
+        assert_eq!(a, b);
+        let c: Vec<Event> = EventStream::new(&StreamConfig { seed: 2, ..config }).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn emits_exactly_the_configured_magnitude() {
+        let config = StreamConfig::of_magnitude(3, 12_345);
+        let stream = EventStream::new(&config);
+        assert_eq!(stream.len(), 12_345);
+        assert_eq!(stream.count(), 12_345);
+    }
+
+    #[test]
+    fn mixes_clicks_and_queries() {
+        let config = StreamConfig {
+            events: 4_000,
+            click_fraction: 0.5,
+            ..StreamConfig::default()
+        };
+        let clicks = EventStream::new(&config)
+            .filter(|e| matches!(e, Event::Click { .. }))
+            .count();
+        assert!(
+            (1_400..=2_600).contains(&clicks),
+            "clicks {clicks} of 4000 at p=0.5"
+        );
+    }
+
+    #[test]
+    fn click_events_are_physical() {
+        let config = StreamConfig {
+            events: 3_000,
+            click_fraction: 1.0,
+            ..StreamConfig::default()
+        };
+        let mut stories = Vec::new();
+        for e in EventStream::new(&config) {
+            let Event::Click {
+                story,
+                surface,
+                views,
+                clicks,
+            } = e
+            else {
+                panic!("click_fraction=1.0 emits clicks only");
+            };
+            assert!(!surface.is_empty());
+            assert!(views >= 1);
+            assert!(clicks <= views, "clicks {clicks} > views {views}");
+            stories.push(story);
+        }
+        assert!(stories.windows(2).all(|w| w[1] == w[0] + 1), "monotone ids");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let config = StreamConfig {
+            events: 20_000,
+            surfaces: 100,
+            ..StreamConfig::default()
+        };
+        let stream = EventStream::new(&config);
+        let hot = stream.surfaces()[0].clone();
+        let cold = stream.surfaces()[90].clone();
+        let mut hot_n = 0usize;
+        let mut cold_n = 0usize;
+        for e in stream {
+            let s = match &e {
+                Event::Click { surface, .. } => surface.clone(),
+                Event::Query { terms, .. } => terms.join(" "),
+            };
+            if s == hot {
+                hot_n += 1;
+            } else if s == cold {
+                cold_n += 1;
+            }
+        }
+        assert!(hot_n > cold_n, "hot {hot_n} vs cold {cold_n}");
+    }
+
+    #[test]
+    fn streams_into_a_segment_store_without_materializing() {
+        let mut store = SegmentStore::in_memory(SegmentConfig {
+            segment_bytes: 16 * 1024,
+        });
+        let config = StreamConfig::of_magnitude(7, 5_000);
+        for e in EventStream::new(&config) {
+            store.append(&e).expect("in-memory append");
+        }
+        store.seal().expect("seal tail");
+        assert_eq!(store.sealed_events(), 5_000);
+        assert!(store.sealed().len() > 1, "magnitude spans segments");
+        assert_eq!(store.replay().expect("replay").len(), 5_000);
+    }
+}

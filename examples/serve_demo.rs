@@ -1,5 +1,7 @@
 //! End-to-end serving demo: build a synthetic snapshot through the
-//! offline stage pipeline, then serve it over HTTP until told to stop.
+//! offline stage pipeline, stream a burst of fresh click events through
+//! the append-only segment log into an incremental delta publish, then
+//! serve the updated snapshot over HTTP until told to stop.
 //!
 //! ```text
 //! cargo run --release --example serve_demo
@@ -13,15 +15,16 @@
 //! Knobs: `CTXRANK_SERVE_ADDR` (default `127.0.0.1:7878`),
 //! `CTXRANK_THREADS` (worker pool size).
 
-use ctxrank_bench::{build_snapshot, Experiment, ExperimentConfig};
+use ctxrank_bench::{build_projector, Experiment, ExperimentConfig};
 use ctxrank_framework::ServiceHandle;
+use ctxrank_querylog::{Event, SegmentConfig, SegmentStore};
 use ctxrank_serve::{ServeConfig, Server};
 use std::sync::Arc;
 
 fn main() {
     eprintln!("serve_demo: building the synthetic experiment (offline stage pipeline)...");
     let exp = Experiment::build(ExperimentConfig::small(0xd43a));
-    let snapshot = build_snapshot(&exp);
+    let (mut projector, snapshot) = build_projector(&exp);
     eprintln!(
         "serve_demo: snapshot epoch {} with {} concepts",
         snapshot.epoch(),
@@ -49,6 +52,38 @@ fn main() {
         .with_cache(32 << 20),
     )
     .expect("start server");
+
+    // Streaming ingestion: a burst of fresh click events lands in the
+    // append-only log, seals, and folds into an incremental delta
+    // publish — the served epoch advances without an offline rebuild.
+    let mut store = SegmentStore::in_memory(SegmentConfig::default());
+    for (i, s) in surfaces.iter().take(64).enumerate() {
+        store
+            .append(&Event::Click {
+                story: 1_000_000 + i as u64,
+                surface: s.to_string(),
+                views: 120,
+                clicks: (i % 7) as u64,
+            })
+            .expect("in-memory append");
+    }
+    store.seal().expect("seal ingest burst");
+    let folded = projector.folded_seq();
+    let lag: u64 = store
+        .sealed()
+        .iter()
+        .filter(|m| m.seq >= folded)
+        .map(|m| m.events)
+        .sum();
+    server.metrics().set_ingest_lag_events(lag);
+    server.metrics().set_segment_bytes(store.sealed_bytes());
+    eprintln!("serve_demo: {lag} sealed events behind the served epoch");
+    let epoch = projector
+        .publish_from(&store, &handle)
+        .expect("delta publish");
+    server.metrics().record_delta_publish();
+    server.metrics().set_ingest_lag_events(0);
+    eprintln!("serve_demo: delta publish advanced serving to epoch {epoch}");
 
     let local = server.local_addr();
     let body = serde_json::json!({

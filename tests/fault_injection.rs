@@ -24,16 +24,19 @@ use ctxrank_features::{InterestFeatures, RelevantTerms};
 use ctxrank_framework::persist::{
     load_service, load_service_with, load_snapshot, load_snapshot_with, save_service,
     save_service_with, save_snapshot, save_snapshot_legacy, save_snapshot_with, PersistError,
+    PersistFs,
 };
 use ctxrank_framework::{
     GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot,
     SnapshotBuilder,
 };
 use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_querylog::{Event, SegmentConfig, SegmentFs, SegmentStore, StdSegmentFs};
 use ctxrank_serve::client::{one_shot, request_with_retry, ClientConfig, Conn};
 use ctxrank_serve::{ServeConfig, Server};
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -648,4 +651,261 @@ fn publish_chaos_never_regresses_epochs_or_serves_torn_snapshots() {
     assert!(handle.epoch() >= scores.keys().copied().min().unwrap_or(0));
 
     server.shutdown();
+}
+
+// ------------------------------------------------------------- segments
+
+/// Adapts the persist-layer [`FaultyFs`] to the segment store's fs
+/// trait. The two traits expose the same four primitives, so the same
+/// seeded fault plans drive the event-log sweeps.
+struct FaultSegmentFs(FaultyFs);
+
+impl SegmentFs for FaultSegmentFs {
+    fn open_read(&self, path: &Path) -> io::Result<Box<dyn Read>> {
+        PersistFs::open_read(&self.0, path)
+    }
+    fn create_write(&self, path: &Path) -> io::Result<Box<dyn Write>> {
+        PersistFs::create_write(&self.0, path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        PersistFs::rename(&self.0, from, to)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        PersistFs::create_dir_all(&self.0, path)
+    }
+}
+
+fn faulty_segment_fs(plan: FaultPlan) -> Arc<dyn SegmentFs> {
+    Arc::new(FaultSegmentFs(FaultyFs::new(Arc::new(plan))))
+}
+
+/// A deterministic mixed click/query stream for the segment sweeps.
+fn segment_events(n: usize) -> Vec<Event> {
+    (0..n)
+        .map(|i| {
+            if i % 4 == 3 {
+                Event::Query {
+                    terms: vec![format!("term{}", i % 6), "probe".to_string()],
+                    freq: i as u64 + 1,
+                }
+            } else {
+                Event::Click {
+                    story: (i / 3) as u64,
+                    surface: format!("surface {}", i % 5),
+                    views: 100 + i as u64,
+                    clicks: (i % 9) as u64,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Torn-write sweep over segment append + seal: a tear in the WAL or a
+/// dying seal must truncate cleanly to the last valid record on
+/// recovery — sealed history is never corrupted, and the recovered
+/// unsealed tail is always a strict prefix of what was appended.
+#[test]
+fn segment_sweep_torn_appends_recover_a_clean_prefix() {
+    let base = seed_from_env(0xC11C_5E65);
+    announce("segment_sweep_torn_appends_recover_a_clean_prefix", base);
+
+    const SEALED: usize = 12;
+    const TAIL: usize = 10;
+    let mut sync_failures = 0usize;
+    let mut seal_failures = 0usize;
+    let mut clean_runs = 0usize;
+    let mut truncated_tails = 0usize;
+
+    for round in 0..200u64 {
+        let seed = base.wrapping_add(round);
+        let dir = TempDir::new("seg-torn");
+
+        // A good store with sealed history, written through a clean fs.
+        let committed = segment_events(SEALED);
+        let config = SegmentConfig {
+            segment_bytes: 1 << 20,
+        };
+        {
+            let mut store = SegmentStore::open(Arc::new(StdSegmentFs), dir.path(), config)
+                .expect("open clean store");
+            for e in &committed {
+                store.append(e).expect("clean append");
+            }
+            store.seal().expect("clean seal");
+        }
+
+        // Append an unsealed tail through a torn-write-only fs: every
+        // failure below is a partial write followed by an error, never
+        // a silently dropped byte. ~13 faultable writes per round, so
+        // 15% keeps every regime (clean, torn sync, torn seal) well
+        // populated for arbitrary CI seeds.
+        let fs = faulty_segment_fs(FaultPlan::with_kinds(
+            seed,
+            150,
+            &[],
+            &[FaultKind::TornWrite],
+        ));
+        let tail = segment_events(SEALED + TAIL)[SEALED..].to_vec();
+        let mut round_failed = false;
+        let final_seal_ok = {
+            let mut store = SegmentStore::open(fs, dir.path(), config).expect("reads are clean");
+            for e in &tail {
+                store.append(e).expect("append only buffers in memory");
+                if let Err(e) = store.sync() {
+                    assert!(!e.to_string().is_empty(), "sync error must display");
+                    sync_failures += 1;
+                    round_failed = true;
+                }
+            }
+            match store.seal() {
+                Ok(meta) => {
+                    assert!(meta.is_some(), "non-empty buffer seals to a segment");
+                    true
+                }
+                Err(e) => {
+                    assert!(!e.to_string().is_empty(), "seal error must display");
+                    seal_failures += 1;
+                    round_failed = true;
+                    false
+                }
+            }
+        };
+        if !round_failed {
+            clean_runs += 1;
+        }
+
+        // Crash and recover through a clean fs. Sealed history replays
+        // intact; the recovered tail is a prefix of what was appended.
+        let mut recovered = SegmentStore::open(Arc::new(StdSegmentFs), dir.path(), config)
+            .expect("recovery after torn writes");
+        if final_seal_ok {
+            // The manifest committed: the whole tail is sealed history.
+            assert_eq!(recovered.active_events(), 0);
+            let mut expected = committed.clone();
+            expected.extend(tail.iter().cloned());
+            assert_eq!(recovered.replay().expect("replay"), expected);
+        } else {
+            let kept = recovered.active_events() as usize;
+            assert!(kept <= TAIL, "recovered more events than were appended");
+            if kept < TAIL {
+                truncated_tails += 1;
+            }
+            assert_eq!(
+                recovered.replay().expect("replay"),
+                committed,
+                "a torn tail write corrupted sealed history"
+            );
+            // Sealing the recovered tail yields exactly a prefix of the
+            // appended events — nothing reordered, nothing invented.
+            recovered.seal().expect("seal recovered tail");
+            let mut expected = committed.clone();
+            expected.extend(tail[..kept].iter().cloned());
+            assert_eq!(recovered.replay().expect("replay recovered"), expected);
+        }
+    }
+
+    eprintln!(
+        "segment torn sweep: {sync_failures} torn syncs, {seal_failures} torn seals, \
+         {clean_runs} clean runs, {truncated_tails} truncated tails"
+    );
+    assert!(sync_failures > 0, "sweep never tore a WAL sync");
+    assert!(seal_failures > 0, "sweep never tore a seal");
+    assert!(clean_runs > 0, "sweep never completed a clean round");
+    assert!(truncated_tails > 0, "sweep never truncated a torn tail");
+}
+
+/// Read-fault sweep over sealed-segment replay: bit flips, premature
+/// EOF, and short reads either leave replay byte-intact or surface as a
+/// typed [`ctxrank_querylog::SegmentError`] — never a panic, never
+/// silently wrong events.
+#[test]
+fn segment_sweep_bit_flips_never_corrupt_replay() {
+    let base = seed_from_env(0x5E63_F11B);
+    announce("segment_sweep_bit_flips_never_corrupt_replay", base);
+
+    const SEALED: usize = 24;
+    const TAIL: usize = 4;
+    let mut open_rejected = 0usize;
+    let mut replay_rejected = 0usize;
+    let mut intact = 0usize;
+
+    for round in 0..200u64 {
+        let seed = base.wrapping_add(round) ^ 0x0BAD_F00D;
+        let dir = TempDir::new("seg-flip");
+
+        // Good on-disk state: several sealed segments plus a synced
+        // unsealed tail, all through a clean fs. The tail goes in via a
+        // large-segment reopen so it cannot auto-seal.
+        let events = segment_events(SEALED + TAIL);
+        let config = SegmentConfig { segment_bytes: 128 };
+        {
+            let mut store = SegmentStore::open(Arc::new(StdSegmentFs), dir.path(), config)
+                .expect("open clean store");
+            for e in &events[..SEALED] {
+                store.append(e).expect("clean append");
+            }
+            store.seal().expect("clean seal");
+        }
+        {
+            let tail_config = SegmentConfig {
+                segment_bytes: 1 << 20,
+            };
+            let mut store = SegmentStore::open(Arc::new(StdSegmentFs), dir.path(), tail_config)
+                .expect("reopen for tail");
+            for e in &events[SEALED..] {
+                store.append(e).expect("clean tail append");
+            }
+            store.sync().expect("clean sync");
+        }
+
+        // Reopen and replay through a read-fault-only fs. Replaying
+        // many small segments touches ~20 faultable reads per round, so
+        // the rate is lower than the write sweeps' to keep a healthy
+        // population of fully intact rounds.
+        let fs = faulty_segment_fs(FaultPlan::with_kinds(
+            seed,
+            100,
+            &[FaultKind::BitFlip, FaultKind::Eof, FaultKind::ShortRead],
+            &[],
+        ));
+        match SegmentStore::open(fs, dir.path(), config) {
+            Err(e) => {
+                // Manifest or WAL read faulted: typed and displayable.
+                assert!(!e.to_string().is_empty(), "open error must display");
+                open_rejected += 1;
+            }
+            Ok(store) => {
+                // A flipped WAL byte fails its record checksum, so the
+                // recovered tail can only shrink, never mutate.
+                assert!(
+                    store.active_events() as usize <= TAIL,
+                    "faulted WAL recovery invented events"
+                );
+                match store.replay() {
+                    Ok(replayed) => {
+                        assert_eq!(
+                            replayed,
+                            &events[..SEALED],
+                            "replay returned Ok with corrupted events"
+                        );
+                        intact += 1;
+                    }
+                    Err(e) => {
+                        assert!(!e.to_string().is_empty(), "replay error must display");
+                        replay_rejected += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    eprintln!(
+        "segment flip sweep: {open_rejected} opens rejected, \
+         {replay_rejected} replays rejected, {intact} intact"
+    );
+    assert!(
+        open_rejected + replay_rejected > 0,
+        "sweep never detected an injected read fault"
+    );
+    assert!(intact > 0, "sweep never replayed an intact store");
 }
