@@ -770,6 +770,70 @@ fn main() {
         loopback_batched,
     ));
 
+    // Scatter-gather router: the same keep-alive `/rank` workload
+    // against one unsharded server ("serial") vs the router fronting a
+    // 2-way partition of the same snapshot ("parallel"). The column
+    // pair prices the scatter hop + merge relative to the
+    // single-process baseline; bit-identity of the answers themselves
+    // is asserted by the cluster integration tests.
+    {
+        let full = ctxrank_bench::build_snapshot(&fx.exp);
+        let parts = ctxrank_framework::partition_snapshot(&full, 2).expect("partition snapshot");
+        let baseline = ctxrank_serve::Server::start(
+            std::sync::Arc::new(ctxrank_framework::ServiceHandle::new(full)),
+            ctxrank_bench::loopback_config(1),
+        )
+        .expect("start unsharded server");
+        let shards: Vec<ctxrank_serve::Server> = parts
+            .iter()
+            .map(|part| {
+                ctxrank_serve::Server::start(
+                    std::sync::Arc::new(ctxrank_framework::ServiceHandle::new(
+                        part.snapshot.clone(),
+                    )),
+                    ctxrank_bench::loopback_config(1).as_shard(part.bounds),
+                )
+                .expect("start shard server")
+            })
+            .collect();
+        let sg = std::sync::Arc::new(ctxrank_router::ScatterGather::new(
+            shards
+                .iter()
+                .map(|s| ctxrank_router::ShardSpec::single(s.local_addr()))
+                .collect(),
+            ctxrank_router::RouterConfig::default(),
+        ));
+        let router =
+            ctxrank_router::RouterServer::start(sg, ctxrank_router::RouterServerConfig::default())
+                .expect("start router");
+        // Untimed warmup: fault in both paths, fill the router's
+        // per-backend connection pools.
+        ctxrank_bench::drive_loopback_pass(baseline.local_addr(), &workload.bodies, true);
+        ctxrank_bench::drive_loopback_pass(router.local_addr(), &workload.bodies, true);
+        let (unsharded_s, routed_s) = best_pair(
+            reps,
+            || ctxrank_bench::drive_loopback_pass(baseline.local_addr(), &workload.bodies, true),
+            || ctxrank_bench::drive_loopback_pass(router.local_addr(), &workload.bodies, true),
+        );
+        let shard_count = shards.len();
+        router.shutdown();
+        for s in shards {
+            s.shutdown();
+        }
+        baseline.shutdown();
+        eprintln!(
+            "perf_report: router_scatter_gather unsharded={unsharded_s:.3}s routed={routed_s:.3}s"
+        );
+        rows.push(row(
+            "router_scatter_gather",
+            workload.doc_bytes,
+            ctxrank_bench::LOOPBACK_CLIENTS,
+            shard_count,
+            unsharded_s,
+            routed_s,
+        ));
+    }
+
     // Open-loop tail latency: Poisson arrivals at a fixed offered rate
     // (latency measured from the scheduled arrival — no coordinated
     // omission), Zipf query mix over a fixed body pool, with and

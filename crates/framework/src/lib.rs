@@ -30,7 +30,11 @@
 //! rebuilt snapshots under live traffic without locks on the read
 //! path. [`delta`] closes the loop incrementally: sealed click-stream
 //! segments fold into [`delta::DeltaSnapshot`]s that merge into the
-//! next epoch without a full rebuild.
+//! next epoch without a full rebuild. [`partition`] takes the artifact
+//! multi-process: it slices a snapshot into TID-range shards (row
+//! slices that rank bit-identically to the full artifact) and defines
+//! the two-phase [`partition::EpochBarrier`] shard publishes go
+//! through.
 
 pub(crate) mod arena;
 pub mod compressed;
@@ -39,6 +43,7 @@ pub mod golomb;
 pub mod memory;
 pub mod online;
 pub mod packed;
+pub mod partition;
 pub mod persist;
 pub mod ranker;
 pub mod relstore;
@@ -52,6 +57,10 @@ pub use golomb::{golomb_decode, golomb_encode, optimal_rice_parameter};
 pub use memory::MemoryReport;
 pub use online::{OnlineConfig, OnlineCtrAdjuster};
 pub use packed::{FieldQuantizer, PackedInterestStore};
+pub use partition::{
+    owner_shard, partition_snapshot, shard_of_tid, BarrierError, EpochBarrier, PartitionError,
+    ShardBounds, ShardPartition,
+};
 pub use persist::{
     load_ranker, load_service, load_service_with, load_snapshot, load_snapshot_with, save_ranker,
     save_service, save_service_with, save_snapshot, save_snapshot_legacy,

@@ -129,6 +129,11 @@ impl PackedInterestStore {
     pub fn quantizers(&self) -> &[FieldQuantizer; InterestFeatures::DIM] {
         &self.quantizers
     }
+
+    /// Whether `surface` has a stored feature row.
+    pub fn contains(&self, surface: &str) -> bool {
+        self.names.lookup(surface).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,11 @@ impl RuntimeRanker {
         &self.snapshot
     }
 
+    /// Unwrap the view into its pinned snapshot.
+    pub fn into_snapshot(self) -> Arc<Snapshot> {
+        self.snapshot
+    }
+
     /// The pinned snapshot's epoch.
     pub fn epoch(&self) -> u64 {
         self.snapshot.epoch()

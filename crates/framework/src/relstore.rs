@@ -160,6 +160,11 @@ impl PackedRelevanceStore {
     pub fn score_scale(&self) -> f64 {
         self.score_scale
     }
+
+    /// Whether `surface` has a stored keyword list.
+    pub fn contains(&self, surface: &str) -> bool {
+        self.names.lookup(surface).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -156,6 +156,14 @@ impl Snapshot {
         &self.model
     }
 
+    /// Whether this snapshot stores `surface` in either frozen store —
+    /// i.e. whether a shard built by `partition_snapshot` *owns* the
+    /// concept. Candidates failing this check rank with zeroed features
+    /// and zero relevance, identically on every shard.
+    pub fn contains_concept(&self, surface: &str) -> bool {
+        self.interest.contains(surface) || self.relevance.contains(surface)
+    }
+
     /// Resolve a raw (unnormalized) token to its interned TermId; the
     /// slow path behind the memo cache.
     fn resolve_token(&self, raw: &str) -> Option<TermId> {

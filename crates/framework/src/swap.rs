@@ -225,15 +225,29 @@ impl ServiceHandle {
     /// returned epoch. This is the hook the network serving layer's
     /// micro-batcher builds on (`ctxrank-serve`).
     pub fn rank_batch_online(&self, docs: &[(&str, &[String])]) -> (u64, Vec<Vec<RankedConcept>>) {
+        let (snapshot, results) = self.rank_batch_online_pinned(docs);
+        (snapshot.epoch(), results)
+    }
+
+    /// [`rank_batch_online`](Self::rank_batch_online) returning the
+    /// pinned snapshot itself instead of just its epoch. Shard serving
+    /// uses this to compute partition ownership (`contains_concept`)
+    /// against exactly the snapshot that ranked the batch — checking a
+    /// freshly loaded snapshot instead would race a publish landing
+    /// between ranking and rendering.
+    pub fn rank_batch_online_pinned(
+        &self,
+        docs: &[(&str, &[String])],
+    ) -> (Arc<Snapshot>, Vec<Vec<RankedConcept>>) {
         let ranker = self.ranker();
-        let epoch = ranker.epoch();
         let adjuster = self.adjuster.read();
         let results = ctxrank_parallel::par_map(
             ctxrank_parallel::num_threads(),
             docs,
             |(text, candidates)| ranker.rank_online(text, candidates, &adjuster),
         );
-        (epoch, results)
+        drop(adjuster);
+        (ranker.into_snapshot(), results)
     }
 
     /// Snapshots retained for reader safety (diagnostics; see the

@@ -1,0 +1,619 @@
+//! `ctxrank-router` — a scatter-gather front for TID-range-sharded
+//! snapshot servers.
+//!
+//! The single-process server (`ctxrank-serve`) holds the whole
+//! [`Snapshot`](ctxrank_framework::Snapshot) in one arena. This crate
+//! removes that ceiling: [`partition_snapshot`] splits the concept
+//! space by the owning keyword's `TermId` range, one `ctxrank-serve`
+//! process per shard loads its slice (plus optional replicas of the
+//! same slice), and the router fans every `POST /rank` out to all
+//! shards, merges the per-shard rankings, and answers as if it were a
+//! single unsharded server.
+//!
+//! Three properties the router guarantees:
+//!
+//! * **Bit-identical merges.** Shards rank with the *global*
+//!   quantizers, model, and TID table, so any concept scores the same
+//!   number on its owning shard as it would unsharded. Each shard
+//!   flags which results it *owns* (stores); the router keeps owned
+//!   entries, deduplicates globally-unknown candidates (unowned
+//!   everywhere, scored identically everywhere) by taking the
+//!   lowest-indexed shard's copy, and re-sorts with the exact
+//!   comparator the unsharded ranker ends on. The merged body is
+//!   byte-equal to the single-process response.
+//! * **Epoch-consistent gathers.** Every shard response carries the
+//!   epoch it was served from. A gather that mixes epochs — possible
+//!   only in the window where a two-phase publish has committed on
+//!   some shards but not others — is discarded, counted, and retried;
+//!   a merged response provably never mixes epochs.
+//! * **Replica failover.** Each shard may list replicas. Connect
+//!   refusal, deadline expiry, transport faults, and load-shed
+//!   rejections on the primary fall over to the next replica in
+//!   order, counted per attempt.
+//!
+//! The router is usable as a library ([`ScatterGather`]) or as an HTTP
+//! server ([`RouterServer`], and the `ctxrank-router` binary). See
+//! `DESIGN.md` §15 and `examples/cluster_demo.rs`.
+//!
+//! [`partition_snapshot`]: ctxrank_framework::partition_snapshot
+
+pub mod metrics;
+pub mod server;
+
+pub use metrics::RouterMetrics;
+pub use server::{RouterServer, RouterServerConfig};
+
+use ctxrank_framework::RankedConcept;
+use ctxrank_serve::client::HttpReply;
+use ctxrank_serve::http::Response;
+use ctxrank_serve::{render_rank_response, ClientConfig, Conn, RequestError};
+use std::cmp::Ordering as CmpOrdering;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Idle keep-alive connections retained per backend. Excess
+/// connections are dropped on return rather than pooled.
+const MAX_IDLE_PER_BACKEND: usize = 32;
+
+/// One shard of the partition: the primary serving process plus
+/// fallback replicas serving the *same* TID range.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    pub primary: SocketAddr,
+    pub replicas: Vec<SocketAddr>,
+}
+
+impl ShardSpec {
+    /// A shard with no replicas.
+    pub fn single(primary: SocketAddr) -> Self {
+        Self {
+            primary,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Parse `"primary[,replica...]"` (the binary's `--shard` syntax).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut addrs = spec.split(',').map(|part| {
+            part.trim()
+                .parse::<SocketAddr>()
+                .map_err(|e| format!("bad address {:?} in shard spec {spec:?}: {e}", part.trim()))
+        });
+        let primary = addrs
+            .next()
+            .ok_or_else(|| format!("empty shard spec {spec:?}"))??;
+        let replicas = addrs.collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { primary, replicas })
+    }
+
+    fn backends(&self) -> impl Iterator<Item = SocketAddr> + '_ {
+        std::iter::once(self.primary).chain(self.replicas.iter().copied())
+    }
+}
+
+/// Scatter policy knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-attempt connect/read budgets for shard requests. The
+    /// router owns failover, so `retries` here should stay 0 — a slow
+    /// primary should lose to its replica, not be retried in place.
+    pub client: ClientConfig,
+    /// Whole-scatter retries when a gather mixes epochs (the commit
+    /// wave is in flight; the very next scatter usually lands uniform).
+    pub gather_retries: u32,
+    /// Pause between mixed-epoch retries.
+    pub retry_backoff: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            client: ClientConfig {
+                connect_timeout: Duration::from_millis(500),
+                read_timeout: Duration::from_secs(2),
+                retries: 0,
+                ..ClientConfig::default()
+            },
+            gather_retries: 8,
+            retry_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a routed `/rank` failed after all failovers and retries.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Every backend of a shard was unreachable or timed out.
+    ShardUnavailable { shard: usize, detail: String },
+    /// Every backend of a shard answered, but with a non-200 status
+    /// (load shed, bad request, …). Carries the last status seen.
+    ShardRejected { shard: usize, status: u16 },
+    /// A shard answered 200 with a body the router cannot use.
+    BadShardResponse { shard: usize, detail: String },
+    /// Gathers kept mixing epochs past the retry budget.
+    MixedEpochs { epochs: Vec<u64> },
+}
+
+impl RouterError {
+    /// The HTTP status the router surfaces to its own client:
+    /// transient conditions (unavailable shard, shedding shard,
+    /// publish in flight) are `503`; a malformed shard reply is `502`.
+    pub fn status(&self) -> u16 {
+        match self {
+            RouterError::BadShardResponse { .. } => 502,
+            _ => 503,
+        }
+    }
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable on all backends: {detail}")
+            }
+            RouterError::ShardRejected { shard, status } => {
+                write!(
+                    f,
+                    "shard {shard} rejected the request on all backends (last status {status})"
+                )
+            }
+            RouterError::BadShardResponse { shard, detail } => {
+                write!(f, "shard {shard} returned an unusable response: {detail}")
+            }
+            RouterError::MixedEpochs { epochs } => {
+                write!(f, "gather mixed epochs {epochs:?} past the retry budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// One parsed shard response: the epoch it was served from plus every
+/// ranked candidate with the shard's ownership flag.
+#[derive(Debug, Clone)]
+struct ShardReply {
+    epoch: u64,
+    entries: Vec<ShardEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct ShardEntry {
+    surface: String,
+    score: f64,
+    relevance: f64,
+    owned: bool,
+}
+
+/// A single-epoch merged ranking.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// The epoch *every* contributing shard served from.
+    pub epoch: u64,
+    pub merged: Vec<RankedConcept>,
+}
+
+impl RankOutcome {
+    /// Render exactly as the unsharded server would — same serializer,
+    /// same bytes.
+    pub fn render(&self) -> Response {
+        render_rank_response(self.epoch, &self.merged)
+    }
+}
+
+/// Keep-alive connection stack for one backend address.
+struct BackendPool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<Conn>>,
+}
+
+/// The scatter-gather core: fan a `/rank` body out to every shard
+/// (with per-shard replica failover), reject mixed-epoch gathers, and
+/// merge the survivors into the unsharded ranking. Drivable directly
+/// from tests; [`RouterServer`] puts an HTTP listener in front.
+pub struct ScatterGather {
+    shards: Vec<ShardSpec>,
+    config: RouterConfig,
+    metrics: Arc<RouterMetrics>,
+    /// Per shard, per backend (primary first) idle-connection pools.
+    pools: Vec<Vec<BackendPool>>,
+    /// Highest epoch ever observed in a uniform gather.
+    observed_epoch: AtomicU64,
+}
+
+impl ScatterGather {
+    /// # Panics
+    /// If `shards` is empty — a router over nothing routes nothing.
+    pub fn new(shards: Vec<ShardSpec>, config: RouterConfig) -> Self {
+        assert!(!shards.is_empty(), "router needs at least one shard");
+        let pools = shards
+            .iter()
+            .map(|spec| {
+                spec.backends()
+                    .map(|addr| BackendPool {
+                        addr,
+                        idle: Mutex::new(Vec::new()),
+                    })
+                    .collect()
+            })
+            .collect();
+        let metrics = Arc::new(RouterMetrics::new(shards.len()));
+        Self {
+            shards,
+            config,
+            metrics,
+            pools,
+            observed_epoch: AtomicU64::new(0),
+        }
+    }
+
+    pub fn metrics(&self) -> &Arc<RouterMetrics> {
+        &self.metrics
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Highest epoch seen in any uniform gather so far (0 before the
+    /// first success).
+    pub fn observed_epoch(&self) -> u64 {
+        self.observed_epoch.load(Ordering::Acquire)
+    }
+
+    /// Route one `/rank` request body. Scatters to all shards, fails
+    /// over inside each shard, retries the whole scatter while the
+    /// gather mixes epochs, then merges.
+    pub fn rank(&self, body: &str) -> Result<RankOutcome, RouterError> {
+        let mut mixed: Option<RouterError> = None;
+        for attempt in 0..=self.config.gather_retries {
+            if attempt > 0 {
+                std::thread::sleep(self.config.retry_backoff);
+            }
+            let mut replies = Vec::with_capacity(self.shards.len());
+            for result in self.scatter(body) {
+                match result {
+                    Ok(reply) => replies.push(reply),
+                    Err(e) => {
+                        // Availability/shape failures are terminal for
+                        // this request: a dead shard will not revive
+                        // within the retry budget, and a 4xx reject is
+                        // the client's fault on every shard equally.
+                        self.metrics.record_error();
+                        return Err(e);
+                    }
+                }
+            }
+            let epoch = replies[0].epoch;
+            if replies.iter().all(|r| r.epoch == epoch) {
+                self.observed_epoch.fetch_max(epoch, Ordering::AcqRel);
+                self.metrics.record_request();
+                return Ok(RankOutcome {
+                    epoch,
+                    merged: merge_replies(&replies),
+                });
+            }
+            self.metrics.record_epoch_mismatch();
+            mixed = Some(RouterError::MixedEpochs {
+                epochs: replies.iter().map(|r| r.epoch).collect(),
+            });
+        }
+        self.metrics.record_error();
+        Err(mixed.expect("loop ran at least once"))
+    }
+
+    /// One fan-out wave: every shard queried concurrently (scoped
+    /// threads — the scatter is the latency-critical path and shard
+    /// count is small), results in shard order.
+    fn scatter(&self, body: &str) -> Vec<Result<ShardReply, RouterError>> {
+        self.metrics.record_fanout(self.shards.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|shard| scope.spawn(move || self.query_shard(shard, body)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Query one shard, walking primary → replicas until a backend
+    /// yields a 200. Non-200 statuses and transport errors both fall
+    /// over; a parse failure does not (the data is wrong, not the
+    /// availability).
+    fn query_shard(&self, shard: usize, body: &str) -> Result<ShardReply, RouterError> {
+        let mut last: Option<RouterError> = None;
+        for (backend, pool) in self.pools[shard].iter().enumerate() {
+            if backend > 0 {
+                self.metrics.record_failover();
+            }
+            let started = Instant::now();
+            match self.attempt(pool, body) {
+                Ok((200, _headers, text)) => {
+                    self.metrics
+                        .record_shard_latency(shard, started.elapsed().as_secs_f64());
+                    return parse_shard_reply(shard, &text);
+                }
+                Ok((status, _headers, _body)) => {
+                    last = Some(RouterError::ShardRejected { shard, status });
+                }
+                Err(e) => {
+                    last = Some(RouterError::ShardUnavailable {
+                        shard,
+                        detail: e.to_string(),
+                    });
+                }
+            }
+        }
+        Err(last.expect("every shard has at least a primary"))
+    }
+
+    /// One request against one backend, reusing a pooled keep-alive
+    /// connection when available. A pooled connection that fails gets
+    /// one fresh-connect redo before the backend is declared failed —
+    /// the server may simply have reaped an idle socket.
+    fn attempt(&self, pool: &BackendPool, body: &str) -> Result<HttpReply, RequestError> {
+        let pooled = pool.idle.lock().expect("pool poisoned").pop();
+        if let Some(mut conn) = pooled {
+            if let Ok(reply) = conn.request("POST", "/rank", Some(body)) {
+                self.park(pool, conn);
+                return Ok(reply);
+            }
+        }
+        let mut conn = Conn::connect_with(pool.addr, &self.config.client)
+            .map_err(|e| RequestError::classify(pool.addr, e))?;
+        let reply = conn
+            .request("POST", "/rank", Some(body))
+            .map_err(|e| RequestError::classify(pool.addr, e))?;
+        self.park(pool, conn);
+        Ok(reply)
+    }
+
+    fn park(&self, pool: &BackendPool, conn: Conn) {
+        let mut idle = pool.idle.lock().expect("pool poisoned");
+        if idle.len() < MAX_IDLE_PER_BACKEND {
+            idle.push(conn);
+        }
+    }
+}
+
+/// Parse a shard-mode `/rank` body:
+/// `{"epoch":E,"results":[{"surface":…,"score":…,"relevance":…,"owned":…},…]}`.
+fn parse_shard_reply(shard: usize, text: &str) -> Result<ShardReply, RouterError> {
+    let bad = |detail: &str| RouterError::BadShardResponse {
+        shard,
+        detail: detail.to_string(),
+    };
+    let value: serde_json::Value =
+        serde_json::from_str(text).map_err(|_| bad("response is not valid JSON"))?;
+    let epoch = value
+        .get("epoch")
+        .and_then(|e| e.as_u64())
+        .ok_or_else(|| bad("missing \"epoch\""))?;
+    let Some(serde_json::Value::Seq(items)) = value.get("results") else {
+        return Err(bad("missing \"results\" array"));
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for item in items {
+        let surface = item
+            .get("surface")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| bad("result missing \"surface\""))?
+            .to_string();
+        // A non-finite score serializes as `null`; map it back to NaN
+        // so the merge comparator (partial_cmp → Equal) and re-render
+        // (→ `null`) round-trip it unchanged.
+        let score = match item.get("score") {
+            Some(serde_json::Value::Null) => f64::NAN,
+            Some(x) => x.as_f64().ok_or_else(|| bad("non-numeric \"score\""))?,
+            None => return Err(bad("result missing \"score\"")),
+        };
+        let relevance = match item.get("relevance") {
+            Some(serde_json::Value::Null) => f64::NAN,
+            Some(x) => x.as_f64().ok_or_else(|| bad("non-numeric \"relevance\""))?,
+            None => return Err(bad("result missing \"relevance\"")),
+        };
+        let owned = match item.get("owned") {
+            Some(serde_json::Value::Bool(b)) => *b,
+            _ => {
+                return Err(bad(
+                    "result missing \"owned\" flag — is the shard running with --shard bounds?",
+                ))
+            }
+        };
+        entries.push(ShardEntry {
+            surface,
+            score,
+            relevance,
+            owned,
+        });
+    }
+    Ok(ShardReply { epoch, entries })
+}
+
+/// Merge per-shard rankings into the unsharded ranking.
+///
+/// Every shard ranks *all* candidates (unknown ones score on zeroed
+/// features, identically everywhere), so each candidate appears in
+/// every reply. Ownership decides which copy survives:
+///
+/// * a candidate stored in the snapshot is **owned by exactly one
+///   shard** (the partition is a disjoint cover) — keep owned entries
+///   from all shards;
+/// * a candidate stored nowhere is unowned in every reply with
+///   identical numbers — keep the lowest-indexed shard's copies,
+///   which also preserves duplicate-candidate multiplicity.
+///
+/// The final sort key `(score desc, surface asc, relevance desc)` is
+/// exactly the total order the unsharded ranker's last stable sort
+/// leaves its output in, so the merged vector is element-identical to
+/// `ServiceHandle::rank_batch_online` on the full snapshot.
+fn merge_replies(replies: &[ShardReply]) -> Vec<RankedConcept> {
+    let owned_surfaces: std::collections::HashSet<&str> = replies
+        .iter()
+        .flat_map(|r| r.entries.iter())
+        .filter(|e| e.owned)
+        .map(|e| e.surface.as_str())
+        .collect();
+    let mut merged: Vec<&ShardEntry> = replies
+        .iter()
+        .flat_map(|r| r.entries.iter())
+        .filter(|e| e.owned)
+        .collect();
+    merged.extend(
+        replies[0]
+            .entries
+            .iter()
+            .filter(|e| !e.owned && !owned_surfaces.contains(e.surface.as_str())),
+    );
+    merged.sort_by(|a, b| merge_cmp(a, b));
+    merged
+        .into_iter()
+        .map(|e| RankedConcept {
+            surface: e.surface.clone(),
+            score: e.score,
+            relevance: e.relevance,
+        })
+        .collect()
+}
+
+fn merge_cmp(a: &ShardEntry, b: &ShardEntry) -> CmpOrdering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or(CmpOrdering::Equal)
+        .then_with(|| a.surface.cmp(&b.surface))
+        .then_with(|| {
+            b.relevance
+                .partial_cmp(&a.relevance)
+                .unwrap_or(CmpOrdering::Equal)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(surface: &str, score: f64, relevance: f64, owned: bool) -> ShardEntry {
+        ShardEntry {
+            surface: surface.to_string(),
+            score,
+            relevance,
+            owned,
+        }
+    }
+
+    #[test]
+    fn shard_spec_parses_primary_and_replicas() {
+        let spec = ShardSpec::parse("127.0.0.1:7980,127.0.0.1:7981, 127.0.0.1:7982").unwrap();
+        assert_eq!(spec.primary, "127.0.0.1:7980".parse().unwrap());
+        assert_eq!(spec.replicas.len(), 2);
+        assert!(ShardSpec::parse("not-an-addr").is_err());
+    }
+
+    #[test]
+    fn parse_shard_reply_reads_epoch_owned_and_scores() {
+        let body = r#"{"epoch":42,"results":[
+            {"surface":"alpha","score":1.5,"relevance":3,"owned":true},
+            {"surface":"zeta","score":null,"relevance":0,"owned":false}]}"#;
+        let reply = parse_shard_reply(0, body).unwrap();
+        assert_eq!(reply.epoch, 42);
+        assert_eq!(reply.entries.len(), 2);
+        assert!(reply.entries[0].owned);
+        assert_eq!(reply.entries[0].score, 1.5);
+        assert_eq!(reply.entries[0].relevance, 3.0);
+        assert!(reply.entries[1].score.is_nan());
+        // A plain (unsharded) response lacks the owned flag — rejected
+        // loudly instead of silently merging garbage.
+        let plain = r#"{"epoch":1,"results":[{"surface":"a","score":1,"relevance":1}]}"#;
+        let err = parse_shard_reply(3, plain).unwrap_err();
+        assert!(
+            matches!(err, RouterError::BadShardResponse { shard: 3, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn merge_keeps_owned_entries_and_dedups_unknown_candidates() {
+        // Candidate "known0" owned by shard 0, "known1" by shard 1,
+        // "ghost" known nowhere (identical unowned copies everywhere).
+        let shard0 = ShardReply {
+            epoch: 5,
+            entries: vec![
+                entry("known0", 2.0, 1.0, true),
+                entry("known1", 0.1, 0.0, false),
+                entry("ghost", 0.05, 0.0, false),
+            ],
+        };
+        let shard1 = ShardReply {
+            epoch: 5,
+            entries: vec![
+                entry("known0", 0.1, 0.0, false),
+                entry("known1", 3.0, 2.0, true),
+                entry("ghost", 0.05, 0.0, false),
+            ],
+        };
+        let merged = merge_replies(&[shard0, shard1]);
+        let surfaces: Vec<&str> = merged.iter().map(|r| r.surface.as_str()).collect();
+        assert_eq!(surfaces, vec!["known1", "known0", "ghost"]);
+        // The owned copies won: known1 carries shard 1's score.
+        assert_eq!(merged[0].score, 3.0);
+        assert_eq!(merged[1].score, 2.0);
+    }
+
+    #[test]
+    fn merge_preserves_duplicate_unknown_candidates() {
+        // The unsharded server ranks a duplicated candidate twice; the
+        // merge must keep both copies (from the lowest shard only).
+        let dup = |n| ShardReply {
+            epoch: 1,
+            entries: vec![entry("ghost", 0.5, 0.0, false); n],
+        };
+        let merged = merge_replies(&[dup(2), dup(2)]);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_order_matches_unsharded_comparator() {
+        // Equal scores break by surface ascending; equal (score,
+        // surface) would break by relevance descending.
+        let reply = ShardReply {
+            epoch: 1,
+            entries: vec![
+                entry("b", 1.0, 9.0, true),
+                entry("a", 1.0, 0.0, true),
+                entry("c", 2.0, 0.0, true),
+            ],
+        };
+        let merged = merge_replies(&[reply]);
+        let surfaces: Vec<&str> = merged.iter().map(|r| r.surface.as_str()).collect();
+        assert_eq!(surfaces, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn router_error_statuses() {
+        assert_eq!(
+            RouterError::MixedEpochs { epochs: vec![1, 2] }.status(),
+            503
+        );
+        assert_eq!(
+            RouterError::BadShardResponse {
+                shard: 0,
+                detail: String::new()
+            }
+            .status(),
+            502
+        );
+        assert_eq!(
+            RouterError::ShardUnavailable {
+                shard: 0,
+                detail: String::new()
+            }
+            .status(),
+            503
+        );
+    }
+}

@@ -26,7 +26,7 @@
 use crate::cache::ResultCache;
 use crate::http::write_response;
 use crate::metrics::{Endpoint, Metrics};
-use crate::server::render_rank_response;
+use crate::server::{render_rank_response, render_rank_response_sharded};
 use ctxrank_framework::ServiceHandle;
 use std::collections::VecDeque;
 use std::net::TcpStream;
@@ -90,6 +90,7 @@ impl Batcher {
         capacity: usize,
         max_batch: usize,
         max_wait: Duration,
+        shard_mode: bool,
     ) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
@@ -110,6 +111,7 @@ impl Batcher {
                         cache.as_deref(),
                         max_batch.max(1),
                         max_wait,
+                        shard_mode,
                     )
                 })
                 .expect("spawn batcher thread")
@@ -163,6 +165,7 @@ fn run_batcher(
     cache: Option<&ResultCache>,
     max_batch: usize,
     max_wait: Duration,
+    shard_mode: bool,
 ) {
     loop {
         let (batch, draining): (Vec<RankJob>, bool) = {
@@ -208,11 +211,18 @@ fn run_batcher(
             .map(|j| (j.text.as_str(), j.candidates.as_slice()))
             .collect();
         // One call, one snapshot, one adjuster read — for every job in
-        // the batch.
-        let (epoch, results) = handle.rank_batch_online(&docs);
+        // the batch. Shard mode needs the pinned snapshot itself (not
+        // just its epoch) so the "owned" flags are computed against
+        // exactly the snapshot that ranked the batch.
+        let (snapshot, results) = handle.rank_batch_online_pinned(&docs);
+        let epoch = snapshot.epoch();
         metrics.record_batch(batch.len());
         for (job, ranked) in batch.into_iter().zip(results) {
-            let resp = render_rank_response(epoch, &ranked);
+            let resp = if shard_mode {
+                render_rank_response_sharded(&snapshot, &ranked)
+            } else {
+                render_rank_response(epoch, &ranked)
+            };
             // Cache the rendered body under the epoch that *ranked* it
             // — the only epoch this body can ever be served for, which
             // is the whole no-stale-reads argument.

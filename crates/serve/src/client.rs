@@ -154,6 +154,104 @@ impl Conn {
     }
 }
 
+/// What a failed backend request *means*, separated from the raw
+/// transport error. The scatter-gather router keys its policy off this:
+/// a refused connect says the process is gone (fail over to the replica
+/// immediately and count the backend down), a blown deadline says the
+/// process may be alive but late (fail over, but the backend stays in
+/// rotation), anything else is an in-flight transport fault (failed
+/// mid-exchange — also fail over, the endpoints are idempotent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestErrorKind {
+    /// The backend actively refused (or could not be reached for) the
+    /// TCP connect: nothing is listening.
+    ConnectRefused,
+    /// The connect or read budget elapsed: the backend never finished
+    /// answering inside the deadline.
+    DeadlineExceeded,
+    /// Any other transport or protocol failure (reset mid-response,
+    /// malformed reply, oversized body, ...).
+    Transport,
+}
+
+impl RequestErrorKind {
+    /// Stable label for metrics/logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestErrorKind::ConnectRefused => "connect_refused",
+            RequestErrorKind::DeadlineExceeded => "deadline_exceeded",
+            RequestErrorKind::Transport => "transport",
+        }
+    }
+}
+
+/// A failed request annotated with *which* backend failed and *how* —
+/// the per-shard identity a fan-out caller needs to route around the
+/// failure instead of just reporting it.
+#[derive(Debug)]
+pub struct RequestError {
+    /// The backend the request was addressed to.
+    pub backend: SocketAddr,
+    /// The routing-relevant classification of the failure.
+    pub kind: RequestErrorKind,
+    /// The underlying transport error.
+    pub source: std::io::Error,
+}
+
+impl RequestError {
+    /// Classify a raw transport error from `backend`.
+    pub fn classify(backend: SocketAddr, source: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        let kind = match source.kind() {
+            ErrorKind::ConnectionRefused => RequestErrorKind::ConnectRefused,
+            // Read timeouts surface as `WouldBlock` on unix sockets and
+            // `TimedOut` from `connect_timeout`; both mean the deadline
+            // elapsed.
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => RequestErrorKind::DeadlineExceeded,
+            _ => RequestErrorKind::Transport,
+        };
+        Self {
+            backend,
+            kind,
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request to {} failed ({}): {}",
+            self.backend,
+            self.kind.label(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for RequestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// One request under `config` with failures classified per-backend —
+/// the router's fan-out primitive. No retries here: the caller decides
+/// between retrying this backend and failing over based on the error's
+/// [`RequestErrorKind`].
+pub fn request_classified(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    config: &ClientConfig,
+) -> Result<HttpReply, RequestError> {
+    Conn::connect_with(addr, config)
+        .and_then(|mut c| c.request(method, path, body))
+        .map_err(|e| RequestError::classify(addr, e))
+}
+
 /// One request over a fresh connection (the "one request per
 /// connection" baseline in the loopback bench).
 pub fn one_shot(
@@ -412,6 +510,68 @@ mod tests {
             "retry-after: 9999 was not capped; took {:?}",
             start.elapsed()
         );
+        server.join().expect("server");
+    }
+
+    /// Nothing listening: the typed error says `ConnectRefused` and
+    /// names the backend, so a router can take the replica immediately.
+    #[test]
+    fn classified_connect_refused() {
+        // Bind then drop to get a port with nothing listening.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let config = ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            ..ClientConfig::default()
+        };
+        let err = request_classified(addr, "GET", "/healthz", None, &config)
+            .expect_err("no listener must fail");
+        assert_eq!(err.kind, RequestErrorKind::ConnectRefused, "{err}");
+        assert_eq!(err.backend, addr);
+        assert_eq!(err.kind.label(), "connect_refused");
+    }
+
+    /// A backend that accepts and then goes silent: the typed error
+    /// says `DeadlineExceeded` once the read budget elapses.
+    #[test]
+    fn classified_deadline_exceeded() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            // Read the request, answer nothing, hold the socket open
+            // past the client's deadline.
+            let mut buf = [0u8; 1024];
+            let _ = s.read(&mut buf);
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let config = ClientConfig {
+            read_timeout: Duration::from_millis(50),
+            ..ClientConfig::default()
+        };
+        let err = request_classified(addr, "GET", "/healthz", None, &config)
+            .expect_err("silent backend must time out");
+        assert_eq!(err.kind, RequestErrorKind::DeadlineExceeded, "{err}");
+        assert_eq!(err.backend, addr);
+        server.join().expect("server");
+    }
+
+    /// A backend that accepts and slams the connection shut mid-exchange
+    /// is a plain transport fault, not a refused connect or a timeout.
+    #[test]
+    fn classified_transport_fault() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (s, _) = listener.accept().expect("accept");
+            drop(s);
+        });
+        let config = ClientConfig::default();
+        let err = request_classified(addr, "GET", "/healthz", None, &config)
+            .expect_err("dropped connection must fail");
+        assert_eq!(err.kind, RequestErrorKind::Transport, "{err}");
         server.join().expect("server");
     }
 

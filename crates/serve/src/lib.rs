@@ -42,6 +42,9 @@ pub mod server;
 
 pub use batcher::{Batcher, RankJob, SubmitError};
 pub use cache::{query_hash, ResultCache};
-pub use client::{one_shot, request_with_retry, ClientConfig, Conn};
+pub use client::{
+    one_shot, request_classified, request_with_retry, ClientConfig, Conn, RequestError,
+    RequestErrorKind,
+};
 pub use metrics::{Endpoint, Metrics, LATENCY_BUCKETS_SECS};
-pub use server::{ServeConfig, Server};
+pub use server::{render_rank_response, render_rank_response_sharded, ServeConfig, Server};

@@ -24,7 +24,8 @@ use crate::batcher::{Batcher, RankJob, SubmitError};
 use crate::cache::{query_hash, ResultCache};
 use crate::http::{read_request_deadline, write_response, HttpError, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
-use ctxrank_framework::ServiceHandle;
+use ctxrank_framework::partition::{EpochBarrier, ShardBounds};
+use ctxrank_framework::{load_snapshot, ServiceHandle};
 use serde_json::json;
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -72,6 +73,16 @@ pub struct ServeConfig {
     /// Mutex stripes in the result cache (contention control; the byte
     /// budget is split evenly across shards).
     pub cache_shards: usize,
+    /// Serve one partition of a sharded snapshot. Publishes the bounds
+    /// in `/healthz` and adds an `"owned"` flag to every `/rank` result
+    /// so the scatter-gather router can keep each candidate's owning
+    /// shard's entry and discard the rest.
+    pub shard: Option<ShardBounds>,
+    /// Expose `POST /admin/epoch/{prepare,commit,abort}` — the shard
+    /// side of the two-phase publish barrier. Off by default: prepare
+    /// loads a snapshot from a caller-named local directory, which only
+    /// a deployment that runs the barrier should expose.
+    pub enable_epoch_admin: bool,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +100,8 @@ impl Default for ServeConfig {
             enable_shutdown_endpoint: false,
             cache_capacity_bytes: 0,
             cache_shards: 16,
+            shard: None,
+            enable_epoch_admin: false,
         }
     }
 }
@@ -97,6 +110,14 @@ impl ServeConfig {
     /// `self` with the result cache enabled at `capacity_bytes`.
     pub fn with_cache(mut self, capacity_bytes: usize) -> Self {
         self.cache_capacity_bytes = capacity_bytes;
+        self
+    }
+
+    /// `self` configured as one shard of a partition: bounds published,
+    /// owned flags rendered, epoch barrier admin endpoints enabled.
+    pub fn as_shard(mut self, bounds: ShardBounds) -> Self {
+        self.shard = Some(bounds);
+        self.enable_epoch_admin = true;
         self
     }
 }
@@ -109,6 +130,9 @@ struct Inner {
     /// with rendered bodies.
     cache: Option<Arc<ResultCache>>,
     config: ServeConfig,
+    /// Two-phase publish staging (`/admin/epoch/*`); idle unless
+    /// `enable_epoch_admin` routes to it.
+    barrier: EpochBarrier,
     conns: Mutex<VecDeque<TcpStream>>,
     conns_nonempty: Condvar,
     shutting: AtomicBool,
@@ -155,6 +179,7 @@ impl Server {
             config.queue_capacity,
             config.batch_max_size,
             config.batch_max_wait,
+            config.shard.is_some(),
         ));
 
         let inner = Arc::new(Inner {
@@ -162,6 +187,7 @@ impl Server {
             metrics,
             cache,
             config,
+            barrier: EpochBarrier::new(),
             conns: Mutex::new(VecDeque::new()),
             conns_nonempty: Condvar::new(),
             shutting: AtomicBool::new(false),
@@ -458,21 +484,61 @@ fn serve_connection(inner: &Inner, batcher: &Batcher, stream: TcpStream) {
 fn dispatch(inner: &Inner, req: &Request) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            let resp = Response::json(
-                200,
-                &json!({
-                    "status": "ok",
-                    "epoch": inner.handle.epoch(),
-                    "queue_depth": inner.metrics.queue_depth(),
-                }),
-            );
-            (Endpoint::Healthz, resp)
+            let mut health = json!({
+                "status": "ok",
+                "epoch": inner.handle.epoch(),
+                "queue_depth": inner.metrics.queue_depth(),
+            });
+            // Shard mode publishes the partition bounds and barrier
+            // state so the router (and operators) can see what this
+            // process owns and whether a publish is in flight.
+            if let (serde_json::Value::Map(entries), Some(bounds)) =
+                (&mut health, inner.config.shard)
+            {
+                entries.push(("shard".to_string(), json!(bounds.shard)));
+                entries.push(("shards".to_string(), json!(bounds.shards)));
+                entries.push(("tid_lo".to_string(), json!(bounds.tid_lo)));
+                entries.push(("tid_hi".to_string(), json!(bounds.tid_hi)));
+                entries.push((
+                    "staged_epoch".to_string(),
+                    match inner.barrier.staged_epoch() {
+                        Some(e) => json!(e),
+                        None => serde_json::Value::Null,
+                    },
+                ));
+            }
+            (Endpoint::Healthz, Response::json(200, &health))
         }
         ("GET", "/metrics") => {
             let text = inner.metrics.render_prometheus(inner.handle.epoch());
             (Endpoint::Metrics, Response::text(200, text))
         }
         ("POST", "/annotate") => (Endpoint::Annotate, handle_annotate(inner, &req.body)),
+        // The shard side of the two-phase publish. Prepare loads epoch
+        // E+1 from a directory into barrier staging without touching
+        // traffic; commit flips it into the SwapCell atomically; abort
+        // drops a staging. A driver brings every shard through prepare
+        // before any commit, so the mixed-epoch window collapses to the
+        // commit fan-out (which the router retries across).
+        ("POST", "/admin/epoch/prepare") if inner.config.enable_epoch_admin => {
+            (Endpoint::Other, handle_epoch_prepare(inner, &req.body))
+        }
+        ("POST", "/admin/epoch/commit") if inner.config.enable_epoch_admin => {
+            (Endpoint::Other, handle_epoch_commit(inner, &req.body))
+        }
+        ("POST", "/admin/epoch/abort") if inner.config.enable_epoch_admin => {
+            let aborted = inner.barrier.abort();
+            let resp = Response::json(
+                200,
+                &json!({
+                    "aborted": match aborted {
+                        Some(e) => json!(e),
+                        None => serde_json::Value::Null,
+                    },
+                }),
+            );
+            (Endpoint::Other, resp)
+        }
         ("POST", "/admin/shutdown") if inner.config.enable_shutdown_endpoint => {
             let mut requested = inner
                 .shutdown_requested
@@ -493,6 +559,64 @@ fn dispatch(inner: &Inner, req: &Request) -> (Endpoint, Response) {
             Endpoint::Other,
             Response::json(405, &json!({"error": "method not allowed"})),
         ),
+    }
+}
+
+/// `POST /admin/epoch/prepare {"dir": ..., "epoch": E}` — load the
+/// staged snapshot from `dir` and hold it in the barrier. The epoch in
+/// the body is a cross-check against the artifact on disk: a driver
+/// that points a shard at the wrong directory finds out here, not at
+/// commit.
+fn handle_epoch_prepare(inner: &Inner, body: &[u8]) -> Response {
+    let value: serde_json::Value = match serde_json::from_slice(body) {
+        Ok(v) => v,
+        Err(_) => return Response::json(400, &json!({"error": "body is not valid JSON"})),
+    };
+    let Some(dir) = value.get("dir").and_then(|d| d.as_str()) else {
+        return Response::json(400, &json!({"error": "missing string field \"dir\""}));
+    };
+    let Some(epoch) = value.get("epoch").and_then(|e| e.as_u64()) else {
+        return Response::json(400, &json!({"error": "missing integer field \"epoch\""}));
+    };
+    let staged = match load_snapshot(std::path::Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::json(409, &json!({"error": format!("load failed: {e}")}));
+        }
+    };
+    if staged.epoch() != epoch {
+        return Response::json(
+            409,
+            &json!({
+                "error": format!(
+                    "artifact in {dir} is epoch {}, prepare named {epoch}",
+                    staged.epoch()
+                ),
+            }),
+        );
+    }
+    match inner.barrier.prepare(staged, inner.handle.epoch()) {
+        Ok(e) => Response::json(200, &json!({"staged": e})),
+        Err(e) => Response::json(409, &json!({"error": e.to_string()})),
+    }
+}
+
+/// `POST /admin/epoch/commit {"epoch": E}` — atomically flip the staged
+/// snapshot into the serving `SwapCell`.
+fn handle_epoch_commit(inner: &Inner, body: &[u8]) -> Response {
+    let value: serde_json::Value = match serde_json::from_slice(body) {
+        Ok(v) => v,
+        Err(_) => return Response::json(400, &json!({"error": "body is not valid JSON"})),
+    };
+    let Some(epoch) = value.get("epoch").and_then(|e| e.as_u64()) else {
+        return Response::json(400, &json!({"error": "missing integer field \"epoch\""}));
+    };
+    match inner.barrier.commit(epoch) {
+        Ok(snapshot) => {
+            let epoch = inner.handle.publish(snapshot);
+            Response::json(200, &json!({"status": "committed", "epoch": epoch}))
+        }
+        Err(e) => Response::json(409, &json!({"error": e.to_string()})),
     }
 }
 
@@ -561,10 +685,30 @@ fn parse_rank_body(body: &[u8]) -> Result<(String, Vec<String>), &'static str> {
 
 /// Render a `/rank` success response. Serialized by hand: this is the
 /// hot path, and a `json!` value tree costs dozens of small
-/// allocations per response. Called from the batcher thread.
-pub(crate) fn render_rank_response(
+/// allocations per response. Called from the batcher thread. Public so
+/// the scatter-gather router can re-render a merged result list with
+/// byte-identical formatting (`f64::to_string` both ways), which is
+/// what makes the merged body bit-equal to the unsharded server's.
+pub fn render_rank_response(epoch: u64, ranked: &[ctxrank_framework::RankedConcept]) -> Response {
+    render_rank(epoch, ranked, None)
+}
+
+/// Shard-mode render: every result additionally carries
+/// `"owned": true|false` — whether this shard's snapshot stores the
+/// candidate. The router keeps owned entries (exactly one shard owns
+/// each stored concept) and deduplicates unowned ones, then re-renders
+/// through [`render_rank_response`] so the flags never reach clients.
+pub fn render_rank_response_sharded(
+    snapshot: &ctxrank_framework::Snapshot,
+    ranked: &[ctxrank_framework::RankedConcept],
+) -> Response {
+    render_rank(snapshot.epoch(), ranked, Some(snapshot))
+}
+
+fn render_rank(
     epoch: u64,
     ranked: &[ctxrank_framework::RankedConcept],
+    owned_by: Option<&ctxrank_framework::Snapshot>,
 ) -> Response {
     let mut body = String::with_capacity(40 + ranked.len() * 72);
     body.push_str("{\"epoch\":");
@@ -580,6 +724,14 @@ pub(crate) fn render_rank_response(
         push_json_f64(&mut body, r.score);
         body.push_str(",\"relevance\":");
         push_json_f64(&mut body, r.relevance);
+        if let Some(snapshot) = owned_by {
+            body.push_str(",\"owned\":");
+            body.push_str(if snapshot.contains_concept(&r.surface) {
+                "true"
+            } else {
+                "false"
+            });
+        }
         body.push('}');
     }
     body.push_str("]}");

@@ -17,7 +17,7 @@
 //!   happy path.
 
 use ctxrank_faultsim::net::{
-    send_oversized, send_partial_request, send_slowloris, send_then_vanish, NetOutcome,
+    send_oversized, send_partial_request, send_slowloris, send_then_vanish, ChaosProxy, NetOutcome,
 };
 use ctxrank_faultsim::{seed_from_env, FaultKind, FaultPlan, FaultyFs};
 use ctxrank_features::{InterestFeatures, RelevantTerms};
@@ -27,13 +27,14 @@ use ctxrank_framework::persist::{
     PersistFs,
 };
 use ctxrank_framework::{
-    GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle, Snapshot,
-    SnapshotBuilder,
+    partition_snapshot, GlobalTidTable, PackedInterestStore, PackedRelevanceStore, ServiceHandle,
+    Snapshot, SnapshotBuilder,
 };
 use ctxrank_ltr::{train, RankGroup, SvmConfig};
 use ctxrank_querylog::{Event, SegmentConfig, SegmentFs, SegmentStore, StdSegmentFs};
+use ctxrank_router::{RouterConfig, ScatterGather, ShardSpec};
 use ctxrank_serve::client::{one_shot, request_with_retry, ClientConfig, Conn};
-use ctxrank_serve::{ServeConfig, Server};
+use ctxrank_serve::{render_rank_response, ServeConfig, Server};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -908,4 +909,162 @@ fn segment_sweep_bit_flips_never_corrupt_replay() {
         "sweep never detected an injected read fault"
     );
     assert!(intact > 0, "sweep never replayed an intact store");
+}
+
+// --------------------------------------------------------------- router
+
+/// A multi-concept snapshot so a 2-way partition puts real entries on
+/// both shards (the single-concept [`snapshot`] helper would leave one
+/// shard empty).
+fn cluster_snapshot() -> Arc<Snapshot> {
+    const N: usize = 6;
+    let concepts: Vec<(String, InterestFeatures)> = (0..N)
+        .map(|i| {
+            (
+                format!("concept {i}"),
+                InterestFeatures {
+                    freq_exact: 100 + i as u64 * 7,
+                    unit_score: (i as f64 * 0.13) % 1.0,
+                    ..InterestFeatures::default()
+                },
+            )
+        })
+        .collect();
+    let interest = PackedInterestStore::build(&concepts);
+    let keyword_sets: Vec<RelevantTerms> = (0..N)
+        .map(|i| RelevantTerms {
+            terms: (0..3)
+                .map(|j| (format!("kw{}x{j}", i), 1.0 + (i + j) as f64))
+                .collect(),
+        })
+        .collect();
+    let mut tids = GlobalTidTable::new();
+    let relevance = PackedRelevanceStore::build(
+        concepts
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .zip(keyword_sets.iter()),
+        &mut tids,
+    );
+    let groups: Vec<RankGroup> = (0..10)
+        .map(|g| {
+            RankGroup::from_pairs((0..2).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[0] = (g + i) as f64;
+                f[9] = (g * 2 + i) as f64;
+                (f, i as f64 * 0.01)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+    SnapshotBuilder::new()
+        .interest(interest)
+        .relevance(relevance)
+        .tids(tids)
+        .model(model)
+        .build()
+        .expect("cluster snapshot")
+}
+
+/// The router failover acceptance sweep: 200 seeded rounds with a
+/// [`ChaosProxy`] between the router and shard 0's primary, killing
+/// connections mid-exchange at a 40% per-write rate. Every round the
+/// scatter must still produce the full, single-epoch, byte-identical
+/// merged answer — the replica covers whatever the chaos kills — and
+/// over the sweep the proxy must actually have dropped connections.
+#[test]
+fn router_failover_sweep_answers_from_replica() {
+    let base = seed_from_env(0x0F41_0E42);
+    announce("router_failover_sweep", base);
+
+    let full = cluster_snapshot();
+    let parts = partition_snapshot(&full, 2).expect("partition");
+    let start_shard = |part: usize| {
+        Server::start(
+            Arc::new(ServiceHandle::new(parts[part].snapshot.clone())),
+            ServeConfig {
+                workers: 4,
+                ..ServeConfig::default()
+            }
+            .as_shard(parts[part].bounds),
+        )
+        .expect("start shard server")
+    };
+    let primary0 = start_shard(0);
+    let replica0 = start_shard(0);
+    let shard1 = start_shard(1);
+
+    // The chaos-free reference answer, byte-exact.
+    let text = "kw0x0 kw1x1 kw2x2 kw3x0 kw4x1 kw5x2 filler";
+    let candidates: Vec<String> = (0..6)
+        .map(|i| format!("concept {i}"))
+        .chain(std::iter::once("unknown concept".to_string()))
+        .collect();
+    let handle = ServiceHandle::new(Arc::clone(&full));
+    let (epoch, expected) = handle.rank_batch_online(&[(text, &candidates)]);
+    let expected_body = render_rank_response(epoch, &expected[0]).body;
+    let body = serde_json::to_string(&serde_json::json!({
+        "text": text,
+        "candidates": serde_json::Value::Seq(
+            candidates.iter().cloned().map(serde_json::Value::Str).collect()
+        ),
+    }))
+    .expect("request body");
+
+    let mut dropped_total = 0u64;
+    for round in 0..200u64 {
+        let round_seed = base ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let plan = Arc::new(FaultPlan::new(round_seed, 400));
+        let proxy = ChaosProxy::start(primary0.local_addr(), plan).expect("start chaos proxy");
+        // A fresh router per round: connection pools start cold, so the
+        // chaos schedule is a pure function of the round seed.
+        let sg = ScatterGather::new(
+            vec![
+                ShardSpec {
+                    primary: proxy.local_addr(),
+                    replicas: vec![replica0.local_addr()],
+                },
+                ShardSpec::single(shard1.local_addr()),
+            ],
+            RouterConfig {
+                client: ClientConfig {
+                    connect_timeout: Duration::from_millis(500),
+                    read_timeout: Duration::from_millis(500),
+                    retries: 0,
+                    ..ClientConfig::default()
+                },
+                gather_retries: 2,
+                retry_backoff: Duration::from_millis(1),
+            },
+        );
+        for query in 0..2 {
+            let outcome = sg.rank(&body).unwrap_or_else(|e| {
+                panic!("seed {round_seed} query {query}: failover did not save the scatter: {e}")
+            });
+            assert_eq!(
+                outcome.epoch, epoch,
+                "seed {round_seed}: merged response left the published epoch"
+            );
+            assert_eq!(
+                outcome.merged, expected[0],
+                "seed {round_seed}: chaos changed the merged ranking"
+            );
+            assert_eq!(
+                outcome.render().body,
+                expected_body,
+                "seed {round_seed}: merged body is not byte-identical under chaos"
+            );
+        }
+        dropped_total += proxy.dropped_connections();
+        proxy.shutdown();
+    }
+    eprintln!("router_failover_sweep: {dropped_total} proxied connections killed over 200 rounds");
+    assert!(
+        dropped_total > 0,
+        "the chaos proxy never killed a connection at 40% injection"
+    );
+
+    primary0.shutdown();
+    replica0.shutdown();
+    shard1.shutdown();
 }

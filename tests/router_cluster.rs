@@ -1,0 +1,526 @@
+//! Scatter-gather cluster integration tests (DESIGN.md §15).
+//!
+//! Two invariants, end-to-end over real sockets:
+//!
+//! * **Bit-identity** — the router's merged `/rank` body over a
+//!   2-shard partition is byte-equal to the unsharded single-process
+//!   server's, and the library-level merge is element-equal to
+//!   `ServiceHandle::rank_batch_online`, across owned, unknown, and
+//!   duplicated candidates.
+//! * **Epoch consistency** — under a storm of ≥12 two-phase publishes
+//!   racing concurrent router traffic, every merged response's scores
+//!   are consistent with exactly one epoch's snapshot (a mixed-epoch
+//!   merge would pair scores no single epoch ever produced), and the
+//!   epochs each client observes never regress.
+
+use ctxrank_features::{InterestFeatures, RelevantTerms};
+use ctxrank_framework::persist::save_snapshot;
+use ctxrank_framework::{
+    owner_shard, partition_snapshot, GlobalTidTable, PackedInterestStore, PackedRelevanceStore,
+    ServiceHandle, ShardBounds, Snapshot, SnapshotBuilder,
+};
+use ctxrank_ltr::{train, RankGroup, SvmConfig};
+use ctxrank_router::{RouterConfig, RouterServer, RouterServerConfig, ScatterGather, ShardSpec};
+use ctxrank_serve::{request_classified, ClientConfig, ServeConfig, Server};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------- helpers
+
+/// A per-test scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "ctxrank-router-cluster-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self(path)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// `n` concepts with 3 distinct keywords each (scores scale with
+/// `weight`, so different `weight`s are distinguishable epochs), plus a
+/// keywordless concept. Same shape as the partition unit tests.
+fn full_snapshot(n: usize, weight: f64) -> Arc<Snapshot> {
+    let concepts: Vec<(String, InterestFeatures)> = (0..n)
+        .map(|i| {
+            (
+                format!("concept {i}"),
+                InterestFeatures {
+                    freq_exact: 100 + i as u64 * 7,
+                    unit_score: (i as f64 * 0.13) % 1.0,
+                    ..InterestFeatures::default()
+                },
+            )
+        })
+        .chain(std::iter::once((
+            "keywordless".to_string(),
+            InterestFeatures::default(),
+        )))
+        .collect();
+    let interest = PackedInterestStore::build(&concepts);
+
+    let keyword_sets: Vec<RelevantTerms> = (0..n)
+        .map(|i| RelevantTerms {
+            terms: (0..3)
+                .map(|j| (format!("kw{}x{j}", i), weight + (i + j) as f64))
+                .collect(),
+        })
+        .chain(std::iter::once(RelevantTerms { terms: Vec::new() }))
+        .collect();
+    let mut tids = GlobalTidTable::new();
+    let relevance = PackedRelevanceStore::build(
+        concepts
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .zip(keyword_sets.iter()),
+        &mut tids,
+    );
+
+    let groups: Vec<RankGroup> = (0..10)
+        .map(|g| {
+            RankGroup::from_pairs((0..2).map(|i| {
+                let mut f = vec![0.0; 10];
+                f[0] = (g + i) as f64;
+                f[9] = (g * 2 + i) as f64;
+                (f, i as f64 * 0.01)
+            }))
+        })
+        .collect();
+    let model = train(&groups, &SvmConfig::default());
+    SnapshotBuilder::new()
+        .interest(interest)
+        .relevance(relevance)
+        .tids(tids)
+        .model(model)
+        .build()
+        .expect("test snapshot")
+}
+
+/// A document mentioning keywords of several concepts, so rankings are
+/// non-trivial on both shards.
+const PROBE_TEXT: &str = "kw0x0 kw1x1 kw2x2 kw3x0 kw4x1 kw5x2 plus untracked filler words";
+
+/// Start one shard server. Worker count is explicit: on a single-core
+/// box the default pool of 1 would let the router's pooled keep-alive
+/// connection starve the admin endpoints.
+fn start_shard(snapshot: Arc<Snapshot>, bounds: ShardBounds) -> Server {
+    Server::start(
+        Arc::new(ServiceHandle::new(snapshot)),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 6,
+            ..ServeConfig::default()
+        }
+        .as_shard(bounds),
+    )
+    .expect("start shard server")
+}
+
+fn shard_client() -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(5),
+        retries: 0,
+        ..ClientConfig::default()
+    }
+}
+
+fn rank_request(candidates: &[&str]) -> String {
+    serde_json::to_string(&serde_json::json!({
+        "text": PROBE_TEXT,
+        "candidates": serde_json::Value::Seq(
+            candidates.iter().map(|c| serde_json::Value::Str(c.to_string())).collect()
+        ),
+    }))
+    .expect("request body")
+}
+
+// ------------------------------------------------------------- bit-identity
+
+/// Router-merged responses — library level and over HTTP — must be
+/// indistinguishable from the unsharded single process.
+#[test]
+fn merged_rank_is_bit_identical_to_unsharded_server() {
+    let full = full_snapshot(10, 1.0);
+    let parts = partition_snapshot(&full, 2).expect("partition");
+    let shard0 = start_shard(parts[0].snapshot.clone(), parts[0].bounds);
+    let shard1 = start_shard(parts[1].snapshot.clone(), parts[1].bounds);
+    let handle = Arc::new(ServiceHandle::new(full.clone()));
+    let single = Server::start(
+        Arc::clone(&handle),
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 6,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start unsharded server");
+
+    let sg = Arc::new(ScatterGather::new(
+        vec![
+            ShardSpec::single(shard0.local_addr()),
+            ShardSpec::single(shard1.local_addr()),
+        ],
+        RouterConfig::default(),
+    ));
+    let router =
+        RouterServer::start(Arc::clone(&sg), RouterServerConfig::default()).expect("start router");
+
+    // Owned on both shards, globally unknown, duplicated unknown,
+    // duplicated owned, keywordless, empty.
+    let cases: Vec<Vec<&str>> = vec![
+        vec![
+            "concept 0",
+            "concept 5",
+            "concept 9",
+            "keywordless",
+            "no such concept",
+        ],
+        vec!["no such concept", "no such concept", "also unknown"],
+        vec!["concept 3", "concept 3", "concept 7"],
+        vec![],
+    ];
+    let client = shard_client();
+    for candidates in &cases {
+        let body = rank_request(candidates);
+        // Library-level merge against the in-process batch API.
+        let outcome = sg.rank(&body).expect("router rank");
+        let owned: Vec<String> = candidates.iter().map(|s| s.to_string()).collect();
+        let (epoch, expected) = handle.rank_batch_online(&[(PROBE_TEXT, &owned)]);
+        assert_eq!(outcome.epoch, epoch);
+        assert_eq!(outcome.merged, expected[0], "candidates {candidates:?}");
+
+        // Wire-level: byte-identical bodies.
+        let (status, _, merged_body) =
+            request_classified(router.local_addr(), "POST", "/rank", Some(&body), &client)
+                .expect("router http rank");
+        assert_eq!(status, 200, "{merged_body}");
+        let (status, _, single_body) =
+            request_classified(single.local_addr(), "POST", "/rank", Some(&body), &client)
+                .expect("unsharded http rank");
+        assert_eq!(status, 200, "{single_body}");
+        assert_eq!(merged_body, single_body, "candidates {candidates:?}");
+    }
+    assert!(sg.metrics().fanout_total() >= 8);
+    assert_eq!(sg.metrics().epoch_mismatch_total(), 0);
+
+    router.shutdown();
+    single.shutdown();
+    shard0.shutdown();
+    shard1.shutdown();
+}
+
+// --------------------------------------------------------- epoch barrier
+
+/// Scores for the two probe concepts as one epoch's snapshot ranks
+/// them — the fingerprint that identifies which epoch produced a
+/// response.
+fn epoch_fingerprint(snapshot: &Arc<Snapshot>, a: &str, b: &str) -> (f64, f64) {
+    let handle = ServiceHandle::new(Arc::clone(snapshot));
+    let ranked = handle.rank(PROBE_TEXT, &[a.to_string(), b.to_string()]);
+    let score_of = |surface: &str| {
+        ranked
+            .iter()
+            .find(|r| r.surface == surface)
+            .expect("probe concept ranked")
+            .score
+    };
+    (score_of(a), score_of(b))
+}
+
+/// ≥12 two-phase publishes race concurrent router clients; every 200
+/// response must carry a `(score_a, score_b)` pair some single epoch
+/// produced — a merge mixing epochs would pair scores no registered
+/// epoch has — and per-client epochs must be monotone.
+#[test]
+fn publish_storm_never_yields_a_mixed_epoch_merge() {
+    const PUBLISHES: usize = 12;
+    let full = full_snapshot(8, 1.0);
+    let parts = partition_snapshot(&full, 2).expect("partition");
+    let shard0 = start_shard(parts[0].snapshot.clone(), parts[0].bounds);
+    let shard1 = start_shard(parts[1].snapshot.clone(), parts[1].bounds);
+
+    // Two probe concepts owned by *different* shards, so a torn merge
+    // would visibly pair scores from different epochs.
+    let concept_names: Vec<String> = (0..8).map(|i| format!("concept {i}")).collect();
+    let on_shard = |want: usize| {
+        concept_names
+            .iter()
+            .find(|c| owner_shard(&full, 2, c) == want)
+            .unwrap_or_else(|| panic!("no concept owned by shard {want}"))
+            .clone()
+    };
+    let concept_a = on_shard(0);
+    let concept_b = on_shard(1);
+
+    let sg = Arc::new(ScatterGather::new(
+        vec![
+            ShardSpec::single(shard0.local_addr()),
+            ShardSpec::single(shard1.local_addr()),
+        ],
+        RouterConfig::default(),
+    ));
+    let router =
+        RouterServer::start(Arc::clone(&sg), RouterServerConfig::default()).expect("start router");
+
+    // epoch -> the (score_a, score_b) fingerprint that epoch serves.
+    let expected: Arc<Mutex<HashMap<u64, (f64, f64)>>> = Arc::new(Mutex::new(HashMap::new()));
+    expected.lock().expect("expected map").insert(
+        full.epoch(),
+        epoch_fingerprint(&full, &concept_a, &concept_b),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let expected = Arc::clone(&expected);
+            let router_addr = router.local_addr();
+            let body = rank_request(&[&concept_a, &concept_b]);
+            let (concept_a, concept_b) = (concept_a.clone(), concept_b.clone());
+            std::thread::spawn(move || {
+                let client = shard_client();
+                let mut last_epoch = 0u64;
+                let mut responses = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let Ok((status, _, text)) =
+                        request_classified(router_addr, "POST", "/rank", Some(&body), &client)
+                    else {
+                        continue;
+                    };
+                    if status != 200 {
+                        // Mixed-epoch gathers past the retry budget
+                        // surface as 503 — a *refusal*, never a torn
+                        // merge. Retry.
+                        assert_eq!(status, 503, "{text}");
+                        continue;
+                    }
+                    let value: serde_json::Value =
+                        serde_json::from_str(&text).expect("response JSON");
+                    let epoch = value
+                        .get("epoch")
+                        .and_then(|e| e.as_u64())
+                        .expect("epoch field");
+                    let score_of = |surface: &str| {
+                        let serde_json::Value::Seq(results) =
+                            value.get("results").expect("results")
+                        else {
+                            panic!("results not an array: {text}")
+                        };
+                        results
+                            .iter()
+                            .find(|r| r.get("surface").and_then(|s| s.as_str()) == Some(surface))
+                            .and_then(|r| r.get("score").and_then(|s| s.as_f64()))
+                            .expect("probe score")
+                    };
+                    let got = (score_of(&concept_a), score_of(&concept_b));
+                    let map = expected.lock().expect("expected map");
+                    let fingerprint = map.get(&epoch).unwrap_or_else(|| {
+                        panic!("response epoch {epoch} was never registered: {text}")
+                    });
+                    assert_eq!(
+                        got, *fingerprint,
+                        "epoch {epoch} response carries scores that epoch never produced \
+                         (a mixed-epoch merge): {text}"
+                    );
+                    drop(map);
+                    assert!(
+                        epoch >= last_epoch,
+                        "client-observed epoch regressed: {last_epoch} -> {epoch}"
+                    );
+                    last_epoch = epoch;
+                    responses += 1;
+                }
+                responses
+            })
+        })
+        .collect();
+
+    // The publish storm: each round builds the next epoch's full
+    // snapshot, registers its fingerprint, then runs the two-phase
+    // barrier (prepare everywhere, then commit everywhere).
+    let scratch = TempDir::new("storm");
+    let admin = shard_client();
+    let mut last_epoch = full.epoch();
+    for round in 0..PUBLISHES {
+        let next = full_snapshot(8, 1.0 + (round as f64 + 1.0) * 0.25);
+        assert!(next.epoch() > last_epoch);
+        last_epoch = next.epoch();
+        expected.lock().expect("expected map").insert(
+            next.epoch(),
+            epoch_fingerprint(&next, &concept_a, &concept_b),
+        );
+        let next_parts = partition_snapshot(&next, 2).expect("partition next");
+        let backends = [(&shard0, 0usize), (&shard1, 1usize)];
+        for (i, (server, part)) in backends.iter().enumerate() {
+            let dir = scratch.path().join(format!("round{round}-backend{i}"));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            save_snapshot(&next_parts[*part].snapshot, &dir).expect("save partition");
+            let prepare = serde_json::to_string(&serde_json::json!({
+                "dir": dir.to_string_lossy().into_owned(),
+                "epoch": next.epoch(),
+            }))
+            .expect("prepare body");
+            let (status, _, text) = request_classified(
+                server.local_addr(),
+                "POST",
+                "/admin/epoch/prepare",
+                Some(&prepare),
+                &admin,
+            )
+            .expect("prepare");
+            assert_eq!(status, 200, "prepare round {round}: {text}");
+        }
+        let commit =
+            serde_json::to_string(&serde_json::json!({"epoch": next.epoch()})).expect("commit");
+        for (server, _) in backends.iter() {
+            let (status, _, text) = request_classified(
+                server.local_addr(),
+                "POST",
+                "/admin/epoch/commit",
+                Some(&commit),
+                &admin,
+            )
+            .expect("commit");
+            assert_eq!(status, 200, "commit round {round}: {text}");
+        }
+        // A beat of traffic against each published epoch.
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    stop.store(true, Ordering::Release);
+    let totals: Vec<usize> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    assert!(
+        totals.iter().sum::<usize>() >= PUBLISHES,
+        "clients observed too few responses to exercise the storm: {totals:?}"
+    );
+
+    // After the last commit the router must settle on the final epoch.
+    let body = rank_request(&[&concept_a, &concept_b]);
+    let outcome = sg.rank(&body).expect("final rank");
+    assert_eq!(outcome.epoch, last_epoch);
+    assert_eq!(sg.observed_epoch(), last_epoch);
+
+    router.shutdown();
+    shard0.shutdown();
+    shard1.shutdown();
+}
+
+/// Re-preparing a newer epoch replaces staging, commits must name the
+/// staged epoch, and a stale prepare is refused — driven through the
+/// shard server's admin surface (the unit-level state machine lives in
+/// `ctxrank_framework::partition`).
+#[test]
+fn epoch_admin_rejects_stale_and_misnamed_transitions() {
+    let full = full_snapshot(4, 1.0);
+    let parts = partition_snapshot(&full, 2).expect("partition");
+    let shard0 = start_shard(parts[0].snapshot.clone(), parts[0].bounds);
+    let admin = shard_client();
+    let scratch = TempDir::new("admin");
+
+    // A stale prepare: same epoch as currently served.
+    let dir = scratch.path().join("stale");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    save_snapshot(&parts[0].snapshot, &dir).expect("save partition");
+    let stale = serde_json::to_string(&serde_json::json!({
+        "dir": dir.to_string_lossy().into_owned(),
+        "epoch": full.epoch(),
+    }))
+    .expect("body");
+    let (status, _, text) = request_classified(
+        shard0.local_addr(),
+        "POST",
+        "/admin/epoch/prepare",
+        Some(&stale),
+        &admin,
+    )
+    .expect("stale prepare");
+    assert_eq!(status, 409, "{text}");
+
+    // Committing an epoch nothing staged is refused.
+    let commit =
+        serde_json::to_string(&serde_json::json!({"epoch": full.epoch() + 1})).expect("body");
+    let (status, _, text) = request_classified(
+        shard0.local_addr(),
+        "POST",
+        "/admin/epoch/commit",
+        Some(&commit),
+        &admin,
+    )
+    .expect("commit");
+    assert_eq!(status, 409, "{text}");
+
+    // Prepare a real next epoch, then commit the wrong number: refused,
+    // staging intact; committing the right number flips the epoch.
+    let next = full_snapshot(4, 2.0);
+    let next_parts = partition_snapshot(&next, 2).expect("partition next");
+    let dir = scratch.path().join("next");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    save_snapshot(&next_parts[0].snapshot, &dir).expect("save partition");
+    let prepare = serde_json::to_string(&serde_json::json!({
+        "dir": dir.to_string_lossy().into_owned(),
+        "epoch": next.epoch(),
+    }))
+    .expect("body");
+    let (status, _, text) = request_classified(
+        shard0.local_addr(),
+        "POST",
+        "/admin/epoch/prepare",
+        Some(&prepare),
+        &admin,
+    )
+    .expect("prepare");
+    assert_eq!(status, 200, "{text}");
+    let wrong =
+        serde_json::to_string(&serde_json::json!({"epoch": next.epoch() + 7})).expect("body");
+    let (status, _, text) = request_classified(
+        shard0.local_addr(),
+        "POST",
+        "/admin/epoch/commit",
+        Some(&wrong),
+        &admin,
+    )
+    .expect("wrong commit");
+    assert_eq!(status, 409, "{text}");
+    let right = serde_json::to_string(&serde_json::json!({"epoch": next.epoch()})).expect("body");
+    let (status, _, text) = request_classified(
+        shard0.local_addr(),
+        "POST",
+        "/admin/epoch/commit",
+        Some(&right),
+        &admin,
+    )
+    .expect("right commit");
+    assert_eq!(status, 200, "{text}");
+    let (status, _, health) =
+        request_classified(shard0.local_addr(), "GET", "/healthz", None, &admin).expect("healthz");
+    assert_eq!(status, 200);
+    assert!(
+        health.contains(&format!("\"epoch\":{}", next.epoch())),
+        "{health}"
+    );
+
+    shard0.shutdown();
+}

@@ -425,6 +425,11 @@ impl<'a> Parser<'a> {
             text.parse::<f64>()
                 .map(Value::F64)
                 .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text == "-0" {
+            // Parsing `-0` as an integer collapses it to 0 and loses the
+            // sign, so a parse → re-render round trip of a serialized
+            // `-0.0` would not be byte-identical.
+            Ok(Value::F64(-0.0))
         } else if text.starts_with('-') {
             text.parse::<i64>()
                 .map(Value::I64)
@@ -582,6 +587,19 @@ mod tests {
                 Value::F64(1000.0)
             ])
         );
+    }
+
+    #[test]
+    fn negative_zero_parses_as_float_with_sign() {
+        let v: Value = from_str("[-0, 0]").expect("parse");
+        match &v {
+            Value::Seq(items) => {
+                assert!(matches!(items[0], Value::F64(z) if z == 0.0 && z.is_sign_negative()));
+                assert_eq!(items[1], Value::U64(0));
+            }
+            other => panic!("unexpected parse {other:?}"),
+        }
+        assert_eq!(to_string(&v).expect("serialize"), "[-0.0,0]");
     }
 
     #[test]
