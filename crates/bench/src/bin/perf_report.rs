@@ -580,6 +580,46 @@ fn delta_publish_row(fx: &Fixture, reps: usize) -> serde_json::Value {
     value
 }
 
+/// The two `debias_eval` rows: the position-bias debiasing experiment
+/// on a PBM-biased log and on an unbiased control log, both at the
+/// pinned CI seed. Each row records the paired golden-NDCG means, the
+/// exact sign-test tally and the verdict the CI gate asserts on
+/// (`"win"` under bias, `"tie"` without).
+fn debias_rows() -> Vec<serde_json::Value> {
+    use ctxrank_bench::{run_debias_experiment, DebiasConfig};
+    [true, false]
+        .into_iter()
+        .map(|biased| {
+            let report = run_debias_experiment(&DebiasConfig {
+                biased,
+                ..DebiasConfig::default()
+            });
+            let round4 = |x: f64| (x * 1e4).round() / 1e4;
+            eprintln!(
+                "perf_report: debias_eval mode={} ndcg_ipw={:.4} ndcg_naive={:.4} p={:.4} verdict={}",
+                report.mode,
+                report.outcome.mean_ndcg_treatment,
+                report.outcome.mean_ndcg_control,
+                report.outcome.sign_test.p_value,
+                report.outcome.verdict.label()
+            );
+            serde_json::json!({
+                "component": "debias_eval",
+                "mode": report.mode,
+                "stories": report.stories,
+                "events": report.events,
+                "ndcg_ipw": round4(report.outcome.mean_ndcg_treatment),
+                "ndcg_naive": round4(report.outcome.mean_ndcg_control),
+                "wins_ipw": report.outcome.sign_test.wins_a,
+                "wins_naive": report.outcome.sign_test.wins_b,
+                "ties": report.outcome.sign_test.ties,
+                "p_value": report.outcome.sign_test.p_value,
+                "verdict": report.outcome.verdict.label(),
+            })
+        })
+        .collect()
+}
+
 fn main() {
     let reps: usize = std::env::var("PERF_REPORT_REPS")
         .ok()
@@ -853,6 +893,10 @@ fn main() {
     // click-to-served-epoch latency of an incremental delta publish.
     rows.push(click_ingest_row(reps));
     rows.push(delta_publish_row(&fx, reps));
+
+    // Debiasing-experiment rows: IPW vs naive §VIII adjusters on
+    // PBM-biased and unbiased logs at the pinned seed.
+    rows.extend(debias_rows());
 
     let report = serde_json::Value::Seq(rows);
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

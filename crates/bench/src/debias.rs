@@ -1,0 +1,264 @@
+//! End-to-end position-bias debiasing experiment.
+//!
+//! Pipeline: generate a rank-annotated synthetic log under a chosen
+//! bias model (`ctxrank_synth::generate_ranked_log`), round-trip it
+//! through the checksummed event codec, fit per-rank examination
+//! propensities with RegressionEM (no relevance labels), then feed the
+//! same log to two §VIII online adjusters — a naive one that believes
+//! raw clicks and an IPW one that reweights clicks by clipped inverse
+//! propensities. Each story's surfaces are ranked by both adjusters'
+//! CTR estimates and scored against the ground-truth attractiveness
+//! with the paper's golden NDCG (CTR-bucket gains). The exact binomial
+//! sign test over the paired per-story NDCGs yields the verdict:
+//! under PBM bias the IPW arm must win (p < alpha); on an unbiased log
+//! the two arms must tie. Both gates run in CI over the pinned seed.
+
+use ctxrank_eval::{debias_outcome, ndcg_at_k, CtrBuckets, DebiasOutcome};
+use ctxrank_framework::{
+    EmCell, EmConfig, OnlineConfig, OnlineCtrAdjuster, PropensityEstimator, DEFAULT_WEIGHT_CAP,
+};
+use ctxrank_querylog::{decode_all, Event};
+use ctxrank_synth::{generate_ranked_log, NoBias, Pbm, PositionBiasModel, RankedLogConfig};
+use std::collections::{BTreeMap, HashMap};
+
+/// Configuration for [`run_debias_experiment`]. The default is the
+/// pinned CI experiment: big enough for the sign test to resolve the
+/// treatment effect, small enough to run in debug builds.
+#[derive(Debug, Clone)]
+pub struct DebiasConfig {
+    /// Master seed for the synthetic log.
+    pub seed: u64,
+    /// Independent story (query) contexts — the sign-test sample size.
+    pub stories: usize,
+    /// Ranked slots per story.
+    pub slots: usize,
+    /// Feedback batches per story.
+    pub batches: usize,
+    /// Impressions per batch.
+    pub views_per_batch: u64,
+    /// Per-adjacent-pair transposition probability (EM identifiability).
+    pub swap_prob: f64,
+    /// Generate under `Pbm { eta: pbm_eta }` when true, `NoBias` when
+    /// false (the control arm of the CI gate).
+    pub biased: bool,
+    /// PBM sharpness when `biased`.
+    pub pbm_eta: f64,
+    /// RegressionEM iteration budget.
+    pub em_iterations: usize,
+    /// IPW clipping cap handed to the fitted propensity table.
+    pub weight_cap: f64,
+    /// NDCG truncation depth.
+    pub ndcg_k: usize,
+    /// Sign-test significance threshold.
+    pub alpha: f64,
+}
+
+impl Default for DebiasConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xD_EB1A5,
+            stories: 120,
+            slots: 8,
+            batches: 48,
+            views_per_batch: 400,
+            swap_prob: 0.15,
+            biased: true,
+            pbm_eta: 1.0,
+            em_iterations: 50,
+            weight_cap: DEFAULT_WEIGHT_CAP,
+            ndcg_k: 8,
+            alpha: 0.05,
+        }
+    }
+}
+
+/// Everything the perf report and the CI gates need from one run.
+#[derive(Debug, Clone)]
+pub struct DebiasReport {
+    /// `"pbm"` or `"unbiased"` — which log the run scored.
+    pub mode: &'static str,
+    /// Stories scored (sign-test sample size).
+    pub stories: usize,
+    /// `RankedClick` events consumed (after the codec round-trip).
+    pub events: usize,
+    /// EM-fitted examination curve, normalized to rank 0.
+    pub fitted_propensities: Vec<f64>,
+    /// Paired-NDCG outcome: means, sign test, verdict.
+    pub outcome: DebiasOutcome,
+}
+
+/// Run the biased-log → estimate → reweight → score pipeline.
+///
+/// Deterministic in `config`: the log generator, the EM fit and both
+/// adjusters are seeded/closed-form, so the same configuration always
+/// produces the same verdict.
+pub fn run_debias_experiment(config: &DebiasConfig) -> DebiasReport {
+    let log_config = RankedLogConfig {
+        seed: config.seed,
+        stories: config.stories,
+        slots: config.slots,
+        batches: config.batches,
+        views_per_batch: config.views_per_batch,
+        swap_prob: config.swap_prob,
+    };
+    let pbm = Pbm {
+        eta: config.pbm_eta,
+    };
+    let bias: &dyn PositionBiasModel = if config.biased { &pbm } else { &NoBias };
+    let log = generate_ranked_log(&log_config, bias);
+
+    // Round-trip through the length-prefixed checksummed codec — the
+    // experiment consumes exactly what a persisted log would replay.
+    let mut buf = Vec::new();
+    for event in &log.events {
+        event.encode_into(&mut buf);
+    }
+    let events = decode_all(&buf).expect("freshly encoded log must decode");
+
+    // Aggregate (surface, rank) evidence for the EM estimator. Surfaces
+    // are interned to dense indices; ground truth never enters.
+    let mut surface_ids: HashMap<&str, usize> = HashMap::new();
+    // BTreeMap keeps the EM's float accumulation order deterministic.
+    let mut cells: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+    for event in &events {
+        if let Event::RankedClick {
+            surface,
+            rank,
+            views,
+            clicks,
+            ..
+        } = event
+        {
+            let next = surface_ids.len();
+            let sid = *surface_ids.entry(surface.as_str()).or_insert(next);
+            let slot = cells.entry((sid, *rank as usize)).or_insert((0, 0));
+            slot.0 = slot.0.saturating_add(*views);
+            slot.1 = slot.1.saturating_add(*clicks);
+        }
+    }
+    let em_cells: Vec<EmCell> = cells
+        .iter()
+        .map(|(&(surface, rank), &(views, clicks))| EmCell {
+            surface,
+            rank,
+            views,
+            clicks,
+        })
+        .collect();
+    let estimator = PropensityEstimator::new(EmConfig {
+        iterations: config.em_iterations,
+    });
+    let fit = estimator.fit(&em_cells);
+    let table = fit
+        .table(config.weight_cap)
+        .expect("EM examination curve is always encodable");
+    let fitted_propensities: Vec<f64> = (0..table.ranks()).map(|r| table.relative(r)).collect();
+
+    // Two §VIII adjusters over the identical event stream: the naive
+    // arm ignores rank, the treatment arm reweights by 1/propensity.
+    let mut naive = OnlineCtrAdjuster::new(OnlineConfig::default());
+    let mut ipw = OnlineCtrAdjuster::new(OnlineConfig::default());
+    ipw.set_propensities(table);
+    for event in &events {
+        if let Event::RankedClick {
+            surface,
+            rank,
+            views,
+            clicks,
+            ..
+        } = event
+        {
+            naive.record(surface, *views, *clicks);
+            ipw.record_ranked(surface, *rank as usize, *views, *clicks);
+        }
+    }
+
+    // Golden NDCG: bucket gains over every story's true attractiveness,
+    // then rank each story's surfaces by both adjusters' CTR estimates.
+    let all_ctrs: Vec<f64> = log
+        .stories
+        .iter()
+        .flat_map(|s| s.attractiveness.iter().copied())
+        .collect();
+    let buckets = CtrBuckets::new(all_ctrs);
+    let mut pairs = Vec::with_capacity(log.stories.len());
+    for story in &log.stories {
+        let gains: Vec<f64> = story
+            .attractiveness
+            .iter()
+            .map(|&a| buckets.gain(a))
+            .collect();
+        let ipw_scores: Vec<f64> = story
+            .surfaces
+            .iter()
+            .map(|s| ipw.ctr_estimate(s).unwrap_or(0.0))
+            .collect();
+        let naive_scores: Vec<f64> = story
+            .surfaces
+            .iter()
+            .map(|s| naive.ctr_estimate(s).unwrap_or(0.0))
+            .collect();
+        pairs.push((
+            ndcg_at_k(&ipw_scores, &gains, config.ndcg_k),
+            ndcg_at_k(&naive_scores, &gains, config.ndcg_k),
+        ));
+    }
+
+    DebiasReport {
+        mode: if config.biased { "pbm" } else { "unbiased" },
+        stories: log.stories.len(),
+        events: events.len(),
+        fitted_propensities,
+        outcome: debias_outcome(&pairs, config.alpha),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxrank_eval::DebiasVerdict;
+
+    fn small(biased: bool) -> DebiasConfig {
+        DebiasConfig {
+            stories: 60,
+            batches: 24,
+            views_per_batch: 250,
+            biased,
+            ..DebiasConfig::default()
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run_debias_experiment(&small(true));
+        let b = run_debias_experiment(&small(true));
+        assert_eq!(a.outcome.sign_test.wins_a, b.outcome.sign_test.wins_a);
+        assert_eq!(a.outcome.sign_test.p_value, b.outcome.sign_test.p_value);
+        assert_eq!(a.fitted_propensities, b.fitted_propensities);
+        assert_eq!(a.events, a.stories * 24 * 8);
+    }
+
+    #[test]
+    fn ipw_beats_naive_on_pbm_biased_log() {
+        let report = run_debias_experiment(&small(true));
+        assert_eq!(report.mode, "pbm");
+        assert_eq!(report.outcome.verdict, DebiasVerdict::Win);
+        assert!(
+            report.outcome.mean_ndcg_treatment > report.outcome.mean_ndcg_control,
+            "ipw {} vs naive {}",
+            report.outcome.mean_ndcg_treatment,
+            report.outcome.mean_ndcg_control
+        );
+        // The fitted curve must actually decay — EM found the bias.
+        let fitted = &report.fitted_propensities;
+        assert!(fitted[0] > fitted[fitted.len() - 1] * 2.0, "{fitted:?}");
+    }
+
+    #[test]
+    fn arms_tie_on_unbiased_log() {
+        let report = run_debias_experiment(&small(false));
+        assert_eq!(report.mode, "unbiased");
+        assert_eq!(report.outcome.verdict, DebiasVerdict::Tie);
+        assert!(report.outcome.sign_test.p_value >= 0.05);
+    }
+}

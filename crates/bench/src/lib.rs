@@ -10,6 +10,7 @@
 //! the protocol behind Tables III–V and Figures 1–3.
 
 pub mod dataset;
+pub mod debias;
 pub mod experiment;
 pub mod loopback;
 pub mod openloop;
@@ -19,6 +20,7 @@ pub mod report;
 pub mod stages;
 
 pub use dataset::{Dataset, Item, WindowGroup};
+pub use debias::{run_debias_experiment, DebiasConfig, DebiasReport};
 pub use experiment::{Experiment, ExperimentConfig};
 pub use loopback::{
     drive_loopback_pass, loopback_config, loopback_workload, LoopbackWorkload, LOOPBACK_CLIENTS,

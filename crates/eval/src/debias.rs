@@ -1,0 +1,137 @@
+//! Scoring for the position-bias debiasing experiment.
+//!
+//! The experiment ranks each story's surfaces twice — once by the naive
+//! §VIII adjuster's CTR estimates, once by the inverse-propensity-
+//! weighted adjuster's — and scores both against the ground-truth
+//! attractiveness with the paper's golden NDCG (CTR-bucket gains,
+//! Eq. 6). This module reduces the per-story NDCG pairs to a verdict:
+//! the exact binomial sign test over the paired differences, mapped to
+//! [`DebiasVerdict`]. The CI gate demands `Win` on PBM-biased logs and
+//! `Tie` on unbiased ones.
+
+use crate::significance::{paired_sign_test, SignTestOutcome};
+
+/// What the sign test says about treatment (IPW) vs control (naive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebiasVerdict {
+    /// Treatment significantly better (p < alpha, more wins).
+    Win,
+    /// No significant difference (p >= alpha, or a dead heat).
+    Tie,
+    /// Treatment significantly worse (p < alpha, fewer wins).
+    Loss,
+}
+
+impl DebiasVerdict {
+    /// Lowercase label for JSON reports (`"win"` / `"tie"` / `"loss"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DebiasVerdict::Win => "win",
+            DebiasVerdict::Tie => "tie",
+            DebiasVerdict::Loss => "loss",
+        }
+    }
+}
+
+/// Aggregated outcome of a treatment-vs-control NDCG comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DebiasOutcome {
+    /// Mean NDCG of the treatment (IPW) ranking.
+    pub mean_ndcg_treatment: f64,
+    /// Mean NDCG of the control (naive) ranking.
+    pub mean_ndcg_control: f64,
+    /// Per-story sign-test tally (`wins_a` = treatment wins).
+    pub sign_test: SignTestOutcome,
+    /// The significance threshold the verdict was taken at.
+    pub alpha: f64,
+    /// The verdict at `alpha`.
+    pub verdict: DebiasVerdict,
+}
+
+/// Score paired per-story NDCG values `(treatment, control)` with the
+/// exact sign test at significance level `alpha`.
+pub fn debias_outcome(pairs: &[(f64, f64)], alpha: f64) -> DebiasOutcome {
+    let deltas: Vec<f64> = pairs.iter().map(|&(t, c)| t - c).collect();
+    let sign_test = paired_sign_test(&deltas);
+    let n = pairs.len().max(1) as f64;
+    let mean_ndcg_treatment = pairs.iter().map(|&(t, _)| t).sum::<f64>() / n;
+    let mean_ndcg_control = pairs.iter().map(|&(_, c)| c).sum::<f64>() / n;
+    let verdict = if sign_test.p_value < alpha {
+        if sign_test.wins_a > sign_test.wins_b {
+            DebiasVerdict::Win
+        } else {
+            DebiasVerdict::Loss
+        }
+    } else {
+        DebiasVerdict::Tie
+    };
+    DebiasOutcome {
+        mean_ndcg_treatment,
+        mean_ndcg_control,
+        sign_test,
+        alpha,
+        verdict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overwhelming_treatment_advantage_is_a_win() {
+        let pairs: Vec<(f64, f64)> = (0..40).map(|_| (0.9, 0.6)).collect();
+        let out = debias_outcome(&pairs, 0.05);
+        assert_eq!(out.verdict, DebiasVerdict::Win);
+        assert_eq!(out.sign_test.wins_a, 40);
+        assert_eq!(out.sign_test.wins_b, 0);
+        assert!(out.sign_test.p_value < 1e-9);
+        assert!((out.mean_ndcg_treatment - 0.9).abs() < 1e-12);
+        assert!((out.mean_ndcg_control - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_outcomes_tie() {
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
+        for i in 0..30 {
+            if i % 2 == 0 {
+                pairs.push((0.8, 0.7));
+            } else {
+                pairs.push((0.7, 0.8));
+            }
+        }
+        // And plenty of exact ties, which the sign test drops.
+        for _ in 0..50 {
+            pairs.push((0.75, 0.75));
+        }
+        let out = debias_outcome(&pairs, 0.05);
+        assert_eq!(out.verdict, DebiasVerdict::Tie);
+        assert_eq!(out.sign_test.ties, 50);
+        assert!(out.sign_test.p_value >= 0.05);
+    }
+
+    #[test]
+    fn overwhelming_control_advantage_is_a_loss() {
+        let pairs: Vec<(f64, f64)> = (0..40).map(|_| (0.5, 0.95)).collect();
+        let out = debias_outcome(&pairs, 0.05);
+        assert_eq!(out.verdict, DebiasVerdict::Loss);
+        assert_eq!(out.verdict.label(), "loss");
+    }
+
+    #[test]
+    fn empty_input_is_a_trivial_tie() {
+        let out = debias_outcome(&[], 0.05);
+        assert_eq!(out.verdict, DebiasVerdict::Tie);
+        assert_eq!(out.sign_test.p_value, 1.0);
+        assert_eq!(out.mean_ndcg_treatment, 0.0);
+    }
+
+    #[test]
+    fn verdict_tracks_alpha() {
+        // 8 wins vs 1 loss: p ≈ 0.039 — a win at 0.05, a tie at 0.01.
+        let mut pairs: Vec<(f64, f64)> = (0..8).map(|_| (0.9, 0.8)).collect();
+        pairs.push((0.7, 0.8));
+        assert_eq!(debias_outcome(&pairs, 0.05).verdict, DebiasVerdict::Win);
+        assert_eq!(debias_outcome(&pairs, 0.01).verdict, DebiasVerdict::Tie);
+    }
+}

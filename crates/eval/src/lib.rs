@@ -12,14 +12,19 @@
 //! * [`production`] — before/after accounting for the §V-C production
 //!   A/B comparison (views, clicks, CTR deltas);
 //! * [`significance`] — a paired permutation test backing the paper's
-//!   "significantly lower" claims with an actual p-value.
+//!   "significantly lower" claims with an actual p-value;
+//! * [`debias`] — verdicts for the position-bias debiasing experiment:
+//!   the exact sign test over paired golden-NDCG scores, mapped to
+//!   win/tie/loss at a significance threshold.
 
+pub mod debias;
 pub mod editorial;
 pub mod error_rate;
 pub mod ndcg;
 pub mod production;
 pub mod significance;
 
+pub use debias::{debias_outcome, DebiasOutcome, DebiasVerdict};
 pub use editorial::Tally;
 pub use error_rate::{pair_stats, weighted_pair_stats, ErrorRateAccumulator, PairStats};
 pub use ndcg::{ndcg_at_k, CtrBuckets, NdcgAccumulator};

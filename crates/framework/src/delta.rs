@@ -244,7 +244,17 @@ impl SnapshotProjector {
         let mut max_terms = self.max_surface_terms;
         for event in events {
             match event {
+                // A rank-annotated click projects exactly like a plain
+                // click: the snapshot's CTR counts are rank-agnostic
+                // (the rank matters to the online adjuster's propensity
+                // weighting, not to the additive projection).
                 Event::Click {
+                    surface,
+                    views,
+                    clicks,
+                    ..
+                }
+                | Event::RankedClick {
                     surface,
                     views,
                     clicks,

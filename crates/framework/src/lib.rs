@@ -21,7 +21,10 @@
 //!   throughput experiment reproduced in `crates/bench`;
 //! * the §VIII future-work **online CTR adaptation** → [`online`]: fast
 //!   vs slow CTR averages per concept, boosting or punishing scores as
-//!   world events move the click stream in real time.
+//!   world events move the click stream in real time — made
+//!   position-bias-aware by [`propensity`], which fits per-rank
+//!   examination probabilities with RegressionEM and turns them into
+//!   clipped inverse-propensity click weights.
 //!
 //! The offline/online hand-off is organized around an immutable
 //! [`Snapshot`] artifact: [`snapshot::SnapshotBuilder`] is the single
@@ -45,6 +48,7 @@ pub mod online;
 pub mod packed;
 pub mod partition;
 pub mod persist;
+pub mod propensity;
 pub mod ranker;
 pub mod relstore;
 pub mod snapshot;
@@ -65,6 +69,10 @@ pub use persist::{
     load_ranker, load_service, load_service_with, load_snapshot, load_snapshot_with, save_ranker,
     save_service, save_service_with, save_snapshot, save_snapshot_legacy,
     save_snapshot_legacy_with, save_snapshot_with, PersistError, PersistFs, StdFs,
+};
+pub use propensity::{
+    EmCell, EmConfig, EmFit, PropensityCodecError, PropensityEstimator, PropensityTable,
+    DEFAULT_WEIGHT_CAP,
 };
 pub use ranker::{RankedConcept, RuntimeRanker};
 pub use relstore::PackedRelevanceStore;

@@ -14,7 +14,8 @@
 //! gets punished. Adjustments decay automatically as the fast average
 //! reverts to the slow one.
 
-use serde::{Deserialize, Serialize};
+use crate::propensity::PropensityTable;
+use serde::{Content, DeError, Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Tuning for the online adjuster.
@@ -59,10 +60,45 @@ struct ConceptState {
 ///
 /// Serializable so a serving process can persist accumulated CTR state
 /// (`persist::save_service`) and resume adapting after a restart.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// With a [`PropensityTable`] installed the adjuster becomes
+/// position-bias-aware: [`Self::record_ranked`] multiplies clicks by
+/// the clipped inverse propensity of the rank they were observed at,
+/// so a click at rank 9 (rarely examined) counts for more than a click
+/// at rank 0 — the inverse-propensity-scoring estimator of
+/// counterfactual LTR. Without a table (or with an all-ones table) the
+/// ranked path degenerates to the naive one bit-for-bit.
+#[derive(Debug, Clone, Default)]
 pub struct OnlineCtrAdjuster {
     config: OnlineConfigInner,
     state: HashMap<String, ConceptState>,
+    /// Not serialized with the adjuster: the table is persisted as its
+    /// own checksummed binary (`propensity.bin`) because a bit flip in
+    /// a JSON float would deserialize cleanly into silently skewed
+    /// weights — the binary codec validates everything.
+    propensity: Option<PropensityTable>,
+}
+
+// `online.json` keeps its pre-propensity shape: exactly the fields the
+// old derive emitted, so snapshots saved before (or after) this feature
+// load interchangeably. The propensity table travels separately.
+impl Serialize for OnlineCtrAdjuster {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("config".to_string(), self.config.to_content()),
+            ("state".to_string(), self.state.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for OnlineCtrAdjuster {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Self {
+            config: Deserialize::from_content(c.get("config").unwrap_or(&Content::Null))?,
+            state: Deserialize::from_content(c.get("state").unwrap_or(&Content::Null))?,
+            propensity: None,
+        })
+    }
 }
 
 /// Internal copy so `Default` works without an `OnlineConfig: Default`
@@ -76,17 +112,35 @@ impl OnlineCtrAdjuster {
         Self {
             config: OnlineConfigInner(config),
             state: HashMap::new(),
+            propensity: None,
         }
     }
 
     /// Feed one feedback batch for `surface`: how many times its
     /// annotations were viewed and clicked since the last batch.
     pub fn record(&mut self, surface: &str, views: u64, clicks: u64) {
+        self.record_weighted(surface, views, clicks as f64);
+    }
+
+    /// Feed one rank-annotated feedback batch: clicks observed at
+    /// `rank` are re-weighted by the installed propensity table's
+    /// clipped inverse propensity before entering the CTR averages.
+    /// Without a table the weight is exactly 1.0 (naive behaviour).
+    pub fn record_ranked(&mut self, surface: &str, rank: usize, views: u64, clicks: u64) {
+        let weight = self.propensity.as_ref().map_or(1.0, |p| p.weight(rank));
+        self.record_weighted(surface, views, clicks as f64 * weight);
+    }
+
+    /// The shared EMA update. `record` passes raw clicks; the ranked
+    /// path passes propensity-weighted clicks — so an all-ones table is
+    /// byte-identical to the naive adjuster (`c as f64 * 1.0 == c as
+    /// f64` exactly, in IEEE 754).
+    fn record_weighted(&mut self, surface: &str, views: u64, effective_clicks: f64) {
         let cfg = &self.config.0;
         if views < cfg.min_views {
             return;
         }
-        let ctr = clicks as f64 / views as f64 + cfg.ctr_smoothing;
+        let ctr = effective_clicks / views as f64 + cfg.ctr_smoothing;
         match self.state.get_mut(surface) {
             Some(s) => {
                 s.fast = (1.0 - cfg.fast_alpha) * s.fast + cfg.fast_alpha * ctr;
@@ -104,6 +158,33 @@ impl OnlineCtrAdjuster {
                 );
             }
         }
+    }
+
+    /// Install the propensity table applied by [`Self::record_ranked`].
+    pub fn set_propensities(&mut self, table: PropensityTable) {
+        self.propensity = Some(table);
+    }
+
+    /// Remove and return the installed propensity table, reverting the
+    /// ranked path to naive weighting.
+    pub fn clear_propensities(&mut self) -> Option<PropensityTable> {
+        self.propensity.take()
+    }
+
+    /// The installed propensity table, if any.
+    pub fn propensities(&self) -> Option<&PropensityTable> {
+        self.propensity.as_ref()
+    }
+
+    /// The debiased long-run CTR estimate for `surface` (the slow EMA
+    /// with the additive smoothing backed out) — `None` when no
+    /// feedback has been recorded. Under `record_ranked` with a fitted
+    /// table this estimates the surface's examination-free CTR.
+    pub fn ctr_estimate(&self, surface: &str) -> Option<f64> {
+        let cfg = &self.config.0;
+        self.state
+            .get(surface)
+            .map(|s| (s.slow - cfg.ctr_smoothing).max(0.0))
     }
 
     /// The additive score adjustment for `surface` (0 when unknown or
@@ -254,5 +335,126 @@ mod tests {
         assert_eq!(adj.len(), 1);
         adj.forget("c");
         assert!(adj.is_empty());
+    }
+
+    #[test]
+    fn all_ones_table_is_byte_identical_to_naive() {
+        let mut naive = OnlineCtrAdjuster::new(OnlineConfig::default());
+        let mut ipw = OnlineCtrAdjuster::new(OnlineConfig::default());
+        ipw.set_propensities(PropensityTable::uniform(10));
+        let batches: &[(&str, usize, u64, u64)] = &[
+            ("a", 0, 500, 25),
+            ("b", 3, 120, 7),
+            ("a", 9, 999, 1),
+            ("c", 15, 40, 40), // rank past the table clamps to 1.0 too
+            ("b", 1, 20, 0),
+            ("a", 2, 19, 5), // below min_views on both paths
+        ];
+        for &(s, rank, views, clicks) in batches {
+            naive.record(s, views, clicks);
+            ipw.record_ranked(s, rank, views, clicks);
+        }
+        for s in ["a", "b", "c", "missing"] {
+            assert_eq!(naive.estimates(s), ipw.estimates(s), "{s}");
+            assert_eq!(naive.adjustment(s).to_bits(), ipw.adjustment(s).to_bits());
+        }
+        // The serialized forms (what persistence writes) are identical
+        // bytes: the table never leaks into online.json.
+        assert_eq!(
+            serde_json::to_string(&naive).expect("ser"),
+            serde_json::to_string(&ipw).expect("ser")
+        );
+    }
+
+    #[test]
+    fn clipping_caps_a_low_propensity_click() {
+        let cfg = OnlineConfig::default();
+        let mut adj = OnlineCtrAdjuster::new(cfg.clone());
+        // Rank 1 has propensity 1/1000 — the raw inverse weight would
+        // be 1000x; the cap limits it to 5x.
+        adj.set_propensities(
+            PropensityTable::from_examination(&[1.0, 0.001], 5.0).expect("valid table"),
+        );
+        adj.record_ranked("c", 1, 100, 1);
+        let (fast, _) = adj.estimates("c").expect("recorded");
+        let expected = 5.0 * 1.0 / 100.0 + cfg.ctr_smoothing;
+        assert!(
+            (fast - expected).abs() < 1e-12,
+            "fast {fast} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ranked_path_respects_min_views() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        adj.set_propensities(PropensityTable::uniform(4));
+        adj.record_ranked("tiny", 2, 5, 5);
+        assert!(adj.is_empty());
+    }
+
+    #[test]
+    fn ctr_estimate_backs_out_smoothing() {
+        let cfg = OnlineConfig::default();
+        let mut adj = OnlineCtrAdjuster::new(cfg);
+        assert_eq!(adj.ctr_estimate("c"), None);
+        adj.record("c", 1000, 20);
+        let est = adj.ctr_estimate("c").expect("recorded");
+        assert!((est - 0.02).abs() < 1e-12, "{est}");
+    }
+
+    #[test]
+    fn ipw_recovers_examination_free_ctr() {
+        // Clicks generated under examination [1, 1/2, 1/4] for a
+        // surface with true (examined) CTR 0.2: the naive estimate is
+        // dragged down by the biased ranks, the weighted one is not.
+        let table = PropensityTable::from_examination(&[1.0, 0.5, 0.25], 10.0).expect("valid");
+        let mut ipw = OnlineCtrAdjuster::new(OnlineConfig::default());
+        ipw.set_propensities(table);
+        let mut naive = OnlineCtrAdjuster::new(OnlineConfig::default());
+        let exam = [1.0, 0.5, 0.25];
+        for batch in 0..300 {
+            let rank = batch % 3;
+            let views = 1000u64;
+            let clicks = (views as f64 * 0.2 * exam[rank]).round() as u64;
+            ipw.record_ranked("c", rank, views, clicks);
+            naive.record("c", views, clicks);
+        }
+        let debiased = ipw.ctr_estimate("c").expect("recorded");
+        let biased = naive.ctr_estimate("c").expect("recorded");
+        assert!((debiased - 0.2).abs() < 0.02, "debiased {debiased}");
+        assert!(biased < 0.13, "naive should stay biased low: {biased}");
+    }
+
+    #[test]
+    fn forget_and_clear_cover_the_new_state() {
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        let table = PropensityTable::from_examination(&[1.0, 0.5], 10.0).expect("valid");
+        adj.set_propensities(table.clone());
+        adj.record_ranked("c", 1, 100, 4);
+        adj.forget("c");
+        // Forgetting a surface drops its CTR state but not the global
+        // propensity table (it is not per-surface state).
+        assert!(adj.is_empty());
+        assert_eq!(adj.propensities(), Some(&table));
+        assert_eq!(adj.clear_propensities(), Some(table));
+        assert_eq!(adj.propensities(), None);
+        // Cleared: ranked records weight 1.0 again.
+        adj.record_ranked("d", 1, 100, 4);
+        let mut naive = OnlineCtrAdjuster::new(OnlineConfig::default());
+        naive.record("d", 100, 4);
+        assert_eq!(adj.estimates("d"), naive.estimates("d"));
+    }
+
+    #[test]
+    fn deserialization_accepts_pre_propensity_payloads() {
+        // A payload with only the legacy fields (what older builds
+        // wrote) must load, with no table installed.
+        let mut adj = OnlineCtrAdjuster::new(OnlineConfig::default());
+        adj.record("c", 100, 7);
+        let json = serde_json::to_string(&adj).expect("ser");
+        assert!(!json.contains("propensity"), "{json}");
+        let back: OnlineCtrAdjuster = serde_json::from_str(&json).expect("de");
+        assert_eq!(back.estimates("c"), adj.estimates("c"));
+        assert_eq!(back.propensities(), None);
     }
 }

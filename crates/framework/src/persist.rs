@@ -78,6 +78,7 @@ const F_RELEVANCE: &str = "relevance.bin";
 const F_TIDS: &str = "tids.bin";
 const F_MODEL: &str = "model.json";
 const F_ONLINE: &str = "online.json";
+const F_PROPENSITY: &str = "propensity.bin";
 
 /// Why a snapshot directory could not be written or read back.
 #[derive(Debug)]
@@ -402,9 +403,9 @@ pub fn save_service(handle: &ServiceHandle, dir: &Path) -> Result<(), PersistErr
 }
 
 /// [`save_service`] through an explicit [`PersistFs`]. Write order is
-/// stage `snapshot.ctxr.tmp` → `online.json` → rename the arena into
-/// place, so a save that fails at any point never clobbers the
-/// previous good snapshot.
+/// stage `snapshot.ctxr.tmp` → `online.json` → `propensity.bin` (when
+/// a table is installed) → rename the arena into place, so a save that
+/// fails at any point never clobbers the previous good snapshot.
 pub fn save_service_with(
     handle: &ServiceHandle,
     dir: &Path,
@@ -418,6 +419,12 @@ pub fn save_service_with(
     let bytes =
         serde_json::to_vec_pretty(&adjuster).map_err(|e| corrupt(F_ONLINE, e.to_string()))?;
     write_file_atomic(fs, dir, F_ONLINE, &bytes)?;
+    // The propensity table rides in its own checksummed binary, not in
+    // online.json: JSON has no integrity check, and a flipped digit in
+    // a weight would load as a silently skewed adjuster.
+    if let Some(table) = adjuster.propensities() {
+        write_file_atomic(fs, dir, F_PROPENSITY, &table.encode())?;
+    }
     commit_file_tmp(fs, dir, F_ARENA)
 }
 
@@ -430,13 +437,19 @@ pub fn load_service(dir: &Path) -> Result<ServiceHandle, PersistError> {
 /// [`load_service`] through an explicit [`PersistFs`].
 pub fn load_service_with(dir: &Path, fs: &dyn PersistFs) -> Result<ServiceHandle, PersistError> {
     let snapshot = load_snapshot_with(dir, fs)?;
-    let adjuster = if fs.exists(&dir.join(F_ONLINE)) {
+    let mut adjuster = if fs.exists(&dir.join(F_ONLINE)) {
         let bytes = read_file(fs, dir, F_ONLINE)?;
         serde_json::from_slice::<OnlineCtrAdjuster>(&bytes)
             .map_err(|e| corrupt(F_ONLINE, e.to_string()))?
     } else {
         OnlineCtrAdjuster::default()
     };
+    if fs.exists(&dir.join(F_PROPENSITY)) {
+        let bytes = read_file(fs, dir, F_PROPENSITY)?;
+        let table = crate::propensity::PropensityTable::decode(&bytes)
+            .map_err(|e| corrupt(F_PROPENSITY, e.to_string()))?;
+        adjuster.set_propensities(table);
+    }
     Ok(ServiceHandle::with_adjuster(snapshot, adjuster))
 }
 
@@ -857,6 +870,74 @@ mod tests {
             (restored.adjustment("concept 3") - boost).abs() < 1e-12,
             "restart must not drop online CTR state"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn service_roundtrip_preserves_propensity_table() {
+        use crate::propensity::PropensityTable;
+
+        let ranker = sample_ranker();
+        let handle = ServiceHandle::new(ranker.snapshot().clone());
+        let table =
+            PropensityTable::from_examination(&[0.9, 0.45, 0.15, 0.05], 7.5).expect("valid table");
+        handle.install_propensities(table.clone());
+        for _ in 0..5 {
+            handle.record_feedback_ranked("concept 3", 2, 1000, 20);
+        }
+        let est = handle
+            .adjuster_state()
+            .ctr_estimate("concept 3")
+            .expect("recorded");
+
+        let dir =
+            std::env::temp_dir().join(format!("ctxrank_persist_propensity_{}", std::process::id()));
+        save_service(&handle, &dir).expect("save service");
+        assert!(dir.join(F_PROPENSITY).exists(), "propensity.bin written");
+        // online.json stays propensity-free (backward-compatible shape).
+        let online = std::fs::read_to_string(dir.join(F_ONLINE)).expect("online.json");
+        assert!(!online.contains("propensity"), "{online}");
+
+        let restored = load_service(&dir).expect("load service");
+        assert_eq!(restored.propensity_ranks(), 4);
+        let restored_adj = restored.adjuster_state();
+        assert_eq!(restored_adj.propensities(), Some(&table));
+        assert_eq!(restored_adj.ctr_estimate("concept 3"), Some(est));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_propensity_file_is_a_typed_corrupt_never_skewed() {
+        use crate::propensity::PropensityTable;
+
+        let ranker = sample_ranker();
+        let handle = ServiceHandle::new(ranker.snapshot().clone());
+        handle.install_propensities(
+            PropensityTable::from_examination(&[1.0, 0.5, 0.25], 10.0).expect("valid table"),
+        );
+        let dir = std::env::temp_dir().join(format!(
+            "ctxrank_persist_propensity_damage_{}",
+            std::process::id()
+        ));
+        save_service(&handle, &dir).expect("save service");
+        let path = dir.join(F_PROPENSITY);
+        let clean = std::fs::read(&path).expect("read propensity.bin");
+
+        // Bit flip in the middle of a weight.
+        let mut flipped = clean.clone();
+        flipped[20] ^= 0x08;
+        std::fs::write(&path, &flipped).expect("write");
+        match load_service(&dir) {
+            Err(PersistError::Corrupt { file, .. }) => assert_eq!(file, F_PROPENSITY),
+            other => panic!("expected Corrupt(propensity.bin), got {other:?}"),
+        }
+
+        // Torn tail.
+        std::fs::write(&path, &clean[..clean.len() - 3]).expect("write");
+        match load_service(&dir) {
+            Err(PersistError::Corrupt { file, .. }) => assert_eq!(file, F_PROPENSITY),
+            other => panic!("expected Corrupt(propensity.bin), got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

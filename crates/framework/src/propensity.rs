@@ -1,0 +1,583 @@
+//! Propensity estimation for position-bias correction.
+//!
+//! The §VIII online adjuster consumes aggregated (views, clicks)
+//! feedback. Under position bias those counts over-represent head
+//! ranks: a click at rank 0 is easy, a click at rank 9 is rare even for
+//! an attractive concept. [`PropensityEstimator`] recovers the per-rank
+//! examination probabilities from a rank-annotated click log alone — no
+//! relevance labels — via the EM procedure of the RegressionEM line of
+//! work (Wang et al., WSDM'18), specialized to its tabular form: one
+//! examination parameter per rank, one attractiveness parameter per
+//! surface. [`PropensityTable`] then turns the fitted curve into
+//! clipped inverse-propensity weights for `OnlineCtrAdjuster`, and owns
+//! the checksummed binary codec the persistence layer stores it with
+//! (`propensity.bin`) — weights that silently drift after a partial
+//! write would skew every adjustment, so the file is fully validating:
+//! magic, length, finiteness, range and FNV-1a checksum.
+//!
+//! Model: `P(click at rank r on surface s) = θ_r · γ_s`, both latent.
+//! E-step, for a non-clicked impression:
+//!
+//! ```text
+//! P(examined | no click) = θ_r (1 − γ_s) / (1 − θ_r γ_s)
+//! P(attractive | no click) = γ_s (1 − θ_r) / (1 − θ_r γ_s)
+//! ```
+//!
+//! M-step: θ_r averages `clicks + non_clicks · P(examined | no click)`
+//! over the impressions at rank r (and symmetrically for γ_s). The
+//! marginal log-likelihood is non-decreasing — the classic EM
+//! guarantee — which the golden tests pin down.
+
+use serde::{Deserialize, Serialize};
+
+/// Magic prefix of the encoded propensity table ("debias" spelled the
+/// ICDE way — distinct from the arena's `0x12DE_2009`).
+const PROPENSITY_MAGIC: u32 = 0xDEB1_A5ED;
+
+/// Hard cap on the number of ranks a decoded table may claim; real
+/// tables have tens of entries, and the cap bounds the allocation a
+/// corrupt length prefix can demand.
+const MAX_RANKS: u32 = 1 << 16;
+
+/// Parameter clamp keeping EM probabilities away from the 0/1
+/// boundaries (where the E-step ratios degenerate).
+const EM_EPSILON: f64 = 1e-6;
+
+/// FNV-1a, 32-bit — same checksum the event codec uses.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Why an encoded propensity table failed to decode. Persistence maps
+/// every variant onto `PersistError::Corrupt` — a damaged table must
+/// never load as skewed weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropensityCodecError {
+    /// The buffer is shorter than the header + payload it declares.
+    Truncated,
+    /// The magic prefix is wrong — not a propensity table at all.
+    BadMagic,
+    /// The rank count exceeds [`MAX_RANKS`].
+    Oversized { ranks: u32 },
+    /// The trailing FNV-1a checksum did not match.
+    Checksum,
+    /// A decoded value is non-finite or out of range.
+    Invalid { detail: String },
+}
+
+impl std::fmt::Display for PropensityCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropensityCodecError::Truncated => write!(f, "truncated propensity table"),
+            PropensityCodecError::BadMagic => write!(f, "bad propensity table magic"),
+            PropensityCodecError::Oversized { ranks } => {
+                write!(f, "propensity table claims {ranks} ranks")
+            }
+            PropensityCodecError::Checksum => write!(f, "propensity table checksum mismatch"),
+            PropensityCodecError::Invalid { detail } => {
+                write!(f, "invalid propensity table: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropensityCodecError {}
+
+/// Per-rank relative propensities plus the IPW clipping policy.
+///
+/// `relative(r)` is the examination probability at rank `r` normalized
+/// to rank 0 (`relative(0) == 1`); ranks past the fitted range clamp to
+/// the last entry, and an empty table behaves as all-ones. The inverse
+/// weight `weight(r) = min(1 / relative(r), weight_cap)` is what the
+/// adjuster multiplies clicks by — the clip bounds the variance a
+/// single deep-rank click can inject (standard clipped-IPS practice).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropensityTable {
+    relative: Vec<f64>,
+    weight_cap: f64,
+}
+
+/// Default clip on inverse-propensity weights.
+pub const DEFAULT_WEIGHT_CAP: f64 = 10.0;
+
+impl Default for PropensityTable {
+    fn default() -> Self {
+        Self::uniform(0)
+    }
+}
+
+impl PropensityTable {
+    /// An all-ones table over `ranks` ranks: IPW degenerates to the
+    /// naive adjuster (the parity baseline).
+    pub fn uniform(ranks: usize) -> Self {
+        Self {
+            relative: vec![1.0; ranks],
+            weight_cap: DEFAULT_WEIGHT_CAP,
+        }
+    }
+
+    /// Build from fitted examination probabilities, normalizing to the
+    /// first rank. Non-finite or non-positive entries are rejected.
+    pub fn from_examination(
+        examination: &[f64],
+        weight_cap: f64,
+    ) -> Result<Self, PropensityCodecError> {
+        if !(weight_cap.is_finite() && weight_cap >= 1.0) {
+            return Err(PropensityCodecError::Invalid {
+                detail: format!("weight cap {weight_cap} not in [1, inf)"),
+            });
+        }
+        let Some(&head) = examination.first() else {
+            return Ok(Self {
+                relative: Vec::new(),
+                weight_cap,
+            });
+        };
+        if examination.iter().any(|&e| !e.is_finite() || e <= 0.0) {
+            return Err(PropensityCodecError::Invalid {
+                detail: "examination probabilities must be finite and positive".to_string(),
+            });
+        }
+        Ok(Self {
+            relative: examination.iter().map(|&e| e / head).collect(),
+            weight_cap,
+        })
+    }
+
+    /// Relative propensity at `rank` (1.0 for an empty table; ranks
+    /// past the end clamp to the last fitted entry).
+    pub fn relative(&self, rank: usize) -> f64 {
+        match self.relative.get(rank) {
+            Some(&p) => p,
+            None => self.relative.last().copied().unwrap_or(1.0),
+        }
+    }
+
+    /// The clipped inverse-propensity weight applied to clicks observed
+    /// at `rank`.
+    pub fn weight(&self, rank: usize) -> f64 {
+        (1.0 / self.relative(rank)).min(self.weight_cap)
+    }
+
+    /// Number of fitted ranks.
+    pub fn ranks(&self) -> usize {
+        self.relative.len()
+    }
+
+    /// The configured clip on inverse weights.
+    pub fn weight_cap(&self) -> f64 {
+        self.weight_cap
+    }
+
+    /// Encode as a self-validating binary blob:
+    ///
+    /// ```text
+    /// [magic u32 LE][ranks u32 LE][weight_cap f64 LE]
+    /// [relative f64 LE × ranks][fnv1a32 of all preceding bytes u32 LE]
+    /// ```
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(20 + 8 * self.relative.len());
+        buf.extend_from_slice(&PROPENSITY_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(self.relative.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&self.weight_cap.to_le_bytes());
+        for &p in &self.relative {
+            buf.extend_from_slice(&p.to_le_bytes());
+        }
+        buf.extend_from_slice(&fnv1a32(&buf).to_le_bytes());
+        buf
+    }
+
+    /// Decode and fully validate an encoded table. Every defect —
+    /// truncation, wrong magic, oversized count, checksum mismatch,
+    /// out-of-range values, trailing bytes — is a typed error; a
+    /// damaged file can never yield silently skewed weights.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PropensityCodecError> {
+        if bytes.len() < 20 {
+            return Err(PropensityCodecError::Truncated);
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+        if magic != PROPENSITY_MAGIC {
+            return Err(PropensityCodecError::BadMagic);
+        }
+        let ranks = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if ranks > MAX_RANKS {
+            return Err(PropensityCodecError::Oversized { ranks });
+        }
+        let body_len = 16usize + 8 * ranks as usize;
+        if bytes.len() != body_len + 4 {
+            return Err(PropensityCodecError::Truncated);
+        }
+        let want = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+        if fnv1a32(&bytes[..body_len]) != want {
+            return Err(PropensityCodecError::Checksum);
+        }
+        let weight_cap = f64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        if !(weight_cap.is_finite() && weight_cap >= 1.0) {
+            return Err(PropensityCodecError::Invalid {
+                detail: format!("weight cap {weight_cap} not in [1, inf)"),
+            });
+        }
+        let mut relative = Vec::with_capacity(ranks as usize);
+        for i in 0..ranks as usize {
+            let off = 16 + 8 * i;
+            let p = f64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+            if !(p.is_finite() && p > 0.0 && p <= 1e6) {
+                return Err(PropensityCodecError::Invalid {
+                    detail: format!("relative propensity {p} at rank {i} out of range"),
+                });
+            }
+            relative.push(p);
+        }
+        Ok(Self {
+            relative,
+            weight_cap,
+        })
+    }
+}
+
+/// One aggregated observation cell for the estimator: `surface` is a
+/// dense index (caller-assigned), `rank` the display rank, and
+/// `views`/`clicks` the impression and click counts accumulated at that
+/// (surface, rank) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmCell {
+    pub surface: usize,
+    pub rank: usize,
+    pub views: u64,
+    pub clicks: u64,
+}
+
+/// Tuning for [`PropensityEstimator`].
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// EM iterations. The tabular model converges fast; 50 is plenty.
+    pub iterations: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self { iterations: 50 }
+    }
+}
+
+/// The fitted parameters plus the per-iteration log-likelihood trace.
+#[derive(Debug, Clone)]
+pub struct EmFit {
+    /// `examination[r]` — the estimated probability that rank `r` is
+    /// examined (identified up to a multiplicative constant; use
+    /// [`PropensityTable::from_examination`] for the normalized form).
+    pub examination: Vec<f64>,
+    /// `attractiveness[s]` — the estimated click probability of surface
+    /// `s` given examination.
+    pub attractiveness: Vec<f64>,
+    /// Marginal log-likelihood after each iteration (non-decreasing).
+    pub log_likelihood: Vec<f64>,
+}
+
+impl EmFit {
+    /// The normalized propensity table for this fit.
+    pub fn table(&self, weight_cap: f64) -> Result<PropensityTable, PropensityCodecError> {
+        PropensityTable::from_examination(&self.examination, weight_cap)
+    }
+}
+
+/// RegressionEM-style propensity estimator (tabular special case: the
+/// "regression" over rank features is a one-hot lookup).
+#[derive(Debug, Clone, Default)]
+pub struct PropensityEstimator {
+    config: EmConfig,
+}
+
+impl PropensityEstimator {
+    pub fn new(config: EmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fit examination/attractiveness parameters to the observation
+    /// cells. Ranks and surfaces with no impressions keep their 0.5
+    /// prior. Deterministic: no randomness anywhere in the procedure.
+    pub fn fit(&self, cells: &[EmCell]) -> EmFit {
+        let ranks = cells.iter().map(|c| c.rank + 1).max().unwrap_or(0);
+        let surfaces = cells.iter().map(|c| c.surface + 1).max().unwrap_or(0);
+        let mut theta = vec![0.5f64; ranks];
+        let mut gamma = vec![0.5f64; surfaces];
+        let mut log_likelihood = Vec::with_capacity(self.config.iterations);
+
+        for _ in 0..self.config.iterations {
+            // Accumulate expected examination/attraction counts.
+            let mut theta_num = vec![0.0f64; ranks];
+            let mut theta_den = vec![0.0f64; ranks];
+            let mut gamma_num = vec![0.0f64; surfaces];
+            let mut gamma_den = vec![0.0f64; surfaces];
+            for c in cells {
+                let t = theta[c.rank];
+                let g = gamma[c.surface];
+                let clicks = c.clicks.min(c.views) as f64;
+                let non_clicks = (c.views - c.clicks.min(c.views)) as f64;
+                let no_click = (1.0 - t * g).max(EM_EPSILON);
+                let p_exam_given_no_click = t * (1.0 - g) / no_click;
+                let p_attr_given_no_click = g * (1.0 - t) / no_click;
+                theta_num[c.rank] += clicks + non_clicks * p_exam_given_no_click;
+                theta_den[c.rank] += c.views as f64;
+                gamma_num[c.surface] += clicks + non_clicks * p_attr_given_no_click;
+                gamma_den[c.surface] += c.views as f64;
+            }
+            for r in 0..ranks {
+                if theta_den[r] > 0.0 {
+                    theta[r] = (theta_num[r] / theta_den[r]).clamp(EM_EPSILON, 1.0 - EM_EPSILON);
+                }
+            }
+            for s in 0..surfaces {
+                if gamma_den[s] > 0.0 {
+                    gamma[s] = (gamma_num[s] / gamma_den[s]).clamp(EM_EPSILON, 1.0 - EM_EPSILON);
+                }
+            }
+            log_likelihood.push(Self::log_likelihood(cells, &theta, &gamma));
+        }
+
+        EmFit {
+            examination: theta,
+            attractiveness: gamma,
+            log_likelihood,
+        }
+    }
+
+    /// Marginal log-likelihood of the cells under (θ, γ).
+    fn log_likelihood(cells: &[EmCell], theta: &[f64], gamma: &[f64]) -> f64 {
+        cells
+            .iter()
+            .map(|c| {
+                let p = (theta[c.rank] * gamma[c.surface]).clamp(EM_EPSILON, 1.0 - EM_EPSILON);
+                let clicks = c.clicks.min(c.views) as f64;
+                let non_clicks = (c.views - c.clicks.min(c.views)) as f64;
+                clicks * p.ln() + non_clicks * (1.0 - p).ln()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_two_rank_two_surface_first_iteration() {
+        // Hand-computed fixture. Cells (surface, rank, views, clicks):
+        //   (0,0,100,40) (0,1,100,20) (1,0,100,20) (1,1,100,10)
+        // Init θ = γ = 0.5 everywhere, so for every cell
+        //   P(exam | no click) = P(attr | no click)
+        //     = 0.5·0.5 / (1 − 0.25) = 1/3.
+        // M-step, rank 0: (40 + 60/3 + 20 + 80/3) / 200 = 8/15.
+        // M-step, rank 1: (20 + 80/3 + 10 + 90/3) / 200 = 13/30.
+        // Symmetric counts make γ identical: γ_0 = 8/15, γ_1 = 13/30.
+        let cells = [
+            EmCell {
+                surface: 0,
+                rank: 0,
+                views: 100,
+                clicks: 40,
+            },
+            EmCell {
+                surface: 0,
+                rank: 1,
+                views: 100,
+                clicks: 20,
+            },
+            EmCell {
+                surface: 1,
+                rank: 0,
+                views: 100,
+                clicks: 20,
+            },
+            EmCell {
+                surface: 1,
+                rank: 1,
+                views: 100,
+                clicks: 10,
+            },
+        ];
+        let fit = PropensityEstimator::new(EmConfig { iterations: 1 }).fit(&cells);
+        assert!((fit.examination[0] - 8.0 / 15.0).abs() < 1e-12, "{fit:?}");
+        assert!((fit.examination[1] - 13.0 / 30.0).abs() < 1e-12, "{fit:?}");
+        assert!((fit.attractiveness[0] - 8.0 / 15.0).abs() < 1e-12);
+        assert!((fit.attractiveness[1] - 13.0 / 30.0).abs() < 1e-12);
+        // Normalized propensity of rank 1: (13/30) / (8/15) = 13/16.
+        let table = fit.table(10.0).expect("valid fit");
+        assert!((table.relative(1) - 13.0 / 16.0).abs() < 1e-12);
+        assert!((table.relative(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_is_monotonically_non_decreasing() {
+        let cells = [
+            EmCell {
+                surface: 0,
+                rank: 0,
+                views: 400,
+                clicks: 120,
+            },
+            EmCell {
+                surface: 0,
+                rank: 1,
+                views: 400,
+                clicks: 55,
+            },
+            EmCell {
+                surface: 1,
+                rank: 0,
+                views: 400,
+                clicks: 70,
+            },
+            EmCell {
+                surface: 1,
+                rank: 1,
+                views: 400,
+                clicks: 30,
+            },
+            EmCell {
+                surface: 2,
+                rank: 2,
+                views: 400,
+                clicks: 12,
+            },
+            EmCell {
+                surface: 2,
+                rank: 0,
+                views: 400,
+                clicks: 95,
+            },
+        ];
+        let fit = PropensityEstimator::new(EmConfig { iterations: 40 }).fit(&cells);
+        assert_eq!(fit.log_likelihood.len(), 40);
+        for w in fit.log_likelihood.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "log-likelihood decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // And it actually improved over the 0.5 prior.
+        assert!(fit.log_likelihood[39] > fit.log_likelihood[0]);
+    }
+
+    #[test]
+    fn recovers_a_known_examination_curve() {
+        // Deterministic expected counts under θ = [1, 1/2, 1/4] with
+        // many surfaces spread across ranks: EM should recover the
+        // *ratios* of the curve (the scale is unidentifiable).
+        let theta = [1.0, 0.5, 0.25];
+        let attr = [0.4, 0.3, 0.2, 0.12, 0.08];
+        let mut cells = Vec::new();
+        for (s, &a) in attr.iter().enumerate() {
+            for (r, &t) in theta.iter().enumerate() {
+                let views = 10_000u64;
+                let clicks = (views as f64 * a * t).round() as u64;
+                cells.push(EmCell {
+                    surface: s,
+                    rank: r,
+                    views,
+                    clicks,
+                });
+            }
+        }
+        let fit = PropensityEstimator::default().fit(&cells);
+        let rel1 = fit.examination[1] / fit.examination[0];
+        let rel2 = fit.examination[2] / fit.examination[0];
+        assert!((rel1 - 0.5).abs() < 0.03, "rel1 {rel1}");
+        assert!((rel2 - 0.25).abs() < 0.03, "rel2 {rel2}");
+    }
+
+    #[test]
+    fn table_roundtrip_and_weights() {
+        let table = PropensityTable::from_examination(&[0.8, 0.4, 0.2, 0.02], 10.0).expect("ok");
+        assert!((table.relative(0) - 1.0).abs() < 1e-12);
+        assert!((table.relative(1) - 0.5).abs() < 1e-12);
+        assert!((table.weight(1) - 2.0).abs() < 1e-12);
+        // 1/0.025 = 40 clips to the cap.
+        assert!((table.weight(3) - 10.0).abs() < 1e-12);
+        // Overflow ranks clamp to the last entry.
+        assert!((table.relative(99) - 0.025).abs() < 1e-12);
+        let decoded = PropensityTable::decode(&table.encode()).expect("roundtrip");
+        assert_eq!(decoded, table);
+
+        let empty = PropensityTable::uniform(0);
+        assert!((empty.relative(5) - 1.0).abs() < 1e-12);
+        assert!((empty.weight(5) - 1.0).abs() < 1e-12);
+        assert_eq!(PropensityTable::decode(&empty.encode()), Ok(empty));
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let table = PropensityTable::from_examination(&[1.0, 0.5, 0.33], 8.0).expect("ok");
+        let clean = table.encode();
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut buf = clean.clone();
+                buf[byte] ^= 1 << bit;
+                assert!(
+                    PropensityTable::decode(&buf).is_err(),
+                    "byte {byte} bit {bit} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_detected() {
+        let clean = PropensityTable::from_examination(&[1.0, 0.5], 4.0)
+            .expect("ok")
+            .encode();
+        for cut in 0..clean.len() {
+            assert!(PropensityTable::decode(&clean[..cut]).is_err(), "cut {cut}");
+        }
+        let mut longer = clean.clone();
+        longer.push(0);
+        assert!(PropensityTable::decode(&longer).is_err());
+        assert_eq!(
+            PropensityTable::decode(&[0u8; 24]),
+            Err(PropensityCodecError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert!(PropensityTable::from_examination(&[1.0, 0.0], 10.0).is_err());
+        assert!(PropensityTable::from_examination(&[1.0, f64::NAN], 10.0).is_err());
+        assert!(PropensityTable::from_examination(&[1.0, 0.5], 0.5).is_err());
+        // A hand-built buffer with a negative propensity and a correct
+        // checksum still fails validation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&PROPENSITY_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2.0f64.to_le_bytes());
+        buf.extend_from_slice(&(-0.5f64).to_le_bytes());
+        buf.extend_from_slice(&fnv1a32(&buf).to_le_bytes());
+        assert!(matches!(
+            PropensityTable::decode(&buf),
+            Err(PropensityCodecError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_table_weights_are_exactly_one() {
+        let table = PropensityTable::uniform(12);
+        for r in 0..20 {
+            assert_eq!(table.weight(r), 1.0);
+            assert_eq!(table.relative(r), 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_cells_fit_is_empty() {
+        let fit = PropensityEstimator::default().fit(&[]);
+        assert!(fit.examination.is_empty());
+        assert!(fit.attractiveness.is_empty());
+        assert!(fit.table(10.0).expect("empty ok").ranks() == 0);
+    }
+}

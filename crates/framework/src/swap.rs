@@ -191,6 +191,29 @@ impl ServiceHandle {
         self.adjuster.write().record(surface, views, clicks);
     }
 
+    /// Rank-annotated feedback: clicks observed at `rank` enter the
+    /// adjuster re-weighted by the installed propensity table (naive
+    /// weighting when none is installed).
+    pub fn record_feedback_ranked(&self, surface: &str, rank: usize, views: u64, clicks: u64) {
+        self.adjuster
+            .write()
+            .record_ranked(surface, rank, views, clicks);
+    }
+
+    /// Install (or replace) the propensity table applied by
+    /// [`Self::record_feedback_ranked`]. Like the rest of the adjuster
+    /// state, the table survives snapshot publishes and is persisted by
+    /// `persist::save_service`.
+    pub fn install_propensities(&self, table: crate::propensity::PropensityTable) {
+        self.adjuster.write().set_propensities(table);
+    }
+
+    /// Number of ranks covered by the installed propensity table (0
+    /// when none is installed) — surfaced in `/metrics`.
+    pub fn propensity_ranks(&self) -> usize {
+        self.adjuster.read().propensities().map_or(0, |t| t.ranks())
+    }
+
     /// The current additive adjustment for `surface`.
     pub fn adjustment(&self, surface: &str) -> f64 {
         self.adjuster.read().adjustment(surface)

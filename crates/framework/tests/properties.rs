@@ -2,7 +2,7 @@
 
 use ctxrank_framework::{
     golomb_decode, golomb_encode, optimal_rice_parameter, FieldQuantizer, GlobalTidTable,
-    PackedInterestStore, PackedRelevanceStore,
+    OnlineConfig, OnlineCtrAdjuster, PackedInterestStore, PackedRelevanceStore, PropensityTable,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -123,6 +123,40 @@ proptest! {
         prop_assert!(
             (packed - reference).abs() <= tolerance,
             "packed {} vs reference {} (tol {})", packed, reference, tolerance
+        );
+    }
+
+    /// With an all-ones propensity table the IPW adjuster is
+    /// byte-identical to the naive one on any feedback sequence —
+    /// including its serialized form (the table never leaks into
+    /// online.json).
+    #[test]
+    fn ipw_adjuster_with_unit_propensities_matches_naive(
+        batches in prop::collection::vec(
+            (0usize..6, 0usize..12, 0u64..2_000, 0u64..2_000), 0..80),
+        table_ranks in 0usize..16
+    ) {
+        let surfaces = ["a", "b", "c", "d", "e", "f"];
+        let mut naive = OnlineCtrAdjuster::new(OnlineConfig::default());
+        let mut ipw = OnlineCtrAdjuster::new(OnlineConfig::default());
+        ipw.set_propensities(PropensityTable::uniform(table_ranks));
+        for &(s, rank, views, raw_clicks) in &batches {
+            let surface = surfaces[s];
+            let clicks = raw_clicks.min(views);
+            naive.record(surface, views, clicks);
+            ipw.record_ranked(surface, rank, views, clicks);
+        }
+        for surface in surfaces {
+            prop_assert_eq!(naive.estimates(surface), ipw.estimates(surface));
+            prop_assert_eq!(
+                naive.adjustment(surface).to_bits(),
+                ipw.adjustment(surface).to_bits()
+            );
+            prop_assert_eq!(naive.ctr_estimate(surface), ipw.ctr_estimate(surface));
+        }
+        prop_assert_eq!(
+            serde_json::to_string(&naive).expect("ser"),
+            serde_json::to_string(&ipw).expect("ser")
         );
     }
 }

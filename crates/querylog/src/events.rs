@@ -22,7 +22,8 @@
 //!
 //! `len` is the payload length, `checksum` is FNV-1a (32-bit) over the
 //! payload bytes. The payload starts with a one-byte tag (`1` = query,
-//! `2` = click) followed by the tag's fields; strings are `u32 LE`
+//! `2` = click, `3` = rank-annotated click) followed by the tag's
+//! fields; strings are `u32 LE`
 //! length + UTF-8 bytes. Decoding is fully validating: any length that
 //! overruns the buffer, checksum mismatch, unknown tag, or invalid
 //! UTF-8 yields a typed [`DecodeError`] — never a panic — with the
@@ -32,6 +33,8 @@
 const TAG_QUERY: u8 = 1;
 /// Payload tag for [`Event::Click`].
 const TAG_CLICK: u8 = 2;
+/// Payload tag for [`Event::RankedClick`].
+const TAG_RANKED_CLICK: u8 = 3;
 
 /// Hard cap on a single record's payload (1 MiB). Real events are tens
 /// of bytes; the cap bounds the allocation a corrupt length prefix can
@@ -60,6 +63,22 @@ pub enum Event {
         story: u64,
         /// The annotated surface form.
         surface: String,
+        /// Sampled impressions.
+        views: u64,
+        /// Sampled clicks.
+        clicks: u64,
+    },
+    /// A click report that also carries the rank the annotation was
+    /// displayed at — the extra field counterfactual debiasing needs
+    /// (a click at rank 0 and a click at rank 9 are *not* equal
+    /// evidence under position bias).
+    RankedClick {
+        /// Story id the annotation appeared in.
+        story: u64,
+        /// The annotated surface form.
+        surface: String,
+        /// Display rank of the annotation (0 = top).
+        rank: u32,
         /// Sampled impressions.
         views: u64,
         /// Sampled clicks.
@@ -164,6 +183,20 @@ impl Event {
                 payload.extend_from_slice(&clicks.to_le_bytes());
                 push_str(&mut payload, surface);
             }
+            Event::RankedClick {
+                story,
+                surface,
+                rank,
+                views,
+                clicks,
+            } => {
+                payload.push(TAG_RANKED_CLICK);
+                payload.extend_from_slice(&story.to_le_bytes());
+                payload.extend_from_slice(&rank.to_le_bytes());
+                payload.extend_from_slice(&views.to_le_bytes());
+                payload.extend_from_slice(&clicks.to_le_bytes());
+                push_str(&mut payload, surface);
+            }
         }
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(&fnv1a32(&payload).to_le_bytes());
@@ -258,6 +291,20 @@ fn decode_payload(payload: &[u8], record_offset: usize) -> Result<Event, DecodeE
             Event::Click {
                 story,
                 surface,
+                views,
+                clicks,
+            }
+        }
+        TAG_RANKED_CLICK => {
+            let story = r.u64()?;
+            let rank = r.u32()?;
+            let views = r.u64()?;
+            let clicks = r.u64()?;
+            let surface = r.string()?;
+            Event::RankedClick {
+                story,
+                surface,
+                rank,
                 views,
                 clicks,
             }
@@ -376,6 +423,20 @@ mod tests {
                 views: 0,
                 clicks: u64::MAX,
             },
+            Event::RankedClick {
+                story: 42,
+                surface: "solar flares".into(),
+                rank: 3,
+                views: 1000,
+                clicks: 9,
+            },
+            Event::RankedClick {
+                story: 0,
+                surface: String::new(),
+                rank: u32::MAX,
+                views: u64::MAX,
+                clicks: 0,
+            },
         ]
     }
 
@@ -428,6 +489,27 @@ mod tests {
                     "byte {byte} bit {bit}: {err:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn ranked_click_bit_flip_detected() {
+        let e = Event::RankedClick {
+            story: 3,
+            surface: "markets".into(),
+            rank: 7,
+            views: 500,
+            clicks: 12,
+        };
+        let clean = e.encode();
+        for byte in 8..clean.len() {
+            let mut buf = clean.clone();
+            buf[byte] ^= 0x10;
+            let err = decode_all(&buf).expect_err("flip must be detected");
+            assert!(
+                matches!(err, DecodeError::Checksum { offset: 0 }),
+                "byte {byte}: {err:?}"
+            );
         }
     }
 

@@ -596,14 +596,18 @@ fn parse_manifest(bytes: &[u8]) -> Result<(Vec<SealedMeta>, u64), SegmentError> 
 }
 
 /// The additive fold compaction applies: click events merge by
-/// `(story, surface)` (views and clicks sum), query events merge by
-/// their term list (frequencies sum). Keys keep first-appearance order,
-/// so compaction is deterministic. Any projection that folds events
-/// additively — CTR counts, frequency features — sees the same totals
-/// through the compacted log as through the original.
+/// `(story, surface)` (views and clicks sum), rank-annotated clicks by
+/// `(story, surface, rank)` (rank is part of the evidence — collapsing
+/// it would erase the position signal debiasing needs), query events
+/// merge by their term list (frequencies sum). Keys keep
+/// first-appearance order, so compaction is deterministic. Any
+/// projection that folds events additively — CTR counts, frequency
+/// features, propensity cells — sees the same totals through the
+/// compacted log as through the original.
 pub fn compact_events(events: &[Event]) -> Vec<Event> {
     // Index into `out` per key, preserving first-seen order.
     let mut click_at: HashMap<(u64, String), usize> = HashMap::new();
+    let mut ranked_at: HashMap<(u64, String, u32), usize> = HashMap::new();
     let mut query_at: HashMap<Vec<String>, usize> = HashMap::new();
     let mut out: Vec<Event> = Vec::new();
     for e in events {
@@ -629,6 +633,29 @@ pub fn compact_events(events: &[Event]) -> Vec<Event> {
                 }
                 None => {
                     click_at.insert((*story, surface.clone()), out.len());
+                    out.push(e.clone());
+                }
+            },
+            Event::RankedClick {
+                story,
+                surface,
+                rank,
+                views,
+                clicks,
+            } => match ranked_at.get(&(*story, surface.clone(), *rank)) {
+                Some(&i) => {
+                    if let Event::RankedClick {
+                        views: v,
+                        clicks: c,
+                        ..
+                    } = &mut out[i]
+                    {
+                        *v = v.saturating_add(*views);
+                        *c = c.saturating_add(*clicks);
+                    }
+                }
+                None => {
+                    ranked_at.insert((*story, surface.clone(), *rank), out.len());
                     out.push(e.clone());
                 }
             },

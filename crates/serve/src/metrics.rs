@@ -13,15 +13,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub enum Endpoint {
     Rank,
     Annotate,
+    Feedback,
     Healthz,
     Metrics,
     Other,
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 5] = [
+    pub const ALL: [Endpoint; 6] = [
         Endpoint::Rank,
         Endpoint::Annotate,
+        Endpoint::Feedback,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Other,
@@ -31,6 +33,7 @@ impl Endpoint {
         match self {
             Endpoint::Rank => "rank",
             Endpoint::Annotate => "annotate",
+            Endpoint::Feedback => "feedback",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -41,9 +44,10 @@ impl Endpoint {
         match self {
             Endpoint::Rank => 0,
             Endpoint::Annotate => 1,
-            Endpoint::Healthz => 2,
-            Endpoint::Metrics => 3,
-            Endpoint::Other => 4,
+            Endpoint::Feedback => 2,
+            Endpoint::Healthz => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::Other => 5,
         }
     }
 }
@@ -118,6 +122,12 @@ pub struct Metrics {
     delta_publishes: AtomicU64,
     /// Bytes across live sealed click-log segments.
     segment_bytes: AtomicU64,
+    /// Feedback batches accepted through `POST /feedback` and folded
+    /// into the online §VIII adjuster.
+    feedback: AtomicU64,
+    /// Ranks covered by the installed propensity table (0 = naive, no
+    /// IPW reweighting). Refreshed from the live handle at scrape time.
+    propensity_ranks: AtomicU64,
 }
 
 impl Metrics {
@@ -235,6 +245,24 @@ impl Metrics {
         self.segment_bytes.load(Ordering::Relaxed)
     }
 
+    /// Count one accepted feedback batch.
+    pub fn record_feedback(&self) {
+        self.feedback.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn feedback_total(&self) -> u64 {
+        self.feedback.load(Ordering::Relaxed)
+    }
+
+    /// Set the rank coverage of the installed propensity table.
+    pub fn set_propensity_ranks(&self, ranks: u64) {
+        self.propensity_ranks.store(ranks, Ordering::Relaxed);
+    }
+
+    pub fn propensity_ranks(&self) -> u64 {
+        self.propensity_ranks.load(Ordering::Relaxed)
+    }
+
     /// Jobs with an observed queue wait (tests/benches).
     pub fn queue_wait_count(&self) -> u64 {
         self.queue_wait.count.load(Ordering::Relaxed)
@@ -347,6 +375,24 @@ impl Metrics {
         out.push_str(&format!(
             "ctxrank_segment_bytes {}\n",
             self.segment_bytes.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP ctxrank_feedback_total Feedback batches folded into the online CTR adjuster.\n",
+        );
+        out.push_str("# TYPE ctxrank_feedback_total counter\n");
+        out.push_str(&format!(
+            "ctxrank_feedback_total {}\n",
+            self.feedback.load(Ordering::Relaxed)
+        ));
+
+        out.push_str(
+            "# HELP ctxrank_propensity_ranks Ranks covered by the installed propensity table (0 = naive).\n",
+        );
+        out.push_str("# TYPE ctxrank_propensity_ranks gauge\n");
+        out.push_str(&format!(
+            "ctxrank_propensity_ranks {}\n",
+            self.propensity_ranks.load(Ordering::Relaxed)
         ));
 
         out.push_str("# HELP ctxrank_rank_batches_total Micro-batches executed.\n");
@@ -508,6 +554,27 @@ mod tests {
         assert!(m
             .render_prometheus(3)
             .contains("ctxrank_ingest_lag_events 0"));
+    }
+
+    #[test]
+    fn feedback_and_propensity_metrics_render() {
+        let m = Metrics::default();
+        m.record_feedback();
+        m.record_feedback();
+        m.record_feedback();
+        m.set_propensity_ranks(8);
+        m.record_request(Endpoint::Feedback, 0.001);
+        let text = m.render_prometheus(1);
+        assert!(text.contains("ctxrank_feedback_total 3"));
+        assert!(text.contains("ctxrank_propensity_ranks 8"));
+        assert!(text.contains("ctxrank_requests_total{endpoint=\"feedback\"} 1"));
+        assert_eq!(m.feedback_total(), 3);
+        assert_eq!(m.propensity_ranks(), 8);
+        // Gauge semantics: replacing the table can shrink coverage.
+        m.set_propensity_ranks(0);
+        assert!(m
+            .render_prometheus(1)
+            .contains("ctxrank_propensity_ranks 0"));
     }
 
     #[test]

@@ -510,10 +510,16 @@ fn dispatch(inner: &Inner, req: &Request) -> (Endpoint, Response) {
             (Endpoint::Healthz, Response::json(200, &health))
         }
         ("GET", "/metrics") => {
+            // Refresh the propensity-coverage gauge from the live
+            // handle so a scrape always reflects the installed table.
+            inner
+                .metrics
+                .set_propensity_ranks(inner.handle.propensity_ranks() as u64);
             let text = inner.metrics.render_prometheus(inner.handle.epoch());
             (Endpoint::Metrics, Response::text(200, text))
         }
         ("POST", "/annotate") => (Endpoint::Annotate, handle_annotate(inner, &req.body)),
+        ("POST", "/feedback") => (Endpoint::Feedback, handle_feedback(inner, &req.body)),
         // The shard side of the two-phase publish. Prepare loads epoch
         // E+1 from a directory into barrier staging without touching
         // traffic; commit flips it into the SwapCell atomically; abort
@@ -741,6 +747,59 @@ fn render_rank(
         body: body.into_bytes(),
         extra: Vec::new(),
     }
+}
+
+/// `POST /feedback {"surface": ..., "views": N, "clicks": N, "rank": R?}`
+/// — fold one observed impression batch into the live §VIII online
+/// adjuster. With `"rank"` the clicks are reweighted by the installed
+/// clipped inverse-propensity table (a no-op weight of 1.0 when no
+/// table is installed); without it the batch takes the naive
+/// rank-agnostic path. The response echoes whether the ranked path was
+/// taken so callers can tell which estimator absorbed the evidence.
+fn handle_feedback(inner: &Inner, body: &[u8]) -> Response {
+    let value: serde_json::Value = match serde_json::from_slice(body) {
+        Ok(v) => v,
+        Err(_) => return Response::json(400, &json!({"error": "body is not valid JSON"})),
+    };
+    let Some(surface) = value.get("surface").and_then(|s| s.as_str()) else {
+        return Response::json(400, &json!({"error": "missing string field \"surface\""}));
+    };
+    let Some(views) = value.get("views").and_then(|v| v.as_u64()) else {
+        return Response::json(400, &json!({"error": "missing integer field \"views\""}));
+    };
+    let Some(clicks) = value.get("clicks").and_then(|c| c.as_u64()) else {
+        return Response::json(400, &json!({"error": "missing integer field \"clicks\""}));
+    };
+    if clicks > views {
+        return Response::json(
+            400,
+            &json!({"error": "\"clicks\" must not exceed \"views\""}),
+        );
+    }
+    let rank = match value.get("rank") {
+        None | Some(serde_json::Value::Null) => None,
+        Some(r) => match r.as_u64() {
+            Some(r) => Some(r as usize),
+            None => {
+                return Response::json(400, &json!({"error": "\"rank\" must be an integer"}));
+            }
+        },
+    };
+    match rank {
+        Some(rank) => inner
+            .handle
+            .record_feedback_ranked(surface, rank, views, clicks),
+        None => inner.handle.record_feedback(surface, views, clicks),
+    }
+    inner.metrics.record_feedback();
+    Response::json(
+        200,
+        &json!({
+            "status": "recorded",
+            "ranked": rank.is_some(),
+            "propensity_ranks": inner.handle.propensity_ranks(),
+        }),
+    )
 }
 
 /// The Stemmer/context component of Figure 4 over the wire: the

@@ -355,3 +355,79 @@ fn graceful_shutdown_drains_and_closes_the_port() {
     let err = std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(500));
     assert!(err.is_err(), "listener still accepting after shutdown");
 }
+
+/// `POST /feedback` feeds the live §VIII adjuster — naive without a
+/// rank, inverse-propensity-weighted with one once a table is
+/// installed — and the metrics expose both the counter and the
+/// propensity-coverage gauge.
+#[test]
+fn feedback_endpoint_feeds_the_online_adjuster() {
+    let handle = Arc::new(ServiceHandle::new(snapshot(10.0)));
+    let server = Server::start(Arc::clone(&handle), ServeConfig::default()).expect("start");
+    let addr = server.local_addr();
+
+    // Naive (rank-less) feedback is accepted before any table exists.
+    let (status, _, body) = one_shot(
+        addr,
+        "POST",
+        "/feedback",
+        Some(r#"{"surface": "solar flares", "views": 200, "clicks": 20}"#),
+    )
+    .expect("naive feedback");
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("feedback JSON");
+    assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("recorded"));
+    assert_eq!(v.get("ranked").and_then(|r| r.as_bool()), Some(false));
+    assert_eq!(v.get("propensity_ranks").and_then(|r| r.as_u64()), Some(0));
+
+    // Install a decaying propensity table and send ranked feedback.
+    handle.install_propensities(
+        ctxrank_framework::PropensityTable::from_examination(
+            &[1.0, 0.5, 0.25],
+            ctxrank_framework::DEFAULT_WEIGHT_CAP,
+        )
+        .expect("table"),
+    );
+    let (status, _, body) = one_shot(
+        addr,
+        "POST",
+        "/feedback",
+        Some(r#"{"surface": "solar flares", "rank": 2, "views": 200, "clicks": 5}"#),
+    )
+    .expect("ranked feedback");
+    assert_eq!(status, 200, "{body}");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("feedback JSON");
+    assert_eq!(v.get("ranked").and_then(|r| r.as_bool()), Some(true));
+    assert_eq!(v.get("propensity_ranks").and_then(|r| r.as_u64()), Some(3));
+
+    // The adjuster actually absorbed both batches.
+    assert!(handle.adjustment("solar flares") != 1.0);
+
+    // Malformed bodies are 400s, never recorded.
+    for bad in [
+        "{not json",
+        r#"{"views": 1, "clicks": 0}"#,
+        r#"{"surface": "s", "clicks": 0}"#,
+        r#"{"surface": "s", "views": 1}"#,
+        r#"{"surface": "s", "views": 1, "clicks": 2}"#,
+        r#"{"surface": "s", "views": 1, "clicks": 0, "rank": "top"}"#,
+    ] {
+        let (status, _, _) = one_shot(addr, "POST", "/feedback", Some(bad)).expect("bad body");
+        assert_eq!(status, 400, "body {bad:?} should be rejected");
+    }
+
+    let (status, _, metrics) = one_shot(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    for required in [
+        "ctxrank_feedback_total 2",
+        "ctxrank_propensity_ranks 3",
+        "ctxrank_requests_total{endpoint=\"feedback\"} 8",
+    ] {
+        assert!(
+            metrics.contains(required),
+            "metrics missing {required:?}:\n{metrics}"
+        );
+    }
+
+    server.shutdown();
+}

@@ -1,0 +1,383 @@
+//! Configurable position-bias click models.
+//!
+//! The paper's click model (`clicks::simulate_story`) bakes in one bias
+//! shape: a linear decay of click probability with fractional position.
+//! Modern counterfactual LTR treats examination as a first-class model —
+//! PBM (position-based model: examination depends only on rank) and UBM
+//! (user browsing model: examination depends on the distance to the last
+//! click) are the standard families. [`PositionBiasModel`] puts all of
+//! them behind one trait so synthetic logs can be generated under any
+//! bias regime, and [`generate_ranked_log`] produces rank-annotated
+//! feedback batches ([`Event::RankedClick`]) for the debiasing pipeline
+//! in `ctxrank-framework`.
+//!
+//! Everything here is seeded and deterministic, like the rest of
+//! `ctxrank_synth`: the same configuration always yields the same log,
+//! and [`simulate_story_biased`] consumes its RNG in *exactly* the same
+//! order as `simulate_story`, so the legacy linear model is the special
+//! case `LinearBias { strength: config.position_bias }` — bit-for-bit.
+
+use crate::clicks::{ClickConfig, ClickRecord, StoryClicks};
+use crate::concepts::{ConceptId, ConceptUniverse};
+use crate::rng;
+use ctxrank_querylog::Event;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A position-bias model: the probability that a user *examines* the
+/// annotation shown at `rank` (0 = top of page).
+///
+/// `frac` is the fractional position in `[0, 1]` (the paper's notion of
+/// position); `last_click` is the rank of the most recent click above
+/// this one, which only click-dependent models (UBM) consult.
+pub trait PositionBiasModel {
+    /// Examination probability in `[0, 1]`.
+    fn examination(&self, rank: usize, frac: f64, last_click: Option<usize>) -> f64;
+
+    /// True when examination depends on realized clicks (the UBM family).
+    /// Static models (PBM, linear, none) return false, which also
+    /// guarantees their RNG-order parity with `simulate_story`.
+    fn depends_on_clicks(&self) -> bool {
+        false
+    }
+}
+
+/// No position bias: every rank is examined. Logs generated under
+/// `NoBias` are the "unbiased" control arm of the debiasing experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBias;
+
+impl PositionBiasModel for NoBias {
+    fn examination(&self, _rank: usize, _frac: f64, _last_click: Option<usize>) -> f64 {
+        1.0
+    }
+}
+
+/// The paper's linear decay: examination falls from 1.0 at the top of
+/// the story to `1 - strength` at the bottom. `simulate_story` is this
+/// model with `strength = ClickConfig::position_bias`.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearBias {
+    pub strength: f64,
+}
+
+impl PositionBiasModel for LinearBias {
+    fn examination(&self, _rank: usize, frac: f64, _last_click: Option<usize>) -> f64 {
+        1.0 - self.strength * frac.clamp(0.0, 1.0)
+    }
+}
+
+/// Position-based model: `examination(rank) = (1 / (1 + rank))^eta`.
+/// `eta = 1` is the classic inverse-rank propensity curve used across
+/// the counterfactual-LTR literature; larger `eta` sharpens the bias.
+#[derive(Debug, Clone, Copy)]
+pub struct Pbm {
+    pub eta: f64,
+}
+
+impl Default for Pbm {
+    fn default() -> Self {
+        Self { eta: 1.0 }
+    }
+}
+
+impl PositionBiasModel for Pbm {
+    fn examination(&self, rank: usize, _frac: f64, _last_click: Option<usize>) -> f64 {
+        (1.0 / (1.0 + rank as f64)).powf(self.eta)
+    }
+}
+
+/// User browsing model: examination decays with the distance to the
+/// last clicked rank, `(1 / (rank - last_click))^eta`, falling back to
+/// the PBM curve when nothing above was clicked. Batch-level
+/// approximation: "a click at rank r" means the aggregated record at
+/// rank r drew at least one click.
+#[derive(Debug, Clone, Copy)]
+pub struct Ubm {
+    pub eta: f64,
+}
+
+impl Default for Ubm {
+    fn default() -> Self {
+        Self { eta: 1.0 }
+    }
+}
+
+impl PositionBiasModel for Ubm {
+    fn examination(&self, rank: usize, _frac: f64, last_click: Option<usize>) -> f64 {
+        match last_click {
+            Some(last) if last < rank => (1.0 / (rank - last) as f64).powf(self.eta),
+            _ => (1.0 / (1.0 + rank as f64)).powf(self.eta),
+        }
+    }
+
+    fn depends_on_clicks(&self) -> bool {
+        true
+    }
+}
+
+/// `simulate_story` with the position-bias factor supplied by `bias`
+/// instead of the built-in linear decay (`config.position_bias` is
+/// ignored). Records are ordered as annotated; the record index is the
+/// rank fed to the bias model.
+///
+/// RNG discipline: one `log_normal` draw for views, then per record one
+/// `log_normal` noise draw followed by one `binomial` draw — the exact
+/// order `simulate_story` uses, so static bias models replay the same
+/// random sequence.
+pub fn simulate_story_biased<B: PositionBiasModel + ?Sized>(
+    seed: u64,
+    story_id: usize,
+    universe: &ConceptUniverse,
+    annotated: &[(ConceptId, f64, f64)], // (concept, relevance, position_frac)
+    config: &ClickConfig,
+    bias: &B,
+) -> StoryClicks {
+    let mut r = StdRng::seed_from_u64(seed ^ (story_id as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let views = rng::log_normal(&mut r, config.view_mu, config.view_sigma)
+        .round()
+        .clamp(1.0, 2_000_000.0) as u64;
+
+    let mut last_click = None;
+    let records = annotated
+        .iter()
+        .enumerate()
+        .map(|(rank, &(cid, relevance, position_frac))| {
+            let spec = universe.get(cid);
+            let interest = spec.interestingness.powf(config.interest_power);
+            let rel_factor = config.relevance_floor + (1.0 - config.relevance_floor) * relevance;
+            let examination = bias.examination(rank, position_frac, last_click);
+            let noise = rng::log_normal(&mut r, 0.0, config.noise_sigma);
+            let true_ctr =
+                (config.max_ctr * interest * rel_factor * examination * noise).clamp(0.0, 0.5);
+            let clicks = rng::binomial(&mut r, views, true_ctr);
+            if bias.depends_on_clicks() && clicks > 0 {
+                last_click = Some(rank);
+            }
+            ClickRecord {
+                concept: cid,
+                position_frac,
+                clicks,
+                true_ctr,
+            }
+        })
+        .collect();
+
+    StoryClicks {
+        story: story_id,
+        views,
+        records,
+    }
+}
+
+/// Configuration for [`generate_ranked_log`].
+#[derive(Debug, Clone)]
+pub struct RankedLogConfig {
+    pub seed: u64,
+    /// Independent story (query) contexts; each gets its own surfaces.
+    pub stories: usize,
+    /// Ranked annotation slots per story — every batch shows all of a
+    /// story's surfaces, one per slot.
+    pub slots: usize,
+    /// Feedback batches per story.
+    pub batches: usize,
+    /// Impressions per batch (the `views` of each `RankedClick`).
+    pub views_per_batch: u64,
+    /// Per-adjacent-pair probability of a seeded transposition applied
+    /// to the base presentation order in each batch. The perturbations
+    /// let every surface be observed at neighbouring ranks (what makes
+    /// the propensity estimable) while the *systematic* bias of the
+    /// fixed base order survives averaging.
+    pub swap_prob: f64,
+}
+
+impl Default for RankedLogConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            stories: 120,
+            slots: 8,
+            batches: 48,
+            views_per_batch: 400,
+            swap_prob: 0.15,
+        }
+    }
+}
+
+/// One story context of a ranked log: its surfaces, their ground-truth
+/// attractiveness (the click probability *given examination* — learners
+/// must not touch it), and the fixed base presentation order.
+#[derive(Debug, Clone)]
+pub struct RankedStory {
+    pub story: usize,
+    /// Surface strings, one per slot index.
+    pub surfaces: Vec<String>,
+    /// `attractiveness[j]` is the true examined-CTR of `surfaces[j]`.
+    pub attractiveness: Vec<f64>,
+    /// `base_order[rank]` = slot index shown at `rank` (before the
+    /// per-batch transpositions). Drawn independently of
+    /// attractiveness, so rank and relevance are uncorrelated.
+    pub base_order: Vec<usize>,
+}
+
+/// A biased, rank-annotated synthetic feedback log.
+#[derive(Debug, Clone)]
+pub struct RankedLog {
+    pub stories: Vec<RankedStory>,
+    /// `Event::RankedClick` records in generation order (story-major,
+    /// batch-major, rank-minor).
+    pub events: Vec<Event>,
+}
+
+/// Generate a rank-annotated click log under `bias`.
+///
+/// Each story draws `slots` surfaces with heavy-tailed attractiveness
+/// and a seeded base permutation; each batch presents the (lightly
+/// perturbed) order, samples `clicks ~ Binomial(views, attractiveness ×
+/// examination(rank))` per slot, and emits one [`Event::RankedClick`]
+/// per impression slot. Deterministic in `config.seed`.
+pub fn generate_ranked_log<B: PositionBiasModel + ?Sized>(
+    config: &RankedLogConfig,
+    bias: &B,
+) -> RankedLog {
+    let mut r = StdRng::seed_from_u64(config.seed ^ 0xB1A5_C11C_0DDC_5EED);
+    let mut stories = Vec::with_capacity(config.stories);
+    let mut events = Vec::with_capacity(config.stories * config.batches * config.slots);
+
+    for story in 0..config.stories {
+        let surfaces: Vec<String> = (0..config.slots)
+            .map(|j| format!("story{story:04} concept {j}"))
+            .collect();
+        let attractiveness: Vec<f64> = (0..config.slots)
+            .map(|_| 0.03 + 0.4 * rng::heavy_tail01(&mut r, 2.0))
+            .collect();
+        // Seeded Fisher-Yates, independent of the attractiveness draws.
+        let mut base_order: Vec<usize> = (0..config.slots).collect();
+        for i in (1..base_order.len()).rev() {
+            let j = r.random_range(0..i + 1);
+            base_order.swap(i, j);
+        }
+
+        for _batch in 0..config.batches {
+            let mut order = base_order.clone();
+            for p in 0..order.len().saturating_sub(1) {
+                if rng::flip(&mut r, config.swap_prob) {
+                    order.swap(p, p + 1);
+                }
+            }
+            let denom = (config.slots.max(2) - 1) as f64;
+            let mut last_click = None;
+            for (rank, &slot) in order.iter().enumerate() {
+                let frac = rank as f64 / denom;
+                let examination = bias.examination(rank, frac, last_click).clamp(0.0, 1.0);
+                let p = (attractiveness[slot] * examination).clamp(0.0, 1.0);
+                let clicks = rng::binomial(&mut r, config.views_per_batch, p);
+                if bias.depends_on_clicks() && clicks > 0 {
+                    last_click = Some(rank);
+                }
+                events.push(Event::RankedClick {
+                    story: story as u64,
+                    surface: surfaces[slot].clone(),
+                    rank: rank as u32,
+                    views: config.views_per_batch,
+                    clicks,
+                });
+            }
+        }
+
+        stories.push(RankedStory {
+            story,
+            surfaces,
+            attractiveness,
+            base_order,
+        });
+    }
+
+    RankedLog { stories, events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbm_examination_decays_with_rank() {
+        let pbm = Pbm { eta: 1.0 };
+        let e: Vec<f64> = (0..5).map(|r| pbm.examination(r, 0.0, None)).collect();
+        for w in e.windows(2) {
+            assert!(w[0] > w[1], "{e:?}");
+        }
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[3] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ubm_resets_after_a_click() {
+        let ubm = Ubm { eta: 1.0 };
+        // No click above: PBM fallback. Click right above: full examination.
+        assert!(ubm.examination(4, 0.0, None) < ubm.examination(4, 0.0, Some(3)));
+        assert!((ubm.examination(4, 0.0, Some(3)) - 1.0).abs() < 1e-12);
+        assert!(ubm.depends_on_clicks());
+        assert!(!Pbm::default().depends_on_clicks());
+    }
+
+    #[test]
+    fn ranked_log_is_deterministic_and_complete() {
+        let cfg = RankedLogConfig {
+            stories: 3,
+            batches: 4,
+            slots: 5,
+            ..RankedLogConfig::default()
+        };
+        let a = generate_ranked_log(&cfg, &Pbm::default());
+        let b = generate_ranked_log(&cfg, &Pbm::default());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 3 * 4 * 5);
+        assert_eq!(a.stories.len(), 3);
+        for s in &a.stories {
+            let mut sorted = s.base_order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+            assert!(s.attractiveness.iter().all(|&x| (0.0..=0.5).contains(&x)));
+        }
+        let c = generate_ranked_log(
+            &RankedLogConfig {
+                seed: 1,
+                ..cfg.clone()
+            },
+            &Pbm::default(),
+        );
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn biased_log_clicks_decay_with_rank() {
+        let cfg = RankedLogConfig {
+            stories: 40,
+            batches: 10,
+            slots: 6,
+            views_per_batch: 500,
+            ..RankedLogConfig::default()
+        };
+        let log = generate_ranked_log(&cfg, &Pbm { eta: 1.0 });
+        let mut clicks_by_rank = [0u64; 6];
+        let mut views_by_rank = [0u64; 6];
+        for e in &log.events {
+            if let Event::RankedClick {
+                rank,
+                views,
+                clicks,
+                ..
+            } = e
+            {
+                clicks_by_rank[*rank as usize] += clicks;
+                views_by_rank[*rank as usize] += views;
+            }
+        }
+        let ctr0 = clicks_by_rank[0] as f64 / views_by_rank[0] as f64;
+        let ctr5 = clicks_by_rank[5] as f64 / views_by_rank[5] as f64;
+        // Ranks and attractiveness are uncorrelated, so the aggregate
+        // CTR ratio tracks the examination ratio (6x for eta = 1).
+        assert!(ctr0 > 3.0 * ctr5, "ctr0 {ctr0} ctr5 {ctr5}");
+    }
+}

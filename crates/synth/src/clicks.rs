@@ -14,9 +14,6 @@
 //! or no concept with more than three sampled clicks.
 
 use crate::concepts::{ConceptId, ConceptUniverse};
-use crate::rng;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Click-model parameters.
 #[derive(Debug, Clone)]
@@ -74,7 +71,7 @@ pub struct ClickRecord {
 
 /// A story's click report: the per-entity view count is the story view
 /// count (§III).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoryClicks {
     pub story: usize,
     pub views: u64,
@@ -116,36 +113,13 @@ pub fn simulate_story(
     annotated: &[(ConceptId, f64, f64)], // (concept, relevance, position_frac)
     config: &ClickConfig,
 ) -> StoryClicks {
-    let mut r = StdRng::seed_from_u64(seed ^ (story_id as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    let views = rng::log_normal(&mut r, config.view_mu, config.view_sigma)
-        .round()
-        .clamp(1.0, 2_000_000.0) as u64;
-
-    let records = annotated
-        .iter()
-        .map(|&(cid, relevance, position_frac)| {
-            let spec = universe.get(cid);
-            let interest = spec.interestingness.powf(config.interest_power);
-            let rel_factor = config.relevance_floor + (1.0 - config.relevance_floor) * relevance;
-            let pos_factor = 1.0 - config.position_bias * position_frac.clamp(0.0, 1.0);
-            let noise = rng::log_normal(&mut r, 0.0, config.noise_sigma);
-            let true_ctr =
-                (config.max_ctr * interest * rel_factor * pos_factor * noise).clamp(0.0, 0.5);
-            let clicks = rng::binomial(&mut r, views, true_ctr);
-            ClickRecord {
-                concept: cid,
-                position_frac,
-                clicks,
-                true_ctr,
-            }
-        })
-        .collect();
-
-    StoryClicks {
-        story: story_id,
-        views,
-        records,
-    }
+    // The paper's linear position decay, expressed as a bias model; the
+    // biased simulator consumes the RNG in the same order, so this
+    // delegation is bit-for-bit identical to the original inline loop.
+    let bias = crate::bias::LinearBias {
+        strength: config.position_bias,
+    };
+    crate::bias::simulate_story_biased(seed, story_id, universe, annotated, config, &bias)
 }
 
 #[cfg(test)]

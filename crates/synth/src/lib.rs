@@ -23,6 +23,9 @@
 //! * a **click model** ([`clicks`]) that turns latent
 //!   interestingness × relevance into views/clicks/CTR with position bias
 //!   and binomial sampling — the paper's causal assumption (§I-B),
+//! * **position-bias models** ([`bias`]) — PBM/UBM examination curves
+//!   behind one trait, plus a rank-annotated biased log generator
+//!   feeding the counterfactual debiasing pipeline,
 //! * simulated **editorial judges** ([`judges`]) for the Table VI study,
 //! * a lazy **event-stream generator** ([`stream`]) that synthesizes
 //!   click/query logs of arbitrary magnitude one event at a time for the
@@ -31,6 +34,7 @@
 //! Everything is generated from a single `u64` seed; the same seed always
 //! produces the same world.
 
+pub mod bias;
 pub mod clicks;
 pub mod concepts;
 pub mod corpus;
@@ -43,6 +47,10 @@ pub mod rng;
 pub mod stream;
 pub mod world;
 
+pub use bias::{
+    generate_ranked_log, simulate_story_biased, LinearBias, NoBias, Pbm, PositionBiasModel,
+    RankedLog, RankedLogConfig, RankedStory, Ubm,
+};
 pub use clicks::{ClickConfig, ClickRecord, StoryClicks};
 pub use concepts::{ConceptId, ConceptSpec, ConceptUniverse, HighLevelType, Quality};
 pub use corpus::CorpusConfig;

@@ -259,7 +259,9 @@ mod tests {
         let mut cold_n = 0usize;
         for e in stream {
             let s = match &e {
-                Event::Click { surface, .. } => surface.clone(),
+                Event::Click { surface, .. } | Event::RankedClick { surface, .. } => {
+                    surface.clone()
+                }
                 Event::Query { terms, .. } => terms.join(" "),
             };
             if s == hot {

@@ -1,0 +1,196 @@
+//! Properties of the position-bias layer.
+//!
+//! Two facts keep the debiasing pipeline honest:
+//!
+//! 1. **Convergence** — under a PBM log, the aggregate CTR observed at
+//!    rank `r` converges to `examination(r) × mean(attractiveness)`;
+//!    ranks and attractiveness are uncorrelated by construction, so the
+//!    per-rank CTR ratio *is* the examination curve. This is the signal
+//!    RegressionEM recovers.
+//! 2. **Parity** — the bias layer is a strict generalization of the
+//!    paper's click model: `simulate_story_biased` with
+//!    `LinearBias { strength: config.position_bias }` reproduces
+//!    `simulate_story` bit-for-bit under the same seed (same RNG draw
+//!    order, same clamps), for any configuration.
+
+use ctxrank_querylog::Event;
+use ctxrank_synth::clicks::simulate_story;
+use ctxrank_synth::concepts::UniverseConfig;
+use ctxrank_synth::{
+    generate_ranked_log, simulate_story_biased, ClickConfig, ConceptUniverse, LinearBias, NoBias,
+    Pbm, PositionBiasModel, RankedLogConfig,
+};
+use proptest::prelude::*;
+
+fn universe() -> ConceptUniverse {
+    let lex = ctxrank_synth::Lexicon::generate(7, 300, 4, 60);
+    ConceptUniverse::generate(
+        7,
+        &lex,
+        &UniverseConfig {
+            num_specific: 80,
+            num_junk: 8,
+            ..UniverseConfig::default()
+        },
+    )
+}
+
+/// Observed CTR per rank over a whole ranked log.
+fn ctr_by_rank(events: &[Event], slots: usize) -> Vec<f64> {
+    let mut clicks = vec![0u64; slots];
+    let mut views = vec![0u64; slots];
+    for e in events {
+        if let Event::RankedClick {
+            rank,
+            views: v,
+            clicks: c,
+            ..
+        } = e
+        {
+            clicks[*rank as usize] += c;
+            views[*rank as usize] += v;
+        }
+    }
+    clicks
+        .iter()
+        .zip(&views)
+        .map(|(&c, &v)| c as f64 / v.max(1) as f64)
+        .collect()
+}
+
+#[test]
+fn pbm_ctr_by_rank_converges_to_examination_times_relevance() {
+    let cfg = RankedLogConfig {
+        seed: 0x5EED,
+        stories: 300,
+        slots: 6,
+        batches: 40,
+        views_per_batch: 500,
+        swap_prob: 0.0, // pure PBM ranks, no transposition smearing
+    };
+    let pbm = Pbm { eta: 1.0 };
+    let log = generate_ranked_log(&cfg, &pbm);
+
+    // mean attractiveness over every (story, slot): with swap_prob = 0
+    // each rank shows a uniformly random slot of each story, so the
+    // expected CTR at rank r is examination(r) × this mean.
+    let mean_attract: f64 = log
+        .stories
+        .iter()
+        .flat_map(|s| s.attractiveness.iter())
+        .sum::<f64>()
+        / (cfg.stories * cfg.slots) as f64;
+
+    let observed = ctr_by_rank(&log.events, cfg.slots);
+    for (rank, &ctr) in observed.iter().enumerate() {
+        let expected = pbm.examination(rank, 0.0, None) * mean_attract;
+        // 300 stories × 40 batches × 500 views per rank: the sample
+        // mean sits within a few percent of the model's expectation.
+        assert!(
+            (ctr - expected).abs() < 0.08 * expected,
+            "rank {rank}: observed {ctr:.4} vs expected {expected:.4}"
+        );
+    }
+    // And the ratio curve is the examination curve itself.
+    for rank in 1..cfg.slots {
+        let ratio = observed[rank] / observed[0];
+        let exam = pbm.examination(rank, 0.0, None);
+        assert!(
+            (ratio - exam).abs() < 0.1 * exam,
+            "rank {rank}: ratio {ratio:.4} vs examination {exam:.4}"
+        );
+    }
+}
+
+#[test]
+fn nobias_log_has_flat_ctr_by_rank() {
+    let cfg = RankedLogConfig {
+        seed: 0x5EED,
+        stories: 200,
+        slots: 6,
+        batches: 30,
+        views_per_batch: 500,
+        swap_prob: 0.15,
+    };
+    let log = generate_ranked_log(&cfg, &NoBias);
+
+    // Normalize each rank's observed CTR by the attractiveness actually
+    // shown there (which slot appears at which rank is itself random),
+    // leaving only binomial click noise — examination must be 1.0
+    // everywhere.
+    let attract: std::collections::HashMap<&str, f64> = log
+        .stories
+        .iter()
+        .flat_map(|s| {
+            s.surfaces
+                .iter()
+                .map(|x| x.as_str())
+                .zip(s.attractiveness.iter().copied())
+        })
+        .collect();
+    let mut expected_clicks = vec![0.0f64; cfg.slots];
+    let mut clicks = vec![0u64; cfg.slots];
+    for e in &log.events {
+        if let Event::RankedClick {
+            surface,
+            rank,
+            views,
+            clicks: c,
+            ..
+        } = e
+        {
+            expected_clicks[*rank as usize] += attract[surface.as_str()] * *views as f64;
+            clicks[*rank as usize] += c;
+        }
+    }
+    for rank in 0..cfg.slots {
+        let ratio = clicks[rank] as f64 / expected_clicks[rank];
+        assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "rank {rank}: observed/expected {ratio:.4} should be 1"
+        );
+    }
+}
+
+proptest! {
+    /// `simulate_story` is the `LinearBias` special case of the biased
+    /// simulator — bit-for-bit, for any seed, story, layout and
+    /// bias strength.
+    #[test]
+    fn linear_bias_reproduces_simulate_story_bit_for_bit(
+        seed in any::<u64>(),
+        story_id in 0usize..1_000,
+        position_bias in 0.0f64..1.0,
+        noise_sigma in 0.0f64..1.5,
+        layout in prop::collection::vec((0usize..88, 0.0f64..1.0, 0.0f64..1.0), 0..12),
+    ) {
+        // One shared universe for the whole property run.
+        use std::sync::OnceLock;
+        static UNI: OnceLock<ConceptUniverse> = OnceLock::new();
+        let uni = UNI.get_or_init(universe);
+        let ids: Vec<_> = uni.all().iter().map(|c| c.id).collect();
+        let annotated: Vec<_> = layout
+            .iter()
+            .map(|&(pick, relevance, frac)| (ids[pick % ids.len()], relevance, frac))
+            .collect();
+        let config = ClickConfig {
+            position_bias,
+            noise_sigma,
+            ..ClickConfig::default()
+        };
+        let legacy = simulate_story(seed, story_id, uni, &annotated, &config);
+        let biased = simulate_story_biased(
+            seed,
+            story_id,
+            uni,
+            &annotated,
+            &config,
+            &LinearBias { strength: position_bias },
+        );
+        prop_assert_eq!(&legacy, &biased);
+        // Bit-for-bit, not just approximately equal.
+        for (a, b) in legacy.records.iter().zip(&biased.records) {
+            prop_assert_eq!(a.true_ctr.to_bits(), b.true_ctr.to_bits());
+        }
+    }
+}

@@ -347,6 +347,121 @@ fn arena_sweep_torn_writes_and_bit_flips_over_snapshot_ctxr() {
     assert!(intact_loads > 0, "no load ever survived at 25% injection");
 }
 
+/// The propensity-table acceptance sweep: 200 seeded iterations of
+/// torn writes against a service save carrying a propensity table,
+/// followed by deterministic bit flips over the committed
+/// `propensity.bin`. On every seed:
+///
+/// * a torn save never leaves a mixed table — a clean load sees
+///   exactly the old table or the new one, byte-identical (each
+///   component file commits via tmp → rename);
+/// * a single flipped bit in `propensity.bin` *always* surfaces as
+///   `PersistError::Corrupt { file: "propensity.bin" }` — the table
+///   is IPW weights, so a silently skewed load would corrupt every
+///   subsequent click estimate (the failure mode the binary
+///   checksummed codec exists to kill).
+#[test]
+fn propensity_sweep_torn_writes_and_bit_flips_never_skew_the_table() {
+    use ctxrank_framework::PropensityTable;
+
+    let base = seed_from_env(0xDEB1_A5ED);
+    announce("propensity_sweep", base);
+
+    let table_a =
+        PropensityTable::from_examination(&[1.0, 0.5, 0.25, 0.125], 10.0).expect("table a");
+    let table_b =
+        PropensityTable::from_examination(&[1.0, 0.8, 0.6, 0.4, 0.2], 8.0).expect("table b");
+
+    let mut torn_saves = 0u32;
+    let mut clean_saves = 0u32;
+    let mut flips_rejected = 0u32;
+    for iter in 0..200u64 {
+        let seed = base.wrapping_add(iter);
+        let dir = TempDir::new("propensity");
+
+        // A committed good save with table A installed.
+        let good = Arc::new(ServiceHandle::new(snapshot(10.0)));
+        good.install_propensities(table_a.clone());
+        save_service(&good, dir.path()).expect("clean save");
+        let bin = dir.path().join("propensity.bin");
+        assert!(bin.exists(), "save with a table must write propensity.bin");
+
+        // Tear the save of a newer state (table B) on top of it.
+        let next = Arc::new(ServiceHandle::new(snapshot(20.0)));
+        next.install_propensities(table_b.clone());
+        let fs = FaultyFs::new(Arc::new(FaultPlan::with_kinds(
+            seed,
+            250,
+            &[],
+            &[FaultKind::TornWrite],
+        )));
+        match save_service_with(&next, dir.path(), &fs) {
+            Ok(()) => clean_saves += 1,
+            Err(e) => {
+                let _ = e.to_string();
+                torn_saves += 1;
+            }
+        }
+
+        // Whatever the tear did, a clean load must see exactly one of
+        // the two real tables — never a prefix, never a blend.
+        let reloaded = load_service(dir.path())
+            .unwrap_or_else(|e| panic!("seed {seed}: torn save clobbered the directory: {e}"));
+        let loaded_table = reloaded
+            .adjuster_state()
+            .propensities()
+            .cloned()
+            .unwrap_or_else(|| panic!("seed {seed}: reload lost the propensity table"));
+        assert!(
+            loaded_table == table_a || loaded_table == table_b,
+            "seed {seed}: loaded table matches neither saved table: {loaded_table:?}"
+        );
+
+        // Deterministic bit flip over the committed propensity bytes:
+        // the load must reject with a typed Corrupt naming the file.
+        let clean_bytes = std::fs::read(&bin).expect("read propensity.bin");
+        let bit = (seed as usize) % (clean_bytes.len() * 8);
+        let mut flipped = clean_bytes.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&bin, &flipped).expect("write flipped bytes");
+        match load_service(dir.path()) {
+            Err(PersistError::Corrupt { file, detail }) => {
+                assert_eq!(
+                    file, "propensity.bin",
+                    "seed {seed}: corruption attributed to the wrong file"
+                );
+                assert!(!detail.is_empty());
+                flips_rejected += 1;
+            }
+            Err(other) => panic!("seed {seed}: bit flip surfaced as non-Corrupt: {other}"),
+            Ok(h) => {
+                // The only acceptable Ok is a flip the codec provably
+                // cannot see — there is none: every byte of the format
+                // is covered by magic, length, payload or checksum.
+                let t = h.adjuster_state().propensities().cloned();
+                panic!("seed {seed}: flipped bit {bit} loaded silently (table {t:?})");
+            }
+        }
+
+        // Restoring the clean bytes restores the load, byte-identical.
+        std::fs::write(&bin, &clean_bytes).expect("restore clean bytes");
+        let restored = load_service(dir.path()).expect("restored load");
+        let restored_table = restored
+            .adjuster_state()
+            .propensities()
+            .cloned()
+            .expect("restored table");
+        assert_eq!(restored_table.encode(), loaded_table.encode());
+    }
+    eprintln!(
+        "propensity_sweep: {torn_saves} torn saves, {clean_saves} clean saves, \
+         {flips_rejected} rejected bit flips over 200 iterations"
+    );
+    assert!(torn_saves > 0, "no save was ever torn at 25% injection");
+    assert!(clean_saves > 0, "no save ever survived at 25% injection");
+    assert_eq!(flips_rejected, 200, "every single bit flip must be caught");
+}
+
 /// The legacy directory format and the arena file are two encodings of
 /// the same snapshot: loading either must produce identical epochs and
 /// identical rank output.

@@ -85,6 +85,13 @@ impl Content {
             _ => None,
         }
     }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 /// Deserialization failure: a human-readable path + expectation.
